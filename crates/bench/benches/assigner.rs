@@ -1,0 +1,40 @@
+//! Criterion benchmark for the end-to-end assigner (Algorithm 1) on a
+//! paper cluster — the operation Table 10 times.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use llm_pq::{assign, AssignerConfig, SolverChoice};
+use llmpq_bench::quality::zoo_indicator;
+use llmpq_cluster::paper_cluster;
+use llmpq_cost::CostDb;
+use llmpq_model::zoo;
+use llmpq_sim::KernelEnv;
+use llmpq_workload::BatchJob;
+use std::hint::black_box;
+
+fn bench_assign_cluster3(c: &mut Criterion) {
+    let cluster = paper_cluster(3);
+    let spec = zoo::opt_30b();
+    let db = CostDb::oracle(&KernelEnv::default());
+    let job = BatchJob::paper_default();
+    let indicator = zoo_indicator(&spec);
+    let cfg = AssignerConfig {
+        solver: SolverChoice::Dp { group: 4 },
+        xi: 4,
+        max_orderings: 2,
+        dp_grid: Some(10),
+        ..Default::default()
+    };
+    let mut g = c.benchmark_group("assigner");
+    g.sample_size(10);
+    g.bench_function("cluster3_opt30b_dp", |b| {
+        b.iter(|| black_box(assign(&cluster, &spec, &job, &db, &indicator, &cfg)))
+    });
+    let heuristic_cfg = AssignerConfig { solver: SolverChoice::Heuristic, ..cfg };
+    g.bench_function("cluster3_opt30b_heuristic", |b| {
+        b.iter(|| black_box(assign(&cluster, &spec, &job, &db, &indicator, &heuristic_cfg)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_assign_cluster3);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion micro-benchmarks for the quantization kernels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use llmpq_model::Matrix;
+use llmpq_quant::{quantize_matrix, Bitwidth, Rounding};
+use std::hint::black_box;
+
+fn bench_quantize(c: &mut Criterion) {
+    let mut g = c.benchmark_group("quantize_matrix");
+    for size in [128usize, 512] {
+        let m = Matrix::random(size, size, 0.3, 42);
+        for bits in [Bitwidth::Int3, Bitwidth::Int4, Bitwidth::Int8] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("{bits}/det"), size),
+                &m,
+                |b, m| b.iter(|| black_box(quantize_matrix(m, bits, Rounding::Deterministic, 0))),
+            );
+        }
+        g.bench_with_input(BenchmarkId::new("int4/stochastic", size), &m, |b, m| {
+            b.iter(|| black_box(quantize_matrix(m, Bitwidth::Int4, Rounding::Stochastic, 7)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_dequantize(c: &mut Criterion) {
+    let m = Matrix::random(512, 512, 0.3, 42);
+    let q = quantize_matrix(&m, Bitwidth::Int4, Rounding::Deterministic, 0);
+    c.bench_function("dequantize_512", |b| b.iter(|| black_box(q.dequantize())));
+}
+
+criterion_group!(benches, bench_quantize, bench_dequantize);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion benchmarks for the roofline kernel model and the pipeline
+//! discrete-event simulator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use llmpq_cluster::GpuModel;
+use llmpq_model::{zoo, PhaseWorkload};
+use llmpq_quant::Bitwidth;
+use llmpq_sim::{layer_latency, simulate_pipeline, KernelEnv, PipelineWorkload, StageLoad};
+use std::hint::black_box;
+
+fn bench_layer_latency(c: &mut Criterion) {
+    let spec = zoo::opt_30b();
+    let dev = GpuModel::V100_32G.spec();
+    let env = KernelEnv::default();
+    let w = PhaseWorkload::decode(32, 512, 562);
+    c.bench_function("layer_latency_decode", |b| {
+        b.iter(|| black_box(layer_latency(&dev, &env, &spec, &w, Bitwidth::Int4, 16.0)))
+    });
+}
+
+fn bench_pipeline_sim(c: &mut Criterion) {
+    let stages = vec![
+        StageLoad { prefill_time: 1.0, decode_time: 0.05, comm_prefill: 0.01, comm_decode: 0.001 };
+        6
+    ];
+    let w = PipelineWorkload {
+        prefill_microbatches: 16,
+        decode_microbatches: 4,
+        n_tokens: 100,
+        master_prefill: 0.02,
+        master_decode: 0.002,
+    };
+    c.bench_function("simulate_pipeline_6x100", |b| {
+        b.iter(|| black_box(simulate_pipeline(&stages, &w)))
+    });
+}
+
+criterion_group!(benches, bench_layer_latency, bench_pipeline_sim);
+criterion_main!(benches);

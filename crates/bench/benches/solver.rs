@@ -1,0 +1,73 @@
+//! Criterion benchmarks for the optimization substrate: simplex LP,
+//! branch-and-bound MILP, and the exact partition DP.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use llmpq_solver::{
+    solve_lp, solve_milp, solve_partition, Constraint, LinProg, MilpConfig, MilpSpec,
+    PartitionProblem,
+};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn knapsack_lp(n: usize) -> LinProg {
+    let mut rng = SmallRng::seed_from_u64(1);
+    let obj: Vec<f64> = (0..n).map(|_| -rng.gen_range(1.0..10.0)).collect();
+    let mut lp = LinProg::minimize(obj);
+    for v in 0..n {
+        lp = lp.bound(v, 1.0);
+    }
+    lp.with(Constraint::le(
+        (0..n).map(|i| (i, ((i % 4) + 1) as f64)).collect(),
+        n as f64 / 2.0,
+    ))
+}
+
+fn bench_simplex(c: &mut Criterion) {
+    let lp = knapsack_lp(60);
+    c.bench_function("simplex_knapsack_60", |b| b.iter(|| black_box(solve_lp(&lp))));
+}
+
+fn bench_milp(c: &mut Criterion) {
+    let lp = knapsack_lp(14);
+    let spec = MilpSpec { lp, integers: (0..14).collect() };
+    c.bench_function("milp_knapsack_14", |b| {
+        b.iter(|| black_box(solve_milp(&spec, &MilpConfig::default())))
+    });
+}
+
+fn partition_instance(l: usize, n: usize, nb: usize) -> PartitionProblem {
+    let mut rng = SmallRng::seed_from_u64(5);
+    let size = l * n * nb;
+    let mut gen = |lo: f64, hi: f64| -> Vec<f64> {
+        (0..size).map(|_| rng.gen_range(lo..hi)).collect()
+    };
+    PartitionProblem {
+        n_groups: l,
+        n_devices: n,
+        n_bits: nb,
+        pre_time: gen(0.2, 1.0),
+        dec_time: gen(0.02, 0.1),
+        mem: gen(1.0, 4.0),
+        lin_cost: gen(0.0, 1.0),
+        capacity: vec![3.0 * l as f64 / n as f64; n],
+        fixed_mem: vec![0.1; n],
+        comm_pre: vec![0.02; n],
+        comm_dec: vec![0.002; n],
+        alpha_pre: 7.0,
+        alpha_dec: 99.0,
+        allow_empty_stages: true,
+        grid: Some(16),
+    }
+}
+
+fn bench_partition_dp(c: &mut Criterion) {
+    let p = partition_instance(48, 4, 4);
+    let mut g = c.benchmark_group("partition");
+    g.sample_size(10);
+    g.bench_function("dp_48x4x4", |b| b.iter(|| black_box(solve_partition(&p))));
+    g.finish();
+}
+
+criterion_group!(benches, bench_simplex, bench_milp, bench_partition_dp);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Figure 5: prefill/decode execution time under different precisions
+//! and batch sizes.
+//!
+//! Regenerates the grid: one OPT-30b layer, prompt length 512, batch
+//! sizes 1–32, precisions {FP16, INT8, INT4, INT3} on T4, V100 and
+//! A100. Paper shapes to reproduce:
+//!  * FP16 is often fastest in prefill (quantization overhead);
+//!  * low-precision weight-only kernels win decode (weight traffic);
+//!  * T4's INT8 ≈ FP16 while V100's INT8 is always slower.
+
+use llmpq_bench::TextTable;
+use llmpq_cluster::GpuModel;
+use llmpq_model::{zoo, PhaseWorkload};
+use llmpq_quant::Bitwidth;
+use llmpq_sim::{layer_latency, KernelEnv};
+
+#[allow(clippy::type_complexity)]
+fn main() {
+    let spec = zoo::opt_30b();
+    let env = KernelEnv::default();
+    println!("Figure 5 — single {} layer, s=512\n", spec.name);
+
+    for gpu in [GpuModel::T4_16G, GpuModel::V100_32G, GpuModel::A100_40G] {
+        let dev = gpu.spec();
+        let phases: [(&str, fn(usize) -> PhaseWorkload); 2] = [
+            ("prefill", |b| PhaseWorkload::prefill(b, 512)),
+            ("decode", |b| PhaseWorkload::decode(b, 512, 512)),
+        ];
+        for (phase_name, mk) in phases {
+            let mut t = TextTable::new(&["batch", "fp16 (ms)", "int8 (ms)", "int4 (ms)", "int3 (ms)", "fastest"]);
+            for b in [1usize, 2, 4, 8, 16, 32] {
+                let w = mk(b);
+                let times: Vec<(Bitwidth, f64)> = [Bitwidth::Fp16, Bitwidth::Int8, Bitwidth::Int4, Bitwidth::Int3]
+                    .iter()
+                    .map(|&bits| (bits, layer_latency(&dev, &env, &spec, &w, bits, 16.0)))
+                    .collect();
+                let fastest = times
+                    .iter()
+                    .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                    .unwrap()
+                    .0;
+                t.row(vec![
+                    b.to_string(),
+                    format!("{:.3}", times[0].1 * 1e3),
+                    format!("{:.3}", times[1].1 * 1e3),
+                    format!("{:.3}", times[2].1 * 1e3),
+                    format!("{:.3}", times[3].1 * 1e3),
+                    fastest.to_string(),
+                ]);
+            }
+            println!("{gpu} / {phase_name}:\n{}", t.render());
+        }
+    }
+    println!("Paper shape check: FP16 should dominate prefill columns on compute-rich");
+    println!("devices, while int4/int3 dominate decode; T4's int8 stays close to fp16.");
+}

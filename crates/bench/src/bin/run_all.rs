@@ -1,0 +1,75 @@
+//! Regenerate every experiment in sequence.
+//!
+//! ```bash
+//! cargo run --release -p llmpq-bench --bin run_all
+//! ```
+//!
+//! Spawns each table/figure/ablation binary (they must be built — use
+//! `cargo build --release -p llmpq-bench --bins` first or run through
+//! cargo) and writes outputs to `results/`.
+
+use std::path::Path;
+use std::process::Command;
+
+const EXPERIMENTS: &[&str] = &[
+    "fig1_cluster_trace",
+    "fig3_phase_decomposition",
+    "fig4_ppl_vs_bitwidth",
+    "fig5_quant_speed",
+    "fig7_cost_fidelity",
+    "fig8_theta_sensitivity",
+    "fig9_vs_adabits",
+    "table1_layer_sensitivity",
+    "table4_hetero_serving",
+    "table5_homo_serving",
+    "table6_indicator",
+    "table7_short_prompts",
+    "table8_optimizer_speed",
+    "table10_solver_overhead",
+    "ablation_phase_aware",
+    "ablation_solver",
+    "ablation_microbatch",
+    "ablation_tensor_parallel",
+    "ablation_kv_cache",
+    "ablation_online",
+    "ablation_cost_per_token",
+];
+
+fn main() {
+    let out_dir = Path::new("results");
+    std::fs::create_dir_all(out_dir).expect("create results/");
+    let self_path = std::env::current_exe().expect("own path");
+    let bin_dir = self_path.parent().expect("bin dir");
+    let mut failed = Vec::new();
+    for name in EXPERIMENTS {
+        let bin = bin_dir.join(name);
+        print!("{name:<28} ");
+        if !bin.exists() {
+            println!("MISSING (build with --bins)");
+            failed.push(*name);
+            continue;
+        }
+        let started = std::time::Instant::now();
+        match Command::new(&bin).output() {
+            Ok(out) if out.status.success() => {
+                let path = out_dir.join(format!("{name}.txt"));
+                std::fs::write(&path, &out.stdout).expect("write result");
+                println!("ok ({:.1}s) -> {}", started.elapsed().as_secs_f64(), path.display());
+            }
+            Ok(out) => {
+                println!("FAILED (exit {:?})", out.status.code());
+                failed.push(*name);
+            }
+            Err(e) => {
+                println!("FAILED ({e})");
+                failed.push(*name);
+            }
+        }
+    }
+    if failed.is_empty() {
+        println!("\nall {} experiments regenerated.", EXPERIMENTS.len());
+    } else {
+        println!("\n{} experiments failed: {failed:?}", failed.len());
+        std::process::exit(1);
+    }
+}

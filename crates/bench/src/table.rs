@@ -1,0 +1,91 @@
+//! Plain-text table rendering for experiment output.
+
+/// A simple aligned text table.
+#[derive(Debug, Default, Clone)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// New table with a header row.
+    pub fn new(header: &[&str]) -> Self {
+        Self { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row (must match the header width).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let ncol = self.header.len();
+        let mut width = vec![0usize; ncol];
+        for (i, h) in self.header.iter().enumerate() {
+            width[i] = h.len();
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                width[i] = width[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], width: &[usize]| -> String {
+            let mut line = String::from("| ");
+            for (c, w) in cells.iter().zip(width) {
+                line.push_str(&format!("{c:<w$} | ", w = w));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.header, &width));
+        out.push('\n');
+        let sep: Vec<String> = width.iter().map(|w| "-".repeat(*w)).collect();
+        out.push_str(&fmt_row(&sep, &width));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &width));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format seconds with 2 decimals.
+pub fn secs(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Format a throughput with its speedup over a baseline, paper-style:
+/// `39.70 (1.82x)`.
+pub fn speedup(value: f64, baseline: f64) -> String {
+    format!("{value:.2} ({:.2}x)", value / baseline)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = TextTable::new(&["Scheme", "Tput"]);
+        t.row(vec!["PipeEdge".into(), "21.86".into()]);
+        t.row(vec!["LLM-PQ".into(), "39.70 (1.82x)".into()]);
+        let s = t.render();
+        assert!(s.contains("| Scheme   |"));
+        assert!(s.lines().count() == 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_ragged_rows() {
+        let mut t = TextTable::new(&["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn speedup_format() {
+        assert_eq!(speedup(30.0, 15.0), "30.00 (2.00x)");
+    }
+}

@@ -1,0 +1,107 @@
+//! Serving economics: the introduction's motivation quantified.
+//!
+//! "Utilizing a heterogeneous cluster with a mix of available high- and
+//! low-capacity GPUs can potentially substantially reduce the serving
+//! cost." This module prices clusters (public cloud on-demand-style
+//! $/hour per GPU) so plans can be compared by **dollars per million
+//! tokens**, the number an operator actually minimizes.
+
+use crate::cluster::Cluster;
+use crate::device::GpuModel;
+use serde::{Deserialize, Serialize};
+
+/// On-demand-style hourly price per GPU, USD (representative public
+/// cloud rates; relative order is what matters).
+pub fn hourly_rate(gpu: GpuModel) -> f64 {
+    match gpu {
+        GpuModel::P100_12G => 0.55,
+        GpuModel::T4_16G => 0.35,
+        GpuModel::V100_32G => 2.48,
+        GpuModel::A100_40G => 4.10,
+        GpuModel::A800_80G => 5.20,
+    }
+}
+
+/// Hourly cost of an entire cluster.
+pub fn cluster_hourly_cost(cluster: &Cluster) -> f64 {
+    cluster.devices.iter().map(|d| hourly_rate(d.gpu)).sum()
+}
+
+/// Cost summary of serving at a given sustained throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServingCost {
+    /// Cluster cost, $/hour.
+    pub dollars_per_hour: f64,
+    /// Sustained throughput, tokens/second.
+    pub tokens_per_second: f64,
+    /// Headline: dollars per million generated tokens.
+    pub dollars_per_mtok: f64,
+}
+
+/// Price a (cluster, throughput) pair.
+pub fn serving_cost(cluster: &Cluster, tokens_per_second: f64) -> ServingCost {
+    assert!(tokens_per_second > 0.0, "throughput must be positive");
+    let dollars_per_hour = cluster_hourly_cost(cluster);
+    let tokens_per_hour = tokens_per_second * 3600.0;
+    ServingCost {
+        dollars_per_hour,
+        tokens_per_second,
+        dollars_per_mtok: dollars_per_hour / tokens_per_hour * 1e6,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::paper_cluster;
+
+    #[test]
+    fn rates_order_by_capability() {
+        assert!(hourly_rate(GpuModel::T4_16G) < hourly_rate(GpuModel::V100_32G));
+        assert!(hourly_rate(GpuModel::V100_32G) < hourly_rate(GpuModel::A100_40G));
+    }
+
+    #[test]
+    fn cluster_cost_sums_devices() {
+        // Cluster 3 = 3×T4 + 1×V100.
+        let c = paper_cluster(3);
+        let expect = 3.0 * 0.35 + 2.48;
+        assert!((cluster_hourly_cost(&c) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cost_per_mtok_scales_inversely_with_throughput() {
+        let c = paper_cluster(3);
+        let slow = serving_cost(&c, 10.0);
+        let fast = serving_cost(&c, 100.0);
+        assert!((slow.dollars_per_mtok / fast.dollars_per_mtok - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scavenged_t4s_can_undercut_an_a100() {
+        // The Fig-1 pitch: 4 idle T4s at modest throughput can be cheaper
+        // per token than one A100 at high throughput.
+        let t4s = crate::cluster::Cluster::from_groups(
+            "4xT4",
+            &[(GpuModel::T4_16G, 4)],
+            crate::interconnect::Interconnect::Ethernet100G,
+            None,
+        );
+        let a100 = crate::cluster::Cluster::from_groups(
+            "1xA100",
+            &[(GpuModel::A100_40G, 1)],
+            crate::interconnect::Interconnect::Ethernet100G,
+            None,
+        );
+        // Equal throughput ⇒ the T4 pool (at $1.40/h vs $4.10/h) wins.
+        let t4_cost = serving_cost(&t4s, 50.0);
+        let a100_cost = serving_cost(&a100, 50.0);
+        assert!(t4_cost.dollars_per_mtok < a100_cost.dollars_per_mtok);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_throughput_rejected() {
+        serving_cost(&paper_cluster(1), 0.0);
+    }
+}

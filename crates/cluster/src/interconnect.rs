@@ -1,0 +1,81 @@
+//! Interconnect model.
+//!
+//! The paper's clusters keep GPUs of one type on one node (NVLink inside)
+//! and join nodes with 100 Gbps or 800 Gbps Ethernet (§6.1). Pipeline
+//! parallelism only ships the hidden-state boundary activation between
+//! adjacent stages, so a simple `latency + bytes/bandwidth` α-β model is
+//! the appropriate fidelity.
+
+use serde::{Deserialize, Serialize};
+
+/// A point-to-point link.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Link {
+    /// Sustained bandwidth, bytes/second.
+    pub bandwidth_bps: f64,
+    /// One-way latency, seconds.
+    pub latency_s: f64,
+}
+
+impl Link {
+    /// Time to move `bytes` across this link.
+    pub fn transfer_time(&self, bytes: f64) -> f64 {
+        self.latency_s + bytes / self.bandwidth_bps
+    }
+}
+
+/// The interconnect classes in the paper's testbed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Interconnect {
+    /// Intra-node NVLink (≈300 GB/s effective, sub-10 µs).
+    NvLink,
+    /// 800 Gbps Ethernet between nodes (clusters 3, 5, 8, 11).
+    Ethernet800G,
+    /// 100 Gbps Ethernet between nodes (clusters 4, 6, 7).
+    Ethernet100G,
+}
+
+impl Interconnect {
+    /// The α-β parameters of this class.
+    pub fn link(self) -> Link {
+        match self {
+            Interconnect::NvLink => Link { bandwidth_bps: 300e9, latency_s: 5e-6 },
+            Interconnect::Ethernet800G => Link { bandwidth_bps: 100e9, latency_s: 20e-6 },
+            Interconnect::Ethernet100G => Link { bandwidth_bps: 12.5e9, latency_s: 50e-6 },
+        }
+    }
+
+    /// Transfer time of `bytes` across one hop of this class.
+    pub fn transfer_time(self, bytes: f64) -> f64 {
+        self.link().transfer_time(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bandwidth_ordering() {
+        let mb = 1e6;
+        let nv = Interconnect::NvLink.transfer_time(mb);
+        let e8 = Interconnect::Ethernet800G.transfer_time(mb);
+        let e1 = Interconnect::Ethernet100G.transfer_time(mb);
+        assert!(nv < e8 && e8 < e1);
+    }
+
+    #[test]
+    fn latency_dominates_small_messages() {
+        let l = Interconnect::Ethernet100G.link();
+        let t_small = l.transfer_time(100.0);
+        assert!((t_small - l.latency_s) / l.latency_s < 0.01);
+    }
+
+    #[test]
+    fn bandwidth_dominates_large_messages() {
+        let l = Interconnect::NvLink.link();
+        let bytes = 1e9;
+        let t = l.transfer_time(bytes);
+        assert!((t - bytes / l.bandwidth_bps).abs() / t < 0.01);
+    }
+}

@@ -1,0 +1,133 @@
+//! Cluster specification files.
+//!
+//! Operators describe their hardware in a small JSON file instead of
+//! paper cluster numbers — the `--cluster_file` path of the CLI:
+//!
+//! ```json
+//! {
+//!   "name": "scavenged-pool",
+//!   "inter_node": "Ethernet100G",
+//!   "groups": [ { "gpu": "T4_16G", "count": 4 }, { "gpu": "V100_32G", "count": 2 } ]
+//! }
+//! ```
+
+use crate::cluster::Cluster;
+use crate::device::GpuModel;
+use crate::interconnect::Interconnect;
+use serde::{Deserialize, Serialize};
+
+/// One same-type device group (maps to one node, as in the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GroupSpec {
+    /// GPU model.
+    pub gpu: GpuModel,
+    /// Devices in the group.
+    pub count: usize,
+}
+
+/// The on-disk cluster description.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Cluster name.
+    pub name: String,
+    /// Inter-node interconnect class.
+    pub inter_node: Interconnect,
+    /// Device groups, one node each.
+    pub groups: Vec<GroupSpec>,
+    /// Optional model hint (like Table 3's model column).
+    #[serde(default)]
+    pub model: Option<String>,
+}
+
+impl ClusterSpec {
+    /// Build the runtime [`Cluster`].
+    pub fn to_cluster(&self) -> Result<Cluster, String> {
+        if self.groups.is_empty() {
+            return Err("cluster spec has no device groups".into());
+        }
+        if self.groups.iter().any(|g| g.count == 0) {
+            return Err("device group with count 0".into());
+        }
+        let groups: Vec<(GpuModel, usize)> = self.groups.iter().map(|g| (g.gpu, g.count)).collect();
+        Ok(Cluster::from_groups(&self.name, &groups, self.inter_node, self.model.as_deref()))
+    }
+
+    /// Describe an existing cluster (for round-trips / exporting the
+    /// paper clusters as files).
+    pub fn from_cluster(c: &Cluster) -> ClusterSpec {
+        ClusterSpec {
+            name: c.name.clone(),
+            inter_node: c.inter_node,
+            groups: c.model_counts().into_iter().map(|(gpu, count)| GroupSpec { gpu, count }).collect(),
+            model: c.paper_model.clone(),
+        }
+    }
+
+    /// Parse from JSON.
+    pub fn from_json(s: &str) -> Result<ClusterSpec, String> {
+        serde_json::from_str(s).map_err(|e| e.to_string())
+    }
+
+    /// Serialize to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("cluster specs serialize")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::paper_cluster;
+
+    #[test]
+    fn parse_handwritten_spec() {
+        let json = r#"{
+            "name": "scavenged",
+            "inter_node": "Ethernet100G",
+            "groups": [ { "gpu": "T4_16G", "count": 4 }, { "gpu": "V100_32G", "count": 2 } ]
+        }"#;
+        let spec = ClusterSpec::from_json(json).unwrap();
+        let cluster = spec.to_cluster().unwrap();
+        assert_eq!(cluster.len(), 6);
+        assert_eq!(cluster.devices[0].node, 0);
+        assert_eq!(cluster.devices[5].node, 1);
+        assert_eq!(cluster.inter_node, Interconnect::Ethernet100G);
+    }
+
+    #[test]
+    fn paper_clusters_round_trip() {
+        for n in 1..=11 {
+            let c = paper_cluster(n);
+            let spec = ClusterSpec::from_cluster(&c);
+            let back = ClusterSpec::from_json(&spec.to_json()).unwrap().to_cluster().unwrap();
+            assert_eq!(back.len(), c.len(), "cluster {n}");
+            assert_eq!(back.model_counts(), c.model_counts(), "cluster {n}");
+            assert_eq!(back.inter_node, c.inter_node, "cluster {n}");
+            assert_eq!(back.paper_model, c.paper_model, "cluster {n}");
+        }
+    }
+
+    #[test]
+    fn rejects_empty_and_zero_groups() {
+        let empty = ClusterSpec {
+            name: "x".into(),
+            inter_node: Interconnect::NvLink,
+            groups: vec![],
+            model: None,
+        };
+        assert!(empty.to_cluster().is_err());
+        let zero = ClusterSpec {
+            name: "x".into(),
+            inter_node: Interconnect::NvLink,
+            groups: vec![GroupSpec { gpu: GpuModel::T4_16G, count: 0 }],
+            model: None,
+        };
+        assert!(zero.to_cluster().is_err());
+    }
+
+    #[test]
+    fn rejects_garbage_json() {
+        assert!(ClusterSpec::from_json("not json").is_err());
+        assert!(ClusterSpec::from_json(r#"{"name":"x"}"#).is_err());
+    }
+}

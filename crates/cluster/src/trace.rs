@@ -1,0 +1,170 @@
+//! Synthetic production-cluster trace (Figure 1).
+//!
+//! Figure 1 motivates the paper: a real AI cloud holds *few* high-calibre
+//! GPUs (A100/V100) that run hot, and *many* low-calibre inference GPUs
+//! (T4 and friends) that sit largely idle. We can't ship ByteDance's
+//! trace, so this module generates a statistically similar one: a GPU
+//! inventory with the published *shape* (inference cards dominate the
+//! count) and a month of hourly utilization per type with high-calibre
+//! cards near saturation.
+
+use crate::device::GpuModel;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Trace generation parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Hours of utilization history (the paper plots one month).
+    pub hours: usize,
+    /// Total GPUs in the inventory.
+    pub fleet_size: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        Self { seed: 2024, hours: 30 * 24, fleet_size: 10_000 }
+    }
+}
+
+/// Per-type fleet share and mean utilization targets, mirroring Fig 1's
+/// qualitative shape: the A100 runs ~3× hotter than the inference cards.
+fn profile(gpu: GpuModel) -> (f64, f64) {
+    match gpu {
+        // (fleet share, mean utilization)
+        GpuModel::T4_16G => (0.46, 0.22),
+        GpuModel::P100_12G => (0.18, 0.15),
+        GpuModel::V100_32G => (0.20, 0.38),
+        GpuModel::A100_40G => (0.10, 0.78),
+        GpuModel::A800_80G => (0.06, 0.72),
+    }
+}
+
+/// A generated production trace.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProductionTrace {
+    /// GPU count per type.
+    pub inventory: Vec<(GpuModel, usize)>,
+    /// Hourly utilization in `[0,1]` per type, aligned with `inventory`.
+    pub utilization: Vec<Vec<f64>>,
+}
+
+impl ProductionTrace {
+    /// Generate a trace.
+    pub fn generate(cfg: &TraceConfig) -> Self {
+        assert!(cfg.hours > 0 && cfg.fleet_size > 0);
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let mut inventory = Vec::new();
+        let mut utilization = Vec::new();
+        let mut assigned = 0usize;
+        for (i, gpu) in GpuModel::ALL.iter().enumerate() {
+            let (share, mean_util) = profile(*gpu);
+            let count = if i + 1 == GpuModel::ALL.len() {
+                cfg.fleet_size - assigned
+            } else {
+                ((cfg.fleet_size as f64) * share).round() as usize
+            };
+            assigned += count;
+            inventory.push((*gpu, count));
+            // Diurnal + weekly pattern with noise, clamped to [0,1].
+            let series = (0..cfg.hours)
+                .map(|h| {
+                    let hour_of_day = (h % 24) as f64;
+                    let diurnal = 0.12 * ((hour_of_day - 14.0) / 24.0 * std::f64::consts::TAU).cos();
+                    let weekly = if (h / 24) % 7 >= 5 { -0.06 } else { 0.0 };
+                    let noise = rng.gen_range(-0.05..0.05);
+                    (mean_util + diurnal + weekly + noise).clamp(0.0, 1.0)
+                })
+                .collect();
+            utilization.push(series);
+        }
+        Self { inventory, utilization }
+    }
+
+    /// Fleet share per type, summing to 1.
+    pub fn portions(&self) -> Vec<(GpuModel, f64)> {
+        let total: usize = self.inventory.iter().map(|(_, c)| c).sum();
+        self.inventory
+            .iter()
+            .map(|&(g, c)| (g, c as f64 / total as f64))
+            .collect()
+    }
+
+    /// Mean utilization per type over the whole trace.
+    pub fn mean_utilization(&self) -> Vec<(GpuModel, f64)> {
+        self.inventory
+            .iter()
+            .zip(&self.utilization)
+            .map(|(&(g, _), series)| (g, series.iter().sum::<f64>() / series.len() as f64))
+            .collect()
+    }
+
+    /// Idle GPU-hours per type — the resource pool LLM-PQ wants to tap.
+    pub fn idle_gpu_hours(&self) -> Vec<(GpuModel, f64)> {
+        self.inventory
+            .iter()
+            .zip(&self.utilization)
+            .map(|(&(g, c), series)| {
+                let idle: f64 = series.iter().map(|u| 1.0 - u).sum();
+                (g, idle * c as f64)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn portions_sum_to_one() {
+        let t = ProductionTrace::generate(&TraceConfig::default());
+        let s: f64 = t.portions().iter().map(|(_, p)| p).sum();
+        assert!((s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn high_calibre_gpus_are_scarce_and_busy() {
+        let t = ProductionTrace::generate(&TraceConfig::default());
+        let portion = |g: GpuModel| t.portions().iter().find(|(x, _)| *x == g).unwrap().1;
+        let util = |g: GpuModel| t.mean_utilization().iter().find(|(x, _)| *x == g).unwrap().1;
+        // Fig 1 shape: T4s outnumber A100s; A100 utilization far higher.
+        assert!(portion(GpuModel::T4_16G) > 3.0 * portion(GpuModel::A100_40G));
+        assert!(util(GpuModel::A100_40G) > 2.0 * util(GpuModel::T4_16G));
+    }
+
+    #[test]
+    fn utilization_in_unit_interval() {
+        let t = ProductionTrace::generate(&TraceConfig { seed: 7, hours: 100, fleet_size: 500 });
+        for series in &t.utilization {
+            assert_eq!(series.len(), 100);
+            assert!(series.iter().all(|u| (0.0..=1.0).contains(u)));
+        }
+    }
+
+    #[test]
+    fn trace_is_reproducible() {
+        let a = ProductionTrace::generate(&TraceConfig::default());
+        let b = ProductionTrace::generate(&TraceConfig::default());
+        assert_eq!(a.utilization, b.utilization);
+    }
+
+    #[test]
+    fn inventory_matches_fleet_size() {
+        let cfg = TraceConfig { seed: 1, hours: 24, fleet_size: 777 };
+        let t = ProductionTrace::generate(&cfg);
+        let total: usize = t.inventory.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, 777);
+    }
+
+    #[test]
+    fn idle_hours_dominated_by_low_calibre() {
+        let t = ProductionTrace::generate(&TraceConfig::default());
+        let idle = t.idle_gpu_hours();
+        let get = |g: GpuModel| idle.iter().find(|(x, _)| *x == g).unwrap().1;
+        assert!(get(GpuModel::T4_16G) > get(GpuModel::A100_40G));
+    }
+}

@@ -1,0 +1,530 @@
+//! Algorithm 1: the LLM-PQ assigner.
+//!
+//! Enumerates device-topology orderings and hybrid (prefill, decode)
+//! micro-batch pairs in the pruned search space; for each combination it
+//! builds the partition/bitwidth problem from the cost models and the
+//! variance indicator and solves it with the configured inner solver
+//! (exact DP, per-layer ILP, or the Algorithm-2 heuristic). The best
+//! plan by `latency + θ·Σω` wins.
+
+use crate::config::{AssignerConfig, SolverChoice};
+use crate::evaluate::{evaluate_plan, representative_past, PlanReport};
+use crate::ilp::solve_ilp;
+use crate::plan::{ExecutionPlan, StagePlan};
+use crate::transfer::heuristic_solve;
+use llmpq_cluster::Cluster;
+use llmpq_cost::{CostDb, FRAMEWORK_BYTES};
+use llmpq_model::{flops, ModelSpec, Phase, PhaseWorkload};
+use llmpq_quant::{Bitwidth, IndicatorTable};
+use llmpq_sim::layer_workspace_bytes;
+use llmpq_solver::{solve_partition, MilpConfig, PartitionProblem, PartitionSolution};
+use llmpq_workload::{microbatch_counts, BatchJob, MicrobatchPlan};
+use serde::{Deserialize, Serialize};
+
+/// Result of an assignment run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AssignOutcome {
+    /// The winning plan.
+    pub plan: ExecutionPlan,
+    /// Its evaluation on the job.
+    pub report: PlanReport,
+    /// θ-weighted indicator total of the plan.
+    pub omega_total: f64,
+    /// Wall-clock seconds the assigner spent (Table 10's "Overhead").
+    pub overhead_s: f64,
+    /// Number of (ordering, micro-batch) combinations explored.
+    pub combinations: usize,
+}
+
+/// Allocator block granularity mirrored from the memory cost model.
+const BLOCK: f64 = 2.0 * 1024.0 * 1024.0;
+
+fn round_block(bytes: f64) -> f64 {
+    (bytes / BLOCK).ceil() * BLOCK
+}
+
+/// Enumerate distinct device orderings (by GPU-type sequence), capped.
+/// The paper's `GetDeviceOrder` enumerates orderings because the stage
+/// position interacts with both the embedding placement (stage 0 hosts
+/// the master) and the interconnect boundaries.
+pub fn device_orderings(cluster: &Cluster, cap: usize) -> Vec<Vec<usize>> {
+    let n = cluster.len();
+    let mut indices: Vec<usize> = (0..n).collect();
+    // Canonical start: sort by type so permutations dedupe.
+    indices.sort_by_key(|&i| cluster.devices[i].gpu);
+    let mut out: Vec<Vec<usize>> = Vec::new();
+    let mut seen: std::collections::HashSet<Vec<llmpq_cluster::GpuModel>> =
+        std::collections::HashSet::new();
+    permute(cluster, &mut indices, 0, &mut seen, &mut out, cap);
+    out
+}
+
+fn permute(
+    cluster: &Cluster,
+    idx: &mut Vec<usize>,
+    k: usize,
+    seen: &mut std::collections::HashSet<Vec<llmpq_cluster::GpuModel>>,
+    out: &mut Vec<Vec<usize>>,
+    cap: usize,
+) {
+    if out.len() >= cap {
+        return;
+    }
+    if k == idx.len() {
+        let types: Vec<_> = idx.iter().map(|&i| cluster.devices[i].gpu).collect();
+        if seen.insert(types) {
+            out.push(idx.clone());
+        }
+        return;
+    }
+    let mut used_types = Vec::new();
+    for i in k..idx.len() {
+        let t = cluster.devices[idx[i]].gpu;
+        if used_types.contains(&t) {
+            continue; // same type at this position ⇒ duplicate ordering
+        }
+        used_types.push(t);
+        idx.swap(k, i);
+        permute(cluster, idx, k + 1, seen, out, cap);
+        idx.swap(k, i);
+        if out.len() >= cap {
+            return;
+        }
+    }
+}
+
+/// Group layers into `ceil(L/group)` contiguous groups.
+fn group_sizes(n_layers: usize, group: usize) -> Vec<usize> {
+    assert!(group >= 1);
+    let mut sizes = Vec::new();
+    let mut left = n_layers;
+    while left > 0 {
+        let take = group.min(left);
+        sizes.push(take);
+        left -= take;
+    }
+    sizes
+}
+
+/// Build the partition problem for one (ordering, micro-batch) pair.
+/// Also returns the θ-scaled quality cost tensor used by the heuristic.
+///
+/// `bits_set` restricts the candidate precisions (baselines pass a
+/// single uniform bitwidth); `phase_aware = false` zeroes the decode
+/// terms, turning the solver into a PipeEdge-style single-phase
+/// partitioner; `indicator = None` disables the quality term.
+#[allow(clippy::too_many_arguments)]
+pub fn build_problem(
+    cluster: &Cluster,
+    ordering: &[usize],
+    spec: &ModelSpec,
+    job: &BatchJob,
+    db: &CostDb,
+    indicator: Option<&IndicatorTable>,
+    theta: f64,
+    mb: &MicrobatchPlan,
+    group: usize,
+    bits_set: &[Bitwidth],
+    phase_aware: bool,
+    dp_grid: Option<usize>,
+    kv_bits: f64,
+) -> (PartitionProblem, Vec<f64>, Vec<usize>) {
+    let sizes = group_sizes(spec.n_layers, group);
+    let l = sizes.len();
+    let n = ordering.len();
+    let nb = bits_set.len();
+    let pre_w = PhaseWorkload::prefill(mb.prefill_size, job.prompt_len);
+    let dec_w = PhaseWorkload::decode(mb.decode_size, job.prompt_len, representative_past(job));
+
+    let size = l * n * nb;
+    let mut pre = vec![0.0; size];
+    let mut dec = vec![0.0; size];
+    let mut mem = vec![0.0; size];
+    let mut lin = vec![0.0; size];
+    let mut quality = vec![0.0; size];
+
+    let kv_per_layer =
+        round_block(spec.kv_bytes_per_layer(job.global_batch, job.max_seq(), kv_bits));
+    let mut layer0 = 0usize;
+    for (g, &gsz) in sizes.iter().enumerate() {
+        for (j, &dev_idx) in ordering.iter().enumerate() {
+            let gpu = cluster.devices[dev_idx].gpu;
+            for (bi, &bits) in bits_set.iter().enumerate() {
+                let k = (g * n + j) * nb + bi;
+                let lp = db.layer_latency_kv(gpu, spec, &pre_w, bits, kv_bits);
+                let ld = db.layer_latency_kv(gpu, spec, &dec_w, bits, kv_bits);
+                pre[k] = gsz as f64 * lp;
+                dec[k] = if phase_aware { gsz as f64 * ld } else { 0.0 };
+                let scale_overhead = if bits.is_quantized() {
+                    (4.0 * spec.hidden as f64 + 2.0 * spec.ffn_hidden as f64) * 2.0
+                } else {
+                    0.0
+                };
+                mem[k] = gsz as f64
+                    * (round_block(spec.layer_weight_bytes(bits.bits_f64()) + scale_overhead)
+                        + kv_per_layer);
+                let omega: f64 = indicator.map_or(0.0, |ind| {
+                    (layer0..layer0 + gsz).map(|layer| ind.get(layer, bits)).sum()
+                });
+                quality[k] = theta * omega;
+                lin[k] = pre[k] + dec[k] + quality[k];
+            }
+        }
+        layer0 += gsz;
+    }
+
+    // Fixed per-device memory: framework + workspace arena (worst case
+    // over precisions and phases at this micro-batch sizing) +
+    // embeddings on the master's device (pipeline position 0).
+    let workspace = bits_set
+        .iter()
+        .map(|&b| {
+            let pw = layer_workspace_bytes(spec, Phase::Prefill, mb.prefill_size, job.prompt_len, b);
+            let dw = layer_workspace_bytes(spec, Phase::Decode, mb.decode_size, job.prompt_len, b);
+            pw.max(dw)
+        })
+        .fold(0.0f64, f64::max);
+    let mut fixed_mem = vec![FRAMEWORK_BYTES + round_block(workspace); n];
+    fixed_mem[0] += round_block(spec.embedding_bytes());
+
+    let capacity: Vec<f64> =
+        ordering.iter().map(|&i| cluster.devices[i].spec().mem_bytes()).collect();
+
+    let mut comm_pre = vec![0.0; n];
+    let mut comm_dec = vec![0.0; n];
+    for j in 0..n.saturating_sub(1) {
+        let link = cluster.link_between(ordering[j], ordering[j + 1]);
+        comm_pre[j] = link.transfer_time(flops::boundary_activation_bytes(spec, &pre_w));
+        comm_dec[j] = link.transfer_time(flops::boundary_activation_bytes(spec, &dec_w));
+    }
+
+    let problem = PartitionProblem {
+        n_groups: l,
+        n_devices: n,
+        n_bits: nb,
+        pre_time: pre,
+        dec_time: dec,
+        mem,
+        lin_cost: lin,
+        capacity,
+        fixed_mem,
+        comm_pre,
+        comm_dec,
+        alpha_pre: (mb.prefill_count.saturating_sub(1)) as f64,
+        alpha_dec: if phase_aware {
+            ((job.n_generate.saturating_sub(1)) * mb.decode_count).saturating_sub(1) as f64
+        } else {
+            0.0
+        },
+        allow_empty_stages: cluster.len() > 1,
+        grid: dp_grid,
+    };
+    (problem, quality, sizes)
+}
+
+/// Convert a solver solution into an [`ExecutionPlan`].
+#[allow(clippy::too_many_arguments)]
+pub fn solution_to_plan(
+    cluster: &Cluster,
+    ordering: &[usize],
+    spec: &ModelSpec,
+    sizes: &[usize],
+    sol: &PartitionSolution,
+    mb: &MicrobatchPlan,
+    scheme: &str,
+    bits_set: &[Bitwidth],
+    kv_bits: u32,
+) -> ExecutionPlan {
+    let mut stages: Vec<StagePlan> = Vec::new();
+    let mut layer = 0usize;
+    for (g, &(pos, bi)) in sol.assignment.iter().enumerate() {
+        let bits = bits_set[bi];
+        let device = ordering[pos];
+        let gsz = sizes[g];
+        match stages.last_mut() {
+            Some(s) if s.device == device => {
+                s.layer_end += gsz;
+                s.bits.extend(std::iter::repeat_n(bits, gsz));
+            }
+            _ => stages.push(StagePlan {
+                device,
+                layer_start: layer,
+                layer_end: layer + gsz,
+                bits: vec![bits; gsz],
+            }),
+        }
+        layer += gsz;
+    }
+    ExecutionPlan {
+        model: spec.name.clone(),
+        cluster: cluster.name.clone(),
+        stages,
+        microbatch: *mb,
+        scheme: scheme.into(),
+        kv_bits,
+    }
+}
+
+/// Run Algorithm 1 and return the best plan.
+pub fn assign(
+    cluster: &Cluster,
+    spec: &ModelSpec,
+    job: &BatchJob,
+    db: &CostDb,
+    indicator: &IndicatorTable,
+    cfg: &AssignerConfig,
+) -> Result<AssignOutcome, String> {
+    assert_eq!(
+        indicator.n_layers(),
+        spec.n_layers,
+        "indicator must cover every decoder layer"
+    );
+    let start = std::time::Instant::now();
+    let orderings = device_orderings(cluster, cfg.max_orderings);
+    let mut best: Option<(ExecutionPlan, PlanReport, f64, f64)> = None;
+    let mut combos = 0usize;
+
+    let kv_options: Vec<u32> = if cfg.search_kv8 { vec![16, 8] } else { vec![16] };
+    for ordering in &orderings {
+        let mb_plans = microbatch_counts(job, ordering.len(), cfg.xi);
+        for mb in &mb_plans {
+            for &kv in &kv_options {
+                combos += 1;
+                let (group, sol) = match cfg.solver {
+                    SolverChoice::Dp { group } => {
+                        let (problem, _q, sizes) = build_problem(
+                            cluster, ordering, spec, job, db, Some(indicator), cfg.theta, mb,
+                            group, &Bitwidth::ALL, true, cfg.dp_grid, kv as f64,
+                        );
+                        (sizes, solve_partition(&problem))
+                    }
+                    SolverChoice::Heuristic => {
+                        let (problem, q, sizes) = build_problem(
+                            cluster, ordering, spec, job, db, Some(indicator), cfg.theta, mb, 1,
+                            &Bitwidth::ALL, true, cfg.dp_grid, kv as f64,
+                        );
+                        (sizes, heuristic_solve(&problem, &q, 400))
+                    }
+                    SolverChoice::Ilp { group, time_limit_s } => {
+                        let (problem, _q, sizes) = build_problem(
+                            cluster, ordering, spec, job, db, Some(indicator), cfg.theta, mb,
+                            group, &Bitwidth::ALL, true, cfg.dp_grid, kv as f64,
+                        );
+                        let milp_cfg = MilpConfig { time_limit_s, ..Default::default() };
+                        (sizes, solve_ilp(&problem, &milp_cfg))
+                    }
+                };
+                let Some(sol) = sol else { continue };
+                let plan = solution_to_plan(
+                    cluster, ordering, spec, &group, &sol, mb, "LLM-PQ", &Bitwidth::ALL, kv,
+                );
+                let Ok(report) = evaluate_plan(&plan, cluster, spec, db, job) else {
+                    continue;
+                };
+                let omega = indicator.total(&plan.bit_assignment().bits);
+                let objective = report.total_latency + cfg.theta * omega;
+                if best.as_ref().is_none_or(|(_, _, _, o)| objective < *o) {
+                    best = Some((plan, report, omega, objective));
+                }
+            }
+        }
+    }
+
+    // Seed candidates the coarse DP grid / heuristic can miss but that
+    // the exact ILP's search space trivially contains: even partitions
+    // with uniform bits, over every micro-batch plan. This guarantees
+    // LLM-PQ never loses to the Uniform baseline, matching the paper's
+    // dominance (Uniform's plans are a subset of eq. 4–16's space).
+    for mb in microbatch_counts(job, cluster.len(), cfg.xi) {
+        for bits in Bitwidth::ALL {
+            let n = cluster.len();
+            let l = spec.n_layers;
+            let base = l / n;
+            let extra = l % n;
+            let mut stages = Vec::with_capacity(n);
+            let mut startl = 0usize;
+            for j in 0..n {
+                let take = base + usize::from(j < extra);
+                if take == 0 {
+                    continue;
+                }
+                stages.push(StagePlan {
+                    device: j,
+                    layer_start: startl,
+                    layer_end: startl + take,
+                    bits: vec![bits; take],
+                });
+                startl += take;
+            }
+            let plan = ExecutionPlan {
+                model: spec.name.clone(),
+                cluster: cluster.name.clone(),
+                stages,
+                microbatch: mb,
+                scheme: "LLM-PQ".into(),
+                kv_bits: 16,
+            };
+            let Ok(report) = evaluate_plan(&plan, cluster, spec, db, job) else {
+                continue;
+            };
+            let omega = indicator.total(&plan.bit_assignment().bits);
+            let objective = report.total_latency + cfg.theta * omega;
+            if best.as_ref().is_none_or(|(_, _, _, o)| objective < *o) {
+                best = Some((plan, report, omega, objective));
+            }
+        }
+    }
+
+    let (plan, report, omega, _) =
+        best.ok_or_else(|| "no feasible plan: model cannot fit this cluster".to_string())?;
+    Ok(AssignOutcome {
+        plan,
+        report,
+        omega_total: omega,
+        overhead_s: start.elapsed().as_secs_f64(),
+        combinations: combos,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llmpq_cluster::paper_cluster;
+    use llmpq_quant::IndicatorTable;
+    use llmpq_sim::KernelEnv;
+    use llmpq_model::zoo;
+
+    /// A synthetic indicator: sensitivity decays with depth, scaled per
+    /// bitwidth like the variance indicator would be.
+    fn synthetic_indicator(n_layers: usize) -> IndicatorTable {
+        let omega = (0..n_layers)
+            .map(|l| {
+                let base = 1.0 / (1.0 + l as f64 * 0.15);
+                // [int3, int4, int8, fp16]
+                [base, base * 0.22, base * 0.01, 0.0]
+            })
+            .collect();
+        IndicatorTable { omega }
+    }
+
+    fn quick_cfg() -> AssignerConfig {
+        AssignerConfig {
+            theta: 0.1,
+            solver: SolverChoice::Dp { group: 8 },
+            xi: 2,
+            max_orderings: 2,
+            dp_grid: Some(8),
+            search_kv8: false,
+        }
+    }
+
+    #[test]
+    fn orderings_dedupe_by_type() {
+        let c = paper_cluster(3); // T4 ×3 + V100 ×1
+        let ords = device_orderings(&c, 100);
+        // Distinct type sequences of {T,T,T,V} = 4.
+        assert_eq!(ords.len(), 4);
+        for o in &ords {
+            let mut sorted = o.clone();
+            sorted.sort();
+            assert_eq!(sorted, vec![0, 1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn ordering_cap_respected() {
+        let c = paper_cluster(7); // 4 V100 + 4 A100 → C(8,4)=70 orderings
+        let ords = device_orderings(&c, 10);
+        assert_eq!(ords.len(), 10);
+    }
+
+    #[test]
+    fn group_sizes_cover_layers() {
+        assert_eq!(group_sizes(10, 3), vec![3, 3, 3, 1]);
+        assert_eq!(group_sizes(8, 2), vec![2; 4]);
+        assert_eq!(group_sizes(5, 8), vec![5]);
+    }
+
+    #[test]
+    fn assign_produces_valid_feasible_plan() {
+        let cluster = paper_cluster(3);
+        let spec = zoo::opt_30b();
+        let db = CostDb::oracle(&KernelEnv::default());
+        let job = llmpq_workload::BatchJob::paper_default();
+        let indicator = synthetic_indicator(spec.n_layers);
+        let out = assign(&cluster, &spec, &job, &db, &indicator, &quick_cfg()).expect("plan");
+        out.plan.validate(spec.n_layers).unwrap();
+        assert!(out.report.throughput > 0.0);
+        assert!(out.combinations > 0);
+        // Must be quantized somewhere: FP16 everywhere cannot fit 30b in 80 GB.
+        assert!(out.report.mean_bits < 16.0);
+    }
+
+    #[test]
+    fn assign_beats_worst_ordering() {
+        // The chosen plan should be at least as good as any single
+        // arbitrary combination it enumerated.
+        let cluster = paper_cluster(4);
+        let spec = zoo::opt_30b();
+        let db = CostDb::oracle(&KernelEnv::default());
+        let job = llmpq_workload::BatchJob::paper_default();
+        let indicator = synthetic_indicator(spec.n_layers);
+        let mut cfg = quick_cfg();
+        cfg.max_orderings = 4;
+        let full = assign(&cluster, &spec, &job, &db, &indicator, &cfg).expect("plan");
+        cfg.max_orderings = 1;
+        let limited = assign(&cluster, &spec, &job, &db, &indicator, &cfg).expect("plan");
+        let obj_full = full.report.total_latency + cfg.theta * full.omega_total;
+        let obj_lim = limited.report.total_latency + cfg.theta * limited.omega_total;
+        assert!(obj_full <= obj_lim + 1e-9);
+    }
+
+    #[test]
+    fn heuristic_solver_also_produces_plans() {
+        let cluster = paper_cluster(3);
+        let spec = zoo::opt_30b();
+        let db = CostDb::oracle(&KernelEnv::default());
+        let job = llmpq_workload::BatchJob::paper_default();
+        let indicator = synthetic_indicator(spec.n_layers);
+        let cfg = AssignerConfig {
+            solver: SolverChoice::Heuristic,
+            ..quick_cfg()
+        };
+        let out = assign(&cluster, &spec, &job, &db, &indicator, &cfg).expect("plan");
+        out.plan.validate(spec.n_layers).unwrap();
+    }
+
+    #[test]
+    fn infeasible_cluster_reports_error() {
+        // OPT-175b on a single T4 cannot fit even at 3 bits.
+        let cluster = llmpq_cluster::Cluster::from_groups(
+            "tiny",
+            &[(llmpq_cluster::GpuModel::T4_16G, 1)],
+            llmpq_cluster::Interconnect::Ethernet100G,
+            None,
+        );
+        let spec = zoo::opt_175b();
+        let db = CostDb::oracle(&KernelEnv::default());
+        let job = llmpq_workload::BatchJob::paper_default();
+        let indicator = synthetic_indicator(spec.n_layers);
+        assert!(assign(&cluster, &spec, &job, &db, &indicator, &quick_cfg()).is_err());
+    }
+
+    #[test]
+    fn theta_zero_prefers_throughput() {
+        let cluster = paper_cluster(3);
+        let spec = zoo::opt_30b();
+        let db = CostDb::oracle(&KernelEnv::default());
+        let job = llmpq_workload::BatchJob::paper_default();
+        let indicator = synthetic_indicator(spec.n_layers);
+        let mut cfg = quick_cfg();
+        cfg.theta = 0.0;
+        let fast = assign(&cluster, &spec, &job, &db, &indicator, &cfg).expect("plan");
+        cfg.theta = 10.0;
+        let careful = assign(&cluster, &spec, &job, &db, &indicator, &cfg).expect("plan");
+        // θ=0 must be at least as fast; θ large must be at least as
+        // high-quality (lower ω).
+        assert!(fast.report.total_latency <= careful.report.total_latency + 1e-9);
+        assert!(careful.omega_total <= fast.omega_total + 1e-9);
+    }
+}

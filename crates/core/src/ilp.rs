@@ -1,0 +1,293 @@
+//! The paper's ILP (eq. 4–16) as a branch-and-bound MILP.
+//!
+//! Variables: binaries `z[g][j][b]` (group `g` on device `j` at bits
+//! `b`), binaries `used[j]`, and continuous stage-time bounds
+//! `T_max_pre`, `T_max_dec`. Objective:
+//!
+//! ```text
+//! α_pre·T_pre_max + α_dec·T_dec_max + Σ z·lin_cost
+//! ```
+//!
+//! subject to one-hot assignment per group (eq. 9–11), per-device memory
+//! (eq. 12–13), max-time linearization (eq. 5–8), and pipeline
+//! contiguity — expressed compactly as "the device index is
+//! non-decreasing over groups", which is equivalent to the paper's
+//! pairwise precedence constraints (eq. 15–16).
+//!
+//! Unlike the DP in `llmpq-solver` (uniform bits within a stage), the
+//! ILP mixes precisions *within* a stage, exactly like the paper's
+//! formulation — at branch-and-bound cost. Used for small instances and
+//! grouped ones (Optimization #2), under a wall-clock limit like the
+//! paper's GUROBI runs.
+
+use llmpq_solver::{
+    solve_milp, Constraint, LinProg, MilpConfig, MilpResult, MilpSpec, PartitionProblem,
+    PartitionSolution,
+};
+
+/// Build the MILP for a partition instance.
+pub fn build_milp(p: &PartitionProblem) -> MilpSpec {
+    let (l, n, nb) = (p.n_groups, p.n_devices, p.n_bits);
+    let zi = |g: usize, j: usize, b: usize| (g * n + j) * nb + b;
+    let used_i = |j: usize| l * n * nb + j;
+    let tp_i = l * n * nb + n;
+    let td_i = tp_i + 1;
+    let n_vars = td_i + 1;
+
+    let mut objective = vec![0.0f64; n_vars];
+    for g in 0..l {
+        for j in 0..n {
+            for b in 0..nb {
+                objective[zi(g, j, b)] = p.lin_cost[zi(g, j, b)];
+            }
+        }
+    }
+    objective[tp_i] = p.alpha_pre;
+    objective[td_i] = p.alpha_dec;
+
+    let mut lp = LinProg::minimize(objective);
+    for g in 0..l {
+        for j in 0..n {
+            for b in 0..nb {
+                lp = lp.bound(zi(g, j, b), 1.0);
+            }
+        }
+    }
+    for j in 0..n {
+        lp = lp.bound(used_i(j), 1.0);
+    }
+
+    // (9) one-hot per group.
+    for g in 0..l {
+        let coeffs = (0..n)
+            .flat_map(|j| (0..nb).map(move |b| (zi(g, j, b), 1.0)))
+            .collect();
+        lp = lp.with(Constraint::eq(coeffs, 1.0));
+    }
+
+    // used_j activation: Σ z ≤ L·used_j.
+    for j in 0..n {
+        let mut coeffs: Vec<(usize, f64)> = (0..l)
+            .flat_map(|g| (0..nb).map(move |b| (zi(g, j, b), 1.0)))
+            .collect();
+        coeffs.push((used_i(j), -(l as f64)));
+        lp = lp.with(Constraint::le(coeffs, 0.0));
+    }
+
+    // (5–8) stage times bound T_max per phase.
+    for j in 0..n {
+        let mut pre: Vec<(usize, f64)> = Vec::new();
+        let mut dec: Vec<(usize, f64)> = Vec::new();
+        for g in 0..l {
+            for b in 0..nb {
+                pre.push((zi(g, j, b), p.pre_time[zi(g, j, b)]));
+                dec.push((zi(g, j, b), p.dec_time[zi(g, j, b)]));
+            }
+        }
+        pre.push((used_i(j), p.comm_pre[j]));
+        pre.push((tp_i, -1.0));
+        lp = lp.with(Constraint::le(pre, 0.0));
+        dec.push((used_i(j), p.comm_dec[j]));
+        dec.push((td_i, -1.0));
+        lp = lp.with(Constraint::le(dec, 0.0));
+    }
+
+    // (12–13) memory — rescaled so coefficients sit near 1.0 (byte
+    // counts at 1e10 would wreck the simplex's absolute tolerances).
+    let mem_scale = p
+        .capacity
+        .iter()
+        .cloned()
+        .fold(0.0f64, f64::max)
+        .max(1.0)
+        .recip();
+    for j in 0..n {
+        let mut coeffs: Vec<(usize, f64)> = Vec::new();
+        for g in 0..l {
+            for b in 0..nb {
+                coeffs.push((zi(g, j, b), p.mem[zi(g, j, b)] * mem_scale));
+            }
+        }
+        coeffs.push((used_i(j), p.fixed_mem[j] * mem_scale));
+        lp = lp.with(Constraint::le(coeffs, p.capacity[j] * mem_scale));
+    }
+
+    // (15–16) contiguity: device index non-decreasing over groups.
+    for g in 1..l {
+        let mut coeffs: Vec<(usize, f64)> = Vec::new();
+        for j in 0..n {
+            for b in 0..nb {
+                coeffs.push((zi(g, j, b), j as f64));
+                coeffs.push((zi(g - 1, j, b), -(j as f64)));
+            }
+        }
+        lp = lp.with(Constraint::ge(coeffs, 0.0));
+    }
+
+    let integers = (0..l * n * nb).chain((0..n).map(used_i)).collect();
+    MilpSpec { lp, integers }
+}
+
+/// Solve the instance with the ILP path; returns the assignment in the
+/// same format as the DP solver, or `None` when infeasible/unknown.
+pub fn solve_ilp(p: &PartitionProblem, cfg: &MilpConfig) -> Option<PartitionSolution> {
+    let spec = build_milp(p);
+    let res = solve_milp(&spec, cfg);
+    let sol = match &res {
+        MilpResult::Optimal(s) => s,
+        MilpResult::Feasible { best, .. } => best,
+        _ => return None,
+    };
+    let (l, n, nb) = (p.n_groups, p.n_devices, p.n_bits);
+    let zi = |g: usize, j: usize, b: usize| (g * n + j) * nb + b;
+    let mut assignment = Vec::with_capacity(l);
+    for g in 0..l {
+        let mut found = None;
+        for j in 0..n {
+            for b in 0..nb {
+                if sol.x[zi(g, j, b)] > 0.5 {
+                    found = Some((j, b));
+                }
+            }
+        }
+        assignment.push(found?);
+    }
+    // Recompute realized stage times and the exact objective.
+    let mut stage_pre = vec![0.0f64; n];
+    let mut stage_dec = vec![0.0f64; n];
+    let mut lin = 0.0;
+    for (g, &(j, b)) in assignment.iter().enumerate() {
+        stage_pre[j] += p.pre_time[zi(g, j, b)];
+        stage_dec[j] += p.dec_time[zi(g, j, b)];
+        lin += p.lin_cost[zi(g, j, b)];
+    }
+    for j in 0..n {
+        if stage_pre[j] > 0.0 || stage_dec[j] > 0.0 {
+            stage_pre[j] += p.comm_pre[j];
+            stage_dec[j] += p.comm_dec[j];
+        }
+    }
+    let t_max_pre = stage_pre.iter().cloned().fold(0.0, f64::max);
+    let t_max_dec = stage_dec.iter().cloned().fold(0.0, f64::max);
+    Some(PartitionSolution {
+        assignment,
+        objective: p.alpha_pre * t_max_pre + p.alpha_dec * t_max_dec + lin,
+        t_max_pre,
+        t_max_dec,
+        stage_pre,
+        stage_dec,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llmpq_solver::solve_partition;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_problem(seed: u64, l: usize, n: usize, b: usize) -> PartitionProblem {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let size = l * n * b;
+        let gen = |rng: &mut SmallRng, lo: f64, hi: f64| -> Vec<f64> {
+            (0..size).map(|_| rng.gen_range(lo..hi)).collect()
+        };
+        PartitionProblem {
+            n_groups: l,
+            n_devices: n,
+            n_bits: b,
+            pre_time: gen(&mut rng, 0.2, 1.0),
+            dec_time: gen(&mut rng, 0.02, 0.1),
+            mem: gen(&mut rng, 1.0, 4.0),
+            lin_cost: gen(&mut rng, 0.0, 1.0),
+            capacity: vec![12.0; n],
+            fixed_mem: vec![0.5; n],
+            comm_pre: vec![0.05; n],
+            comm_dec: vec![0.005; n],
+            alpha_pre: 5.0,
+            alpha_dec: 80.0,
+            allow_empty_stages: true,
+            grid: None,
+        }
+    }
+
+    #[test]
+    fn ilp_never_worse_than_stage_uniform_dp() {
+        // The ILP explores per-layer bit mixing within a stage, a
+        // superset of the DP's class — its optimum must be ≤.
+        for seed in 0..4 {
+            let p = random_problem(seed, 4, 2, 2);
+            let ilp = solve_ilp(&p, &MilpConfig::default()).expect("feasible");
+            let dp = solve_partition(&p).expect("feasible");
+            assert!(
+                ilp.objective <= dp.objective + 1e-6,
+                "seed {seed}: ilp {} > dp {}",
+                ilp.objective,
+                dp.objective
+            );
+        }
+    }
+
+    #[test]
+    fn ilp_matches_dp_with_single_bit_choice() {
+        // With B=1 both solvers optimize the identical space.
+        for seed in 10..14 {
+            let p = random_problem(seed, 5, 2, 1);
+            let ilp = solve_ilp(&p, &MilpConfig::default()).expect("feasible");
+            let dp = solve_partition(&p).expect("feasible");
+            assert!(
+                (ilp.objective - dp.objective).abs() < 1e-6,
+                "seed {seed}: ilp {} vs dp {}",
+                ilp.objective,
+                dp.objective
+            );
+        }
+    }
+
+    #[test]
+    fn ilp_assignment_is_contiguous() {
+        let p = random_problem(42, 6, 3, 2);
+        let sol = solve_ilp(&p, &MilpConfig::default()).unwrap();
+        for w in sol.assignment.windows(2) {
+            assert!(w[1].0 >= w[0].0);
+        }
+    }
+
+    #[test]
+    fn ilp_respects_memory() {
+        let mut p = random_problem(7, 5, 2, 2);
+        p.capacity = vec![7.0, 9.0];
+        if let Some(sol) = solve_ilp(&p, &MilpConfig::default()) {
+            let n = p.n_devices;
+            let nb = p.n_bits;
+            for j in 0..n {
+                let used: f64 = sol
+                    .assignment
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, (d, _))| *d == j)
+                    .map(|(g, (d, b))| p.mem[(g * n + d) * nb + b])
+                    .sum();
+                let fixed = if used > 0.0 { p.fixed_mem[j] } else { 0.0 };
+                assert!(used + fixed <= p.capacity[j] + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn ilp_infeasible_when_capacity_zero() {
+        let mut p = random_problem(3, 3, 2, 1);
+        p.capacity = vec![0.1; 2];
+        assert!(solve_ilp(&p, &MilpConfig::default()).is_none());
+    }
+
+    #[test]
+    fn time_limit_returns_incumbent_or_none() {
+        let p = random_problem(9, 6, 3, 2);
+        let res = solve_ilp(&p, &MilpConfig { time_limit_s: 0.05, ..Default::default() });
+        // Either it found something in time or it degrades gracefully.
+        if let Some(sol) = res {
+            assert_eq!(sol.assignment.len(), 6);
+        }
+    }
+}

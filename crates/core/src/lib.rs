@@ -1,0 +1,46 @@
+//! # llm-pq
+//!
+//! The paper's primary contribution: the **LLM-PQ assigner**, which
+//! jointly decides
+//!
+//! 1. how to partition a decoder-only LLM's layers into pipeline stages
+//!    across a *heterogeneous* ordered device chain (phase-aware: both
+//!    prefill and decode times drive the balance),
+//! 2. which quantization precision each layer runs at (adaptive
+//!    mixed-precision guided by the variance indicator), and
+//! 3. hybrid micro-batch sizes for the two generative phases,
+//!
+//! minimizing end-to-end batch latency plus `θ ×` the quality-
+//! degradation indicator, under per-device memory constraints
+//! (paper eq. 4–16, Algorithms 1 and 2).
+//!
+//! Modules:
+//!
+//! * [`plan`] — execution plans (the `llmpq-dist` strategy-file format).
+//! * [`config`] — assigner configuration incl. the paper's Table 9 setups.
+//! * [`evaluate`] — plan evaluation: stage loads, memory checks, pipeline
+//!   simulation, throughput.
+//! * [`ilp`] — the paper's exact ILP (eq. 4–16) built for the
+//!   branch-and-bound MILP solver; used for small/grouped instances.
+//! * [`assigner`] — Algorithm 1: device-order × micro-batch enumeration
+//!   around the DP/ILP inner solver.
+//! * [`transfer`] — Algorithm 2: the adabits seed + bitwidth-transfer
+//!   heuristic.
+//! * [`baselines`] — PipeEdge, Uniform, FlexGen(-int8) and pure-adaptive
+//!   (adabits) planners for the paper's comparison rows.
+
+pub mod assigner;
+pub mod baselines;
+pub mod config;
+pub mod evaluate;
+pub mod ilp;
+pub mod plan;
+pub mod tp;
+pub mod transfer;
+
+pub use assigner::{assign, AssignOutcome};
+pub use baselines::{adabits_plan, baseline_report, flexgen_report, pipeedge_plan, uniform_plan, BaselineKind};
+pub use config::{AssignerConfig, SolverChoice};
+pub use evaluate::{evaluate_plan, PlanReport};
+pub use plan::{ExecutionPlan, StagePlan};
+pub use tp::{candidate_tp_widths, plan_with_tp, tp_sweep, TpOutcome};

@@ -1,0 +1,135 @@
+//! Cost-model fidelity evaluation (Figure 7).
+//!
+//! The paper validates both cost models against real systems: memory on
+//! BLOOM-560m/1b7 and OPT-13b/30b/66b with random shapes and precisions,
+//! latency on 50 unseen workloads per device. This module reproduces the
+//! protocol with the simulator as the "real system".
+
+use crate::latency::CostDb;
+use crate::memory::stage_memory_bytes;
+use llmpq_cluster::GpuModel;
+use llmpq_model::{ModelSpec, PhaseWorkload};
+use llmpq_quant::Bitwidth;
+use llmpq_sim::{layer_latency, measured_peak_memory, KernelEnv};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Error statistics of a fidelity run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FidelityReport {
+    /// Number of evaluated cases.
+    pub n: usize,
+    /// Mean absolute relative error.
+    pub mean_rel_err: f64,
+    /// Maximum absolute relative error.
+    pub max_rel_err: f64,
+}
+
+impl FidelityReport {
+    fn from_errors(errs: &[f64]) -> Self {
+        assert!(!errs.is_empty());
+        Self {
+            n: errs.len(),
+            mean_rel_err: errs.iter().sum::<f64>() / errs.len() as f64,
+            max_rel_err: errs.iter().cloned().fold(0.0, f64::max),
+        }
+    }
+}
+
+/// Memory fidelity: random workloads per the paper's protocol — prompt
+/// length uniform in [128, 512], batch in {2,4,8}, generation in
+/// [100, 200], random per-layer precision.
+pub fn memory_fidelity(spec: &ModelSpec, cases: usize, seed: u64) -> FidelityReport {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut errs = Vec::with_capacity(cases);
+    for _ in 0..cases {
+        let s = rng.gen_range(128..=512);
+        let batch = *[2usize, 4, 8].get(rng.gen_range(0..3)).unwrap();
+        let n = rng.gen_range(100..=200);
+        let n_layers = rng.gen_range(2..=spec.n_layers.min(12));
+        let bits: Vec<Bitwidth> = (0..n_layers)
+            .map(|_| Bitwidth::ALL[rng.gen_range(0..4)])
+            .collect();
+        let with_embed = rng.gen_bool(0.3);
+        let pred = stage_memory_bytes(spec, &bits, batch, batch, s, n, 16.0, with_embed);
+        let meas = measured_peak_memory(spec, &bits, batch, batch, s, n, 16.0, with_embed);
+        errs.push((pred - meas).abs() / meas);
+    }
+    FidelityReport::from_errors(&errs)
+}
+
+/// Latency fidelity: `cases` unseen workloads per device with batch in
+/// {3,5,7} and past length in {384, 768} — shapes absent from the
+/// profiling grid, matching §6.2.
+pub fn latency_fidelity(
+    db: &CostDb,
+    env: &KernelEnv,
+    spec: &ModelSpec,
+    devices: &[GpuModel],
+    cases: usize,
+    seed: u64,
+) -> FidelityReport {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut errs = Vec::new();
+    for _ in 0..cases {
+        let gpu = devices[rng.gen_range(0..devices.len())];
+        let bits = Bitwidth::ALL[rng.gen_range(0..4)];
+        let batch = *[3usize, 5, 7].get(rng.gen_range(0..3)).unwrap();
+        let s = rng.gen_range(128..=512);
+        let w = if rng.gen_bool(0.5) {
+            PhaseWorkload::prefill(batch, s)
+        } else {
+            let past = *[384usize, 768].get(rng.gen_range(0..2)).unwrap();
+            PhaseWorkload::decode(batch, s, past)
+        };
+        let pred = db.layer_latency(gpu, spec, &w, bits);
+        let truth = layer_latency(&gpu.spec(), env, spec, &w, bits, 16.0);
+        errs.push((pred - truth).abs() / truth);
+    }
+    FidelityReport::from_errors(&errs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiler::ProfilerConfig;
+    use llmpq_model::zoo;
+
+    #[test]
+    fn memory_error_negligible_across_models() {
+        for spec in [zoo::bloom_560m(), zoo::opt_13b()] {
+            let r = memory_fidelity(&spec, 40, 11);
+            assert!(
+                r.mean_rel_err < 0.01,
+                "{}: mean memory err {:.3}%",
+                spec.name,
+                r.mean_rel_err * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn latency_error_below_six_percent() {
+        let spec = zoo::opt_30b();
+        let env = KernelEnv::default();
+        let devices = [GpuModel::T4_16G, GpuModel::V100_32G, GpuModel::A100_40G];
+        let specs: Vec<_> = devices.iter().map(|g| g.spec()).collect();
+        let db = CostDb::fit(&specs, &env, &spec, &ProfilerConfig::default());
+        let r = latency_fidelity(&db, &env, &spec, &devices, 50, 3);
+        assert!(
+            r.mean_rel_err < 0.06,
+            "mean latency err {:.2}%",
+            r.mean_rel_err * 100.0
+        );
+        assert_eq!(r.n, 50);
+    }
+
+    #[test]
+    fn report_statistics_consistent() {
+        let r = FidelityReport::from_errors(&[0.01, 0.03, 0.02]);
+        assert_eq!(r.n, 3);
+        assert!((r.mean_rel_err - 0.02).abs() < 1e-12);
+        assert_eq!(r.max_rel_err, 0.03);
+    }
+}

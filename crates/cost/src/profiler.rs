@@ -1,0 +1,166 @@
+//! The profiler: sampled single-layer latencies per (device, bitwidth,
+//! phase, shape).
+//!
+//! The paper profiles "the execution time of each phase on one decoder
+//! layer under different precisions with common prompt lengths and batch
+//! sizes" and interpolates between the samples. Here the ground truth is
+//! the roofline simulator; multiplicative noise models measurement
+//! jitter, making the regression fit a genuine estimation problem.
+
+use llmpq_cluster::DeviceSpec;
+use llmpq_model::{ModelSpec, Phase, PhaseWorkload};
+use llmpq_quant::Bitwidth;
+use llmpq_sim::{layer_latency, KernelEnv};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One profiled observation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProfileSample {
+    /// Phase profiled.
+    pub phase: Phase,
+    /// Precision of the layer's linear weights.
+    pub bits: Bitwidth,
+    /// Micro-batch size.
+    pub batch: usize,
+    /// Prompt length.
+    pub prompt_len: usize,
+    /// Context length at the decode step (0 for prefill samples).
+    pub past_len: usize,
+    /// Observed latency of one decoder layer, seconds.
+    pub latency: f64,
+}
+
+impl ProfileSample {
+    /// The workload this sample observed.
+    pub fn workload(&self) -> PhaseWorkload {
+        match self.phase {
+            Phase::Prefill => PhaseWorkload::prefill(self.batch, self.prompt_len),
+            Phase::Decode => PhaseWorkload::decode(self.batch, self.prompt_len, self.past_len),
+        }
+    }
+}
+
+/// Profiling grid and noise configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProfilerConfig {
+    /// Batch sizes to sample (paper uses common sizes like 1..32).
+    pub batches: Vec<usize>,
+    /// Prompt lengths to sample.
+    pub prompt_lens: Vec<usize>,
+    /// Decode context lengths to sample.
+    pub past_lens: Vec<usize>,
+    /// Multiplicative measurement noise, e.g. 0.03 for ±3%.
+    pub noise: f64,
+    /// RNG seed for the noise.
+    pub seed: u64,
+}
+
+impl Default for ProfilerConfig {
+    fn default() -> Self {
+        Self {
+            batches: vec![1, 2, 4, 8, 16, 32],
+            prompt_lens: vec![128, 256, 512, 1024],
+            past_lens: vec![128, 256, 512, 640, 1024],
+            noise: 0.03,
+            seed: 77,
+        }
+    }
+}
+
+/// Profile one device over the grid for every candidate bitwidth and
+/// both phases. Returns one sample per grid point.
+pub fn profile_device(
+    dev: &DeviceSpec,
+    env: &KernelEnv,
+    spec: &ModelSpec,
+    cfg: &ProfilerConfig,
+) -> Vec<ProfileSample> {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ dev.fp16_tflops.to_bits());
+    let mut out = Vec::new();
+    for &bits in &Bitwidth::ALL {
+        for &batch in &cfg.batches {
+            for &s in &cfg.prompt_lens {
+                let w = PhaseWorkload::prefill(batch, s);
+                let t = layer_latency(dev, env, spec, &w, bits, 16.0);
+                let noise = 1.0 + rng.gen_range(-cfg.noise..=cfg.noise);
+                out.push(ProfileSample {
+                    phase: Phase::Prefill,
+                    bits,
+                    batch,
+                    prompt_len: s,
+                    past_len: 0,
+                    latency: t * noise,
+                });
+                for &p in &cfg.past_lens {
+                    let w = PhaseWorkload::decode(batch, s, p);
+                    let t = layer_latency(dev, env, spec, &w, bits, 16.0);
+                    let noise = 1.0 + rng.gen_range(-cfg.noise..=cfg.noise);
+                    out.push(ProfileSample {
+                        phase: Phase::Decode,
+                        bits,
+                        batch,
+                        prompt_len: s,
+                        past_len: p,
+                        latency: t * noise,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llmpq_cluster::GpuModel;
+    use llmpq_model::zoo;
+
+    #[test]
+    fn grid_size_is_full_cross_product() {
+        let cfg = ProfilerConfig {
+            batches: vec![1, 8],
+            prompt_lens: vec![128, 512],
+            past_lens: vec![128, 512],
+            noise: 0.0,
+            seed: 1,
+        };
+        let samples = profile_device(
+            &GpuModel::T4_16G.spec(),
+            &KernelEnv::default(),
+            &zoo::opt_13b(),
+            &cfg,
+        );
+        // 4 bits × 2 batches × 2 prompts × (1 prefill + 2 decode)
+        assert_eq!(samples.len(), 4 * 2 * 2 * 3);
+    }
+
+    #[test]
+    fn noise_is_bounded_and_reproducible() {
+        let cfg = ProfilerConfig::default();
+        let dev = GpuModel::V100_32G.spec();
+        let env = KernelEnv::default();
+        let spec = zoo::opt_13b();
+        let a = profile_device(&dev, &env, &spec, &cfg);
+        let b = profile_device(&dev, &env, &spec, &cfg);
+        assert_eq!(a, b);
+        for s in &a {
+            let truth = layer_latency(&dev, &env, &spec, &s.workload(), s.bits, 16.0);
+            let rel = (s.latency - truth).abs() / truth;
+            assert!(rel <= cfg.noise + 1e-9, "noise {rel} > {}", cfg.noise);
+        }
+    }
+
+    #[test]
+    fn samples_are_positive() {
+        let samples = profile_device(
+            &GpuModel::P100_12G.spec(),
+            &KernelEnv::default(),
+            &zoo::opt_30b(),
+            &ProfilerConfig::default(),
+        );
+        assert!(samples.iter().all(|s| s.latency > 0.0));
+    }
+}

@@ -1,0 +1,101 @@
+//! Profile persistence: save/load profiler samples as JSON artifacts.
+//!
+//! The paper's workflow separates profiling (slow, on-GPU, done once per
+//! device) from planning (fast, repeated per job): `llmpq-algo` consumes
+//! profile files via `--use_profiler_prediction` or fits on them via
+//! `--fit`. This module provides that artifact format.
+
+use crate::profiler::ProfileSample;
+use llmpq_cluster::GpuModel;
+use serde::{Deserialize, Serialize};
+
+/// A saved profiling artifact for one device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProfileFile {
+    /// The device profiled.
+    pub gpu: GpuModel,
+    /// The model whose decoder layer was profiled.
+    pub model: String,
+    /// The samples.
+    pub samples: Vec<ProfileSample>,
+}
+
+impl ProfileFile {
+    /// Serialize to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("profile files serialize")
+    }
+
+    /// Parse a JSON artifact.
+    pub fn from_json(s: &str) -> Result<ProfileFile, String> {
+        serde_json::from_str(s).map_err(|e| e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::CostDb;
+    use crate::profiler::{profile_device, ProfilerConfig};
+    use llmpq_model::{zoo, PhaseWorkload};
+    use llmpq_quant::Bitwidth;
+    use llmpq_sim::KernelEnv;
+
+    #[test]
+    fn profile_round_trips_through_json() {
+        let spec = zoo::opt_13b();
+        let samples = profile_device(
+            &GpuModel::T4_16G.spec(),
+            &KernelEnv::default(),
+            &spec,
+            &ProfilerConfig {
+                batches: vec![1, 8],
+                prompt_lens: vec![128, 512],
+                past_lens: vec![128],
+                noise: 0.0,
+                seed: 1,
+            },
+        );
+        let file = ProfileFile { gpu: GpuModel::T4_16G, model: spec.name.clone(), samples };
+        let parsed = ProfileFile::from_json(&file.to_json()).unwrap();
+        assert_eq!(parsed.gpu, file.gpu);
+        assert_eq!(parsed.model, file.model);
+        assert_eq!(parsed.samples.len(), file.samples.len());
+        for (a, b) in parsed.samples.iter().zip(&file.samples) {
+            assert_eq!((a.phase, a.bits, a.batch, a.prompt_len, a.past_len),
+                       (b.phase, b.bits, b.batch, b.prompt_len, b.past_len));
+            // JSON float text can differ by one ulp; semantic equality.
+            assert!((a.latency - b.latency).abs() <= f64::EPSILON * b.latency.abs() * 4.0);
+        }
+    }
+
+    #[test]
+    fn imported_profiles_fit_a_usable_cost_db() {
+        let spec = zoo::opt_13b();
+        let env = KernelEnv::default();
+        let samples = profile_device(
+            &GpuModel::V100_32G.spec(),
+            &env,
+            &spec,
+            &ProfilerConfig::default(),
+        );
+        let file = ProfileFile { gpu: GpuModel::V100_32G, model: spec.name.clone(), samples };
+        let json = file.to_json();
+        let parsed = ProfileFile::from_json(&json).unwrap();
+        // Import into an (otherwise empty) fitted database.
+        let mut db = CostDb::fit(&[], &env, &spec, &ProfilerConfig::default());
+        db.fit_from_samples(parsed.gpu, &spec, &parsed.samples);
+        let t = db.layer_latency(
+            GpuModel::V100_32G,
+            &spec,
+            &PhaseWorkload::prefill(4, 256),
+            Bitwidth::Int8,
+        );
+        assert!(t > 0.0 && t.is_finite());
+    }
+
+    #[test]
+    fn rejects_malformed_json() {
+        assert!(ProfileFile::from_json("{").is_err());
+    }
+}

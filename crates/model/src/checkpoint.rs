@@ -1,0 +1,74 @@
+//! Checkpoint persistence for the reference model.
+//!
+//! The paper's runtime loads HuggingFace checkpoints from disk through
+//! the on-the-fly quantizer; here the checkpoint format is a JSON dump
+//! of the FP32 reference model, so `llmpq-dist` can serve a *specific*
+//! model rather than regenerating one from a seed.
+
+use crate::reference::RefModel;
+use std::path::Path;
+
+/// Serialize a model to a checkpoint file.
+pub fn save_checkpoint(model: &RefModel, path: &Path) -> Result<(), String> {
+    let json = serde_json::to_string(model).map_err(|e| e.to_string())?;
+    std::fs::write(path, json).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Load a model from a checkpoint file.
+pub fn load_checkpoint(path: &Path) -> Result<RefModel, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let model: RefModel = serde_json::from_str(&text).map_err(|e| e.to_string())?;
+    // Structural sanity: the config must match the tensors.
+    if model.layers.len() != model.cfg.n_layers {
+        return Err(format!(
+            "checkpoint corrupt: {} layers vs config {}",
+            model.layers.len(),
+            model.cfg.n_layers
+        ));
+    }
+    if model.embed.rows != model.cfg.vocab || model.embed.cols != model.cfg.hidden {
+        return Err("checkpoint corrupt: embedding shape mismatch".into());
+    }
+    Ok(model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::RefConfig;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("llmpq-ckpt-{name}-{}.json", std::process::id()))
+    }
+
+    #[test]
+    fn checkpoint_round_trip_preserves_generation() {
+        let model = RefModel::new(RefConfig::tiny());
+        let path = tmp("roundtrip");
+        save_checkpoint(&model, &path).unwrap();
+        let loaded = load_checkpoint(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(
+            model.generate(&[1, 2, 3], 8, 0.0, 0),
+            loaded.generate(&[1, 2, 3], 8, 0.0, 0),
+            "loaded checkpoint must generate identically"
+        );
+    }
+
+    #[test]
+    fn corrupt_layer_count_rejected() {
+        let mut model = RefModel::new(RefConfig::tiny());
+        model.layers.pop();
+        let path = tmp("corrupt");
+        save_checkpoint(&model, &path).unwrap();
+        let err = load_checkpoint(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(err.contains("corrupt"), "{err}");
+    }
+
+    #[test]
+    fn missing_file_is_an_error() {
+        assert!(load_checkpoint(Path::new("/nonexistent/ckpt.json")).is_err());
+    }
+}

@@ -1,0 +1,221 @@
+//! FLOP and memory-operation (MOP) accounting per decoder layer and phase.
+//!
+//! The paper's latency cost model (§4.1) observes that GEMM dominates
+//! (>80% of latency) and that workload "can be shaped and scaled" by
+//! FLOPs and MOPs. This module provides the exact counts the roofline
+//! simulator executes against and the features the regression cost model
+//! fits on. The headline asymmetry it must reproduce: *prefill is
+//! compute-bound* (arithmetic intensity in the thousands) while *decode is
+//! memory-bound* (intensity in the tens) — paper §4.1 quotes intensities
+//! of 9553/6354 (prefill) vs 48/43 (decode) for OPT-175b/30b.
+
+use crate::phase::Phase;
+use crate::spec::ModelSpec;
+use serde::{Deserialize, Serialize};
+
+/// Shape of the work a single pipeline stage sees for one micro-batch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhaseWorkload {
+    /// Which generative phase.
+    pub phase: Phase,
+    /// Micro-batch size (number of sequences).
+    pub batch: usize,
+    /// Prompt length `s` (tokens processed in prefill).
+    pub prompt_len: usize,
+    /// Context length already in the KV cache when a decode step runs
+    /// (prompt + previously generated tokens). Ignored for prefill.
+    pub past_len: usize,
+}
+
+impl PhaseWorkload {
+    /// A prefill step over `batch` prompts of length `prompt_len`.
+    pub fn prefill(batch: usize, prompt_len: usize) -> Self {
+        Self { phase: Phase::Prefill, batch, prompt_len, past_len: 0 }
+    }
+
+    /// A decode step for `batch` sequences with `past_len` cached tokens.
+    pub fn decode(batch: usize, prompt_len: usize, past_len: usize) -> Self {
+        Self { phase: Phase::Decode, batch, prompt_len, past_len }
+    }
+
+    /// Tokens processed by this step per sequence.
+    pub fn tokens_per_seq(&self) -> usize {
+        match self.phase {
+            Phase::Prefill => self.prompt_len,
+            Phase::Decode => 1,
+        }
+    }
+}
+
+/// FLOPs and byte-traffic of one decoder layer for a given workload.
+///
+/// Byte traffic is split by source because quantization scales the three
+/// components differently: weight traffic shrinks with the bitwidth,
+/// KV traffic with the KV-cache precision, activation traffic not at all.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LayerCost {
+    /// Floating-point operations (multiply-accumulate counted as 2).
+    pub flops: f64,
+    /// Bytes of weight reads at FP16 (scale by `bits/16` for quantized).
+    pub weight_bytes_fp16: f64,
+    /// Bytes of activation reads+writes (always FP16 at serving time).
+    pub act_bytes: f64,
+    /// Bytes of KV-cache traffic at FP16.
+    pub kv_bytes_fp16: f64,
+}
+
+impl LayerCost {
+    /// Total memory traffic for linear weights stored at `bits` bits and
+    /// KV cache at `kv_bits` bits.
+    pub fn total_bytes(&self, bits: f64, kv_bits: f64) -> f64 {
+        self.weight_bytes_fp16 * (bits / 16.0) + self.act_bytes + self.kv_bytes_fp16 * (kv_bits / 16.0)
+    }
+
+    /// Arithmetic intensity (FLOPs per byte) at the given precisions.
+    pub fn arithmetic_intensity(&self, bits: f64, kv_bits: f64) -> f64 {
+        self.flops / self.total_bytes(bits, kv_bits)
+    }
+}
+
+/// Compute the FLOPs/MOPs of **one decoder layer** under `w`.
+pub fn layer_cost(spec: &ModelSpec, w: &PhaseWorkload) -> LayerCost {
+    let h = spec.hidden as f64;
+    let f = spec.ffn_hidden as f64;
+    let b = w.batch as f64;
+    match w.phase {
+        Phase::Prefill => {
+            let s = w.prompt_len as f64;
+            // Projections: QKV + O (4 GEMMs of h×h) and MLP (h×f, f×h).
+            let proj_flops = 2.0 * b * s * (4.0 * h * h + 2.0 * h * f);
+            // Attention score + context GEMMs: QKᵀ and AV, each 2·b·s²·h.
+            let attn_flops = 4.0 * b * s * s * h;
+            let weight_bytes = (4.0 * h * h + 2.0 * h * f) * 2.0;
+            // Activations: read+write around each of the 6 projections plus
+            // attention intermediates (scores are s×s per head).
+            let act_bytes = 2.0 * b * s * (8.0 * h + 2.0 * f) + 4.0 * b * s * s * spec.n_heads as f64;
+            // KV write for the whole prompt.
+            let kv_bytes = 2.0 * b * s * h * 2.0;
+            LayerCost {
+                flops: proj_flops + attn_flops,
+                weight_bytes_fp16: weight_bytes,
+                act_bytes,
+                kv_bytes_fp16: kv_bytes,
+            }
+        }
+        Phase::Decode => {
+            let p = w.past_len.max(1) as f64;
+            let proj_flops = 2.0 * b * (4.0 * h * h + 2.0 * h * f);
+            // Attention against the cached context: QKᵀ and AV over p keys.
+            let attn_flops = 4.0 * b * p * h;
+            let weight_bytes = (4.0 * h * h + 2.0 * h * f) * 2.0;
+            let act_bytes = 2.0 * b * (8.0 * h + 2.0 * f);
+            // Read the whole KV cache, append one token.
+            let kv_bytes = 2.0 * b * p * h * 2.0 + 2.0 * b * h * 2.0;
+            LayerCost {
+                flops: proj_flops + attn_flops,
+                weight_bytes_fp16: weight_bytes,
+                act_bytes,
+                kv_bytes_fp16: kv_bytes,
+            }
+        }
+    }
+}
+
+/// Cost of the embedding stage (token lookup + LM-head GEMM), executed by
+/// the master engine. The lookup is pure memory traffic; the head is a
+/// `(b·t) × h × vocab` GEMM.
+pub fn embedding_cost(spec: &ModelSpec, w: &PhaseWorkload) -> LayerCost {
+    let h = spec.hidden as f64;
+    let v = spec.vocab as f64;
+    let b = w.batch as f64;
+    let t = w.tokens_per_seq() as f64;
+    let head_flops = 2.0 * b * t * h * v;
+    LayerCost {
+        flops: head_flops,
+        weight_bytes_fp16: v * h * 2.0,
+        act_bytes: 2.0 * b * t * (h + v),
+        kv_bytes_fp16: 0.0,
+    }
+}
+
+/// Bytes of activation handed between adjacent pipeline stages for one
+/// micro-batch (the hidden-state tensor, FP16 on the wire).
+pub fn boundary_activation_bytes(spec: &ModelSpec, w: &PhaseWorkload) -> f64 {
+    w.batch as f64 * w.tokens_per_seq() as f64 * spec.hidden as f64 * 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+
+    #[test]
+    fn prefill_is_compute_bound_decode_is_memory_bound() {
+        // Reproduce the paper's §4.1 arithmetic-intensity contrast for
+        // OPT-175b and OPT-30b at batch 32, prompt 512.
+        for spec in [zoo::opt_175b(), zoo::opt_30b()] {
+            let pre = layer_cost(&spec, &PhaseWorkload::prefill(32, 512));
+            let dec = layer_cost(&spec, &PhaseWorkload::decode(32, 512, 512));
+            let ai_pre = pre.arithmetic_intensity(16.0, 16.0);
+            let ai_dec = dec.arithmetic_intensity(16.0, 16.0);
+            assert!(ai_pre > 1000.0, "{}: prefill AI {ai_pre:.0}", spec.name);
+            assert!(ai_dec < 100.0, "{}: decode AI {ai_dec:.0}", spec.name);
+            assert!(ai_pre / ai_dec > 50.0);
+        }
+    }
+
+    #[test]
+    fn decode_flops_independent_of_prompt_except_attention() {
+        let spec = zoo::opt_1_3b();
+        let short = layer_cost(&spec, &PhaseWorkload::decode(8, 128, 128));
+        let long = layer_cost(&spec, &PhaseWorkload::decode(8, 512, 512));
+        // Longer context only adds attention FLOPs, which are small next to
+        // the projections at this scale.
+        assert!(long.flops > short.flops);
+        assert!(long.flops / short.flops < 1.5);
+        // But KV traffic scales ~linearly with context.
+        assert!(long.kv_bytes_fp16 / short.kv_bytes_fp16 > 3.0);
+    }
+
+    #[test]
+    fn quantization_shrinks_weight_traffic_only() {
+        let spec = zoo::opt_30b();
+        let c = layer_cost(&spec, &PhaseWorkload::decode(32, 512, 512));
+        let fp16 = c.total_bytes(16.0, 16.0);
+        let int4 = c.total_bytes(4.0, 16.0);
+        assert!(int4 < fp16);
+        assert!(int4 > c.act_bytes + c.kv_bytes_fp16, "act/KV unchanged");
+        let saved = fp16 - int4;
+        assert!((saved - c.weight_bytes_fp16 * 0.75).abs() / saved < 1e-9);
+    }
+
+    #[test]
+    fn prefill_flops_scale_with_prompt_length() {
+        let spec = zoo::opt_13b();
+        let a = layer_cost(&spec, &PhaseWorkload::prefill(8, 128));
+        let b = layer_cost(&spec, &PhaseWorkload::prefill(8, 512));
+        // Linear term dominates: 4× tokens → slightly more than 4× FLOPs
+        // (attention quadratic term grows 16×but is small at s=512).
+        let ratio = b.flops / a.flops;
+        assert!(ratio > 4.0 && ratio < 5.5, "ratio {ratio}");
+    }
+
+    #[test]
+    fn embedding_head_dominated_by_vocab_gemm() {
+        let spec = zoo::opt_1_3b();
+        let c = embedding_cost(&spec, &PhaseWorkload::decode(32, 512, 512));
+        assert!(c.flops > 0.0 && c.weight_bytes_fp16 > 0.0);
+        // LM head GEMM = 2·b·h·v.
+        let expect = 2.0 * 32.0 * 2048.0 * 50272.0;
+        assert!((c.flops - expect).abs() / expect < 1e-12);
+    }
+
+    #[test]
+    fn boundary_bytes_match_hidden_state() {
+        let spec = zoo::opt_1_3b();
+        let pre = boundary_activation_bytes(&spec, &PhaseWorkload::prefill(4, 100));
+        assert_eq!(pre, 4.0 * 100.0 * 2048.0 * 2.0);
+        let dec = boundary_activation_bytes(&spec, &PhaseWorkload::decode(4, 100, 150));
+        assert_eq!(dec, 4.0 * 2048.0 * 2.0);
+    }
+}

@@ -1,0 +1,65 @@
+//! The two phases of generative LLM inference.
+
+use serde::{Deserialize, Serialize};
+
+/// Generative inference proceeds in two phases with very different
+/// computational characteristics (paper §2.1):
+///
+/// * **Prefill** — the whole prompt is processed at once, producing the
+///   initial key/value cache. Compute-bound (arithmetic intensity in the
+///   thousands).
+/// * **Decode** — tokens are generated one at a time against the stored
+///   KV cache. Memory-bound (arithmetic intensity in the tens).
+///
+/// Phase-awareness — modelling both phases when partitioning a pipeline —
+/// is Opportunity 1 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Phase {
+    /// Prompt processing: sequence-parallel, compute-bound.
+    Prefill,
+    /// Token generation: one token per step, memory-bound.
+    Decode,
+}
+
+impl Phase {
+    /// Both phases, in execution order.
+    pub const ALL: [Phase; 2] = [Phase::Prefill, Phase::Decode];
+
+    /// Short lowercase name used in reports and plan files.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Prefill => "prefill",
+            Phase::Decode => "decode",
+        }
+    }
+}
+
+impl std::fmt::Display for Phase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_names() {
+        assert_eq!(Phase::Prefill.name(), "prefill");
+        assert_eq!(Phase::Decode.name(), "decode");
+        assert_eq!(Phase::ALL.len(), 2);
+    }
+
+    #[test]
+    fn phase_display_matches_name() {
+        for p in Phase::ALL {
+            assert_eq!(format!("{p}"), p.name());
+        }
+    }
+
+    #[test]
+    fn phase_ordering_prefill_first() {
+        assert!(Phase::Prefill < Phase::Decode);
+    }
+}

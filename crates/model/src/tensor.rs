@@ -1,0 +1,287 @@
+//! Minimal dense linear algebra for the reference transformer.
+//!
+//! A row-major `f32` matrix with a rayon-parallel GEMM plus the handful of
+//! elementwise kernels a decoder layer needs (LayerNorm, softmax, GELU).
+//! This is deliberately simple — the reference model exists to propagate
+//! real quantization error, not to set GEMM speed records — but the GEMM
+//! is cache-aware (ikj loop order) and parallel over output rows per the
+//! hpc guide idioms.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Dense row-major `f32` matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+    /// Row-major data, `rows * cols` long.
+    pub data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Zero-filled matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Matrix from existing row-major data.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "shape/data mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// Matrix with i.i.d. entries uniform in `[-scale, scale]`, seeded for
+    /// reproducibility. `1/sqrt(cols)` scaling mimics trained-weight
+    /// magnitudes so activations stay O(1) through the stack.
+    pub fn random(rows: usize, cols: usize, scale: f32, seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let data = (0..rows * cols).map(|_| rng.gen_range(-scale..=scale)).collect();
+        Self { rows, cols, data }
+    }
+
+    /// Borrow row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// `self · other` with a rayon-parallel, ikj-ordered kernel.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "inner dimensions must agree");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        let n = other.cols;
+        out.data
+            .par_chunks_mut(n)
+            .enumerate()
+            .for_each(|(i, out_row)| {
+                let a_row = self.row(i);
+                for (k, &a) in a_row.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let b_row = other.row(k);
+                    for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                        *o += a * b;
+                    }
+                }
+            });
+        out
+    }
+
+    /// `self · otherᵀ` — the natural layout for projection weights stored
+    /// as `(out_features, in_features)`.
+    pub fn matmul_t(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "inner dimensions must agree");
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        let n = other.rows;
+        out.data
+            .par_chunks_mut(n)
+            .enumerate()
+            .for_each(|(i, out_row)| {
+                let a_row = self.row(i);
+                for (j, o) in out_row.iter_mut().enumerate() {
+                    let b_row = other.row(j);
+                    let mut acc = 0.0f32;
+                    for (&a, &b) in a_row.iter().zip(b_row.iter()) {
+                        acc += a * b;
+                    }
+                    *o = acc;
+                }
+            });
+        out
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius(&self) -> f64 {
+        self.data.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>().sqrt()
+    }
+
+    /// Elementwise maximum absolute value.
+    pub fn abs_max(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, &x| m.max(x.abs()))
+    }
+
+    /// Mean of all entries.
+    pub fn mean(&self) -> f64 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        self.data.iter().map(|&x| x as f64).sum::<f64>() / self.data.len() as f64
+    }
+
+    /// Population variance of all entries.
+    pub fn variance(&self) -> f64 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        let m = self.mean();
+        self.data.iter().map(|&x| (x as f64 - m).powi(2)).sum::<f64>() / self.data.len() as f64
+    }
+}
+
+/// In-place LayerNorm over each row: `(x - μ)/σ · γ + β`.
+pub fn layer_norm(x: &mut Matrix, gamma: &[f32], beta: &[f32]) {
+    assert_eq!(gamma.len(), x.cols);
+    assert_eq!(beta.len(), x.cols);
+    let cols = x.cols;
+    x.data.par_chunks_mut(cols).for_each(|row| {
+        let mean = row.iter().sum::<f32>() / cols as f32;
+        let var = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / cols as f32;
+        let inv = 1.0 / (var + 1e-5).sqrt();
+        for ((v, &g), &b) in row.iter_mut().zip(gamma).zip(beta) {
+            *v = (*v - mean) * inv * g + b;
+        }
+    });
+}
+
+/// In-place numerically-stable softmax over each row.
+pub fn softmax_rows(x: &mut Matrix) {
+    let cols = x.cols;
+    x.data.par_chunks_mut(cols).for_each(|row| {
+        let max = row.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+        let mut sum = 0.0f32;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        let inv = 1.0 / sum;
+        for v in row.iter_mut() {
+            *v *= inv;
+        }
+    });
+}
+
+/// In-place GELU (tanh approximation, as used by OPT/BLOOM).
+pub fn gelu(x: &mut Matrix) {
+    const C: f32 = 0.797_884_6; // sqrt(2/π)
+    x.data.par_iter_mut().for_each(|v| {
+        let u = *v;
+        *v = 0.5 * u * (1.0 + (C * (u + 0.044715 * u * u * u)).tanh());
+    });
+}
+
+/// `a += b` elementwise.
+pub fn add_assign(a: &mut Matrix, b: &Matrix) {
+    assert_eq!(a.rows, b.rows);
+    assert_eq!(a.cols, b.cols);
+    a.data.par_iter_mut().zip(b.data.par_iter()).for_each(|(x, &y)| *x += y);
+}
+
+/// Add a bias row vector to every row of `a`.
+pub fn add_bias(a: &mut Matrix, bias: &[f32]) {
+    assert_eq!(bias.len(), a.cols);
+    let cols = a.cols;
+    a.data.par_chunks_mut(cols).for_each(|row| {
+        for (v, &b) in row.iter_mut().zip(bias) {
+            *v += b;
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_identity() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let id = Matrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]);
+        assert_eq!(a.matmul(&id), a);
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Matrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data, vec![58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_t_agrees_with_matmul() {
+        let a = Matrix::random(5, 7, 1.0, 1);
+        let b = Matrix::random(4, 7, 1.0, 2);
+        // Build bᵀ explicitly.
+        let mut bt = Matrix::zeros(7, 4);
+        for i in 0..4 {
+            for j in 0..7 {
+                bt.data[j * 4 + i] = b.data[i * 7 + j];
+            }
+        }
+        let c1 = a.matmul_t(&b);
+        let c2 = a.matmul(&bt);
+        for (x, y) in c1.data.iter().zip(c2.data.iter()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut m = Matrix::random(6, 10, 3.0, 3);
+        softmax_rows(&mut m);
+        for r in 0..6 {
+            let s: f32 = m.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+            assert!(m.row(r).iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn softmax_handles_large_logits() {
+        let mut m = Matrix::from_vec(1, 3, vec![1000.0, 1000.0, 999.0]);
+        softmax_rows(&mut m);
+        assert!(m.data.iter().all(|v| v.is_finite()));
+        assert!((m.data[0] - m.data[1]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn layer_norm_normalizes() {
+        let mut m = Matrix::random(3, 64, 5.0, 4);
+        let gamma = vec![1.0; 64];
+        let beta = vec![0.0; 64];
+        layer_norm(&mut m, &gamma, &beta);
+        for r in 0..3 {
+            let row = m.row(r);
+            let mean: f32 = row.iter().sum::<f32>() / 64.0;
+            let var: f32 = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / 64.0;
+            assert!(mean.abs() < 1e-4);
+            assert!((var - 1.0).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn gelu_fixed_points() {
+        let mut m = Matrix::from_vec(1, 3, vec![0.0, 10.0, -10.0]);
+        gelu(&mut m);
+        assert!(m.data[0].abs() < 1e-6);
+        assert!((m.data[1] - 10.0).abs() < 1e-3);
+        assert!(m.data[2].abs() < 1e-3);
+    }
+
+    #[test]
+    fn random_is_reproducible() {
+        let a = Matrix::random(4, 4, 1.0, 42);
+        let b = Matrix::random(4, 4, 1.0, 42);
+        assert_eq!(a, b);
+        let c = Matrix::random(4, 4, 1.0, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn variance_and_mean() {
+        let m = Matrix::from_vec(1, 4, vec![1.0, 2.0, 3.0, 4.0]);
+        assert!((m.mean() - 2.5).abs() < 1e-12);
+        assert!((m.variance() - 1.25).abs() < 1e-12);
+    }
+}

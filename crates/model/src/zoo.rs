@@ -1,0 +1,164 @@
+//! The model zoo: published OPT and BLOOM configurations used by the paper.
+//!
+//! Layer counts and hidden sizes follow the released checkpoints
+//! (Zhang et al. 2022 for OPT; Scao et al. 2022 for BLOOM). The paper's
+//! evaluation uses OPT-13b/30b/66b and BLOOM-176b for serving, and
+//! OPT-1.3b / BLOOM-560m/1b7/3b for quality and cost-model experiments.
+
+use crate::spec::{ModelFamily, ModelSpec};
+
+/// OPT vocabulary size (GPT-2 BPE + specials).
+pub const OPT_VOCAB: usize = 50272;
+/// OPT maximum sequence length.
+pub const OPT_MAX_POS: usize = 2048;
+/// BLOOM vocabulary size.
+pub const BLOOM_VOCAB: usize = 250_880;
+/// BLOOM maximum sequence length (ALiBi extrapolates; this bounds KV).
+pub const BLOOM_MAX_POS: usize = 2048;
+
+fn opt(name: &str, layers: usize, hidden: usize, heads: usize) -> ModelSpec {
+    ModelSpec::new(ModelFamily::Opt, name, layers, hidden, heads, OPT_VOCAB, OPT_MAX_POS)
+}
+
+fn bloom(name: &str, layers: usize, hidden: usize, heads: usize) -> ModelSpec {
+    ModelSpec::new(
+        ModelFamily::Bloom,
+        name,
+        layers,
+        hidden,
+        heads,
+        BLOOM_VOCAB,
+        BLOOM_MAX_POS,
+    )
+}
+
+/// OPT-125m (used only in unit tests — smallest published OPT).
+pub fn opt_125m() -> ModelSpec {
+    opt("opt-125m", 12, 768, 12)
+}
+
+/// OPT-1.3b — quality-experiment model (Fig 4b, Table 1).
+pub fn opt_1_3b() -> ModelSpec {
+    opt("opt-1.3b", 24, 2048, 32)
+}
+
+/// OPT-13b — clusters 1 and 2.
+pub fn opt_13b() -> ModelSpec {
+    opt("opt-13b", 40, 5120, 40)
+}
+
+/// OPT-30b — clusters 3, 4, 9.
+pub fn opt_30b() -> ModelSpec {
+    opt("opt-30b", 48, 7168, 56)
+}
+
+/// OPT-66b — clusters 5, 6, 10.
+pub fn opt_66b() -> ModelSpec {
+    opt("opt-66b", 64, 9216, 72)
+}
+
+/// OPT-175b — used in the arithmetic-intensity discussion (§4.1).
+pub fn opt_175b() -> ModelSpec {
+    opt("opt-175b", 96, 12288, 96)
+}
+
+/// BLOOM-560m — cost-model fidelity experiment (Fig 7).
+pub fn bloom_560m() -> ModelSpec {
+    bloom("bloom-560m", 24, 1024, 16)
+}
+
+/// BLOOM-1b7 — cost-model fidelity experiment (Fig 7).
+pub fn bloom_1b7() -> ModelSpec {
+    bloom("bloom-1b7", 24, 2048, 16)
+}
+
+/// BLOOM-3b — quality-experiment model (Fig 4a, Table 1).
+pub fn bloom_3b() -> ModelSpec {
+    bloom("bloom-3b", 30, 2560, 32)
+}
+
+/// BLOOM-176b — clusters 7, 8, 11.
+pub fn bloom_176b() -> ModelSpec {
+    bloom("bloom-176b", 70, 14336, 112)
+}
+
+/// Look a model up by its id (`"opt-30b"`, `"bloom-176b"`, …).
+pub fn by_name(name: &str) -> Option<ModelSpec> {
+    let all = all_models();
+    all.into_iter().find(|m| m.name == name)
+}
+
+/// Every model in the zoo.
+pub fn all_models() -> Vec<ModelSpec> {
+    vec![
+        opt_125m(),
+        opt_1_3b(),
+        opt_13b(),
+        opt_30b(),
+        opt_66b(),
+        opt_175b(),
+        bloom_560m(),
+        bloom_1b7(),
+        bloom_3b(),
+        bloom_176b(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Published parameter counts (billions) to validate our accounting.
+    const EXPECTED: &[(&str, f64)] = &[
+        ("opt-1.3b", 1.3e9),
+        ("opt-13b", 13e9),
+        ("opt-30b", 30e9),
+        ("opt-66b", 66e9),
+        ("opt-175b", 175e9),
+        ("bloom-560m", 0.56e9),
+        ("bloom-1b7", 1.7e9),
+        ("bloom-3b", 3.0e9),
+        ("bloom-176b", 176e9),
+    ];
+
+    #[test]
+    fn zoo_matches_published_param_counts() {
+        for (name, expect) in EXPECTED {
+            let spec = by_name(name).unwrap();
+            let got = spec.total_params() as f64;
+            let err = (got - expect).abs() / expect;
+            assert!(
+                err < 0.15,
+                "{name}: got {got:.3e}, expected {expect:.3e} ({:.1}% off)",
+                err * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(by_name("opt-30b").is_some());
+        assert!(by_name("gpt-J").is_none());
+    }
+
+    #[test]
+    fn all_models_have_unique_names() {
+        let models = all_models();
+        let mut names: Vec<_> = models.iter().map(|m| m.name.clone()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), models.len());
+    }
+
+    #[test]
+    fn serving_models_fit_paper_cluster_sizing() {
+        // The paper sizes models so FP16 weights ≈ total cluster memory.
+        // OPT-30b FP16 ≈ 60 GB, cluster 3 = 3×16 + 32 = 80 GB. Sanity-check
+        // the weight-bytes helper at FP16.
+        let spec = opt_30b();
+        let total_fp16 = spec.n_layers as f64 * spec.layer_weight_bytes(16.0)
+            + spec.embedding_bytes();
+        let gb = total_fp16 / 1e9;
+        assert!(gb > 55.0 && gb < 70.0, "OPT-30b FP16 ≈ {gb:.1} GB");
+    }
+}

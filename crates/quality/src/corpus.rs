@@ -1,0 +1,110 @@
+//! Synthetic evaluation corpora.
+//!
+//! Each corpus is a set of token sequences sampled from the FP32 teacher
+//! model at a corpus-specific temperature and seed — three corpora
+//! standing in for WikiText2, PTB and C4. Lower temperature ⇒ more
+//! predictable text ⇒ lower absolute PPL; the *relative* degradation
+//! under quantization is what the experiments compare.
+
+use llmpq_model::RefModel;
+use serde::{Deserialize, Serialize};
+
+/// A named corpus of token sequences.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Corpus {
+    /// Corpus name (`"wikitext2-syn"`, …).
+    pub name: String,
+    /// Token sequences (each ≥ 2 tokens).
+    pub sequences: Vec<Vec<usize>>,
+}
+
+impl Corpus {
+    /// Sample a corpus of `n_seqs` sequences of `len` tokens from the
+    /// teacher at `temperature`.
+    pub fn sample(
+        name: &str,
+        teacher: &RefModel,
+        n_seqs: usize,
+        len: usize,
+        temperature: f32,
+        seed: u64,
+    ) -> Corpus {
+        assert!(len >= 2 && len <= teacher.cfg.max_seq);
+        let sequences = (0..n_seqs)
+            .map(|i| {
+                let start = 1 + (seed as usize + i * 17) % (teacher.cfg.vocab - 1);
+                let gen = teacher.generate(&[start], len - 1, temperature, seed ^ (i as u64) << 8);
+                let mut s = vec![start];
+                s.extend(gen.tokens);
+                s
+            })
+            .collect();
+        Corpus { name: name.to_string(), sequences }
+    }
+
+    /// Total predicted tokens across the corpus.
+    pub fn n_tokens(&self) -> usize {
+        self.sequences.iter().map(|s| s.len().saturating_sub(1)).sum()
+    }
+}
+
+/// The three standard corpora of the paper's evaluation, scaled to the
+/// reference model: WikiText2-, PTB- and C4-like.
+pub fn standard_corpora(teacher: &RefModel, n_seqs: usize, len: usize) -> Vec<Corpus> {
+    vec![
+        Corpus::sample("wikitext2-syn", teacher, n_seqs, len, 0.85, 0xA11CE),
+        Corpus::sample("ptb-syn", teacher, n_seqs, len, 0.75, 0xB0B),
+        Corpus::sample("c4-syn", teacher, n_seqs, len, 1.0, 0xC4),
+    ]
+}
+
+/// Calibration sequences (the stand-in for "128 random 2048-token C4
+/// segments"), sampled like the C4 corpus but from a disjoint seed.
+pub fn calibration_set(teacher: &RefModel, n_seqs: usize, len: usize) -> Vec<Vec<usize>> {
+    Corpus::sample("calib", teacher, n_seqs, len, 1.0, 0xCA11B).sequences
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llmpq_model::{RefConfig, RefModel};
+
+    #[test]
+    fn corpora_have_requested_shape() {
+        let m = RefModel::new(RefConfig::tiny());
+        let cs = standard_corpora(&m, 4, 24);
+        assert_eq!(cs.len(), 3);
+        for c in &cs {
+            assert_eq!(c.sequences.len(), 4);
+            assert!(c.sequences.iter().all(|s| s.len() == 24));
+            assert_eq!(c.n_tokens(), 4 * 23);
+        }
+    }
+
+    #[test]
+    fn corpora_are_distinct_and_reproducible() {
+        let m = RefModel::new(RefConfig::tiny());
+        let a = standard_corpora(&m, 3, 16);
+        let b = standard_corpora(&m, 3, 16);
+        assert_eq!(a, b);
+        assert_ne!(a[0].sequences, a[2].sequences);
+    }
+
+    #[test]
+    fn calibration_disjoint_from_eval() {
+        let m = RefModel::new(RefConfig::tiny());
+        let calib = calibration_set(&m, 3, 16);
+        let eval = &standard_corpora(&m, 3, 16)[2];
+        assert_ne!(calib, eval.sequences);
+    }
+
+    #[test]
+    fn tokens_within_vocab() {
+        let m = RefModel::new(RefConfig::tiny());
+        for c in standard_corpora(&m, 2, 12) {
+            for s in &c.sequences {
+                assert!(s.iter().all(|&t| t < m.cfg.vocab));
+            }
+        }
+    }
+}

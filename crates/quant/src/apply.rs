@@ -1,0 +1,122 @@
+//! Apply a bit assignment to a reference model ("fake quantization").
+//!
+//! Serving with weight-only kernels is numerically equivalent to running
+//! FP16 GEMMs over dequantized weights, so quality experiments quantize→
+//! dequantize each linear operator in place and run the normal forward.
+
+use crate::bitwidth::{BitAssignment, Bitwidth};
+use crate::quantizer::{fake_quantize, Rounding};
+use llmpq_model::RefModel;
+use rayon::prelude::*;
+
+/// Return a copy of `model` whose decoder layers are quantized per
+/// `assignment` (layer `i` at `assignment.bits[i]`). Embeddings, norms
+/// and biases stay FP16/FP32, as in the paper.
+pub fn quantize_model(model: &RefModel, assignment: &BitAssignment, rounding: Rounding, seed: u64) -> RefModel {
+    assert_eq!(
+        assignment.len(),
+        model.cfg.n_layers,
+        "assignment must cover every layer"
+    );
+    let mut out = model.clone();
+    out.layers
+        .par_iter_mut()
+        .enumerate()
+        .for_each(|(l, layer)| {
+            let bits = assignment.bits[l];
+            if bits == Bitwidth::Fp16 {
+                return;
+            }
+            let layer_seed = seed ^ ((l as u64) << 32);
+            for name in ["wq", "wk", "wv", "wo", "w1", "w2"] {
+                let w = layer.linear_operator_mut(name).unwrap();
+                *w = fake_quantize(w, bits, rounding, layer_seed ^ name.len() as u64);
+            }
+        });
+    out
+}
+
+/// Quantize every layer to the same bitwidth.
+pub fn quantize_model_uniform(model: &RefModel, bits: Bitwidth, rounding: Rounding, seed: u64) -> RefModel {
+    quantize_model(model, &BitAssignment::uniform(model.cfg.n_layers, bits), rounding, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llmpq_model::{RefConfig, RefModel};
+
+    fn corpus(model: &RefModel, n: usize) -> Vec<Vec<usize>> {
+        (0..n)
+            .map(|i| {
+                let toks = model.generate(&[1 + i], 24, 0.9, 100 + i as u64).tokens;
+                let mut s = vec![1 + i];
+                s.extend(toks);
+                s
+            })
+            .collect()
+    }
+
+    fn mean_nll(model: &RefModel, corpus: &[Vec<usize>]) -> f64 {
+        corpus.iter().map(|s| model.nll(s)).sum::<f64>() / corpus.len() as f64
+    }
+
+    #[test]
+    fn fp16_assignment_is_identity() {
+        let model = RefModel::new(RefConfig::tiny());
+        let q = quantize_model_uniform(&model, Bitwidth::Fp16, Rounding::Deterministic, 0);
+        assert_eq!(q.layers[0].wq, model.layers[0].wq);
+    }
+
+    #[test]
+    fn nll_degrades_monotonically_with_lower_bits() {
+        // The Fig-4 mechanism end-to-end: uniform 3-bit worse than 4-bit
+        // worse than 8-bit worse than FP16, on the model's own corpus.
+        let model = RefModel::new(RefConfig::tiny());
+        let corpus = corpus(&model, 3);
+        let base = mean_nll(&model, &corpus);
+        let mut prev = base;
+        for bits in [Bitwidth::Int8, Bitwidth::Int4, Bitwidth::Int3] {
+            let q = quantize_model_uniform(&model, bits, Rounding::Deterministic, 0);
+            let nll = mean_nll(&q, &corpus);
+            assert!(
+                nll >= prev - 0.02,
+                "{bits}: nll {nll:.4} should be >= {prev:.4}"
+            );
+            prev = nll;
+        }
+        let q3 = quantize_model_uniform(&model, Bitwidth::Int3, Rounding::Deterministic, 0);
+        assert!(mean_nll(&q3, &corpus) > base, "int3 must be worse than fp16");
+    }
+
+    #[test]
+    fn mixed_assignment_between_uniform_extremes() {
+        // mixed4-8 should sit between uniform-4 and uniform-8 — the
+        // paper's Fig 4 observation.
+        let model = RefModel::new(RefConfig::tiny());
+        let corpus = corpus(&model, 3);
+        let u4 = mean_nll(
+            &quantize_model_uniform(&model, Bitwidth::Int4, Rounding::Deterministic, 0),
+            &corpus,
+        );
+        let u8 = mean_nll(
+            &quantize_model_uniform(&model, Bitwidth::Int8, Rounding::Deterministic, 0),
+            &corpus,
+        );
+        let mut mixed = BitAssignment::uniform(model.cfg.n_layers, Bitwidth::Int8);
+        mixed.bits[0] = Bitwidth::Int4;
+        let m = mean_nll(&quantize_model(&model, &mixed, Rounding::Deterministic, 0), &corpus);
+        assert!(
+            m <= u4 + 0.02 && m >= u8 - 0.02,
+            "mixed {m:.4} should lie between int8 {u8:.4} and int4 {u4:.4}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cover every layer")]
+    fn rejects_wrong_length_assignment() {
+        let model = RefModel::new(RefConfig::tiny());
+        let bad = BitAssignment::uniform(model.cfg.n_layers + 1, Bitwidth::Int8);
+        quantize_model(&model, &bad, Rounding::Deterministic, 0);
+    }
+}

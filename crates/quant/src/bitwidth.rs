@@ -1,0 +1,205 @@
+//! Quantization bitwidths and per-layer bit assignments.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// Candidate precision for a model layer's linear weights.
+///
+/// The paper evaluates `BITs = {3, 4, 8, 16}` (§6.1): 3/4-bit GPTQ-style
+/// weight-only kernels, bitsandbytes-style INT8, and uncompressed FP16.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Bitwidth {
+    /// 3-bit weight-only quantization.
+    Int3,
+    /// 4-bit weight-only quantization.
+    Int4,
+    /// 8-bit decomposition-kernel quantization (LLM.int8()-style).
+    Int8,
+    /// Full half precision — no quantization.
+    Fp16,
+}
+
+impl Bitwidth {
+    /// The paper's full candidate set, ascending.
+    pub const ALL: [Bitwidth; 4] = [Bitwidth::Int3, Bitwidth::Int4, Bitwidth::Int8, Bitwidth::Fp16];
+
+    /// Bits per weight element.
+    pub fn bits(self) -> u32 {
+        match self {
+            Bitwidth::Int3 => 3,
+            Bitwidth::Int4 => 4,
+            Bitwidth::Int8 => 8,
+            Bitwidth::Fp16 => 16,
+        }
+    }
+
+    /// Bits as `f64`, for byte-size arithmetic.
+    pub fn bits_f64(self) -> f64 {
+        self.bits() as f64
+    }
+
+    /// Bytes needed to store `n` weights at this precision (scales only
+    /// the payload; per-channel scales are accounted separately by the
+    /// memory model's overhead factor).
+    pub fn payload_bytes(self, n: u64) -> f64 {
+        n as f64 * self.bits_f64() / 8.0
+    }
+
+    /// Whether this precision round-trips through an integer grid.
+    pub fn is_quantized(self) -> bool {
+        !matches!(self, Bitwidth::Fp16)
+    }
+
+    /// Largest representable magnitude on the symmetric signed grid,
+    /// e.g. 7 for 4-bit. FP16 returns `None`.
+    pub fn qmax(self) -> Option<i32> {
+        match self {
+            Bitwidth::Fp16 => None,
+            b => Some((1 << (b.bits() - 1)) - 1),
+        }
+    }
+
+    /// The next lower precision in the candidate set, if any.
+    pub fn step_down(self) -> Option<Bitwidth> {
+        match self {
+            Bitwidth::Fp16 => Some(Bitwidth::Int8),
+            Bitwidth::Int8 => Some(Bitwidth::Int4),
+            Bitwidth::Int4 => Some(Bitwidth::Int3),
+            Bitwidth::Int3 => None,
+        }
+    }
+
+    /// The next higher precision in the candidate set, if any.
+    pub fn step_up(self) -> Option<Bitwidth> {
+        match self {
+            Bitwidth::Int3 => Some(Bitwidth::Int4),
+            Bitwidth::Int4 => Some(Bitwidth::Int8),
+            Bitwidth::Int8 => Some(Bitwidth::Fp16),
+            Bitwidth::Fp16 => None,
+        }
+    }
+}
+
+impl fmt::Display for Bitwidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Bitwidth::Fp16 => write!(f, "fp16"),
+            b => write!(f, "int{}", b.bits()),
+        }
+    }
+}
+
+impl FromStr for Bitwidth {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "3" | "int3" => Ok(Bitwidth::Int3),
+            "4" | "int4" => Ok(Bitwidth::Int4),
+            "8" | "int8" => Ok(Bitwidth::Int8),
+            "16" | "fp16" | "bf16" => Ok(Bitwidth::Fp16),
+            other => Err(format!("unknown bitwidth '{other}'")),
+        }
+    }
+}
+
+/// A per-layer bitwidth assignment for a whole model — the quantization
+/// half of an LLM-PQ execution plan.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BitAssignment {
+    /// `bits[i]` is the precision of decoder layer `i`.
+    pub bits: Vec<Bitwidth>,
+}
+
+impl BitAssignment {
+    /// Uniform assignment of `b` to all `n_layers` layers.
+    pub fn uniform(n_layers: usize, b: Bitwidth) -> Self {
+        Self { bits: vec![b; n_layers] }
+    }
+
+    /// Number of layers covered.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Whether there are no layers.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// Average bits per layer — a coarse compression summary.
+    pub fn mean_bits(&self) -> f64 {
+        if self.bits.is_empty() {
+            return 0.0;
+        }
+        self.bits.iter().map(|b| b.bits_f64()).sum::<f64>() / self.bits.len() as f64
+    }
+
+    /// Histogram over the candidate set, in `Bitwidth::ALL` order.
+    pub fn histogram(&self) -> [usize; 4] {
+        let mut h = [0usize; 4];
+        for b in &self.bits {
+            let idx = Bitwidth::ALL.iter().position(|c| c == b).unwrap();
+            h[idx] += 1;
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_and_qmax() {
+        assert_eq!(Bitwidth::Int3.qmax(), Some(3));
+        assert_eq!(Bitwidth::Int4.qmax(), Some(7));
+        assert_eq!(Bitwidth::Int8.qmax(), Some(127));
+        assert_eq!(Bitwidth::Fp16.qmax(), None);
+    }
+
+    #[test]
+    fn payload_halves_with_int8() {
+        let fp16 = Bitwidth::Fp16.payload_bytes(1_000_000);
+        let int8 = Bitwidth::Int8.payload_bytes(1_000_000);
+        assert_eq!(fp16, 2e6);
+        assert_eq!(int8, 1e6);
+    }
+
+    #[test]
+    fn parse_round_trip() {
+        for b in Bitwidth::ALL {
+            let s = b.to_string();
+            assert_eq!(s.parse::<Bitwidth>().unwrap(), b);
+        }
+        assert!("int5".parse::<Bitwidth>().is_err());
+    }
+
+    #[test]
+    fn step_ladder_is_consistent() {
+        let mut b = Bitwidth::Fp16;
+        let mut seen = vec![b];
+        while let Some(lower) = b.step_down() {
+            assert_eq!(lower.step_up(), Some(b));
+            b = lower;
+            seen.push(b);
+        }
+        assert_eq!(seen.len(), 4);
+    }
+
+    #[test]
+    fn ordering_matches_bits() {
+        assert!(Bitwidth::Int3 < Bitwidth::Int4);
+        assert!(Bitwidth::Int8 < Bitwidth::Fp16);
+    }
+
+    #[test]
+    fn assignment_stats() {
+        let mut a = BitAssignment::uniform(4, Bitwidth::Int8);
+        a.bits[0] = Bitwidth::Fp16;
+        a.bits[1] = Bitwidth::Int4;
+        assert_eq!(a.histogram(), [0, 1, 2, 1]);
+        assert!((a.mean_bits() - (16.0 + 4.0 + 8.0 + 8.0) / 4.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,225 @@
+//! Extended quantization schemes (paper §7, "Other Quantization
+//! Schemes").
+//!
+//! The paper treats newer weight-only methods as drop-in candidate
+//! schemes: AWQ-style **group-wise scaling** (finer-grained scales along
+//! the input dimension improve accuracy at a small storage cost) and
+//! QLoRA-style **double quantization** (the per-group scales are
+//! themselves quantized to 8-bit against a per-row super-scale, clawing
+//! back most of the scale storage). This module implements both on top
+//! of the same symmetric integer grid as [`crate::quantizer`], with the
+//! storage accounting the memory cost model needs.
+
+use crate::bitwidth::Bitwidth;
+use crate::quantizer::Rounding;
+use llmpq_model::Matrix;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// How quantization scales are organized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QuantScheme {
+    /// One scale per output channel (row) — GPTQ-style, the default.
+    PerChannel,
+    /// One scale per `group` input elements within each row — AWQ-style.
+    GroupWise {
+        /// Elements sharing a scale (commonly 64 or 128).
+        group: usize,
+    },
+    /// Group-wise with the scales quantized to 8-bit against a per-row
+    /// FP16 super-scale — QLoRA-style double quantization.
+    DoubleQuant {
+        /// Elements sharing a scale.
+        group: usize,
+    },
+}
+
+impl QuantScheme {
+    /// Scale-storage bytes for a `rows × cols` matrix under this scheme.
+    pub fn scale_bytes(self, rows: usize, cols: usize) -> f64 {
+        match self {
+            QuantScheme::PerChannel => rows as f64 * 2.0,
+            QuantScheme::GroupWise { group } => {
+                let groups_per_row = cols.div_ceil(group);
+                (rows * groups_per_row) as f64 * 2.0
+            }
+            QuantScheme::DoubleQuant { group } => {
+                let groups_per_row = cols.div_ceil(group);
+                // 1-byte quantized scale per group + FP16 super-scale per row.
+                (rows * groups_per_row) as f64 + rows as f64 * 2.0
+            }
+        }
+    }
+
+    /// Total storage bytes (payload + scales) for a quantized matrix.
+    pub fn storage_bytes(self, rows: usize, cols: usize, bits: Bitwidth) -> f64 {
+        bits.payload_bytes((rows * cols) as u64) + self.scale_bytes(rows, cols)
+    }
+}
+
+/// Quantize→dequantize a matrix under `scheme` at `bits` — the
+/// numerics a serving kernel of that scheme would produce.
+pub fn fake_quantize_scheme(
+    m: &Matrix,
+    bits: Bitwidth,
+    scheme: QuantScheme,
+    rounding: Rounding,
+    seed: u64,
+) -> Matrix {
+    if bits == Bitwidth::Fp16 {
+        return m.clone();
+    }
+    let qmax = bits.qmax().expect("integer grid") as f32;
+    let group = match scheme {
+        QuantScheme::PerChannel => m.cols.max(1),
+        QuantScheme::GroupWise { group } | QuantScheme::DoubleQuant { group } => group.max(1),
+    };
+    let mut out = Matrix::zeros(m.rows, m.cols);
+    for r in 0..m.rows {
+        let row = m.row(r);
+        // First pass: raw group scales.
+        let n_groups = m.cols.div_ceil(group);
+        let mut scales = vec![0.0f32; n_groups];
+        for (gi, scale) in scales.iter_mut().enumerate() {
+            let lo = gi * group;
+            let hi = (lo + group).min(m.cols);
+            let absmax = row[lo..hi].iter().fold(0.0f32, |a, &v| a.max(v.abs()));
+            *scale = if absmax == 0.0 { 1.0 } else { absmax / qmax };
+        }
+        // Double quantization: quantize the scales themselves to 8 bit
+        // against the row's max scale.
+        if matches!(scheme, QuantScheme::DoubleQuant { .. }) {
+            let super_scale = scales.iter().cloned().fold(0.0f32, f32::max).max(f32::MIN_POSITIVE) / 255.0;
+            for s in scales.iter_mut() {
+                let q = (*s / super_scale).round().clamp(1.0, 255.0);
+                *s = q * super_scale;
+            }
+        }
+        // Second pass: quantize the payload against the (possibly
+        // re-quantized) scales.
+        let mut rng = SmallRng::seed_from_u64(seed ^ (r as u64).wrapping_mul(0x9E37_79B9));
+        let out_row = out.row_mut(r);
+        for (c, (&w, o)) in row.iter().zip(out_row.iter_mut()).enumerate() {
+            let s = scales[c / group];
+            let x = w / s;
+            let q = match rounding {
+                Rounding::Deterministic => x.round(),
+                Rounding::Stochastic => {
+                    let floor = x.floor();
+                    if rng.gen::<f32>() < x - floor {
+                        floor + 1.0
+                    } else {
+                        floor
+                    }
+                }
+            }
+            .clamp(-qmax, qmax);
+            *o = q * s;
+        }
+    }
+    out
+}
+
+/// Mean squared error of a matrix quantized under `scheme`.
+pub fn scheme_mse(m: &Matrix, bits: Bitwidth, scheme: QuantScheme, rounding: Rounding, seed: u64) -> f64 {
+    let dq = fake_quantize_scheme(m, bits, scheme, rounding, seed);
+    m.data
+        .iter()
+        .zip(dq.data.iter())
+        .map(|(&a, &b)| ((a - b) as f64).powi(2))
+        .sum::<f64>()
+        / m.data.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outlier_matrix() -> Matrix {
+        // A matrix with a few large outliers per row — the regime where
+        // per-channel scaling wastes grid resolution and group-wise wins.
+        let mut m = Matrix::random(16, 256, 0.1, 3);
+        for r in 0..m.rows {
+            m.row_mut(r)[7] = 2.5;
+            m.row_mut(r)[200] = -3.0;
+        }
+        m
+    }
+
+    #[test]
+    fn groupwise_beats_per_channel_on_outliers() {
+        let m = outlier_matrix();
+        for bits in [Bitwidth::Int3, Bitwidth::Int4] {
+            let pc = scheme_mse(&m, bits, QuantScheme::PerChannel, Rounding::Deterministic, 0);
+            let gw = scheme_mse(
+                &m,
+                bits,
+                QuantScheme::GroupWise { group: 64 },
+                Rounding::Deterministic,
+                0,
+            );
+            assert!(gw < pc * 0.5, "{bits}: group-wise {gw:.6} vs per-channel {pc:.6}");
+        }
+    }
+
+    #[test]
+    fn double_quant_close_to_groupwise() {
+        let m = outlier_matrix();
+        let gw = scheme_mse(&m, Bitwidth::Int4, QuantScheme::GroupWise { group: 64 }, Rounding::Deterministic, 0);
+        let dq = scheme_mse(&m, Bitwidth::Int4, QuantScheme::DoubleQuant { group: 64 }, Rounding::Deterministic, 0);
+        assert!(dq < gw * 1.5, "double-quant {dq:.6} vs group-wise {gw:.6}");
+    }
+
+    #[test]
+    fn double_quant_saves_scale_storage() {
+        let gw = QuantScheme::GroupWise { group: 64 }.scale_bytes(1024, 4096);
+        let dq = QuantScheme::DoubleQuant { group: 64 }.scale_bytes(1024, 4096);
+        let pc = QuantScheme::PerChannel.scale_bytes(1024, 4096);
+        assert!(dq < gw, "double-quant {dq} should be under group-wise {gw}");
+        assert!(pc < dq, "per-channel is still the smallest: {pc}");
+        // Group-wise 64 on 4096 cols = 64 scales/row at FP16 = 128 B/row.
+        assert_eq!(gw, 1024.0 * 64.0 * 2.0);
+    }
+
+    #[test]
+    fn smaller_groups_reduce_error() {
+        let m = outlier_matrix();
+        let g128 = scheme_mse(&m, Bitwidth::Int4, QuantScheme::GroupWise { group: 128 }, Rounding::Deterministic, 0);
+        let g32 = scheme_mse(&m, Bitwidth::Int4, QuantScheme::GroupWise { group: 32 }, Rounding::Deterministic, 0);
+        assert!(g32 <= g128, "g32 {g32:.6} vs g128 {g128:.6}");
+    }
+
+    #[test]
+    fn per_channel_scheme_matches_baseline_quantizer() {
+        let m = Matrix::random(8, 32, 0.4, 11);
+        let a = fake_quantize_scheme(&m, Bitwidth::Int8, QuantScheme::PerChannel, Rounding::Deterministic, 0);
+        let b = crate::quantizer::fake_quantize(&m, Bitwidth::Int8, Rounding::Deterministic, 0);
+        for (x, y) in a.data.iter().zip(b.data.iter()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn fp16_is_identity() {
+        let m = Matrix::random(4, 8, 1.0, 5);
+        let out = fake_quantize_scheme(&m, Bitwidth::Fp16, QuantScheme::GroupWise { group: 4 }, Rounding::Deterministic, 0);
+        assert_eq!(out, m);
+    }
+
+    #[test]
+    fn storage_totals_are_consistent() {
+        let s = QuantScheme::GroupWise { group: 128 };
+        let total = s.storage_bytes(100, 256, Bitwidth::Int4);
+        assert_eq!(total, 100.0 * 256.0 * 0.5 + 100.0 * 2.0 * 2.0);
+    }
+
+    #[test]
+    fn ragged_groups_handled() {
+        // cols not divisible by group
+        let m = Matrix::random(3, 100, 0.3, 9);
+        let out = fake_quantize_scheme(&m, Bitwidth::Int4, QuantScheme::GroupWise { group: 33 }, Rounding::Deterministic, 0);
+        assert_eq!(out.cols, 100);
+        assert!(out.data.iter().all(|v| v.is_finite()));
+    }
+}

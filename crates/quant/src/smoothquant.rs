@@ -1,0 +1,188 @@
+//! SmoothQuant-style activation-aware smoothing (paper §2.4's W8A8
+//! kernel-based category).
+//!
+//! W8A8 quantization must quantize *activations*, whose per-channel
+//! outliers are far worse than weights'. SmoothQuant migrates that
+//! difficulty: each input channel `j` of a linear operator is divided by
+//! a smoothing factor `s_j = max|X_j|^α / max|W_j|^{1−α}` in the
+//! activation and multiplied into the weight column — mathematically a
+//! no-op (`(X diag(1/s)) (diag(s) Wᵀ) = X Wᵀ`), but it balances the two
+//! tensors' dynamic ranges so both survive 8-bit grids.
+//!
+//! This module implements the transform on real matrices and measures
+//! the W8A8 matmul error with and without smoothing.
+
+use crate::bitwidth::Bitwidth;
+use crate::quantizer::{fake_quantize, Rounding};
+use llmpq_model::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Per-input-channel smoothing factors for one linear operator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SmoothingFactors {
+    /// `s[j]` divides activation channel `j` and scales weight column `j`.
+    pub s: Vec<f32>,
+    /// The α used to compute them.
+    pub alpha: f32,
+}
+
+/// Per-channel absolute maxima of a matrix along rows (one value per
+/// column).
+fn col_absmax(m: &Matrix) -> Vec<f32> {
+    let mut out = vec![0.0f32; m.cols];
+    for r in 0..m.rows {
+        for (j, &v) in m.row(r).iter().enumerate() {
+            out[j] = out[j].max(v.abs());
+        }
+    }
+    out
+}
+
+/// Compute smoothing factors from calibration activations `x`
+/// (`tokens × in`) and the weight `w` (`out × in`), with migration
+/// strength `alpha` (0.5 in the SmoothQuant paper).
+pub fn smoothing_factors(x: &Matrix, w: &Matrix, alpha: f32) -> SmoothingFactors {
+    assert_eq!(x.cols, w.cols, "activation/weight channel mismatch");
+    assert!((0.0..=1.0).contains(&alpha), "alpha in [0,1]");
+    let ax = col_absmax(x);
+    let aw = col_absmax_rows_as_cols(w);
+    let s = ax
+        .iter()
+        .zip(&aw)
+        .map(|(&a, &b)| {
+            let a = a.max(1e-6);
+            let b = b.max(1e-6);
+            (a.powf(alpha) / b.powf(1.0 - alpha)).max(1e-4)
+        })
+        .collect();
+    SmoothingFactors { s, alpha }
+}
+
+/// Column-wise absmax of a weight stored `(out, in)` — max over rows per
+/// input channel.
+fn col_absmax_rows_as_cols(w: &Matrix) -> Vec<f32> {
+    col_absmax(w)
+}
+
+/// Apply the transform: returns `(x / s, w * s)` such that
+/// `smoothed_x · smoothed_wᵀ == x · wᵀ` exactly in infinite precision.
+pub fn apply_smoothing(x: &Matrix, w: &Matrix, f: &SmoothingFactors) -> (Matrix, Matrix) {
+    assert_eq!(f.s.len(), x.cols);
+    let mut xs = x.clone();
+    for r in 0..xs.rows {
+        for (j, v) in xs.row_mut(r).iter_mut().enumerate() {
+            *v /= f.s[j];
+        }
+    }
+    let mut ws = w.clone();
+    for r in 0..ws.rows {
+        for (j, v) in ws.row_mut(r).iter_mut().enumerate() {
+            *v *= f.s[j];
+        }
+    }
+    (xs, ws)
+}
+
+/// W8A8 matmul error ‖XWᵀ − Q(X)Q(W)ᵀ‖²_F / elements, quantizing both
+/// operands to INT8 per-row.
+pub fn w8a8_error(x: &Matrix, w: &Matrix) -> f64 {
+    let exact = x.matmul_t(w);
+    let qx = fake_quantize(x, Bitwidth::Int8, Rounding::Deterministic, 0);
+    let qw = fake_quantize(w, Bitwidth::Int8, Rounding::Deterministic, 1);
+    let approx = qx.matmul_t(&qw);
+    exact
+        .data
+        .iter()
+        .zip(&approx.data)
+        .map(|(&a, &b)| ((a - b) as f64).powi(2))
+        .sum::<f64>()
+        / exact.data.len() as f64
+}
+
+/// W8A8 error after smoothing at `alpha`.
+pub fn smoothed_w8a8_error(x: &Matrix, w: &Matrix, alpha: f32) -> f64 {
+    let f = smoothing_factors(x, w, alpha);
+    let (xs, ws) = apply_smoothing(x, w, &f);
+    w8a8_error(&xs, &ws)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Activations with outlier channels — the regime SmoothQuant exists
+    /// for (a handful of channels 20–100× larger, per the paper).
+    fn outlier_acts(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut x = Matrix::random(rows, cols, 0.5, seed);
+        for r in 0..rows {
+            x.row_mut(r)[3] *= 40.0;
+            x.row_mut(r)[cols - 2] *= 25.0;
+        }
+        x
+    }
+
+    #[test]
+    fn smoothing_is_mathematically_exact() {
+        let x = outlier_acts(12, 32, 1);
+        let w = Matrix::random(16, 32, 0.3, 2);
+        let f = smoothing_factors(&x, &w, 0.5);
+        let (xs, ws) = apply_smoothing(&x, &w, &f);
+        let a = x.matmul_t(&w);
+        let b = xs.matmul_t(&ws);
+        for (p, q) in a.data.iter().zip(&b.data) {
+            assert!((p - q).abs() < 1e-2 * p.abs().max(1.0), "{p} vs {q}");
+        }
+    }
+
+    #[test]
+    fn smoothing_reduces_w8a8_error_on_outliers() {
+        let x = outlier_acts(24, 64, 3);
+        let w = Matrix::random(32, 64, 0.3, 4);
+        let raw = w8a8_error(&x, &w);
+        let smooth = smoothed_w8a8_error(&x, &w, 0.5);
+        assert!(
+            smooth < raw * 0.5,
+            "smoothing should halve the error: raw {raw:.5} vs smooth {smooth:.5}"
+        );
+    }
+
+    #[test]
+    fn alpha_extremes_migrate_fully() {
+        // α=1 pushes all difficulty into the weights; α=0 leaves it in
+        // the activations. The sweet spot lies between.
+        let x = outlier_acts(24, 64, 5);
+        let w = Matrix::random(32, 64, 0.3, 6);
+        let mid = smoothed_w8a8_error(&x, &w, 0.5);
+        let none = smoothed_w8a8_error(&x, &w, 0.0);
+        assert!(mid <= none + 1e-9, "α=0.5 {mid:.5} should beat α=0 {none:.5}");
+    }
+
+    #[test]
+    fn smooth_factors_track_outlier_channels() {
+        let x = outlier_acts(12, 32, 7);
+        let w = Matrix::random(8, 32, 0.3, 8);
+        let f = smoothing_factors(&x, &w, 0.5);
+        // The outlier channels get the largest divisors.
+        let mut idx: Vec<usize> = (0..32).collect();
+        idx.sort_by(|&a, &b| f.s[b].partial_cmp(&f.s[a]).unwrap());
+        assert!(idx[..2].contains(&3) && idx[..2].contains(&30), "top-2 {:?}", &idx[..4]);
+    }
+
+    #[test]
+    fn benign_activations_need_no_smoothing() {
+        // Without outliers, smoothing can't hurt much either way.
+        let x = Matrix::random(24, 64, 0.5, 9);
+        let w = Matrix::random(32, 64, 0.3, 10);
+        let raw = w8a8_error(&x, &w);
+        let smooth = smoothed_w8a8_error(&x, &w, 0.5);
+        assert!(smooth < raw * 3.0 + 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha in [0,1]")]
+    fn rejects_bad_alpha() {
+        let x = Matrix::random(4, 8, 1.0, 1);
+        let w = Matrix::random(4, 8, 1.0, 2);
+        smoothing_factors(&x, &w, 1.5);
+    }
+}

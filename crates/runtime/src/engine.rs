@@ -1,0 +1,565 @@
+//! The master engine and pipeline orchestration.
+//!
+//! The master (paper §3) handles pre- and post-processing — embedding
+//! lookup, logits projection, greedy token selection — and the
+//! micro-batch manager, which chunks the global batch with *different*
+//! micro-batch sizes for prefill and decode (hybrid micro-batch sizing).
+//! Stage workers run on their own threads and communicate through
+//! asynchronous channels, mirroring the paper's per-GPU worker
+//! processes.
+
+use crate::loader::{load_stage_weights, LoaderStats};
+use crate::worker::{run_worker_metered, MetricsSink, StageMetrics, WorkItem, WorkerMsg};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use llm_pq::ExecutionPlan;
+use llmpq_model::{Matrix, RefModel};
+use llmpq_quant::Rounding;
+use serde::{Deserialize, Serialize};
+
+/// Runtime failure.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RuntimeError {
+    /// The plan does not match the model or batch.
+    BadPlan(String),
+    /// A stage worker died or disconnected.
+    WorkerDied(String),
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeError::BadPlan(s) => write!(f, "bad plan: {s}"),
+            RuntimeError::WorkerDied(s) => write!(f, "worker died: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+/// Result of a pipeline run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RuntimeOutput {
+    /// Generated tokens per input sequence (`n_generate` each).
+    pub tokens: Vec<Vec<usize>>,
+    /// Loader statistics per stage.
+    pub loader_stats: Vec<LoaderStats>,
+    /// Wall-clock seconds of the generation run (excluding loading).
+    pub wall_s: f64,
+    /// Per-stage execution counters (busy time, items) from the workers.
+    pub stage_metrics: Vec<StageMetrics>,
+}
+
+/// Greedy argmax over a logits row.
+fn argmax(logits: &[f32]) -> usize {
+    logits
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .map(|(i, _)| i)
+        .unwrap()
+}
+
+struct Master<'m> {
+    model: &'m RefModel,
+    to_first: Sender<WorkerMsg>,
+    from_last: Receiver<WorkerMsg>,
+}
+
+impl<'m> Master<'m> {
+    fn send(&self, item: WorkItem) -> Result<(), RuntimeError> {
+        self.to_first
+            .send(WorkerMsg::Work(item))
+            .map_err(|_| RuntimeError::WorkerDied("first stage unreachable".into()))
+    }
+
+    fn recv(&self) -> Result<WorkItem, RuntimeError> {
+        match self.from_last.recv() {
+            Ok(WorkerMsg::Work(item)) => Ok(item),
+            Ok(WorkerMsg::Shutdown) => Err(RuntimeError::WorkerDied("premature shutdown".into())),
+            Err(_) => Err(RuntimeError::WorkerDied("last stage disconnected".into())),
+        }
+    }
+
+    /// Logits for the last position of each sequence in a work item.
+    fn sample_next(&self, item: &WorkItem) -> Vec<(usize, usize)> {
+        item.seqs
+            .iter()
+            .map(|(seq, h)| {
+                let last = Matrix::from_vec(1, h.cols, h.row(h.rows - 1).to_vec());
+                let logits = self.model.project_logits(&last);
+                (*seq, argmax(logits.row(0)))
+            })
+            .collect()
+    }
+}
+
+/// Execute `plan` on `checkpoint` over `prompts`, generating
+/// `n_generate` tokens per sequence with greedy decoding.
+///
+/// `fail_stage_after`: optional failure injection — stage `i` dies after
+/// processing that many work items (used by tests; pass `None`).
+pub fn run_pipeline(
+    checkpoint: &RefModel,
+    plan: &ExecutionPlan,
+    prompts: &[Vec<usize>],
+    n_generate: usize,
+    rounding: Rounding,
+    seed: u64,
+    fail_stage_after: Option<(usize, usize)>,
+) -> Result<RuntimeOutput, RuntimeError> {
+    validate_inputs(checkpoint, plan, prompts, n_generate)?;
+    let start = std::time::Instant::now();
+    let (stage_weights, loader_stats) = load_all_stages(checkpoint, plan, rounding, seed);
+    let mut tokens: Vec<Vec<usize>> = vec![Vec::with_capacity(n_generate); prompts.len()];
+    let sink: MetricsSink =
+        std::sync::Arc::new(parking_lot::Mutex::new(vec![StageMetrics::default(); plan.stages.len()]));
+    run_attempt(checkpoint, plan, prompts, &mut tokens, n_generate, &stage_weights, fail_stage_after, &sink)?;
+    let stage_metrics = sink.lock().clone();
+    Ok(RuntimeOutput { tokens, loader_stats, wall_s: start.elapsed().as_secs_f64(), stage_metrics })
+}
+
+/// Like [`run_pipeline`], but recovers from stage-worker failures: on a
+/// crash the surviving progress is checkpointed (ragged sequences are
+/// truncated to lock-step), the failed stage's weights are reloaded via
+/// the on-the-fly quantizer — the fast-recovery path §5 motivates — and
+/// generation resumes by re-prefilling `prompt ++ generated-so-far`
+/// (greedy decoding makes the resume exact). Returns the output plus the
+/// number of restarts taken.
+///
+/// `fail_schedule[k]` optionally injects a failure into attempt `k`
+/// (tests); real deployments pass an empty slice.
+#[allow(clippy::too_many_arguments)]
+pub fn run_pipeline_recoverable(
+    checkpoint: &RefModel,
+    plan: &ExecutionPlan,
+    prompts: &[Vec<usize>],
+    n_generate: usize,
+    rounding: Rounding,
+    seed: u64,
+    max_restarts: usize,
+    fail_schedule: &[(usize, usize)],
+) -> Result<(RuntimeOutput, usize), RuntimeError> {
+    validate_inputs(checkpoint, plan, prompts, n_generate)?;
+    let start = std::time::Instant::now();
+    let (stage_weights, loader_stats) = load_all_stages(checkpoint, plan, rounding, seed);
+    let mut tokens: Vec<Vec<usize>> = vec![Vec::with_capacity(n_generate); prompts.len()];
+    let sink: MetricsSink =
+        std::sync::Arc::new(parking_lot::Mutex::new(vec![StageMetrics::default(); plan.stages.len()]));
+    let mut attempt = 0usize;
+    loop {
+        let fail = fail_schedule.get(attempt).copied();
+        match run_attempt(checkpoint, plan, prompts, &mut tokens, n_generate, &stage_weights, fail, &sink) {
+            Ok(()) => {
+                let stage_metrics = sink.lock().clone();
+                return Ok((
+                    RuntimeOutput {
+                        tokens,
+                        loader_stats,
+                        wall_s: start.elapsed().as_secs_f64(),
+                        stage_metrics,
+                    },
+                    attempt,
+                ));
+            }
+            Err(e) => {
+                if attempt >= max_restarts {
+                    return Err(e);
+                }
+                // Checkpoint: truncate ragged progress to lock-step so the
+                // resume decodes every sequence from the same step.
+                let done = tokens.iter().map(Vec::len).min().unwrap_or(0);
+                for t in tokens.iter_mut() {
+                    t.truncate(done);
+                }
+                attempt += 1;
+                // In a real deployment only the dead stage reloads; the
+                // module-level loader makes that cheap. Here stage weights
+                // are immutable and shared, so reload is implicit.
+            }
+        }
+    }
+}
+
+fn validate_inputs(
+    checkpoint: &RefModel,
+    plan: &ExecutionPlan,
+    prompts: &[Vec<usize>],
+    n_generate: usize,
+) -> Result<(), RuntimeError> {
+    plan.validate(checkpoint.cfg.n_layers).map_err(RuntimeError::BadPlan)?;
+    if prompts.is_empty() {
+        return Err(RuntimeError::BadPlan("no prompts".into()));
+    }
+    if n_generate == 0 {
+        return Err(RuntimeError::BadPlan("n_generate must be ≥ 1".into()));
+    }
+    for (i, p) in prompts.iter().enumerate() {
+        if p.is_empty() {
+            return Err(RuntimeError::BadPlan(format!("prompt {i} is empty")));
+        }
+        if p.len() + n_generate > checkpoint.cfg.max_seq {
+            return Err(RuntimeError::BadPlan(format!("prompt {i} exceeds max_seq")));
+        }
+    }
+    Ok(())
+}
+
+type StageWeights = Vec<Vec<llmpq_model::LayerWeights>>;
+
+fn load_all_stages(
+    checkpoint: &RefModel,
+    plan: &ExecutionPlan,
+    rounding: Rounding,
+    seed: u64,
+) -> (StageWeights, Vec<LoaderStats>) {
+    let mut stage_weights = Vec::new();
+    let mut loader_stats = Vec::new();
+    for s in &plan.stages {
+        let (w, stats) = load_stage_weights(checkpoint, s.layer_start, &s.bits, rounding, seed);
+        stage_weights.push(w);
+        loader_stats.push(stats);
+    }
+    (stage_weights, loader_stats)
+}
+
+/// One generation attempt. `tokens` may hold an already-generated
+/// lock-step prefix (recovery resume); on failure it retains whatever
+/// progress was made.
+#[allow(clippy::too_many_arguments)]
+#[allow(clippy::needless_range_loop)]
+fn run_attempt(
+    checkpoint: &RefModel,
+    plan: &ExecutionPlan,
+    prompts: &[Vec<usize>],
+    tokens: &mut [Vec<usize>],
+    n_generate: usize,
+    stage_weights: &StageWeights,
+    fail_stage_after: Option<(usize, usize)>,
+    sink: &MetricsSink,
+) -> Result<(), RuntimeError> {
+    let n_seqs = prompts.len();
+    let n_stages = plan.stages.len();
+    let done = tokens.iter().map(Vec::len).min().unwrap_or(0);
+    debug_assert!(tokens.iter().all(|t| t.len() == done), "resume requires lock-step prefix");
+    if done >= n_generate {
+        return Ok(());
+    }
+
+    std::thread::scope(|scope| {
+        // Channel chain: master → s0 → s1 → … → master.
+        let mut senders: Vec<Sender<WorkerMsg>> = Vec::new();
+        let mut receivers: Vec<Receiver<WorkerMsg>> = Vec::new();
+        for _ in 0..=n_stages {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let to_first = senders[0].clone();
+        let from_last = receivers[n_stages].clone();
+        for (i, weights) in stage_weights.iter().enumerate() {
+            let rx = receivers[i].clone();
+            let tx = senders[i + 1].clone();
+            let n_heads = checkpoint.cfg.n_heads;
+            let hidden = checkpoint.cfg.hidden;
+            let alibi = checkpoint.cfg.alibi;
+            let fail = fail_stage_after.and_then(|(s, k)| (s == i).then_some(k));
+            let sink_i = sink.clone();
+            scope.spawn(move || {
+                run_worker_metered(weights, n_heads, hidden, alibi, n_seqs, rx, tx, fail, Some(sink_i), i)
+            });
+        }
+        drop(senders);
+        drop(receivers);
+
+        let master = Master { model: checkpoint, to_first, from_last };
+        // Positions after the (extended) prefill below.
+        let mut positions: Vec<usize> = prompts.iter().map(|p| p.len() + done).collect();
+
+        // --- Prefill over prompt ++ generated prefix ---
+        let pre_size = plan.microbatch.prefill_size.max(1);
+        let chunks: Vec<Vec<usize>> =
+            (0..n_seqs).collect::<Vec<_>>().chunks(pre_size).map(|c| c.to_vec()).collect();
+        for (mb, chunk) in chunks.iter().enumerate() {
+            let seqs = chunk
+                .iter()
+                .map(|&s| {
+                    let mut full = prompts[s].clone();
+                    full.extend_from_slice(&tokens[s][..done]);
+                    (s, master.model.embed_tokens(&full, 0))
+                })
+                .collect();
+            master.send(WorkItem { microbatch: mb, seqs })?;
+        }
+        for _ in &chunks {
+            let item = master.recv()?;
+            for (seq, tok) in master.sample_next(&item) {
+                tokens[seq].push(tok);
+            }
+        }
+
+        // --- Decode ---
+        let dec_size = plan.microbatch.decode_size.max(1);
+        let dec_chunks: Vec<Vec<usize>> =
+            (0..n_seqs).collect::<Vec<_>>().chunks(dec_size).map(|c| c.to_vec()).collect();
+        for _step in done + 1..n_generate {
+            for (mb, chunk) in dec_chunks.iter().enumerate() {
+                let seqs = chunk
+                    .iter()
+                    .map(|&s| {
+                        let last = *tokens[s].last().expect("prefill produced a token");
+                        let x = master.model.embed_tokens(&[last], positions[s]);
+                        (s, x)
+                    })
+                    .collect();
+                master.send(WorkItem { microbatch: mb, seqs })?;
+            }
+            for chunk in &dec_chunks {
+                let item = master.recv()?;
+                for (seq, tok) in master.sample_next(&item) {
+                    tokens[seq].push(tok);
+                }
+                for &s in chunk {
+                    positions[s] += 1;
+                }
+            }
+        }
+
+        // Graceful shutdown.
+        let _ = master.to_first.send(WorkerMsg::Shutdown);
+        Ok(())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llm_pq::{ExecutionPlan, StagePlan};
+    use llmpq_model::RefConfig;
+    use llmpq_quant::{quantize_model, BitAssignment, Bitwidth};
+    use llmpq_workload::MicrobatchPlan;
+
+    fn model() -> RefModel {
+        RefModel::new(RefConfig::tiny())
+    }
+
+    fn plan(bits: Vec<Bitwidth>, split: usize, mb: MicrobatchPlan) -> ExecutionPlan {
+        let n = bits.len();
+        ExecutionPlan {
+            model: "tiny".into(),
+            cluster: "test".into(),
+            stages: vec![
+                StagePlan { device: 0, layer_start: 0, layer_end: split, bits: bits[..split].to_vec() },
+                StagePlan { device: 1, layer_start: split, layer_end: n, bits: bits[split..].to_vec() },
+            ],
+            microbatch: mb,
+            scheme: "LLM-PQ".into(),
+            kv_bits: 16,
+        }
+    }
+
+    fn mb(p: usize, d: usize, n_seqs: usize) -> MicrobatchPlan {
+        MicrobatchPlan {
+            prefill_size: p,
+            prefill_count: n_seqs.div_ceil(p),
+            decode_size: d,
+            decode_count: n_seqs.div_ceil(d),
+        }
+    }
+
+    #[test]
+    fn pipeline_matches_sequential_reference() {
+        // The headline correctness test: the multi-threaded, pipelined,
+        // on-the-fly-quantized runtime must emit exactly the tokens of
+        // single-threaded greedy generation on the eagerly quantized
+        // model.
+        let m = model();
+        let bits = vec![Bitwidth::Int8, Bitwidth::Fp16];
+        let prompts = vec![vec![1, 2, 3], vec![9, 8, 7, 6], vec![4, 4]];
+        let out = run_pipeline(&m, &plan(bits.clone(), 1, mb(2, 3, 3)), &prompts, 6, Rounding::Deterministic, 0, None)
+            .expect("runtime ok");
+
+        let qm = quantize_model(&m, &BitAssignment { bits }, Rounding::Deterministic, 0);
+        for (i, p) in prompts.iter().enumerate() {
+            let want = qm.generate(p, 6, 0.0, 0).tokens;
+            assert_eq!(out.tokens[i], want, "sequence {i}");
+        }
+    }
+
+    #[test]
+    fn microbatch_sizing_does_not_change_tokens() {
+        let m = model();
+        let bits = vec![Bitwidth::Int4, Bitwidth::Int4];
+        let prompts = vec![vec![5, 6, 7], vec![8, 9], vec![10, 11, 12], vec![13]];
+        let a = run_pipeline(&m, &plan(bits.clone(), 1, mb(1, 4, 4)), &prompts, 5, Rounding::Deterministic, 3, None)
+            .unwrap();
+        let b = run_pipeline(&m, &plan(bits, 1, mb(4, 1, 4)), &prompts, 5, Rounding::Deterministic, 3, None)
+            .unwrap();
+        assert_eq!(a.tokens, b.tokens);
+    }
+
+    #[test]
+    fn worker_failure_is_reported_not_hung() {
+        let m = model();
+        let bits = vec![Bitwidth::Fp16, Bitwidth::Fp16];
+        let prompts = vec![vec![1, 2], vec![3, 4]];
+        let res = run_pipeline(
+            &m,
+            &plan(bits, 1, mb(1, 2, 2)),
+            &prompts,
+            4,
+            Rounding::Deterministic,
+            0,
+            Some((1, 1)), // stage 1 dies after one item
+        );
+        assert!(matches!(res, Err(RuntimeError::WorkerDied(_))), "{res:?}");
+    }
+
+    #[test]
+    fn bad_plans_rejected_up_front() {
+        let m = model();
+        let bits = vec![Bitwidth::Fp16, Bitwidth::Fp16];
+        let good = plan(bits.clone(), 1, mb(1, 1, 1));
+        assert!(matches!(
+            run_pipeline(&m, &good, &[], 4, Rounding::Deterministic, 0, None),
+            Err(RuntimeError::BadPlan(_))
+        ));
+        assert!(matches!(
+            run_pipeline(&m, &good, &[vec![]], 4, Rounding::Deterministic, 0, None),
+            Err(RuntimeError::BadPlan(_))
+        ));
+        assert!(matches!(
+            run_pipeline(&m, &good, &[vec![1; 200]], 4, Rounding::Deterministic, 0, None),
+            Err(RuntimeError::BadPlan(_))
+        ));
+        let mut broken = plan(bits, 1, mb(1, 1, 1));
+        broken.stages[1].layer_start = 2;
+        assert!(matches!(
+            run_pipeline(&m, &broken, &[vec![1]], 4, Rounding::Deterministic, 0, None),
+            Err(RuntimeError::BadPlan(_))
+        ));
+    }
+
+    #[test]
+    fn recovery_resumes_and_matches_sequential() {
+        // Stage 1 dies after two work items on the first attempt; the
+        // recoverable runner must restart, resume from the checkpoint,
+        // and still produce exactly the sequential reference tokens.
+        let m = model();
+        let bits = vec![Bitwidth::Int8, Bitwidth::Int4];
+        let prompts = vec![vec![1, 2, 3], vec![7, 8], vec![4, 5, 6]];
+        let ((out, restarts), _) = (
+            run_pipeline_recoverable(
+                &m,
+                &plan(bits.clone(), 1, mb(1, 3, 3)),
+                &prompts,
+                7,
+                Rounding::Deterministic,
+                0,
+                3,
+                &[(1, 2)], // attempt 0: stage 1 dies after 2 items
+            )
+            .expect("recovered"),
+            (),
+        );
+        assert_eq!(restarts, 1, "exactly one restart");
+        let qm = quantize_model(&m, &BitAssignment { bits }, Rounding::Deterministic, 0);
+        for (i, p) in prompts.iter().enumerate() {
+            assert_eq!(out.tokens[i], qm.generate(p, 7, 0.0, 0).tokens, "sequence {i}");
+        }
+    }
+
+    #[test]
+    fn recovery_survives_repeated_failures() {
+        let m = model();
+        let bits = vec![Bitwidth::Fp16, Bitwidth::Fp16];
+        let prompts = vec![vec![1, 2], vec![3, 4]];
+        let ((out, restarts), _) = (
+            run_pipeline_recoverable(
+                &m,
+                &plan(bits.clone(), 1, mb(1, 2, 2)),
+                &prompts,
+                6,
+                Rounding::Deterministic,
+                0,
+                5,
+                &[(0, 1), (1, 3)], // two consecutive crashes
+            )
+            .expect("recovered"),
+            (),
+        );
+        assert_eq!(restarts, 2);
+        let qm = quantize_model(&m, &BitAssignment { bits }, Rounding::Deterministic, 0);
+        assert_eq!(out.tokens[0], qm.generate(&prompts[0], 6, 0.0, 0).tokens);
+    }
+
+    #[test]
+    fn recovery_gives_up_after_max_restarts() {
+        let m = model();
+        let bits = vec![Bitwidth::Fp16, Bitwidth::Fp16];
+        let prompts = vec![vec![1, 2]];
+        let res = run_pipeline_recoverable(
+            &m,
+            &plan(bits, 1, mb(1, 1, 1)),
+            &prompts,
+            6,
+            Rounding::Deterministic,
+            0,
+            1,                      // one restart allowed
+            &[(0, 0), (0, 0), (0, 0)], // but every attempt crashes
+        );
+        assert!(matches!(res, Err(RuntimeError::WorkerDied(_))));
+    }
+
+    #[test]
+    fn recovery_without_failures_is_plain_run() {
+        let m = model();
+        let bits = vec![Bitwidth::Int4, Bitwidth::Int8];
+        let prompts = vec![vec![9, 1, 2]];
+        let (out, restarts) = run_pipeline_recoverable(
+            &m,
+            &plan(bits.clone(), 1, mb(1, 1, 1)),
+            &prompts,
+            5,
+            Rounding::Deterministic,
+            0,
+            3,
+            &[],
+        )
+        .unwrap();
+        assert_eq!(restarts, 0);
+        let plain = run_pipeline(&m, &plan(bits, 1, mb(1, 1, 1)), &prompts, 5, Rounding::Deterministic, 0, None)
+            .unwrap();
+        assert_eq!(out.tokens, plain.tokens);
+    }
+
+    #[test]
+    fn stage_metrics_account_all_work() {
+        let m = model();
+        let bits = vec![Bitwidth::Fp16, Bitwidth::Fp16];
+        let prompts = vec![vec![1, 2, 3], vec![4, 5]];
+        let n_gen = 5;
+        let out = run_pipeline(&m, &plan(bits, 1, mb(1, 2, 2)), &prompts, n_gen, Rounding::Deterministic, 0, None)
+            .unwrap();
+        assert_eq!(out.stage_metrics.len(), 2);
+        for (i, sm) in out.stage_metrics.iter().enumerate() {
+            // 2 prefill items (µ=1) + 4 decode steps × 1 item (µ=2).
+            assert_eq!(sm.items, 2 + (n_gen - 1), "stage {i} items");
+            // Each item carries its sequences: prefill 1 each, decode 2.
+            assert_eq!(sm.seq_forwards, 2 + (n_gen - 1) * 2, "stage {i} forwards");
+            assert!(sm.busy_s > 0.0);
+        }
+    }
+
+    #[test]
+    fn loader_stats_surface_per_stage() {
+        let m = model();
+        let bits = vec![Bitwidth::Int3, Bitwidth::Fp16];
+        let prompts = vec![vec![1, 2, 3]];
+        let out = run_pipeline(&m, &plan(bits, 1, mb(1, 1, 1)), &prompts, 3, Rounding::Deterministic, 0, None)
+            .unwrap();
+        assert_eq!(out.loader_stats.len(), 2);
+        assert_eq!(out.loader_stats[0].quantized_modules, 6);
+        assert_eq!(out.loader_stats[1].quantized_modules, 0);
+        assert!(out.wall_s > 0.0);
+    }
+}

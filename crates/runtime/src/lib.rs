@@ -1,0 +1,28 @@
+//! # llmpq-runtime
+//!
+//! The distributed-style inference runtime (paper §3 and §5), realized
+//! with OS threads standing in for GPU-hosted worker processes:
+//!
+//! * a **master engine** that owns pre-/post-processing — embedding
+//!   lookup, logits projection, token sampling — and the micro-batch
+//!   manager with per-phase micro-batch sizes;
+//! * one **stage worker** per pipeline stage, each owning only its shard
+//!   of (quantized) decoder layers plus the pre-allocated KV caches for
+//!   every in-flight sequence, connected by asynchronous crossbeam
+//!   channels;
+//! * an **on-the-fly quantizer** that loads checkpoints module by
+//!   module, quantizing each linear operator as it streams in, so the
+//!   staging (CPU-RAM) footprint stays bounded by one module instead of
+//!   the whole model (§5, "On-The-Fly Quantizer").
+//!
+//! The runtime executes the *real* reference transformer: its tokens are
+//! bit-identical to single-threaded execution of the same quantized
+//! model, which the tests assert.
+
+pub mod engine;
+pub mod loader;
+pub mod worker;
+
+pub use engine::{run_pipeline, run_pipeline_recoverable, RuntimeError, RuntimeOutput};
+pub use loader::{load_stage_weights, LoaderStats, OnTheFlyQuantizer};
+pub use worker::{run_worker, run_worker_metered, MetricsSink, StageMetrics, StageSpec, WorkItem, WorkerMsg};

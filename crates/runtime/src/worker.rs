@@ -1,0 +1,203 @@
+//! Stage workers: each owns a shard of decoder layers and the KV caches
+//! for every in-flight sequence, and processes work items from the
+//! previous stage asynchronously.
+
+use crossbeam::channel::{Receiver, Sender};
+use llmpq_model::{forward_layer_alibi, KvCache, LayerWeights, Matrix};
+use llmpq_quant::Bitwidth;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Execution counters one stage worker reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct StageMetrics {
+    /// Work items processed (micro-batch × step units).
+    pub items: usize,
+    /// Sequence-forwards executed (items × sequences per item).
+    pub seq_forwards: usize,
+    /// Seconds spent computing (excludes channel waits).
+    pub busy_s: f64,
+}
+
+/// Shared collection of per-stage metrics.
+pub type MetricsSink = Arc<Mutex<Vec<StageMetrics>>>;
+
+/// Static description of one stage (device + layer shard + precisions).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageSpec {
+    /// First global layer index.
+    pub layer_start: usize,
+    /// Per-layer precision of the shard.
+    pub bits: Vec<Bitwidth>,
+}
+
+/// One unit of pipeline work: the hidden states of each sequence of a
+/// micro-batch (prefill sends `t×h`, decode `1×h` per sequence).
+#[derive(Debug, Clone)]
+pub struct WorkItem {
+    /// Micro-batch id (for bookkeeping/tracing).
+    pub microbatch: usize,
+    /// `(sequence id, hidden states)` pairs.
+    pub seqs: Vec<(usize, Matrix)>,
+}
+
+/// Messages between stages.
+#[derive(Debug)]
+pub enum WorkerMsg {
+    /// Process and forward.
+    Work(WorkItem),
+    /// Drain and exit.
+    Shutdown,
+}
+
+/// Run a stage worker until shutdown. `n_seqs` bounds the sequence ids;
+/// `fail_after` optionally makes the worker die after that many items
+/// (failure-injection hook for tests).
+#[allow(clippy::too_many_arguments)]
+pub fn run_worker(
+    weights: &[LayerWeights],
+    n_heads: usize,
+    hidden: usize,
+    alibi: bool,
+    n_seqs: usize,
+    input: Receiver<WorkerMsg>,
+    output: Sender<WorkerMsg>,
+    fail_after: Option<usize>,
+) {
+    run_worker_metered(weights, n_heads, hidden, alibi, n_seqs, input, output, fail_after, None, 0)
+}
+
+/// [`run_worker`] with metrics reporting: the worker's counters are
+/// flushed into `sink[stage_idx]` whenever they change.
+#[allow(clippy::too_many_arguments)]
+pub fn run_worker_metered(
+    weights: &[LayerWeights],
+    n_heads: usize,
+    hidden: usize,
+    alibi: bool,
+    n_seqs: usize,
+    input: Receiver<WorkerMsg>,
+    output: Sender<WorkerMsg>,
+    fail_after: Option<usize>,
+    sink: Option<MetricsSink>,
+    stage_idx: usize,
+) {
+    let n_local = weights.len();
+    // Pre-allocated per-sequence caches, local layer indexing.
+    let mut caches: Vec<KvCache> = (0..n_seqs).map(|_| KvCache::new(n_local, hidden)).collect();
+    let mut metrics = StageMetrics::default();
+    let flush = |m: &StageMetrics| {
+        if let Some(sink) = &sink {
+            let mut guard = sink.lock();
+            if stage_idx < guard.len() {
+                guard[stage_idx] = *m;
+            }
+        }
+    };
+    while let Ok(msg) = input.recv() {
+        match msg {
+            WorkerMsg::Shutdown => {
+                flush(&metrics);
+                let _ = output.send(WorkerMsg::Shutdown);
+                return;
+            }
+            WorkerMsg::Work(mut item) => {
+                if let Some(limit) = fail_after {
+                    if metrics.items >= limit {
+                        // Simulated crash: drop channels without draining.
+                        return;
+                    }
+                }
+                let t0 = std::time::Instant::now();
+                for (seq, x) in item.seqs.iter_mut() {
+                    let mut h = x.clone();
+                    for (l, w) in weights.iter().enumerate() {
+                        h = forward_layer_alibi(w, n_heads, l, &h, &mut caches[*seq], alibi);
+                    }
+                    *x = h;
+                    metrics.seq_forwards += 1;
+                }
+                metrics.items += 1;
+                metrics.busy_s += t0.elapsed().as_secs_f64();
+                flush(&metrics);
+                if output.send(WorkerMsg::Work(item)).is_err() {
+                    return; // downstream gone
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::unbounded;
+    use llmpq_model::{RefConfig, RefModel};
+
+    #[test]
+    fn worker_forwards_transformed_hidden_states() {
+        let model = RefModel::new(RefConfig::tiny());
+        let (tx_in, rx_in) = unbounded();
+        let (tx_out, rx_out) = unbounded();
+        let weights = vec![model.layers[0].clone()];
+        let x = model.embed_tokens(&[1, 2, 3], 0);
+        tx_in
+            .send(WorkerMsg::Work(WorkItem { microbatch: 0, seqs: vec![(0, x.clone())] }))
+            .unwrap();
+        tx_in.send(WorkerMsg::Shutdown).unwrap();
+        run_worker(&weights, model.cfg.n_heads, model.cfg.hidden, false, 1, rx_in, tx_out, None);
+
+        match rx_out.recv().unwrap() {
+            WorkerMsg::Work(item) => {
+                // Must equal a direct single-layer forward.
+                let mut cache = llmpq_model::KvCache::new(1, model.cfg.hidden);
+                let want = forward_layer_alibi(&weights[0], model.cfg.n_heads, 0, &x, &mut cache, false);
+                assert_eq!(item.seqs[0].1, want);
+            }
+            other => panic!("expected work, got {other:?}"),
+        }
+        assert!(matches!(rx_out.recv().unwrap(), WorkerMsg::Shutdown));
+    }
+
+    #[test]
+    fn worker_keeps_kv_state_across_items() {
+        // Two sequential decode items for the same sequence must attend
+        // to the accumulated cache — outputs differ from a fresh cache.
+        let model = RefModel::new(RefConfig::tiny());
+        let weights = vec![model.layers[0].clone()];
+        let (tx_in, rx_in) = unbounded();
+        let (tx_out, rx_out) = unbounded();
+        let x1 = model.embed_tokens(&[5], 0);
+        let x2 = model.embed_tokens(&[9], 1);
+        tx_in.send(WorkerMsg::Work(WorkItem { microbatch: 0, seqs: vec![(0, x1)] })).unwrap();
+        tx_in
+            .send(WorkerMsg::Work(WorkItem { microbatch: 0, seqs: vec![(0, x2.clone())] }))
+            .unwrap();
+        tx_in.send(WorkerMsg::Shutdown).unwrap();
+        run_worker(&weights, model.cfg.n_heads, model.cfg.hidden, false, 1, rx_in, tx_out, None);
+        let _first = rx_out.recv().unwrap();
+        let second = match rx_out.recv().unwrap() {
+            WorkerMsg::Work(i) => i.seqs[0].1.clone(),
+            other => panic!("{other:?}"),
+        };
+        // Fresh-cache forward of x2 alone gives a different answer.
+        let mut fresh = llmpq_model::KvCache::new(1, model.cfg.hidden);
+        let lone = forward_layer_alibi(&weights[0], model.cfg.n_heads, 0, &x2, &mut fresh, false);
+        assert_ne!(second, lone, "cache state must influence decode");
+    }
+
+    #[test]
+    fn fail_after_drops_channel() {
+        let model = RefModel::new(RefConfig::tiny());
+        let weights = vec![model.layers[0].clone()];
+        let (tx_in, rx_in) = unbounded();
+        let (tx_out, rx_out) = unbounded();
+        let x = model.embed_tokens(&[1], 0);
+        tx_in.send(WorkerMsg::Work(WorkItem { microbatch: 0, seqs: vec![(0, x)] })).unwrap();
+        run_worker(&weights, model.cfg.n_heads, model.cfg.hidden, false, 1, rx_in, tx_out, Some(0));
+        // Worker died before processing: output channel disconnects
+        // without delivering work.
+        assert!(rx_out.recv().is_err());
+    }
+}

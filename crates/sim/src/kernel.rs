@@ -1,0 +1,221 @@
+//! Roofline execution model for a single decoder layer.
+//!
+//! Latency of a layer = projection part (the six linear kernels, whose
+//! precision follows the layer's bitwidth) + attention part (softmax /
+//! context GEMMs, always FP16 with the KV cache) + fixed kernel-launch
+//! overhead. Each part is `max(compute-time, memory-time)` under the
+//! device's efficiency tables.
+//!
+//! This model reproduces the planning-relevant phenomena of Figs 3 and 5:
+//!
+//! * prefill is compute-bound, decode memory-bound;
+//! * INT8 helps on T4/A100 (tensor cores) and *hurts* on V100/P100;
+//! * 3/4-bit weight-only kernels win decode (weight traffic ∝ bits/16)
+//!   but can lose prefill (dequant compute tax);
+//! * the P100/V100 latency gap differs by phase (14.5× vs 3–4×), which is
+//!   exactly why single-phase partitioning mis-balances stages.
+
+use llmpq_cluster::DeviceSpec;
+use llmpq_model::{flops, ModelSpec, Phase, PhaseWorkload};
+use llmpq_quant::Bitwidth;
+use serde::{Deserialize, Serialize};
+
+/// Execution environment for kernel timing.
+///
+/// Compute efficiency is a *flat* MFU ceiling: a kernel that cannot keep
+/// the ALUs busy is, by definition, limited by the memory term of the
+/// roofline (weights don't amortize over a small batch) or by the fixed
+/// launch overhead — both of which the model carries explicitly, so an
+/// extra batch-dependent compute penalty would double-count.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KernelEnv {
+    /// Fraction of peak FLOPs reachable by large GEMMs (MFU ceiling).
+    pub max_mfu: f64,
+    /// MFU ceiling for attention kernels (softmax-bound, less regular).
+    pub attn_mfu: f64,
+    /// Number of kernel launches per decoder layer (fixed overhead).
+    pub kernels_per_layer: f64,
+}
+
+impl Default for KernelEnv {
+    fn default() -> Self {
+        Self { max_mfu: 0.62, attn_mfu: 0.31, kernels_per_layer: 12.0 }
+    }
+}
+
+/// Split a layer's FLOPs into projection (precision-dependent) and
+/// attention (always FP16) parts.
+fn split_flops(spec: &ModelSpec, w: &PhaseWorkload) -> (f64, f64) {
+    let h = spec.hidden as f64;
+    let b = w.batch as f64;
+    let attn = match w.phase {
+        Phase::Prefill => 4.0 * b * (w.prompt_len as f64) * (w.prompt_len as f64) * h,
+        Phase::Decode => 4.0 * b * (w.past_len.max(1) as f64) * h,
+    };
+    let total = flops::layer_cost(spec, w).flops;
+    (total - attn, attn)
+}
+
+/// Latency (seconds) of one decoder layer of `spec` on `dev`, serving
+/// workload `w` with linear weights at `bits` and the KV cache at
+/// `kv_bits`.
+pub fn layer_latency(
+    dev: &DeviceSpec,
+    env: &KernelEnv,
+    spec: &ModelSpec,
+    w: &PhaseWorkload,
+    bits: Bitwidth,
+    kv_bits: f64,
+) -> f64 {
+    let cost = flops::layer_cost(spec, w);
+    let (proj_flops, attn_flops) = split_flops(spec, w);
+
+    // --- Projection kernels at the layer's precision ---
+    let peak = dev.fp16_tflops * 1e12;
+    let proj_compute = proj_flops / (peak * env.max_mfu * dev.compute_efficiency(bits));
+    let proj_bytes = cost.weight_bytes_fp16 * (bits.bits_f64() / 16.0) + cost.act_bytes;
+    let proj_memory = proj_bytes / (dev.mem_bw_gbs * 1e9 * dev.memory_efficiency(bits));
+    let proj = proj_compute.max(proj_memory);
+
+    // --- Attention kernels, always FP16, lower utilization ---
+    let attn_compute = attn_flops / (peak * env.attn_mfu);
+    let attn_bytes = cost.kv_bytes_fp16 * (kv_bits / 16.0);
+    let attn_memory = attn_bytes / (dev.mem_bw_gbs * 1e9 * dev.memory_efficiency(Bitwidth::Fp16));
+    let attn = attn_compute.max(attn_memory);
+
+    proj + attn + env.kernels_per_layer * dev.kernel_launch_us * 1e-6
+}
+
+/// Latency of the embedding stage (token lookup + LM head) on `dev`.
+/// Embeddings are never quantized.
+pub fn embedding_latency(dev: &DeviceSpec, env: &KernelEnv, spec: &ModelSpec, w: &PhaseWorkload) -> f64 {
+    let cost = flops::embedding_cost(spec, w);
+    let compute = cost.flops / (dev.fp16_tflops * 1e12 * env.max_mfu);
+    let bytes = cost.weight_bytes_fp16 + cost.act_bytes;
+    let memory = bytes / (dev.mem_bw_gbs * 1e9 * dev.memory_efficiency(Bitwidth::Fp16));
+    compute.max(memory) + 4.0 * dev.kernel_launch_us * 1e-6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llmpq_cluster::GpuModel;
+    use llmpq_model::zoo;
+
+    fn env() -> KernelEnv {
+        KernelEnv::default()
+    }
+
+    #[test]
+    fn prefill_much_slower_than_one_decode_step() {
+        let dev = GpuModel::V100_32G.spec();
+        let spec = zoo::opt_13b();
+        let pre = layer_latency(&dev, &env(), &spec, &PhaseWorkload::prefill(8, 512), Bitwidth::Fp16, 16.0);
+        let dec = layer_latency(&dev, &env(), &spec, &PhaseWorkload::decode(8, 512, 512), Bitwidth::Fp16, 16.0);
+        assert!(pre > 10.0 * dec, "prefill {pre} vs decode {dec}");
+    }
+
+    #[test]
+    fn p100_v100_gap_differs_by_phase() {
+        // Fig 3: the P100/V100 ratio in prefill (compute-bound) is far
+        // larger than in decode (bandwidth-bound) — P100's FLOPs deficit
+        // (6×) dwarfs its bandwidth deficit (1.6×).
+        let p100 = GpuModel::P100_12G.spec();
+        let v100 = GpuModel::V100_32G.spec();
+        let spec = zoo::opt_13b();
+        let wl_p = PhaseWorkload::prefill(8, 512);
+        let wl_d = PhaseWorkload::decode(8, 512, 512);
+        let ratio_pre = layer_latency(&p100, &env(), &spec, &wl_p, Bitwidth::Fp16, 16.0)
+            / layer_latency(&v100, &env(), &spec, &wl_p, Bitwidth::Fp16, 16.0);
+        let ratio_dec = layer_latency(&p100, &env(), &spec, &wl_d, Bitwidth::Fp16, 16.0)
+            / layer_latency(&v100, &env(), &spec, &wl_d, Bitwidth::Fp16, 16.0);
+        assert!(
+            ratio_pre > 2.0 * ratio_dec,
+            "phase gap: prefill ratio {ratio_pre:.2}, decode ratio {ratio_dec:.2}"
+        );
+    }
+
+    #[test]
+    fn int8_fast_on_t4_slow_on_v100_in_prefill() {
+        let spec = zoo::opt_30b();
+        let wl = PhaseWorkload::prefill(8, 512);
+        let t4 = GpuModel::T4_16G.spec();
+        let v100 = GpuModel::V100_32G.spec();
+        let t4_ratio = layer_latency(&t4, &env(), &spec, &wl, Bitwidth::Int8, 16.0)
+            / layer_latency(&t4, &env(), &spec, &wl, Bitwidth::Fp16, 16.0);
+        let v100_ratio = layer_latency(&v100, &env(), &spec, &wl, Bitwidth::Int8, 16.0)
+            / layer_latency(&v100, &env(), &spec, &wl, Bitwidth::Fp16, 16.0);
+        assert!(t4_ratio < 1.05, "T4 int8/fp16 prefill ratio {t4_ratio:.2}");
+        assert!(v100_ratio > 1.2, "V100 int8/fp16 prefill ratio {v100_ratio:.2}");
+    }
+
+    #[test]
+    fn low_bits_speed_up_decode_via_weight_traffic() {
+        // Decode is weight-bandwidth-bound: 4-bit should clearly beat
+        // FP16 on every device (Fig 5's decode panels).
+        let spec = zoo::opt_30b();
+        let wl = PhaseWorkload::decode(8, 512, 512);
+        for gpu in GpuModel::ALL {
+            let dev = gpu.spec();
+            let fp16 = layer_latency(&dev, &env(), &spec, &wl, Bitwidth::Fp16, 16.0);
+            let int4 = layer_latency(&dev, &env(), &spec, &wl, Bitwidth::Int4, 16.0);
+            assert!(int4 < fp16, "{gpu}: int4 {int4} >= fp16 {fp16}");
+        }
+    }
+
+    #[test]
+    fn fp16_can_win_prefill_over_low_bits() {
+        // Fig 5: "FP16 precision leads to the fastest inference in many
+        // cases" — in compute-bound prefill the dequant tax makes 3-bit
+        // slower than FP16 on an A100.
+        let spec = zoo::opt_30b();
+        let dev = GpuModel::A100_40G.spec();
+        let wl = PhaseWorkload::prefill(32, 512);
+        let fp16 = layer_latency(&dev, &env(), &spec, &wl, Bitwidth::Fp16, 16.0);
+        let int3 = layer_latency(&dev, &env(), &spec, &wl, Bitwidth::Int3, 16.0);
+        assert!(fp16 < int3, "fp16 {fp16} should beat int3 {int3} in prefill");
+    }
+
+    #[test]
+    fn decode_latency_grows_with_batch_sublinearly() {
+        // Weight reads amortize across the batch: doubling the decode
+        // batch must far less than double latency (why large decode
+        // micro-batches are efficient — Optimization #1).
+        let spec = zoo::opt_30b();
+        let dev = GpuModel::V100_32G.spec();
+        let t8 = layer_latency(&dev, &env(), &spec, &PhaseWorkload::decode(8, 512, 512), Bitwidth::Fp16, 16.0);
+        let t16 = layer_latency(&dev, &env(), &spec, &PhaseWorkload::decode(16, 512, 512), Bitwidth::Fp16, 16.0);
+        assert!(t16 < 1.5 * t8, "batch 16 {t16} vs batch 8 {t8}");
+    }
+
+    #[test]
+    fn embedding_latency_positive_and_phase_scaled() {
+        let spec = zoo::opt_13b();
+        let dev = GpuModel::A100_40G.spec();
+        let pre = embedding_latency(&dev, &env(), &spec, &PhaseWorkload::prefill(8, 512));
+        let dec = embedding_latency(&dev, &env(), &spec, &PhaseWorkload::decode(8, 512, 512));
+        assert!(pre > dec && dec > 0.0);
+    }
+
+    #[test]
+    fn latency_monotone_in_prompt_length() {
+        let spec = zoo::opt_13b();
+        let dev = GpuModel::T4_16G.spec();
+        let mut prev = 0.0;
+        for s in [64, 128, 256, 512, 1024] {
+            let t = layer_latency(&dev, &env(), &spec, &PhaseWorkload::prefill(4, s), Bitwidth::Fp16, 16.0);
+            assert!(t > prev);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn quantized_kv_reduces_decode_time() {
+        let spec = zoo::opt_66b();
+        let dev = GpuModel::V100_32G.spec();
+        let wl = PhaseWorkload::decode(32, 512, 600);
+        let full = layer_latency(&dev, &env(), &spec, &wl, Bitwidth::Int4, 16.0);
+        let half = layer_latency(&dev, &env(), &spec, &wl, Bitwidth::Int4, 8.0);
+        assert!(half < full);
+    }
+}

@@ -1,0 +1,207 @@
+//! FlexGen-style offloading executor (baseline for Tables 4, 5, 7).
+//!
+//! When a model shard does not fit in GPU memory, FlexGen stores the
+//! overflow on CPU RAM and NVMe and streams it in during execution,
+//! overlapping transfers with compute (zig-zag block schedule). The
+//! throughput of such a stage is bounded by
+//! `max(compute, overflow-traffic / interconnect-bandwidth)` per token
+//! step — swapping overhead is what makes FlexGen lose to LLM-PQ whenever
+//! the cluster can hold a quantized model entirely in GPU memory.
+
+use crate::kernel::{layer_latency, KernelEnv};
+use llmpq_cluster::DeviceSpec;
+use llmpq_model::{ModelSpec, PhaseWorkload};
+use llmpq_quant::Bitwidth;
+use serde::{Deserialize, Serialize};
+
+/// Offloading environment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OffloadConfig {
+    /// Host↔device (PCIe) bandwidth, bytes/s.
+    pub pcie_bps: f64,
+    /// CPU RAM available for weights, bytes.
+    pub cpu_ram_bytes: f64,
+    /// NVMe read bandwidth, bytes/s ("GB/s SSD" in the paper's testbed).
+    pub nvme_bps: f64,
+    /// Fraction of transfer hidden behind compute (zig-zag overlap).
+    pub overlap: f64,
+}
+
+impl Default for OffloadConfig {
+    fn default() -> Self {
+        Self { pcie_bps: 16e9, cpu_ram_bytes: 64e9, nvme_bps: 3e9, overlap: 0.7 }
+    }
+}
+
+/// Result of evaluating one offloading stage.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OffloadReport {
+    /// Bytes of weights resident on the GPU.
+    pub gpu_resident_bytes: f64,
+    /// Bytes streamed from CPU RAM per pass over the layers.
+    pub cpu_stream_bytes: f64,
+    /// Bytes streamed from NVMe per pass.
+    pub nvme_stream_bytes: f64,
+    /// Seconds per prefill micro-batch on this stage.
+    pub prefill_time: f64,
+    /// Seconds per decode micro-batch step on this stage.
+    pub decode_time: f64,
+}
+
+/// Evaluate one stage that owns `n_layers` layers of `spec` at uniform
+/// `bits` on `dev`, with `reserved_bytes` (KV cache + temporaries +
+/// embeddings) already claimed on the GPU.
+#[allow(clippy::too_many_arguments)]
+pub fn offload_stage(
+    dev: &DeviceSpec,
+    env: &KernelEnv,
+    cfg: &OffloadConfig,
+    spec: &ModelSpec,
+    n_layers: usize,
+    bits: Bitwidth,
+    reserved_bytes: f64,
+    prefill: &PhaseWorkload,
+    decode: &PhaseWorkload,
+) -> OffloadReport {
+    let per_layer = spec.layer_weight_bytes(bits.bits_f64());
+    let total = per_layer * n_layers as f64;
+    let gpu_budget = (dev.mem_bytes() - reserved_bytes).max(0.0);
+    let gpu_resident = total.min(gpu_budget);
+    let overflow = total - gpu_resident;
+    let cpu_stream = overflow.min(cfg.cpu_ram_bytes);
+    let nvme_stream = (overflow - cpu_stream).max(0.0);
+
+    // Per pass over the stage's layers, the overflow must cross PCIe
+    // (and possibly come off NVMe first — the slower of the two paths
+    // gates the stream).
+    let stream_time = cpu_stream / cfg.pcie_bps + nvme_stream / cfg.nvme_bps.min(cfg.pcie_bps);
+    let visible_stream = stream_time * (1.0 - cfg.overlap);
+
+    let compute_pre: f64 =
+        (0..n_layers).map(|_| layer_latency(dev, env, spec, prefill, bits, 16.0)).sum();
+    let compute_dec: f64 =
+        (0..n_layers).map(|_| layer_latency(dev, env, spec, decode, bits, 16.0)).sum();
+
+    OffloadReport {
+        gpu_resident_bytes: gpu_resident,
+        cpu_stream_bytes: cpu_stream,
+        nvme_stream_bytes: nvme_stream,
+        prefill_time: compute_pre.max(stream_time * cfg.overlap) + visible_stream,
+        decode_time: compute_dec.max(stream_time * cfg.overlap) + visible_stream,
+    }
+}
+
+/// Convenience: decode-phase token throughput (tokens/s) of a single
+/// offloading device running the whole model — FlexGen's headline metric.
+pub fn offload_throughput(
+    dev: &DeviceSpec,
+    env: &KernelEnv,
+    cfg: &OffloadConfig,
+    spec: &ModelSpec,
+    bits: Bitwidth,
+    reserved_bytes: f64,
+    decode: &PhaseWorkload,
+) -> f64 {
+    let r = offload_stage(
+        dev,
+        env,
+        cfg,
+        spec,
+        spec.n_layers,
+        bits,
+        reserved_bytes,
+        &PhaseWorkload::prefill(decode.batch, decode.prompt_len),
+        decode,
+    );
+    decode.batch as f64 / r.decode_time
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llmpq_cluster::GpuModel;
+    use llmpq_model::zoo;
+
+    fn env() -> KernelEnv {
+        KernelEnv::default()
+    }
+
+    #[test]
+    fn fitting_model_pays_no_stream_cost() {
+        let dev = GpuModel::A100_40G.spec();
+        let spec = zoo::opt_13b();
+        let r = offload_stage(
+            &dev,
+            &env(),
+            &OffloadConfig::default(),
+            &spec,
+            spec.n_layers,
+            Bitwidth::Fp16,
+            2e9,
+            &PhaseWorkload::prefill(8, 512),
+            &PhaseWorkload::decode(8, 512, 512),
+        );
+        assert_eq!(r.cpu_stream_bytes, 0.0);
+        assert_eq!(r.nvme_stream_bytes, 0.0);
+    }
+
+    #[test]
+    fn overflowing_model_streams_and_slows() {
+        // OPT-30b FP16 (~60 GB) on a 16 GB T4: heavy swapping.
+        let dev = GpuModel::T4_16G.spec();
+        let spec = zoo::opt_30b();
+        let cfg = OffloadConfig::default();
+        let pre = PhaseWorkload::prefill(8, 512);
+        let dec = PhaseWorkload::decode(8, 512, 512);
+        let r = offload_stage(&dev, &env(), &cfg, &spec, spec.n_layers, Bitwidth::Fp16, 2e9, &pre, &dec);
+        assert!(r.cpu_stream_bytes > 0.0);
+        let fit_dec: f64 = (0..spec.n_layers)
+            .map(|_| layer_latency(&dev, &env(), &spec, &dec, Bitwidth::Fp16, 16.0))
+            .sum();
+        assert!(
+            r.decode_time > 3.0 * fit_dec,
+            "swap {} should dwarf pure compute {}",
+            r.decode_time,
+            fit_dec
+        );
+    }
+
+    #[test]
+    fn int8_reduces_swap_traffic() {
+        // FlexGen-int8 consistently beats FlexGen-fp16 in the paper's
+        // memory-constrained rows because it halves the stream.
+        let dev = GpuModel::T4_16G.spec();
+        let spec = zoo::opt_30b();
+        let cfg = OffloadConfig::default();
+        let dec = PhaseWorkload::decode(8, 512, 512);
+        let t_fp16 = offload_throughput(&dev, &env(), &cfg, &spec, Bitwidth::Fp16, 2e9, &dec);
+        let t_int8 = offload_throughput(&dev, &env(), &cfg, &spec, Bitwidth::Int8, 2e9, &dec);
+        assert!(t_int8 > t_fp16, "int8 {t_int8} vs fp16 {t_fp16}");
+    }
+
+    #[test]
+    fn nvme_spill_is_slower_than_ram_spill() {
+        let dev = GpuModel::T4_16G.spec();
+        let spec = zoo::opt_66b(); // ~132 GB FP16: spills past 64 GB RAM
+        let cfg = OffloadConfig::default();
+        let pre = PhaseWorkload::prefill(8, 512);
+        let dec = PhaseWorkload::decode(8, 512, 512);
+        let r = offload_stage(&dev, &env(), &cfg, &spec, spec.n_layers, Bitwidth::Fp16, 2e9, &pre, &dec);
+        assert!(r.nvme_stream_bytes > 0.0, "should spill to NVMe");
+        let big_ram = OffloadConfig { cpu_ram_bytes: 1e12, ..cfg };
+        let r2 = offload_stage(&dev, &env(), &big_ram, &spec, spec.n_layers, Bitwidth::Fp16, 2e9, &pre, &dec);
+        assert!(r2.decode_time < r.decode_time, "RAM-only spill must be faster");
+    }
+
+    #[test]
+    fn reserved_bytes_shrink_residency() {
+        let dev = GpuModel::V100_32G.spec();
+        let spec = zoo::opt_30b();
+        let cfg = OffloadConfig::default();
+        let pre = PhaseWorkload::prefill(8, 512);
+        let dec = PhaseWorkload::decode(8, 512, 512);
+        let a = offload_stage(&dev, &env(), &cfg, &spec, 24, Bitwidth::Fp16, 0.0, &pre, &dec);
+        let b = offload_stage(&dev, &env(), &cfg, &spec, 24, Bitwidth::Fp16, 20e9, &pre, &dec);
+        assert!(b.gpu_resident_bytes < a.gpu_resident_bytes);
+    }
+}

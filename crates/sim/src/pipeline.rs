@@ -1,0 +1,340 @@
+//! Discrete-event simulation of pipeline-parallel generative serving.
+//!
+//! Models exactly the execution the paper's runtime performs on an
+//! offline batch job: the master engine embeds micro-batches and feeds
+//! them through the stage pipeline; prefill micro-batches stream freely
+//! (GPipe-style), while decode steps carry the autoregressive dependency
+//! — token *t* of a micro-batch enters stage 0 only after token *t−1*
+//! finished the last stage and its logits were processed.
+//!
+//! Because LLM-PQ sizes micro-batches *per phase* (hybrid micro-batch
+//! sizing), the global batch is re-chunked at the prefill→decode
+//! boundary, which acts as a barrier.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-stage execution profile.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StageLoad {
+    /// Time to process one *prefill* micro-batch on this stage (s).
+    pub prefill_time: f64,
+    /// Time to process one *decode* micro-batch token-step (s).
+    pub decode_time: f64,
+    /// Time to ship a prefill activation to the next stage (s).
+    pub comm_prefill: f64,
+    /// Time to ship a decode activation to the next stage (s).
+    pub comm_decode: f64,
+}
+
+/// Workload shape for one batch job.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PipelineWorkload {
+    /// Number of prefill micro-batches (global batch / prefill µ-size).
+    pub prefill_microbatches: usize,
+    /// Number of decode micro-batches.
+    pub decode_microbatches: usize,
+    /// Tokens generated per sequence (`n`); the first comes from prefill
+    /// logits, the remaining `n−1` from decode steps.
+    pub n_tokens: usize,
+    /// Master-engine time per prefill micro-batch (embedding + logits).
+    pub master_prefill: f64,
+    /// Master-engine time per decode micro-batch step.
+    pub master_decode: f64,
+}
+
+/// Result of a pipeline simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineReport {
+    /// Wall-clock until the last prefill logits were produced (s).
+    pub prefill_latency: f64,
+    /// Wall-clock of the decode phase (s).
+    pub decode_latency: f64,
+    /// End-to-end latency of the batch (s).
+    pub total_latency: f64,
+    /// Busy seconds per stage.
+    pub stage_busy: Vec<f64>,
+    /// 1 − busy/total of the most idle stage during decode.
+    pub max_bubble_fraction: f64,
+}
+
+/// Simulate one batch job. `stages` orders pipeline stages from input to
+/// output.
+#[allow(clippy::needless_range_loop)]
+pub fn simulate_pipeline(stages: &[StageLoad], w: &PipelineWorkload) -> PipelineReport {
+    assert!(!stages.is_empty(), "need at least one stage");
+    assert!(w.prefill_microbatches > 0, "need at least one prefill micro-batch");
+    assert!(w.n_tokens >= 1, "must generate at least one token");
+    if w.n_tokens > 1 {
+        assert!(w.decode_microbatches > 0, "decode requires micro-batches");
+    }
+    let n_stages = stages.len();
+    let mut stage_free = vec![0.0f64; n_stages];
+    let mut stage_busy = vec![0.0f64; n_stages];
+    let mut master_free;
+
+    // --- Prefill: free-streaming micro-batches ---
+    // The master prioritizes feeding the pipeline: it embeds every
+    // micro-batch back to back (they are all ready at t=0), then handles
+    // logits jobs as stage outputs arrive.
+    let half_master = w.master_prefill / 2.0;
+    let mut prefill_end = 0.0f64;
+    let embed_done: Vec<f64> = (0..w.prefill_microbatches)
+        .map(|m| (m + 1) as f64 * half_master)
+        .collect();
+    master_free = w.prefill_microbatches as f64 * half_master;
+    let mut stage_out = vec![0.0f64; w.prefill_microbatches];
+    for (m, out) in stage_out.iter_mut().enumerate() {
+        let mut t = embed_done[m];
+        for (s, st) in stages.iter().enumerate() {
+            let start = t.max(stage_free[s]);
+            let done = start + st.prefill_time;
+            stage_free[s] = done;
+            stage_busy[s] += st.prefill_time;
+            t = done + if s + 1 < n_stages { st.comm_prefill } else { 0.0 };
+        }
+        *out = t;
+    }
+    // Stage outputs complete in micro-batch order (stage occupancy is
+    // FIFO), so processing logits in that order is arrival order.
+    for &out in &stage_out {
+        let start = out.max(master_free);
+        let done = start + half_master;
+        master_free = done;
+        prefill_end = prefill_end.max(done);
+    }
+
+    // --- Decode: autoregressive steps with re-chunk barrier ---
+    let decode_busy_start: Vec<f64> = stage_busy.clone();
+    let mut decode_end = prefill_end;
+    if w.n_tokens > 1 {
+        for s in 0..n_stages {
+            stage_free[s] = stage_free[s].max(prefill_end);
+        }
+        master_free = master_free.max(prefill_end);
+        let half_dec = w.master_decode / 2.0;
+        // Event-driven FIFO scheduling. Each micro-batch walks the chain
+        //   master-embed → stage 0 → … → stage k−1 → master-logits
+        // once per token step; every resource (master, each stage) is a
+        // single FIFO server. Requests are served in ready-time order.
+        //
+        // `pos`: 0 = master embed, 1..=k = stage pos−1, k+1 = logits.
+        #[derive(Debug, Clone, Copy)]
+        struct Req {
+            ready: f64,
+            m: usize,
+            step: usize,
+            pos: usize,
+        }
+        let mut heap: Vec<Req> = (0..w.decode_microbatches)
+            .map(|m| Req { ready: prefill_end, m, step: 1, pos: 0 })
+            .collect();
+        // Binary min-heap over (ready, step, m) for deterministic order.
+        let before = |a: &Req, b: &Req| {
+            (a.ready, a.step, a.m, a.pos) < (b.ready, b.step, b.m, b.pos)
+        };
+        let pop_min = |heap: &mut Vec<Req>| -> Req {
+            let mut best = 0;
+            for i in 1..heap.len() {
+                if before(&heap[i], &heap[best]) {
+                    best = i;
+                }
+            }
+            heap.swap_remove(best)
+        };
+        while !heap.is_empty() {
+            let req = pop_min(&mut heap);
+            let last_pos = n_stages + 1;
+            let (start, done) = if req.pos == 0 || req.pos == last_pos {
+                let start = req.ready.max(master_free);
+                let done = start + half_dec;
+                master_free = done;
+                (start, done)
+            } else {
+                let s = req.pos - 1;
+                let start = req.ready.max(stage_free[s]);
+                let done = start + stages[s].decode_time;
+                stage_free[s] = done;
+                stage_busy[s] += stages[s].decode_time;
+                (start, done)
+            };
+            let _ = start;
+            if req.pos == last_pos {
+                decode_end = decode_end.max(done);
+                if req.step + 1 < w.n_tokens {
+                    heap.push(Req { ready: done, m: req.m, step: req.step + 1, pos: 0 });
+                }
+            } else {
+                let comm = if req.pos >= 1 && req.pos < n_stages {
+                    stages[req.pos - 1].comm_decode
+                } else {
+                    0.0
+                };
+                heap.push(Req { ready: done + comm, m: req.m, step: req.step, pos: req.pos + 1 });
+            }
+        }
+    }
+
+    let decode_span = (decode_end - prefill_end).max(f64::MIN_POSITIVE);
+    let max_bubble = if w.n_tokens > 1 {
+        (0..n_stages)
+            .map(|s| 1.0 - (stage_busy[s] - decode_busy_start[s]) / decode_span)
+            .fold(0.0f64, f64::max)
+    } else {
+        0.0
+    };
+
+    PipelineReport {
+        prefill_latency: prefill_end,
+        decode_latency: decode_end - prefill_end,
+        total_latency: decode_end,
+        stage_busy,
+        max_bubble_fraction: max_bubble.clamp(0.0, 1.0),
+    }
+}
+
+/// The paper's closed-form objective (eq. 4): pipeline latency
+/// `(µ_pre −1)·T_max_pre + ΣT_pre + ((n−1)·µ_dec −1)·T_max_dec + ΣT_dec`,
+/// with per-stage times including outgoing communication. The ILP
+/// minimizes this; the DES above validates it.
+pub fn analytical_latency(stages: &[StageLoad], w: &PipelineWorkload) -> f64 {
+    let pre: Vec<f64> = stages.iter().map(|s| s.prefill_time + s.comm_prefill).collect();
+    let dec: Vec<f64> = stages.iter().map(|s| s.decode_time + s.comm_decode).collect();
+    let t_max_pre = pre.iter().cloned().fold(w.master_prefill, f64::max);
+    let t_max_dec = dec.iter().cloned().fold(w.master_decode, f64::max);
+    let sum_pre: f64 = pre.iter().sum::<f64>() + w.master_prefill;
+    let sum_dec: f64 = dec.iter().sum::<f64>() + w.master_decode;
+    let prefill = (w.prefill_microbatches as f64 - 1.0) * t_max_pre + sum_pre;
+    let decode_steps = (w.n_tokens.saturating_sub(1) * w.decode_microbatches) as f64;
+    let decode = if decode_steps > 0.0 {
+        (decode_steps - 1.0) * t_max_dec + sum_dec
+    } else {
+        0.0
+    };
+    prefill + decode
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_stages(n: usize, pre: f64, dec: f64) -> Vec<StageLoad> {
+        vec![
+            StageLoad { prefill_time: pre, decode_time: dec, comm_prefill: 0.0, comm_decode: 0.0 };
+            n
+        ]
+    }
+
+    fn wl(mu_p: usize, mu_d: usize, n: usize) -> PipelineWorkload {
+        PipelineWorkload {
+            prefill_microbatches: mu_p,
+            decode_microbatches: mu_d,
+            n_tokens: n,
+            master_prefill: 0.0,
+            master_decode: 0.0,
+        }
+    }
+
+    #[test]
+    fn single_stage_single_microbatch() {
+        let stages = uniform_stages(1, 2.0, 0.1);
+        let r = simulate_pipeline(&stages, &wl(1, 1, 11));
+        assert!((r.prefill_latency - 2.0).abs() < 1e-9);
+        assert!((r.decode_latency - 1.0).abs() < 1e-9);
+        assert!((r.total_latency - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pipelining_overlaps_microbatches() {
+        // 4 stages × 1s each; 4 micro-batches: perfect pipeline finishes
+        // in 4 (fill) + 3 (drain) = 7s, far below serial 16s.
+        let stages = uniform_stages(4, 1.0, 0.0);
+        let r = simulate_pipeline(&stages, &wl(4, 1, 1));
+        assert!((r.prefill_latency - 7.0).abs() < 1e-9, "got {}", r.prefill_latency);
+    }
+
+    #[test]
+    fn slowest_stage_bounds_throughput() {
+        let mut stages = uniform_stages(3, 1.0, 0.0);
+        stages[1].prefill_time = 3.0; // straggler
+        let r = simulate_pipeline(&stages, &wl(8, 1, 1));
+        // Steady state: one micro-batch per 3s through the straggler.
+        let expect = analytical_latency(&stages, &wl(8, 1, 1));
+        assert!((r.prefill_latency - expect).abs() / expect < 0.05, "{} vs {expect}", r.prefill_latency);
+    }
+
+    #[test]
+    fn matches_analytical_formula_when_saturated() {
+        let stages = uniform_stages(4, 2.0, 0.2);
+        let w = wl(8, 4, 50);
+        let des = simulate_pipeline(&stages, &w).total_latency;
+        let ana = analytical_latency(&stages, &w);
+        let err = (des - ana).abs() / ana;
+        assert!(err < 0.10, "DES {des:.2} vs analytical {ana:.2} ({:.1}%)", err * 100.0);
+    }
+
+    #[test]
+    fn decode_dependency_serializes_single_microbatch() {
+        // With one decode micro-batch, steps cannot overlap: each token
+        // must traverse the whole pipeline before the next starts.
+        let stages = uniform_stages(3, 1.0, 0.5);
+        let r = simulate_pipeline(&stages, &wl(1, 1, 11));
+        // 10 decode steps × 3 stages × 0.5s
+        assert!((r.decode_latency - 15.0).abs() < 1e-9, "got {}", r.decode_latency);
+        assert!(r.max_bubble_fraction > 0.5, "pipeline mostly idle per stage");
+    }
+
+    #[test]
+    fn more_decode_microbatches_fill_bubbles() {
+        let stages = uniform_stages(4, 1.0, 0.5);
+        let one = simulate_pipeline(&stages, &wl(1, 1, 21));
+        let four = simulate_pipeline(&stages, &wl(1, 4, 21));
+        // 4 µ-batches of work is 4× the tokens, but overlap means far
+        // less than 4× the time.
+        assert!(four.decode_latency < 2.0 * one.decode_latency);
+        assert!(four.max_bubble_fraction < one.max_bubble_fraction);
+    }
+
+    #[test]
+    fn comm_time_extends_latency() {
+        let mut stages = uniform_stages(2, 1.0, 0.1);
+        let base = simulate_pipeline(&stages, &wl(2, 2, 10)).total_latency;
+        stages[0].comm_prefill = 0.5;
+        stages[0].comm_decode = 0.5;
+        let slow = simulate_pipeline(&stages, &wl(2, 2, 10)).total_latency;
+        assert!(slow > base);
+    }
+
+    #[test]
+    fn master_engine_is_a_serial_resource() {
+        let stages = uniform_stages(2, 1.0, 0.1);
+        let mut w = wl(4, 2, 5);
+        w.master_prefill = 2.0; // master slower than the stages
+        let r = simulate_pipeline(&stages, &w);
+        // Master alone needs 4 × 2s just for prefill pre/post-processing.
+        assert!(r.prefill_latency >= 8.0);
+    }
+
+    #[test]
+    fn stage_busy_accounts_all_work() {
+        let stages = uniform_stages(3, 1.0, 0.25);
+        let w = wl(4, 2, 9);
+        let r = simulate_pipeline(&stages, &w);
+        for s in 0..3 {
+            let expect = 4.0 * 1.0 + (2 * 8) as f64 * 0.25;
+            assert!((r.stage_busy[s] - expect).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stage")]
+    fn rejects_empty_pipeline() {
+        simulate_pipeline(&[], &wl(1, 1, 1));
+    }
+
+    #[test]
+    fn n_tokens_one_skips_decode() {
+        let stages = uniform_stages(2, 1.0, 9.0);
+        let r = simulate_pipeline(&stages, &wl(2, 0, 1));
+        assert_eq!(r.decode_latency, 0.0);
+    }
+}

@@ -1,0 +1,159 @@
+//! Tensor-parallel execution model (paper §7, "Search for Tensor
+//! Parallelization").
+//!
+//! The paper observes that a TP group can be folded into the 1-D
+//! pipeline search "as a new device with larger memory and different
+//! kernel performance (as tensor-parallel will introduce some
+//! communication overhead)". This module provides that new device's
+//! kernel model: a decoder layer sharded Megatron-style across `width`
+//! GPUs — column-parallel QKV/W1, row-parallel Wo/W2 — runs its FLOPs
+//! and weight traffic at `1/width` per GPU and pays two all-reduces of
+//! the activations per layer.
+
+use crate::kernel::{layer_latency, KernelEnv};
+use llmpq_cluster::{DeviceSpec, Link};
+use llmpq_model::{flops, ModelSpec, PhaseWorkload};
+use llmpq_quant::Bitwidth;
+use serde::{Deserialize, Serialize};
+
+/// A tensor-parallel group acting as one pipeline device.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TpGroup {
+    /// GPUs in the group (1 = plain device).
+    pub width: usize,
+    /// Intra-group link (NVLink within a node in the paper's clusters).
+    pub link: Link,
+    /// Sharding efficiency: fraction of ideal 1/width compute scaling
+    /// actually achieved (kernel fragmentation at small per-GPU shards).
+    pub efficiency: f64,
+}
+
+impl TpGroup {
+    /// A single-GPU "group" — exactly the plain kernel model.
+    pub fn solo() -> Self {
+        Self { width: 1, link: Link { bandwidth_bps: f64::INFINITY, latency_s: 0.0 }, efficiency: 1.0 }
+    }
+
+    /// An NVLink-connected group of `width` GPUs.
+    pub fn nvlink(width: usize) -> Self {
+        assert!(width >= 1);
+        Self {
+            width,
+            link: llmpq_cluster::Interconnect::NvLink.link(),
+            // Megatron-style sharding keeps ~92% efficiency per doubling
+            // at serving-scale hidden sizes.
+            efficiency: 0.92f64.powf((width as f64).log2()),
+        }
+    }
+
+    /// Memory capacity multiplier of the group.
+    pub fn mem_multiplier(&self) -> f64 {
+        self.width as f64
+    }
+}
+
+/// Ring all-reduce time for `bytes` over `width` ranks on `link`.
+pub fn allreduce_time(link: &Link, width: usize, bytes: f64) -> f64 {
+    if width <= 1 {
+        return 0.0;
+    }
+    // Ring: 2(w−1)/w of the data crosses each link, 2(w−1) latency hops.
+    let w = width as f64;
+    2.0 * (w - 1.0) * link.latency_s + 2.0 * (w - 1.0) / w * bytes / link.bandwidth_bps
+}
+
+/// Latency of one decoder layer executed by a TP group.
+pub fn tp_layer_latency(
+    dev: &DeviceSpec,
+    env: &KernelEnv,
+    group: &TpGroup,
+    spec: &ModelSpec,
+    w: &PhaseWorkload,
+    bits: Bitwidth,
+    kv_bits: f64,
+) -> f64 {
+    if group.width == 1 {
+        return layer_latency(dev, env, spec, w, bits, kv_bits);
+    }
+    // Per-GPU shard: FLOPs, weight and KV traffic divide by width
+    // (heads and MLP columns are split); activations stay full-size.
+    // Model this by scaling the device up rather than the model down —
+    // identical arithmetic, no fractional model dims needed.
+    let scaled = DeviceSpec {
+        fp16_tflops: dev.fp16_tflops * group.width as f64 * group.efficiency,
+        mem_bw_gbs: dev.mem_bw_gbs * group.width as f64 * group.efficiency,
+        ..*dev
+    };
+    let compute = layer_latency(&scaled, env, spec, w, bits, kv_bits);
+    // Two all-reduces (post-attention, post-MLP) of the hidden states.
+    let act_bytes = flops::boundary_activation_bytes(spec, w);
+    compute + 2.0 * allreduce_time(&group.link, group.width, act_bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llmpq_cluster::GpuModel;
+    use llmpq_model::zoo;
+
+    fn env() -> KernelEnv {
+        KernelEnv::default()
+    }
+
+    #[test]
+    fn solo_group_matches_plain_kernel() {
+        let dev = GpuModel::A100_40G.spec();
+        let spec = zoo::opt_30b();
+        let w = PhaseWorkload::prefill(8, 512);
+        let plain = layer_latency(&dev, &env(), &spec, &w, Bitwidth::Fp16, 16.0);
+        let tp = tp_layer_latency(&dev, &env(), &TpGroup::solo(), &spec, &w, Bitwidth::Fp16, 16.0);
+        assert_eq!(plain, tp);
+    }
+
+    #[test]
+    fn tp_speeds_up_compute_bound_prefill() {
+        let dev = GpuModel::V100_32G.spec();
+        let spec = zoo::opt_66b();
+        let w = PhaseWorkload::prefill(8, 512);
+        let t1 = tp_layer_latency(&dev, &env(), &TpGroup::nvlink(1), &spec, &w, Bitwidth::Fp16, 16.0);
+        let t2 = tp_layer_latency(&dev, &env(), &TpGroup::nvlink(2), &spec, &w, Bitwidth::Fp16, 16.0);
+        let t4 = tp_layer_latency(&dev, &env(), &TpGroup::nvlink(4), &spec, &w, Bitwidth::Fp16, 16.0);
+        assert!(t2 < t1 && t4 < t2, "{t1} {t2} {t4}");
+        // Sublinear: communication + efficiency losses.
+        assert!(t4 > t1 / 4.0);
+    }
+
+    #[test]
+    fn tp_gains_shrink_for_tiny_decode_batches() {
+        // Decode at batch 1 is latency/overhead bound: the all-reduce tax
+        // eats most of the sharding gain.
+        let dev = GpuModel::A100_40G.spec();
+        let spec = zoo::opt_13b();
+        let dec = PhaseWorkload::decode(1, 512, 512);
+        let pre = PhaseWorkload::prefill(8, 512);
+        let gain = |w: &PhaseWorkload| {
+            let t1 = tp_layer_latency(&dev, &env(), &TpGroup::nvlink(1), &spec, w, Bitwidth::Fp16, 16.0);
+            let t4 = tp_layer_latency(&dev, &env(), &TpGroup::nvlink(4), &spec, w, Bitwidth::Fp16, 16.0);
+            t1 / t4
+        };
+        assert!(gain(&pre) > gain(&dec), "prefill gain {} vs decode gain {}", gain(&pre), gain(&dec));
+    }
+
+    #[test]
+    fn allreduce_scales_with_width_and_bytes() {
+        let link = llmpq_cluster::Interconnect::NvLink.link();
+        assert_eq!(allreduce_time(&link, 1, 1e9), 0.0);
+        let t2 = allreduce_time(&link, 2, 1e9);
+        let t8 = allreduce_time(&link, 8, 1e9);
+        assert!(t8 > t2);
+        let tb = allreduce_time(&link, 2, 2e9);
+        assert!(tb > t2);
+    }
+
+    #[test]
+    fn group_memory_multiplier() {
+        assert_eq!(TpGroup::nvlink(4).mem_multiplier(), 4.0);
+        assert!(TpGroup::nvlink(4).efficiency < 1.0);
+        assert_eq!(TpGroup::nvlink(1).efficiency, 1.0);
+    }
+}

@@ -1,0 +1,143 @@
+//! Property-based tests for the execution simulator.
+
+use llmpq_cluster::GpuModel;
+use llmpq_model::{zoo, PhaseWorkload};
+use llmpq_quant::Bitwidth;
+use llmpq_sim::{
+    layer_latency, measured_peak_memory, simulate_pipeline, KernelEnv, PipelineWorkload, StageLoad,
+};
+use proptest::prelude::*;
+
+fn any_gpu() -> impl Strategy<Value = GpuModel> {
+    prop_oneof![
+        Just(GpuModel::P100_12G),
+        Just(GpuModel::T4_16G),
+        Just(GpuModel::V100_32G),
+        Just(GpuModel::A100_40G),
+        Just(GpuModel::A800_80G),
+    ]
+}
+
+fn any_bits() -> impl Strategy<Value = Bitwidth> {
+    prop_oneof![
+        Just(Bitwidth::Int3),
+        Just(Bitwidth::Int4),
+        Just(Bitwidth::Int8),
+        Just(Bitwidth::Fp16),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Kernel latency is positive, finite, and monotone in batch size
+    /// and prompt length for every device × precision.
+    #[test]
+    fn kernel_latency_monotone(
+        gpu in any_gpu(),
+        bits in any_bits(),
+        batch in 1usize..32,
+        s in 32usize..512,
+    ) {
+        let dev = gpu.spec();
+        let env = KernelEnv::default();
+        let spec = zoo::opt_13b();
+        let t = layer_latency(&dev, &env, &spec, &PhaseWorkload::prefill(batch, s), bits, 16.0);
+        prop_assert!(t.is_finite() && t > 0.0);
+        let t_bigger_batch =
+            layer_latency(&dev, &env, &spec, &PhaseWorkload::prefill(batch + 1, s), bits, 16.0);
+        prop_assert!(t_bigger_batch >= t - 1e-12);
+        let t_longer =
+            layer_latency(&dev, &env, &spec, &PhaseWorkload::prefill(batch, s + 64), bits, 16.0);
+        prop_assert!(t_longer >= t - 1e-12);
+    }
+
+    /// Decode latency never decreases with context length.
+    #[test]
+    fn decode_latency_monotone_in_context(
+        gpu in any_gpu(),
+        bits in any_bits(),
+        past in 16usize..1024,
+    ) {
+        let dev = gpu.spec();
+        let env = KernelEnv::default();
+        let spec = zoo::opt_30b();
+        let a = layer_latency(&dev, &env, &spec, &PhaseWorkload::decode(8, 512, past), bits, 16.0);
+        let b = layer_latency(&dev, &env, &spec, &PhaseWorkload::decode(8, 512, past + 64), bits, 16.0);
+        prop_assert!(b >= a - 1e-12);
+    }
+
+    /// Pipeline latency is monotone: slowing any stage cannot finish the
+    /// batch earlier.
+    #[test]
+    fn pipeline_monotone_in_stage_time(
+        n_stages in 1usize..5,
+        victim in 0usize..5,
+        pre in 0.1f64..1.0,
+        dec in 0.01f64..0.1,
+        extra in 0.01f64..1.0,
+        mu_p in 1usize..4,
+        mu_d in 1usize..4,
+    ) {
+        let victim = victim % n_stages;
+        let base = vec![StageLoad { prefill_time: pre, decode_time: dec, comm_prefill: 0.0, comm_decode: 0.0 }; n_stages];
+        let w = PipelineWorkload {
+            prefill_microbatches: mu_p,
+            decode_microbatches: mu_d,
+            n_tokens: 10,
+            master_prefill: 0.0,
+            master_decode: 0.0,
+        };
+        let t0 = simulate_pipeline(&base, &w).total_latency;
+        let mut slower = base.clone();
+        slower[victim].prefill_time += extra;
+        slower[victim].decode_time += extra / 10.0;
+        let t1 = simulate_pipeline(&slower, &w).total_latency;
+        prop_assert!(t1 >= t0 - 1e-9, "slowing stage {victim} sped up: {t0} -> {t1}");
+    }
+
+    /// Peak memory is monotone in every workload dimension and in bits.
+    #[test]
+    fn memory_monotone(
+        n_layers in 1usize..12,
+        batch in 1usize..32,
+        s in 64usize..512,
+        n_gen in 10usize..300,
+    ) {
+        let spec = zoo::opt_13b();
+        let bits = vec![Bitwidth::Int4; n_layers];
+        let m = measured_peak_memory(&spec, &bits, batch, batch, s, n_gen, 16.0, false);
+        prop_assert!(m > 0.0);
+        let more_layers = measured_peak_memory(&spec, &vec![Bitwidth::Int4; n_layers + 1], batch, batch, s, n_gen, 16.0, false);
+        prop_assert!(more_layers > m);
+        let more_batch = measured_peak_memory(&spec, &bits, batch + 1, batch + 1, s, n_gen, 16.0, false);
+        prop_assert!(more_batch >= m);
+        let higher_bits = measured_peak_memory(&spec, &vec![Bitwidth::Fp16; n_layers], batch, batch, s, n_gen, 16.0, false);
+        prop_assert!(higher_bits > m);
+        let kv8 = measured_peak_memory(&spec, &bits, batch, batch, s, n_gen, 8.0, false);
+        prop_assert!(kv8 <= m);
+    }
+
+    /// Stage busy time in the DES exactly equals the scheduled work.
+    #[test]
+    fn pipeline_busy_accounting(
+        n_stages in 1usize..4,
+        mu_p in 1usize..4,
+        mu_d in 1usize..4,
+        n_tokens in 2usize..12,
+    ) {
+        let stages = vec![StageLoad { prefill_time: 0.7, decode_time: 0.03, comm_prefill: 0.01, comm_decode: 0.002 }; n_stages];
+        let w = PipelineWorkload {
+            prefill_microbatches: mu_p,
+            decode_microbatches: mu_d,
+            n_tokens,
+            master_prefill: 0.05,
+            master_decode: 0.004,
+        };
+        let r = simulate_pipeline(&stages, &w);
+        for s in 0..n_stages {
+            let expect = mu_p as f64 * 0.7 + (mu_d * (n_tokens - 1)) as f64 * 0.03;
+            prop_assert!((r.stage_busy[s] - expect).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,508 @@
+//! Exact DP solver for pipeline partition + bitwidth assignment.
+//!
+//! The assigner's inner problem (paper eq. 4–16): place `L` contiguous
+//! layer groups onto `N` ordered devices and pick a quantization
+//! precision, minimizing
+//!
+//! ```text
+//! α_pre·T_max_pre + α_dec·T_max_dec + Σ_g lin_cost(g, device(g), bits(g))
+//! ```
+//!
+//! subject to per-device memory capacities, where `T_max_phase` is the
+//! largest per-stage time (compute + outgoing communication). The `α`
+//! weights carry the micro-batch counts of the pipeline-latency formula
+//! and `lin_cost` carries the per-layer latency sums and the θ-weighted
+//! quality indicator.
+//!
+//! This solver is exact over the class of plans that use **one bitwidth
+//! per stage** (mixed precision across stages, uniform within a stage).
+//! The paper's per-layer mixing inside a stage is recovered afterwards by
+//! the bitwidth-transfer refinement (Algorithm 2, in `llm-pq`); the
+//! branch-and-bound MILP covers full per-layer mixing for small/grouped
+//! instances. Strategy: enumerate a candidate grid of
+//! `(T_max_pre, T_max_dec)` bounds drawn from the achievable stage times
+//! and run an `O(N·L²·B)` feasibility DP per candidate pair.
+
+use serde::{Deserialize, Serialize};
+
+/// Problem instance. All tensors are flattened `[g][j][b]` row-major.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PartitionProblem {
+    /// Number of contiguous layer groups `L`.
+    pub n_groups: usize,
+    /// Number of ordered devices `N`.
+    pub n_devices: usize,
+    /// Number of candidate bitwidths `B`.
+    pub n_bits: usize,
+    /// Prefill-time contribution of group `g` on device `j` at bits `b`.
+    pub pre_time: Vec<f64>,
+    /// Decode-time contribution.
+    pub dec_time: Vec<f64>,
+    /// Memory bytes of the group's weights + KV on that device.
+    pub mem: Vec<f64>,
+    /// Linear objective term (latency sums + θ·ω), same indexing.
+    pub lin_cost: Vec<f64>,
+    /// Memory capacity per device, bytes.
+    pub capacity: Vec<f64>,
+    /// Fixed memory per device if it hosts at least one group
+    /// (framework overhead; embeddings on the master's device).
+    pub fixed_mem: Vec<f64>,
+    /// Outgoing-boundary communication added to a non-empty stage's
+    /// prefill time.
+    pub comm_pre: Vec<f64>,
+    /// Same for decode.
+    pub comm_dec: Vec<f64>,
+    /// Weight on `T_max_pre` (e.g. `µ_pre − 1`).
+    pub alpha_pre: f64,
+    /// Weight on `T_max_dec` (e.g. `(n−1)·µ_dec − 1`).
+    pub alpha_dec: f64,
+    /// Whether a device may be left without layers.
+    pub allow_empty_stages: bool,
+    /// Candidate-grid size per phase; `None` = exhaustive (exact).
+    pub grid: Option<usize>,
+}
+
+impl PartitionProblem {
+    #[inline]
+    fn idx(&self, g: usize, j: usize, b: usize) -> usize {
+        (g * self.n_devices + j) * self.n_bits + b
+    }
+}
+
+/// A solved plan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PartitionSolution {
+    /// Per group: `(device, bit index)`. Devices are non-decreasing.
+    pub assignment: Vec<(usize, usize)>,
+    /// Total objective value.
+    pub objective: f64,
+    /// Realized max prefill stage time (incl. comm).
+    pub t_max_pre: f64,
+    /// Realized max decode stage time (incl. comm).
+    pub t_max_dec: f64,
+    /// Realized per-stage prefill times (empty stages are 0).
+    pub stage_pre: Vec<f64>,
+    /// Realized per-stage decode times.
+    pub stage_dec: Vec<f64>,
+}
+
+/// Prefix sums per (device, bits) for O(1) segment queries.
+struct Prefix {
+    pre: Vec<f64>,
+    dec: Vec<f64>,
+    mem: Vec<f64>,
+    cost: Vec<f64>,
+    n_groups: usize,
+    n_bits: usize,
+}
+
+impl Prefix {
+    fn build(p: &PartitionProblem) -> Vec<Prefix> {
+        (0..p.n_devices)
+            .map(|j| {
+                let mut pre = vec![0.0; (p.n_groups + 1) * p.n_bits];
+                let mut dec = pre.clone();
+                let mut mem = pre.clone();
+                let mut cost = pre.clone();
+                for b in 0..p.n_bits {
+                    for g in 0..p.n_groups {
+                        let src = p.idx(g, j, b);
+                        let dst = (g + 1) * p.n_bits + b;
+                        let prev = g * p.n_bits + b;
+                        pre[dst] = pre[prev] + p.pre_time[src];
+                        dec[dst] = dec[prev] + p.dec_time[src];
+                        mem[dst] = mem[prev] + p.mem[src];
+                        cost[dst] = cost[prev] + p.lin_cost[src];
+                    }
+                }
+                Prefix { pre, dec, mem, cost, n_groups: p.n_groups, n_bits: p.n_bits }
+            })
+            .collect()
+    }
+
+    #[inline]
+    fn seg(&self, v: &[f64], g0: usize, g1: usize, b: usize) -> f64 {
+        debug_assert!(g0 <= g1 && g1 <= self.n_groups);
+        v[g1 * self.n_bits + b] - v[g0 * self.n_bits + b]
+    }
+}
+
+/// Collect candidate `T` values per phase from achievable stage times.
+fn candidates(p: &PartitionProblem, prefix: &[Prefix], decode: bool) -> Vec<f64> {
+    let mut vals = Vec::new();
+    for (j, pf) in prefix.iter().enumerate() {
+        let comm = if decode { p.comm_dec[j] } else { p.comm_pre[j] };
+        let v = if decode { &pf.dec } else { &pf.pre };
+        for b in 0..p.n_bits {
+            for g0 in 0..p.n_groups {
+                for g1 in g0 + 1..=p.n_groups {
+                    vals.push(pf.seg(v, g0, g1, b) + comm);
+                }
+            }
+        }
+    }
+    vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    vals.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+    if let Some(k) = p.grid {
+        if vals.len() > k {
+            // Quantile subsample, always keeping the extremes.
+            let n = vals.len();
+            let mut picked: Vec<f64> =
+                (0..k).map(|i| vals[(i * (n - 1)) / (k - 1).max(1)]).collect();
+            picked.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+            return picked;
+        }
+    }
+    vals
+}
+
+const INF: f64 = f64::INFINITY;
+
+/// Solve the partition problem. Returns `None` when no feasible plan
+/// exists (e.g. the model cannot fit even at the lowest precision).
+pub fn solve_partition(p: &PartitionProblem) -> Option<PartitionSolution> {
+    assert_eq!(p.pre_time.len(), p.n_groups * p.n_devices * p.n_bits);
+    assert_eq!(p.dec_time.len(), p.pre_time.len());
+    assert_eq!(p.mem.len(), p.pre_time.len());
+    assert_eq!(p.lin_cost.len(), p.pre_time.len());
+    assert_eq!(p.capacity.len(), p.n_devices);
+    assert!(p.n_groups > 0 && p.n_devices > 0 && p.n_bits > 0);
+
+    let prefix = Prefix::build(p);
+    let tp_cands = candidates(p, &prefix, false);
+    let td_cands = candidates(p, &prefix, true);
+
+    let mut best: Option<PartitionSolution> = None;
+    // Pruning: remember the best pure-linear cost seen per (tp, td) —
+    // monotone: loosening bounds can only decrease the DP value. Iterate
+    // tp ascending; for each tp iterate td ascending and stop early when
+    // α-weighted bound already exceeds the incumbent.
+    for &tp in &tp_cands {
+        for &td in &td_cands {
+            if let Some(b) = &best {
+                // Lower bound on this candidate's objective: the α terms
+                // alone (DP cost ≥ 0 is not guaranteed since lin_cost
+                // could be 0, so use 0 as DP bound).
+                if p.alpha_pre * tp + p.alpha_dec * td >= b.objective {
+                    continue;
+                }
+            }
+            if let Some(sol) = dp_for_bounds(p, &prefix, tp, td) {
+                if best.as_ref().is_none_or(|b| sol.objective < b.objective) {
+                    best = Some(sol);
+                }
+            }
+        }
+    }
+    best
+}
+
+/// Feasibility DP for fixed stage-time bounds. Returns the realized
+/// solution (with *actual* maxima, which may beat the bounds).
+#[allow(clippy::needless_range_loop)]
+fn dp_for_bounds(
+    p: &PartitionProblem,
+    prefix: &[Prefix],
+    tp: f64,
+    td: f64,
+) -> Option<PartitionSolution> {
+    let l = p.n_groups;
+    let n = p.n_devices;
+    // dp[j][i]: min linear cost covering first i groups with devices 0..j.
+    let mut dp = vec![vec![INF; l + 1]; n + 1];
+    // parent[j][i] = (i0, bit) — groups i0..i on device j−1; bit==usize::MAX → skipped device.
+    let mut parent = vec![vec![(usize::MAX, usize::MAX); l + 1]; n + 1];
+    dp[0][0] = 0.0;
+    for j in 1..=n {
+        let pf = &prefix[j - 1];
+        let cap = p.capacity[j - 1] - p.fixed_mem[j - 1];
+        for i in 0..=l {
+            // Skip this device entirely.
+            if p.allow_empty_stages && dp[j - 1][i] < dp[j][i] {
+                dp[j][i] = dp[j - 1][i];
+                parent[j][i] = (i, usize::MAX);
+            }
+            // Assign groups i0..i (non-empty) to device j−1.
+            for i0 in 0..i {
+                if dp[j - 1][i0] == INF {
+                    continue;
+                }
+                for b in 0..p.n_bits {
+                    let seg_pre = pf.seg(&pf.pre, i0, i, b) + p.comm_pre[j - 1];
+                    if seg_pre > tp + 1e-12 {
+                        continue;
+                    }
+                    let seg_dec = pf.seg(&pf.dec, i0, i, b) + p.comm_dec[j - 1];
+                    if seg_dec > td + 1e-12 {
+                        continue;
+                    }
+                    let seg_mem = pf.seg(&pf.mem, i0, i, b);
+                    if seg_mem > cap + 1e-6 {
+                        continue;
+                    }
+                    let cost = dp[j - 1][i0] + pf.seg(&pf.cost, i0, i, b);
+                    if cost < dp[j][i] {
+                        dp[j][i] = cost;
+                        parent[j][i] = (i0, b);
+                    }
+                }
+            }
+        }
+    }
+    if dp[n][l] == INF {
+        return None;
+    }
+
+    // Reconstruct.
+    let mut assignment = vec![(usize::MAX, usize::MAX); l];
+    let mut stage_pre = vec![0.0; n];
+    let mut stage_dec = vec![0.0; n];
+    let mut i = l;
+    for j in (1..=n).rev() {
+        let (i0, b) = parent[j][i];
+        if b == usize::MAX {
+            i = i0;
+            continue;
+        }
+        let pf = &prefix[j - 1];
+        stage_pre[j - 1] = pf.seg(&pf.pre, i0, i, b) + p.comm_pre[j - 1];
+        stage_dec[j - 1] = pf.seg(&pf.dec, i0, i, b) + p.comm_dec[j - 1];
+        for g in i0..i {
+            assignment[g] = (j - 1, b);
+        }
+        i = i0;
+    }
+    debug_assert_eq!(i, 0, "reconstruction must consume all groups");
+
+    let t_max_pre = stage_pre.iter().cloned().fold(0.0, f64::max);
+    let t_max_dec = stage_dec.iter().cloned().fold(0.0, f64::max);
+    let objective = p.alpha_pre * t_max_pre + p.alpha_dec * t_max_dec + dp[n][l];
+    Some(PartitionSolution { assignment, objective, t_max_pre, t_max_dec, stage_pre, stage_dec })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Brute-force reference: enumerate all contiguous partitions and
+    /// per-stage bit choices.
+    fn brute_force(p: &PartitionProblem) -> Option<f64> {
+        let mut best: Option<f64> = None;
+        // boundaries: 0 = b0 ≤ b1 ≤ … ≤ bn = l; device j gets [b_{j}, b_{j+1})
+        fn rec(
+            p: &PartitionProblem,
+            j: usize,
+            start: usize,
+            stage_pre: &mut Vec<f64>,
+            stage_dec: &mut Vec<f64>,
+            lin: f64,
+            best: &mut Option<f64>,
+        ) {
+            let l = p.n_groups;
+            let n = p.n_devices;
+            if j == n {
+                if start == l {
+                    let tp = stage_pre.iter().cloned().fold(0.0, f64::max);
+                    let td = stage_dec.iter().cloned().fold(0.0, f64::max);
+                    let obj = p.alpha_pre * tp + p.alpha_dec * td + lin;
+                    if best.is_none_or(|b| obj < b) {
+                        *best = Some(obj);
+                    }
+                }
+                return;
+            }
+            let min_end = if p.allow_empty_stages { start } else { start + 1 };
+            for end in min_end..=l {
+                if end == start {
+                    stage_pre.push(0.0);
+                    stage_dec.push(0.0);
+                    rec(p, j + 1, end, stage_pre, stage_dec, lin, best);
+                    stage_pre.pop();
+                    stage_dec.pop();
+                    continue;
+                }
+                for b in 0..p.n_bits {
+                    let mut pre = p.comm_pre[j];
+                    let mut dec = p.comm_dec[j];
+                    let mut mem = p.fixed_mem[j];
+                    let mut cost = 0.0;
+                    for g in start..end {
+                        let k = (g * p.n_devices + j) * p.n_bits + b;
+                        pre += p.pre_time[k];
+                        dec += p.dec_time[k];
+                        mem += p.mem[k];
+                        cost += p.lin_cost[k];
+                    }
+                    if mem > p.capacity[j] + 1e-9 {
+                        continue;
+                    }
+                    stage_pre.push(pre);
+                    stage_dec.push(dec);
+                    rec(p, j + 1, end, stage_pre, stage_dec, lin + cost, best);
+                    stage_pre.pop();
+                    stage_dec.pop();
+                }
+            }
+        }
+        rec(p, 0, 0, &mut Vec::new(), &mut Vec::new(), 0.0, &mut best);
+        best
+    }
+
+    fn random_problem(seed: u64, l: usize, n: usize, b: usize, tight_mem: bool) -> PartitionProblem {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let size = l * n * b;
+        let mut pre = vec![0.0; size];
+        let mut dec = vec![0.0; size];
+        let mut mem = vec![0.0; size];
+        let mut cost = vec![0.0; size];
+        for g in 0..l {
+            for j in 0..n {
+                let speed = 1.0 + j as f64; // later devices faster
+                for bi in 0..b {
+                    let k = (g * n + j) * b + bi;
+                    let bits = [3.0, 4.0, 8.0, 16.0][bi % 4];
+                    pre[k] = rng.gen_range(0.5..1.5) / speed * (0.8 + bits / 32.0);
+                    dec[k] = rng.gen_range(0.05..0.15) / speed * (bits / 16.0 + 0.3);
+                    mem[k] = bits * (1.0 + g as f64 * 0.1);
+                    cost[k] = rng.gen_range(0.0..0.5) * (16.0 - bits);
+                }
+            }
+        }
+        let cap = if tight_mem { 40.0 } else { 1e9 };
+        PartitionProblem {
+            n_groups: l,
+            n_devices: n,
+            n_bits: b,
+            pre_time: pre,
+            dec_time: dec,
+            mem,
+            lin_cost: cost,
+            capacity: vec![cap; n],
+            fixed_mem: vec![0.0; n],
+            comm_pre: vec![0.01; n],
+            comm_dec: vec![0.001; n],
+            alpha_pre: 3.0,
+            alpha_dec: 50.0,
+            allow_empty_stages: false,
+            grid: None,
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_instances() {
+        for seed in 0..8 {
+            let p = random_problem(seed, 5, 2, 2, false);
+            let dp = solve_partition(&p).expect("feasible");
+            let bf = brute_force(&p).expect("feasible");
+            assert!(
+                (dp.objective - bf).abs() < 1e-9,
+                "seed {seed}: dp {} vs brute {bf}",
+                dp.objective
+            );
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_with_memory_pressure() {
+        for seed in 20..26 {
+            let p = random_problem(seed, 4, 3, 3, true);
+            let dp = solve_partition(&p);
+            let bf = brute_force(&p);
+            match (dp, bf) {
+                (Some(d), Some(b)) => {
+                    assert!((d.objective - b).abs() < 1e-9, "seed {seed}")
+                }
+                (None, None) => {}
+                (d, b) => panic!("seed {seed}: dp {d:?} vs brute {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn assignment_is_contiguous_and_complete() {
+        let p = random_problem(3, 8, 3, 2, false);
+        let sol = solve_partition(&p).unwrap();
+        assert_eq!(sol.assignment.len(), 8);
+        for w in sol.assignment.windows(2) {
+            assert!(w[1].0 >= w[0].0, "devices must be non-decreasing");
+        }
+        // Same device ⇒ same bits (per-stage uniform class).
+        for w in sol.assignment.windows(2) {
+            if w[0].0 == w[1].0 {
+                assert_eq!(w[0].1, w[1].1);
+            }
+        }
+    }
+
+    #[test]
+    fn memory_constraint_is_respected() {
+        let p = random_problem(40, 6, 2, 2, true);
+        if let Some(sol) = solve_partition(&p) {
+            for j in 0..p.n_devices {
+                let used: f64 = sol
+                    .assignment
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, (d, _))| *d == j)
+                    .map(|(g, (d, b))| p.mem[(g * p.n_devices + d) * p.n_bits + b])
+                    .sum();
+                assert!(used <= p.capacity[j] + 1e-6, "device {j} over capacity");
+            }
+        }
+    }
+
+    #[test]
+    fn infeasible_when_memory_too_small() {
+        let mut p = random_problem(5, 4, 2, 1, false);
+        p.capacity = vec![1.0; 2]; // nothing fits
+        assert!(solve_partition(&p).is_none());
+    }
+
+    #[test]
+    fn empty_stages_allow_fewer_devices_than_needed() {
+        let mut p = random_problem(6, 2, 4, 2, false);
+        p.allow_empty_stages = true;
+        let sol = solve_partition(&p).unwrap();
+        let used: std::collections::HashSet<usize> =
+            sol.assignment.iter().map(|(d, _)| *d).collect();
+        assert!(used.len() <= 2, "2 groups can use at most 2 devices");
+    }
+
+    #[test]
+    fn grid_subsampling_stays_close_to_exact() {
+        let exact_p = random_problem(9, 6, 3, 3, false);
+        let exact = solve_partition(&exact_p).unwrap();
+        let mut coarse_p = exact_p.clone();
+        coarse_p.grid = Some(12);
+        let coarse = solve_partition(&coarse_p).unwrap();
+        assert!(coarse.objective >= exact.objective - 1e-9);
+        assert!(
+            coarse.objective <= exact.objective * 1.2,
+            "coarse {} vs exact {}",
+            coarse.objective,
+            exact.objective
+        );
+    }
+
+    #[test]
+    fn straggler_penalty_moves_layers_to_fast_device() {
+        // Device 1 is much faster; with a large decode α the solver must
+        // give it most groups.
+        let mut p = random_problem(13, 8, 2, 1, false);
+        for g in 0..8 {
+            let k_slow = g * 2;
+            let k_fast = g * 2 + 1;
+            p.pre_time[k_slow] = 1.0;
+            p.pre_time[k_fast] = 0.2;
+            p.dec_time[k_slow] = 0.1;
+            p.dec_time[k_fast] = 0.02;
+            p.lin_cost[k_slow] = 0.0;
+            p.lin_cost[k_fast] = 0.0;
+        }
+        let sol = solve_partition(&p).unwrap();
+        let fast_count = sol.assignment.iter().filter(|(d, _)| *d == 1).count();
+        assert!(fast_count > 4, "fast device should host the majority, got {fast_count}");
+    }
+}

@@ -1,0 +1,185 @@
+//! Property-based tests for the optimization substrate.
+
+use llmpq_solver::{
+    solve_lp, solve_milp, solve_partition, Constraint, LinProg, LpResult, MilpConfig, MilpResult,
+    MilpSpec, PartitionProblem,
+};
+use proptest::prelude::*;
+
+/// Build a random small LP: minimize cᵀx over box-bounded x with a few
+/// ≤-constraints (always feasible at x = 0 when rhs ≥ 0).
+fn random_lp(
+    n: usize,
+    costs: &[f64],
+    rows: &[(Vec<f64>, f64)],
+) -> LinProg {
+    let mut lp = LinProg::minimize(costs[..n].to_vec());
+    for v in 0..n {
+        lp = lp.bound(v, 1.0);
+    }
+    for (coeffs, rhs) in rows {
+        let c: Vec<(usize, f64)> =
+            coeffs.iter().take(n).enumerate().map(|(i, &v)| (i, v)).collect();
+        lp = lp.with(Constraint::le(c, *rhs));
+    }
+    lp
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Simplex solutions satisfy every constraint and bound.
+    #[test]
+    fn lp_solutions_are_feasible(
+        n in 2usize..6,
+        costs in prop::collection::vec(-5.0f64..5.0, 6),
+        rows in prop::collection::vec(
+            (prop::collection::vec(0.0f64..3.0, 6), 0.5f64..8.0),
+            1..4
+        ),
+    ) {
+        let lp = random_lp(n, &costs, &rows);
+        match solve_lp(&lp) {
+            LpResult::Optimal(sol) => {
+                for (v, &x) in sol.x.iter().enumerate() {
+                    prop_assert!(x >= -1e-7, "x[{v}] = {x} negative");
+                    prop_assert!(x <= 1.0 + 1e-7, "x[{v}] = {x} above bound");
+                }
+                for (coeffs, rhs) in &rows {
+                    let lhs: f64 = coeffs.iter().take(n).zip(&sol.x).map(|(a, x)| a * x).sum();
+                    prop_assert!(lhs <= rhs + 1e-6, "constraint violated: {lhs} > {rhs}");
+                }
+                // Objective is consistent with x.
+                let obj: f64 = costs.iter().take(n).zip(&sol.x).map(|(c, x)| c * x).sum();
+                prop_assert!((obj - sol.objective).abs() < 1e-6);
+            }
+            other => prop_assert!(false, "x = 0 is feasible, got {other:?}"),
+        }
+    }
+
+    /// The MILP optimum is never better than the LP relaxation and its
+    /// solution is integral on the integer variables.
+    #[test]
+    fn milp_respects_relaxation_bound(
+        n in 2usize..5,
+        costs in prop::collection::vec(-5.0f64..5.0, 6),
+        rows in prop::collection::vec(
+            (prop::collection::vec(0.0f64..3.0, 6), 0.5f64..6.0),
+            1..3
+        ),
+    ) {
+        let lp = random_lp(n, &costs, &rows);
+        let relax = match solve_lp(&lp) {
+            LpResult::Optimal(s) => s.objective,
+            _ => return Ok(()),
+        };
+        let spec = MilpSpec { lp, integers: (0..n).collect() };
+        match solve_milp(&spec, &MilpConfig::default()) {
+            MilpResult::Optimal(sol) => {
+                prop_assert!(sol.objective >= relax - 1e-6,
+                    "milp {} beats relaxation {relax}", sol.objective);
+                for &v in &spec.integers {
+                    let frac = (sol.x[v] - sol.x[v].round()).abs();
+                    prop_assert!(frac < 1e-6, "x[{v}] = {} not integral", sol.x[v]);
+                }
+            }
+            MilpResult::Infeasible => prop_assert!(false, "x=0 integral-feasible"),
+            _ => {}
+        }
+    }
+
+    /// The partition DP's reported objective matches its assignment, and
+    /// the assignment is contiguous and memory-feasible.
+    #[test]
+    fn partition_solution_is_self_consistent(
+        l in 2usize..7,
+        n in 1usize..4,
+        nb in 1usize..4,
+        seed in 0u64..500,
+    ) {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let size = l * n * nb;
+        let p = PartitionProblem {
+            n_groups: l,
+            n_devices: n,
+            n_bits: nb,
+            pre_time: (0..size).map(|_| rng.gen_range(0.1..1.0)).collect(),
+            dec_time: (0..size).map(|_| rng.gen_range(0.01..0.1)).collect(),
+            mem: (0..size).map(|_| rng.gen_range(1.0..3.0)).collect(),
+            lin_cost: (0..size).map(|_| rng.gen_range(0.0..1.0)).collect(),
+            capacity: vec![3.5 * l as f64 / n as f64; n],
+            fixed_mem: vec![0.1; n],
+            comm_pre: vec![0.01; n],
+            comm_dec: vec![0.001; n],
+            alpha_pre: rng.gen_range(0.0..10.0),
+            alpha_dec: rng.gen_range(0.0..100.0),
+            allow_empty_stages: n > 1,
+            grid: None,
+        };
+        if let Some(sol) = solve_partition(&p) {
+            // Contiguity.
+            for w in sol.assignment.windows(2) {
+                prop_assert!(w[1].0 >= w[0].0);
+            }
+            // Recompute objective from scratch.
+            let mut stage_pre = vec![0.0f64; n];
+            let mut stage_dec = vec![0.0f64; n];
+            let mut stage_mem = vec![0.0f64; n];
+            let mut lin = 0.0;
+            for (g, &(j, b)) in sol.assignment.iter().enumerate() {
+                let k = (g * n + j) * nb + b;
+                stage_pre[j] += p.pre_time[k];
+                stage_dec[j] += p.dec_time[k];
+                stage_mem[j] += p.mem[k];
+                lin += p.lin_cost[k];
+            }
+            for j in 0..n {
+                if stage_pre[j] > 0.0 {
+                    prop_assert!(stage_mem[j] + p.fixed_mem[j] <= p.capacity[j] + 1e-6);
+                    stage_pre[j] += p.comm_pre[j];
+                    stage_dec[j] += p.comm_dec[j];
+                }
+            }
+            let tp = stage_pre.iter().cloned().fold(0.0, f64::max);
+            let td = stage_dec.iter().cloned().fold(0.0, f64::max);
+            let obj = p.alpha_pre * tp + p.alpha_dec * td + lin;
+            prop_assert!((obj - sol.objective).abs() < 1e-6,
+                "reported {} vs recomputed {obj}", sol.objective);
+        }
+    }
+
+    /// Relaxing a memory capacity can never worsen the DP optimum.
+    #[test]
+    fn partition_monotone_in_capacity(seed in 0u64..200) {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let (l, n, nb) = (5usize, 2usize, 2usize);
+        let size = l * n * nb;
+        let mut p = PartitionProblem {
+            n_groups: l,
+            n_devices: n,
+            n_bits: nb,
+            pre_time: (0..size).map(|_| rng.gen_range(0.1..1.0)).collect(),
+            dec_time: (0..size).map(|_| rng.gen_range(0.01..0.1)).collect(),
+            mem: (0..size).map(|_| rng.gen_range(1.0..3.0)).collect(),
+            lin_cost: (0..size).map(|_| rng.gen_range(0.0..1.0)).collect(),
+            capacity: vec![7.0; n],
+            fixed_mem: vec![0.0; n],
+            comm_pre: vec![0.0; n],
+            comm_dec: vec![0.0; n],
+            alpha_pre: 3.0,
+            alpha_dec: 30.0,
+            allow_empty_stages: true,
+            grid: None,
+        };
+        let tight = solve_partition(&p).map(|s| s.objective);
+        p.capacity = vec![100.0; n];
+        let loose = solve_partition(&p).map(|s| s.objective).expect("loose is feasible");
+        if let Some(t) = tight {
+            prop_assert!(loose <= t + 1e-9, "loose {loose} worse than tight {t}");
+        }
+    }
+}

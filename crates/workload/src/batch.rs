@@ -1,0 +1,132 @@
+//! Offline batch jobs and micro-batch sizing arithmetic.
+
+use serde::{Deserialize, Serialize};
+
+/// One offline serving job: the unit LLM-PQ plans for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BatchJob {
+    /// Global batch size (sequences per batch).
+    pub global_batch: usize,
+    /// Padded prompt length `s`.
+    pub prompt_len: usize,
+    /// Tokens to generate per sequence `n` (EOS is never emitted,
+    /// following the ORCA-style setup in §6.1).
+    pub n_generate: usize,
+}
+
+impl BatchJob {
+    /// The paper's default workload: batch 32, prompts padded to 512,
+    /// 100 generated tokens.
+    pub fn paper_default() -> Self {
+        Self { global_batch: 32, prompt_len: 512, n_generate: 100 }
+    }
+
+    /// The shorter-prompt workload of Table 7: s=128, n=200.
+    pub fn paper_short() -> Self {
+        Self { global_batch: 32, prompt_len: 128, n_generate: 200 }
+    }
+
+    /// Total tokens the job produces (throughput numerator).
+    pub fn total_tokens(&self) -> usize {
+        self.global_batch * self.n_generate
+    }
+
+    /// Maximum sequence length the KV cache must hold.
+    pub fn max_seq(&self) -> usize {
+        self.prompt_len + self.n_generate
+    }
+}
+
+/// A hybrid micro-batch plan: LLM-PQ sizes micro-batches per phase
+/// (small for prefill to limit bubbles and peak temporaries, large for
+/// decode to amortize weight reads — Optimization #1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MicrobatchPlan {
+    /// Sequences per prefill micro-batch.
+    pub prefill_size: usize,
+    /// Number of prefill micro-batches.
+    pub prefill_count: usize,
+    /// Sequences per decode micro-batch.
+    pub decode_size: usize,
+    /// Number of decode micro-batches.
+    pub decode_count: usize,
+}
+
+/// Enumerate the candidate micro-batch plans for a job over `n_stages`
+/// pipeline stages, following the paper's pruning: decode micro-batches
+/// evenly partition the global batch across stages (size =
+/// `global/n_stages`, clamped to divisors), while prefill sizes range
+/// over the divisors of the global batch within `[1, ξ]`.
+pub fn microbatch_counts(job: &BatchJob, n_stages: usize, xi: usize) -> Vec<MicrobatchPlan> {
+    assert!(n_stages > 0 && xi > 0);
+    let g = job.global_batch;
+    let divisors: Vec<usize> = (1..=g).filter(|d| g.is_multiple_of(*d)).collect();
+    // Decode: prefer size ≈ g / n_stages (even partition), but offer all
+    // divisors ≥ that so the optimizer can trade bubble for memory.
+    let even = (g / n_stages).max(1);
+    let decode_sizes: Vec<usize> = divisors.iter().cloned().filter(|&d| d >= even).collect();
+    let mut out = Vec::new();
+    for &p in divisors.iter().filter(|&&d| d <= xi) {
+        for &d in &decode_sizes {
+            out.push(MicrobatchPlan {
+                prefill_size: p,
+                prefill_count: g / p,
+                decode_size: d,
+                decode_count: g / d,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let j = BatchJob::paper_default();
+        assert_eq!(j.total_tokens(), 3200);
+        assert_eq!(j.max_seq(), 612);
+        let s = BatchJob::paper_short();
+        assert_eq!(s.max_seq(), 328);
+        assert_eq!(s.total_tokens(), 6400);
+    }
+
+    #[test]
+    fn plans_cover_global_batch_exactly() {
+        let job = BatchJob::paper_default();
+        for plan in microbatch_counts(&job, 4, 8) {
+            assert_eq!(plan.prefill_size * plan.prefill_count, 32);
+            assert_eq!(plan.decode_size * plan.decode_count, 32);
+        }
+    }
+
+    #[test]
+    fn prefill_sizes_pruned_by_xi() {
+        let job = BatchJob::paper_default();
+        let plans = microbatch_counts(&job, 4, 4);
+        assert!(plans.iter().all(|p| p.prefill_size <= 4));
+        assert!(plans.iter().any(|p| p.prefill_size == 1));
+    }
+
+    #[test]
+    fn decode_sizes_at_least_even_partition() {
+        let job = BatchJob::paper_default();
+        let plans = microbatch_counts(&job, 4, 8);
+        assert!(plans.iter().all(|p| p.decode_size >= 8));
+    }
+
+    #[test]
+    fn single_stage_allows_full_batch_decode() {
+        let job = BatchJob::paper_default();
+        let plans = microbatch_counts(&job, 1, 8);
+        assert!(plans.iter().any(|p| p.decode_size == 32 && p.decode_count == 1));
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_zero_stages() {
+        microbatch_counts(&BatchJob::paper_default(), 0, 4);
+    }
+}

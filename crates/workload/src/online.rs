@@ -1,0 +1,235 @@
+//! Online-serving simulation (paper §7, "Apply to ORCA or vLLM").
+//!
+//! LLM-PQ targets the offline batch task; the paper's discussion section
+//! asks what happens under online traffic, where "the online workload is
+//! unpredictable". This module quantifies the gap: Poisson arrivals with
+//! ShareGPT-like prompt lengths are served by a *batch* engine (requests
+//! are queued, padded to the longest prompt in the batch, and generated
+//! to the longest requested length — exactly what an offline plan does),
+//! and we measure queueing delay, padding waste, and sustained
+//! throughput as functions of the arrival rate.
+//!
+//! The engine's speed is abstracted as a caller-provided cost function
+//! `(padded_prompt_len, n_generate, batch_size) → batch latency`, so the
+//! same simulation can run over any plan's pipeline profile.
+
+use crate::prompts::PromptLengthModel;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Online workload + serving policy parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OnlineConfig {
+    /// Mean request arrival rate, requests/second (Poisson).
+    pub arrival_rate: f64,
+    /// Number of requests to simulate.
+    pub n_requests: usize,
+    /// Batch size the engine waits to accumulate.
+    pub batch_size: usize,
+    /// Give up waiting for a full batch after this long (s) and run
+    /// whatever is queued.
+    pub max_wait_s: f64,
+    /// Generation length range (uniform, inclusive).
+    pub n_generate: (usize, usize),
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for OnlineConfig {
+    fn default() -> Self {
+        Self {
+            arrival_rate: 1.0,
+            n_requests: 200,
+            batch_size: 8,
+            max_wait_s: 2.0,
+            n_generate: (50, 150),
+            seed: 11,
+        }
+    }
+}
+
+/// Aggregate statistics of one online run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OnlineStats {
+    /// Mean request sojourn (arrival → completion), seconds.
+    pub mean_latency: f64,
+    /// Median sojourn.
+    pub p50_latency: f64,
+    /// 95th-percentile sojourn.
+    pub p95_latency: f64,
+    /// Mean time spent queued before the batch started.
+    pub mean_queue_wait: f64,
+    /// Generated tokens per second over the makespan.
+    pub throughput: f64,
+    /// Fraction of prompt tokens that were padding.
+    pub padding_fraction: f64,
+    /// Number of batches executed.
+    pub batches: usize,
+}
+
+/// One simulated request.
+#[derive(Debug, Clone, Copy)]
+struct Request {
+    arrival: f64,
+    prompt_len: usize,
+    n_generate: usize,
+}
+
+/// Run the simulation. `batch_cost(s, n, b)` returns the engine's
+/// latency for a batch of `b` requests padded to prompt length `s`
+/// generating `n` tokens each.
+pub fn simulate_online(
+    cfg: &OnlineConfig,
+    prompt_model: &PromptLengthModel,
+    batch_cost: &dyn Fn(usize, usize, usize) -> f64,
+) -> OnlineStats {
+    assert!(cfg.arrival_rate > 0.0 && cfg.n_requests > 0 && cfg.batch_size > 0);
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let lens = prompt_model.sample(cfg.n_requests, cfg.seed ^ 0x9A);
+    let mut t = 0.0f64;
+    let requests: Vec<Request> = lens
+        .iter()
+        .map(|p| {
+            t += -rng.gen::<f64>().max(1e-12).ln() / cfg.arrival_rate;
+            Request {
+                arrival: t,
+                prompt_len: p.len,
+                n_generate: rng.gen_range(cfg.n_generate.0..=cfg.n_generate.1),
+            }
+        })
+        .collect();
+
+    let mut server_free = 0.0f64;
+    let mut sojourn = Vec::with_capacity(cfg.n_requests);
+    let mut queue_wait = Vec::with_capacity(cfg.n_requests);
+    let mut real_tokens = 0usize;
+    let mut padded_tokens = 0usize;
+    let mut generated = 0usize;
+    let mut batches = 0usize;
+    let mut i = 0usize;
+    let mut makespan = 0.0f64;
+    while i < requests.len() {
+        // The batch window opens when the server is free and the first
+        // request is present.
+        let first_ready = requests[i].arrival.max(server_free);
+        // Accumulate up to batch_size requests that arrive within the
+        // window.
+        let mut j = i + 1;
+        while j < requests.len()
+            && j - i < cfg.batch_size
+            && requests[j].arrival <= first_ready + cfg.max_wait_s
+        {
+            j += 1;
+        }
+        let batch = &requests[i..j];
+        // The batch starts when its last member arrived (or the window
+        // closed waiting for stragglers) and the server is free.
+        let last_arrival = batch.last().unwrap().arrival;
+        let start = if batch.len() == cfg.batch_size {
+            last_arrival.max(server_free)
+        } else {
+            // Ran the timeout down waiting for a full batch.
+            (first_ready + cfg.max_wait_s).max(last_arrival).max(server_free)
+        };
+        let s = batch.iter().map(|r| r.prompt_len).max().unwrap();
+        let n = batch.iter().map(|r| r.n_generate).max().unwrap();
+        let latency = batch_cost(s, n, batch.len());
+        let end = start + latency;
+        for r in batch {
+            sojourn.push(end - r.arrival);
+            queue_wait.push(start - r.arrival);
+            real_tokens += r.prompt_len;
+            padded_tokens += s;
+            generated += r.n_generate;
+        }
+        server_free = end;
+        makespan = end;
+        batches += 1;
+        i = j;
+    }
+
+    sojourn.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let pct = |p: f64| sojourn[((sojourn.len() - 1) as f64 * p) as usize];
+    OnlineStats {
+        mean_latency: sojourn.iter().sum::<f64>() / sojourn.len() as f64,
+        p50_latency: pct(0.5),
+        p95_latency: pct(0.95),
+        mean_queue_wait: queue_wait.iter().sum::<f64>() / queue_wait.len() as f64,
+        throughput: generated as f64 / makespan,
+        padding_fraction: 1.0 - real_tokens as f64 / padded_tokens as f64,
+        batches,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy engine: latency grows with tokens processed.
+    fn toy_cost(s: usize, n: usize, b: usize) -> f64 {
+        0.05 + 1e-5 * (s as f64) * (b as f64) + 2e-4 * (n as f64)
+    }
+
+    fn cfg(rate: f64) -> OnlineConfig {
+        OnlineConfig { arrival_rate: rate, n_requests: 300, ..Default::default() }
+    }
+
+    #[test]
+    fn latency_grows_with_load() {
+        let m = PromptLengthModel::default();
+        let light = simulate_online(&cfg(0.5), &m, &toy_cost);
+        let heavy = simulate_online(&cfg(50.0), &m, &toy_cost);
+        assert!(
+            heavy.mean_queue_wait < light.mean_queue_wait + 1e9,
+            "sanity"
+        );
+        // Heavy load fills batches faster (less timeout waiting) but the
+        // p95 sojourn must not *improve* once the server saturates.
+        assert!(heavy.throughput >= light.throughput * 0.9);
+    }
+
+    #[test]
+    fn saturation_blows_up_latency() {
+        // Arrival far beyond capacity: queue wait dominates sojourn.
+        let m = PromptLengthModel::default();
+        let expensive = |_s: usize, _n: usize, _b: usize| 5.0; // 5 s per batch of ≤8
+        let over = simulate_online(&cfg(100.0), &m, &expensive);
+        assert!(over.mean_queue_wait > over.mean_latency * 0.5);
+        assert!(over.p95_latency > over.p50_latency);
+    }
+
+    #[test]
+    fn padding_reflects_length_dispersion() {
+        let m = PromptLengthModel::default();
+        let stats = simulate_online(&cfg(10.0), &m, &toy_cost);
+        // ShareGPT-like dispersion ⇒ substantial padding waste in
+        // max-padded batches; and it must be a valid fraction.
+        assert!(stats.padding_fraction > 0.2 && stats.padding_fraction < 0.95);
+    }
+
+    #[test]
+    fn batch_size_one_has_no_padding() {
+        let m = PromptLengthModel::default();
+        let c = OnlineConfig { batch_size: 1, ..cfg(5.0) };
+        let stats = simulate_online(&c, &m, &toy_cost);
+        assert!(stats.padding_fraction.abs() < 1e-12);
+        assert_eq!(stats.batches, c.n_requests);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let m = PromptLengthModel::default();
+        let a = simulate_online(&cfg(2.0), &m, &toy_cost);
+        let b = simulate_online(&cfg(2.0), &m, &toy_cost);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn all_requests_complete() {
+        let m = PromptLengthModel::default();
+        let stats = simulate_online(&cfg(3.0), &m, &toy_cost);
+        assert!(stats.batches <= 300);
+        assert!(stats.mean_latency >= 0.05, "at least one batch latency");
+    }
+}

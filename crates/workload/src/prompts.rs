@@ -1,0 +1,100 @@
+//! ShareGPT-like prompt-length distribution.
+//!
+//! The paper samples 10,000 ShareGPT conversations and finds prompt
+//! lengths "vary substantially", with a heavy short-prompt mode (<128)
+//! and a long tail. We model this as a two-component log-normal mixture
+//! — short chat turns plus long pasted-context prompts — truncated to
+//! the model's context window.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, LogNormal};
+use serde::{Deserialize, Serialize};
+
+/// A sampled prompt description.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PromptSample {
+    /// Raw (unpadded) prompt length in tokens.
+    pub len: usize,
+}
+
+/// Two-component log-normal mixture over prompt lengths.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PromptLengthModel {
+    /// Probability of drawing from the short-prompt component.
+    pub short_weight: f64,
+    /// (µ, σ) of the short component in log-token space.
+    pub short: (f64, f64),
+    /// (µ, σ) of the long component.
+    pub long: (f64, f64),
+    /// Hard cap (context window).
+    pub max_len: usize,
+}
+
+impl Default for PromptLengthModel {
+    fn default() -> Self {
+        // Medians ≈ e^4.0 ≈ 55 tokens (short) and e^6.1 ≈ 446 (long).
+        Self { short_weight: 0.62, short: (4.0, 0.6), long: (6.1, 0.5), max_len: 2048 }
+    }
+}
+
+impl PromptLengthModel {
+    /// Draw `n` prompt lengths.
+    pub fn sample(&self, n: usize, seed: u64) -> Vec<PromptSample> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let short = LogNormal::new(self.short.0, self.short.1).expect("valid params");
+        let long = LogNormal::new(self.long.0, self.long.1).expect("valid params");
+        (0..n)
+            .map(|_| {
+                let x = if rng.gen_bool(self.short_weight) {
+                    short.sample(&mut rng)
+                } else {
+                    long.sample(&mut rng)
+                };
+                PromptSample { len: (x.round() as usize).clamp(1, self.max_len) }
+            })
+            .collect()
+    }
+
+    /// Fraction of sampled prompts shorter than `threshold`.
+    pub fn fraction_below(&self, threshold: usize, n: usize, seed: u64) -> f64 {
+        let s = self.sample(n, seed);
+        s.iter().filter(|p| p.len < threshold).count() as f64 / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths_bounded_and_positive() {
+        let m = PromptLengthModel::default();
+        for p in m.sample(5000, 1) {
+            assert!(p.len >= 1 && p.len <= m.max_len);
+        }
+    }
+
+    #[test]
+    fn substantial_short_prompt_mass() {
+        // §2.1: a large share of ShareGPT prompts is short (<128).
+        let m = PromptLengthModel::default();
+        let frac = m.fraction_below(128, 10_000, 7);
+        assert!(frac > 0.4 && frac < 0.8, "short fraction {frac}");
+    }
+
+    #[test]
+    fn heavy_tail_exists() {
+        let m = PromptLengthModel::default();
+        let s = m.sample(10_000, 3);
+        let long = s.iter().filter(|p| p.len > 512).count() as f64 / 10_000.0;
+        assert!(long > 0.05, "long-tail fraction {long}");
+    }
+
+    #[test]
+    fn sampling_is_reproducible() {
+        let m = PromptLengthModel::default();
+        assert_eq!(m.sample(100, 42), m.sample(100, 42));
+        assert_ne!(m.sample(100, 42), m.sample(100, 43));
+    }
+}

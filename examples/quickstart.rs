@@ -1,0 +1,69 @@
+//! Quickstart: plan LLM serving for a heterogeneous cluster in ~30 lines.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Mirrors the paper's `llmpq-algo` entry point: pick a cluster and a
+//! model, build the cost database and the sensitivity indicator, run the
+//! assigner, and print the resulting execution plan (the strategy file
+//! `llmpq-dist` would launch).
+
+use llm_pq::{assign, AssignerConfig};
+use llmpq_cluster::paper_cluster;
+use llmpq_cost::CostDb;
+use llmpq_model::zoo;
+use llmpq_quant::{calibrate, variance_indicator, Rounding};
+use llmpq_model::{RefConfig, RefModel};
+use llmpq_sim::KernelEnv;
+use llmpq_workload::BatchJob;
+
+fn main() {
+    // 1. The serving scenario: OPT-30b on paper cluster 3 (3×T4 + V100),
+    //    batch 32, prompts padded to 512, 100 generated tokens.
+    let cluster = paper_cluster(3);
+    let spec = zoo::opt_30b();
+    let job = BatchJob::paper_default();
+
+    // 2. Cost database (the profiler/simulator) and the variance
+    //    indicator from a calibration pass over a scaled stand-in model.
+    let db = CostDb::oracle(&KernelEnv::default());
+    let teacher = RefModel::new(RefConfig::scaled_like(spec.n_layers, 1));
+    let calib: Vec<Vec<usize>> =
+        (0..4).map(|i| (0..32).map(|j| (i * 37 + j * 11) % teacher.cfg.vocab).collect()).collect();
+    let report = calibrate(&teacher, &calib);
+    let indicator =
+        variance_indicator(&teacher, &report, Rounding::Deterministic).normalized_budget(1.0);
+
+    // 3. Run the assigner (Algorithm 1).
+    let cfg = AssignerConfig::default();
+    let out = assign(&cluster, &spec, &job, &db, &indicator, &cfg).expect("feasible plan");
+
+    // 4. Inspect the plan.
+    println!("LLM-PQ plan for {} on {}:", spec.name, cluster.name);
+    for (i, s) in out.plan.stages.iter().enumerate() {
+        let gpu = cluster.devices[s.device].gpu;
+        let bits: Vec<String> = s.bits.iter().map(|b| b.to_string()).collect();
+        println!(
+            "  stage {i}: {gpu} layers {}..{} bits [{}]",
+            s.layer_start,
+            s.layer_end,
+            bits.join(",")
+        );
+    }
+    println!(
+        "  micro-batches: prefill {}x{}, decode {}x{}",
+        out.plan.microbatch.prefill_count,
+        out.plan.microbatch.prefill_size,
+        out.plan.microbatch.decode_count,
+        out.plan.microbatch.decode_size,
+    );
+    println!(
+        "  predicted: {:.1} tokens/s, batch latency {:.2}s, mean bits {:.1}, assigner took {:.2}s",
+        out.report.throughput, out.report.total_latency, out.report.mean_bits, out.overhead_s
+    );
+
+    // 5. Emit the strategy file.
+    let json = out.plan.to_json();
+    println!("\nstrategy file ({} bytes of JSON) ready for the runtime", json.len());
+}

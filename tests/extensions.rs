@@ -1,0 +1,186 @@
+//! Cross-crate integration tests for the §7-discussion extensions:
+//! tensor parallelism, KV-cache quantization, online serving, recovery.
+
+use llm_pq::evaluate::stage_loads;
+use llm_pq::{assign, tp_sweep, AssignerConfig, SolverChoice};
+use llmpq_cluster::paper_cluster;
+use llmpq_cost::CostDb;
+use llmpq_model::{zoo, RefConfig, RefModel};
+use llmpq_quant::{IndicatorTable, Rounding};
+use llmpq_runtime::run_pipeline_recoverable;
+use llmpq_sim::{simulate_pipeline, KernelEnv, PipelineWorkload};
+use llmpq_workload::{simulate_online, BatchJob, OnlineConfig, PromptLengthModel};
+
+fn flat_indicator(n: usize) -> IndicatorTable {
+    IndicatorTable {
+        omega: (0..n)
+            .map(|l| {
+                let b = 1.0 / (1.0 + l as f64 * 0.05) / n as f64;
+                [b, b * 0.2, b * 0.01, 0.0]
+            })
+            .collect(),
+    }
+}
+
+#[test]
+fn tensor_parallel_sweep_covers_all_widths_feasibly() {
+    let cluster = paper_cluster(11);
+    let spec = zoo::bloom_176b();
+    let job = BatchJob::paper_default();
+    let out = tp_sweep(
+        &cluster,
+        &spec,
+        &job,
+        &KernelEnv::default(),
+        &flat_indicator(spec.n_layers),
+        0.1,
+        10,
+    );
+    assert_eq!(out.len(), 3, "TP widths 1/2/4 on 4×A800");
+    for o in &out {
+        assert!(o.throughput > 0.0 && o.total_latency > 0.0, "width {}", o.tp_width);
+        assert!(o.n_stages >= 1 && o.n_stages <= 4 / o.tp_width);
+    }
+}
+
+#[test]
+fn kv8_search_never_hurts_the_objective() {
+    // Searching a strict superset of plans cannot worsen the outcome.
+    let cluster = paper_cluster(9);
+    let spec = zoo::opt_30b();
+    let job = BatchJob { global_batch: 32, prompt_len: 512, n_generate: 400 };
+    let db = CostDb::oracle(&KernelEnv::default());
+    let indicator = flat_indicator(spec.n_layers);
+    let mut cfg = AssignerConfig {
+        theta: 0.1,
+        solver: SolverChoice::Dp { group: 8 },
+        xi: 2,
+        max_orderings: 2,
+        dp_grid: Some(8),
+        search_kv8: false,
+    };
+    let base = assign(&cluster, &spec, &job, &db, &indicator, &cfg).ok();
+    cfg.search_kv8 = true;
+    let wide = assign(&cluster, &spec, &job, &db, &indicator, &cfg).expect("kv8 superset feasible");
+    if let Some(base) = base {
+        assert!(
+            wide.report.throughput >= base.report.throughput * 0.999,
+            "kv8 search regressed: {} < {}",
+            wide.report.throughput,
+            base.report.throughput
+        );
+    }
+    assert!(wide.plan.kv_bits == 8 || wide.plan.kv_bits == 16);
+}
+
+#[test]
+fn online_simulation_over_a_real_plan_saturates_monotonically() {
+    let cluster = paper_cluster(3);
+    let spec = zoo::opt_30b();
+    let job = BatchJob::paper_default();
+    let db = CostDb::oracle(&KernelEnv::default());
+    let cfg = AssignerConfig {
+        theta: 0.1,
+        solver: SolverChoice::Dp { group: 8 },
+        xi: 2,
+        max_orderings: 2,
+        dp_grid: Some(8),
+        search_kv8: false,
+    };
+    let out = assign(&cluster, &spec, &job, &db, &flat_indicator(spec.n_layers), &cfg).unwrap();
+    let plan = out.plan.clone();
+    let cost = move |s: usize, n: usize, b: usize| {
+        let job = BatchJob { global_batch: b, prompt_len: s, n_generate: n };
+        let mut p = plan.clone();
+        p.microbatch.prefill_size = p.microbatch.prefill_size.min(b).max(1);
+        p.microbatch.prefill_count = b.div_ceil(p.microbatch.prefill_size);
+        p.microbatch.decode_size = p.microbatch.decode_size.min(b).max(1);
+        p.microbatch.decode_count = b.div_ceil(p.microbatch.decode_size);
+        let loads = stage_loads(&p, &cluster, &spec, &db, &job);
+        simulate_pipeline(
+            &loads,
+            &PipelineWorkload {
+                prefill_microbatches: p.microbatch.prefill_count,
+                decode_microbatches: p.microbatch.decode_count,
+                n_tokens: n,
+                master_prefill: 0.0,
+                master_decode: 0.0,
+            },
+        )
+        .total_latency
+    };
+    let pm = PromptLengthModel::default();
+    let light = simulate_online(
+        &OnlineConfig { arrival_rate: 0.1, n_requests: 40, ..Default::default() },
+        &pm,
+        &cost,
+    );
+    let heavy = simulate_online(
+        &OnlineConfig { arrival_rate: 10.0, n_requests: 40, ..Default::default() },
+        &pm,
+        &cost,
+    );
+    assert!(heavy.p95_latency >= light.p95_latency * 0.9, "saturation inverted");
+    assert!(heavy.throughput >= light.throughput * 0.9, "batching should help at load");
+}
+
+#[test]
+fn recovery_works_for_an_assigned_plan() {
+    // Full loop: assign on metadata → execute with an injected crash →
+    // recover → verify token count and determinism across runs.
+    let spec = llmpq_model::ModelSpec::new(
+        llmpq_model::ModelFamily::Opt,
+        "itest-6l",
+        6,
+        64,
+        4,
+        256,
+        128,
+    );
+    let cluster = llmpq_cluster::Cluster::from_groups(
+        "itest",
+        &[(llmpq_cluster::GpuModel::T4_16G, 1), (llmpq_cluster::GpuModel::V100_32G, 1)],
+        llmpq_cluster::Interconnect::Ethernet800G,
+        None,
+    );
+    let db = CostDb::oracle(&KernelEnv::default());
+    let job = BatchJob { global_batch: 4, prompt_len: 8, n_generate: 10 };
+    let cfg = AssignerConfig {
+        theta: 0.05,
+        solver: SolverChoice::Dp { group: 1 },
+        xi: 2,
+        max_orderings: 2,
+        dp_grid: Some(8),
+        search_kv8: false,
+    };
+    let out = assign(&cluster, &spec, &job, &db, &flat_indicator(6), &cfg).unwrap();
+    let checkpoint = RefModel::new(RefConfig::scaled_like(6, 5));
+    let prompts: Vec<Vec<usize>> =
+        (0..4).map(|i| (0..8).map(|j| (i * 29 + j * 13) % 256).collect()).collect();
+    let crash_stage = out.plan.stages.len() - 1;
+    let (rec, restarts) = run_pipeline_recoverable(
+        &checkpoint,
+        &out.plan,
+        &prompts,
+        10,
+        Rounding::Deterministic,
+        0,
+        2,
+        &[(crash_stage, 3)],
+    )
+    .expect("recovered");
+    assert!(restarts >= 1);
+    let (clean, zero) = run_pipeline_recoverable(
+        &checkpoint,
+        &out.plan,
+        &prompts,
+        10,
+        Rounding::Deterministic,
+        0,
+        2,
+        &[],
+    )
+    .unwrap();
+    assert_eq!(zero, 0);
+    assert_eq!(rec.tokens, clean.tokens, "recovery must not change tokens");
+}
