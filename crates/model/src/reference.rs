@@ -616,7 +616,7 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(3);
         for l in &mut noisy.layers {
             for v in l.wq.data.iter_mut().chain(l.w2.data.iter_mut()) {
-                *v += rng.gen_range(-0.05..0.05);
+                *v += rng.gen_range(-0.15..0.15);
             }
         }
         let worse = noisy.nll(&seq);

@@ -100,7 +100,11 @@ mod tests {
 
     #[test]
     fn kl_grows_as_bits_shrink() {
-        let (m, c) = setup();
+        // A hotter, larger corpus than setup()'s: the int3 argmax-flip
+        // assertion below needs positions where the teacher distribution
+        // is flat enough that quantization noise can change the winner.
+        let m = RefModel::new(RefConfig::tiny());
+        let c = Corpus::sample("kl-ladder", &m, 8, 40, 1.6, 0xD1F);
         let mut prev_kl = 0.0;
         let mut prev_agree = 1.0;
         for bits in [Bitwidth::Int8, Bitwidth::Int4, Bitwidth::Int3] {

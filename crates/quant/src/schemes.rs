@@ -139,10 +139,12 @@ mod tests {
     fn outlier_matrix() -> Matrix {
         // A matrix with a few large outliers per row — the regime where
         // per-channel scaling wastes grid resolution and group-wise wins.
+        // Both outliers sit in the first group of 64, so group-wise
+        // scaling contains the damage to one group out of four.
         let mut m = Matrix::random(16, 256, 0.1, 3);
         for r in 0..m.rows {
             m.row_mut(r)[7] = 2.5;
-            m.row_mut(r)[200] = -3.0;
+            m.row_mut(r)[40] = -3.0;
         }
         m
     }

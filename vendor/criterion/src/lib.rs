@@ -1,0 +1,153 @@
+//! Offline stand-in for `criterion`, vendored so the workspace builds
+//! with no network access. Benches compile and run with the same API
+//! (`criterion_group!`, `benchmark_group`, `bench_with_input`, …) but use
+//! a simple mean-of-N timer instead of criterion's statistical engine:
+//! each benchmark warms up once, then runs for a bounded number of
+//! iterations and prints the mean wall time.
+
+use std::time::{Duration, Instant};
+
+/// Upper bound on timed iterations per benchmark.
+const MAX_ITERS: u32 = 30;
+/// Wall-clock budget per benchmark.
+const TIME_BUDGET: Duration = Duration::from_millis(400);
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+/// A named family of related benchmarks.
+pub struct BenchmarkGroup {
+    name: String,
+}
+
+/// Timer handle passed to benchmark closures.
+pub struct Bencher {
+    total: Duration,
+    iters: u32,
+}
+
+/// Two-part benchmark label (`function/parameter`).
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Compose a label from a function name and a parameter value.
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{function}/{parameter}") }
+    }
+}
+
+impl Bencher {
+    /// Time repeated runs of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        std::hint::black_box(f()); // warm-up, untimed
+        let budget_start = Instant::now();
+        while self.iters < MAX_ITERS && budget_start.elapsed() < TIME_BUDGET {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            self.total += t0.elapsed();
+            self.iters += 1;
+        }
+    }
+}
+
+fn run_one(label: &str, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher { total: Duration::ZERO, iters: 0 };
+    f(&mut b);
+    if b.iters == 0 {
+        println!("{label:<50} (no samples)");
+    } else {
+        let mean = b.total / b.iters;
+        println!("{label:<50} {mean:>12.2?} mean of {} iters", b.iters);
+    }
+}
+
+impl Criterion {
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.into() }
+    }
+
+    /// Run a single ungrouped benchmark.
+    pub fn bench_function(
+        &mut self,
+        name: impl std::fmt::Display,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&name.to_string(), f);
+        self
+    }
+}
+
+impl BenchmarkGroup {
+    /// Accepted for API compatibility; the stub timer bounds iterations
+    /// internally instead.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run a benchmark in this group.
+    pub fn bench_function(
+        &mut self,
+        name: impl std::fmt::Display,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, name), f);
+        self
+    }
+
+    /// Run a benchmark parameterized by a borrowed input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id.id), |b| f(b, input));
+        self
+    }
+
+    /// End the group (no-op; output is printed eagerly).
+    pub fn finish(self) {}
+}
+
+/// Bundle benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_surface_runs() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("group");
+        g.sample_size(10);
+        g.bench_function("inner", |b| b.iter(|| 2 * 2));
+        g.bench_with_input(BenchmarkId::new("param", 42), &7u32, |b, &x| {
+            b.iter(|| x * x)
+        });
+        g.finish();
+    }
+}

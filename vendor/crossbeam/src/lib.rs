@@ -1,0 +1,99 @@
+//! Offline stand-in for `crossbeam`, vendored so the workspace builds
+//! with no network access. Only the `channel` module surface this
+//! workspace uses is provided: unbounded channels whose `Receiver` is
+//! cloneable (std's `mpsc::Receiver` wrapped in `Arc<Mutex<..>>`).
+//! Disconnect semantics match crossbeam: `recv` fails once every sender
+//! is gone, `send` fails once every receiver clone is gone.
+
+pub mod channel {
+    use std::sync::{mpsc, Arc, Mutex};
+    use std::time::Duration;
+
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+    /// Sending half of an unbounded channel.
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    /// Receiving half of an unbounded channel; cloneable (clones share
+    /// the same queue, crossbeam-style).
+    pub struct Receiver<T>(Arc<Mutex<mpsc::Receiver<T>>>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    /// Create an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(Arc::new(Mutex::new(rx))))
+    }
+
+    impl<T> Sender<T> {
+        /// Send a message; fails if all receivers are gone.
+        pub fn send(&self, t: T) -> Result<(), SendError<T>> {
+            self.0.send(t)
+        }
+    }
+
+    impl<T> Receiver<T> {
+        fn guard(&self) -> std::sync::MutexGuard<'_, mpsc::Receiver<T>> {
+            self.0.lock().unwrap_or_else(|e| e.into_inner())
+        }
+
+        /// Block until a message or disconnect.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.guard().recv()
+        }
+
+        /// Block with a timeout.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.guard().recv_timeout(timeout)
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.guard().try_recv()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn send_recv_and_disconnect() {
+            let (tx, rx) = unbounded::<u32>();
+            tx.send(7).unwrap();
+            assert_eq!(rx.recv(), Ok(7));
+            let rx2 = rx.clone();
+            drop(tx);
+            assert!(rx2.recv().is_err(), "all senders gone");
+        }
+
+        #[test]
+        fn send_fails_after_all_receivers_drop() {
+            let (tx, rx) = unbounded::<u32>();
+            let rx2 = rx.clone();
+            drop(rx);
+            drop(rx2);
+            assert!(tx.send(1).is_err());
+        }
+
+        #[test]
+        fn recv_timeout_times_out() {
+            let (_tx, rx) = unbounded::<u32>();
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(10)),
+                Err(RecvTimeoutError::Timeout)
+            );
+        }
+    }
+}

@@ -1,0 +1,395 @@
+//! Offline stand-in for `proptest`, vendored so the workspace builds with
+//! no network access. Supports the subset this workspace uses: the
+//! `proptest!` macro over named-argument strategies, numeric range
+//! strategies, `Just`, `prop_oneof!`, tuple strategies,
+//! `prop::collection::vec`, `prop::sample::select`, and
+//! `ProptestConfig::with_cases`.
+//!
+//! Cases are generated from a deterministic per-test seed (FNV of the
+//! test name), so failures reproduce run-to-run. There is no shrinking:
+//! a failing case panics with the assertion message directly.
+
+pub mod strategy {
+    //! Strategy trait, combinators, and the case-generation RNG.
+
+    /// Deterministic per-case generator (SplitMix64 over an FNV seed).
+    pub struct TestRng(u64);
+
+    impl TestRng {
+        /// Seed from the test name and case index; pure function of both.
+        pub fn for_case(test_name: &str, case: u64) -> Self {
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for b in test_name.bytes() {
+                h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng(h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        }
+
+        /// Next raw 64-bit output.
+        pub fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw in `[0, 1)`.
+        pub fn uniform(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+
+        /// Uniform index below `n` (panics when `n == 0`).
+        pub fn below(&mut self, n: usize) -> usize {
+            assert!(n > 0, "empty choice");
+            (self.next_u64() % n as u64) as usize
+        }
+    }
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+        /// Produce one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    /// Always yields a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_int_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    (lo as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_int_strategy!(usize, u8, u16, u32, u64, isize, i8, i16, i32, i64);
+
+    macro_rules! impl_float_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let u = rng.uniform();
+                    (self.start as f64 + u * (self.end as f64 - self.start as f64)) as $t
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start() as f64, *self.end() as f64);
+                    let u = rng.uniform();
+                    (lo + u * (hi - lo)) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_float_strategy!(f32, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+)),+) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    impl_tuple_strategy!(
+        (A.0),
+        (A.0, B.1),
+        (A.0, B.1, C.2),
+        (A.0, B.1, C.2, D.3),
+        (A.0, B.1, C.2, D.3, E.4),
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+    );
+
+    /// Uniform choice among boxed strategies sharing a value type
+    /// (the expansion target of `prop_oneof!`).
+    pub struct OneOf<V>(Vec<Box<dyn Fn(&mut TestRng) -> V>>);
+
+    impl<V> OneOf<V> {
+        /// Build from the boxed generator list.
+        pub fn new(choices: Vec<Box<dyn Fn(&mut TestRng) -> V>>) -> Self {
+            assert!(!choices.is_empty(), "prop_oneof! needs at least one arm");
+            OneOf(choices)
+        }
+    }
+
+    impl<V> Strategy for OneOf<V> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let i = rng.below(self.0.len());
+            (self.0[i])(rng)
+        }
+    }
+
+    /// Erase a strategy into the closure form `OneOf` consumes.
+    pub fn boxed<S: Strategy + 'static>(s: S) -> Box<dyn Fn(&mut TestRng) -> S::Value> {
+        Box::new(move |rng| s.generate(rng))
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+    use crate::strategy::{Strategy, TestRng};
+
+    /// Element-count specification for [`vec`]: an exact size or a range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi: r.end }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange { lo: *r.start(), hi: *r.end() + 1 }
+        }
+    }
+
+    /// Strategy producing `Vec`s of `element` draws.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` strategy with `size` elements (exact count or range).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.lo + rng.below(self.size.hi - self.size.lo);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    //! Sampling strategies over explicit value lists.
+    use crate::strategy::{Strategy, TestRng};
+
+    /// Strategy yielding uniformly-chosen clones from a list.
+    pub struct Select<T: Clone>(Vec<T>);
+
+    /// Uniform choice from `options` (must be non-empty).
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select over empty options");
+        Select(options)
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0[rng.below(self.0.len())].clone()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Run configuration.
+
+    /// How many generated cases each property runs.
+    #[derive(Debug, Clone, Copy)]
+    pub struct ProptestConfig {
+        /// Number of cases per property.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// Default config with `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude`.
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    pub mod prop {
+        //! `prop::collection` / `prop::sample` paths used inside tests.
+        pub use crate::{collection, sample};
+    }
+}
+
+/// Define property tests: each `fn name(arg in strategy, ..) { body }`
+/// becomes a `#[test]` running `cases` seeded draws of its arguments.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            cfg = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = ($cfg:expr);) => {};
+    (cfg = ($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+            for __case in 0..__cfg.cases as u64 {
+                let mut __rng =
+                    $crate::strategy::TestRng::for_case(stringify!($name), __case);
+                $(let $arg =
+                    $crate::strategy::Strategy::generate(&($strat), &mut __rng);)*
+                // Bodies may `return Ok(())` early (proptest convention),
+                // so run them inside a Result-returning closure.
+                let __outcome: ::core::result::Result<(), ::std::string::String> =
+                    (move || {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                if let ::core::result::Result::Err(e) = __outcome {
+                    panic!("proptest case {__case} of {} failed: {e}", stringify!($name));
+                }
+            }
+        }
+        $crate::__proptest_impl! { cfg = ($cfg); $($rest)* }
+    };
+}
+
+/// Assert inside a property; failure reports the failing case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Inequality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![$($crate::strategy::boxed($s)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn parity() -> impl Strategy<Value = u8> {
+        prop_oneof![Just(0u8), Just(1u8)]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_hit_bounds(x in 3usize..7, f in -1.0f64..1.0) {
+            prop_assert!((3..7).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_lengths_respect_spec(
+            exact in prop::collection::vec(0u64..10, 4),
+            ranged in prop::collection::vec(0u64..10, 1..4),
+        ) {
+            prop_assert_eq!(exact.len(), 4);
+            prop_assert!((1..4).contains(&ranged.len()));
+        }
+
+        #[test]
+        fn oneof_and_select(p in parity(), pick in prop::sample::select(vec![2usize, 4, 8])) {
+            prop_assert!(p <= 1);
+            prop_assert!([2usize, 4, 8].contains(&pick));
+        }
+
+        #[test]
+        fn tuples_compose((a, b) in (0u32..5, 10u32..15)) {
+            prop_assert!(a < 5 && (10..15).contains(&b));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut r1 = crate::strategy::TestRng::for_case("t", 3);
+        let mut r2 = crate::strategy::TestRng::for_case("t", 3);
+        assert_eq!(r1.next_u64(), r2.next_u64());
+        let mut r3 = crate::strategy::TestRng::for_case("t", 4);
+        assert_ne!(r1.next_u64(), r3.next_u64());
+    }
+}

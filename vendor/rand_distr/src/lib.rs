@@ -1,0 +1,81 @@
+//! Offline stand-in for `rand_distr`, vendored so the workspace builds
+//! with no network access. Provides the `Distribution` trait and the
+//! `LogNormal` distribution (Box–Muller) used by the workload models.
+
+use rand::{RngCore, StandardSample};
+
+/// Types that can draw samples of `T` from a generator.
+pub trait Distribution<T> {
+    /// Draw one sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Invalid distribution parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Error;
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid distribution parameters")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Log-normal distribution: `exp(mu + sigma * Z)` with standard normal `Z`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Create from the location `mu` and scale `sigma > 0` of the
+    /// underlying normal (matching `rand_distr::LogNormal::new`).
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, Error> {
+        if sigma.is_finite() && sigma >= 0.0 && mu.is_finite() {
+            Ok(LogNormal { mu, sigma })
+        } else {
+            Err(Error)
+        }
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller transform; clamp u1 away from zero so ln is finite.
+        let u1 = f64::sample_standard(rng).max(1e-300);
+        let u2 = f64::sample_standard(rng);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        (self.mu + self.sigma * z).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_params() {
+        assert!(LogNormal::new(0.0, -1.0).is_err());
+        assert!(LogNormal::new(f64::NAN, 1.0).is_err());
+        assert!(LogNormal::new(1.0, 0.5).is_ok());
+    }
+
+    #[test]
+    fn lognormal_moments_are_sane() {
+        // For mu=0, sigma=0.5 the median is exp(0)=1 and all samples > 0.
+        let d = LogNormal::new(0.0, 0.5).unwrap();
+        let mut rng = SmallRng::seed_from_u64(9);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        assert!(samples.iter().all(|&x| x > 0.0));
+        let below = samples.iter().filter(|&&x| x < 1.0).count() as f64 / n as f64;
+        assert!((below - 0.5).abs() < 0.02, "median off: {below} below 1.0");
+        // Mean of log-samples ~ mu.
+        let logmean = samples.iter().map(|x| x.ln()).sum::<f64>() / n as f64;
+        assert!(logmean.abs() < 0.02, "log-mean {logmean} far from 0");
+    }
+}

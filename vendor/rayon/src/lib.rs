@@ -1,0 +1,154 @@
+//! Offline stand-in for `rayon`, vendored so the workspace builds with no
+//! network access. The `par_*` entry points return a [`Par`] wrapper that
+//! executes **sequentially** on the calling thread; results are
+//! bit-identical to rayon's (all uses in this workspace are
+//! order-independent reductions or disjoint writes), only the speedup is
+//! forfeited. Rayon's two-argument `reduce(identity, op)` is provided as
+//! an inherent method so call sites compile unchanged.
+
+/// Sequential stand-in for a rayon parallel iterator.
+pub struct Par<I>(I);
+
+impl<I: Iterator> Par<I> {
+    /// Map each item.
+    pub fn map<F, R>(self, f: F) -> Par<std::iter::Map<I, F>>
+    where
+        F: FnMut(I::Item) -> R,
+    {
+        Par(self.0.map(f))
+    }
+
+    /// Pair items with their index.
+    pub fn enumerate(self) -> Par<std::iter::Enumerate<I>> {
+        Par(self.0.enumerate())
+    }
+
+    /// Zip with another (par-)iterator.
+    pub fn zip<J: IntoIterator>(self, other: J) -> Par<std::iter::Zip<I, J::IntoIter>> {
+        Par(self.0.zip(other))
+    }
+
+    /// Keep items satisfying the predicate.
+    pub fn filter<F>(self, f: F) -> Par<std::iter::Filter<I, F>>
+    where
+        F: FnMut(&I::Item) -> bool,
+    {
+        Par(self.0.filter(f))
+    }
+
+    /// Consume every item.
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.0.for_each(f)
+    }
+
+    /// Rayon-style fold: `identity()` seeds the accumulator, `op` merges.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        OP: Fn(I::Item, I::Item) -> I::Item,
+    {
+        self.0.fold(identity(), op)
+    }
+
+    /// Sum the items.
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.0.sum()
+    }
+
+    /// Count the items.
+    pub fn count(self) -> usize {
+        self.0.count()
+    }
+
+    /// Collect into any `FromIterator` container.
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+}
+
+impl<I: Iterator> IntoIterator for Par<I> {
+    type Item = I::Item;
+    type IntoIter = I;
+
+    fn into_iter(self) -> I {
+        self.0
+    }
+}
+
+/// `par_iter` / `par_chunks` on shared slices.
+pub trait ParallelSlice<T> {
+    /// Per-element iterator.
+    fn par_iter(&self) -> Par<std::slice::Iter<'_, T>>;
+    /// Chunked iterator (`size` elements per chunk, last may be short).
+    fn par_chunks(&self, size: usize) -> Par<std::slice::Chunks<'_, T>>;
+}
+
+/// `par_iter_mut` / `par_chunks_mut` on exclusive slices.
+pub trait ParallelSliceMut<T> {
+    /// Per-element mutable iterator.
+    fn par_iter_mut(&mut self) -> Par<std::slice::IterMut<'_, T>>;
+    /// Chunked mutable iterator.
+    fn par_chunks_mut(&mut self, size: usize) -> Par<std::slice::ChunksMut<'_, T>>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> Par<std::slice::Iter<'_, T>> {
+        Par(self.iter())
+    }
+
+    fn par_chunks(&self, size: usize) -> Par<std::slice::Chunks<'_, T>> {
+        Par(self.chunks(size))
+    }
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> Par<std::slice::IterMut<'_, T>> {
+        Par(self.iter_mut())
+    }
+
+    fn par_chunks_mut(&mut self, size: usize) -> Par<std::slice::ChunksMut<'_, T>> {
+        Par(self.chunks_mut(size))
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `rayon::prelude`.
+    pub use crate::{Par, ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn chained_mutation_matches_sequential() {
+        let mut data = vec![0f32; 12];
+        data.par_chunks_mut(4).enumerate().for_each(|(i, chunk)| {
+            for (j, v) in chunk.iter_mut().enumerate() {
+                *v = (i * 4 + j) as f32;
+            }
+        });
+        assert_eq!(data, (0..12).map(|x| x as f32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn two_arg_reduce_and_zip() {
+        let xs = vec![1.0f64, 2.0, 3.0];
+        let ys = vec![10usize, 20, 30];
+        let (s, n) = xs
+            .par_iter()
+            .zip(ys.par_iter())
+            .map(|(&x, &y)| (x, y))
+            .reduce(|| (0.0, 0), |a, b| (a.0 + b.0, a.1 + b.1));
+        assert_eq!((s, n), (6.0, 60));
+        let total: usize = ys.par_iter().map(|&y| y).sum();
+        assert_eq!(total, 60);
+    }
+
+    #[test]
+    fn collect_preserves_order() {
+        let v: Vec<usize> = (0..10).collect();
+        let doubled: Vec<usize> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..10).map(|x| x * 2).collect::<Vec<_>>());
+    }
+}

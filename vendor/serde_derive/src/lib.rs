@@ -1,0 +1,605 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` against
+//! the vendored reflection-style `serde` stub without `syn`/`quote`: the
+//! item's token stream is re-lexed from its string form and a trivial
+//! item grammar (structs with named/tuple fields, enums with unit /
+//! tuple / struct variants) is parsed by hand. Supported field
+//! attributes: `#[serde(default)]` and `#[serde(default = "path")]` —
+//! the only ones this workspace uses.
+
+use proc_macro::TokenStream;
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Punct(char),
+    /// String literal, *unquoted* content.
+    Str(String),
+    Lifetime(String),
+}
+
+fn lex(src: &str) -> Vec<Tok> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        if c.is_whitespace() {
+            i += 1;
+        } else if c == '/' && chars.get(i + 1) == Some(&'/') {
+            // Line or doc comment: runs to end of line (token streams
+            // rendered from real source keep their newlines).
+            while i < chars.len() && chars[i] != '\n' {
+                i += 1;
+            }
+        } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+            i += 2;
+            while i + 1 < chars.len() && !(chars[i] == '*' && chars[i + 1] == '/') {
+                i += 1;
+            }
+            i += 2;
+        } else if c == '"' {
+            let mut s = String::new();
+            i += 1;
+            while i < chars.len() && chars[i] != '"' {
+                if chars[i] == '\\' && i + 1 < chars.len() {
+                    s.push(chars[i]);
+                    s.push(chars[i + 1]);
+                    i += 2;
+                } else {
+                    s.push(chars[i]);
+                    i += 1;
+                }
+            }
+            i += 1; // closing quote
+            out.push(Tok::Str(s));
+        } else if c == '\'' {
+            // Lifetime ('a) or char literal ('x').
+            if i + 2 < chars.len() && chars[i + 1] != '\\' && chars[i + 2] != '\'' {
+                let mut name = String::new();
+                i += 1;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    name.push(chars[i]);
+                    i += 1;
+                }
+                out.push(Tok::Lifetime(name));
+            } else {
+                // char literal: skip to closing quote
+                i += 1;
+                while i < chars.len() && chars[i] != '\'' {
+                    if chars[i] == '\\' {
+                        i += 1;
+                    }
+                    i += 1;
+                }
+                i += 1;
+                out.push(Tok::Ident("'c'".into()));
+            }
+        } else if c.is_alphanumeric() || c == '_' {
+            let mut s = String::new();
+            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_' || chars[i] == '.') {
+                s.push(chars[i]);
+                i += 1;
+            }
+            out.push(Tok::Ident(s));
+        } else {
+            out.push(Tok::Punct(c));
+            i += 1;
+        }
+    }
+    out
+}
+
+/// How a field's absence is handled during deserialization.
+#[derive(Debug, Clone, PartialEq)]
+enum FieldDefault {
+    /// No attribute: `de_field` (errors unless the type opts out).
+    Required,
+    /// `#[serde(default)]`: `Default::default()`.
+    TypeDefault,
+    /// `#[serde(default = "path")]`: call `path()`.
+    Path(String),
+}
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    default: FieldDefault,
+}
+
+#[derive(Debug)]
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+#[derive(Debug)]
+enum Item {
+    NamedStruct { name: String, fields: Vec<Field> },
+    TupleStruct { name: String, arity: usize },
+    UnitStruct { name: String },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+struct Parser {
+    toks: Vec<Tok>,
+    i: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.i)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.i).cloned();
+        self.i += 1;
+        t
+    }
+
+    fn eat_punct(&mut self, c: char) -> bool {
+        if self.peek() == Some(&Tok::Punct(c)) {
+            self.i += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Skip a balanced group starting at the current opening delimiter.
+    fn skip_balanced(&mut self) {
+        let (open, close) = match self.peek() {
+            Some(Tok::Punct('(')) => ('(', ')'),
+            Some(Tok::Punct('[')) => ('[', ']'),
+            Some(Tok::Punct('{')) => ('{', '}'),
+            _ => return,
+        };
+        let mut depth = 0i32;
+        while let Some(t) = self.bump() {
+            match t {
+                Tok::Punct(c) if c == open => depth += 1,
+                Tok::Punct(c) if c == close => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Consume attributes; return the field default they specify, if any.
+    fn eat_attrs(&mut self) -> FieldDefault {
+        let mut default = FieldDefault::Required;
+        while self.peek() == Some(&Tok::Punct('#')) {
+            self.i += 1; // '#'
+            // Inspect the bracket group for serde(default...).
+            let start = self.i;
+            self.skip_balanced();
+            let group = &self.toks[start..self.i];
+            if group.len() >= 2 && group[1] == Tok::Ident("serde".into()) {
+                // Shapes: [ serde ( default ) ] or [ serde ( default = "path" ) ]
+                let has_default = group.iter().any(|t| *t == Tok::Ident("default".into()));
+                if has_default {
+                    let path = group.iter().find_map(|t| match t {
+                        Tok::Str(s) => Some(s.clone()),
+                        _ => None,
+                    });
+                    default = match path {
+                        Some(p) => FieldDefault::Path(p),
+                        None => FieldDefault::TypeDefault,
+                    };
+                }
+            }
+        }
+        default
+    }
+
+    fn eat_vis(&mut self) {
+        if self.peek() == Some(&Tok::Ident("pub".into())) {
+            self.i += 1;
+            if self.peek() == Some(&Tok::Punct('(')) {
+                self.skip_balanced();
+            }
+        }
+    }
+
+    /// Skip a type expression: everything until a top-level ',' or the
+    /// given closer. Leaves the ',' / closer unconsumed.
+    fn skip_type(&mut self, closer: char) {
+        let mut angle = 0i32;
+        let mut paren = 0i32;
+        let mut bracket = 0i32;
+        while let Some(t) = self.peek() {
+            match t {
+                Tok::Punct('<') => angle += 1,
+                Tok::Punct('>') => angle -= 1,
+                Tok::Punct('(') => paren += 1,
+                Tok::Punct(')') => {
+                    if paren == 0 && closer == ')' {
+                        return;
+                    }
+                    paren -= 1;
+                }
+                Tok::Punct('[') => bracket += 1,
+                Tok::Punct(']') => bracket -= 1,
+                Tok::Punct(',') if angle == 0 && paren == 0 && bracket == 0 => return,
+                Tok::Punct(c) if *c == closer && angle == 0 && paren == 0 && bracket == 0 => {
+                    return
+                }
+                _ => {}
+            }
+            self.i += 1;
+        }
+    }
+
+    fn parse_named_fields(&mut self, closer: char) -> Vec<Field> {
+        let mut fields = Vec::new();
+        loop {
+            while self.eat_punct(',') {}
+            if self.peek() == Some(&Tok::Punct(closer)) || self.peek().is_none() {
+                break;
+            }
+            let default = self.eat_attrs();
+            self.eat_vis();
+            let name = match self.bump() {
+                Some(Tok::Ident(s)) => s,
+                other => panic!("serde stub derive: expected field name, got {other:?}"),
+            };
+            assert!(self.eat_punct(':'), "serde stub derive: expected ':' after field `{name}`");
+            self.skip_type(closer);
+            fields.push(Field { name, default });
+        }
+        fields
+    }
+
+    fn parse_item(&mut self) -> Item {
+        self.eat_attrs();
+        self.eat_vis();
+        let kw = loop {
+            match self.bump() {
+                Some(Tok::Ident(s)) if s == "struct" || s == "enum" => break s,
+                Some(_) => continue,
+                None => panic!("serde stub derive: no struct/enum found"),
+            }
+        };
+        let name = match self.bump() {
+            Some(Tok::Ident(s)) => s,
+            other => panic!("serde stub derive: expected item name, got {other:?}"),
+        };
+        if self.peek() == Some(&Tok::Punct('<')) {
+            panic!("serde stub derive: generic types are not supported (type `{name}`)");
+        }
+        if kw == "struct" {
+            match self.peek() {
+                Some(Tok::Punct('{')) => {
+                    self.i += 1;
+                    let fields = self.parse_named_fields('}');
+                    Item::NamedStruct { name, fields }
+                }
+                Some(Tok::Punct('(')) => {
+                    self.i += 1;
+                    let mut arity = 0usize;
+                    loop {
+                        while self.eat_punct(',') {}
+                        if self.peek() == Some(&Tok::Punct(')')) || self.peek().is_none() {
+                            break;
+                        }
+                        let _ = self.eat_attrs();
+                        self.eat_vis();
+                        self.skip_type(')');
+                        arity += 1;
+                    }
+                    Item::TupleStruct { name, arity }
+                }
+                _ => Item::UnitStruct { name },
+            }
+        } else {
+            assert!(self.eat_punct('{'), "serde stub derive: expected enum body");
+            let mut variants = Vec::new();
+            loop {
+                while self.eat_punct(',') {}
+                if self.peek() == Some(&Tok::Punct('}')) || self.peek().is_none() {
+                    break;
+                }
+                let _ = self.eat_attrs();
+                let vname = match self.bump() {
+                    Some(Tok::Ident(s)) => s,
+                    other => panic!("serde stub derive: expected variant name, got {other:?}"),
+                };
+                let shape = match self.peek() {
+                    Some(Tok::Punct('(')) => {
+                        self.i += 1;
+                        let mut arity = 0usize;
+                        loop {
+                            while self.eat_punct(',') {}
+                            if self.peek() == Some(&Tok::Punct(')')) || self.peek().is_none() {
+                                break;
+                            }
+                            self.skip_type(')');
+                            arity += 1;
+                        }
+                        self.eat_punct(')');
+                        VariantShape::Tuple(arity)
+                    }
+                    Some(Tok::Punct('{')) => {
+                        self.i += 1;
+                        let fields = self.parse_named_fields('}');
+                        self.eat_punct('}');
+                        VariantShape::Struct(fields)
+                    }
+                    _ => VariantShape::Unit,
+                };
+                // Skip a possible discriminant `= expr`.
+                if self.eat_punct('=') {
+                    while let Some(t) = self.peek() {
+                        if matches!(t, Tok::Punct(',') | Tok::Punct('}')) {
+                            break;
+                        }
+                        self.i += 1;
+                    }
+                }
+                variants.push(Variant { name: vname, shape });
+            }
+            Item::Enum { name, variants }
+        }
+    }
+}
+
+fn parse(input: TokenStream) -> Item {
+    let src = input.to_string();
+    let mut p = Parser { toks: lex(&src), i: 0 };
+    p.parse_item()
+}
+
+fn field_de_expr(f: &Field) -> String {
+    match &f.default {
+        FieldDefault::Required => format!("::serde::de_field(v, \"{}\")?", f.name),
+        FieldDefault::TypeDefault => format!(
+            "match v.get(\"{n}\") {{ \
+                 Some(x) => ::serde::Deserialize::from_value(x)\
+                     .map_err(|e| format!(\"field `{n}`: {{e}}\"))?, \
+                 None => ::core::default::Default::default() }}",
+            n = f.name
+        ),
+        FieldDefault::Path(p) => format!(
+            "match v.get(\"{n}\") {{ \
+                 Some(x) => ::serde::Deserialize::from_value(x)\
+                     .map_err(|e| format!(\"field `{n}`: {{e}}\"))?, \
+                 None => {p}() }}",
+            n = f.name
+        ),
+    }
+}
+
+/// Derive `serde::Serialize` (reflection-style stub).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse(input);
+    let code = match &item {
+        Item::NamedStruct { name, fields } => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(\"{n}\".to_string(), ::serde::Serialize::to_value(&self.{n}))",
+                        n = f.name
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{ \
+                     fn to_value(&self) -> ::serde::Value {{ \
+                         ::serde::Value::Obj(vec![{}]) }} }}",
+                pairs.join(", ")
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            if *arity == 1 {
+                format!(
+                    "impl ::serde::Serialize for {name} {{ \
+                         fn to_value(&self) -> ::serde::Value {{ \
+                             ::serde::Serialize::to_value(&self.0) }} }}"
+                )
+            } else {
+                let elems: Vec<String> = (0..*arity)
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!(
+                    "impl ::serde::Serialize for {name} {{ \
+                         fn to_value(&self) -> ::serde::Value {{ \
+                             ::serde::Value::Arr(vec![{}]) }} }}",
+                    elems.join(", ")
+                )
+            }
+        }
+        Item::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{ \
+                 fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Null }} }}"
+        ),
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string())"
+                        ),
+                        VariantShape::Tuple(1) => format!(
+                            "{name}::{vn}(a0) => ::serde::Value::Obj(vec![\
+                                 (\"{vn}\".to_string(), ::serde::Serialize::to_value(a0))])"
+                        ),
+                        VariantShape::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("a{i}")).collect();
+                            let elems: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(a{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({b}) => ::serde::Value::Obj(vec![\
+                                     (\"{vn}\".to_string(), ::serde::Value::Arr(vec![{e}]))])",
+                                b = binds.join(", "),
+                                e = elems.join(", ")
+                            )
+                        }
+                        VariantShape::Struct(fields) => {
+                            let binds: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            let pairs: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(\"{n}\".to_string(), ::serde::Serialize::to_value({n}))",
+                                        n = f.name
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {b} }} => ::serde::Value::Obj(vec![\
+                                     (\"{vn}\".to_string(), ::serde::Value::Obj(vec![{p}]))])",
+                                b = binds.join(", "),
+                                p = pairs.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{ \
+                     fn to_value(&self) -> ::serde::Value {{ \
+                         match self {{ {} }} }} }}",
+                arms.join(", ")
+            )
+        }
+    };
+    code.parse().expect("serde stub derive: generated code must parse")
+}
+
+/// Derive `serde::Deserialize` (reflection-style stub).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse(input);
+    let code = match &item {
+        Item::NamedStruct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{n}: {e}", n = f.name, e = field_de_expr(f)))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{ \
+                     fn from_value(v: &::serde::Value) -> ::core::result::Result<Self, String> {{ \
+                         if !matches!(v, ::serde::Value::Obj(_)) {{ \
+                             return Err(format!(\"expected object for {name}, got {{v:?}}\")); }} \
+                         Ok(Self {{ {} }}) }} }}",
+                inits.join(", ")
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            if *arity == 1 {
+                format!(
+                    "impl ::serde::Deserialize for {name} {{ \
+                         fn from_value(v: &::serde::Value) -> ::core::result::Result<Self, String> {{ \
+                             Ok(Self(::serde::Deserialize::from_value(v)?)) }} }}"
+                )
+            } else {
+                let elems: Vec<String> = (0..*arity)
+                    .map(|i| format!("::serde::Deserialize::from_value(&xs[{i}])?"))
+                    .collect();
+                format!(
+                    "impl ::serde::Deserialize for {name} {{ \
+                         fn from_value(v: &::serde::Value) -> ::core::result::Result<Self, String> {{ \
+                             match v {{ \
+                                 ::serde::Value::Arr(xs) if xs.len() == {arity} => \
+                                     Ok(Self({})), \
+                                 other => Err(format!(\"expected {arity}-array for {name}, got {{other:?}}\")) }} }} }}",
+                    elems.join(", ")
+                )
+            }
+        }
+        Item::UnitStruct { name } => format!(
+            "impl ::serde::Deserialize for {name} {{ \
+                 fn from_value(_v: &::serde::Value) -> ::core::result::Result<Self, String> {{ \
+                     Ok(Self) }} }}"
+        ),
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.shape, VariantShape::Unit))
+                .map(|v| format!("\"{vn}\" => Ok({name}::{vn})", vn = v.name))
+                .collect();
+            let payload_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => None,
+                        VariantShape::Tuple(1) => Some(format!(
+                            "\"{vn}\" => Ok({name}::{vn}(\
+                                 ::serde::Deserialize::from_value(payload)?))"
+                        )),
+                        VariantShape::Tuple(n) => {
+                            let elems: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_value(&xs[{i}])?"))
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => match payload {{ \
+                                     ::serde::Value::Arr(xs) if xs.len() == {n} => \
+                                         Ok({name}::{vn}({e})), \
+                                     other => Err(format!(\
+                                         \"expected {n}-array for {name}::{vn}, got {{other:?}}\")) }}",
+                                e = elems.join(", ")
+                            ))
+                        }
+                        VariantShape::Struct(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| format!("{n}: {e}", n = f.name, e = field_de_expr(f)))
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{ let v = payload; \
+                                     Ok({name}::{vn} {{ {} }}) }}",
+                                inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            let unit_match = if unit_arms.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    "::serde::Value::Str(s) => match s.as_str() {{ {}, \
+                         other => Err(format!(\"unknown variant `{{other}}` of {name}\")) }},",
+                    unit_arms.join(", ")
+                )
+            };
+            let payload_match = if payload_arms.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    "::serde::Value::Obj(pairs) if pairs.len() == 1 => {{ \
+                         let (tag, payload) = (&pairs[0].0, &pairs[0].1); \
+                         match tag.as_str() {{ {}, \
+                             other => Err(format!(\"unknown variant `{{other}}` of {name}\")) }} }},",
+                    payload_arms.join(", ")
+                )
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{ \
+                     fn from_value(v: &::serde::Value) -> ::core::result::Result<Self, String> {{ \
+                         match v {{ {unit_match} {payload_match} \
+                             other => Err(format!(\"bad value for {name}: {{other:?}}\")) }} }} }}"
+            )
+        }
+    };
+    code.parse().expect("serde stub derive: generated code must parse")
+}

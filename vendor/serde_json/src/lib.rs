@@ -1,0 +1,316 @@
+//! Offline stand-in for `serde_json`, vendored so the workspace builds
+//! without network access. Prints and parses standard JSON over the
+//! vendored `serde::Value` reflection tree; `from_str`, `to_string`, and
+//! `to_string_pretty` match the call surface this workspace uses.
+
+use serde::{Deserialize, Serialize, Value};
+
+/// JSON (de)serialization failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Parse a JSON string into any `Deserialize` type.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let v = parse_value(s).map_err(Error)?;
+    T::from_value(&v).map_err(Error)
+}
+
+/// Serialize compactly.
+pub fn to_string<T: Serialize + ?Sized>(v: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&v.to_value(), &mut out, None, 0);
+    Ok(out)
+}
+
+/// Serialize with two-space indentation.
+pub fn to_string_pretty<T: Serialize + ?Sized>(v: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&v.to_value(), &mut out, Some(2), 0);
+    Ok(out)
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_num(n: f64, out: &mut String) {
+    if !n.is_finite() {
+        out.push_str("null");
+    } else if n == n.trunc() && n.abs() < 9.0e15 {
+        out.push_str(&format!("{}", n as i64));
+    } else {
+        out.push_str(&format!("{n}"));
+    }
+}
+
+fn write_value(v: &Value, out: &mut String, indent: Option<usize>, level: usize) {
+    let (nl, pad, pad_in) = match indent {
+        Some(w) => (
+            "\n".to_string(),
+            " ".repeat(w * level),
+            " ".repeat(w * (level + 1)),
+        ),
+        None => (String::new(), String::new(), String::new()),
+    };
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Num(n) => write_num(*n, out),
+        Value::Str(s) => write_escaped(s, out),
+        Value::Arr(xs) => {
+            if xs.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, x) in xs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&nl);
+                out.push_str(&pad_in);
+                write_value(x, out, indent, level + 1);
+            }
+            out.push_str(&nl);
+            out.push_str(&pad);
+            out.push(']');
+        }
+        Value::Obj(pairs) => {
+            if pairs.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, x)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&nl);
+                out.push_str(&pad_in);
+                write_escaped(k, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(x, out, indent, level + 1);
+            }
+            out.push_str(&nl);
+            out.push_str(&pad);
+            out.push('}');
+        }
+    }
+}
+
+struct JsonParser<'a> {
+    chars: Vec<char>,
+    i: usize,
+    _src: &'a str,
+}
+
+impl<'a> JsonParser<'a> {
+    fn skip_ws(&mut self) {
+        while self.i < self.chars.len() && self.chars[self.i].is_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.skip_ws();
+        self.chars.get(self.i).copied()
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), String> {
+        match self.peek() {
+            Some(got) if got == c => {
+                self.i += 1;
+                Ok(())
+            }
+            got => Err(format!("expected '{c}' at position {}, got {got:?}", self.i)),
+        }
+    }
+
+    fn parse(&mut self) -> Result<Value, String> {
+        match self.peek() {
+            None => Err("unexpected end of input".into()),
+            Some('n') => self.keyword("null", Value::Null),
+            Some('t') => self.keyword("true", Value::Bool(true)),
+            Some('f') => self.keyword("false", Value::Bool(false)),
+            Some('"') => self.parse_string().map(Value::Str),
+            Some('[') => {
+                self.i += 1;
+                let mut xs = Vec::new();
+                if self.peek() == Some(']') {
+                    self.i += 1;
+                    return Ok(Value::Arr(xs));
+                }
+                loop {
+                    xs.push(self.parse()?);
+                    match self.peek() {
+                        Some(',') => self.i += 1,
+                        Some(']') => {
+                            self.i += 1;
+                            return Ok(Value::Arr(xs));
+                        }
+                        got => return Err(format!("expected ',' or ']', got {got:?}")),
+                    }
+                }
+            }
+            Some('{') => {
+                self.i += 1;
+                let mut pairs = Vec::new();
+                if self.peek() == Some('}') {
+                    self.i += 1;
+                    return Ok(Value::Obj(pairs));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.parse_string()?;
+                    self.expect(':')?;
+                    let val = self.parse()?;
+                    pairs.push((key, val));
+                    match self.peek() {
+                        Some(',') => self.i += 1,
+                        Some('}') => {
+                            self.i += 1;
+                            return Ok(Value::Obj(pairs));
+                        }
+                        got => return Err(format!("expected ',' or '}}', got {got:?}")),
+                    }
+                }
+            }
+            Some(c) if c == '-' || c.is_ascii_digit() => self.parse_number(),
+            Some(c) => Err(format!("unexpected character '{c}' at position {}", self.i)),
+        }
+    }
+
+    fn keyword(&mut self, kw: &str, v: Value) -> Result<Value, String> {
+        self.skip_ws();
+        for want in kw.chars() {
+            if self.chars.get(self.i).copied() != Some(want) {
+                return Err(format!("bad literal (expected `{kw}`) at position {}", self.i));
+            }
+            self.i += 1;
+        }
+        Ok(v)
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut s = String::new();
+        while let Some(&c) = self.chars.get(self.i) {
+            self.i += 1;
+            match c {
+                '"' => return Ok(s),
+                '\\' => {
+                    let esc = self.chars.get(self.i).copied().ok_or("bad escape")?;
+                    self.i += 1;
+                    match esc {
+                        '"' => s.push('"'),
+                        '\\' => s.push('\\'),
+                        '/' => s.push('/'),
+                        'n' => s.push('\n'),
+                        'r' => s.push('\r'),
+                        't' => s.push('\t'),
+                        'b' => s.push('\u{8}'),
+                        'f' => s.push('\u{c}'),
+                        'u' => {
+                            let hex: String =
+                                self.chars[self.i..(self.i + 4).min(self.chars.len())]
+                                    .iter()
+                                    .collect();
+                            self.i += 4;
+                            let code = u32::from_str_radix(&hex, 16)
+                                .map_err(|_| format!("bad \\u escape `{hex}`"))?;
+                            s.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => return Err(format!("bad escape `\\{other}`")),
+                    }
+                }
+                c => s.push(c),
+            }
+        }
+        Err("unterminated string".into())
+    }
+
+    fn parse_number(&mut self) -> Result<Value, String> {
+        self.skip_ws();
+        let start = self.i;
+        while let Some(&c) = self.chars.get(self.i) {
+            if c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E') {
+                self.i += 1;
+            } else {
+                break;
+            }
+        }
+        let text: String = self.chars[start..self.i].iter().collect();
+        text.parse::<f64>()
+            .map(Value::Num)
+            .map_err(|_| format!("bad number `{text}`"))
+    }
+}
+
+/// Parse a JSON document into a [`Value`].
+pub fn parse_value(s: &str) -> Result<Value, String> {
+    let mut p = JsonParser { chars: s.chars().collect(), i: 0, _src: s };
+    let v = p.parse()?;
+    p.skip_ws();
+    if p.i != p.chars.len() {
+        return Err(format!("trailing characters at position {}", p.i));
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_nested_values() {
+        let v = Value::Obj(vec![
+            ("a".into(), Value::Arr(vec![Value::Num(1.0), Value::Num(-2.5)])),
+            ("s".into(), Value::Str("hi \"there\"\n".into())),
+            ("b".into(), Value::Bool(true)),
+            ("n".into(), Value::Null),
+        ]);
+        for pretty in [false, true] {
+            let mut s = String::new();
+            write_value(&v, &mut s, if pretty { Some(2) } else { None }, 0);
+            assert_eq!(parse_value(&s).unwrap(), v, "pretty={pretty}: {s}");
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_value("{not json").is_err());
+        assert!(parse_value("").is_err());
+        assert!(parse_value("[1,2,]").is_err());
+        assert!(parse_value("{} trailing").is_err());
+    }
+
+    #[test]
+    fn integers_print_without_exponent() {
+        let mut s = String::new();
+        write_value(&Value::Num(1234567890.0), &mut s, None, 0);
+        assert_eq!(s, "1234567890");
+    }
+}
