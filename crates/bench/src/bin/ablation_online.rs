@@ -60,7 +60,7 @@ fn main() {
         "throughput (tok/s)", "padding waste",
     ]);
     for rate in [0.2, 0.5, 1.0, 2.0, 4.0, 8.0] {
-        let cfg = OnlineConfig { arrival_rate: rate, n_requests: 150, batch_size: 8, max_wait_s: 2.0, n_generate: (50, 150), seed: 5 };
+        let cfg = OnlineConfig { arrival_rate: rate, n_requests: 150, batch_size: 8, max_wait_s: 2.0, n_generate: (50, 150), failure_rate: 0.0, seed: 5 };
         let stats = simulate_online(&cfg, &prompt_model, &batch_cost);
         t.row(vec![
             format!("{rate}"),

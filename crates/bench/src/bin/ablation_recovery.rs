@@ -1,0 +1,122 @@
+//! Ablation: fault-tolerance cost — restart vs. replan recovery.
+//!
+//! Plans cluster 3 (3×T4 + 1×V100, OPT-30b), then:
+//!
+//! 1. sweeps the per-stage MTTF and reports the expected latency
+//!    overhead of transient-failure restarts (heartbeat detection +
+//!    backoff + re-prefill of the lock-step checkpoint);
+//! 2. permanently removes each device in turn, replans the survivors
+//!    with Algorithm 1 (`replan_after_loss`), and compares the finite
+//!    replan recovery latency against restart-only recovery, which can
+//!    never complete on the old plan.
+
+use llmpq_bench::quality::zoo_indicator;
+use llmpq_bench::serving::ServingSetup;
+use llmpq_bench::TextTable;
+use llm_pq::evaluate::{representative_past, stage_loads};
+use llm_pq::{assign, replan_after_loss};
+use llmpq_cost::CostDb;
+use llmpq_model::PhaseWorkload;
+use llmpq_sim::{recovery_cost, simulate_pipeline, FailureModel, KernelEnv, PipelineWorkload};
+
+fn main() {
+    println!("Ablation — recovery cost: restart vs. replan (cluster 3, OPT-30b)\n");
+    let db = CostDb::oracle(&KernelEnv::default());
+    let setup = ServingSetup::paper(3);
+    let indicator = zoo_indicator(&setup.spec);
+    let out = assign(&setup.cluster, &setup.spec, &setup.job, &db, &indicator, &setup.cfg)
+        .expect("baseline plan");
+    let plan = out.plan;
+
+    let loads = stage_loads(&plan, &setup.cluster, &setup.spec, &db, &setup.job);
+    let first_gpu = setup.cluster.devices[plan.stages[0].device].gpu;
+    let mb = &plan.microbatch;
+    let pre_w = PhaseWorkload::prefill(mb.prefill_size, setup.job.prompt_len);
+    let dec_w = PhaseWorkload::decode(
+        mb.decode_size,
+        setup.job.prompt_len,
+        representative_past(&setup.job),
+    );
+    let wl = PipelineWorkload {
+        prefill_microbatches: mb.prefill_count,
+        decode_microbatches: mb.decode_count,
+        n_tokens: setup.job.n_generate,
+        master_prefill: db.master_latency(first_gpu, &setup.spec, &pre_w),
+        master_decode: db.master_latency(first_gpu, &setup.spec, &dec_w),
+    };
+    let t0 = simulate_pipeline(&loads, &wl).total_latency;
+    println!("fault-free batch latency: {t0:.2} s over {} stages\n", plan.stages.len());
+
+    // --- 1. transient failures: restart overhead vs. MTTF ---
+    let mut t = TextTable::new(&["MTTF (s)", "E[failures]", "restart latency (s)", "overhead"]);
+    for mttf in [30.0f64, 120.0, 600.0, 3600.0, 86400.0] {
+        let fm = FailureModel { mttf_s: mttf, ..FailureModel::default() };
+        let r = recovery_cost(&loads, &wl, &fm);
+        t.row(vec![
+            format!("{mttf:.0}"),
+            format!("{:.3}", r.expected_transient_failures),
+            format!("{:.2}", r.restart_latency),
+            format!("{:.1}%", r.transient_overhead_fraction * 100.0),
+        ]);
+    }
+    println!("{}", t.render());
+
+    // --- 2. permanent device loss: replan on the survivors ---
+    let mut t = TextTable::new(&[
+        "lost device",
+        "surviving plan",
+        "slowdown",
+        "replan latency (s)",
+        "restart-only (s)",
+    ]);
+    for lost in 0..setup.cluster.len() {
+        match replan_after_loss(
+            &setup.cluster,
+            &[lost],
+            &setup.spec,
+            &setup.job,
+            &db,
+            &indicator,
+            &setup.cfg,
+        ) {
+            Ok(rp) => {
+                let new_loads =
+                    stage_loads(&rp.plan, &setup.cluster, &setup.spec, &db, &setup.job);
+                let new_mb = &rp.plan.microbatch;
+                let new_wl = PipelineWorkload {
+                    prefill_microbatches: new_mb.prefill_count,
+                    decode_microbatches: new_mb.decode_count,
+                    ..wl
+                };
+                let t1 = simulate_pipeline(&new_loads, &new_wl).total_latency;
+                let slowdown = (t1 / t0).max(1.0);
+                let fm = FailureModel {
+                    replan_overhead_s: rp.overhead_s + 5.0, // assigner + reload
+                    replan_slowdown: slowdown,
+                    ..FailureModel::default()
+                };
+                let r = recovery_cost(&loads, &wl, &fm);
+                let shape = rp
+                    .plan
+                    .stages
+                    .iter()
+                    .map(|s| format!("d{}:{}L", s.device, s.bits.len()))
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                t.row(vec![
+                    format!("{lost} ({:?})", setup.cluster.devices[lost].gpu),
+                    shape,
+                    format!("{slowdown:.2}x"),
+                    format!("{:.2}", r.replan_latency),
+                    "inf".into(),
+                ]);
+            }
+            Err(e) => t.row(vec![lost.to_string(), e, "-".into(), "-".into(), "-".into()]),
+        }
+    }
+    println!("{}", t.render());
+    println!("Expectation: restart overhead is linear in run length / MTTF; permanent loss");
+    println!("is unrecoverable by restarts alone, while replanning completes the batch at");
+    println!("the degraded plan's rate — losing the V100 hurts most (it anchors the");
+    println!("high-precision layers), losing one of the T4s least.");
+}

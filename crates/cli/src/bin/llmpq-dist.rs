@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! llmpq-dist --strat_file_name strategy.json [--n-generate 16]
-//!     [--batch 4] [--prompt-len 12] [--seed 0]
+//!     [--batch 4] [--prompt-len 12] [--seed 0] [--fault-plan faults.json]
 //! ```
 //!
 //! The paper's `llmpq-dist` launches the distributed PyTorch runtime;
@@ -10,15 +10,25 @@
 //! scaled stand-in checkpoint (same layer count as the planned model),
 //! which demonstrates the full flow and verifies the generated tokens
 //! against sequential execution.
+//!
+//! With `--fault-plan`, the run executes under the fault-tolerance
+//! supervisor: the JSON file (see `FaultPlan`) schedules worker crashes,
+//! hangs, stragglers, message drops/duplicates and permanent device
+//! losses; the supervisor detects them via heartbeats, restarts with
+//! backoff, and replans around lost devices (folding their layers into
+//! surviving stages), resuming from the lock-step token checkpoint.
 
 use llm_pq::ExecutionPlan;
 use llmpq_cli::Args;
 use llmpq_model::{zoo, RefConfig, RefModel};
 use llmpq_quant::Rounding;
-use llmpq_runtime::run_pipeline;
+use llmpq_runtime::{
+    run_pipeline, run_pipeline_supervised, FaultPlan, FoldReplanner, SupervisorConfig,
+};
 
 const USAGE: &str = "usage: llmpq-dist --strat_file_name <strategy.json>
-    [--checkpoint model.ckpt.json] [--n-generate 16] [--batch 4] [--prompt-len 12] [--seed 0]";
+    [--checkpoint model.ckpt.json] [--n-generate 16] [--batch 4] [--prompt-len 12] [--seed 0]
+    [--fault-plan faults.json]";
 
 fn main() {
     let args = match Args::parse(std::env::args().skip(1)) {
@@ -81,8 +91,47 @@ fn run(args: &Args) -> Result<(), String> {
         .map(|i| (0..prompt_len).map(|j| (i * 41 + j * 17 + seed as usize) % checkpoint.cfg.vocab).collect())
         .collect();
 
-    let out = run_pipeline(&checkpoint, &plan, &prompts, n_generate, Rounding::Deterministic, seed, None)
-        .map_err(|e| e.to_string())?;
+    let faults = match args.get("fault-plan") {
+        Some(fp) => {
+            let text = std::fs::read_to_string(fp).map_err(|e| format!("{fp}: {e}"))?;
+            let plan = FaultPlan::from_json(&text)?;
+            eprintln!("fault plan: {} scheduled events", plan.events.len());
+            Some(plan)
+        }
+        None => None,
+    };
+
+    let out = match &faults {
+        Some(fp) => {
+            let sup = run_pipeline_supervised(
+                &checkpoint,
+                &plan,
+                &prompts,
+                n_generate,
+                Rounding::Deterministic,
+                seed,
+                &SupervisorConfig::default(),
+                Some(fp),
+                Some(&FoldReplanner),
+            )
+            .map_err(|e| e.to_string())?;
+            for ev in &sup.events {
+                eprintln!(
+                    "attempt {}: {} -> {:?} (checkpointed {} tokens)",
+                    ev.attempt, ev.error, ev.action, ev.checkpointed_tokens
+                );
+            }
+            eprintln!(
+                "supervisor: {} restarts, {} replans, final plan has {} stages",
+                sup.restarts,
+                sup.replans,
+                sup.final_plan.stages.len()
+            );
+            sup.output
+        }
+        None => run_pipeline(&checkpoint, &plan, &prompts, n_generate, Rounding::Deterministic, seed, None)
+            .map_err(|e| e.to_string())?,
+    };
     println!(
         "generated {} tokens x {} sequences in {:.3}s wall",
         n_generate,

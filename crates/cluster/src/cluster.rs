@@ -88,6 +88,29 @@ impl Cluster {
         }
     }
 
+    /// The cluster minus the given device indices — the surviving
+    /// sub-cluster after permanent device loss. Returns the sub-cluster
+    /// (named `"<name>-degraded"`) and a map from new device index to
+    /// the index it had in `self`, so plans computed on the sub-cluster
+    /// can be translated back into original device ids.
+    pub fn without_devices(&self, lost: &[usize]) -> (Cluster, Vec<usize>) {
+        let mut devices = Vec::new();
+        let mut new_to_old = Vec::new();
+        for (i, d) in self.devices.iter().enumerate() {
+            if !lost.contains(&i) {
+                devices.push(*d);
+                new_to_old.push(i);
+            }
+        }
+        let sub = Cluster {
+            name: format!("{}-degraded", self.name),
+            devices,
+            inter_node: self.inter_node,
+            paper_model: self.paper_model.clone(),
+        };
+        (sub, new_to_old)
+    }
+
     /// Distinct GPU models present, with counts.
     pub fn model_counts(&self) -> Vec<(GpuModel, usize)> {
         let mut out: Vec<(GpuModel, usize)> = Vec::new();
@@ -199,5 +222,24 @@ mod tests {
     #[test]
     fn paper_model_recorded() {
         assert_eq!(paper_cluster(7).paper_model.as_deref(), Some("bloom-176b"));
+    }
+
+    #[test]
+    fn without_devices_maps_survivors_back() {
+        let c = paper_cluster(3); // T4 T4 T4 | V100
+        let (sub, map) = c.without_devices(&[1]);
+        assert_eq!(sub.len(), 3);
+        assert_eq!(map, vec![0, 2, 3]);
+        assert_eq!(sub.devices[2].gpu, GpuModel::V100_32G);
+        assert_eq!(sub.name, "cluster-3-degraded");
+        // Node structure is preserved, so surviving intra-node pairs
+        // still see NVLink.
+        assert_eq!(sub.link_between(0, 1), Interconnect::NvLink);
+        assert_eq!(sub.link_between(1, 2), Interconnect::Ethernet800G);
+        // Losing everything yields an empty (invalid-for-planning)
+        // cluster rather than a panic.
+        let (empty, map) = c.without_devices(&[0, 1, 2, 3]);
+        assert!(empty.is_empty());
+        assert!(map.is_empty());
     }
 }

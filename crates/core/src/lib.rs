@@ -35,6 +35,7 @@ pub mod config;
 pub mod evaluate;
 pub mod ilp;
 pub mod plan;
+pub mod replan;
 pub mod tp;
 pub mod transfer;
 
@@ -43,4 +44,5 @@ pub use baselines::{adabits_plan, baseline_report, flexgen_report, pipeedge_plan
 pub use config::{AssignerConfig, SolverChoice};
 pub use evaluate::{evaluate_plan, PlanReport};
 pub use plan::{ExecutionPlan, StagePlan};
+pub use replan::{replan_after_loss, ReplanOutcome};
 pub use tp::{candidate_tp_widths, plan_with_tp, tp_sweep, TpOutcome};

@@ -1,0 +1,176 @@
+//! Replanning after permanent device loss.
+//!
+//! When the runtime supervisor reports a device as permanently gone, the
+//! remaining cluster is a *new* (smaller, usually still heterogeneous)
+//! cluster — exactly the input Algorithm 1 was built for. This module
+//! re-runs the assigner on the survivors and translates the resulting
+//! plan back into the original cluster's device numbering, so the
+//! runtime can keep addressing devices by their stable ids.
+//!
+//! The shrunken cluster may no longer fit the old precision mix; the
+//! assigner's inner solver then degrades bitwidths via the Algorithm-2
+//! transfer rules (or the DP's precision dimension) just as it would for
+//! a fresh plan. If the configured solver fails on the degraded
+//! topology, we retry once with the always-feasible Algorithm-2
+//! heuristic before giving up.
+
+use crate::assigner::assign;
+use crate::config::{AssignerConfig, SolverChoice};
+use crate::plan::ExecutionPlan;
+use llmpq_cluster::Cluster;
+use llmpq_cost::CostDb;
+use llmpq_model::ModelSpec;
+use llmpq_quant::IndicatorTable;
+use llmpq_workload::BatchJob;
+
+/// Outcome of a replan, with provenance for the supervisor's log.
+#[derive(Debug, Clone)]
+pub struct ReplanOutcome {
+    /// The new plan, in *original* cluster device ids.
+    pub plan: ExecutionPlan,
+    /// The surviving sub-cluster the plan was computed on.
+    pub surviving: Cluster,
+    /// Whether the configured solver failed and the Algorithm-2
+    /// heuristic produced the plan instead.
+    pub fell_back_to_heuristic: bool,
+    /// Assigner wall-clock, seconds (the recovery-path "Overhead").
+    pub overhead_s: f64,
+}
+
+/// Re-run Algorithm 1 on `cluster` minus `lost_devices` and remap the
+/// winning plan's device ids back to `cluster`'s numbering.
+///
+/// Errors if every device is lost or if neither the configured solver
+/// nor the heuristic fallback can produce a feasible plan.
+pub fn replan_after_loss(
+    cluster: &Cluster,
+    lost_devices: &[usize],
+    spec: &ModelSpec,
+    job: &BatchJob,
+    db: &CostDb,
+    indicator: &IndicatorTable,
+    cfg: &AssignerConfig,
+) -> Result<ReplanOutcome, String> {
+    let (surviving, new_to_old) = cluster.without_devices(lost_devices);
+    if surviving.is_empty() {
+        return Err(format!(
+            "cannot replan: all {} devices lost",
+            cluster.len()
+        ));
+    }
+    let mut fell_back = false;
+    let outcome = match assign(&surviving, spec, job, db, indicator, cfg) {
+        Ok(o) => o,
+        Err(primary) => {
+            if matches!(cfg.solver, SolverChoice::Heuristic) {
+                return Err(primary);
+            }
+            fell_back = true;
+            let fallback = AssignerConfig { solver: SolverChoice::Heuristic, ..*cfg };
+            assign(&surviving, spec, job, db, indicator, &fallback).map_err(|h| {
+                format!("replan failed: solver: {primary}; heuristic fallback: {h}")
+            })?
+        }
+    };
+    let mut plan = outcome.plan;
+    for stage in &mut plan.stages {
+        stage.device = new_to_old[stage.device];
+    }
+    plan.cluster = cluster.name.clone();
+    Ok(ReplanOutcome {
+        plan,
+        surviving,
+        fell_back_to_heuristic: fell_back,
+        overhead_s: outcome.overhead_s,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llmpq_cluster::{GpuModel, Interconnect};
+    use llmpq_model::{ModelFamily, ModelSpec};
+    use llmpq_quant::IndicatorTable;
+    use llmpq_sim::KernelEnv;
+
+    fn tiny_spec() -> ModelSpec {
+        ModelSpec::new(ModelFamily::Opt, "tiny-4l", 4, 64, 4, 256, 128)
+    }
+
+    fn tiny_indicator(n_layers: usize) -> IndicatorTable {
+        IndicatorTable {
+            omega: (0..n_layers)
+                .map(|l| {
+                    let base = 1.0 / (1.0 + l as f64);
+                    [base, base * 0.2, base * 0.01, 0.0]
+                })
+                .collect(),
+        }
+    }
+
+    fn three_device_cluster() -> Cluster {
+        Cluster::from_groups(
+            "trio",
+            &[(GpuModel::T4_16G, 2), (GpuModel::V100_32G, 1)],
+            Interconnect::Ethernet800G,
+            None,
+        )
+    }
+
+    fn quick_cfg() -> AssignerConfig {
+        AssignerConfig {
+            theta: 0.05,
+            solver: SolverChoice::Dp { group: 1 },
+            xi: 2,
+            max_orderings: 2,
+            dp_grid: Some(8),
+            search_kv8: false,
+        }
+    }
+
+    #[test]
+    fn replan_avoids_lost_device_and_uses_original_ids() {
+        let cluster = three_device_cluster();
+        let spec = tiny_spec();
+        let job = llmpq_workload::BatchJob { global_batch: 4, prompt_len: 8, n_generate: 5 };
+        let db = CostDb::oracle(&KernelEnv::default());
+        let ind = tiny_indicator(spec.n_layers);
+        let out =
+            replan_after_loss(&cluster, &[1], &spec, &job, &db, &ind, &quick_cfg()).expect("replan");
+        out.plan.validate(spec.n_layers).expect("valid plan");
+        assert_eq!(out.surviving.len(), 2);
+        for s in &out.plan.stages {
+            assert_ne!(s.device, 1, "lost device must not appear");
+            assert!(s.device < 3, "ids are in the original numbering");
+        }
+        // Device 2 (the V100) survives under its original id.
+        assert!(out.plan.stages.iter().any(|s| s.device == 2));
+        assert_eq!(out.plan.cluster, "trio");
+    }
+
+    #[test]
+    fn replan_to_single_survivor_still_plans() {
+        let cluster = three_device_cluster();
+        let spec = tiny_spec();
+        let job = llmpq_workload::BatchJob { global_batch: 4, prompt_len: 8, n_generate: 5 };
+        let db = CostDb::oracle(&KernelEnv::default());
+        let ind = tiny_indicator(spec.n_layers);
+        let out = replan_after_loss(&cluster, &[0, 1], &spec, &job, &db, &ind, &quick_cfg())
+            .expect("replan onto the lone V100");
+        out.plan.validate(spec.n_layers).expect("valid plan");
+        assert_eq!(out.plan.stages.len(), 1);
+        assert_eq!(out.plan.stages[0].device, 2);
+    }
+
+    #[test]
+    fn replan_with_everything_lost_errors() {
+        let cluster = three_device_cluster();
+        let spec = tiny_spec();
+        let job = llmpq_workload::BatchJob { global_batch: 4, prompt_len: 8, n_generate: 5 };
+        let db = CostDb::oracle(&KernelEnv::default());
+        let ind = tiny_indicator(spec.n_layers);
+        let err = replan_after_loss(&cluster, &[0, 1, 2], &spec, &job, &db, &ind, &quick_cfg())
+            .unwrap_err();
+        assert!(err.contains("all 3 devices lost"), "{err}");
+    }
+}

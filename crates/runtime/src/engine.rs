@@ -7,14 +7,26 @@
 //! Stage workers run on their own threads and communicate through
 //! asynchronous channels, mirroring the paper's per-GPU worker
 //! processes.
+//!
+//! Failure injection goes through the [`crate::fault::FaultPlan`] DSL
+//! (which replaced the earlier ad-hoc `fail_stage_after` /
+//! `fail_schedule` tuples). [`run_pipeline`] and
+//! [`run_pipeline_recoverable`] detect failures by channel disconnect
+//! only; [`crate::supervisor::run_pipeline_supervised`] adds heartbeat
+//! and progress timeouts so hung stages and dropped messages are caught
+//! too, plus replan-on-device-loss.
 
+use crate::fault::{FaultInjector, FaultPlan, Heartbeats};
 use crate::loader::{load_stage_weights, LoaderStats};
-use crate::worker::{run_worker_metered, MetricsSink, StageMetrics, WorkItem, WorkerMsg};
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crate::worker::{run_worker_ctx, MetricsSink, StageMetrics, WorkItem, WorkerCtx, WorkerMsg};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use llm_pq::ExecutionPlan;
 use llmpq_model::{Matrix, RefModel};
 use llmpq_quant::Rounding;
 use serde::{Deserialize, Serialize};
+use std::cell::Cell;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Runtime failure.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -23,6 +35,17 @@ pub enum RuntimeError {
     BadPlan(String),
     /// A stage worker died or disconnected.
     WorkerDied(String),
+    /// A stage stopped heartbeating within the supervisor's timeout —
+    /// hung, not dead: its channels were still connected.
+    StageHung(usize),
+    /// The pipeline made no progress within the supervisor's progress
+    /// timeout (e.g. a message was lost in transit).
+    Stalled(String),
+    /// A stage reported a protocol violation.
+    Protocol(String),
+    /// A device was lost permanently and no replan could route around
+    /// it.
+    DeviceLost(usize),
 }
 
 impl std::fmt::Display for RuntimeError {
@@ -30,6 +53,10 @@ impl std::fmt::Display for RuntimeError {
         match self {
             RuntimeError::BadPlan(s) => write!(f, "bad plan: {s}"),
             RuntimeError::WorkerDied(s) => write!(f, "worker died: {s}"),
+            RuntimeError::StageHung(s) => write!(f, "stage {s} hung (heartbeat timeout)"),
+            RuntimeError::Stalled(s) => write!(f, "pipeline stalled: {s}"),
+            RuntimeError::Protocol(s) => write!(f, "protocol violation: {s}"),
+            RuntimeError::DeviceLost(d) => write!(f, "device {d} lost permanently"),
         }
     }
 }
@@ -59,10 +86,31 @@ fn argmax(logits: &[f32]) -> usize {
         .unwrap()
 }
 
+/// Detection and injection settings for one attempt. The plain entry
+/// points leave every timeout off (failure = disconnect, as before);
+/// the supervisor turns them on.
+#[derive(Clone, Default)]
+pub(crate) struct AttemptSupervision {
+    pub injector: Option<Arc<FaultInjector>>,
+    pub heartbeats: Option<Arc<Heartbeats>>,
+    pub heartbeat_timeout: Option<Duration>,
+    pub progress_timeout: Option<Duration>,
+    pub tick: Option<Duration>,
+}
+
+impl AttemptSupervision {
+    fn tick(&self) -> Duration {
+        self.tick.unwrap_or(Duration::from_millis(5))
+    }
+}
+
 struct Master<'m> {
     model: &'m RefModel,
     to_first: Sender<WorkerMsg>,
     from_last: Receiver<WorkerMsg>,
+    /// Last work-item id received — duplicates are discarded here when
+    /// the final stage is the one duplicating.
+    last_step: Cell<Option<u64>>,
 }
 
 impl<'m> Master<'m> {
@@ -72,11 +120,37 @@ impl<'m> Master<'m> {
             .map_err(|_| RuntimeError::WorkerDied("first stage unreachable".into()))
     }
 
-    fn recv(&self) -> Result<WorkItem, RuntimeError> {
-        match self.from_last.recv() {
-            Ok(WorkerMsg::Work(item)) => Ok(item),
-            Ok(WorkerMsg::Shutdown) => Err(RuntimeError::WorkerDied("premature shutdown".into())),
-            Err(_) => Err(RuntimeError::WorkerDied("last stage disconnected".into())),
+    fn recv(&self, sup: &AttemptSupervision) -> Result<WorkItem, RuntimeError> {
+        let deadline = sup.progress_timeout.map(|t| Instant::now() + t);
+        loop {
+            match self.from_last.recv_timeout(sup.tick()) {
+                Ok(WorkerMsg::Work(item)) => {
+                    if self.last_step.get() == Some(item.step) {
+                        continue; // duplicated delivery
+                    }
+                    self.last_step.set(Some(item.step));
+                    return Ok(item);
+                }
+                Ok(WorkerMsg::Shutdown) => {
+                    return Err(RuntimeError::WorkerDied("premature shutdown".into()))
+                }
+                Ok(WorkerMsg::Protocol(e)) => return Err(RuntimeError::Protocol(e)),
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(RuntimeError::WorkerDied("last stage disconnected".into()))
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    if let (Some(hb), Some(t)) = (&sup.heartbeats, sup.heartbeat_timeout) {
+                        if let Some(stage) = hb.stalest_over(t) {
+                            return Err(RuntimeError::StageHung(stage));
+                        }
+                    }
+                    if deadline.is_some_and(|d| Instant::now() > d) {
+                        return Err(RuntimeError::Stalled(
+                            "no output from the last stage within the progress timeout".into(),
+                        ));
+                    }
+                }
+            }
         }
     }
 
@@ -96,8 +170,10 @@ impl<'m> Master<'m> {
 /// Execute `plan` on `checkpoint` over `prompts`, generating
 /// `n_generate` tokens per sequence with greedy decoding.
 ///
-/// `fail_stage_after`: optional failure injection — stage `i` dies after
-/// processing that many work items (used by tests; pass `None`).
+/// `faults`: optional deterministic failure injection (tests and
+/// resilience experiments; pass `None` in production). Detection here is
+/// disconnect-only — fault kinds that require timeout detection (`Hang`,
+/// `DropMessage`) need [`crate::supervisor::run_pipeline_supervised`].
 pub fn run_pipeline(
     checkpoint: &RefModel,
     plan: &ExecutionPlan,
@@ -105,15 +181,19 @@ pub fn run_pipeline(
     n_generate: usize,
     rounding: Rounding,
     seed: u64,
-    fail_stage_after: Option<(usize, usize)>,
+    faults: Option<&FaultPlan>,
 ) -> Result<RuntimeOutput, RuntimeError> {
-    validate_inputs(checkpoint, plan, prompts, n_generate)?;
-    let start = std::time::Instant::now();
+    validate_inputs(checkpoint, plan, prompts, n_generate, faults)?;
+    let start = Instant::now();
     let (stage_weights, loader_stats) = load_all_stages(checkpoint, plan, rounding, seed);
     let mut tokens: Vec<Vec<usize>> = vec![Vec::with_capacity(n_generate); prompts.len()];
     let sink: MetricsSink =
-        std::sync::Arc::new(parking_lot::Mutex::new(vec![StageMetrics::default(); plan.stages.len()]));
-    run_attempt(checkpoint, plan, prompts, &mut tokens, n_generate, &stage_weights, fail_stage_after, &sink)?;
+        Arc::new(parking_lot::Mutex::new(vec![StageMetrics::default(); plan.stages.len()]));
+    let sup = AttemptSupervision {
+        injector: faults.map(FaultInjector::new),
+        ..AttemptSupervision::default()
+    };
+    run_attempt(checkpoint, plan, prompts, &mut tokens, n_generate, &stage_weights, &sup, &sink)?;
     let stage_metrics = sink.lock().clone();
     Ok(RuntimeOutput { tokens, loader_stats, wall_s: start.elapsed().as_secs_f64(), stage_metrics })
 }
@@ -126,8 +206,9 @@ pub fn run_pipeline(
 /// (greedy decoding makes the resume exact). Returns the output plus the
 /// number of restarts taken.
 ///
-/// `fail_schedule[k]` optionally injects a failure into attempt `k`
-/// (tests); real deployments pass an empty slice.
+/// `faults` optionally injects failures (use
+/// [`FaultPlan::crash_schedule`] for the old per-attempt tuple
+/// semantics); real deployments pass `None`.
 #[allow(clippy::too_many_arguments)]
 pub fn run_pipeline_recoverable(
     checkpoint: &RefModel,
@@ -137,18 +218,22 @@ pub fn run_pipeline_recoverable(
     rounding: Rounding,
     seed: u64,
     max_restarts: usize,
-    fail_schedule: &[(usize, usize)],
+    faults: Option<&FaultPlan>,
 ) -> Result<(RuntimeOutput, usize), RuntimeError> {
-    validate_inputs(checkpoint, plan, prompts, n_generate)?;
-    let start = std::time::Instant::now();
+    validate_inputs(checkpoint, plan, prompts, n_generate, faults)?;
+    let start = Instant::now();
     let (stage_weights, loader_stats) = load_all_stages(checkpoint, plan, rounding, seed);
     let mut tokens: Vec<Vec<usize>> = vec![Vec::with_capacity(n_generate); prompts.len()];
     let sink: MetricsSink =
-        std::sync::Arc::new(parking_lot::Mutex::new(vec![StageMetrics::default(); plan.stages.len()]));
+        Arc::new(parking_lot::Mutex::new(vec![StageMetrics::default(); plan.stages.len()]));
+    let injector = faults.map(FaultInjector::new);
     let mut attempt = 0usize;
     loop {
-        let fail = fail_schedule.get(attempt).copied();
-        match run_attempt(checkpoint, plan, prompts, &mut tokens, n_generate, &stage_weights, fail, &sink) {
+        if let Some(inj) = &injector {
+            inj.begin_attempt(attempt);
+        }
+        let sup = AttemptSupervision { injector: injector.clone(), ..AttemptSupervision::default() };
+        match run_attempt(checkpoint, plan, prompts, &mut tokens, n_generate, &stage_weights, &sup, &sink) {
             Ok(()) => {
                 let stage_metrics = sink.lock().clone();
                 return Ok((
@@ -167,10 +252,7 @@ pub fn run_pipeline_recoverable(
                 }
                 // Checkpoint: truncate ragged progress to lock-step so the
                 // resume decodes every sequence from the same step.
-                let done = tokens.iter().map(Vec::len).min().unwrap_or(0);
-                for t in tokens.iter_mut() {
-                    t.truncate(done);
-                }
+                checkpoint_lockstep(&mut tokens);
                 attempt += 1;
                 // In a real deployment only the dead stage reloads; the
                 // module-level loader makes that cheap. Here stage weights
@@ -180,13 +262,26 @@ pub fn run_pipeline_recoverable(
     }
 }
 
-fn validate_inputs(
+/// Truncate ragged progress to the shortest sequence so every sequence
+/// resumes from the same decode step.
+pub(crate) fn checkpoint_lockstep(tokens: &mut [Vec<usize>]) {
+    let done = tokens.iter().map(Vec::len).min().unwrap_or(0);
+    for t in tokens.iter_mut() {
+        t.truncate(done);
+    }
+}
+
+pub(crate) fn validate_inputs(
     checkpoint: &RefModel,
     plan: &ExecutionPlan,
     prompts: &[Vec<usize>],
     n_generate: usize,
+    faults: Option<&FaultPlan>,
 ) -> Result<(), RuntimeError> {
     plan.validate(checkpoint.cfg.n_layers).map_err(RuntimeError::BadPlan)?;
+    if let Some(f) = faults {
+        f.validate(plan.stages.len()).map_err(RuntimeError::BadPlan)?;
+    }
     if prompts.is_empty() {
         return Err(RuntimeError::BadPlan("no prompts".into()));
     }
@@ -204,9 +299,9 @@ fn validate_inputs(
     Ok(())
 }
 
-type StageWeights = Vec<Vec<llmpq_model::LayerWeights>>;
+pub(crate) type StageWeights = Vec<Vec<llmpq_model::LayerWeights>>;
 
-fn load_all_stages(
+pub(crate) fn load_all_stages(
     checkpoint: &RefModel,
     plan: &ExecutionPlan,
     rounding: Rounding,
@@ -227,14 +322,14 @@ fn load_all_stages(
 /// progress was made.
 #[allow(clippy::too_many_arguments)]
 #[allow(clippy::needless_range_loop)]
-fn run_attempt(
+pub(crate) fn run_attempt(
     checkpoint: &RefModel,
     plan: &ExecutionPlan,
     prompts: &[Vec<usize>],
     tokens: &mut [Vec<usize>],
     n_generate: usize,
     stage_weights: &StageWeights,
-    fail_stage_after: Option<(usize, usize)>,
+    sup: &AttemptSupervision,
     sink: &MetricsSink,
 ) -> Result<(), RuntimeError> {
     let n_seqs = prompts.len();
@@ -259,74 +354,98 @@ fn run_attempt(
         for (i, weights) in stage_weights.iter().enumerate() {
             let rx = receivers[i].clone();
             let tx = senders[i + 1].clone();
-            let n_heads = checkpoint.cfg.n_heads;
-            let hidden = checkpoint.cfg.hidden;
-            let alibi = checkpoint.cfg.alibi;
-            let fail = fail_stage_after.and_then(|(s, k)| (s == i).then_some(k));
-            let sink_i = sink.clone();
-            scope.spawn(move || {
-                run_worker_metered(weights, n_heads, hidden, alibi, n_seqs, rx, tx, fail, Some(sink_i), i)
-            });
+            let ctx = WorkerCtx {
+                stage: i,
+                device: plan.stages[i].device,
+                n_heads: checkpoint.cfg.n_heads,
+                hidden: checkpoint.cfg.hidden,
+                alibi: checkpoint.cfg.alibi,
+                n_seqs,
+                injector: sup.injector.clone(),
+                heartbeats: sup.heartbeats.clone(),
+                sink: Some(sink.clone()),
+                tick: sup.tick(),
+            };
+            scope.spawn(move || run_worker_ctx(weights, &ctx, rx, tx));
         }
         drop(senders);
         drop(receivers);
 
-        let master = Master { model: checkpoint, to_first, from_last };
-        // Positions after the (extended) prefill below.
-        let mut positions: Vec<usize> = prompts.iter().map(|p| p.len() + done).collect();
+        let master = Master { model: checkpoint, to_first, from_last, last_step: Cell::new(None) };
+        let mut next_step = 0u64;
+        let mut step = || {
+            let s = next_step;
+            next_step += 1;
+            s
+        };
 
-        // --- Prefill over prompt ++ generated prefix ---
-        let pre_size = plan.microbatch.prefill_size.max(1);
-        let chunks: Vec<Vec<usize>> =
-            (0..n_seqs).collect::<Vec<_>>().chunks(pre_size).map(|c| c.to_vec()).collect();
-        for (mb, chunk) in chunks.iter().enumerate() {
-            let seqs = chunk
-                .iter()
-                .map(|&s| {
-                    let mut full = prompts[s].clone();
-                    full.extend_from_slice(&tokens[s][..done]);
-                    (s, master.model.embed_tokens(&full, 0))
-                })
-                .collect();
-            master.send(WorkItem { microbatch: mb, seqs })?;
-        }
-        for _ in &chunks {
-            let item = master.recv()?;
-            for (seq, tok) in master.sample_next(&item) {
-                tokens[seq].push(tok);
-            }
-        }
+        let res = (|| -> Result<(), RuntimeError> {
+            // Positions after the (extended) prefill below.
+            let mut positions: Vec<usize> = prompts.iter().map(|p| p.len() + done).collect();
 
-        // --- Decode ---
-        let dec_size = plan.microbatch.decode_size.max(1);
-        let dec_chunks: Vec<Vec<usize>> =
-            (0..n_seqs).collect::<Vec<_>>().chunks(dec_size).map(|c| c.to_vec()).collect();
-        for _step in done + 1..n_generate {
-            for (mb, chunk) in dec_chunks.iter().enumerate() {
+            // --- Prefill over prompt ++ generated prefix ---
+            let pre_size = plan.microbatch.prefill_size.max(1);
+            let chunks: Vec<Vec<usize>> =
+                (0..n_seqs).collect::<Vec<_>>().chunks(pre_size).map(|c| c.to_vec()).collect();
+            for (mb, chunk) in chunks.iter().enumerate() {
                 let seqs = chunk
                     .iter()
                     .map(|&s| {
-                        let last = *tokens[s].last().expect("prefill produced a token");
-                        let x = master.model.embed_tokens(&[last], positions[s]);
-                        (s, x)
+                        let mut full = prompts[s].clone();
+                        full.extend_from_slice(&tokens[s][..done]);
+                        (s, master.model.embed_tokens(&full, 0))
                     })
                     .collect();
-                master.send(WorkItem { microbatch: mb, seqs })?;
+                master.send(WorkItem { step: step(), microbatch: mb, seqs })?;
             }
-            for chunk in &dec_chunks {
-                let item = master.recv()?;
+            for _ in &chunks {
+                let item = master.recv(sup)?;
                 for (seq, tok) in master.sample_next(&item) {
                     tokens[seq].push(tok);
                 }
-                for &s in chunk {
-                    positions[s] += 1;
+            }
+
+            // --- Decode ---
+            let dec_size = plan.microbatch.decode_size.max(1);
+            let dec_chunks: Vec<Vec<usize>> =
+                (0..n_seqs).collect::<Vec<_>>().chunks(dec_size).map(|c| c.to_vec()).collect();
+            for _step in done + 1..n_generate {
+                for (mb, chunk) in dec_chunks.iter().enumerate() {
+                    let seqs = chunk
+                        .iter()
+                        .map(|&s| {
+                            let last = *tokens[s].last().expect("prefill produced a token");
+                            let x = master.model.embed_tokens(&[last], positions[s]);
+                            (s, x)
+                        })
+                        .collect();
+                    master.send(WorkItem { step: step(), microbatch: mb, seqs })?;
+                }
+                for chunk in &dec_chunks {
+                    let item = master.recv(sup)?;
+                    for (seq, tok) in master.sample_next(&item) {
+                        tokens[seq].push(tok);
+                    }
+                    for &s in chunk {
+                        positions[s] += 1;
+                    }
                 }
             }
-        }
 
-        // Graceful shutdown.
-        let _ = master.to_first.send(WorkerMsg::Shutdown);
-        Ok(())
+            // Graceful shutdown.
+            let _ = master.to_first.send(WorkerMsg::Shutdown);
+            Ok(())
+        })();
+
+        // Un-wedge hung workers before the scope joins them. On the
+        // success path the workers have already drained (or will see the
+        // master's channels drop), so this is a no-op.
+        if res.is_err() {
+            if let Some(inj) = &sup.injector {
+                inj.set_abort();
+            }
+        }
+        res
     })
 }
 
@@ -402,6 +521,7 @@ mod tests {
         let m = model();
         let bits = vec![Bitwidth::Fp16, Bitwidth::Fp16];
         let prompts = vec![vec![1, 2], vec![3, 4]];
+        let faults = FaultPlan::crash(1, 1); // stage 1 dies after one item
         let res = run_pipeline(
             &m,
             &plan(bits, 1, mb(1, 2, 2)),
@@ -409,7 +529,7 @@ mod tests {
             4,
             Rounding::Deterministic,
             0,
-            Some((1, 1)), // stage 1 dies after one item
+            Some(&faults),
         );
         assert!(matches!(res, Err(RuntimeError::WorkerDied(_))), "{res:?}");
     }
@@ -431,10 +551,17 @@ mod tests {
             run_pipeline(&m, &good, &[vec![1; 200]], 4, Rounding::Deterministic, 0, None),
             Err(RuntimeError::BadPlan(_))
         ));
-        let mut broken = plan(bits, 1, mb(1, 1, 1));
+        let mut broken = plan(bits.clone(), 1, mb(1, 1, 1));
         broken.stages[1].layer_start = 2;
         assert!(matches!(
             run_pipeline(&m, &broken, &[vec![1]], 4, Rounding::Deterministic, 0, None),
+            Err(RuntimeError::BadPlan(_))
+        ));
+        // A fault plan targeting a stage the plan doesn't have.
+        let good = plan(bits, 1, mb(1, 1, 1));
+        let faults = FaultPlan::crash(5, 0);
+        assert!(matches!(
+            run_pipeline(&m, &good, &[vec![1]], 4, Rounding::Deterministic, 0, Some(&faults)),
             Err(RuntimeError::BadPlan(_))
         ));
     }
@@ -447,20 +574,18 @@ mod tests {
         let m = model();
         let bits = vec![Bitwidth::Int8, Bitwidth::Int4];
         let prompts = vec![vec![1, 2, 3], vec![7, 8], vec![4, 5, 6]];
-        let ((out, restarts), _) = (
-            run_pipeline_recoverable(
-                &m,
-                &plan(bits.clone(), 1, mb(1, 3, 3)),
-                &prompts,
-                7,
-                Rounding::Deterministic,
-                0,
-                3,
-                &[(1, 2)], // attempt 0: stage 1 dies after 2 items
-            )
-            .expect("recovered"),
-            (),
-        );
+        let faults = FaultPlan::crash_schedule(&[(1, 2)]); // attempt 0: stage 1 dies after 2 items
+        let (out, restarts) = run_pipeline_recoverable(
+            &m,
+            &plan(bits.clone(), 1, mb(1, 3, 3)),
+            &prompts,
+            7,
+            Rounding::Deterministic,
+            0,
+            3,
+            Some(&faults),
+        )
+        .expect("recovered");
         assert_eq!(restarts, 1, "exactly one restart");
         let qm = quantize_model(&m, &BitAssignment { bits }, Rounding::Deterministic, 0);
         for (i, p) in prompts.iter().enumerate() {
@@ -473,20 +598,18 @@ mod tests {
         let m = model();
         let bits = vec![Bitwidth::Fp16, Bitwidth::Fp16];
         let prompts = vec![vec![1, 2], vec![3, 4]];
-        let ((out, restarts), _) = (
-            run_pipeline_recoverable(
-                &m,
-                &plan(bits.clone(), 1, mb(1, 2, 2)),
-                &prompts,
-                6,
-                Rounding::Deterministic,
-                0,
-                5,
-                &[(0, 1), (1, 3)], // two consecutive crashes
-            )
-            .expect("recovered"),
-            (),
-        );
+        let faults = FaultPlan::crash_schedule(&[(0, 1), (1, 3)]); // two consecutive crashes
+        let (out, restarts) = run_pipeline_recoverable(
+            &m,
+            &plan(bits.clone(), 1, mb(1, 2, 2)),
+            &prompts,
+            6,
+            Rounding::Deterministic,
+            0,
+            5,
+            Some(&faults),
+        )
+        .expect("recovered");
         assert_eq!(restarts, 2);
         let qm = quantize_model(&m, &BitAssignment { bits }, Rounding::Deterministic, 0);
         assert_eq!(out.tokens[0], qm.generate(&prompts[0], 6, 0.0, 0).tokens);
@@ -497,6 +620,8 @@ mod tests {
         let m = model();
         let bits = vec![Bitwidth::Fp16, Bitwidth::Fp16];
         let prompts = vec![vec![1, 2]];
+        // Every attempt crashes, but only one restart is allowed.
+        let faults = FaultPlan::crash_schedule(&[(0, 0), (0, 0), (0, 0)]);
         let res = run_pipeline_recoverable(
             &m,
             &plan(bits, 1, mb(1, 1, 1)),
@@ -504,8 +629,8 @@ mod tests {
             6,
             Rounding::Deterministic,
             0,
-            1,                      // one restart allowed
-            &[(0, 0), (0, 0), (0, 0)], // but every attempt crashes
+            1,
+            Some(&faults),
         );
         assert!(matches!(res, Err(RuntimeError::WorkerDied(_))));
     }
@@ -523,13 +648,59 @@ mod tests {
             Rounding::Deterministic,
             0,
             3,
-            &[],
+            None,
         )
         .unwrap();
         assert_eq!(restarts, 0);
         let plain = run_pipeline(&m, &plan(bits, 1, mb(1, 1, 1)), &prompts, 5, Rounding::Deterministic, 0, None)
             .unwrap();
         assert_eq!(out.tokens, plain.tokens);
+    }
+
+    #[test]
+    fn slowdown_fault_does_not_change_tokens() {
+        // A straggler stage slows the pipeline but must not perturb the
+        // numerics.
+        let m = model();
+        let bits = vec![Bitwidth::Int8, Bitwidth::Fp16];
+        let prompts = vec![vec![1, 2, 3], vec![4, 5]];
+        let faults = FaultPlan {
+            events: vec![crate::fault::FaultEvent {
+                stage: 0,
+                step: 1,
+                attempt: None,
+                kind: crate::fault::FaultKind::Slowdown { factor: 3.0 },
+            }],
+        };
+        let slow = run_pipeline(&m, &plan(bits.clone(), 1, mb(1, 2, 2)), &prompts, 5, Rounding::Deterministic, 0, Some(&faults))
+            .expect("slow but correct");
+        let plain = run_pipeline(&m, &plan(bits, 1, mb(1, 2, 2)), &prompts, 5, Rounding::Deterministic, 0, None)
+            .unwrap();
+        assert_eq!(slow.tokens, plain.tokens);
+    }
+
+    #[test]
+    fn duplicate_fault_does_not_change_tokens() {
+        // Duplication at an interior stage (worker dedups) and at the
+        // last stage (master dedups): tokens must be unaffected.
+        let m = model();
+        let bits = vec![Bitwidth::Int8, Bitwidth::Fp16];
+        let prompts = vec![vec![1, 2, 3], vec![4, 5]];
+        for stage in [0usize, 1] {
+            let faults = FaultPlan {
+                events: vec![crate::fault::FaultEvent {
+                    stage,
+                    step: 2,
+                    attempt: None,
+                    kind: crate::fault::FaultKind::DuplicateMessage,
+                }],
+            };
+            let dup = run_pipeline(&m, &plan(bits.clone(), 1, mb(1, 2, 2)), &prompts, 5, Rounding::Deterministic, 0, Some(&faults))
+                .expect("duplicate handled");
+            let plain = run_pipeline(&m, &plan(bits.clone(), 1, mb(1, 2, 2)), &prompts, 5, Rounding::Deterministic, 0, None)
+                .unwrap();
+            assert_eq!(dup.tokens, plain.tokens, "duplicating stage {stage}");
+        }
     }
 
     #[test]

@@ -20,9 +20,19 @@
 //! model, which the tests assert.
 
 pub mod engine;
+pub mod fault;
 pub mod loader;
+pub mod supervisor;
 pub mod worker;
 
 pub use engine::{run_pipeline, run_pipeline_recoverable, RuntimeError, RuntimeOutput};
+pub use fault::{FaultAction, FaultEvent, FaultInjector, FaultKind, FaultPlan, Heartbeats};
 pub use loader::{load_stage_weights, LoaderStats, OnTheFlyQuantizer};
-pub use worker::{run_worker, run_worker_metered, MetricsSink, StageMetrics, StageSpec, WorkItem, WorkerMsg};
+pub use supervisor::{
+    run_pipeline_supervised, FoldReplanner, RecoveryAction, RecoveryEvent, RecoveryPolicy,
+    Replanner, SupervisedOutput, SupervisorConfig,
+};
+pub use worker::{
+    run_worker, run_worker_ctx, MetricsSink, StageMetrics, StageSpec, WorkItem, WorkerCtx,
+    WorkerMsg,
+};

@@ -1,0 +1,643 @@
+//! Pipeline supervision: heartbeat/timeout failure detection, bounded
+//! restarts with exponential backoff, and replan-on-device-loss.
+//!
+//! [`run_pipeline_recoverable`](crate::run_pipeline_recoverable) only
+//! notices failures when a channel disconnects — a *dead* worker. A
+//! production pipeline also sees workers that are alive but wedged
+//! (driver hang, network partition) and devices that are gone for good.
+//! The supervisor closes both gaps:
+//!
+//! * every stage worker stamps a [`Heartbeats`] slot on each channel
+//!   tick; the master flags a stage whose stamp goes stale
+//!   ([`RuntimeError::StageHung`]) and a pipeline that produces nothing
+//!   within the progress timeout ([`RuntimeError::Stalled`]);
+//! * failed attempts are retried up to
+//!   [`SupervisorConfig::max_restarts`] times with exponential backoff,
+//!   resuming from the lock-step token checkpoint;
+//! * under [`RecoveryPolicy::Replan`], a permanently lost device
+//!   triggers a *replan*: the [`Replanner`] produces an
+//!   [`ExecutionPlan`] over the survivors (re-running Algorithm 1 on the
+//!   shrunken cluster, or falling back to folding the lost stages into
+//!   their neighbors), the stage shards are reloaded through the
+//!   on-the-fly quantizing loader — the fast-recovery path §5 motivates
+//!   — and generation resumes bit-identically to sequential execution
+//!   of the *new* plan from the resume point.
+
+use crate::engine::{
+    checkpoint_lockstep, load_all_stages, run_attempt, validate_inputs, AttemptSupervision,
+    RuntimeError, RuntimeOutput,
+};
+use crate::fault::{FaultInjector, FaultPlan, Heartbeats};
+use crate::worker::{MetricsSink, StageMetrics};
+use llm_pq::{ExecutionPlan, StagePlan};
+use llmpq_model::RefModel;
+use llmpq_quant::Rounding;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// What to do after a failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RecoveryPolicy {
+    /// Always retry the same plan (transient-fault assumption).
+    RestartSamePlan,
+    /// Retry the same plan for transient faults, but when a device is
+    /// reported permanently lost, replan onto the survivors.
+    Replan,
+}
+
+/// Supervisor tuning. All durations are in milliseconds so the config
+/// serializes with the rest of the strategy artifacts.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SupervisorConfig {
+    /// A stage whose heartbeat is older than this is declared hung.
+    pub heartbeat_timeout_ms: u64,
+    /// The run is declared stalled if the master receives nothing for
+    /// this long (catches dropped messages).
+    pub progress_timeout_ms: u64,
+    /// Channel-poll granularity for workers and master.
+    pub tick_ms: u64,
+    /// Maximum restarts (attempts − 1) before giving up.
+    pub max_restarts: usize,
+    /// First backoff delay before a restart.
+    pub backoff_base_ms: u64,
+    /// Backoff multiplier per consecutive restart.
+    pub backoff_factor: f64,
+    /// Backoff ceiling.
+    pub backoff_cap_ms: u64,
+    /// Recovery policy.
+    pub policy: RecoveryPolicy,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        Self {
+            heartbeat_timeout_ms: 1_000,
+            progress_timeout_ms: 5_000,
+            tick_ms: 2,
+            max_restarts: 3,
+            backoff_base_ms: 10,
+            backoff_factor: 2.0,
+            backoff_cap_ms: 1_000,
+            policy: RecoveryPolicy::Replan,
+        }
+    }
+}
+
+impl SupervisorConfig {
+    /// Backoff before restart number `restart` (0-based), capped.
+    pub fn backoff(&self, restart: usize) -> Duration {
+        let ms = self.backoff_base_ms as f64 * self.backoff_factor.powi(restart as i32);
+        Duration::from_millis((ms as u64).min(self.backoff_cap_ms))
+    }
+}
+
+/// Produces a new execution plan when devices are lost. Implementations
+/// range from the structural [`FoldReplanner`] to a full re-run of
+/// Algorithm 1 on the surviving sub-cluster (see `llm_pq`'s
+/// `replan_after_loss`, wired in by the caller since the runtime crate
+/// does not depend on the cost models).
+pub trait Replanner {
+    /// Plan around `lost_devices` (cluster device ids). The returned
+    /// plan must cover the same layers and avoid every lost device.
+    fn replan(&self, old_plan: &ExecutionPlan, lost_devices: &[usize]) -> Result<ExecutionPlan, String>;
+}
+
+/// Structural fallback replanner: folds the layers of every stage on a
+/// lost device into the nearest surviving neighbor stage, keeping each
+/// layer's bitwidth. Needs no cost model, so it always works — at the
+/// price of an unbalanced pipeline; use the assigner-backed replanner
+/// when the cost models are at hand.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FoldReplanner;
+
+impl Replanner for FoldReplanner {
+    fn replan(&self, old_plan: &ExecutionPlan, lost_devices: &[usize]) -> Result<ExecutionPlan, String> {
+        let mut merged: Vec<StagePlan> = Vec::new();
+        let mut orphan_bits = Vec::new();
+        for s in &old_plan.stages {
+            if lost_devices.contains(&s.device) {
+                match merged.last_mut() {
+                    Some(prev) => prev.bits.extend_from_slice(&s.bits),
+                    None => orphan_bits.extend_from_slice(&s.bits),
+                }
+            } else {
+                let mut bits = std::mem::take(&mut orphan_bits);
+                bits.extend_from_slice(&s.bits);
+                merged.push(StagePlan { device: s.device, layer_start: 0, layer_end: 0, bits });
+            }
+        }
+        if merged.is_empty() {
+            return Err(format!("no surviving devices (lost {lost_devices:?})"));
+        }
+        let mut next = 0usize;
+        for s in &mut merged {
+            s.layer_start = next;
+            s.layer_end = next + s.bits.len();
+            next = s.layer_end;
+        }
+        Ok(ExecutionPlan { stages: merged, ..old_plan.clone() })
+    }
+}
+
+/// What the supervisor did about one failure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RecoveryAction {
+    /// Retried the same plan after the given backoff.
+    Restart {
+        /// Backoff slept before the retry, milliseconds.
+        backoff_ms: u64,
+    },
+    /// Replanned around lost devices and reloaded the stage shards.
+    Replan {
+        /// Devices routed around.
+        lost_devices: Vec<usize>,
+        /// Stage count of the new plan.
+        new_stages: usize,
+    },
+}
+
+/// One failure the supervisor handled.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryEvent {
+    /// Attempt number that failed (0-based).
+    pub attempt: usize,
+    /// The failure, as reported.
+    pub error: String,
+    /// Tokens per sequence safely checkpointed at the failure.
+    pub checkpointed_tokens: usize,
+    /// What the supervisor did.
+    pub action: RecoveryAction,
+}
+
+/// Result of a supervised run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SupervisedOutput {
+    /// The generation output (under the final plan's metrics).
+    pub output: RuntimeOutput,
+    /// Restarts taken (attempts − 1).
+    pub restarts: usize,
+    /// How many of those restarts replanned.
+    pub replans: usize,
+    /// The plan that finished the run.
+    pub final_plan: ExecutionPlan,
+    /// The supervisor's decision log.
+    pub events: Vec<RecoveryEvent>,
+}
+
+/// Execute `plan` under full supervision: heartbeat + progress timeouts,
+/// bounded restarts with exponential backoff, and (policy permitting)
+/// replan-on-device-loss through `replanner`.
+///
+/// `faults` injects deterministic failures for tests and resilience
+/// experiments; pass `None` in production.
+#[allow(clippy::too_many_arguments)]
+pub fn run_pipeline_supervised(
+    checkpoint: &RefModel,
+    plan: &ExecutionPlan,
+    prompts: &[Vec<usize>],
+    n_generate: usize,
+    rounding: Rounding,
+    seed: u64,
+    cfg: &SupervisorConfig,
+    faults: Option<&FaultPlan>,
+    replanner: Option<&dyn Replanner>,
+) -> Result<SupervisedOutput, RuntimeError> {
+    validate_inputs(checkpoint, plan, prompts, n_generate, faults)?;
+    let start = std::time::Instant::now();
+    let injector = faults.map(FaultInjector::new);
+    let mut current_plan = plan.clone();
+    let (mut stage_weights, mut loader_stats) = load_all_stages(checkpoint, &current_plan, rounding, seed);
+    let mut tokens: Vec<Vec<usize>> = vec![Vec::with_capacity(n_generate); prompts.len()];
+    let mut sink: MetricsSink = Arc::new(parking_lot::Mutex::new(vec![
+        StageMetrics::default();
+        current_plan.stages.len()
+    ]));
+    let mut events = Vec::new();
+    let mut restarts = 0usize;
+    let mut replans = 0usize;
+    let mut attempt = 0usize;
+    loop {
+        if let Some(inj) = &injector {
+            inj.begin_attempt(attempt);
+        }
+        let sup = AttemptSupervision {
+            injector: injector.clone(),
+            heartbeats: Some(Heartbeats::new(current_plan.stages.len())),
+            heartbeat_timeout: Some(Duration::from_millis(cfg.heartbeat_timeout_ms)),
+            progress_timeout: Some(Duration::from_millis(cfg.progress_timeout_ms)),
+            tick: Some(Duration::from_millis(cfg.tick_ms.max(1))),
+        };
+        match run_attempt(checkpoint, &current_plan, prompts, &mut tokens, n_generate, &stage_weights, &sup, &sink)
+        {
+            Ok(()) => {
+                let stage_metrics = sink.lock().clone();
+                return Ok(SupervisedOutput {
+                    output: RuntimeOutput {
+                        tokens,
+                        loader_stats,
+                        wall_s: start.elapsed().as_secs_f64(),
+                        stage_metrics,
+                    },
+                    restarts,
+                    replans,
+                    final_plan: current_plan,
+                    events,
+                });
+            }
+            Err(e) => {
+                let lost: Vec<usize> = injector.as_ref().map(|i| i.lost_devices()).unwrap_or_default();
+                let plan_hits_lost =
+                    current_plan.stages.iter().any(|s| lost.contains(&s.device));
+                if restarts >= cfg.max_restarts {
+                    // Surface a permanent loss as such when restarting
+                    // could never have succeeded.
+                    if plan_hits_lost {
+                        let d = current_plan
+                            .stages
+                            .iter()
+                            .map(|s| s.device)
+                            .find(|d| lost.contains(d))
+                            .unwrap_or(0);
+                        return Err(RuntimeError::DeviceLost(d));
+                    }
+                    return Err(e);
+                }
+                checkpoint_lockstep(&mut tokens);
+                let checkpointed = tokens.first().map_or(0, Vec::len);
+                let action = if plan_hits_lost && cfg.policy == RecoveryPolicy::Replan {
+                    match replanner {
+                        Some(r) => {
+                            let new_plan = r
+                                .replan(&current_plan, &lost)
+                                .map_err(|m| RuntimeError::BadPlan(format!("replan failed: {m}")))?;
+                            new_plan
+                                .validate(checkpoint.cfg.n_layers)
+                                .map_err(|m| RuntimeError::BadPlan(format!("replanned plan invalid: {m}")))?;
+                            if new_plan.stages.iter().any(|s| lost.contains(&s.device)) {
+                                return Err(RuntimeError::BadPlan(
+                                    "replanned plan still uses a lost device".into(),
+                                ));
+                            }
+                            // Reload every stage shard through the
+                            // on-the-fly quantizing loader (only the
+                            // re-homed shards would reload in a real
+                            // deployment).
+                            let (w, ls) = load_all_stages(checkpoint, &new_plan, rounding, seed);
+                            stage_weights = w;
+                            loader_stats = ls;
+                            sink = Arc::new(parking_lot::Mutex::new(vec![
+                                StageMetrics::default();
+                                new_plan.stages.len()
+                            ]));
+                            let new_stages = new_plan.stages.len();
+                            current_plan = new_plan;
+                            replans += 1;
+                            RecoveryAction::Replan { lost_devices: lost.clone(), new_stages }
+                        }
+                        None => {
+                            let d = lost.first().copied().unwrap_or(0);
+                            return Err(RuntimeError::DeviceLost(d));
+                        }
+                    }
+                } else {
+                    let backoff = cfg.backoff(restarts);
+                    std::thread::sleep(backoff);
+                    RecoveryAction::Restart { backoff_ms: backoff.as_millis() as u64 }
+                };
+                events.push(RecoveryEvent {
+                    attempt,
+                    error: e.to_string(),
+                    checkpointed_tokens: checkpointed,
+                    action,
+                });
+                restarts += 1;
+                attempt += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{FaultEvent, FaultKind};
+    use llmpq_model::RefConfig;
+    use llmpq_quant::{quantize_model, BitAssignment, Bitwidth};
+    use llmpq_workload::MicrobatchPlan;
+
+    fn model() -> RefModel {
+        RefModel::new(RefConfig::tiny())
+    }
+
+    fn plan(bits: Vec<Bitwidth>, split: usize, mb: MicrobatchPlan) -> ExecutionPlan {
+        let n = bits.len();
+        ExecutionPlan {
+            model: "tiny".into(),
+            cluster: "test".into(),
+            stages: vec![
+                StagePlan { device: 0, layer_start: 0, layer_end: split, bits: bits[..split].to_vec() },
+                StagePlan { device: 1, layer_start: split, layer_end: n, bits: bits[split..].to_vec() },
+            ],
+            microbatch: mb,
+            scheme: "LLM-PQ".into(),
+            kv_bits: 16,
+        }
+    }
+
+    fn mb(p: usize, d: usize, n_seqs: usize) -> MicrobatchPlan {
+        MicrobatchPlan {
+            prefill_size: p,
+            prefill_count: n_seqs.div_ceil(p),
+            decode_size: d,
+            decode_count: n_seqs.div_ceil(d),
+        }
+    }
+
+    /// A fast-detection config for tests.
+    fn test_cfg() -> SupervisorConfig {
+        SupervisorConfig {
+            heartbeat_timeout_ms: 60,
+            progress_timeout_ms: 150,
+            tick_ms: 1,
+            max_restarts: 3,
+            backoff_base_ms: 1,
+            backoff_factor: 2.0,
+            backoff_cap_ms: 8,
+            policy: RecoveryPolicy::Replan,
+        }
+    }
+
+    #[test]
+    fn fault_free_supervised_run_matches_reference() {
+        let m = model();
+        let bits = vec![Bitwidth::Int8, Bitwidth::Fp16];
+        let prompts = vec![vec![1, 2, 3], vec![9, 8, 7]];
+        let out = run_pipeline_supervised(
+            &m,
+            &plan(bits.clone(), 1, mb(2, 2, 2)),
+            &prompts,
+            5,
+            Rounding::Deterministic,
+            0,
+            &test_cfg(),
+            None,
+            None,
+        )
+        .expect("clean run");
+        assert_eq!(out.restarts, 0);
+        assert_eq!(out.replans, 0);
+        assert!(out.events.is_empty());
+        let qm = quantize_model(&m, &BitAssignment { bits }, Rounding::Deterministic, 0);
+        for (i, p) in prompts.iter().enumerate() {
+            assert_eq!(out.output.tokens[i], qm.generate(p, 5, 0.0, 0).tokens, "sequence {i}");
+        }
+    }
+
+    #[test]
+    fn device_loss_replans_and_resumes_bit_identically() {
+        // The acceptance path: stage 1's device dies permanently after
+        // three items. The supervisor must replan onto device 0 (fold),
+        // reload through the on-the-fly loader, and resume from the
+        // lock-step checkpoint with tokens bit-identical to sequential
+        // execution of the *new* plan from the resume point. (The fold
+        // keeps per-layer bits, so old and new quantized models agree —
+        // the degraded-bits variant is covered below.)
+        let m = model();
+        let bits = vec![Bitwidth::Int8, Bitwidth::Fp16];
+        let prompts = vec![vec![1, 2, 3], vec![9, 8, 7]];
+        let n_gen = 7;
+        let faults = FaultPlan::device_loss(1, 3); // prefill + 2 decode steps, then gone
+        let out = run_pipeline_supervised(
+            &m,
+            &plan(bits.clone(), 1, mb(2, 2, 2)),
+            &prompts,
+            n_gen,
+            Rounding::Deterministic,
+            0,
+            &test_cfg(),
+            Some(&faults),
+            Some(&FoldReplanner),
+        )
+        .expect("recovered by replanning");
+        assert_eq!(out.replans, 1);
+        assert_eq!(out.restarts, 1);
+        assert_eq!(out.final_plan.stages.len(), 1, "folded onto the survivor");
+        assert_eq!(out.final_plan.stages[0].device, 0);
+        assert!(matches!(out.events[0].action, RecoveryAction::Replan { .. }));
+        assert_eq!(out.events[0].checkpointed_tokens, 3);
+        let qm = quantize_model(&m, &BitAssignment { bits }, Rounding::Deterministic, 0);
+        for (i, p) in prompts.iter().enumerate() {
+            assert_eq!(out.output.tokens[i], qm.generate(p, n_gen, 0.0, 0).tokens, "sequence {i}");
+        }
+    }
+
+    /// Replanner that degrades every layer to INT4 on the survivor —
+    /// the "shrunken cluster no longer fits the old precision" case.
+    struct DegradingReplanner;
+    impl Replanner for DegradingReplanner {
+        fn replan(&self, old: &ExecutionPlan, lost: &[usize]) -> Result<ExecutionPlan, String> {
+            let mut p = FoldReplanner.replan(old, lost)?;
+            for s in &mut p.stages {
+                for b in &mut s.bits {
+                    *b = Bitwidth::Int4;
+                }
+            }
+            Ok(p)
+        }
+    }
+
+    #[test]
+    fn replan_with_degraded_bits_matches_new_plan_from_resume_point() {
+        // After the device loss the survivor cannot hold FP16, so the
+        // replanner degrades to INT4. Tokens before the failure follow
+        // the old model; tokens from the resume point must be exactly
+        // what sequential execution of the *new* (INT4) model produces
+        // when fed prompt ++ old prefix.
+        let m = model();
+        let old_bits = vec![Bitwidth::Int8, Bitwidth::Fp16];
+        let prompts = vec![vec![1, 2, 3], vec![9, 8, 7]];
+        let n_gen = 7;
+        let faults = FaultPlan::device_loss(1, 3);
+        let out = run_pipeline_supervised(
+            &m,
+            &plan(old_bits.clone(), 1, mb(2, 2, 2)),
+            &prompts,
+            n_gen,
+            Rounding::Deterministic,
+            0,
+            &test_cfg(),
+            Some(&faults),
+            Some(&DegradingReplanner),
+        )
+        .expect("recovered with degraded bits");
+        assert_eq!(out.replans, 1);
+        let done = out.events[0].checkpointed_tokens;
+        assert_eq!(done, 3);
+        let qm_old = quantize_model(&m, &BitAssignment { bits: old_bits }, Rounding::Deterministic, 0);
+        let qm_new = quantize_model(
+            &m,
+            &BitAssignment { bits: vec![Bitwidth::Int4, Bitwidth::Int4] },
+            Rounding::Deterministic,
+            0,
+        );
+        for (i, p) in prompts.iter().enumerate() {
+            let old_full = qm_old.generate(p, n_gen, 0.0, 0).tokens;
+            assert_eq!(&out.output.tokens[i][..done], &old_full[..done], "prefix, sequence {i}");
+            let mut resumed_prompt = p.clone();
+            resumed_prompt.extend_from_slice(&old_full[..done]);
+            let want_tail = qm_new.generate(&resumed_prompt, n_gen - done, 0.0, 0).tokens;
+            assert_eq!(&out.output.tokens[i][done..], &want_tail[..], "resume tail, sequence {i}");
+        }
+    }
+
+    #[test]
+    fn hung_stage_detected_by_heartbeat_not_disconnect() {
+        // Stage 1 wedges (stops heartbeating, channels stay open). The
+        // supervisor must flag StageHung(1) and recover by restarting —
+        // the hang is one-shot, so attempt 1 completes.
+        let m = model();
+        let bits = vec![Bitwidth::Int8, Bitwidth::Fp16];
+        let prompts = vec![vec![1, 2, 3], vec![9, 8, 7]];
+        let faults = FaultPlan {
+            events: vec![FaultEvent { stage: 1, step: 2, attempt: None, kind: FaultKind::Hang }],
+        };
+        let out = run_pipeline_supervised(
+            &m,
+            &plan(bits.clone(), 1, mb(2, 2, 2)),
+            &prompts,
+            5,
+            Rounding::Deterministic,
+            0,
+            &test_cfg(),
+            Some(&faults),
+            Some(&FoldReplanner),
+        )
+        .expect("recovered from hang");
+        assert_eq!(out.restarts, 1);
+        assert_eq!(out.replans, 0, "a hang is transient — no replan");
+        assert!(
+            out.events[0].error.contains("stage 1 hung"),
+            "must be detected by heartbeat timeout, got: {}",
+            out.events[0].error
+        );
+        let qm = quantize_model(&m, &BitAssignment { bits }, Rounding::Deterministic, 0);
+        for (i, p) in prompts.iter().enumerate() {
+            assert_eq!(out.output.tokens[i], qm.generate(p, 5, 0.0, 0).tokens, "sequence {i}");
+        }
+    }
+
+    #[test]
+    fn dropped_message_detected_as_stall_and_recovered() {
+        let m = model();
+        let bits = vec![Bitwidth::Fp16, Bitwidth::Fp16];
+        let prompts = vec![vec![1, 2], vec![3, 4]];
+        let faults = FaultPlan {
+            events: vec![FaultEvent { stage: 0, step: 2, attempt: None, kind: FaultKind::DropMessage }],
+        };
+        let out = run_pipeline_supervised(
+            &m,
+            &plan(bits.clone(), 1, mb(1, 2, 2)),
+            &prompts,
+            5,
+            Rounding::Deterministic,
+            0,
+            &test_cfg(),
+            Some(&faults),
+            Some(&FoldReplanner),
+        )
+        .expect("recovered from dropped message");
+        assert_eq!(out.restarts, 1);
+        assert!(out.events[0].error.contains("stalled"), "{}", out.events[0].error);
+        let qm = quantize_model(&m, &BitAssignment { bits }, Rounding::Deterministic, 0);
+        assert_eq!(out.output.tokens[0], qm.generate(&prompts[0], 5, 0.0, 0).tokens);
+    }
+
+    #[test]
+    fn restart_policy_surfaces_device_loss() {
+        // RestartSamePlan cannot route around a lost device: the
+        // injector kills the stage on every attempt, and after
+        // max_restarts the error names the device.
+        let m = model();
+        let bits = vec![Bitwidth::Fp16, Bitwidth::Fp16];
+        let prompts = vec![vec![1, 2]];
+        let faults = FaultPlan::device_loss(1, 1);
+        let cfg = SupervisorConfig { policy: RecoveryPolicy::RestartSamePlan, ..test_cfg() };
+        let res = run_pipeline_supervised(
+            &m,
+            &plan(bits, 1, mb(1, 1, 1)),
+            &prompts,
+            5,
+            Rounding::Deterministic,
+            0,
+            &cfg,
+            Some(&faults),
+            None,
+        );
+        assert!(matches!(res, Err(RuntimeError::DeviceLost(1))), "{res:?}");
+    }
+
+    #[test]
+    fn replan_policy_without_replanner_reports_device_loss() {
+        let m = model();
+        let bits = vec![Bitwidth::Fp16, Bitwidth::Fp16];
+        let prompts = vec![vec![1, 2]];
+        let faults = FaultPlan::device_loss(0, 0);
+        let res = run_pipeline_supervised(
+            &m,
+            &plan(bits, 1, mb(1, 1, 1)),
+            &prompts,
+            5,
+            Rounding::Deterministic,
+            0,
+            &test_cfg(),
+            Some(&faults),
+            None,
+        );
+        assert!(matches!(res, Err(RuntimeError::DeviceLost(0))), "{res:?}");
+    }
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let cfg = SupervisorConfig {
+            backoff_base_ms: 10,
+            backoff_factor: 2.0,
+            backoff_cap_ms: 50,
+            ..SupervisorConfig::default()
+        };
+        assert_eq!(cfg.backoff(0), Duration::from_millis(10));
+        assert_eq!(cfg.backoff(1), Duration::from_millis(20));
+        assert_eq!(cfg.backoff(2), Duration::from_millis(40));
+        assert_eq!(cfg.backoff(3), Duration::from_millis(50), "capped");
+        assert_eq!(cfg.backoff(10), Duration::from_millis(50), "capped");
+    }
+
+    #[test]
+    fn fold_replanner_merges_lost_stages() {
+        let p = ExecutionPlan {
+            model: "t".into(),
+            cluster: "c".into(),
+            stages: vec![
+                StagePlan { device: 0, layer_start: 0, layer_end: 1, bits: vec![Bitwidth::Int8] },
+                StagePlan { device: 1, layer_start: 1, layer_end: 3, bits: vec![Bitwidth::Int4, Bitwidth::Int4] },
+                StagePlan { device: 2, layer_start: 3, layer_end: 4, bits: vec![Bitwidth::Fp16] },
+            ],
+            microbatch: MicrobatchPlan { prefill_size: 1, prefill_count: 1, decode_size: 1, decode_count: 1 },
+            scheme: "LLM-PQ".into(),
+            kv_bits: 16,
+        };
+        // Middle device lost: its layers fold into the previous stage.
+        let f = FoldReplanner.replan(&p, &[1]).unwrap();
+        f.validate(4).unwrap();
+        assert_eq!(f.stages.len(), 2);
+        assert_eq!(f.stages[0].device, 0);
+        assert_eq!(f.stages[0].bits, vec![Bitwidth::Int8, Bitwidth::Int4, Bitwidth::Int4]);
+        // First device lost: its layers fold into the next survivor.
+        let f = FoldReplanner.replan(&p, &[0]).unwrap();
+        f.validate(4).unwrap();
+        assert_eq!(f.stages[0].device, 1);
+        assert_eq!(f.stages[0].bits.len(), 3);
+        // Everything lost: error.
+        assert!(FoldReplanner.replan(&p, &[0, 1, 2]).is_err());
+    }
+}

@@ -1,13 +1,24 @@
 //! Stage workers: each owns a shard of decoder layers and the KV caches
 //! for every in-flight sequence, and processes work items from the
 //! previous stage asynchronously.
+//!
+//! Workers are supervised: they receive with a bounded timeout so they
+//! can stamp a heartbeat even while idle, consult the shared
+//! [`FaultInjector`](crate::fault::FaultInjector) before every item, and
+//! deduplicate items by their global `step` id so a duplicated channel
+//! message cannot corrupt the KV caches. Protocol violations (e.g. a
+//! sequence id outside the batch) are answered with a
+//! [`WorkerMsg::Protocol`] reply that travels down the chain to the
+//! master instead of panicking the thread.
 
-use crossbeam::channel::{Receiver, Sender};
+use crate::fault::{FaultAction, FaultInjector, Heartbeats};
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use llmpq_model::{forward_layer_alibi, KvCache, LayerWeights, Matrix};
 use llmpq_quant::Bitwidth;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Execution counters one stage worker reports.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
@@ -36,6 +47,9 @@ pub struct StageSpec {
 /// micro-batch (prefill sends `t×h`, decode `1×h` per sequence).
 #[derive(Debug, Clone)]
 pub struct WorkItem {
+    /// Globally unique, monotonically increasing id the master assigns
+    /// per attempt; used to deduplicate duplicated channel messages.
+    pub step: u64,
     /// Micro-batch id (for bookkeeping/tracing).
     pub microbatch: usize,
     /// `(sequence id, hidden states)` pairs.
@@ -43,18 +57,64 @@ pub struct WorkItem {
 }
 
 /// Messages between stages.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub enum WorkerMsg {
     /// Process and forward.
     Work(WorkItem),
     /// Drain and exit.
     Shutdown,
+    /// A protocol violation detected by a stage; forwarded unchanged to
+    /// the master, where it surfaces as a `RuntimeError::Protocol`.
+    Protocol(String),
 }
 
-/// Run a stage worker until shutdown. `n_seqs` bounds the sequence ids;
-/// `fail_after` optionally makes the worker die after that many items
-/// (failure-injection hook for tests).
-#[allow(clippy::too_many_arguments)]
+/// Everything a supervised stage worker needs besides its weights and
+/// channels.
+#[derive(Clone)]
+pub struct WorkerCtx {
+    /// Pipeline stage index.
+    pub stage: usize,
+    /// Cluster device id hosting the stage (for device-loss injection).
+    pub device: usize,
+    /// Attention heads of the model.
+    pub n_heads: usize,
+    /// Hidden width of the model.
+    pub hidden: usize,
+    /// Whether attention uses ALiBi biases.
+    pub alibi: bool,
+    /// Number of in-flight sequences (bounds sequence ids).
+    pub n_seqs: usize,
+    /// Fault injection, if this run is under test.
+    pub injector: Option<Arc<FaultInjector>>,
+    /// Heartbeat board, if this run is supervised.
+    pub heartbeats: Option<Arc<Heartbeats>>,
+    /// Metrics sink, if metrics are collected.
+    pub sink: Option<MetricsSink>,
+    /// Receive-timeout granularity: how often an idle worker wakes to
+    /// heartbeat and check the abort flag.
+    pub tick: Duration,
+}
+
+impl WorkerCtx {
+    /// Plain context: no faults, no heartbeats, no metrics.
+    pub fn plain(stage: usize, n_heads: usize, hidden: usize, alibi: bool, n_seqs: usize) -> Self {
+        Self {
+            stage,
+            device: stage,
+            n_heads,
+            hidden,
+            alibi,
+            n_seqs,
+            injector: None,
+            heartbeats: None,
+            sink: None,
+            tick: Duration::from_millis(5),
+        }
+    }
+}
+
+/// Run a stage worker until shutdown, upstream disconnect, or abort.
+/// Convenience wrapper over [`run_worker_ctx`] without supervision.
 pub fn run_worker(
     weights: &[LayerWeights],
     n_heads: usize,
@@ -63,64 +123,125 @@ pub fn run_worker(
     n_seqs: usize,
     input: Receiver<WorkerMsg>,
     output: Sender<WorkerMsg>,
-    fail_after: Option<usize>,
 ) {
-    run_worker_metered(weights, n_heads, hidden, alibi, n_seqs, input, output, fail_after, None, 0)
+    run_worker_ctx(weights, &WorkerCtx::plain(0, n_heads, hidden, alibi, n_seqs), input, output)
 }
 
-/// [`run_worker`] with metrics reporting: the worker's counters are
-/// flushed into `sink[stage_idx]` whenever they change.
-#[allow(clippy::too_many_arguments)]
-pub fn run_worker_metered(
+/// The supervised stage-worker loop.
+pub fn run_worker_ctx(
     weights: &[LayerWeights],
-    n_heads: usize,
-    hidden: usize,
-    alibi: bool,
-    n_seqs: usize,
+    ctx: &WorkerCtx,
     input: Receiver<WorkerMsg>,
     output: Sender<WorkerMsg>,
-    fail_after: Option<usize>,
-    sink: Option<MetricsSink>,
-    stage_idx: usize,
 ) {
     let n_local = weights.len();
     // Pre-allocated per-sequence caches, local layer indexing.
-    let mut caches: Vec<KvCache> = (0..n_seqs).map(|_| KvCache::new(n_local, hidden)).collect();
+    let mut caches: Vec<KvCache> = (0..ctx.n_seqs).map(|_| KvCache::new(n_local, ctx.hidden)).collect();
     let mut metrics = StageMetrics::default();
+    let mut slowdown = 1.0f64;
+    let mut last_step: Option<u64> = None;
     let flush = |m: &StageMetrics| {
-        if let Some(sink) = &sink {
+        if let Some(sink) = &ctx.sink {
             let mut guard = sink.lock();
-            if stage_idx < guard.len() {
-                guard[stage_idx] = *m;
+            if ctx.stage < guard.len() {
+                guard[ctx.stage] = *m;
             }
         }
     };
-    while let Ok(msg) = input.recv() {
+    let beat = || {
+        if let Some(hb) = &ctx.heartbeats {
+            hb.beat(ctx.stage);
+        }
+    };
+    let aborted = || ctx.injector.as_ref().is_some_and(|i| i.aborted());
+    beat();
+    loop {
+        if aborted() {
+            flush(&metrics);
+            return;
+        }
+        let msg = match input.recv_timeout(ctx.tick) {
+            Ok(m) => m,
+            Err(RecvTimeoutError::Timeout) => {
+                beat();
+                continue;
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                flush(&metrics);
+                return;
+            }
+        };
+        beat();
         match msg {
             WorkerMsg::Shutdown => {
                 flush(&metrics);
                 let _ = output.send(WorkerMsg::Shutdown);
                 return;
             }
+            WorkerMsg::Protocol(e) => {
+                // Propagate toward the master.
+                let _ = output.send(WorkerMsg::Protocol(e));
+            }
             WorkerMsg::Work(mut item) => {
-                if let Some(limit) = fail_after {
-                    if metrics.items >= limit {
+                if last_step == Some(item.step) {
+                    // Duplicated channel message: already processed.
+                    continue;
+                }
+                if let Some(&(seq, _)) = item.seqs.iter().find(|(s, _)| *s >= ctx.n_seqs) {
+                    let _ = output.send(WorkerMsg::Protocol(format!(
+                        "stage {}: sequence id {seq} out of range (batch has {})",
+                        ctx.stage, ctx.n_seqs
+                    )));
+                    continue;
+                }
+                let mut duplicate = false;
+                match ctx
+                    .injector
+                    .as_ref()
+                    .map_or(FaultAction::None, |i| i.on_item(ctx.stage, ctx.device, metrics.items))
+                {
+                    FaultAction::Crash => {
                         // Simulated crash: drop channels without draining.
+                        flush(&metrics);
                         return;
                     }
+                    FaultAction::Hang => {
+                        // Wedged, not dead: stop heartbeating and stop
+                        // reading, but keep the channels open so the
+                        // failure is invisible to disconnect detection.
+                        while !aborted() {
+                            std::thread::sleep(Duration::from_micros(200));
+                        }
+                        flush(&metrics);
+                        return;
+                    }
+                    FaultAction::Slowdown(f) => slowdown = f,
+                    FaultAction::Drop => continue,
+                    FaultAction::Duplicate => duplicate = true,
+                    FaultAction::None => {}
                 }
+                last_step = Some(item.step);
                 let t0 = std::time::Instant::now();
                 for (seq, x) in item.seqs.iter_mut() {
                     let mut h = x.clone();
                     for (l, w) in weights.iter().enumerate() {
-                        h = forward_layer_alibi(w, n_heads, l, &h, &mut caches[*seq], alibi);
+                        h = forward_layer_alibi(w, ctx.n_heads, l, &h, &mut caches[*seq], ctx.alibi);
                     }
                     *x = h;
                     metrics.seq_forwards += 1;
                 }
+                let elapsed = t0.elapsed();
+                if slowdown > 1.0 {
+                    // Straggler injection: pad compute to factor × real.
+                    std::thread::sleep(elapsed.mul_f64(slowdown - 1.0));
+                }
                 metrics.items += 1;
-                metrics.busy_s += t0.elapsed().as_secs_f64();
+                metrics.busy_s += elapsed.as_secs_f64() * slowdown;
                 flush(&metrics);
+                beat();
+                if duplicate && output.send(WorkerMsg::Work(item.clone())).is_err() {
+                    return;
+                }
                 if output.send(WorkerMsg::Work(item)).is_err() {
                     return; // downstream gone
                 }
@@ -132,8 +253,24 @@ pub fn run_worker_metered(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultPlan;
     use crossbeam::channel::unbounded;
     use llmpq_model::{RefConfig, RefModel};
+
+    fn item(step: u64, seqs: Vec<(usize, Matrix)>) -> WorkItem {
+        WorkItem { step, microbatch: 0, seqs }
+    }
+
+    /// Receive the next Work item or report the message that arrived
+    /// instead — no panic paths in the happy-path tests.
+    fn recv_work(rx: &Receiver<WorkerMsg>) -> Result<WorkItem, String> {
+        match rx.recv() {
+            Ok(WorkerMsg::Work(i)) => Ok(i),
+            Ok(WorkerMsg::Protocol(e)) => Err(format!("protocol error: {e}")),
+            Ok(WorkerMsg::Shutdown) => Err("premature shutdown".into()),
+            Err(_) => Err("disconnected".into()),
+        }
+    }
 
     #[test]
     fn worker_forwards_transformed_hidden_states() {
@@ -142,21 +279,15 @@ mod tests {
         let (tx_out, rx_out) = unbounded();
         let weights = vec![model.layers[0].clone()];
         let x = model.embed_tokens(&[1, 2, 3], 0);
-        tx_in
-            .send(WorkerMsg::Work(WorkItem { microbatch: 0, seqs: vec![(0, x.clone())] }))
-            .unwrap();
+        tx_in.send(WorkerMsg::Work(item(0, vec![(0, x.clone())]))).unwrap();
         tx_in.send(WorkerMsg::Shutdown).unwrap();
-        run_worker(&weights, model.cfg.n_heads, model.cfg.hidden, false, 1, rx_in, tx_out, None);
+        run_worker(&weights, model.cfg.n_heads, model.cfg.hidden, false, 1, rx_in, tx_out);
 
-        match rx_out.recv().unwrap() {
-            WorkerMsg::Work(item) => {
-                // Must equal a direct single-layer forward.
-                let mut cache = llmpq_model::KvCache::new(1, model.cfg.hidden);
-                let want = forward_layer_alibi(&weights[0], model.cfg.n_heads, 0, &x, &mut cache, false);
-                assert_eq!(item.seqs[0].1, want);
-            }
-            other => panic!("expected work, got {other:?}"),
-        }
+        let got = recv_work(&rx_out).expect("work item");
+        // Must equal a direct single-layer forward.
+        let mut cache = llmpq_model::KvCache::new(1, model.cfg.hidden);
+        let want = forward_layer_alibi(&weights[0], model.cfg.n_heads, 0, &x, &mut cache, false);
+        assert_eq!(got.seqs[0].1, want);
         assert!(matches!(rx_out.recv().unwrap(), WorkerMsg::Shutdown));
     }
 
@@ -170,17 +301,12 @@ mod tests {
         let (tx_out, rx_out) = unbounded();
         let x1 = model.embed_tokens(&[5], 0);
         let x2 = model.embed_tokens(&[9], 1);
-        tx_in.send(WorkerMsg::Work(WorkItem { microbatch: 0, seqs: vec![(0, x1)] })).unwrap();
-        tx_in
-            .send(WorkerMsg::Work(WorkItem { microbatch: 0, seqs: vec![(0, x2.clone())] }))
-            .unwrap();
+        tx_in.send(WorkerMsg::Work(item(0, vec![(0, x1)]))).unwrap();
+        tx_in.send(WorkerMsg::Work(item(1, vec![(0, x2.clone())]))).unwrap();
         tx_in.send(WorkerMsg::Shutdown).unwrap();
-        run_worker(&weights, model.cfg.n_heads, model.cfg.hidden, false, 1, rx_in, tx_out, None);
-        let _first = rx_out.recv().unwrap();
-        let second = match rx_out.recv().unwrap() {
-            WorkerMsg::Work(i) => i.seqs[0].1.clone(),
-            other => panic!("{other:?}"),
-        };
+        run_worker(&weights, model.cfg.n_heads, model.cfg.hidden, false, 1, rx_in, tx_out);
+        let _first = recv_work(&rx_out).expect("first item");
+        let second = recv_work(&rx_out).expect("second item").seqs[0].1.clone();
         // Fresh-cache forward of x2 alone gives a different answer.
         let mut fresh = llmpq_model::KvCache::new(1, model.cfg.hidden);
         let lone = forward_layer_alibi(&weights[0], model.cfg.n_heads, 0, &x2, &mut fresh, false);
@@ -188,16 +314,75 @@ mod tests {
     }
 
     #[test]
-    fn fail_after_drops_channel() {
+    fn injected_crash_drops_channel() {
         let model = RefModel::new(RefConfig::tiny());
         let weights = vec![model.layers[0].clone()];
         let (tx_in, rx_in) = unbounded();
         let (tx_out, rx_out) = unbounded();
         let x = model.embed_tokens(&[1], 0);
-        tx_in.send(WorkerMsg::Work(WorkItem { microbatch: 0, seqs: vec![(0, x)] })).unwrap();
-        run_worker(&weights, model.cfg.n_heads, model.cfg.hidden, false, 1, rx_in, tx_out, Some(0));
+        tx_in.send(WorkerMsg::Work(item(0, vec![(0, x)]))).unwrap();
+        let mut ctx = WorkerCtx::plain(0, model.cfg.n_heads, model.cfg.hidden, false, 1);
+        ctx.injector = Some(crate::fault::FaultInjector::new(&FaultPlan::crash(0, 0)));
+        run_worker_ctx(&weights, &ctx, rx_in, tx_out);
         // Worker died before processing: output channel disconnects
         // without delivering work.
         assert!(rx_out.recv().is_err());
+    }
+
+    #[test]
+    fn duplicate_deliveries_are_deduplicated() {
+        // The same step id twice: the second copy must be skipped, not
+        // re-run through the KV cache.
+        let model = RefModel::new(RefConfig::tiny());
+        let weights = vec![model.layers[0].clone()];
+        let (tx_in, rx_in) = unbounded();
+        let (tx_out, rx_out) = unbounded();
+        let x1 = model.embed_tokens(&[5], 0);
+        let x2 = model.embed_tokens(&[9], 1);
+        tx_in.send(WorkerMsg::Work(item(0, vec![(0, x1.clone())]))).unwrap();
+        tx_in.send(WorkerMsg::Work(item(0, vec![(0, x1)]))).unwrap();
+        tx_in.send(WorkerMsg::Work(item(1, vec![(0, x2)]))).unwrap();
+        tx_in.send(WorkerMsg::Shutdown).unwrap();
+        run_worker(&weights, model.cfg.n_heads, model.cfg.hidden, false, 1, rx_in, tx_out);
+        let mut works = 0;
+        while let Ok(msg) = rx_out.recv() {
+            match msg {
+                WorkerMsg::Work(_) => works += 1,
+                WorkerMsg::Shutdown => break,
+                WorkerMsg::Protocol(e) => panic!("unexpected protocol error: {e}"),
+            }
+        }
+        assert_eq!(works, 2, "duplicate must be swallowed");
+    }
+
+    #[test]
+    fn out_of_range_sequence_reports_protocol_error() {
+        let model = RefModel::new(RefConfig::tiny());
+        let weights = vec![model.layers[0].clone()];
+        let (tx_in, rx_in) = unbounded();
+        let (tx_out, rx_out) = unbounded();
+        let x = model.embed_tokens(&[1], 0);
+        // Sequence id 5 in a batch of 1: protocol violation.
+        tx_in.send(WorkerMsg::Work(item(0, vec![(5, x)]))).unwrap();
+        tx_in.send(WorkerMsg::Shutdown).unwrap();
+        run_worker(&weights, model.cfg.n_heads, model.cfg.hidden, false, 1, rx_in, tx_out);
+        match rx_out.recv().unwrap() {
+            WorkerMsg::Protocol(e) => assert!(e.contains("out of range"), "{e}"),
+            WorkerMsg::Work(_) | WorkerMsg::Shutdown => {
+                panic!("violation must surface as a protocol reply")
+            }
+        }
+    }
+
+    #[test]
+    fn protocol_errors_propagate_downstream() {
+        let model = RefModel::new(RefConfig::tiny());
+        let weights = vec![model.layers[0].clone()];
+        let (tx_in, rx_in) = unbounded();
+        let (tx_out, rx_out) = unbounded();
+        tx_in.send(WorkerMsg::Protocol("upstream failed".into())).unwrap();
+        tx_in.send(WorkerMsg::Shutdown).unwrap();
+        run_worker(&weights, model.cfg.n_heads, model.cfg.hidden, false, 1, rx_in, tx_out);
+        assert!(matches!(rx_out.recv().unwrap(), WorkerMsg::Protocol(e) if e == "upstream failed"));
     }
 }

@@ -26,5 +26,8 @@ pub mod tp;
 pub use kernel::{embedding_latency, layer_latency, KernelEnv};
 pub use memory::{layer_workspace_bytes, measured_peak_memory};
 pub use offload::{offload_stage, offload_throughput, OffloadConfig, OffloadReport};
-pub use pipeline::{analytical_latency, simulate_pipeline, PipelineReport, PipelineWorkload, StageLoad};
+pub use pipeline::{
+    analytical_latency, recovery_cost, simulate_pipeline, FailureModel, PipelineReport,
+    PipelineWorkload, RecoveryReport, StageLoad,
+};
 pub use tp::{allreduce_time, tp_layer_latency, TpGroup};

@@ -192,6 +192,97 @@ pub fn simulate_pipeline(stages: &[StageLoad], w: &PipelineWorkload) -> Pipeline
     }
 }
 
+/// MTTF/MTTR failure model for a pipeline run, quantifying what the
+/// runtime supervisor's recovery paths cost in expectation.
+///
+/// Transient faults (worker crash, hang, dropped message) strike each
+/// stage as a Poisson process with mean time to failure `mttf_s`; each
+/// costs a detection+restart round trip plus the
+/// re-prefill of the lock-step checkpoint. A *permanent* device loss
+/// additionally forces a replan: Algorithm 1 on the survivors plus the
+/// on-the-fly reload, after which the remaining tokens run at the
+/// degraded plan's (usually slower) rate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FailureModel {
+    /// Mean time to (transient) failure per stage, seconds.
+    pub mttf_s: f64,
+    /// Mean time to detect + repair a transient failure (heartbeat
+    /// timeout, backoff, worker respawn), seconds.
+    pub mttr_s: f64,
+    /// Fixed overhead per restart beyond `mttr_s` (channel teardown,
+    /// KV-cache reallocation), seconds.
+    pub restart_overhead_s: f64,
+    /// Replan cost on permanent loss: assigner wall-clock plus the
+    /// on-the-fly quantizing reload of re-homed shards, seconds.
+    pub replan_overhead_s: f64,
+    /// Latency multiplier (≥ 1) of the replanned pipeline relative to
+    /// the original — the price of running on fewer devices.
+    pub replan_slowdown: f64,
+}
+
+impl Default for FailureModel {
+    fn default() -> Self {
+        Self {
+            mttf_s: 24.0 * 3600.0,
+            mttr_s: 5.0,
+            restart_overhead_s: 1.0,
+            replan_overhead_s: 30.0,
+            replan_slowdown: 1.5,
+        }
+    }
+}
+
+/// Expected cost of the supervisor's recovery paths for one batch job.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryReport {
+    /// Fault-free batch latency (s).
+    pub fault_free_latency: f64,
+    /// Expected number of transient failures during the run (over all
+    /// stages).
+    pub expected_transient_failures: f64,
+    /// Expected latency with restart-based recovery of transient
+    /// failures (s).
+    pub restart_latency: f64,
+    /// Latency when one device is lost permanently mid-run and the
+    /// supervisor replans onto the survivors (s).
+    pub replan_latency: f64,
+    /// Latency under restart-only recovery when the loss is permanent:
+    /// infinite, since the same plan can never complete.
+    pub restart_only_permanent_latency: f64,
+    /// `(restart_latency − fault_free) / fault_free`.
+    pub transient_overhead_fraction: f64,
+}
+
+/// Quantify recovery cost for a pipeline described by `stages`/`w` under
+/// failure model `fm`.
+///
+/// Work lost per failure is one re-prefill of the checkpointed context
+/// (lock-step checkpointing truncates to the last complete token, and
+/// resume replays prompt + prefix through the pipeline once), which the
+/// fault-free prefill latency approximates. The permanent loss is
+/// assumed to strike at the half-way point of the run.
+pub fn recovery_cost(stages: &[StageLoad], w: &PipelineWorkload, fm: &FailureModel) -> RecoveryReport {
+    assert!(fm.mttf_s > 0.0, "mttf must be positive");
+    assert!(fm.replan_slowdown >= 1.0, "a replanned pipeline cannot be faster");
+    let base = simulate_pipeline(stages, w);
+    let t0 = base.total_latency;
+    let lost_per_failure = base.prefill_latency;
+    let n_fail = t0 / fm.mttf_s * stages.len() as f64;
+    let restart_latency =
+        t0 + n_fail * (fm.mttr_s + fm.restart_overhead_s + lost_per_failure);
+    let tau = t0 / 2.0;
+    let replan_latency =
+        tau + fm.mttr_s + fm.replan_overhead_s + lost_per_failure + (t0 - tau) * fm.replan_slowdown;
+    RecoveryReport {
+        fault_free_latency: t0,
+        expected_transient_failures: n_fail,
+        restart_latency,
+        replan_latency,
+        restart_only_permanent_latency: f64::INFINITY,
+        transient_overhead_fraction: (restart_latency - t0) / t0,
+    }
+}
+
 /// The paper's closed-form objective (eq. 4): pipeline latency
 /// `(µ_pre −1)·T_max_pre + ΣT_pre + ((n−1)·µ_dec −1)·T_max_dec + ΣT_dec`,
 /// with per-stage times including outgoing communication. The ILP
@@ -336,5 +427,58 @@ mod tests {
         let stages = uniform_stages(2, 1.0, 9.0);
         let r = simulate_pipeline(&stages, &wl(2, 0, 1));
         assert_eq!(r.decode_latency, 0.0);
+    }
+
+    #[test]
+    fn reliable_cluster_has_negligible_recovery_overhead() {
+        let stages = uniform_stages(3, 1.0, 0.1);
+        let w = wl(4, 2, 10);
+        let fm = FailureModel { mttf_s: 1e9, ..FailureModel::default() };
+        let r = recovery_cost(&stages, &w, &fm);
+        assert!(r.expected_transient_failures < 1e-6);
+        assert!((r.restart_latency - r.fault_free_latency) / r.fault_free_latency < 1e-6);
+        assert!(r.transient_overhead_fraction < 1e-6);
+    }
+
+    #[test]
+    fn flaky_cluster_pays_for_restarts() {
+        let stages = uniform_stages(3, 1.0, 0.1);
+        let w = wl(4, 2, 10);
+        let good = recovery_cost(&stages, &w, &FailureModel { mttf_s: 1e6, ..FailureModel::default() });
+        let bad = recovery_cost(&stages, &w, &FailureModel { mttf_s: 30.0, ..FailureModel::default() });
+        assert!(bad.expected_transient_failures > good.expected_transient_failures);
+        assert!(bad.restart_latency > good.restart_latency);
+        assert!(bad.transient_overhead_fraction > 0.1);
+    }
+
+    #[test]
+    fn replan_is_finite_where_restart_is_not() {
+        let stages = uniform_stages(3, 1.0, 0.1);
+        let w = wl(4, 2, 10);
+        let r = recovery_cost(&stages, &w, &FailureModel::default());
+        assert!(r.restart_only_permanent_latency.is_infinite());
+        assert!(r.replan_latency.is_finite());
+        assert!(
+            r.replan_latency > r.fault_free_latency,
+            "recovery is never free: {} vs {}",
+            r.replan_latency,
+            r.fault_free_latency
+        );
+    }
+
+    #[test]
+    fn slower_replanned_pipeline_costs_more() {
+        let stages = uniform_stages(3, 1.0, 0.1);
+        let w = wl(4, 2, 10);
+        let mild = recovery_cost(&stages, &w, &FailureModel { replan_slowdown: 1.1, ..FailureModel::default() });
+        let harsh = recovery_cost(&stages, &w, &FailureModel { replan_slowdown: 3.0, ..FailureModel::default() });
+        assert!(harsh.replan_latency > mild.replan_latency);
+    }
+
+    #[test]
+    #[should_panic(expected = "mttf must be positive")]
+    fn rejects_nonpositive_mttf() {
+        let stages = uniform_stages(1, 1.0, 0.1);
+        recovery_cost(&stages, &wl(1, 1, 2), &FailureModel { mttf_s: 0.0, ..FailureModel::default() });
     }
 }

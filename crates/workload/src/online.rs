@@ -32,6 +32,11 @@ pub struct OnlineConfig {
     pub max_wait_s: f64,
     /// Generation length range (uniform, inclusive).
     pub n_generate: (usize, usize),
+    /// Probability that a batch execution fails mid-run (worker crash,
+    /// hang, …) and must be retried. A failed batch re-enters the queue
+    /// once: the engine re-runs it immediately, paying the full batch
+    /// latency again (the failed attempt's work is lost).
+    pub failure_rate: f64,
     /// RNG seed.
     pub seed: u64,
 }
@@ -44,6 +49,7 @@ impl Default for OnlineConfig {
             batch_size: 8,
             max_wait_s: 2.0,
             n_generate: (50, 150),
+            failure_rate: 0.0,
             seed: 11,
         }
     }
@@ -66,6 +72,9 @@ pub struct OnlineStats {
     pub padding_fraction: f64,
     /// Number of batches executed.
     pub batches: usize,
+    /// Number of batches that failed and were retried (each adds a full
+    /// extra batch latency to its requests' sojourn).
+    pub retried: usize,
 }
 
 /// One simulated request.
@@ -85,7 +94,14 @@ pub fn simulate_online(
     batch_cost: &dyn Fn(usize, usize, usize) -> f64,
 ) -> OnlineStats {
     assert!(cfg.arrival_rate > 0.0 && cfg.n_requests > 0 && cfg.batch_size > 0);
+    assert!(
+        (0.0..=1.0).contains(&cfg.failure_rate),
+        "failure_rate must be a probability"
+    );
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    // Failure draws come from their own stream so turning failures on or
+    // off never perturbs arrivals or generation lengths.
+    let mut fail_rng = SmallRng::seed_from_u64(cfg.seed ^ 0xFA11);
     let lens = prompt_model.sample(cfg.n_requests, cfg.seed ^ 0x9A);
     let mut t = 0.0f64;
     let requests: Vec<Request> = lens
@@ -107,6 +123,7 @@ pub fn simulate_online(
     let mut padded_tokens = 0usize;
     let mut generated = 0usize;
     let mut batches = 0usize;
+    let mut retried = 0usize;
     let mut i = 0usize;
     let mut makespan = 0.0f64;
     while i < requests.len() {
@@ -135,7 +152,15 @@ pub fn simulate_online(
         let s = batch.iter().map(|r| r.prompt_len).max().unwrap();
         let n = batch.iter().map(|r| r.n_generate).max().unwrap();
         let latency = batch_cost(s, n, batch.len());
-        let end = start + latency;
+        // A failed batch re-enters the queue once: the failed attempt's
+        // work is lost and the batch runs again back to back.
+        let failed = cfg.failure_rate > 0.0 && fail_rng.gen::<f64>() < cfg.failure_rate;
+        let end = if failed {
+            retried += 1;
+            start + 2.0 * latency
+        } else {
+            start + latency
+        };
         for r in batch {
             sojourn.push(end - r.arrival);
             queue_wait.push(start - r.arrival);
@@ -159,6 +184,7 @@ pub fn simulate_online(
         throughput: generated as f64 / makespan,
         padding_fraction: 1.0 - real_tokens as f64 / padded_tokens as f64,
         batches,
+        retried,
     }
 }
 
@@ -231,5 +257,52 @@ mod tests {
         let stats = simulate_online(&cfg(3.0), &m, &toy_cost);
         assert!(stats.batches <= 300);
         assert!(stats.mean_latency >= 0.05, "at least one batch latency");
+    }
+
+    #[test]
+    fn no_failures_means_no_retries() {
+        let m = PromptLengthModel::default();
+        let stats = simulate_online(&cfg(3.0), &m, &toy_cost);
+        assert_eq!(stats.retried, 0);
+    }
+
+    #[test]
+    fn failures_requeue_and_cost_latency() {
+        let m = PromptLengthModel::default();
+        let clean = simulate_online(&cfg(3.0), &m, &toy_cost);
+        let flaky_cfg = OnlineConfig { failure_rate: 0.5, ..cfg(3.0) };
+        let flaky = simulate_online(&flaky_cfg, &m, &toy_cost);
+        assert!(flaky.retried > 0, "half the batches should fail");
+        assert!(flaky.retried <= flaky.batches);
+        // The lost work shows up as extra sojourn. (Sustained throughput
+        // can coincidentally *rise* under retries at moderate load —
+        // delayed batches pick up more waiting requests and amortize the
+        // fixed per-batch cost — so latency is the robust signal.)
+        assert!(flaky.mean_latency > clean.mean_latency);
+    }
+
+    #[test]
+    fn certain_failure_retries_every_batch() {
+        let m = PromptLengthModel::default();
+        let c = OnlineConfig { failure_rate: 1.0, ..cfg(3.0) };
+        let stats = simulate_online(&c, &m, &toy_cost);
+        assert_eq!(stats.retried, stats.batches, "every batch fails once then completes");
+    }
+
+    #[test]
+    fn retries_never_drop_requests() {
+        // Retrying keeps the server busy longer, which re-shapes later
+        // batches — but every request still completes exactly once.
+        let m = PromptLengthModel::default();
+        let flaky = simulate_online(&OnlineConfig { failure_rate: 0.3, ..cfg(2.0) }, &m, &toy_cost);
+        assert!(flaky.batches > 0 && flaky.batches <= 300);
+        assert!(flaky.mean_latency.is_finite() && flaky.p95_latency.is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "failure_rate must be a probability")]
+    fn rejects_bad_failure_rate() {
+        let m = PromptLengthModel::default();
+        simulate_online(&OnlineConfig { failure_rate: 1.5, ..cfg(1.0) }, &m, &toy_cost);
     }
 }

@@ -12,7 +12,7 @@
 use llm_pq::{ExecutionPlan, StagePlan};
 use llmpq_model::{RefConfig, RefModel};
 use llmpq_quant::{quantize_model, BitAssignment, Bitwidth, Rounding};
-use llmpq_runtime::{run_pipeline_recoverable, RuntimeError};
+use llmpq_runtime::{run_pipeline_recoverable, FaultPlan, RuntimeError};
 use llmpq_workload::MicrobatchPlan;
 
 fn main() -> Result<(), RuntimeError> {
@@ -48,7 +48,8 @@ fn main() -> Result<(), RuntimeError> {
         Rounding::Deterministic,
         0,
         3,
-        &[(1, 8)], // stage 1 dies mid-decode on the first attempt
+        // stage 1 dies mid-decode on the first attempt
+        Some(&FaultPlan::crash(1, 8)),
     )?;
     println!("recovered with {restarts} restart(s); wall {:.3}s", out.wall_s);
     for (i, m) in out.stage_metrics.iter().enumerate() {

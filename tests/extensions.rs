@@ -7,7 +7,7 @@ use llmpq_cluster::paper_cluster;
 use llmpq_cost::CostDb;
 use llmpq_model::{zoo, RefConfig, RefModel};
 use llmpq_quant::{IndicatorTable, Rounding};
-use llmpq_runtime::run_pipeline_recoverable;
+use llmpq_runtime::{run_pipeline_recoverable, FaultPlan};
 use llmpq_sim::{simulate_pipeline, KernelEnv, PipelineWorkload};
 use llmpq_workload::{simulate_online, BatchJob, OnlineConfig, PromptLengthModel};
 
@@ -166,7 +166,7 @@ fn recovery_works_for_an_assigned_plan() {
         Rounding::Deterministic,
         0,
         2,
-        &[(crash_stage, 3)],
+        Some(&FaultPlan::crash(crash_stage, 3)),
     )
     .expect("recovered");
     assert!(restarts >= 1);
@@ -178,7 +178,7 @@ fn recovery_works_for_an_assigned_plan() {
         Rounding::Deterministic,
         0,
         2,
-        &[],
+        None,
     )
     .unwrap();
     assert_eq!(zero, 0);

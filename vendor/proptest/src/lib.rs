@@ -8,6 +8,8 @@
 //! Cases are generated from a deterministic per-test seed (FNV of the
 //! test name), so failures reproduce run-to-run. There is no shrinking:
 //! a failing case panics with the assertion message directly.
+//!
+#![allow(clippy::type_complexity)]
 
 pub mod strategy {
     //! Strategy trait, combinators, and the case-generation RNG.
@@ -303,6 +305,7 @@ macro_rules! __proptest_impl {
                     $crate::strategy::Strategy::generate(&($strat), &mut __rng);)*
                 // Bodies may `return Ok(())` early (proptest convention),
                 // so run them inside a Result-returning closure.
+                #[allow(clippy::redundant_closure_call)]
                 let __outcome: ::core::result::Result<(), ::std::string::String> =
                     (move || {
                         $body

@@ -133,8 +133,8 @@ mod tests {
 
     #[test]
     fn two_arg_reduce_and_zip() {
-        let xs = vec![1.0f64, 2.0, 3.0];
-        let ys = vec![10usize, 20, 30];
+        let xs = [1.0f64, 2.0, 3.0];
+        let ys = [10usize, 20, 30];
         let (s, n) = xs
             .par_iter()
             .zip(ys.par_iter())
