@@ -1,0 +1,109 @@
+//! Ablation: telemetry overhead — observed vs. unobserved pipeline runs.
+//!
+//! The telemetry layer records per-item histograms (relaxed atomics) and
+//! lifecycle spans (one mutex push per span) on the hot path of every
+//! stage worker. This bench executes the same generation workload on the
+//! live threaded runtime with telemetry off and on, takes the median
+//! wall-clock of several trials each, and reports the overhead — the
+//! observability layer must stay well under 2% so it can be left on in
+//! production runs.
+
+use llm_pq::{ExecutionPlan, StagePlan};
+use llmpq_bench::TextTable;
+use llmpq_model::{RefConfig, RefModel};
+use llmpq_quant::{Bitwidth, Rounding};
+use llmpq_runtime::{run_pipeline, run_pipeline_observed, Telemetry};
+use llmpq_workload::MicrobatchPlan;
+
+fn plan(n_layers: usize) -> ExecutionPlan {
+    let split = n_layers / 2;
+    ExecutionPlan {
+        model: "tiny".into(),
+        cluster: "bench".into(),
+        stages: vec![
+            StagePlan {
+                device: 0,
+                layer_start: 0,
+                layer_end: split,
+                bits: vec![Bitwidth::Int8; split],
+            },
+            StagePlan {
+                device: 1,
+                layer_start: split,
+                layer_end: n_layers,
+                bits: vec![Bitwidth::Fp16; n_layers - split],
+            },
+        ],
+        microbatch: MicrobatchPlan {
+            prefill_size: 2,
+            prefill_count: 2,
+            decode_size: 4,
+            decode_count: 1,
+        },
+        scheme: "LLM-PQ".into(),
+        kv_bits: 16,
+    }
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    println!("Ablation — telemetry overhead on the live pipeline runtime\n");
+    let model = RefModel::new(RefConfig::tiny());
+    let p = plan(model.cfg.n_layers);
+    let prompts: Vec<Vec<usize>> =
+        (0..4).map(|i| (0..12).map(|j| (i * 31 + j * 7) % model.cfg.vocab).collect()).collect();
+    let n_generate = 48;
+    let trials = 7;
+
+    // Interleave off/on trials so drift (cache warmup, CPU frequency)
+    // hits both arms equally.
+    let mut off = Vec::with_capacity(trials);
+    let mut on = Vec::with_capacity(trials);
+    let mut spans_recorded = 0usize;
+    for _ in 0..trials {
+        let plain =
+            run_pipeline(&model, &p, &prompts, n_generate, Rounding::Deterministic, 0, None)
+                .expect("plain run");
+        off.push(plain.wall_s);
+        let tel = Telemetry::new(p.stages.len());
+        let observed = run_pipeline_observed(
+            &model,
+            &p,
+            &prompts,
+            n_generate,
+            Rounding::Deterministic,
+            0,
+            None,
+            Some(tel.clone()),
+        )
+        .expect("observed run");
+        assert_eq!(plain.tokens, observed.tokens, "telemetry must not perturb tokens");
+        on.push(observed.wall_s);
+        spans_recorded = tel.spans().len();
+    }
+    let (m_off, m_on) = (median(off.clone()), median(on.clone()));
+    let overhead = (m_on - m_off) / m_off;
+
+    let mut t = TextTable::new(&["telemetry", "median wall (ms)", "min (ms)", "max (ms)"]);
+    for (label, xs) in [("off", &off), ("on", &on)] {
+        t.row(vec![
+            label.to_string(),
+            format!("{:.2}", median(xs.clone()) * 1e3),
+            format!("{:.2}", xs.iter().cloned().fold(f64::MAX, f64::min) * 1e3),
+            format!("{:.2}", xs.iter().cloned().fold(0.0f64, f64::max) * 1e3),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "per run: {spans_recorded} spans, {} work items, {} trials each arm",
+        p.microbatch.prefill_count + (n_generate - 1) * p.microbatch.decode_count,
+        trials
+    );
+    println!("telemetry overhead: {:.2}% (median-over-median)", overhead * 100.0);
+    println!("\nExpectation: overhead < 2% — the recorders are relaxed atomics and the");
+    println!("span log is one short mutex push per item, both dwarfed by a layer forward.");
+}

@@ -3,6 +3,8 @@
 //! ```text
 //! llmpq-dist --strat_file_name strategy.json [--n-generate 16]
 //!     [--batch 4] [--prompt-len 12] [--seed 0] [--fault-plan faults.json]
+//!     [--trace-out trace.json] [--metrics-out metrics.txt]
+//!     [--online-rate 2.0] [--online-failure 0.1]
 //! ```
 //!
 //! The paper's `llmpq-dist` launches the distributed PyTorch runtime;
@@ -17,18 +19,39 @@
 //! losses; the supervisor detects them via heartbeats, restarts with
 //! backoff, and replans around lost devices (folding their layers into
 //! surviving stages), resuming from the lock-step token checkpoint.
+//!
+//! With `--trace-out` / `--metrics-out`, the run is observed by the
+//! telemetry layer: `--trace-out` writes a Chrome `trace_event` JSON
+//! (open in `chrome://tracing` or Perfetto) of every micro-batch's
+//! wait/compute/send lifecycle per stage, and `--metrics-out` writes a
+//! plain-text snapshot with per-stage p50/p95/p99 latency, queue peaks,
+//! KV occupancy, restart counters — and a cost-model cross-check
+//! comparing each stage's observed busy time against the analytical §4.1
+//! prediction.
+//!
+//! With `--online-rate`, the plan's cost profile additionally serves a
+//! Poisson online workload (paper §7) after the run, and the end-of-run
+//! summary surfaces the online stats — including batches that failed and
+//! were `retried` (tune with `--online-failure`).
 
+use llm_pq::evaluate::stage_loads;
 use llm_pq::ExecutionPlan;
 use llmpq_cli::Args;
+use llmpq_cluster::paper_cluster;
+use llmpq_cost::{predicted_stage_seconds, stage_crosscheck, CostDb, StageCrosscheck};
 use llmpq_model::{zoo, RefConfig, RefModel};
 use llmpq_quant::Rounding;
 use llmpq_runtime::{
-    run_pipeline, run_pipeline_supervised, FaultPlan, FoldReplanner, SupervisorConfig,
+    run_pipeline_observed, run_pipeline_supervised_observed, FaultPlan, FoldReplanner,
+    SupervisorConfig, Telemetry,
 };
+use llmpq_sim::{KernelEnv, PipelineWorkload};
+use llmpq_workload::{simulate_online, BatchJob, OnlineConfig, PromptLengthModel};
 
 const USAGE: &str = "usage: llmpq-dist --strat_file_name <strategy.json>
     [--checkpoint model.ckpt.json] [--n-generate 16] [--batch 4] [--prompt-len 12] [--seed 0]
-    [--fault-plan faults.json]";
+    [--fault-plan faults.json] [--trace-out trace.json] [--metrics-out metrics.txt]
+    [--online-rate req_per_s] [--online-requests 150] [--online-failure 0.0]";
 
 fn main() {
     let args = match Args::parse(std::env::args().skip(1)) {
@@ -101,9 +124,14 @@ fn run(args: &Args) -> Result<(), String> {
         None => None,
     };
 
-    let out = match &faults {
+    let trace_out = args.get("trace-out");
+    let metrics_out = args.get("metrics-out");
+    let telemetry = (trace_out.is_some() || metrics_out.is_some())
+        .then(|| Telemetry::new(plan.stages.len()));
+
+    let (out, restarts, replans) = match &faults {
         Some(fp) => {
-            let sup = run_pipeline_supervised(
+            let sup = run_pipeline_supervised_observed(
                 &checkpoint,
                 &plan,
                 &prompts,
@@ -113,6 +141,7 @@ fn run(args: &Args) -> Result<(), String> {
                 &SupervisorConfig::default(),
                 Some(fp),
                 Some(&FoldReplanner),
+                telemetry.clone(),
             )
             .map_err(|e| e.to_string())?;
             for ev in &sup.events {
@@ -127,17 +156,63 @@ fn run(args: &Args) -> Result<(), String> {
                 sup.replans,
                 sup.final_plan.stages.len()
             );
-            sup.output
+            (sup.output, sup.restarts, sup.replans)
         }
-        None => run_pipeline(&checkpoint, &plan, &prompts, n_generate, Rounding::Deterministic, seed, None)
-            .map_err(|e| e.to_string())?,
+        None => {
+            let out = run_pipeline_observed(
+                &checkpoint,
+                &plan,
+                &prompts,
+                n_generate,
+                Rounding::Deterministic,
+                seed,
+                None,
+                telemetry.clone(),
+            )
+            .map_err(|e| e.to_string())?;
+            (out, 0, 0)
+        }
     };
+
+    // Cost-model cross-check: analytical per-stage prediction vs the busy
+    // time the run actually observed. Only resolvable for the paper
+    // clusters ("cluster-N") and zoo models; custom plans skip it.
+    let crosscheck = resolve_crosscheck(&plan, batch, prompt_len, n_generate, &out.stage_metrics);
+
+    if let (Some(path), Some(t)) = (trace_out, &telemetry) {
+        std::fs::write(path, t.to_chrome_trace()).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("wrote Chrome trace to {path} (open in chrome://tracing or ui.perfetto.dev)");
+    }
+    if let (Some(path), Some(t)) = (metrics_out, &telemetry) {
+        let mut text = t.metrics_text();
+        text.push_str(&render_crosscheck(&crosscheck));
+        std::fs::write(path, text).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("wrote metrics snapshot to {path}");
+    }
+
+    // Optional §7 online-serving pass over the plan's cost profile.
+    let online = args
+        .get_parse("online-rate", f64::NAN)
+        .map_err(|e| e.to_string())?
+        .is_finite()
+        .then(|| {
+            let rate = args.get_parse("online-rate", 1.0).unwrap_or(1.0);
+            let n_requests = args.get_parse("online-requests", 150usize).unwrap_or(150);
+            let failure = args.get_parse("online-failure", 0.0f64).unwrap_or(0.0);
+            run_online(&plan, rate, n_requests, failure, seed)
+        })
+        .transpose()?;
+
     println!(
-        "generated {} tokens x {} sequences in {:.3}s wall",
-        n_generate,
-        batch,
-        out.wall_s
+        "generated {} tokens x {} sequences in {:.3}s wall ({} restarts, {} replans)",
+        n_generate, batch, out.wall_s, restarts, replans
     );
+    if let Some(stats) = &online {
+        println!(
+            "online: {} batches served, {} retried after failures, p50 {:.2}s p95 {:.2}s, {:.1} tok/s",
+            stats.batches, stats.retried, stats.p50_latency, stats.p95_latency, stats.throughput
+        );
+    }
     for (i, toks) in out.tokens.iter().enumerate() {
         println!("seq {i}: {toks:?}");
     }
@@ -147,5 +222,130 @@ fn run(args: &Args) -> Result<(), String> {
             s.modules, s.quantized_modules, s.peak_staging_bytes
         );
     }
+    if let Some(rows) = &crosscheck {
+        for r in rows {
+            eprintln!(
+                "stage {}: cost model predicted {:.4}s / observed {:.4}s busy (share err {:.1}pp)",
+                r.stage,
+                r.predicted_s,
+                r.observed_s,
+                r.share_err * 100.0
+            );
+        }
+    }
     Ok(())
+}
+
+/// Analytical-vs-observed per-stage cross-check; `None` when the plan's
+/// cluster or model cannot be resolved, or a replan changed the stage
+/// count mid-run.
+fn resolve_crosscheck(
+    plan: &ExecutionPlan,
+    batch: usize,
+    prompt_len: usize,
+    n_generate: usize,
+    stage_metrics: &[llmpq_runtime::worker::StageMetrics],
+) -> Option<Vec<StageCrosscheck>> {
+    let n: usize = plan.cluster.strip_prefix("cluster-")?.parse().ok()?;
+    if !(1..=11).contains(&n) {
+        return None;
+    }
+    let cluster = paper_cluster(n);
+    let spec = zoo::by_name(&plan.model)?;
+    let db = CostDb::oracle(&KernelEnv::default());
+    let job = BatchJob { global_batch: batch, prompt_len, n_generate };
+    // Clamp micro-batch sizing to the actual run's batch.
+    let mut p = plan.clone();
+    p.microbatch.prefill_size = p.microbatch.prefill_size.min(batch).max(1);
+    p.microbatch.prefill_count = batch.div_ceil(p.microbatch.prefill_size);
+    p.microbatch.decode_size = p.microbatch.decode_size.min(batch).max(1);
+    p.microbatch.decode_count = batch.div_ceil(p.microbatch.decode_size);
+    let loads = stage_loads(&p, &cluster, &spec, &db, &job);
+    let wl = PipelineWorkload {
+        prefill_microbatches: p.microbatch.prefill_count,
+        decode_microbatches: p.microbatch.decode_count,
+        n_tokens: n_generate,
+        master_prefill: 0.0,
+        master_decode: 0.0,
+    };
+    let predicted = predicted_stage_seconds(&loads, &wl);
+    let observed: Vec<f64> = stage_metrics.iter().map(|m| m.busy_s).collect();
+    if predicted.len() != observed.len() {
+        return None; // a replan shrank the pipeline mid-run
+    }
+    Some(stage_crosscheck(&predicted, &observed))
+}
+
+/// Render the cross-check as a metrics-snapshot section.
+fn render_crosscheck(rows: &Option<Vec<StageCrosscheck>>) -> String {
+    let mut out = String::from("# cost-model cross-check (predicted vs observed stage busy time)\n");
+    match rows {
+        None => {
+            out.push_str("(skipped: cluster/model not resolvable or stage count changed)\n");
+        }
+        Some(rows) => {
+            for r in rows {
+                out.push_str(&format!(
+                    "stage {}: predicted_s={:.4} observed_s={:.4} rel_err={:.1}% \
+                     share_pred={:.1}% share_obs={:.1}% share_err={:.1}pp\n",
+                    r.stage,
+                    r.predicted_s,
+                    r.observed_s,
+                    r.rel_err * 100.0,
+                    r.predicted_share * 100.0,
+                    r.observed_share * 100.0,
+                    r.share_err * 100.0,
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Serve a Poisson online workload (paper §7) through the plan's cost
+/// profile, so the summary can surface queueing, padding and retry
+/// behavior of the offline plan under live traffic.
+fn run_online(
+    plan: &ExecutionPlan,
+    rate: f64,
+    n_requests: usize,
+    failure_rate: f64,
+    seed: u64,
+) -> Result<llmpq_workload::OnlineStats, String> {
+    let n: usize = plan
+        .cluster
+        .strip_prefix("cluster-")
+        .and_then(|s| s.parse().ok())
+        .filter(|n| (1..=11).contains(n))
+        .ok_or_else(|| format!("--online-rate needs a paper cluster plan, got '{}'", plan.cluster))?;
+    let cluster = paper_cluster(n);
+    let spec = zoo::by_name(&plan.model)
+        .ok_or_else(|| format!("--online-rate needs a zoo model, got '{}'", plan.model))?;
+    let db = CostDb::oracle(&KernelEnv::default());
+    let plan = plan.clone();
+    let batch_cost = move |s: usize, ngen: usize, b: usize| -> f64 {
+        let job = BatchJob { global_batch: b, prompt_len: s, n_generate: ngen };
+        let mut p = plan.clone();
+        p.microbatch.prefill_size = p.microbatch.prefill_size.min(b).max(1);
+        p.microbatch.prefill_count = b.div_ceil(p.microbatch.prefill_size);
+        p.microbatch.decode_size = p.microbatch.decode_size.min(b).max(1);
+        p.microbatch.decode_count = b.div_ceil(p.microbatch.decode_size);
+        let loads = stage_loads(&p, &cluster, &spec, &db, &job);
+        let wl = PipelineWorkload {
+            prefill_microbatches: p.microbatch.prefill_count,
+            decode_microbatches: p.microbatch.decode_count,
+            n_tokens: ngen,
+            master_prefill: 0.0,
+            master_decode: 0.0,
+        };
+        llmpq_sim::simulate_pipeline(&loads, &wl).total_latency
+    };
+    let cfg = OnlineConfig {
+        arrival_rate: rate,
+        n_requests,
+        failure_rate,
+        seed,
+        ..OnlineConfig::default()
+    };
+    Ok(simulate_online(&cfg, &PromptLengthModel::default(), &batch_cost))
 }

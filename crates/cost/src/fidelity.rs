@@ -4,13 +4,19 @@
 //! BLOOM-560m/1b7 and OPT-13b/30b/66b with random shapes and precisions,
 //! latency on 50 unseen workloads per device. This module reproduces the
 //! protocol with the simulator as the "real system".
+//!
+//! [`stage_crosscheck`] extends the protocol to *live runs*: the
+//! telemetry layer (`llmpq-runtime`'s `telemetry` module) observes each
+//! stage's busy time, and the cross-check compares those against
+//! [`predicted_stage_seconds`] from the analytical model, so every
+//! traced pipeline run doubles as a cost-model validation experiment.
 
 use crate::latency::CostDb;
 use crate::memory::stage_memory_bytes;
 use llmpq_cluster::GpuModel;
 use llmpq_model::{ModelSpec, PhaseWorkload};
 use llmpq_quant::Bitwidth;
-use llmpq_sim::{layer_latency, measured_peak_memory, KernelEnv};
+use llmpq_sim::{layer_latency, measured_peak_memory, KernelEnv, PipelineWorkload, StageLoad};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -90,6 +96,83 @@ pub fn latency_fidelity(
     FidelityReport::from_errors(&errs)
 }
 
+/// Predicted vs observed compute time of one pipeline stage.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StageCrosscheck {
+    /// Stage index.
+    pub stage: usize,
+    /// Analytical prediction of the stage's total compute seconds.
+    pub predicted_s: f64,
+    /// Observed busy seconds (from telemetry / stage metrics).
+    pub observed_s: f64,
+    /// `|predicted − observed| / observed` (0 when both are 0).
+    pub rel_err: f64,
+    /// Predicted share of the pipeline's total compute.
+    pub predicted_share: f64,
+    /// Observed share of the pipeline's total compute.
+    pub observed_share: f64,
+    /// `|predicted_share − observed_share|` — the *balance* error, which
+    /// stays meaningful even when the absolute scales differ (e.g. a
+    /// CPU stand-in executing a plan costed for GPUs).
+    pub share_err: f64,
+}
+
+/// Analytical per-stage total compute seconds for one batch job:
+/// `prefill_time × prefill µ-batches + decode_time × decode µ-batches ×
+/// (n − 1)` (the first token comes from prefill logits, the remaining
+/// `n − 1` from decode steps).
+pub fn predicted_stage_seconds(loads: &[StageLoad], wl: &PipelineWorkload) -> Vec<f64> {
+    loads
+        .iter()
+        .map(|l| {
+            l.prefill_time * wl.prefill_microbatches as f64
+                + l.decode_time
+                    * wl.decode_microbatches as f64
+                    * wl.n_tokens.saturating_sub(1) as f64
+        })
+        .collect()
+}
+
+/// Cross-check analytical per-stage compute predictions against
+/// observed busy seconds. Both slices must have the same length; returns
+/// one row per stage plus both error views (absolute relative error and
+/// pipeline-share error — the latter is scale-free, see
+/// [`StageCrosscheck::share_err`]).
+pub fn stage_crosscheck(predicted_s: &[f64], observed_s: &[f64]) -> Vec<StageCrosscheck> {
+    assert_eq!(
+        predicted_s.len(),
+        observed_s.len(),
+        "predicted and observed stage counts must match"
+    );
+    let pred_total: f64 = predicted_s.iter().sum();
+    let obs_total: f64 = observed_s.iter().sum();
+    predicted_s
+        .iter()
+        .zip(observed_s)
+        .enumerate()
+        .map(|(stage, (&p, &o))| {
+            let rel_err = if o > 0.0 {
+                (p - o).abs() / o
+            } else if p > 0.0 {
+                f64::INFINITY
+            } else {
+                0.0
+            };
+            let predicted_share = if pred_total > 0.0 { p / pred_total } else { 0.0 };
+            let observed_share = if obs_total > 0.0 { o / obs_total } else { 0.0 };
+            StageCrosscheck {
+                stage,
+                predicted_s: p,
+                observed_s: o,
+                rel_err,
+                predicted_share,
+                observed_share,
+                share_err: (predicted_share - observed_share).abs(),
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -131,5 +214,54 @@ mod tests {
         assert_eq!(r.n, 3);
         assert!((r.mean_rel_err - 0.02).abs() < 1e-12);
         assert_eq!(r.max_rel_err, 0.03);
+    }
+
+    #[test]
+    fn predicted_stage_seconds_combines_phases() {
+        let loads = vec![
+            StageLoad { prefill_time: 0.5, decode_time: 0.01, comm_prefill: 0.0, comm_decode: 0.0 },
+            StageLoad { prefill_time: 0.2, decode_time: 0.04, comm_prefill: 0.0, comm_decode: 0.0 },
+        ];
+        let wl = PipelineWorkload {
+            prefill_microbatches: 4,
+            decode_microbatches: 2,
+            n_tokens: 11,
+            master_prefill: 0.0,
+            master_decode: 0.0,
+        };
+        let pred = predicted_stage_seconds(&loads, &wl);
+        assert!((pred[0] - (0.5 * 4.0 + 0.01 * 2.0 * 10.0)).abs() < 1e-12);
+        assert!((pred[1] - (0.2 * 4.0 + 0.04 * 2.0 * 10.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crosscheck_exact_match_has_zero_error() {
+        let rows = stage_crosscheck(&[1.0, 3.0], &[1.0, 3.0]);
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert_eq!(r.rel_err, 0.0);
+            assert_eq!(r.share_err, 0.0);
+        }
+        assert!((rows[0].observed_share - 0.25).abs() < 1e-12);
+        assert!((rows[1].predicted_share - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crosscheck_share_error_is_scale_free() {
+        // Prediction 100× off in absolute scale but perfectly balanced:
+        // rel_err is huge, share_err is zero. This is exactly the
+        // CPU-stand-in-vs-GPU-costing situation.
+        let rows = stage_crosscheck(&[100.0, 300.0], &[1.0, 3.0]);
+        assert!(rows.iter().all(|r| r.rel_err > 10.0));
+        assert!(rows.iter().all(|r| r.share_err < 1e-12));
+    }
+
+    #[test]
+    fn crosscheck_handles_zero_observed() {
+        let rows = stage_crosscheck(&[0.0, 1.0], &[0.0, 2.0]);
+        assert_eq!(rows[0].rel_err, 0.0, "0 vs 0 is a perfect match");
+        assert!((rows[1].rel_err - 0.5).abs() < 1e-12);
+        let inf = stage_crosscheck(&[1.0], &[0.0]);
+        assert!(inf[0].rel_err.is_infinite());
     }
 }

@@ -17,7 +17,9 @@
 //!   squares on the profiled samples and interpolating to unseen shapes
 //!   (<6% average error in the paper; reproduced in `fidelity`).
 //! * [`fidelity`] — the Fig 7 harness comparing both models against the
-//!   "real system" (the simulator).
+//!   "real system" (the simulator), plus [`stage_crosscheck`], which
+//!   compares the analytical per-stage predictions against busy times
+//!   *observed* by the runtime's telemetry layer.
 
 pub mod fidelity;
 pub mod latency;
@@ -25,7 +27,10 @@ pub mod memory;
 pub mod profiler;
 pub mod store;
 
-pub use fidelity::{latency_fidelity, memory_fidelity, FidelityReport};
+pub use fidelity::{
+    latency_fidelity, memory_fidelity, predicted_stage_seconds, stage_crosscheck, FidelityReport,
+    StageCrosscheck,
+};
 pub use latency::{CostDb, LatencyModel};
 pub use memory::{stage_memory, stage_memory_bytes, MemoryBreakdown, FRAMEWORK_BYTES};
 pub use profiler::{profile_device, ProfileSample, ProfilerConfig};

@@ -11,7 +11,7 @@
 //!    176b), together with exact per-layer parameter, FLOP and memory-
 //!    operation accounting ([`flops`]). The assigner and the cost models
 //!    consume only this metadata — they never need real weights.
-//! 2. **A real, runnable reference transformer** ([`reference`]) with
+//! 2. **A real, runnable reference transformer** ([`mod@reference`]) with
 //!    pre-allocated KV cache and the two generative phases (prefill and
 //!    decode). It is small enough to run on a laptop but numerically
 //!    faithful: quantization-quality experiments (perplexity vs. bitwidth,

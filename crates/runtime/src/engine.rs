@@ -18,10 +18,11 @@
 
 use crate::fault::{FaultInjector, FaultPlan, Heartbeats};
 use crate::loader::{load_stage_weights, LoaderStats};
+use crate::telemetry::{Span, Telemetry};
 use crate::worker::{run_worker_ctx, MetricsSink, StageMetrics, WorkItem, WorkerCtx, WorkerMsg};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use llm_pq::ExecutionPlan;
-use llmpq_model::{Matrix, RefModel};
+use llm_pq::{ExecutionPlan, StagePlan};
+use llmpq_model::{Matrix, Phase, RefModel};
 use llmpq_quant::Rounding;
 use serde::{Deserialize, Serialize};
 use std::cell::Cell;
@@ -96,6 +97,7 @@ pub(crate) struct AttemptSupervision {
     pub heartbeat_timeout: Option<Duration>,
     pub progress_timeout: Option<Duration>,
     pub tick: Option<Duration>,
+    pub telemetry: Option<Arc<Telemetry>>,
 }
 
 impl AttemptSupervision {
@@ -111,10 +113,18 @@ struct Master<'m> {
     /// Last work-item id received — duplicates are discarded here when
     /// the final stage is the one duplicating.
     last_step: Cell<Option<u64>>,
+    /// Observability hub of this run, if tracing is on.
+    telemetry: Option<Arc<Telemetry>>,
 }
 
 impl<'m> Master<'m> {
-    fn send(&self, item: WorkItem) -> Result<(), RuntimeError> {
+    fn send(&self, mut item: WorkItem) -> Result<(), RuntimeError> {
+        if let Some(t) = &self.telemetry {
+            item.sent_us = t.now_us();
+            if let Some(s0) = t.stage(0) {
+                s0.on_enqueue();
+            }
+        }
         self.to_first
             .send(WorkerMsg::Work(item))
             .map_err(|_| RuntimeError::WorkerDied("first stage unreachable".into()))
@@ -155,15 +165,32 @@ impl<'m> Master<'m> {
     }
 
     /// Logits for the last position of each sequence in a work item.
+    /// Traced as a `"sample"` span on the master's trace thread.
     fn sample_next(&self, item: &WorkItem) -> Vec<(usize, usize)> {
-        item.seqs
+        let start = self.telemetry.as_ref().map(|t| t.now_us());
+        let out: Vec<(usize, usize)> = item
+            .seqs
             .iter()
             .map(|(seq, h)| {
                 let last = Matrix::from_vec(1, h.cols, h.row(h.rows - 1).to_vec());
                 let logits = self.model.project_logits(&last);
                 (*seq, argmax(logits.row(0)))
             })
-            .collect()
+            .collect();
+        if let (Some(t), Some(ts)) = (&self.telemetry, start) {
+            t.add_tokens(out.len() as u64);
+            t.record_span(Span {
+                tid: 0,
+                name: "sample",
+                phase: item.phase,
+                ts_us: ts,
+                dur_us: t.now_us().saturating_sub(ts),
+                step: item.step,
+                microbatch: item.microbatch,
+                bits: Arc::from(""),
+            });
+        }
+        out
     }
 }
 
@@ -183,6 +210,25 @@ pub fn run_pipeline(
     seed: u64,
     faults: Option<&FaultPlan>,
 ) -> Result<RuntimeOutput, RuntimeError> {
+    run_pipeline_observed(checkpoint, plan, prompts, n_generate, rounding, seed, faults, None)
+}
+
+/// [`run_pipeline`] with an attached [`Telemetry`] hub: every stage
+/// records latency histograms, queue depths and lifecycle spans into it,
+/// ready for [`Telemetry::to_chrome_trace`] /
+/// [`Telemetry::metrics_text`] export after the run. Pass
+/// `Telemetry::new(plan.stages.len())`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_pipeline_observed(
+    checkpoint: &RefModel,
+    plan: &ExecutionPlan,
+    prompts: &[Vec<usize>],
+    n_generate: usize,
+    rounding: Rounding,
+    seed: u64,
+    faults: Option<&FaultPlan>,
+    telemetry: Option<Arc<Telemetry>>,
+) -> Result<RuntimeOutput, RuntimeError> {
     validate_inputs(checkpoint, plan, prompts, n_generate, faults)?;
     let start = Instant::now();
     let (stage_weights, loader_stats) = load_all_stages(checkpoint, plan, rounding, seed);
@@ -191,11 +237,20 @@ pub fn run_pipeline(
         Arc::new(parking_lot::Mutex::new(vec![StageMetrics::default(); plan.stages.len()]));
     let sup = AttemptSupervision {
         injector: faults.map(FaultInjector::new),
+        telemetry,
         ..AttemptSupervision::default()
     };
     run_attempt(checkpoint, plan, prompts, &mut tokens, n_generate, &stage_weights, &sup, &sink)?;
     let stage_metrics = sink.lock().clone();
     Ok(RuntimeOutput { tokens, loader_stats, wall_s: start.elapsed().as_secs_f64(), stage_metrics })
+}
+
+/// Comma-joined bitwidth label of a stage's shard (e.g. `"int4,fp16"`),
+/// tagged onto that stage's trace spans.
+pub(crate) fn bits_label(stage: &StagePlan) -> Arc<str> {
+    let joined =
+        stage.bits.iter().map(|b| b.to_string()).collect::<Vec<_>>().join(",");
+    Arc::from(joined.as_str())
 }
 
 /// Like [`run_pipeline`], but recovers from stage-worker failures: on a
@@ -364,6 +419,8 @@ pub(crate) fn run_attempt(
                 injector: sup.injector.clone(),
                 heartbeats: sup.heartbeats.clone(),
                 sink: Some(sink.clone()),
+                telemetry: sup.telemetry.clone(),
+                bits: bits_label(&plan.stages[i]),
                 tick: sup.tick(),
             };
             scope.spawn(move || run_worker_ctx(weights, &ctx, rx, tx));
@@ -371,7 +428,13 @@ pub(crate) fn run_attempt(
         drop(senders);
         drop(receivers);
 
-        let master = Master { model: checkpoint, to_first, from_last, last_step: Cell::new(None) };
+        let master = Master {
+            model: checkpoint,
+            to_first,
+            from_last,
+            last_step: Cell::new(None),
+            telemetry: sup.telemetry.clone(),
+        };
         let mut next_step = 0u64;
         let mut step = || {
             let s = next_step;
@@ -396,7 +459,13 @@ pub(crate) fn run_attempt(
                         (s, master.model.embed_tokens(&full, 0))
                     })
                     .collect();
-                master.send(WorkItem { step: step(), microbatch: mb, seqs })?;
+                master.send(WorkItem {
+                    step: step(),
+                    microbatch: mb,
+                    phase: Phase::Prefill,
+                    sent_us: 0,
+                    seqs,
+                })?;
             }
             for _ in &chunks {
                 let item = master.recv(sup)?;
@@ -419,7 +488,13 @@ pub(crate) fn run_attempt(
                             (s, x)
                         })
                         .collect();
-                    master.send(WorkItem { step: step(), microbatch: mb, seqs })?;
+                    master.send(WorkItem {
+                        step: step(),
+                        microbatch: mb,
+                        phase: Phase::Decode,
+                        sent_us: 0,
+                        seqs,
+                    })?;
                 }
                 for chunk in &dec_chunks {
                     let item = master.recv(sup)?;

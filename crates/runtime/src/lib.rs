@@ -13,7 +13,14 @@
 //! * an **on-the-fly quantizer** that loads checkpoints module by
 //!   module, quantizing each linear operator as it streams in, so the
 //!   staging (CPU-RAM) footprint stays bounded by one module instead of
-//!   the whole model (§5, "On-The-Fly Quantizer").
+//!   the whole model (§5, "On-The-Fly Quantizer");
+//! * a **supervisor** ([`supervisor`]) that detects crashed or hung
+//!   stages via heartbeats and restarts or replans the pipeline, with
+//!   deterministic fault injection ([`fault`]) for resilience tests;
+//! * a **telemetry hub** ([`telemetry`]) of lock-free per-stage metric
+//!   recorders (latency histograms, queue depths, KV occupancy, restart
+//!   counters) and span-style micro-batch lifecycle traces, exportable
+//!   as a Chrome `trace_event` JSON or a plain-text metrics snapshot.
 //!
 //! The runtime executes the *real* reference transformer: its tokens are
 //! bit-identical to single-threaded execution of the same quantized
@@ -23,14 +30,20 @@ pub mod engine;
 pub mod fault;
 pub mod loader;
 pub mod supervisor;
+pub mod telemetry;
 pub mod worker;
 
-pub use engine::{run_pipeline, run_pipeline_recoverable, RuntimeError, RuntimeOutput};
+pub use engine::{
+    run_pipeline, run_pipeline_observed, run_pipeline_recoverable, RuntimeError, RuntimeOutput,
+};
 pub use fault::{FaultAction, FaultEvent, FaultInjector, FaultKind, FaultPlan, Heartbeats};
 pub use loader::{load_stage_weights, LoaderStats, OnTheFlyQuantizer};
 pub use supervisor::{
-    run_pipeline_supervised, FoldReplanner, RecoveryAction, RecoveryEvent, RecoveryPolicy,
-    Replanner, SupervisedOutput, SupervisorConfig,
+    run_pipeline_supervised, run_pipeline_supervised_observed, FoldReplanner, RecoveryAction,
+    RecoveryEvent, RecoveryPolicy, Replanner, SupervisedOutput, SupervisorConfig,
+};
+pub use telemetry::{
+    HistogramSnapshot, LatencyHistogram, Span, StageRecorder, Telemetry,
 };
 pub use worker::{
     run_worker, run_worker_ctx, MetricsSink, StageMetrics, StageSpec, WorkItem, WorkerCtx,

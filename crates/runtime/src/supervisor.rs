@@ -28,6 +28,7 @@ use crate::engine::{
     RuntimeError, RuntimeOutput,
 };
 use crate::fault::{FaultInjector, FaultPlan, Heartbeats};
+use crate::telemetry::Telemetry;
 use crate::worker::{MetricsSink, StageMetrics};
 use llm_pq::{ExecutionPlan, StagePlan};
 use llmpq_model::RefModel;
@@ -203,6 +204,30 @@ pub fn run_pipeline_supervised(
     faults: Option<&FaultPlan>,
     replanner: Option<&dyn Replanner>,
 ) -> Result<SupervisedOutput, RuntimeError> {
+    run_pipeline_supervised_observed(
+        checkpoint, plan, prompts, n_generate, rounding, seed, cfg, faults, replanner, None,
+    )
+}
+
+/// [`run_pipeline_supervised`] with an attached
+/// [`Telemetry`] hub: besides the per-stage recorders and spans of
+/// [`crate::run_pipeline_observed`], the supervisor feeds its restart and
+/// replan decisions into the hub's counters (a hung stage's restarts are
+/// attributed to that stage). Pass `Telemetry::new(plan.stages.len())` —
+/// replans only ever shrink the pipeline, so the recorders stay in range.
+#[allow(clippy::too_many_arguments)]
+pub fn run_pipeline_supervised_observed(
+    checkpoint: &RefModel,
+    plan: &ExecutionPlan,
+    prompts: &[Vec<usize>],
+    n_generate: usize,
+    rounding: Rounding,
+    seed: u64,
+    cfg: &SupervisorConfig,
+    faults: Option<&FaultPlan>,
+    replanner: Option<&dyn Replanner>,
+    telemetry: Option<Arc<Telemetry>>,
+) -> Result<SupervisedOutput, RuntimeError> {
     validate_inputs(checkpoint, plan, prompts, n_generate, faults)?;
     let start = std::time::Instant::now();
     let injector = faults.map(FaultInjector::new);
@@ -227,6 +252,7 @@ pub fn run_pipeline_supervised(
             heartbeat_timeout: Some(Duration::from_millis(cfg.heartbeat_timeout_ms)),
             progress_timeout: Some(Duration::from_millis(cfg.progress_timeout_ms)),
             tick: Some(Duration::from_millis(cfg.tick_ms.max(1))),
+            telemetry: telemetry.clone(),
         };
         match run_attempt(checkpoint, &current_plan, prompts, &mut tokens, n_generate, &stage_weights, &sup, &sink)
         {
@@ -305,6 +331,18 @@ pub fn run_pipeline_supervised(
                     std::thread::sleep(backoff);
                     RecoveryAction::Restart { backoff_ms: backoff.as_millis() as u64 }
                 };
+                if let Some(t) = &telemetry {
+                    // A hung stage's restart is attributed to it; other
+                    // failures only bump the global counter.
+                    let failed_stage = match &e {
+                        RuntimeError::StageHung(s) => Some(*s),
+                        _ => None,
+                    };
+                    t.note_restart(failed_stage);
+                    if matches!(action, RecoveryAction::Replan { .. }) {
+                        t.note_replan();
+                    }
+                }
                 events.push(RecoveryEvent {
                     attempt,
                     error: e.to_string(),

@@ -1,0 +1,777 @@
+//! Per-stage observability for the pipeline runtime.
+//!
+//! The paper evaluates its runtime through end-to-end latency and
+//! throughput tables only (Tables 4–8); a production pipeline needs
+//! *per-stage* visibility to find stragglers, validate the §4.1 cost
+//! model against observed stage times, and feed the
+//! [`supervisor`](crate::supervisor) real signals instead of heartbeats
+//! alone. This module provides that layer:
+//!
+//! * **Lock-free metric recorders** ([`StageRecorder`]) — one per
+//!   pipeline stage, holding log-bucketed latency histograms
+//!   ([`LatencyHistogram`], p50/p95/p99 per phase), input-queue depth
+//!   gauges with peak tracking, KV-cache occupancy, item/sequence
+//!   counters and busy time. All counters are plain atomics, so workers
+//!   never contend on a lock in the hot path.
+//! * **Span-style structured tracing** ([`Span`]) of every micro-batch's
+//!   lifecycle through every stage — `wait` (enqueue → dequeue),
+//!   `compute`, and `send` — tagged with the generative phase
+//!   (prefill/decode), the stage's bitwidths, and the global step id.
+//! * **Two exporters**: [`Telemetry::to_chrome_trace`] emits Chrome
+//!   `trace_event` JSON loadable in `chrome://tracing` or
+//!   [Perfetto](https://ui.perfetto.dev), and
+//!   [`Telemetry::metrics_text`] renders a plain-text snapshot with
+//!   per-stage percentiles, throughput, and the supervisor's restart and
+//!   replan counters.
+//!
+//! The cost-model cross-check that compares these observed stage times
+//! against the analytical prediction lives in `llmpq-cost`
+//! (`fidelity::stage_crosscheck`), keeping this crate free of the cost
+//! models; `llmpq-dist --trace-out/--metrics-out` wires the two
+//! together so every distributed run doubles as a cost-model fidelity
+//! experiment.
+
+use llmpq_model::Phase;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Number of power-of-two latency buckets: bucket 0 holds `0 µs`,
+/// bucket `k ≥ 1` holds `[2^(k-1), 2^k)` µs. 40 buckets cover up to
+/// ~2^39 µs ≈ 6 days, far beyond any run.
+const N_BUCKETS: usize = 40;
+
+/// A lock-free latency histogram over power-of-two microsecond buckets.
+///
+/// Recording is a handful of relaxed atomic adds; percentile queries
+/// ([`LatencyHistogram::percentile`]) interpolate within the winning
+/// bucket and clamp to the exact observed `[min, max]`, so single-sample
+/// histograms report the sample itself. Querying while writers are
+/// active yields a slightly stale but internally consistent-enough
+/// snapshot (the exporters run after the pipeline drains).
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; N_BUCKETS],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+    min_us: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+            min_us: AtomicU64::new(u64::MAX),
+            max_us: AtomicU64::new(0),
+        }
+    }
+}
+
+/// An immutable copy of a histogram's state, on which the percentile
+/// math runs. Snapshots of different histograms can be merged to get
+/// all-phase percentiles from per-phase recorders.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    buckets: [u64; N_BUCKETS],
+    /// Total recorded samples.
+    pub count: u64,
+    /// Sum of all recorded values, µs.
+    pub sum_us: u64,
+    /// Smallest recorded value, µs (`u64::MAX` when empty).
+    pub min_us: u64,
+    /// Largest recorded value, µs (0 when empty).
+    pub max_us: u64,
+}
+
+fn bucket_of(us: u64) -> usize {
+    if us == 0 {
+        0
+    } else {
+        ((64 - us.leading_zeros()) as usize).min(N_BUCKETS - 1)
+    }
+}
+
+/// Inclusive value range covered by bucket `b`.
+fn bucket_bounds(b: usize) -> (u64, u64) {
+    if b == 0 {
+        (0, 0)
+    } else {
+        let lo = 1u64 << (b - 1);
+        let hi = if b == N_BUCKETS - 1 { u64::MAX } else { (1u64 << b) - 1 };
+        (lo, hi)
+    }
+}
+
+impl LatencyHistogram {
+    /// Fresh, empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one latency sample in microseconds. Lock-free.
+    pub fn record(&self, us: u64) {
+        self.buckets[bucket_of(us)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.min_us.fetch_min(us, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Copy the current state for percentile queries and merging.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; N_BUCKETS];
+        for (dst, src) in buckets.iter_mut().zip(&self.buckets) {
+            *dst = src.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            buckets,
+            count: self.count.load(Ordering::Relaxed),
+            sum_us: self.sum_us.load(Ordering::Relaxed),
+            min_us: self.min_us.load(Ordering::Relaxed),
+            max_us: self.max_us.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Percentile in microseconds; see [`HistogramSnapshot::percentile`].
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        self.snapshot().percentile(p)
+    }
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot (identity for [`HistogramSnapshot::merge`]).
+    pub fn empty() -> Self {
+        Self { buckets: [0; N_BUCKETS], count: 0, sum_us: 0, min_us: u64::MAX, max_us: 0 }
+    }
+
+    /// Combine two snapshots (e.g. prefill + decode → all phases).
+    pub fn merge(&self, other: &Self) -> Self {
+        let mut buckets = [0u64; N_BUCKETS];
+        for (i, b) in buckets.iter_mut().enumerate() {
+            *b = self.buckets[i] + other.buckets[i];
+        }
+        Self {
+            buckets,
+            count: self.count + other.count,
+            sum_us: self.sum_us + other.sum_us,
+            min_us: self.min_us.min(other.min_us),
+            max_us: self.max_us.max(other.max_us),
+        }
+    }
+
+    /// Estimate the `p`-th percentile (`p ∈ [0, 1]`) in microseconds.
+    ///
+    /// Returns `None` for an empty histogram. The estimate interpolates
+    /// linearly inside the winning power-of-two bucket and is clamped to
+    /// the exact observed `[min, max]`, so a single-sample histogram
+    /// returns that sample exactly, for every `p`.
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let p = p.clamp(0.0, 1.0);
+        // 1-based rank of the order statistic we want.
+        let rank = ((p * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (b, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if rank <= seen + c {
+                let (lo, hi) = bucket_bounds(b);
+                let within = (rank - seen) as f64 / c as f64; // (0, 1]
+                let est = lo as f64 + (hi.saturating_sub(lo)) as f64 * within;
+                return Some(est.clamp(self.min_us as f64, self.max_us as f64));
+            }
+            seen += c;
+        }
+        // Unreachable when counters are consistent; fall back to max.
+        Some(self.max_us as f64)
+    }
+
+    /// Mean of the recorded samples, µs.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum_us as f64 / self.count as f64)
+    }
+}
+
+/// Lock-free per-stage metric recorder.
+///
+/// One lives per pipeline stage inside a [`Telemetry`]; the stage's
+/// worker thread updates it with relaxed atomics on every work item.
+#[derive(Debug)]
+pub struct StageRecorder {
+    /// Compute latency of prefill work items.
+    pub prefill_latency: LatencyHistogram,
+    /// Compute latency of decode work items.
+    pub decode_latency: LatencyHistogram,
+    /// Items currently sitting in (or in flight toward) this stage's
+    /// input queue.
+    queue_depth: AtomicI64,
+    /// High-water mark of `queue_depth`.
+    queue_peak: AtomicI64,
+    /// Work items processed.
+    items: AtomicU64,
+    /// Sequence-forwards executed (items × sequences per item).
+    seq_forwards: AtomicU64,
+    /// Busy time, µs (compute only, excludes channel waits).
+    busy_us: AtomicU64,
+    /// Current KV-cache occupancy: cached positions summed over every
+    /// in-flight sequence × local layers.
+    kv_entries: AtomicU64,
+    /// Times the supervisor restarted an attempt after this stage was
+    /// implicated in a failure.
+    restarts: AtomicU64,
+}
+
+impl Default for StageRecorder {
+    fn default() -> Self {
+        Self {
+            prefill_latency: LatencyHistogram::new(),
+            decode_latency: LatencyHistogram::new(),
+            queue_depth: AtomicI64::new(0),
+            queue_peak: AtomicI64::new(0),
+            items: AtomicU64::new(0),
+            seq_forwards: AtomicU64::new(0),
+            busy_us: AtomicU64::new(0),
+            kv_entries: AtomicU64::new(0),
+            restarts: AtomicU64::new(0),
+        }
+    }
+}
+
+impl StageRecorder {
+    /// A work item was sent toward this stage.
+    pub fn on_enqueue(&self) {
+        let d = self.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.queue_peak.fetch_max(d, Ordering::Relaxed);
+    }
+
+    /// The stage's worker picked an item off its input queue.
+    pub fn on_dequeue(&self) {
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// The worker finished computing an item: record its latency under
+    /// the right phase histogram and bump the work counters.
+    pub fn on_compute(&self, phase: Phase, compute_us: u64, n_seqs: usize) {
+        match phase {
+            Phase::Prefill => self.prefill_latency.record(compute_us),
+            Phase::Decode => self.decode_latency.record(compute_us),
+        }
+        self.items.fetch_add(1, Ordering::Relaxed);
+        self.seq_forwards.fetch_add(n_seqs as u64, Ordering::Relaxed);
+        self.busy_us.fetch_add(compute_us, Ordering::Relaxed);
+    }
+
+    /// Update the KV-occupancy gauge (cached positions × local layers).
+    pub fn set_kv_entries(&self, entries: u64) {
+        self.kv_entries.store(entries, Ordering::Relaxed);
+    }
+
+    /// Count one supervisor restart against this stage.
+    pub fn on_restart(&self) {
+        self.restarts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Work items processed.
+    pub fn items(&self) -> u64 {
+        self.items.load(Ordering::Relaxed)
+    }
+
+    /// Sequence-forwards executed.
+    pub fn seq_forwards(&self) -> u64 {
+        self.seq_forwards.load(Ordering::Relaxed)
+    }
+
+    /// Busy (compute) seconds.
+    pub fn busy_s(&self) -> f64 {
+        self.busy_us.load(Ordering::Relaxed) as f64 / 1e6
+    }
+
+    /// High-water mark of the input queue depth.
+    pub fn queue_peak(&self) -> u64 {
+        self.queue_peak.load(Ordering::Relaxed).max(0) as u64
+    }
+
+    /// Current KV-cache occupancy gauge.
+    pub fn kv_entries(&self) -> u64 {
+        self.kv_entries.load(Ordering::Relaxed)
+    }
+
+    /// Supervisor restarts attributed to this stage.
+    pub fn restarts(&self) -> u64 {
+        self.restarts.load(Ordering::Relaxed)
+    }
+
+    /// Combined prefill + decode latency distribution.
+    pub fn latency_all(&self) -> HistogramSnapshot {
+        self.prefill_latency.snapshot().merge(&self.decode_latency.snapshot())
+    }
+}
+
+/// One traced interval of a micro-batch's lifecycle on one pipeline
+/// actor (the master, or a stage worker).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Span {
+    /// Trace thread id: 0 is the master, stage *s* is `s + 1`.
+    pub tid: usize,
+    /// Interval kind: `"wait"` (enqueue → dequeue), `"compute"`,
+    /// `"send"`, or `"sample"` (master-side logits + sampling).
+    pub name: &'static str,
+    /// Generative phase of the work item.
+    pub phase: Phase,
+    /// Start, µs since the telemetry epoch.
+    pub ts_us: u64,
+    /// Duration, µs.
+    pub dur_us: u64,
+    /// Global step id of the work item.
+    pub step: u64,
+    /// Micro-batch id of the work item.
+    pub microbatch: usize,
+    /// Bitwidths of the stage that produced the span (empty for the
+    /// master).
+    pub bits: Arc<str>,
+}
+
+impl Span {
+    /// Pipeline stage this span ran on (`None` for the master).
+    pub fn stage(&self) -> Option<usize> {
+        self.tid.checked_sub(1)
+    }
+}
+
+/// Shared observability hub for one pipeline run (plus its supervised
+/// restarts). Create with [`Telemetry::new`], pass to
+/// `run_pipeline_observed` / `run_pipeline_supervised_observed`, then
+/// export with [`Telemetry::to_chrome_trace`] and
+/// [`Telemetry::metrics_text`].
+#[derive(Debug)]
+pub struct Telemetry {
+    epoch: Instant,
+    stages: Vec<StageRecorder>,
+    spans: Mutex<Vec<Span>>,
+    restarts: AtomicU64,
+    replans: AtomicU64,
+    retried_batches: AtomicU64,
+    tokens: AtomicU64,
+}
+
+impl Telemetry {
+    /// Telemetry for a pipeline of `n_stages` stages. Replanning after
+    /// device loss only ever *shrinks* the pipeline, so the initial
+    /// stage count is the high-water mark.
+    pub fn new(n_stages: usize) -> Arc<Self> {
+        Arc::new(Self {
+            epoch: Instant::now(),
+            stages: (0..n_stages).map(|_| StageRecorder::default()).collect(),
+            spans: Mutex::new(Vec::new()),
+            restarts: AtomicU64::new(0),
+            replans: AtomicU64::new(0),
+            retried_batches: AtomicU64::new(0),
+            tokens: AtomicU64::new(0),
+        })
+    }
+
+    /// Microseconds elapsed since this telemetry was created.
+    pub fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Number of stage recorders.
+    pub fn n_stages(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// The recorder of stage `i`, if in range.
+    pub fn stage(&self, i: usize) -> Option<&StageRecorder> {
+        self.stages.get(i)
+    }
+
+    /// Append a span to the trace.
+    pub fn record_span(&self, span: Span) {
+        self.spans.lock().push(span);
+    }
+
+    /// Copy of all spans recorded so far.
+    pub fn spans(&self) -> Vec<Span> {
+        self.spans.lock().clone()
+    }
+
+    /// Count one supervisor restart (optionally against the stage the
+    /// failure implicated).
+    pub fn note_restart(&self, stage: Option<usize>) {
+        self.restarts.fetch_add(1, Ordering::Relaxed);
+        if let Some(s) = stage.and_then(|s| self.stages.get(s)) {
+            s.on_restart();
+        }
+    }
+
+    /// Count one replan-on-device-loss.
+    pub fn note_replan(&self) {
+        self.replans.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one retried batch (online serving; see
+    /// `llmpq_workload::OnlineStats::retried`).
+    pub fn note_retried_batch(&self) {
+        self.retried_batches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count generated tokens (for tokens/s in the snapshot).
+    pub fn add_tokens(&self, n: u64) {
+        self.tokens.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Supervisor restarts observed so far.
+    pub fn restarts(&self) -> u64 {
+        self.restarts.load(Ordering::Relaxed)
+    }
+
+    /// Replans observed so far.
+    pub fn replans(&self) -> u64 {
+        self.replans.load(Ordering::Relaxed)
+    }
+
+    /// Retried batches observed so far.
+    pub fn retried_batches(&self) -> u64 {
+        self.retried_batches.load(Ordering::Relaxed)
+    }
+
+    /// Generated tokens observed so far.
+    pub fn tokens(&self) -> u64 {
+        self.tokens.load(Ordering::Relaxed)
+    }
+
+    /// Spans grouped per trace thread, sorted by start time, with
+    /// overlaps from µs rounding clamped away — the invariant the trace
+    /// tests assert: per tid, spans are monotonically ordered and
+    /// non-overlapping.
+    pub fn ordered_spans(&self) -> Vec<(usize, Vec<Span>)> {
+        let spans = self.spans.lock();
+        let mut tids: Vec<usize> = spans.iter().map(|s| s.tid).collect();
+        tids.sort_unstable();
+        tids.dedup();
+        tids.into_iter()
+            .map(|tid| {
+                let mut row: Vec<Span> = spans.iter().filter(|s| s.tid == tid).cloned().collect();
+                row.sort_by_key(|s| (s.ts_us, s.step));
+                let mut prev_end = 0u64;
+                for s in &mut row {
+                    if s.ts_us < prev_end {
+                        s.ts_us = prev_end;
+                    }
+                    prev_end = s.ts_us + s.dur_us;
+                }
+                (tid, row)
+            })
+            .collect()
+    }
+
+    /// Export the trace as Chrome `trace_event` JSON (the "JSON Array
+    /// Format" with a `traceEvents` wrapper), loadable in
+    /// `chrome://tracing` and Perfetto. Complete `"ph":"X"` duration
+    /// events; one metadata event names each thread.
+    pub fn to_chrome_trace(&self) -> String {
+        let rows = self.ordered_spans();
+        let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+        let mut first = true;
+        let mut push = |out: &mut String, ev: String| {
+            if !std::mem::take(&mut first) {
+                out.push(',');
+            }
+            out.push('\n');
+            out.push_str(&ev);
+        };
+        for (tid, row) in &rows {
+            let tname = match tid {
+                0 => "master".to_string(),
+                t => format!("stage {}", t - 1),
+            };
+            push(
+                &mut out,
+                format!(
+                    "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":0,\"tid\":{tid},\"args\":{{\"name\":\"{tname}\"}}}}"
+                ),
+            );
+            for s in row {
+                push(
+                    &mut out,
+                    format!(
+                        "{{\"ph\":\"X\",\"name\":\"{}\",\"cat\":\"{}\",\"pid\":0,\"tid\":{},\"ts\":{},\"dur\":{},\"args\":{{\"step\":{},\"microbatch\":{},\"phase\":\"{}\",\"bits\":\"{}\"}}}}",
+                        s.name,
+                        s.phase.name(),
+                        s.tid,
+                        s.ts_us,
+                        s.dur_us,
+                        s.step,
+                        s.microbatch,
+                        s.phase.name(),
+                        s.bits,
+                    ),
+                );
+            }
+        }
+        out.push_str("\n]}");
+        out
+    }
+
+    /// Render the plain-text metrics snapshot: wall clock, tokens/s,
+    /// restart/replan/retry counters, and per-stage p50/p95/p99 latency
+    /// (overall and per phase), queue peaks and KV occupancy.
+    pub fn metrics_text(&self) -> String {
+        let wall_s = self.epoch.elapsed().as_secs_f64();
+        let tokens = self.tokens();
+        let mut out = String::from("# llmpq runtime telemetry snapshot\n");
+        out.push_str(&format!("wall_s: {wall_s:.4}\n"));
+        out.push_str(&format!("tokens: {tokens}\n"));
+        out.push_str(&format!(
+            "tokens_per_s: {:.2}\n",
+            if wall_s > 0.0 { tokens as f64 / wall_s } else { 0.0 }
+        ));
+        out.push_str(&format!("restarts: {}\n", self.restarts()));
+        out.push_str(&format!("replans: {}\n", self.replans()));
+        out.push_str(&format!("retried_batches: {}\n", self.retried_batches()));
+        let fmt_hist = |label: &str, h: &HistogramSnapshot| -> String {
+            match h.percentile(0.5) {
+                None => format!("  latency_us {label}: (no samples)\n"),
+                Some(p50) => format!(
+                    "  latency_us {label}: p50={:.0} p95={:.0} p99={:.0} mean={:.0} max={}\n",
+                    p50,
+                    h.percentile(0.95).unwrap_or(0.0),
+                    h.percentile(0.99).unwrap_or(0.0),
+                    h.mean().unwrap_or(0.0),
+                    h.max_us,
+                ),
+            }
+        };
+        for (i, s) in self.stages.iter().enumerate() {
+            out.push_str(&format!(
+                "stage {i}: items={} seq_forwards={} busy_s={:.4} queue_peak={} kv_entries={} restarts={}\n",
+                s.items(),
+                s.seq_forwards(),
+                s.busy_s(),
+                s.queue_peak(),
+                s.kv_entries(),
+                s.restarts(),
+            ));
+            out.push_str(&fmt_hist("all", &s.latency_all()));
+            out.push_str(&fmt_hist("prefill", &s.prefill_latency.snapshot()));
+            out.push_str(&fmt_hist("decode", &s.decode_latency.snapshot()));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_has_no_percentiles() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.percentile(0.5), None);
+        assert_eq!(h.percentile(0.0), None);
+        assert_eq!(h.percentile(1.0), None);
+        assert_eq!(h.snapshot().mean(), None);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        let h = LatencyHistogram::new();
+        h.record(1234);
+        for p in [0.0, 0.01, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.percentile(p), Some(1234.0), "p={p}");
+        }
+        assert_eq!(h.snapshot().mean(), Some(1234.0));
+    }
+
+    #[test]
+    fn zero_latency_lands_in_bucket_zero() {
+        let h = LatencyHistogram::new();
+        h.record(0);
+        assert_eq!(h.percentile(0.5), Some(0.0));
+        let s = h.snapshot();
+        assert_eq!((s.min_us, s.max_us), (0, 0));
+    }
+
+    #[test]
+    fn percentiles_are_monotone_and_bounded() {
+        let h = LatencyHistogram::new();
+        for v in [3u64, 17, 90, 160, 900, 4_000, 22_000, 100_000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let mut prev = 0.0f64;
+        for p in [0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0] {
+            let v = s.percentile(p).unwrap();
+            assert!(v >= prev, "p{p}: {v} < {prev}");
+            assert!(v >= s.min_us as f64 && v <= s.max_us as f64);
+            prev = v;
+        }
+        // The p100 estimate must sit in the max's bucket (within 2× of
+        // the true max, the log-bucket resolution).
+        assert!(s.percentile(1.0).unwrap() >= 100_000.0 / 2.0);
+    }
+
+    #[test]
+    fn uniform_samples_give_sane_median() {
+        // 100 samples of exactly 1000 µs: every percentile is within the
+        // [512, 1023] bucket, clamped to the exact observed bounds.
+        let h = LatencyHistogram::new();
+        for _ in 0..100 {
+            h.record(1000);
+        }
+        assert_eq!(h.percentile(0.5), Some(1000.0));
+        assert_eq!(h.percentile(0.99), Some(1000.0));
+    }
+
+    #[test]
+    fn skewed_samples_separate_p50_from_p99() {
+        // 98 fast samples and 2 slow ones: p50 stays fast, p99 slow.
+        let h = LatencyHistogram::new();
+        for _ in 0..98 {
+            h.record(100);
+        }
+        h.record(50_000);
+        h.record(60_000);
+        let p50 = h.percentile(0.5).unwrap();
+        let p99 = h.percentile(0.99).unwrap();
+        assert_eq!(p50, 100.0);
+        assert!(p99 >= 32_768.0, "p99 must land in the slow tail, got {p99}");
+    }
+
+    #[test]
+    fn merge_combines_distributions() {
+        let a = LatencyHistogram::new();
+        let b = LatencyHistogram::new();
+        for _ in 0..10 {
+            a.record(100);
+            b.record(10_000);
+        }
+        let m = a.snapshot().merge(&b.snapshot());
+        assert_eq!(m.count, 20);
+        assert_eq!(m.min_us, 100);
+        assert_eq!(m.max_us, 10_000);
+        assert!(m.percentile(0.25).unwrap() <= 127.0);
+        assert!(m.percentile(0.95).unwrap() >= 8192.0);
+    }
+
+    #[test]
+    fn bucket_bounds_partition_the_axis() {
+        // Every value belongs to exactly the bucket whose bounds contain
+        // it.
+        for v in [0u64, 1, 2, 3, 4, 7, 8, 1023, 1024, u64::MAX / 2] {
+            let b = bucket_of(v);
+            let (lo, hi) = bucket_bounds(b);
+            assert!(v >= lo && v <= hi, "{v} not in bucket {b} [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn stage_recorder_tracks_queue_peak() {
+        let r = StageRecorder::default();
+        r.on_enqueue();
+        r.on_enqueue();
+        r.on_enqueue();
+        r.on_dequeue();
+        r.on_enqueue();
+        assert_eq!(r.queue_peak(), 3);
+    }
+
+    #[test]
+    fn recorder_routes_phases_to_their_histograms() {
+        let r = StageRecorder::default();
+        r.on_compute(Phase::Prefill, 500, 2);
+        r.on_compute(Phase::Decode, 50, 2);
+        r.on_compute(Phase::Decode, 60, 2);
+        assert_eq!(r.prefill_latency.count(), 1);
+        assert_eq!(r.decode_latency.count(), 2);
+        assert_eq!(r.items(), 3);
+        assert_eq!(r.seq_forwards(), 6);
+        assert!((r.busy_s() - 610e-6).abs() < 1e-12);
+        assert_eq!(r.latency_all().count, 3);
+    }
+
+    #[test]
+    fn ordered_spans_sort_and_declamp_overlaps() {
+        let tel = Telemetry::new(1);
+        let span = |ts, dur, step| Span {
+            tid: 1,
+            name: "compute",
+            phase: Phase::Decode,
+            ts_us: ts,
+            dur_us: dur,
+            step,
+            microbatch: 0,
+            bits: Arc::from("int8"),
+        };
+        tel.record_span(span(100, 50, 2));
+        tel.record_span(span(0, 120, 1)); // overlaps the first by 20 µs
+        let rows = tel.ordered_spans();
+        assert_eq!(rows.len(), 1);
+        let row = &rows[0].1;
+        assert_eq!(row[0].ts_us, 0);
+        assert_eq!(row[1].ts_us, 120, "clamped to the previous span's end");
+        assert!(row[0].ts_us + row[0].dur_us <= row[1].ts_us);
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_thread_names() {
+        let tel = Telemetry::new(2);
+        tel.record_span(Span {
+            tid: 1,
+            name: "compute",
+            phase: Phase::Prefill,
+            ts_us: 10,
+            dur_us: 40,
+            step: 0,
+            microbatch: 0,
+            bits: Arc::from("int4,fp16"),
+        });
+        let json = tel.to_chrome_trace();
+        let v = serde_json::parse_value(&json).expect("valid JSON");
+        let serde::Value::Obj(pairs) = v else { panic!("object expected") };
+        let events = pairs
+            .iter()
+            .find(|(k, _)| k == "traceEvents")
+            .map(|(_, v)| v)
+            .expect("traceEvents key");
+        let serde::Value::Arr(evs) = events else { panic!("array expected") };
+        assert_eq!(evs.len(), 2, "one metadata + one X event");
+    }
+
+    #[test]
+    fn metrics_text_reports_percentiles_and_counters() {
+        let tel = Telemetry::new(1);
+        tel.stage(0).unwrap().on_compute(Phase::Decode, 777, 1);
+        tel.add_tokens(42);
+        tel.note_restart(Some(0));
+        tel.note_replan();
+        let text = tel.metrics_text();
+        assert!(text.contains("p50=777"), "{text}");
+        assert!(text.contains("p95=777") && text.contains("p99=777"));
+        assert!(text.contains("tokens: 42"));
+        assert!(text.contains("restarts: 1"));
+        assert!(text.contains("replans: 1"));
+        assert!(text.contains("latency_us prefill: (no samples)"));
+    }
+
+    #[test]
+    fn restart_attribution_is_bounds_checked() {
+        let tel = Telemetry::new(1);
+        tel.note_restart(Some(7)); // out of range: global counter only
+        assert_eq!(tel.restarts(), 1);
+        assert_eq!(tel.stage(0).unwrap().restarts(), 0);
+    }
+}

@@ -4,7 +4,7 @@
 //!
 //! Workers are supervised: they receive with a bounded timeout so they
 //! can stamp a heartbeat even while idle, consult the shared
-//! [`FaultInjector`](crate::fault::FaultInjector) before every item, and
+//! [`FaultInjector`] before every item, and
 //! deduplicate items by their global `step` id so a duplicated channel
 //! message cannot corrupt the KV caches. Protocol violations (e.g. a
 //! sequence id outside the batch) are answered with a
@@ -12,8 +12,9 @@
 //! master instead of panicking the thread.
 
 use crate::fault::{FaultAction, FaultInjector, Heartbeats};
+use crate::telemetry::{Span, Telemetry};
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
-use llmpq_model::{forward_layer_alibi, KvCache, LayerWeights, Matrix};
+use llmpq_model::{forward_layer_alibi, KvCache, LayerWeights, Matrix, Phase};
 use llmpq_quant::Bitwidth;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
@@ -52,6 +53,12 @@ pub struct WorkItem {
     pub step: u64,
     /// Micro-batch id (for bookkeeping/tracing).
     pub microbatch: usize,
+    /// Generative phase of this item (tags telemetry spans and routes
+    /// latency samples to the per-phase histograms).
+    pub phase: Phase,
+    /// Send timestamp, µs since the telemetry epoch (0 when telemetry is
+    /// off); the receiving stage derives its queue-wait span from it.
+    pub sent_us: u64,
     /// `(sequence id, hidden states)` pairs.
     pub seqs: Vec<(usize, Matrix)>,
 }
@@ -90,6 +97,12 @@ pub struct WorkerCtx {
     pub heartbeats: Option<Arc<Heartbeats>>,
     /// Metrics sink, if metrics are collected.
     pub sink: Option<MetricsSink>,
+    /// Observability hub, if this run is traced (see
+    /// [`crate::telemetry`]).
+    pub telemetry: Option<Arc<Telemetry>>,
+    /// Bitwidth label of this stage's shard (e.g. `"int4,int8"`), tagged
+    /// onto trace spans.
+    pub bits: Arc<str>,
     /// Receive-timeout granularity: how often an idle worker wakes to
     /// heartbeat and check the abort flag.
     pub tick: Duration,
@@ -108,6 +121,8 @@ impl WorkerCtx {
             injector: None,
             heartbeats: None,
             sink: None,
+            telemetry: None,
+            bits: Arc::from(""),
             tick: Duration::from_millis(5),
         }
     }
@@ -183,6 +198,11 @@ pub fn run_worker_ctx(
                 let _ = output.send(WorkerMsg::Protocol(e));
             }
             WorkerMsg::Work(mut item) => {
+                let tel = ctx.telemetry.as_deref();
+                let rec = tel.and_then(|t| t.stage(ctx.stage));
+                if let Some(r) = rec {
+                    r.on_dequeue();
+                }
                 if last_step == Some(item.step) {
                     // Duplicated channel message: already processed.
                     continue;
@@ -221,6 +241,21 @@ pub fn run_worker_ctx(
                     FaultAction::None => {}
                 }
                 last_step = Some(item.step);
+                if let Some(t) = tel {
+                    // Queue-wait span: send stamp → dequeue.
+                    let now = t.now_us();
+                    t.record_span(Span {
+                        tid: ctx.stage + 1,
+                        name: "wait",
+                        phase: item.phase,
+                        ts_us: item.sent_us.min(now),
+                        dur_us: now.saturating_sub(item.sent_us),
+                        step: item.step,
+                        microbatch: item.microbatch,
+                        bits: ctx.bits.clone(),
+                    });
+                }
+                let compute_start = tel.map(|t| t.now_us());
                 let t0 = std::time::Instant::now();
                 for (seq, x) in item.seqs.iter_mut() {
                     let mut h = x.clone();
@@ -237,13 +272,57 @@ pub fn run_worker_ctx(
                 }
                 metrics.items += 1;
                 metrics.busy_s += elapsed.as_secs_f64() * slowdown;
+                if let (Some(t), Some(start)) = (tel, compute_start) {
+                    let dur = t.now_us().saturating_sub(start);
+                    if let Some(r) = rec {
+                        r.on_compute(item.phase, dur, item.seqs.len());
+                        // KV occupancy: cached positions summed over
+                        // every sequence × local layers.
+                        let positions: u64 = caches.iter().map(|c| c.len() as u64).sum();
+                        r.set_kv_entries(positions * n_local as u64);
+                    }
+                    t.record_span(Span {
+                        tid: ctx.stage + 1,
+                        name: "compute",
+                        phase: item.phase,
+                        ts_us: start,
+                        dur_us: dur,
+                        step: item.step,
+                        microbatch: item.microbatch,
+                        bits: ctx.bits.clone(),
+                    });
+                }
                 flush(&metrics);
                 beat();
+                let send_start = tel.map(|t| t.now_us());
+                if let (Some(t), Some(ts)) = (tel, send_start) {
+                    // Restamp so the next stage's wait span starts here.
+                    item.sent_us = ts;
+                    if let Some(next) = t.stage(ctx.stage + 1) {
+                        next.on_enqueue();
+                        if duplicate {
+                            next.on_enqueue();
+                        }
+                    }
+                }
+                let (step, microbatch, phase) = (item.step, item.microbatch, item.phase);
                 if duplicate && output.send(WorkerMsg::Work(item.clone())).is_err() {
                     return;
                 }
                 if output.send(WorkerMsg::Work(item)).is_err() {
                     return; // downstream gone
+                }
+                if let (Some(t), Some(ts)) = (tel, send_start) {
+                    t.record_span(Span {
+                        tid: ctx.stage + 1,
+                        name: "send",
+                        phase,
+                        ts_us: ts,
+                        dur_us: t.now_us().saturating_sub(ts),
+                        step,
+                        microbatch,
+                        bits: ctx.bits.clone(),
+                    });
                 }
             }
         }
@@ -258,7 +337,7 @@ mod tests {
     use llmpq_model::{RefConfig, RefModel};
 
     fn item(step: u64, seqs: Vec<(usize, Matrix)>) -> WorkItem {
-        WorkItem { step, microbatch: 0, seqs }
+        WorkItem { step, microbatch: 0, phase: Phase::Prefill, sent_us: 0, seqs }
     }
 
     /// Receive the next Work item or report the message that arrived

@@ -166,7 +166,7 @@ pub mod collection {
     //! Collection strategies.
     use crate::strategy::{Strategy, TestRng};
 
-    /// Element-count specification for [`vec`]: an exact size or a range.
+    /// Element-count specification for [`vec()`](crate::collection::vec): an exact size or a range.
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         lo: usize,

@@ -3,7 +3,8 @@
 //! vendored `serde::Value` reflection tree; `from_str`, `to_string`, and
 //! `to_string_pretty` match the call surface this workspace uses.
 
-use serde::{Deserialize, Serialize, Value};
+use serde::{Deserialize, Serialize};
+pub use serde::Value;
 
 /// JSON (de)serialization failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
