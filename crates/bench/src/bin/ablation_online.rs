@@ -63,7 +63,7 @@ fn main() {
         [(0.2, 0.0), (0.5, 0.0), (1.0, 0.0), (2.0, 0.0), (2.0, 0.1), (4.0, 0.0), (8.0, 0.0)]
     {
         let cfg = OnlineConfig { arrival_rate: rate, n_requests: 150, batch_size: 8, max_wait_s: 2.0, n_generate: (50, 150), failure_rate, seed: 5 };
-        let stats = simulate_online(&cfg, &prompt_model, &batch_cost);
+        let stats = simulate_online(&cfg, &prompt_model, &batch_cost).expect("online sim");
         t.row(vec![
             format!("{rate}"),
             format!("{:.0}%", failure_rate * 100.0),

@@ -1,0 +1,315 @@
+//! Ablation: overload behavior past the saturation point.
+//!
+//! Calibrates the cluster-3 LLM-PQ plan's serving capacity from the
+//! cost profile, then drives the admission + KV-guard + degradation
+//! serving loop at 0.5×/1×/2×/4× that capacity under each admission
+//! policy, reporting goodput, tail sojourn, shed/expired counts, and
+//! the degradation ladder's rung trajectory. The acceptance bar: at 4×
+//! capacity under deadline shedding, goodput stays within 90% of the
+//! 1× goodput (load shedding keeps useful work flowing instead of
+//! collapsing), and the ladder demonstrably steps down and recovers.
+//!
+//! `--soak <seconds>` instead runs the *real* supervised thread
+//! pipeline (tiny stand-in model) at 2× capacity with a fault plan
+//! active, checking request conservation and that RSS stays bounded —
+//! the CI overload-soak job drives this mode under a wall-clock
+//! watchdog.
+
+use llmpq_bench::quality::zoo_indicator;
+use llmpq_bench::serving::ServingSetup;
+use llmpq_bench::TextTable;
+use llm_pq::evaluate::stage_loads;
+use llm_pq::{degradation_ladder, AssignerConfig, ExecutionPlan, DEFAULT_CAPS};
+use llmpq_cost::CostDb;
+use llmpq_model::{RefConfig, RefModel};
+use llmpq_runtime::{
+    poisson_requests, serve, AdmissionConfig, AdmissionPolicy, DegradationConfig, FaultPlan,
+    KvGuardConfig, PipelineEngine, Request, ServeConfig, SimEngine, SupervisorConfig,
+};
+use llmpq_sim::{simulate_pipeline, KernelEnv, PipelineWorkload};
+use llmpq_workload::BatchJob;
+
+const PROMPT_LEN: usize = 32;
+const N_GENERATE: usize = 32;
+const MAX_BATCH: usize = 8;
+
+fn plan_cost(
+    plan: &ExecutionPlan,
+    setup: &ServingSetup,
+    db: &CostDb,
+    b: usize,
+) -> f64 {
+    let job = BatchJob { global_batch: b, prompt_len: PROMPT_LEN, n_generate: N_GENERATE };
+    let mut p = plan.clone();
+    p.microbatch.prefill_size = p.microbatch.prefill_size.min(b).max(1);
+    p.microbatch.prefill_count = b.div_ceil(p.microbatch.prefill_size);
+    p.microbatch.decode_size = p.microbatch.decode_size.min(b).max(1);
+    p.microbatch.decode_count = b.div_ceil(p.microbatch.decode_size);
+    let loads = stage_loads(&p, &setup.cluster, &setup.spec, db, &job);
+    let wl = PipelineWorkload {
+        prefill_microbatches: p.microbatch.prefill_count,
+        decode_microbatches: p.microbatch.decode_count,
+        n_tokens: N_GENERATE,
+        master_prefill: 0.0,
+        master_decode: 0.0,
+    };
+    simulate_pipeline(&loads, &wl).total_latency
+}
+
+fn rss_kib() -> Option<u64> {
+    let statm = std::fs::read_to_string("/proc/self/statm").ok()?;
+    let pages: u64 = statm.split_whitespace().nth(1)?.parse().ok()?;
+    Some(pages * 4) // 4 KiB pages
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(i) = args.iter().position(|a| a == "--soak") {
+        let secs: u64 = args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or(30);
+        soak(secs);
+        return;
+    }
+    sweep();
+}
+
+/// The rate sweep over admission policies, on the cost-profile engine.
+fn sweep() {
+    println!("Ablation — overload control past saturation, cluster 3\n");
+    let setup = ServingSetup::paper(3);
+    let db = CostDb::oracle(&KernelEnv::default());
+    let indicator = zoo_indicator(&setup.spec);
+    // Trimmed search so the four ladder solves stay interactive.
+    let cfg = AssignerConfig { max_orderings: 2, dp_grid: Some(8), ..setup.cfg };
+    let job = BatchJob { global_batch: MAX_BATCH, prompt_len: PROMPT_LEN, n_generate: N_GENERATE };
+    let ladder =
+        degradation_ladder(&setup.cluster, &setup.spec, &job, &db, &indicator, &cfg, &DEFAULT_CAPS)
+            .expect("ladder");
+    println!("degradation ladder: {} rungs", ladder.len());
+    for r in &ladder.rungs {
+        println!(
+            "  {}: predicted {:.2}s/batch, quality cost {:.3}, mean {:.1} bits",
+            r.label, r.predicted_latency_s, r.quality_cost, r.mean_bits
+        );
+    }
+
+    // Affine per-rung batch cost, and capacity from rung 0 at full batch.
+    let rung_cost_s: Vec<(f64, f64)> = ladder
+        .rungs
+        .iter()
+        .map(|r| {
+            let c1 = plan_cost(&r.plan, &setup, &db, 1);
+            let cb = plan_cost(&r.plan, &setup, &db, MAX_BATCH);
+            ((c1).max(1e-6), ((cb - c1) / (MAX_BATCH - 1) as f64).max(0.0))
+        })
+        .collect();
+    let (b0, p0) = rung_cost_s[0];
+    let capacity_rps = MAX_BATCH as f64 / (b0 + p0 * MAX_BATCH as f64);
+    println!("\ncalibrated capacity (rung 0, batch {MAX_BATCH}): {capacity_rps:.2} req/s\n");
+
+    // KV budget from the cost model: per-token KV bytes × sequence
+    // length × a small multiple of the batch size.
+    let kv_per_token =
+        setup.spec.kv_bytes_per_layer(1, 1, 16.0) * setup.spec.n_layers as f64;
+    let seq = (PROMPT_LEN + N_GENERATE) as f64;
+    let kv_budget = kv_per_token * seq * (2 * MAX_BATCH) as f64;
+
+    let n_requests = 200usize;
+    let deadline_s = 8.0 * (b0 + p0); // generous SLO: 8× single-request service
+    let policies =
+        [AdmissionPolicy::Reject, AdmissionPolicy::DeadlineShed, AdmissionPolicy::QueueTimeout];
+    let mut table = TextTable::new(&[
+        "rate", "policy", "offered", "served", "shed", "expired", "goodput (req/s)",
+        "p50 (s)", "p99 (s)", "rung peak", "rung final",
+    ]);
+    let mut goodput_1x_deadline = 0.0f64;
+    let mut goodput_4x_deadline = 0.0f64;
+    let mut peak_rung_4x = 0usize;
+    let mut final_rung_4x = 0usize;
+    for mult in [0.5, 1.0, 2.0, 4.0] {
+        let rate = capacity_rps * mult;
+        // Burst at the target rate, then a quiet drain tail so the
+        // ladder's recovery (step back up) is observable in-run.
+        let mut requests =
+            poisson_requests(n_requests, rate, PROMPT_LEN, N_GENERATE, 17).expect("arrivals");
+        let burst_end = requests.last().map(|r| r.arrival_s).unwrap_or(0.0);
+        for (i, mut r) in poisson_requests(20, capacity_rps * 0.2, PROMPT_LEN, N_GENERATE, 18)
+            .expect("tail")
+            .into_iter()
+            .enumerate()
+        {
+            r.id = n_requests + i;
+            r.arrival_s += burst_end;
+            requests.push(r);
+        }
+        for policy in policies {
+            let mut engine = SimEngine::new(rung_cost_s.clone(), MAX_BATCH, kv_per_token);
+            let cfg = ServeConfig {
+                admission: AdmissionConfig {
+                    policy,
+                    max_queue: 4 * MAX_BATCH,
+                    default_deadline_s: Some(deadline_s),
+                    queue_timeout_s: deadline_s,
+                },
+                kv_guard: Some(KvGuardConfig { budget_bytes: kv_budget, headroom: 0.1 }),
+                degradation: Some(DegradationConfig { high: 0.75, low: 0.25, dwell: 2 }),
+                max_inflight: 2,
+                max_retries: 2,
+            };
+            let rep = serve(&mut engine, &requests, &cfg, None);
+            assert!(rep.stats.conserves(0), "conservation violated: {:?}", rep.stats);
+            table.row(vec![
+                format!("{mult:.1}x"),
+                policy.to_string(),
+                format!("{}", rep.stats.offered),
+                format!("{}", rep.stats.served),
+                format!("{}", rep.stats.shed),
+                format!("{}", rep.stats.expired),
+                format!("{:.2}", rep.goodput_rps),
+                format!("{:.2}", rep.p50_sojourn_s),
+                format!("{:.2}", rep.p99_sojourn_s),
+                format!("{}", rep.peak_rung),
+                format!("{}", rep.final_rung),
+            ]);
+            if policy == AdmissionPolicy::DeadlineShed {
+                if mult == 1.0 {
+                    goodput_1x_deadline = rep.goodput_rps;
+                }
+                if mult == 4.0 {
+                    goodput_4x_deadline = rep.goodput_rps;
+                    peak_rung_4x = rep.peak_rung;
+                    final_rung_4x = rep.final_rung;
+                }
+            }
+        }
+    }
+    println!("{}", table.render());
+
+    // Acceptance: overload must not collapse goodput, and the ladder
+    // must both engage and release.
+    println!(
+        "deadline-shed goodput: 1x {:.2} req/s, 4x {:.2} req/s ({:.0}% retained)",
+        goodput_1x_deadline,
+        goodput_4x_deadline,
+        100.0 * goodput_4x_deadline / goodput_1x_deadline.max(1e-9),
+    );
+    assert!(
+        goodput_4x_deadline >= 0.9 * goodput_1x_deadline,
+        "goodput collapsed past saturation: 4x {goodput_4x_deadline:.2} vs 1x {goodput_1x_deadline:.2}"
+    );
+    assert!(peak_rung_4x >= 1, "ladder never stepped down at 4x capacity");
+    assert_eq!(final_rung_4x, 0, "ladder did not recover after the burst drained");
+    println!("PASS: goodput retained >= 90% at 4x, ladder engaged (peak rung {peak_rung_4x}) and recovered");
+}
+
+/// `--soak <seconds>`: the real pipeline under sustained 2× overload
+/// with faults injected, watching conservation and RSS.
+fn soak(secs: u64) {
+    println!("Overload soak: real pipeline at 2x capacity with faults, {secs}s\n");
+    let n_layers = 4usize;
+    let checkpoint = RefModel::new(RefConfig::scaled_like(n_layers, 77));
+    // Two rungs built by hand (full-quality and all-int4) — the soak
+    // exercises the serving loop and supervisor, not the solver.
+    let mk_plan = |bits: llmpq_quant::Bitwidth| ExecutionPlan {
+        model: "soak".into(),
+        cluster: "duo".into(),
+        stages: vec![
+            llm_pq::StagePlan { device: 0, layer_start: 0, layer_end: 2, bits: vec![bits; 2] },
+            llm_pq::StagePlan { device: 1, layer_start: 2, layer_end: 4, bits: vec![bits; 2] },
+        ],
+        microbatch: llmpq_workload::MicrobatchPlan {
+            prefill_size: 2,
+            prefill_count: 1,
+            decode_size: 2,
+            decode_count: 1,
+        },
+        scheme: "LLM-PQ".into(),
+        kv_bits: 16,
+    };
+    let plans = vec![mk_plan(llmpq_quant::Bitwidth::Fp16), mk_plan(llmpq_quant::Bitwidth::Int4)];
+    let sup = SupervisorConfig {
+        heartbeat_timeout_ms: 200,
+        progress_timeout_ms: 600,
+        tick_ms: 1,
+        max_restarts: 4,
+        backoff_base_ms: 1,
+        backoff_factor: 2.0,
+        backoff_cap_ms: 8,
+        max_queue: Some(2),
+        ..SupervisorConfig::default()
+    };
+
+    // Calibrate real capacity with one warmup batch.
+    let mut engine = PipelineEngine::new(checkpoint, plans, sup);
+    engine.max_batch = 4;
+    let warm: Vec<Request> = (0..4)
+        .map(|id| Request {
+            id,
+            arrival_s: 0.0,
+            prompt: vec![1 + id, 2, 3, 4],
+            n_generate: 4,
+            deadline_s: None,
+            priority: 0,
+        })
+        .collect();
+    let warm_cfg = ServeConfig { degradation: None, ..ServeConfig::default() };
+    let warm_rep = serve(&mut engine, &warm, &warm_cfg, None);
+    let capacity_rps = (warm_rep.stats.served as f64 / warm_rep.makespan_s).max(1.0);
+    println!("calibrated capacity: {capacity_rps:.1} req/s");
+
+    let rss_start = rss_kib().unwrap_or(0);
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(secs);
+    let mut round = 0u64;
+    let mut total = llmpq_runtime::AdmissionStats::default();
+    while std::time::Instant::now() < deadline {
+        round += 1;
+        engine.fault_plans = vec![
+            FaultPlan::crash_schedule(&[(round as usize % 2, 1)]),
+            FaultPlan::default(),
+        ];
+        engine.outputs.clear();
+        let requests =
+            poisson_requests(24, capacity_rps * 2.0, 4, 4, 1000 + round).expect("arrivals");
+        let cfg = ServeConfig {
+            admission: AdmissionConfig {
+                policy: AdmissionPolicy::DeadlineShed,
+                max_queue: 12,
+                default_deadline_s: Some(24.0 / capacity_rps),
+                queue_timeout_s: 24.0 / capacity_rps,
+            },
+            kv_guard: None,
+            degradation: Some(DegradationConfig { high: 0.7, low: 0.2, dwell: 2 }),
+            max_inflight: 2,
+            max_retries: 2,
+        };
+        let rep = serve(&mut engine, &requests, &cfg, None);
+        assert!(rep.stats.conserves(0), "round {round}: conservation violated: {:?}", rep.stats);
+        assert_eq!(
+            engine.outputs.len(),
+            rep.stats.served,
+            "round {round}: served requests without outputs"
+        );
+        total.offered += rep.stats.offered;
+        total.served += rep.stats.served;
+        total.shed += rep.stats.shed;
+        total.expired += rep.stats.expired;
+        if round.is_multiple_of(5) {
+            let rss = rss_kib().unwrap_or(0);
+            println!(
+                "round {round}: offered {} served {} shed {} expired {} | restarts {} | rss {} KiB",
+                total.offered, total.served, total.shed, total.expired, engine.restarts, rss
+            );
+        }
+    }
+    let rss_end = rss_kib().unwrap_or(0);
+    assert!(total.conserves(0), "soak lost requests: {total:?}");
+    assert!(total.served > 0, "soak made no progress");
+    // RSS must stay bounded: allow generous slack for allocator noise,
+    // but catch a real leak (unbounded queues would grow far past this).
+    let growth = rss_end.saturating_sub(rss_start);
+    assert!(growth < 256 * 1024, "RSS grew {growth} KiB during the soak — leak?");
+    println!(
+        "\nPASS: {round} rounds, {} offered / {} served / {} shed / {} expired, \
+         {} supervisor restarts, RSS {rss_start} -> {rss_end} KiB",
+        total.offered, total.served, total.shed, total.expired, engine.restarts
+    );
+}

@@ -106,6 +106,7 @@ fn run(args: &Args) -> Result<(), String> {
         theta,
         solver,
         search_kv8: args.switch("kv8"),
+        max_bits: None,
         max_orderings: 6,
         dp_grid: Some(12),
         ..Default::default()

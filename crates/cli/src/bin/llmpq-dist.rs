@@ -35,14 +35,15 @@
 //! were `retried` (tune with `--online-failure`).
 
 use llm_pq::evaluate::stage_loads;
-use llm_pq::ExecutionPlan;
+use llm_pq::{degradation_ladder, AssignerConfig, DegradationLadder, ExecutionPlan, DEFAULT_CAPS};
 use llmpq_cli::Args;
 use llmpq_cluster::paper_cluster;
 use llmpq_cost::{predicted_stage_seconds, stage_crosscheck, CostDb, StageCrosscheck};
 use llmpq_model::{zoo, RefConfig, RefModel};
-use llmpq_quant::Rounding;
+use llmpq_quant::{random_indicator, Rounding};
 use llmpq_runtime::{
-    run_pipeline_observed, run_pipeline_supervised_observed, FaultPlan, FoldReplanner,
+    poisson_requests, run_pipeline_observed, run_pipeline_supervised_observed, serve,
+    AdmissionConfig, AdmissionPolicy, FaultPlan, FoldReplanner, ServeConfig, SimEngine,
     SupervisorConfig, Telemetry,
 };
 use llmpq_sim::{KernelEnv, PipelineWorkload};
@@ -51,7 +52,9 @@ use llmpq_workload::{simulate_online, BatchJob, OnlineConfig, PromptLengthModel}
 const USAGE: &str = "usage: llmpq-dist --strat_file_name <strategy.json>
     [--checkpoint model.ckpt.json] [--n-generate 16] [--batch 4] [--prompt-len 12] [--seed 0]
     [--fault-plan faults.json] [--trace-out trace.json] [--metrics-out metrics.txt]
-    [--online-rate req_per_s] [--online-requests 150] [--online-failure 0.0]";
+    [--online-rate req_per_s] [--online-requests 150] [--online-failure 0.0]
+    [--max-queue N] [--admission reject|deadline|timeout] [--deadline-ms 2000]
+    [--degrade-ladder auto|ladder.json]";
 
 fn main() {
     let args = match Args::parse(std::env::args().skip(1)) {
@@ -129,49 +132,57 @@ fn run(args: &Args) -> Result<(), String> {
     let telemetry = (trace_out.is_some() || metrics_out.is_some())
         .then(|| Telemetry::new(plan.stages.len()));
 
-    let (out, restarts, replans) = match &faults {
-        Some(fp) => {
-            let sup = run_pipeline_supervised_observed(
-                &checkpoint,
-                &plan,
-                &prompts,
-                n_generate,
-                Rounding::Deterministic,
-                seed,
-                &SupervisorConfig::default(),
-                Some(fp),
-                Some(&FoldReplanner),
-                telemetry.clone(),
-            )
-            .map_err(|e| e.to_string())?;
-            for ev in &sup.events {
-                eprintln!(
-                    "attempt {}: {} -> {:?} (checkpointed {} tokens)",
-                    ev.attempt, ev.error, ev.action, ev.checkpointed_tokens
-                );
-            }
+    // `--max-queue` bounds every inter-stage channel so a slow stage
+    // backpressures the master instead of queueing without limit; it is
+    // also the admission queue bound of the overload pass below.
+    let max_queue = match args.get("max-queue") {
+        Some(_) => Some(args.get_parse("max-queue", 64usize).map_err(|e| e.to_string())?),
+        None => None,
+    };
+    let sup_cfg = SupervisorConfig { max_queue, ..SupervisorConfig::default() };
+
+    let (out, restarts, replans) = if faults.is_some() || max_queue.is_some() {
+        // Bounded queues ride on the supervised path, which owns the
+        // backpressure-aware master send loop.
+        let sup = run_pipeline_supervised_observed(
+            &checkpoint,
+            &plan,
+            &prompts,
+            n_generate,
+            Rounding::Deterministic,
+            seed,
+            &sup_cfg,
+            faults.as_ref(),
+            Some(&FoldReplanner),
+            telemetry.clone(),
+        )
+        .map_err(|e| e.to_string())?;
+        for ev in &sup.events {
             eprintln!(
-                "supervisor: {} restarts, {} replans, final plan has {} stages",
-                sup.restarts,
-                sup.replans,
-                sup.final_plan.stages.len()
+                "attempt {}: {} -> {:?} (checkpointed {} tokens)",
+                ev.attempt, ev.error, ev.action, ev.checkpointed_tokens
             );
-            (sup.output, sup.restarts, sup.replans)
         }
-        None => {
-            let out = run_pipeline_observed(
-                &checkpoint,
-                &plan,
-                &prompts,
-                n_generate,
-                Rounding::Deterministic,
-                seed,
-                None,
-                telemetry.clone(),
-            )
-            .map_err(|e| e.to_string())?;
-            (out, 0, 0)
-        }
+        eprintln!(
+            "supervisor: {} restarts, {} replans, final plan has {} stages",
+            sup.restarts,
+            sup.replans,
+            sup.final_plan.stages.len()
+        );
+        (sup.output, sup.restarts, sup.replans)
+    } else {
+        let out = run_pipeline_observed(
+            &checkpoint,
+            &plan,
+            &prompts,
+            n_generate,
+            Rounding::Deterministic,
+            seed,
+            None,
+            telemetry.clone(),
+        )
+        .map_err(|e| e.to_string())?;
+        (out, 0, 0)
     };
 
     // Cost-model cross-check: analytical per-stage prediction vs the busy
@@ -191,10 +202,11 @@ fn run(args: &Args) -> Result<(), String> {
     }
 
     // Optional §7 online-serving pass over the plan's cost profile.
-    let online = args
+    let has_online = args
         .get_parse("online-rate", f64::NAN)
         .map_err(|e| e.to_string())?
-        .is_finite()
+        .is_finite();
+    let online = has_online
         .then(|| {
             let rate = args.get_parse("online-rate", 1.0).unwrap_or(1.0);
             let n_requests = args.get_parse("online-requests", 150usize).unwrap_or(150);
@@ -202,6 +214,32 @@ fn run(args: &Args) -> Result<(), String> {
             run_online(&plan, rate, n_requests, failure, seed)
         })
         .transpose()?;
+
+    // Optional overload pass: the admission + degradation serving loop
+    // over the plan's cost profile, driven past capacity if the rate
+    // says so.
+    if let Some(policy) = args.get("admission") {
+        if !has_online {
+            return Err("--admission needs --online-rate to set the arrival rate".into());
+        }
+        let policy: AdmissionPolicy = policy.parse()?;
+        let rate = args.get_parse("online-rate", 1.0).unwrap_or(1.0);
+        let n_requests = args.get_parse("online-requests", 150usize).unwrap_or(150);
+        let deadline_ms = args.get_parse("deadline-ms", 2_000u64).map_err(|e| e.to_string())?;
+        run_overload(
+            &plan,
+            policy,
+            rate,
+            n_requests,
+            max_queue.unwrap_or(64),
+            deadline_ms,
+            args.get("degrade-ladder"),
+            batch,
+            prompt_len,
+            n_generate,
+            seed,
+        )?;
+    }
 
     println!(
         "generated {} tokens x {} sequences in {:.3}s wall ({} restarts, {} replans)",
@@ -347,5 +385,141 @@ fn run_online(
         seed,
         ..OnlineConfig::default()
     };
-    Ok(simulate_online(&cfg, &PromptLengthModel::default(), &batch_cost))
+    simulate_online(&cfg, &PromptLengthModel::default(), &batch_cost).map_err(|e| e.to_string())
+}
+
+/// Predicted end-to-end latency of `plan` serving a batch of `b`
+/// sequences, from the cost profile (the same path `run_online` uses).
+fn plan_batch_cost(
+    plan: &ExecutionPlan,
+    cluster: &llmpq_cluster::Cluster,
+    spec: &llmpq_model::ModelSpec,
+    db: &CostDb,
+    prompt_len: usize,
+    n_generate: usize,
+    b: usize,
+) -> f64 {
+    let job = BatchJob { global_batch: b, prompt_len, n_generate };
+    let mut p = plan.clone();
+    p.microbatch.prefill_size = p.microbatch.prefill_size.min(b).max(1);
+    p.microbatch.prefill_count = b.div_ceil(p.microbatch.prefill_size);
+    p.microbatch.decode_size = p.microbatch.decode_size.min(b).max(1);
+    p.microbatch.decode_count = b.div_ceil(p.microbatch.decode_size);
+    let loads = stage_loads(&p, cluster, spec, db, &job);
+    let wl = PipelineWorkload {
+        prefill_microbatches: p.microbatch.prefill_count,
+        decode_microbatches: p.microbatch.decode_count,
+        n_tokens: n_generate,
+        master_prefill: 0.0,
+        master_decode: 0.0,
+    };
+    llmpq_sim::simulate_pipeline(&loads, &wl).total_latency
+}
+
+/// The `--admission` overload pass: drive the plan's cost profile with a
+/// Poisson arrival stream through the runtime's admission + KV-guard +
+/// degradation serving loop, and print shed/expired/goodput and the
+/// ladder's rung trajectory.
+#[allow(clippy::too_many_arguments)]
+fn run_overload(
+    plan: &ExecutionPlan,
+    policy: AdmissionPolicy,
+    rate: f64,
+    n_requests: usize,
+    max_queue: usize,
+    deadline_ms: u64,
+    ladder_arg: Option<&str>,
+    batch: usize,
+    prompt_len: usize,
+    n_generate: usize,
+    seed: u64,
+) -> Result<(), String> {
+    let n: usize = plan
+        .cluster
+        .strip_prefix("cluster-")
+        .and_then(|s| s.parse().ok())
+        .filter(|n| (1..=11).contains(n))
+        .ok_or_else(|| format!("--admission needs a paper cluster plan, got '{}'", plan.cluster))?;
+    let cluster = paper_cluster(n);
+    let spec = zoo::by_name(&plan.model)
+        .ok_or_else(|| format!("--admission needs a zoo model, got '{}'", plan.model))?;
+    let db = CostDb::oracle(&KernelEnv::default());
+
+    // Rung plans: just this plan, a precomputed ladder file, or a fresh
+    // ladder solved here (`auto`; synthetic indicator — profile-backed
+    // ladders should be precomputed offline and passed as a file).
+    let rung_plans: Vec<ExecutionPlan> = match ladder_arg {
+        None => vec![plan.clone()],
+        Some("auto") => {
+            let job = BatchJob { global_batch: batch, prompt_len, n_generate };
+            let indicator = random_indicator(spec.n_layers, 0xA11CE, 1.0);
+            let cfg = AssignerConfig {
+                max_orderings: 4,
+                dp_grid: Some(8),
+                ..AssignerConfig::paper_setup(n)
+            };
+            let ladder =
+                degradation_ladder(&cluster, &spec, &job, &db, &indicator, &cfg, &DEFAULT_CAPS)?;
+            eprintln!("degradation ladder (auto): {} rungs", ladder.len());
+            for r in &ladder.rungs {
+                eprintln!(
+                    "  rung {}: predicted {:.3}s, quality cost {:.3}, mean {:.1} bits",
+                    r.label, r.predicted_latency_s, r.quality_cost, r.mean_bits
+                );
+            }
+            ladder.rungs.into_iter().map(|r| r.plan).collect()
+        }
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            let ladder = DegradationLadder::from_json(&text, plan.n_layers())?;
+            eprintln!("degradation ladder ({path}): {} rungs", ladder.len());
+            ladder.rungs.into_iter().map(|r| r.plan).collect()
+        }
+    };
+
+    // Affine per-rung batch cost fitted from the cost profile.
+    let max_batch = batch.max(1);
+    let rung_cost_s: Vec<(f64, f64)> = rung_plans
+        .iter()
+        .map(|p| {
+            let c1 = plan_batch_cost(p, &cluster, &spec, &db, prompt_len, n_generate, 1);
+            let cb = plan_batch_cost(p, &cluster, &spec, &db, prompt_len, n_generate, max_batch);
+            let per = if max_batch > 1 { (cb - c1) / (max_batch - 1) as f64 } else { 0.0 };
+            (c1.max(0.0), per.max(0.0))
+        })
+        .collect();
+
+    let mut engine = SimEngine::new(rung_cost_s, max_batch, 1.0);
+    let requests = poisson_requests(n_requests, rate, prompt_len, n_generate, seed)?;
+    let cfg = ServeConfig {
+        admission: AdmissionConfig {
+            policy,
+            max_queue,
+            default_deadline_s: Some(deadline_ms as f64 / 1000.0),
+            queue_timeout_s: deadline_ms as f64 / 1000.0,
+        },
+        ..ServeConfig::default()
+    };
+    let rep = serve(&mut engine, &requests, &cfg, None);
+    println!(
+        "overload[{policy}]: offered {} served {} shed {} expired {} | goodput {:.2} req/s, \
+         p50 {:.2}s p99 {:.2}s | rung final {} peak {} ({} transitions)",
+        rep.stats.offered,
+        rep.stats.served,
+        rep.stats.shed,
+        rep.stats.expired,
+        rep.goodput_rps,
+        rep.p50_sojourn_s,
+        rep.p99_sojourn_s,
+        rep.final_rung,
+        rep.peak_rung,
+        rep.transitions.len(),
+    );
+    for tr in &rep.transitions {
+        eprintln!(
+            "  t={:.2}s rung {} -> {} (pressure {:.2})",
+            tr.at_s, tr.from, tr.to, tr.pressure
+        );
+    }
+    Ok(())
 }

@@ -280,6 +280,16 @@ pub fn assign(
         "indicator must cover every decoder layer"
     );
     let start = std::time::Instant::now();
+    // Bitwidth menu the solver may draw from, optionally capped from
+    // above (degradation ladders shrink the menu to force lower-bit,
+    // lighter plans).
+    let menu: Vec<Bitwidth> = Bitwidth::ALL
+        .into_iter()
+        .filter(|b| cfg.max_bits.is_none_or(|cap| b.bits() <= cap.bits()))
+        .collect();
+    if menu.is_empty() {
+        return Err(format!("max_bits cap {:?} leaves no bitwidth candidates", cfg.max_bits));
+    }
     let orderings = device_orderings(cluster, cfg.max_orderings);
     let mut best: Option<(ExecutionPlan, PlanReport, f64, f64)> = None;
     let mut combos = 0usize;
@@ -294,21 +304,21 @@ pub fn assign(
                     SolverChoice::Dp { group } => {
                         let (problem, _q, sizes) = build_problem(
                             cluster, ordering, spec, job, db, Some(indicator), cfg.theta, mb,
-                            group, &Bitwidth::ALL, true, cfg.dp_grid, kv as f64,
+                            group, &menu, true, cfg.dp_grid, kv as f64,
                         );
                         (sizes, solve_partition(&problem))
                     }
                     SolverChoice::Heuristic => {
                         let (problem, q, sizes) = build_problem(
                             cluster, ordering, spec, job, db, Some(indicator), cfg.theta, mb, 1,
-                            &Bitwidth::ALL, true, cfg.dp_grid, kv as f64,
+                            &menu, true, cfg.dp_grid, kv as f64,
                         );
                         (sizes, heuristic_solve(&problem, &q, 400))
                     }
                     SolverChoice::Ilp { group, time_limit_s } => {
                         let (problem, _q, sizes) = build_problem(
                             cluster, ordering, spec, job, db, Some(indicator), cfg.theta, mb,
-                            group, &Bitwidth::ALL, true, cfg.dp_grid, kv as f64,
+                            group, &menu, true, cfg.dp_grid, kv as f64,
                         );
                         let milp_cfg = MilpConfig { time_limit_s, ..Default::default() };
                         (sizes, solve_ilp(&problem, &milp_cfg))
@@ -316,7 +326,7 @@ pub fn assign(
                 };
                 let Some(sol) = sol else { continue };
                 let plan = solution_to_plan(
-                    cluster, ordering, spec, &group, &sol, mb, "LLM-PQ", &Bitwidth::ALL, kv,
+                    cluster, ordering, spec, &group, &sol, mb, "LLM-PQ", &menu, kv,
                 );
                 let Ok(report) = evaluate_plan(&plan, cluster, spec, db, job) else {
                     continue;
@@ -336,7 +346,7 @@ pub fn assign(
     // LLM-PQ never loses to the Uniform baseline, matching the paper's
     // dominance (Uniform's plans are a subset of eq. 4–16's space).
     for mb in microbatch_counts(job, cluster.len(), cfg.xi) {
-        for bits in Bitwidth::ALL {
+        for bits in menu.iter().copied() {
             let n = cluster.len();
             let l = spec.n_layers;
             let base = l / n;
@@ -415,6 +425,7 @@ mod tests {
             max_orderings: 2,
             dp_grid: Some(8),
             search_kv8: false,
+            max_bits: None,
         }
     }
 

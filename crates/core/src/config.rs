@@ -1,6 +1,7 @@
 //! Assigner configuration, including the paper's per-cluster setups
 //! (Appendix Table 9).
 
+use llmpq_quant::Bitwidth;
 use serde::{Deserialize, Serialize};
 
 /// Which inner solver Algorithm 1 uses for bitwidth + partition.
@@ -41,6 +42,12 @@ pub struct AssignerConfig {
     /// Also search an INT8 KV cache (KV-quantization extension; the
     /// paper's evaluation keeps KV at FP16).
     pub search_kv8: bool,
+    /// Cap on the per-layer bitwidth candidates the solver may use
+    /// (`None` = the full [`Bitwidth::ALL`] menu). Degradation ladders
+    /// (`llm_pq::degrade`) re-run the assigner with progressively lower
+    /// caps to precompute throughput-over-quality fallback plans.
+    #[serde(default)]
+    pub max_bits: Option<Bitwidth>,
 }
 
 impl Default for AssignerConfig {
@@ -52,6 +59,7 @@ impl Default for AssignerConfig {
             max_orderings: 24,
             dp_grid: Some(16),
             search_kv8: false,
+            max_bits: None,
         }
     }
 }

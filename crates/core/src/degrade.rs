@@ -1,0 +1,288 @@
+//! Precomputed degradation ladders for overload graceful degradation.
+//!
+//! LLM-PQ's adaptive quantization gives the serving runtime a quality ↔
+//! throughput lever for free: re-running Algorithm 1 with the bitwidth
+//! menu capped from above yields a plan that trades model quality (the
+//! ω indicator total rises) for a faster, lighter pipeline. This module
+//! precomputes that ladder *offline* — one assigner run per cap — so
+//! that under sustained overload the runtime's degradation controller
+//! (`runtime::overload`) can step down rung by rung without solving
+//! anything on the serving path, and step back up when pressure clears.
+//!
+//! Rung 0 is always the uncapped (normal-quality) plan. Each subsequent
+//! rung must *strictly improve predicted batch latency* over the rung
+//! before it — caps that only hurt quality without buying throughput are
+//! dropped, so walking down the ladder is monotone in both coordinates:
+//! latency falls, quality cost (ω total) rises or stays equal.
+
+use crate::assigner::assign;
+use crate::config::AssignerConfig;
+use crate::evaluate::PlanReport;
+use crate::plan::ExecutionPlan;
+use llmpq_cluster::Cluster;
+use llmpq_cost::CostDb;
+use llmpq_model::ModelSpec;
+use llmpq_quant::{Bitwidth, IndicatorTable};
+use llmpq_workload::BatchJob;
+use serde::{Deserialize, Serialize};
+
+/// The default cap sequence: uncapped, then everything at INT8 or
+/// below, then INT4, then INT3 (the harshest plan the paper's menu
+/// allows).
+pub const DEFAULT_CAPS: [Option<Bitwidth>; 4] =
+    [None, Some(Bitwidth::Int8), Some(Bitwidth::Int4), Some(Bitwidth::Int3)];
+
+/// One rung of a degradation ladder: a full execution plan plus the
+/// planner's prediction of what stepping onto it costs and buys.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LadderRung {
+    /// Human-readable cap label ("fp16", "int8", …).
+    pub label: String,
+    /// Bitwidth cap this rung was solved under (`None` = uncapped).
+    pub cap: Option<Bitwidth>,
+    /// The plan to serve with at this rung.
+    pub plan: ExecutionPlan,
+    /// Predicted end-to-end batch latency, seconds.
+    pub predicted_latency_s: f64,
+    /// ω-based quality cost of the rung: the indicator total of the
+    /// plan's bit assignment (0 would be a lossless plan; higher means
+    /// more quality degradation).
+    pub quality_cost: f64,
+    /// Mean bits per layer — a coarser quality proxy for dashboards.
+    pub mean_bits: f64,
+}
+
+/// A precomputed degradation ladder, rung 0 = normal quality.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DegradationLadder {
+    /// Rungs ordered best-quality first, fastest last.
+    pub rungs: Vec<LadderRung>,
+}
+
+impl DegradationLadder {
+    /// Number of rungs.
+    pub fn len(&self) -> usize {
+        self.rungs.len()
+    }
+
+    /// Whether the ladder has no rungs (never true for a ladder built
+    /// by [`degradation_ladder`]).
+    pub fn is_empty(&self) -> bool {
+        self.rungs.is_empty()
+    }
+
+    /// Serialize to pretty JSON (the `--degrade-ladder <file>` format).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("ladder serializes")
+    }
+
+    /// Parse from JSON, validating every rung's plan against the model.
+    pub fn from_json(s: &str, n_layers: usize) -> Result<Self, String> {
+        let ladder: DegradationLadder =
+            serde_json::from_str(s).map_err(|e| format!("ladder JSON: {e}"))?;
+        if ladder.rungs.is_empty() {
+            return Err("ladder has no rungs".into());
+        }
+        for (i, rung) in ladder.rungs.iter().enumerate() {
+            rung.plan.validate(n_layers).map_err(|e| format!("rung {i}: {e}"))?;
+        }
+        Ok(ladder)
+    }
+}
+
+fn cap_label(cap: Option<Bitwidth>) -> String {
+    match cap {
+        None => "fp16".into(),
+        Some(b) => format!("{:?}", b).to_lowercase(),
+    }
+}
+
+fn rung_from(cap: Option<Bitwidth>, plan: ExecutionPlan, report: &PlanReport, omega: f64) -> LadderRung {
+    LadderRung {
+        label: cap_label(cap),
+        cap,
+        predicted_latency_s: report.total_latency,
+        quality_cost: omega,
+        mean_bits: report.mean_bits,
+        plan,
+    }
+}
+
+/// Precompute a degradation ladder by re-running Algorithm 1 with the
+/// bitwidth menu capped at each entry of `caps` (use [`DEFAULT_CAPS`]
+/// unless you have a reason not to).
+///
+/// The first cap (normally `None`) produces rung 0 and must solve;
+/// later caps are skipped if the solver fails under them (e.g. the
+/// capped plan no longer fits memory) or if they don't strictly improve
+/// predicted latency over the previous rung. Errors only if rung 0
+/// itself cannot be planned.
+pub fn degradation_ladder(
+    cluster: &Cluster,
+    spec: &ModelSpec,
+    job: &BatchJob,
+    db: &CostDb,
+    indicator: &IndicatorTable,
+    cfg: &AssignerConfig,
+    caps: &[Option<Bitwidth>],
+) -> Result<DegradationLadder, String> {
+    let caps = if caps.is_empty() { &DEFAULT_CAPS[..] } else { caps };
+    let mut rungs: Vec<LadderRung> = Vec::new();
+    for (i, &cap) in caps.iter().enumerate() {
+        // Combine with any cap already present in cfg: the tighter wins.
+        let combined = match (cfg.max_bits, cap) {
+            (Some(a), Some(b)) => Some(if a.bits() <= b.bits() { a } else { b }),
+            (a, b) => a.or(b),
+        };
+        let capped = AssignerConfig { max_bits: combined, ..*cfg };
+        let outcome = match assign(cluster, spec, job, db, indicator, &capped) {
+            Ok(o) => o,
+            Err(e) if i == 0 => return Err(format!("ladder rung 0 ({}): {e}", cap_label(cap))),
+            Err(_) => continue,
+        };
+        let candidate = rung_from(cap, outcome.plan, &outcome.report, outcome.omega_total);
+        match rungs.last() {
+            // Keep only rungs that actually buy throughput; identical or
+            // slower plans would make a downgrade pure quality loss.
+            Some(prev) if candidate.predicted_latency_s >= prev.predicted_latency_s => continue,
+            _ => rungs.push(candidate),
+        }
+    }
+    Ok(DegradationLadder { rungs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SolverChoice;
+    use llmpq_cluster::{GpuModel, Interconnect};
+    use llmpq_model::{ModelFamily, ModelSpec};
+    use llmpq_sim::KernelEnv;
+
+    fn tiny_spec() -> ModelSpec {
+        ModelSpec::new(ModelFamily::Opt, "tiny-4l", 4, 64, 4, 256, 128)
+    }
+
+    fn tiny_indicator(n_layers: usize) -> IndicatorTable {
+        IndicatorTable {
+            omega: (0..n_layers)
+                .map(|l| {
+                    let base = 1.0 / (1.0 + l as f64);
+                    [base, base * 0.2, base * 0.01, 0.0]
+                })
+                .collect(),
+        }
+    }
+
+    fn duo() -> Cluster {
+        Cluster::from_groups(
+            "duo",
+            &[(GpuModel::T4_16G, 1), (GpuModel::V100_32G, 1)],
+            Interconnect::Ethernet800G,
+            None,
+        )
+    }
+
+    fn quick_cfg() -> AssignerConfig {
+        AssignerConfig {
+            theta: 0.05,
+            solver: SolverChoice::Dp { group: 1 },
+            xi: 2,
+            max_orderings: 2,
+            dp_grid: Some(8),
+            search_kv8: false,
+            max_bits: None,
+        }
+    }
+
+    fn job() -> BatchJob {
+        BatchJob { global_batch: 4, prompt_len: 8, n_generate: 5 }
+    }
+
+    #[test]
+    fn ladder_is_monotone_in_latency_and_quality() {
+        let cluster = duo();
+        let spec = tiny_spec();
+        let db = CostDb::oracle(&KernelEnv::default());
+        let ind = tiny_indicator(spec.n_layers);
+        let ladder =
+            degradation_ladder(&cluster, &spec, &job(), &db, &ind, &quick_cfg(), &DEFAULT_CAPS)
+                .expect("ladder");
+        assert!(!ladder.is_empty());
+        assert_eq!(ladder.rungs[0].label, "fp16");
+        for w in ladder.rungs.windows(2) {
+            assert!(
+                w[1].predicted_latency_s < w[0].predicted_latency_s,
+                "each rung must buy latency: {} → {}",
+                w[0].predicted_latency_s,
+                w[1].predicted_latency_s
+            );
+            assert!(
+                w[1].quality_cost >= w[0].quality_cost - 1e-12,
+                "stepping down must not improve quality"
+            );
+        }
+        for rung in &ladder.rungs {
+            rung.plan.validate(spec.n_layers).expect("rung plan valid");
+            if let Some(cap) = rung.cap {
+                let max = rung
+                    .plan
+                    .bit_assignment()
+                    .bits
+                    .iter()
+                    .map(|b| b.bits())
+                    .max()
+                    .unwrap();
+                assert!(max <= cap.bits(), "rung {} violates its cap", rung.label);
+            }
+        }
+    }
+
+    #[test]
+    fn ladder_round_trips_through_json() {
+        let cluster = duo();
+        let spec = tiny_spec();
+        let db = CostDb::oracle(&KernelEnv::default());
+        let ind = tiny_indicator(spec.n_layers);
+        let ladder =
+            degradation_ladder(&cluster, &spec, &job(), &db, &ind, &quick_cfg(), &DEFAULT_CAPS)
+                .expect("ladder");
+        let back = DegradationLadder::from_json(&ladder.to_json(), spec.n_layers).expect("parse");
+        assert_eq!(back.len(), ladder.len());
+        for (a, b) in back.rungs.iter().zip(&ladder.rungs) {
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.plan, b.plan);
+        }
+    }
+
+    #[test]
+    fn from_json_rejects_mismatched_plans() {
+        let cluster = duo();
+        let spec = tiny_spec();
+        let db = CostDb::oracle(&KernelEnv::default());
+        let ind = tiny_indicator(spec.n_layers);
+        let ladder =
+            degradation_ladder(&cluster, &spec, &job(), &db, &ind, &quick_cfg(), &DEFAULT_CAPS)
+                .expect("ladder");
+        // Claim the model has a different layer count: every rung's plan
+        // must fail validation.
+        assert!(DegradationLadder::from_json(&ladder.to_json(), spec.n_layers + 1).is_err());
+        assert!(DegradationLadder::from_json("{\"rungs\":[]}", spec.n_layers).is_err());
+    }
+
+    #[test]
+    fn existing_cap_combines_with_rung_caps() {
+        let cluster = duo();
+        let spec = tiny_spec();
+        let db = CostDb::oracle(&KernelEnv::default());
+        let ind = tiny_indicator(spec.n_layers);
+        let cfg = AssignerConfig { max_bits: Some(Bitwidth::Int8), ..quick_cfg() };
+        let ladder = degradation_ladder(&cluster, &spec, &job(), &db, &ind, &cfg, &DEFAULT_CAPS)
+            .expect("ladder");
+        for rung in &ladder.rungs {
+            let max =
+                rung.plan.bit_assignment().bits.iter().map(|b| b.bits()).max().unwrap();
+            assert!(max <= 8, "global int8 cap must bound every rung, got {max} bits");
+        }
+    }
+}

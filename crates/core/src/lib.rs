@@ -32,6 +32,7 @@
 pub mod assigner;
 pub mod baselines;
 pub mod config;
+pub mod degrade;
 pub mod evaluate;
 pub mod ilp;
 pub mod plan;
@@ -42,6 +43,7 @@ pub mod transfer;
 pub use assigner::{assign, AssignOutcome};
 pub use baselines::{adabits_plan, baseline_report, flexgen_report, pipeedge_plan, uniform_plan, BaselineKind};
 pub use config::{AssignerConfig, SolverChoice};
+pub use degrade::{degradation_ladder, DegradationLadder, LadderRung, DEFAULT_CAPS};
 pub use evaluate::{evaluate_plan, PlanReport};
 pub use plan::{ExecutionPlan, StagePlan};
 pub use replan::{replan_after_loss, ReplanOutcome};

@@ -125,6 +125,7 @@ mod tests {
             max_orderings: 2,
             dp_grid: Some(8),
             search_kv8: false,
+            max_bits: None,
         }
     }
 

@@ -19,8 +19,10 @@
 use crate::fault::{FaultInjector, FaultPlan, Heartbeats};
 use crate::loader::{load_stage_weights, LoaderStats};
 use crate::telemetry::{Span, Telemetry};
-use crate::worker::{run_worker_ctx, MetricsSink, StageMetrics, WorkItem, WorkerCtx, WorkerMsg};
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use crate::worker::{
+    disconnect_board, run_worker_ctx, MetricsSink, StageMetrics, WorkItem, WorkerCtx, WorkerMsg,
+};
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, SendTimeoutError, Sender};
 use llm_pq::{ExecutionPlan, StagePlan};
 use llmpq_model::{Matrix, Phase, RefModel};
 use llmpq_quant::Rounding;
@@ -47,6 +49,11 @@ pub enum RuntimeError {
     /// A device was lost permanently and no replan could route around
     /// it.
     DeviceLost(usize),
+    /// A stage dropped a work item because its downstream channel
+    /// disconnected mid-run (the downstream stage died). The payload is
+    /// the stage that *lost* the item; see
+    /// [`DisconnectBoard`](crate::worker::DisconnectBoard).
+    StageDisconnected(usize),
 }
 
 impl std::fmt::Display for RuntimeError {
@@ -58,6 +65,9 @@ impl std::fmt::Display for RuntimeError {
             RuntimeError::Stalled(s) => write!(f, "pipeline stalled: {s}"),
             RuntimeError::Protocol(s) => write!(f, "protocol violation: {s}"),
             RuntimeError::DeviceLost(d) => write!(f, "device {d} lost permanently"),
+            RuntimeError::StageDisconnected(s) => {
+                write!(f, "stage {s} dropped a work item: downstream stage disconnected")
+            }
         }
     }
 }
@@ -98,6 +108,11 @@ pub(crate) struct AttemptSupervision {
     pub progress_timeout: Option<Duration>,
     pub tick: Option<Duration>,
     pub telemetry: Option<Arc<Telemetry>>,
+    /// Inter-stage queue capacity. `Some(k)` bounds every channel of the
+    /// attempt to `k` in-flight messages, so a slow stage backpressures
+    /// its upstream (and ultimately the master's admission) instead of
+    /// buffering unboundedly; `None` keeps the legacy unbounded queues.
+    pub queue_cap: Option<usize>,
 }
 
 impl AttemptSupervision {
@@ -118,16 +133,43 @@ struct Master<'m> {
 }
 
 impl<'m> Master<'m> {
-    fn send(&self, mut item: WorkItem) -> Result<(), RuntimeError> {
+    /// Send toward stage 0, blocking in `tick`-sized slices while the
+    /// (bounded) first queue is full. This is where backpressure reaches
+    /// the master: admission slows to the pipeline's pace instead of
+    /// buffering unboundedly. While blocked, the heartbeat and progress
+    /// checks still run, so a genuinely hung stage surfaces as
+    /// `StageHung`/`Stalled` rather than a silent deadlock.
+    fn send(&self, mut item: WorkItem, sup: &AttemptSupervision) -> Result<(), RuntimeError> {
         if let Some(t) = &self.telemetry {
             item.sent_us = t.now_us();
             if let Some(s0) = t.stage(0) {
                 s0.on_enqueue();
             }
         }
-        self.to_first
-            .send(WorkerMsg::Work(item))
-            .map_err(|_| RuntimeError::WorkerDied("first stage unreachable".into()))
+        let deadline = sup.progress_timeout.map(|t| Instant::now() + t);
+        let mut msg = WorkerMsg::Work(item);
+        loop {
+            match self.to_first.send_timeout(msg, sup.tick()) {
+                Ok(()) => return Ok(()),
+                Err(SendTimeoutError::Disconnected(_)) => {
+                    return Err(RuntimeError::WorkerDied("first stage unreachable".into()))
+                }
+                Err(SendTimeoutError::Timeout(m)) => {
+                    msg = m;
+                    if let (Some(hb), Some(t)) = (&sup.heartbeats, sup.heartbeat_timeout) {
+                        if let Some(stage) = hb.stalest_over(t) {
+                            return Err(RuntimeError::StageHung(stage));
+                        }
+                    }
+                    if deadline.is_some_and(|d| Instant::now() > d) {
+                        return Err(RuntimeError::Stalled(
+                            "master blocked on stage-0 backpressure past the progress timeout"
+                                .into(),
+                        ));
+                    }
+                }
+            }
+        }
     }
 
     fn recv(&self, sup: &AttemptSupervision) -> Result<WorkItem, RuntimeError> {
@@ -395,12 +437,20 @@ pub(crate) fn run_attempt(
         return Ok(());
     }
 
-    std::thread::scope(|scope| {
-        // Channel chain: master → s0 → s1 → … → master.
+    // Attempt-local: records which stage dropped an item on a
+    // downstream disconnect, for root-cause attribution below.
+    let board = disconnect_board();
+
+    let res = std::thread::scope(|scope| {
+        // Channel chain: master → s0 → s1 → … → master, bounded when the
+        // supervision asks for backpressure.
         let mut senders: Vec<Sender<WorkerMsg>> = Vec::new();
         let mut receivers: Vec<Receiver<WorkerMsg>> = Vec::new();
         for _ in 0..=n_stages {
-            let (tx, rx) = unbounded();
+            let (tx, rx) = match sup.queue_cap {
+                Some(cap) => bounded(cap),
+                None => unbounded(),
+            };
             senders.push(tx);
             receivers.push(rx);
         }
@@ -422,6 +472,7 @@ pub(crate) fn run_attempt(
                 telemetry: sup.telemetry.clone(),
                 bits: bits_label(&plan.stages[i]),
                 tick: sup.tick(),
+                disconnects: Some(board.clone()),
             };
             scope.spawn(move || run_worker_ctx(weights, &ctx, rx, tx));
         }
@@ -459,13 +510,10 @@ pub(crate) fn run_attempt(
                         (s, master.model.embed_tokens(&full, 0))
                     })
                     .collect();
-                master.send(WorkItem {
-                    step: step(),
-                    microbatch: mb,
-                    phase: Phase::Prefill,
-                    sent_us: 0,
-                    seqs,
-                })?;
+                master.send(
+                    WorkItem { step: step(), microbatch: mb, phase: Phase::Prefill, sent_us: 0, seqs },
+                    sup,
+                )?;
             }
             for _ in &chunks {
                 let item = master.recv(sup)?;
@@ -488,13 +536,10 @@ pub(crate) fn run_attempt(
                             (s, x)
                         })
                         .collect();
-                    master.send(WorkItem {
-                        step: step(),
-                        microbatch: mb,
-                        phase: Phase::Decode,
-                        sent_us: 0,
-                        seqs,
-                    })?;
+                    master.send(
+                        WorkItem { step: step(), microbatch: mb, phase: Phase::Decode, sent_us: 0, seqs },
+                        sup,
+                    )?;
                 }
                 for chunk in &dec_chunks {
                     let item = master.recv(sup)?;
@@ -507,8 +552,11 @@ pub(crate) fn run_attempt(
                 }
             }
 
-            // Graceful shutdown.
-            let _ = master.to_first.send(WorkerMsg::Shutdown);
+            // Graceful shutdown. A full (bounded) queue may time this
+            // out; the workers then exit via channel disconnect when the
+            // master's endpoints drop below, which flushes metrics all
+            // the same.
+            let _ = master.to_first.send_timeout(WorkerMsg::Shutdown, sup.tick());
             Ok(())
         })();
 
@@ -521,7 +569,22 @@ pub(crate) fn run_attempt(
             }
         }
         res
-    })
+    });
+
+    // Root-cause attribution: if a stage recorded a dropped item on a
+    // downstream disconnect, the generic "worker died / stalled" the
+    // master saw is a symptom — surface the drop instead. Hangs and
+    // protocol violations keep their own, more specific, diagnosis.
+    match res {
+        Err(RuntimeError::WorkerDied(_) | RuntimeError::Stalled(_)) => {
+            let dropped = board.lock().first().copied();
+            match dropped {
+                Some(stage) => Err(RuntimeError::StageDisconnected(stage)),
+                None => res,
+            }
+        }
+        _ => res,
+    }
 }
 
 #[cfg(test)]
@@ -606,7 +669,13 @@ mod tests {
             0,
             Some(&faults),
         );
-        assert!(matches!(res, Err(RuntimeError::WorkerDied(_))), "{res:?}");
+        // Depending on timing the master sees the crash directly
+        // (WorkerDied) or an upstream stage reports the broken link
+        // first (StageDisconnected) — both name the failure, not a hang.
+        assert!(
+            matches!(res, Err(RuntimeError::WorkerDied(_) | RuntimeError::StageDisconnected(_))),
+            "{res:?}"
+        );
     }
 
     #[test]
@@ -707,7 +776,10 @@ mod tests {
             1,
             Some(&faults),
         );
-        assert!(matches!(res, Err(RuntimeError::WorkerDied(_))));
+        assert!(matches!(
+            res,
+            Err(RuntimeError::WorkerDied(_) | RuntimeError::StageDisconnected(_))
+        ));
     }
 
     #[test]

@@ -20,7 +20,13 @@
 //! * a **telemetry hub** ([`telemetry`]) of lock-free per-stage metric
 //!   recorders (latency histograms, queue depths, KV occupancy, restart
 //!   counters) and span-style micro-batch lifecycle traces, exportable
-//!   as a Chrome `trace_event` JSON or a plain-text metrics snapshot.
+//!   as a Chrome `trace_event` JSON or a plain-text metrics snapshot;
+//! * an **overload-control layer** ([`overload`]): bounded inter-stage
+//!   queues with backpressure to the master, an admission controller
+//!   (reject / deadline-shed / queue-timeout), a KV-cache pressure
+//!   guard that preempts-and-requeues rather than overrunning memory,
+//!   and a graceful-degradation controller that walks a precomputed
+//!   quantization ladder under sustained pressure.
 //!
 //! The runtime executes the *real* reference transformer: its tokens are
 //! bit-identical to single-threaded execution of the same quantized
@@ -29,6 +35,7 @@
 pub mod engine;
 pub mod fault;
 pub mod loader;
+pub mod overload;
 pub mod supervisor;
 pub mod telemetry;
 pub mod worker;
@@ -38,6 +45,11 @@ pub use engine::{
 };
 pub use fault::{FaultAction, FaultEvent, FaultInjector, FaultKind, FaultPlan, Heartbeats};
 pub use loader::{load_stage_weights, LoaderStats, OnTheFlyQuantizer};
+pub use overload::{
+    poisson_requests, serve, AdmissionConfig, AdmissionController, AdmissionPolicy, AdmissionStats,
+    BatchEngine, DegradationConfig, DegradationController, KvGuardConfig, PipelineEngine, Request,
+    RungTransition, ServeConfig, ServeReport, SimEngine,
+};
 pub use supervisor::{
     run_pipeline_supervised, run_pipeline_supervised_observed, FoldReplanner, RecoveryAction,
     RecoveryEvent, RecoveryPolicy, Replanner, SupervisedOutput, SupervisorConfig,
@@ -46,6 +58,6 @@ pub use telemetry::{
     HistogramSnapshot, LatencyHistogram, Span, StageRecorder, Telemetry,
 };
 pub use worker::{
-    run_worker, run_worker_ctx, MetricsSink, StageMetrics, StageSpec, WorkItem, WorkerCtx,
-    WorkerMsg,
+    disconnect_board, run_worker, run_worker_ctx, DisconnectBoard, MetricsSink, StageMetrics,
+    StageSpec, WorkItem, WorkerCtx, WorkerMsg,
 };

@@ -68,6 +68,12 @@ pub struct SupervisorConfig {
     pub backoff_cap_ms: u64,
     /// Recovery policy.
     pub policy: RecoveryPolicy,
+    /// Inter-stage queue bound. `Some(n)` makes every channel in the
+    /// pipeline hold at most `n` items, so a slow stage backpressures
+    /// its upstream all the way to the master instead of letting queues
+    /// grow without bound; `None` keeps the legacy unbounded channels.
+    #[serde(default)]
+    pub max_queue: Option<usize>,
 }
 
 impl Default for SupervisorConfig {
@@ -81,6 +87,7 @@ impl Default for SupervisorConfig {
             backoff_factor: 2.0,
             backoff_cap_ms: 1_000,
             policy: RecoveryPolicy::Replan,
+            max_queue: None,
         }
     }
 }
@@ -253,6 +260,7 @@ pub fn run_pipeline_supervised_observed(
             progress_timeout: Some(Duration::from_millis(cfg.progress_timeout_ms)),
             tick: Some(Duration::from_millis(cfg.tick_ms.max(1))),
             telemetry: telemetry.clone(),
+            queue_cap: cfg.max_queue,
         };
         match run_attempt(checkpoint, &current_plan, prompts, &mut tokens, n_generate, &stage_weights, &sup, &sink)
         {
@@ -335,7 +343,7 @@ pub fn run_pipeline_supervised_observed(
                     // A hung stage's restart is attributed to it; other
                     // failures only bump the global counter.
                     let failed_stage = match &e {
-                        RuntimeError::StageHung(s) => Some(*s),
+                        RuntimeError::StageHung(s) | RuntimeError::StageDisconnected(s) => Some(*s),
                         _ => None,
                     };
                     t.note_restart(failed_stage);
@@ -403,6 +411,7 @@ mod tests {
             backoff_factor: 2.0,
             backoff_cap_ms: 8,
             policy: RecoveryPolicy::Replan,
+            max_queue: None,
         }
     }
 
@@ -429,6 +438,63 @@ mod tests {
         let qm = quantize_model(&m, &BitAssignment { bits }, Rounding::Deterministic, 0);
         for (i, p) in prompts.iter().enumerate() {
             assert_eq!(out.output.tokens[i], qm.generate(p, 5, 0.0, 0).tokens, "sequence {i}");
+        }
+    }
+
+    #[test]
+    fn bounded_queues_backpressure_without_changing_tokens() {
+        // With every inter-stage queue capped at one item the master is
+        // forced to pace itself against the slowest stage; the run must
+        // still finish and produce exactly the reference tokens.
+        let m = model();
+        let bits = vec![Bitwidth::Int8, Bitwidth::Fp16];
+        let prompts = vec![vec![1, 2, 3], vec![9, 8, 7], vec![4, 5], vec![6]];
+        let cfg = SupervisorConfig { max_queue: Some(1), ..test_cfg() };
+        let out = run_pipeline_supervised(
+            &m,
+            &plan(bits.clone(), 1, mb(1, 1, 4)),
+            &prompts,
+            6,
+            Rounding::Deterministic,
+            0,
+            &cfg,
+            None,
+            None,
+        )
+        .expect("bounded run");
+        assert_eq!(out.restarts, 0, "backpressure must not look like a failure");
+        let qm = quantize_model(&m, &BitAssignment { bits }, Rounding::Deterministic, 0);
+        for (i, p) in prompts.iter().enumerate() {
+            assert_eq!(out.output.tokens[i], qm.generate(p, 6, 0.0, 0).tokens, "sequence {i}");
+        }
+    }
+
+    #[test]
+    fn bounded_queues_compose_with_fault_recovery() {
+        // Backpressure and the supervisor's restart path interact: a
+        // crash while the master is potentially blocked on a full queue
+        // must still be detected and recovered from.
+        let m = model();
+        let bits = vec![Bitwidth::Int8, Bitwidth::Fp16];
+        let prompts = vec![vec![1, 2, 3], vec![9, 8, 7]];
+        let faults = FaultPlan::crash_schedule(&[(1, 2)]);
+        let cfg = SupervisorConfig { max_queue: Some(1), ..test_cfg() };
+        let out = run_pipeline_supervised(
+            &m,
+            &plan(bits.clone(), 1, mb(1, 1, 2)),
+            &prompts,
+            6,
+            Rounding::Deterministic,
+            0,
+            &cfg,
+            Some(&faults),
+            Some(&FoldReplanner),
+        )
+        .expect("recovered under backpressure");
+        assert_eq!(out.restarts, 1);
+        let qm = quantize_model(&m, &BitAssignment { bits }, Rounding::Deterministic, 0);
+        for (i, p) in prompts.iter().enumerate() {
+            assert_eq!(out.output.tokens[i], qm.generate(p, 6, 0.0, 0).tokens, "sequence {i}");
         }
     }
 

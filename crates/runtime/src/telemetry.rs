@@ -364,6 +364,14 @@ pub struct Telemetry {
     replans: AtomicU64,
     retried_batches: AtomicU64,
     tokens: AtomicU64,
+    // Overload-control signals (see `crate::overload`).
+    shed: AtomicU64,
+    expired: AtomicU64,
+    preempted: AtomicU64,
+    rung: AtomicU64,
+    rung_peak: AtomicU64,
+    queue_pressure_milli: AtomicU64,
+    queue_pressure_peak_milli: AtomicU64,
 }
 
 impl Telemetry {
@@ -379,6 +387,13 @@ impl Telemetry {
             replans: AtomicU64::new(0),
             retried_batches: AtomicU64::new(0),
             tokens: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
+            preempted: AtomicU64::new(0),
+            rung: AtomicU64::new(0),
+            rung_peak: AtomicU64::new(0),
+            queue_pressure_milli: AtomicU64::new(0),
+            queue_pressure_peak_milli: AtomicU64::new(0),
         })
     }
 
@@ -450,6 +465,84 @@ impl Telemetry {
     /// Generated tokens observed so far.
     pub fn tokens(&self) -> u64 {
         self.tokens.load(Ordering::Relaxed)
+    }
+
+    /// Count requests turned away by admission control.
+    pub fn note_shed(&self, n: u64) {
+        self.shed.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Count admitted requests dropped after their deadline or queue
+    /// timeout expired.
+    pub fn note_expired(&self, n: u64) {
+        self.expired.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Overwrite the shed counter with an authoritative total — for
+    /// loops (like `overload::serve`) that own the canonical count and
+    /// mirror it into the hub rather than incrementing in two places.
+    pub fn sync_shed(&self, total: u64) {
+        self.shed.store(total, Ordering::Relaxed);
+    }
+
+    /// Overwrite the expired counter with an authoritative total.
+    pub fn sync_expired(&self, total: u64) {
+        self.expired.store(total, Ordering::Relaxed);
+    }
+
+    /// Count one KV-pressure preemption (the batch is requeued, not
+    /// lost).
+    pub fn note_preempted(&self) {
+        self.preempted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Requests shed so far.
+    pub fn shed(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    /// Requests expired so far.
+    pub fn expired(&self) -> u64 {
+        self.expired.load(Ordering::Relaxed)
+    }
+
+    /// KV-pressure preemptions so far.
+    pub fn preempted(&self) -> u64 {
+        self.preempted.load(Ordering::Relaxed)
+    }
+
+    /// Set the degradation-ladder rung gauge (0 = normal quality).
+    pub fn set_rung(&self, rung: usize) {
+        self.rung.store(rung as u64, Ordering::Relaxed);
+        self.rung_peak.fetch_max(rung as u64, Ordering::Relaxed);
+    }
+
+    /// Current degradation-ladder rung.
+    pub fn rung(&self) -> usize {
+        self.rung.load(Ordering::Relaxed) as usize
+    }
+
+    /// Deepest rung reached so far.
+    pub fn rung_peak(&self) -> usize {
+        self.rung_peak.load(Ordering::Relaxed) as usize
+    }
+
+    /// Set the admission-queue pressure gauge (`pending / max_queue`,
+    /// clamped to `[0, 1]`; stored in milli-units).
+    pub fn set_queue_pressure(&self, pressure: f64) {
+        let milli = (pressure.clamp(0.0, 1.0) * 1000.0).round() as u64;
+        self.queue_pressure_milli.store(milli, Ordering::Relaxed);
+        self.queue_pressure_peak_milli.fetch_max(milli, Ordering::Relaxed);
+    }
+
+    /// Current admission-queue pressure in `[0, 1]`.
+    pub fn queue_pressure(&self) -> f64 {
+        self.queue_pressure_milli.load(Ordering::Relaxed) as f64 / 1000.0
+    }
+
+    /// High-water mark of the queue-pressure gauge.
+    pub fn queue_pressure_peak(&self) -> f64 {
+        self.queue_pressure_peak_milli.load(Ordering::Relaxed) as f64 / 1000.0
     }
 
     /// Spans grouped per trace thread, sorted by start time, with
@@ -541,6 +634,15 @@ impl Telemetry {
         out.push_str(&format!("restarts: {}\n", self.restarts()));
         out.push_str(&format!("replans: {}\n", self.replans()));
         out.push_str(&format!("retried_batches: {}\n", self.retried_batches()));
+        out.push_str(&format!("shed: {}\n", self.shed()));
+        out.push_str(&format!("expired: {}\n", self.expired()));
+        out.push_str(&format!("preempted: {}\n", self.preempted()));
+        out.push_str(&format!("rung: {} (peak {})\n", self.rung(), self.rung_peak()));
+        out.push_str(&format!(
+            "queue_pressure: {:.3} (peak {:.3})\n",
+            self.queue_pressure(),
+            self.queue_pressure_peak()
+        ));
         let fmt_hist = |label: &str, h: &HistogramSnapshot| -> String {
             match h.percentile(0.5) {
                 None => format!("  latency_us {label}: (no samples)\n"),
@@ -765,6 +867,39 @@ mod tests {
         assert!(text.contains("restarts: 1"));
         assert!(text.contains("replans: 1"));
         assert!(text.contains("latency_us prefill: (no samples)"));
+    }
+
+    #[test]
+    fn overload_gauges_track_peaks() {
+        let tel = Telemetry::new(1);
+        tel.note_shed(3);
+        tel.note_expired(2);
+        tel.note_preempted();
+        tel.set_rung(2);
+        tel.set_rung(1);
+        tel.set_queue_pressure(0.75);
+        tel.set_queue_pressure(0.25);
+        assert_eq!(tel.shed(), 3);
+        assert_eq!(tel.expired(), 2);
+        assert_eq!(tel.preempted(), 1);
+        assert_eq!(tel.rung(), 1);
+        assert_eq!(tel.rung_peak(), 2, "peak survives stepping back up");
+        assert!((tel.queue_pressure() - 0.25).abs() < 1e-9);
+        assert!((tel.queue_pressure_peak() - 0.75).abs() < 1e-9);
+        let text = tel.metrics_text();
+        assert!(text.contains("shed: 3"), "{text}");
+        assert!(text.contains("rung: 1 (peak 2)"), "{text}");
+        assert!(text.contains("queue_pressure: 0.250 (peak 0.750)"), "{text}");
+    }
+
+    #[test]
+    fn queue_pressure_is_clamped_to_unit_interval() {
+        let tel = Telemetry::new(1);
+        tel.set_queue_pressure(7.3);
+        assert_eq!(tel.queue_pressure(), 1.0);
+        tel.set_queue_pressure(-1.0);
+        assert_eq!(tel.queue_pressure(), 0.0);
+        assert_eq!(tel.queue_pressure_peak(), 1.0);
     }
 
     #[test]

@@ -13,7 +13,7 @@
 
 use crate::fault::{FaultAction, FaultInjector, Heartbeats};
 use crate::telemetry::{Span, Telemetry};
-use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use crossbeam::channel::{Receiver, RecvTimeoutError, SendTimeoutError, Sender};
 use llmpq_model::{forward_layer_alibi, KvCache, LayerWeights, Matrix, Phase};
 use llmpq_quant::Bitwidth;
 use parking_lot::Mutex;
@@ -34,6 +34,18 @@ pub struct StageMetrics {
 
 /// Shared collection of per-stage metrics.
 pub type MetricsSink = Arc<Mutex<Vec<StageMetrics>>>;
+
+/// Shared board where a stage records that it *lost a work item*
+/// because its downstream channel disconnected mid-run. The master
+/// engine consults it when an attempt fails, so a silently dropped item
+/// surfaces as [`RuntimeError::StageDisconnected`](crate::engine::RuntimeError::StageDisconnected)
+/// with the stage that dropped it, instead of a generic worker death.
+pub type DisconnectBoard = Arc<Mutex<Vec<usize>>>;
+
+/// Fresh, empty disconnect board.
+pub fn disconnect_board() -> DisconnectBoard {
+    Arc::new(Mutex::new(Vec::new()))
+}
 
 /// Static description of one stage (device + layer shard + precisions).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -104,8 +116,11 @@ pub struct WorkerCtx {
     /// onto trace spans.
     pub bits: Arc<str>,
     /// Receive-timeout granularity: how often an idle worker wakes to
-    /// heartbeat and check the abort flag.
+    /// heartbeat and check the abort flag. With bounded queues it is
+    /// also the send-retry granularity under backpressure.
     pub tick: Duration,
+    /// Disconnect board, if the run wants dropped-item attribution.
+    pub disconnects: Option<DisconnectBoard>,
 }
 
 impl WorkerCtx {
@@ -124,6 +139,41 @@ impl WorkerCtx {
             telemetry: None,
             bits: Arc::from(""),
             tick: Duration::from_millis(5),
+            disconnects: None,
+        }
+    }
+}
+
+/// Send `msg` downstream, honoring bounded-queue backpressure: a full
+/// queue blocks in `tick`-sized slices, heartbeating between tries so a
+/// backpressured (but healthy) stage is never mistaken for a hung one,
+/// and bailing out if the attempt was aborted. Returns `false` when the
+/// message could not be delivered. A *disconnected* downstream is
+/// recorded on the ctx's [`DisconnectBoard`] when `note_drop` is set
+/// (work items and protocol replies — real losses; shutdown forwards
+/// during teardown are not).
+fn send_downstream(ctx: &WorkerCtx, output: &Sender<WorkerMsg>, msg: WorkerMsg, note_drop: bool) -> bool {
+    let mut msg = msg;
+    loop {
+        match output.send_timeout(msg, ctx.tick) {
+            Ok(()) => return true,
+            Err(SendTimeoutError::Disconnected(_)) => {
+                if note_drop {
+                    if let Some(board) = &ctx.disconnects {
+                        board.lock().push(ctx.stage);
+                    }
+                }
+                return false;
+            }
+            Err(SendTimeoutError::Timeout(m)) => {
+                msg = m;
+                if let Some(hb) = &ctx.heartbeats {
+                    hb.beat(ctx.stage);
+                }
+                if ctx.injector.as_ref().is_some_and(|i| i.aborted()) {
+                    return false;
+                }
+            }
         }
     }
 }
@@ -190,12 +240,18 @@ pub fn run_worker_ctx(
         match msg {
             WorkerMsg::Shutdown => {
                 flush(&metrics);
-                let _ = output.send(WorkerMsg::Shutdown);
+                // Teardown: a downstream that is already gone is not a
+                // lost work item, so no disconnect note.
+                send_downstream(ctx, &output, WorkerMsg::Shutdown, false);
                 return;
             }
             WorkerMsg::Protocol(e) => {
-                // Propagate toward the master.
-                let _ = output.send(WorkerMsg::Protocol(e));
+                // Propagate toward the master; losing the reply would
+                // hide the violation, so a disconnect is recorded.
+                if !send_downstream(ctx, &output, WorkerMsg::Protocol(e), true) {
+                    flush(&metrics);
+                    return;
+                }
             }
             WorkerMsg::Work(mut item) => {
                 let tel = ctx.telemetry.as_deref();
@@ -208,10 +264,14 @@ pub fn run_worker_ctx(
                     continue;
                 }
                 if let Some(&(seq, _)) = item.seqs.iter().find(|(s, _)| *s >= ctx.n_seqs) {
-                    let _ = output.send(WorkerMsg::Protocol(format!(
+                    let report = WorkerMsg::Protocol(format!(
                         "stage {}: sequence id {seq} out of range (batch has {})",
                         ctx.stage, ctx.n_seqs
-                    )));
+                    ));
+                    if !send_downstream(ctx, &output, report, true) {
+                        flush(&metrics);
+                        return;
+                    }
                     continue;
                 }
                 let mut duplicate = false;
@@ -306,11 +366,13 @@ pub fn run_worker_ctx(
                     }
                 }
                 let (step, microbatch, phase) = (item.step, item.microbatch, item.phase);
-                if duplicate && output.send(WorkerMsg::Work(item.clone())).is_err() {
+                if duplicate && !send_downstream(ctx, &output, WorkerMsg::Work(item.clone()), true) {
+                    flush(&metrics);
                     return;
                 }
-                if output.send(WorkerMsg::Work(item)).is_err() {
-                    return; // downstream gone
+                if !send_downstream(ctx, &output, WorkerMsg::Work(item), true) {
+                    flush(&metrics);
+                    return; // downstream gone; drop recorded on the board
                 }
                 if let (Some(t), Some(ts)) = (tel, send_start) {
                     t.record_span(Span {

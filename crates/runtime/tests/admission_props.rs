@@ -1,0 +1,219 @@
+//! Property tests for the overload-control layer: under arbitrary
+//! arrival traces, policies, KV budgets, and injected engine failures,
+//! the serving loop conserves requests (served + shed + expired ==
+//! offered), never executes a request it shed, and only moves the
+//! degradation ladder one watermark-consistent rung at a time.
+
+use llmpq_runtime::{
+    poisson_requests, serve, AdmissionConfig, AdmissionPolicy, DegradationConfig, KvGuardConfig,
+    Request, ServeConfig, SimEngine,
+};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn policy_strategy() -> impl Strategy<Value = AdmissionPolicy> {
+    prop_oneof![
+        Just(AdmissionPolicy::Reject),
+        Just(AdmissionPolicy::DeadlineShed),
+        Just(AdmissionPolicy::QueueTimeout),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every offered request ends up in exactly one terminal bucket, for
+    /// any policy, rate, queue bound, and failure cadence.
+    #[test]
+    fn serve_conserves_requests(
+        seed in 0u64..500,
+        rate in 0.5f64..100.0,
+        n in 1usize..80,
+        max_queue in 1usize..24,
+        policy in policy_strategy(),
+        fail_every_raw in 0usize..6,
+        max_retries in 0usize..3,
+    ) {
+        let requests = poisson_requests(n, rate, 4, 4, seed).unwrap();
+        let mut engine = SimEngine::new(vec![(0.05, 0.01), (0.01, 0.002)], 3, 1.0);
+        // 0 and 1 mean "never fail"; 2..6 fail every k-th batch call.
+        engine.fail_every = (fail_every_raw >= 2).then_some(fail_every_raw);
+        let cfg = ServeConfig {
+            admission: AdmissionConfig {
+                policy,
+                max_queue,
+                default_deadline_s: Some(0.5),
+                queue_timeout_s: 0.3,
+            },
+            kv_guard: None,
+            degradation: Some(DegradationConfig::default()),
+            max_inflight: 2,
+            max_retries,
+        };
+        let rep = serve(&mut engine, &requests, &cfg, None);
+        prop_assert_eq!(rep.stats.offered, n);
+        prop_assert!(
+            rep.stats.conserves(0),
+            "offered {} != served {} + shed {} + expired {}",
+            rep.stats.offered, rep.stats.served, rep.stats.shed, rep.stats.expired
+        );
+    }
+
+    /// A shed or expired request never reaches the engine's execute
+    /// path — shedding happens *before* compute is spent — and no served
+    /// request executes twice.
+    #[test]
+    fn no_compute_after_shed(
+        seed in 0u64..500,
+        rate in 5.0f64..200.0,
+        n in 1usize..60,
+        max_queue in 1usize..8,
+        policy in policy_strategy(),
+    ) {
+        let requests = poisson_requests(n, rate, 4, 4, seed).unwrap();
+        let mut engine = SimEngine::new(vec![(0.1, 0.02)], 2, 1.0);
+        let cfg = ServeConfig {
+            admission: AdmissionConfig {
+                policy,
+                max_queue,
+                default_deadline_s: Some(0.2),
+                queue_timeout_s: 0.2,
+            },
+            kv_guard: None,
+            degradation: None,
+            max_inflight: 1,
+            max_retries: 1,
+        };
+        let rep = serve(&mut engine, &requests, &cfg, None);
+        let executed = engine.executed_ids();
+        let uniq: HashSet<usize> = executed.iter().copied().collect();
+        prop_assert_eq!(executed.len(), uniq.len(), "a request executed twice");
+        prop_assert_eq!(
+            executed.len(), rep.stats.served,
+            "executed set must be exactly the served set"
+        );
+        // With no engine failures, anything the engine touched was
+        // served — dropped requests never reached run_batch.
+        prop_assert_eq!(uniq.len() + rep.stats.shed + rep.stats.expired, n);
+    }
+
+    /// The KV guard preempts rather than loses: with a budget and mixed
+    /// priorities, conservation still holds and nothing executes twice.
+    #[test]
+    fn kv_preemption_never_loses_requests(
+        seed in 0u64..500,
+        n in 2usize..40,
+        budget in 20.0f64..200.0,
+    ) {
+        let mut requests = poisson_requests(n, 20.0, 4, 4, seed).unwrap();
+        for (i, r) in requests.iter_mut().enumerate() {
+            r.priority = (i % 5) as u32;
+            if i % 3 == 0 {
+                r.prompt = vec![1; 12]; // mix sizes so the budget binds
+            }
+        }
+        let mut engine = SimEngine::new(vec![(0.02, 0.005)], 4, 1.0);
+        let cfg = ServeConfig {
+            admission: AdmissionConfig { max_queue: 64, ..AdmissionConfig::default() },
+            kv_guard: Some(KvGuardConfig { budget_bytes: budget, headroom: 0.1 }),
+            degradation: None,
+            max_inflight: 2,
+            max_retries: 1,
+        };
+        let rep = serve(&mut engine, &requests, &cfg, None);
+        prop_assert!(rep.stats.conserves(0));
+        let executed = engine.executed_ids();
+        let uniq: HashSet<usize> = executed.iter().copied().collect();
+        prop_assert_eq!(executed.len(), uniq.len(), "preemption re-ran a request");
+        prop_assert_eq!(executed.len(), rep.stats.served);
+    }
+
+    /// Ladder transitions are monotone per pressure episode: every step
+    /// moves exactly one rung, downs only fire at/above the high
+    /// watermark, ups only at/below the low watermark, and the rung
+    /// stays inside the ladder.
+    #[test]
+    fn ladder_transitions_are_watermark_consistent(
+        seed in 0u64..500,
+        rate in 1.0f64..150.0,
+        n in 5usize..80,
+        high in 0.6f64..0.95,
+        low_frac in 0.1f64..0.8,
+        dwell in 1usize..5,
+        n_rungs in 1usize..4,
+    ) {
+        let low = high * low_frac; // keep low < high so the band exists
+        let requests = poisson_requests(n, rate, 4, 4, seed).unwrap();
+        let costs: Vec<(f64, f64)> =
+            (0..n_rungs).map(|r| (0.1 / (r + 1) as f64, 0.02 / (r + 1) as f64)).collect();
+        let mut engine = SimEngine::new(costs, 3, 1.0);
+        let cfg = ServeConfig {
+            admission: AdmissionConfig { max_queue: 8, ..AdmissionConfig::default() },
+            kv_guard: None,
+            degradation: Some(DegradationConfig { high, low, dwell }),
+            max_inflight: 1,
+            max_retries: 1,
+        };
+        let rep = serve(&mut engine, &requests, &cfg, None);
+        let mut rung = 0usize;
+        for tr in &rep.transitions {
+            prop_assert_eq!(tr.from, rung, "transition chain broken: {:?}", rep.transitions);
+            prop_assert_eq!(tr.from.abs_diff(tr.to), 1, "multi-rung jump: {:?}", tr);
+            prop_assert!(tr.to < n_rungs.max(1), "rung out of range: {:?}", tr);
+            if tr.to > tr.from {
+                prop_assert!(tr.pressure >= high, "step-down below high watermark: {:?}", tr);
+            } else {
+                prop_assert!(tr.pressure <= low, "step-up above low watermark: {:?}", tr);
+            }
+            rung = tr.to;
+        }
+        prop_assert_eq!(rep.final_rung, rung);
+        prop_assert!(rep.peak_rung < n_rungs.max(1));
+    }
+
+    /// Offering a hand-built adversarial trace (bursts, ties, identical
+    /// arrival times) through the controller alone also conserves.
+    #[test]
+    fn controller_counters_conserve(
+        n in 1usize..60,
+        max_queue in 1usize..10,
+        policy in policy_strategy(),
+        takes in 0usize..40,
+    ) {
+        use llmpq_runtime::AdmissionController;
+        let mut a = AdmissionController::new(AdmissionConfig {
+            policy,
+            max_queue,
+            default_deadline_s: Some(0.1),
+            queue_timeout_s: 0.05,
+        });
+        for i in 0..n {
+            let t = (i / 3) as f64 * 0.04; // bursts of three per tick
+            a.offer(
+                Request {
+                    id: i,
+                    arrival_s: t,
+                    prompt: vec![1, 2],
+                    n_generate: 2,
+                    deadline_s: None,
+                    priority: (i % 3) as u32,
+                },
+                t,
+            );
+            if i % 5 == 4 {
+                a.reap(t + 0.02);
+            }
+        }
+        let mut served = 0usize;
+        for _ in 0..takes {
+            if a.take().is_some() {
+                served += 1;
+                a.note_served(1);
+            }
+        }
+        a.reap(f64::MAX); // expire whatever the policy still can
+        let s = a.stats();
+        prop_assert!(s.conserves(a.pending()), "{:?} pending {}", s, a.pending());
+        prop_assert_eq!(s.served, served);
+    }
+}

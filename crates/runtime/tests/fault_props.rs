@@ -59,6 +59,7 @@ proptest! {
             backoff_factor: 1.5,
             backoff_cap_ms: 4,
             policy: RecoveryPolicy::Replan,
+            max_queue: None,
         };
         let res = run_pipeline_supervised(
             &m,

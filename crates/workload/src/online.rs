@@ -55,6 +55,38 @@ impl Default for OnlineConfig {
     }
 }
 
+/// A malformed [`OnlineConfig`], reported instead of panicking or
+/// looping forever (a non-positive arrival rate would make the
+/// inter-arrival draw divide by zero).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum OnlineError {
+    /// `arrival_rate` must be finite and strictly positive.
+    BadArrivalRate(f64),
+    /// `n_requests` must be at least 1.
+    NoRequests,
+    /// `batch_size` must be at least 1.
+    BadBatchSize,
+    /// `failure_rate` must be a probability in `[0, 1]`.
+    BadFailureRate(f64),
+}
+
+impl std::fmt::Display for OnlineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OnlineError::BadArrivalRate(r) => {
+                write!(f, "arrival_rate must be finite and > 0 (got {r})")
+            }
+            OnlineError::NoRequests => write!(f, "n_requests must be at least 1"),
+            OnlineError::BadBatchSize => write!(f, "batch_size must be at least 1"),
+            OnlineError::BadFailureRate(p) => {
+                write!(f, "failure_rate must be a probability in [0, 1] (got {p})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OnlineError {}
+
 /// Aggregate statistics of one online run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct OnlineStats {
@@ -75,6 +107,15 @@ pub struct OnlineStats {
     /// Number of batches that failed and were retried (each adds a full
     /// extra batch latency to its requests' sojourn).
     pub retried: usize,
+    /// Requests turned away by admission control before being queued.
+    /// The base batch simulation admits everything (0); overload-aware
+    /// serving loops (`runtime::overload`) fill this in.
+    #[serde(default)]
+    pub shed: usize,
+    /// Admitted requests dropped because their SLO deadline or queue
+    /// timeout expired before service. 0 in the base simulation.
+    #[serde(default)]
+    pub expired: usize,
 }
 
 /// One simulated request.
@@ -88,16 +129,27 @@ struct Request {
 /// Run the simulation. `batch_cost(s, n, b)` returns the engine's
 /// latency for a batch of `b` requests padded to prompt length `s`
 /// generating `n` tokens each.
+///
+/// Returns [`OnlineError`] on a malformed config (non-positive or
+/// non-finite arrival rate, empty workload, zero batch size, or a
+/// failure rate outside `[0, 1]`).
 pub fn simulate_online(
     cfg: &OnlineConfig,
     prompt_model: &PromptLengthModel,
     batch_cost: &dyn Fn(usize, usize, usize) -> f64,
-) -> OnlineStats {
-    assert!(cfg.arrival_rate > 0.0 && cfg.n_requests > 0 && cfg.batch_size > 0);
-    assert!(
-        (0.0..=1.0).contains(&cfg.failure_rate),
-        "failure_rate must be a probability"
-    );
+) -> Result<OnlineStats, OnlineError> {
+    if !(cfg.arrival_rate.is_finite() && cfg.arrival_rate > 0.0) {
+        return Err(OnlineError::BadArrivalRate(cfg.arrival_rate));
+    }
+    if cfg.n_requests == 0 {
+        return Err(OnlineError::NoRequests);
+    }
+    if cfg.batch_size == 0 {
+        return Err(OnlineError::BadBatchSize);
+    }
+    if !(0.0..=1.0).contains(&cfg.failure_rate) {
+        return Err(OnlineError::BadFailureRate(cfg.failure_rate));
+    }
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
     // Failure draws come from their own stream so turning failures on or
     // off never perturbs arrivals or generation lengths.
@@ -176,7 +228,7 @@ pub fn simulate_online(
 
     sojourn.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let pct = |p: f64| sojourn[((sojourn.len() - 1) as f64 * p) as usize];
-    OnlineStats {
+    Ok(OnlineStats {
         mean_latency: sojourn.iter().sum::<f64>() / sojourn.len() as f64,
         p50_latency: pct(0.5),
         p95_latency: pct(0.95),
@@ -185,7 +237,9 @@ pub fn simulate_online(
         padding_fraction: 1.0 - real_tokens as f64 / padded_tokens as f64,
         batches,
         retried,
-    }
+        shed: 0,
+        expired: 0,
+    })
 }
 
 #[cfg(test)]
@@ -204,8 +258,8 @@ mod tests {
     #[test]
     fn latency_grows_with_load() {
         let m = PromptLengthModel::default();
-        let light = simulate_online(&cfg(0.5), &m, &toy_cost);
-        let heavy = simulate_online(&cfg(50.0), &m, &toy_cost);
+        let light = simulate_online(&cfg(0.5), &m, &toy_cost).unwrap();
+        let heavy = simulate_online(&cfg(50.0), &m, &toy_cost).unwrap();
         assert!(
             heavy.mean_queue_wait < light.mean_queue_wait + 1e9,
             "sanity"
@@ -220,7 +274,7 @@ mod tests {
         // Arrival far beyond capacity: queue wait dominates sojourn.
         let m = PromptLengthModel::default();
         let expensive = |_s: usize, _n: usize, _b: usize| 5.0; // 5 s per batch of ≤8
-        let over = simulate_online(&cfg(100.0), &m, &expensive);
+        let over = simulate_online(&cfg(100.0), &m, &expensive).unwrap();
         assert!(over.mean_queue_wait > over.mean_latency * 0.5);
         assert!(over.p95_latency > over.p50_latency);
     }
@@ -228,7 +282,7 @@ mod tests {
     #[test]
     fn padding_reflects_length_dispersion() {
         let m = PromptLengthModel::default();
-        let stats = simulate_online(&cfg(10.0), &m, &toy_cost);
+        let stats = simulate_online(&cfg(10.0), &m, &toy_cost).unwrap();
         // ShareGPT-like dispersion ⇒ substantial padding waste in
         // max-padded batches; and it must be a valid fraction.
         assert!(stats.padding_fraction > 0.2 && stats.padding_fraction < 0.95);
@@ -238,7 +292,7 @@ mod tests {
     fn batch_size_one_has_no_padding() {
         let m = PromptLengthModel::default();
         let c = OnlineConfig { batch_size: 1, ..cfg(5.0) };
-        let stats = simulate_online(&c, &m, &toy_cost);
+        let stats = simulate_online(&c, &m, &toy_cost).unwrap();
         assert!(stats.padding_fraction.abs() < 1e-12);
         assert_eq!(stats.batches, c.n_requests);
     }
@@ -246,15 +300,15 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let m = PromptLengthModel::default();
-        let a = simulate_online(&cfg(2.0), &m, &toy_cost);
-        let b = simulate_online(&cfg(2.0), &m, &toy_cost);
+        let a = simulate_online(&cfg(2.0), &m, &toy_cost).unwrap();
+        let b = simulate_online(&cfg(2.0), &m, &toy_cost).unwrap();
         assert_eq!(a, b);
     }
 
     #[test]
     fn all_requests_complete() {
         let m = PromptLengthModel::default();
-        let stats = simulate_online(&cfg(3.0), &m, &toy_cost);
+        let stats = simulate_online(&cfg(3.0), &m, &toy_cost).unwrap();
         assert!(stats.batches <= 300);
         assert!(stats.mean_latency >= 0.05, "at least one batch latency");
     }
@@ -262,16 +316,16 @@ mod tests {
     #[test]
     fn no_failures_means_no_retries() {
         let m = PromptLengthModel::default();
-        let stats = simulate_online(&cfg(3.0), &m, &toy_cost);
+        let stats = simulate_online(&cfg(3.0), &m, &toy_cost).unwrap();
         assert_eq!(stats.retried, 0);
     }
 
     #[test]
     fn failures_requeue_and_cost_latency() {
         let m = PromptLengthModel::default();
-        let clean = simulate_online(&cfg(3.0), &m, &toy_cost);
+        let clean = simulate_online(&cfg(3.0), &m, &toy_cost).unwrap();
         let flaky_cfg = OnlineConfig { failure_rate: 0.5, ..cfg(3.0) };
-        let flaky = simulate_online(&flaky_cfg, &m, &toy_cost);
+        let flaky = simulate_online(&flaky_cfg, &m, &toy_cost).unwrap();
         assert!(flaky.retried > 0, "half the batches should fail");
         assert!(flaky.retried <= flaky.batches);
         // The lost work shows up as extra sojourn. (Sustained throughput
@@ -285,7 +339,7 @@ mod tests {
     fn certain_failure_retries_every_batch() {
         let m = PromptLengthModel::default();
         let c = OnlineConfig { failure_rate: 1.0, ..cfg(3.0) };
-        let stats = simulate_online(&c, &m, &toy_cost);
+        let stats = simulate_online(&c, &m, &toy_cost).unwrap();
         assert_eq!(stats.retried, stats.batches, "every batch fails once then completes");
     }
 
@@ -294,15 +348,66 @@ mod tests {
         // Retrying keeps the server busy longer, which re-shapes later
         // batches — but every request still completes exactly once.
         let m = PromptLengthModel::default();
-        let flaky = simulate_online(&OnlineConfig { failure_rate: 0.3, ..cfg(2.0) }, &m, &toy_cost);
+        let flaky = simulate_online(&OnlineConfig { failure_rate: 0.3, ..cfg(2.0) }, &m, &toy_cost).unwrap();
         assert!(flaky.batches > 0 && flaky.batches <= 300);
         assert!(flaky.mean_latency.is_finite() && flaky.p95_latency.is_finite());
     }
 
     #[test]
-    #[should_panic(expected = "failure_rate must be a probability")]
     fn rejects_bad_failure_rate() {
         let m = PromptLengthModel::default();
-        simulate_online(&OnlineConfig { failure_rate: 1.5, ..cfg(1.0) }, &m, &toy_cost);
+        let err = simulate_online(&OnlineConfig { failure_rate: 1.5, ..cfg(1.0) }, &m, &toy_cost)
+            .unwrap_err();
+        assert_eq!(err, OnlineError::BadFailureRate(1.5));
+        assert!(err.to_string().contains("probability"));
+    }
+
+    #[test]
+    fn rejects_zero_and_negative_arrival_rate() {
+        let m = PromptLengthModel::default();
+        for rate in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let err = simulate_online(&cfg(rate), &m, &toy_cost).unwrap_err();
+            assert!(
+                matches!(err, OnlineError::BadArrivalRate(_)),
+                "rate {rate} must be rejected, got {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_empty_workload_and_zero_batch() {
+        let m = PromptLengthModel::default();
+        let none = OnlineConfig { n_requests: 0, ..cfg(1.0) };
+        assert_eq!(simulate_online(&none, &m, &toy_cost).unwrap_err(), OnlineError::NoRequests);
+        let zero = OnlineConfig { batch_size: 0, ..cfg(1.0) };
+        assert_eq!(simulate_online(&zero, &m, &toy_cost).unwrap_err(), OnlineError::BadBatchSize);
+    }
+
+    #[test]
+    fn stats_serde_round_trip_keeps_shed_and_expired() {
+        let m = PromptLengthModel::default();
+        let mut stats = simulate_online(&cfg(2.0), &m, &toy_cost).unwrap();
+        stats.shed = 17;
+        stats.expired = 4;
+        let json = serde_json::to_string(&stats).unwrap();
+        let back: OnlineStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, stats);
+        assert_eq!(back.shed, 17);
+        assert_eq!(back.expired, 4);
+    }
+
+    #[test]
+    fn stats_deserialize_backfills_missing_overload_fields() {
+        // JSON written before shed/expired existed must still load.
+        let m = PromptLengthModel::default();
+        let stats = simulate_online(&cfg(2.0), &m, &toy_cost).unwrap();
+        let json = serde_json::to_string(&stats).unwrap();
+        let stripped = json
+            .replace(&format!(",\"shed\":{}", stats.shed), "")
+            .replace(&format!(",\"expired\":{}", stats.expired), "");
+        assert_ne!(stripped, json, "fields must have been present to strip");
+        let back: OnlineStats = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(back.shed, 0);
+        assert_eq!(back.expired, 0);
     }
 }

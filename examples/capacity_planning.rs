@@ -69,6 +69,7 @@ fn main() {
                 max_orderings: 3,
                 dp_grid: Some(10),
                 search_kv8: false,
+        max_bits: None,
             };
             match assign(cluster, spec, &job, &db, &flat_indicator(spec.n_layers), &cfg) {
                 Ok(out) => println!(

@@ -65,7 +65,7 @@ fn main() {
     println!("{:>8} {:>10} {:>10} {:>12} {:>10}", "req/s", "p50 (s)", "p95 (s)", "tok/s", "padding");
     for rate in [0.1, 0.3, 1.0, 3.0] {
         let cfg = OnlineConfig { arrival_rate: rate, n_requests: 100, batch_size: 8, ..Default::default() };
-        let s = simulate_online(&cfg, &prompt_model, &batch_cost);
+        let s = simulate_online(&cfg, &prompt_model, &batch_cost).expect("online sim");
         println!(
             "{rate:>8} {:>10.2} {:>10.2} {:>12.1} {:>9.0}%",
             s.p50_latency,

@@ -45,6 +45,7 @@ fn quick_cfg() -> AssignerConfig {
         max_orderings: 2,
         dp_grid: Some(8),
         search_kv8: false,
+        max_bits: None,
     }
 }
 
@@ -94,6 +95,7 @@ fn llmpq_never_loses_to_its_baselines() {
             max_orderings: 4,
             dp_grid: Some(10),
             search_kv8: false,
+        max_bits: None,
         };
         let pq = assign(&cluster, &spec, &job, &db, &indicator, &cfg).expect("feasible");
         if let Ok((_, pe)) = pipeedge_plan(&cluster, &spec, &job, &db) {
@@ -154,6 +156,7 @@ fn paper_clusters_all_get_feasible_plans() {
             max_orderings: 2,
             dp_grid: Some(8),
             search_kv8: false,
+        max_bits: None,
         };
         let out = assign(&cluster, &spec, &job, &db, &indicator, &cfg)
             .unwrap_or_else(|e| panic!("cluster {n}: {e}"));
@@ -176,6 +179,7 @@ fn heterogeneous_plan_weights_fast_devices() {
         max_orderings: 4,
         dp_grid: Some(10),
         search_kv8: false,
+        max_bits: None,
     };
     let out = assign(&cluster, &spec, &BatchJob::paper_default(), &db, &tiny_indicator(spec.n_layers), &cfg)
         .expect("feasible");

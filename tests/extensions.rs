@@ -58,6 +58,7 @@ fn kv8_search_never_hurts_the_objective() {
         max_orderings: 2,
         dp_grid: Some(8),
         search_kv8: false,
+        max_bits: None,
     };
     let base = assign(&cluster, &spec, &job, &db, &indicator, &cfg).ok();
     cfg.search_kv8 = true;
@@ -86,6 +87,7 @@ fn online_simulation_over_a_real_plan_saturates_monotonically() {
         max_orderings: 2,
         dp_grid: Some(8),
         search_kv8: false,
+        max_bits: None,
     };
     let out = assign(&cluster, &spec, &job, &db, &flat_indicator(spec.n_layers), &cfg).unwrap();
     let plan = out.plan.clone();
@@ -114,12 +116,14 @@ fn online_simulation_over_a_real_plan_saturates_monotonically() {
         &OnlineConfig { arrival_rate: 0.1, n_requests: 40, ..Default::default() },
         &pm,
         &cost,
-    );
+    )
+    .expect("light online run");
     let heavy = simulate_online(
         &OnlineConfig { arrival_rate: 10.0, n_requests: 40, ..Default::default() },
         &pm,
         &cost,
-    );
+    )
+    .expect("heavy online run");
     assert!(heavy.p95_latency >= light.p95_latency * 0.9, "saturation inverted");
     assert!(heavy.throughput >= light.throughput * 0.9, "batching should help at load");
 }
@@ -152,6 +156,7 @@ fn recovery_works_for_an_assigned_plan() {
         max_orderings: 2,
         dp_grid: Some(8),
         search_kv8: false,
+        max_bits: None,
     };
     let out = assign(&cluster, &spec, &job, &db, &flat_indicator(6), &cfg).unwrap();
     let checkpoint = RefModel::new(RefConfig::scaled_like(6, 5));

@@ -47,6 +47,7 @@ fn quick_cfg() -> AssignerConfig {
         max_orderings: 2,
         dp_grid: Some(8),
         search_kv8: false,
+        max_bits: None,
     }
 }
 
@@ -78,6 +79,7 @@ fn fast_supervisor() -> SupervisorConfig {
         backoff_factor: 2.0,
         backoff_cap_ms: 8,
         policy: RecoveryPolicy::Replan,
+        max_queue: None,
     }
 }
 

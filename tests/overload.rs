@@ -1,0 +1,205 @@
+//! Integration: the overload-control layer driving the *real*
+//! supervised thread pipeline, end-to-end across `llm-pq` (degradation
+//! ladder from Algorithm 1), `llmpq-cost` (KV budget from the memory
+//! model), and `llmpq-runtime` (admission → KV guard → ladder →
+//! supervised execution with fault injection and bounded queues).
+
+use llm_pq::{degradation_ladder, AssignerConfig, ExecutionPlan, SolverChoice, DEFAULT_CAPS};
+use llmpq_cluster::{Cluster, GpuModel, Interconnect};
+use llmpq_cost::CostDb;
+use llmpq_model::{ModelFamily, ModelSpec, RefConfig, RefModel};
+use llmpq_quant::{quantize_model, BitAssignment, IndicatorTable, Rounding};
+use llmpq_runtime::{
+    poisson_requests, serve, AdmissionConfig, AdmissionPolicy, BatchEngine, DegradationConfig,
+    FaultPlan, KvGuardConfig, PipelineEngine, ServeConfig, SupervisorConfig,
+};
+use llmpq_sim::KernelEnv;
+use llmpq_workload::BatchJob;
+
+fn tiny_spec() -> ModelSpec {
+    ModelSpec::new(ModelFamily::Opt, "tiny-4l", 4, 64, 4, 256, 128)
+}
+
+fn tiny_indicator(n_layers: usize) -> IndicatorTable {
+    IndicatorTable {
+        omega: (0..n_layers)
+            .map(|l| {
+                let base = 1.0 / (1.0 + l as f64);
+                [base, base * 0.2, base * 0.01, 0.0]
+            })
+            .collect(),
+    }
+}
+
+fn duo() -> Cluster {
+    Cluster::from_groups(
+        "duo",
+        &[(GpuModel::T4_16G, 1), (GpuModel::V100_32G, 1)],
+        Interconnect::Ethernet800G,
+        None,
+    )
+}
+
+fn quick_cfg() -> AssignerConfig {
+    AssignerConfig {
+        theta: 0.05,
+        solver: SolverChoice::Dp { group: 1 },
+        xi: 2,
+        max_orderings: 2,
+        dp_grid: Some(8),
+        search_kv8: false,
+        max_bits: None,
+    }
+}
+
+fn fast_supervisor() -> SupervisorConfig {
+    SupervisorConfig {
+        heartbeat_timeout_ms: 100,
+        progress_timeout_ms: 300,
+        tick_ms: 1,
+        max_restarts: 3,
+        backoff_base_ms: 1,
+        backoff_factor: 2.0,
+        backoff_cap_ms: 8,
+        max_queue: Some(2),
+        ..SupervisorConfig::default()
+    }
+}
+
+/// Build a real ladder with Algorithm 1 and serve an overload burst
+/// through the supervised pipeline, with fault injection active and
+/// bounded inter-stage queues — the full robustness stack in one run.
+#[test]
+fn overload_with_faults_conserves_and_degrades() {
+    let cluster = duo();
+    let spec = tiny_spec();
+    let db = CostDb::oracle(&KernelEnv::default());
+    let indicator = tiny_indicator(spec.n_layers);
+    let job = BatchJob { global_batch: 2, prompt_len: 4, n_generate: 3 };
+    let ladder =
+        degradation_ladder(&cluster, &spec, &job, &db, &indicator, &quick_cfg(), &DEFAULT_CAPS)
+            .expect("ladder");
+    assert!(!ladder.is_empty());
+    let plans: Vec<ExecutionPlan> = ladder.rungs.iter().map(|r| r.plan.clone()).collect();
+
+    let checkpoint = RefModel::new(RefConfig::scaled_like(spec.n_layers, 11));
+    let mut engine = PipelineEngine::new(checkpoint, plans, fast_supervisor());
+    engine.max_batch = 2;
+    // Crash stage 0 after one item on the first batch and hang stage 1
+    // on the third — the supervisor must absorb both inside run_batch.
+    engine.fault_plans = vec![FaultPlan::crash_schedule(&[(0, 1)]), FaultPlan::default()];
+
+    // KV budget from the cost model: what the tightest device can hold
+    // for this job's sequence length (coarse but cost-model-derived).
+    let seq = job.prompt_len + job.n_generate;
+    let kv_per_token_layer = spec.kv_bytes_per_layer(1, 1, 16.0);
+    let kv_per_token = kv_per_token_layer * spec.n_layers as f64;
+    engine.kv_per_token = kv_per_token;
+    let budget = kv_per_token * seq as f64 * 4.0; // room for ~4 requests
+
+    let n = 12usize;
+    let requests = poisson_requests(n, 50.0, 4, 3, 9).expect("arrivals");
+    let cfg = ServeConfig {
+        admission: AdmissionConfig {
+            policy: AdmissionPolicy::Reject,
+            max_queue: 6,
+            default_deadline_s: None,
+            queue_timeout_s: 1.0,
+        },
+        kv_guard: Some(KvGuardConfig { budget_bytes: budget, headroom: 0.1 }),
+        degradation: Some(DegradationConfig { high: 0.7, low: 0.2, dwell: 1 }),
+        max_inflight: 2,
+        max_retries: 2,
+    };
+    let rep = serve(&mut engine, &requests, &cfg, None);
+
+    assert!(rep.stats.conserves(0), "{:?}", rep.stats);
+    assert_eq!(rep.stats.offered, n);
+    assert!(rep.stats.served > 0, "the pipeline must make progress under faults");
+    // Every served request produced real tokens through the pipeline.
+    assert_eq!(engine.outputs.len(), rep.stats.served);
+    for toks in engine.outputs.values() {
+        assert_eq!(toks.len(), 3, "served requests generate their full token budget");
+    }
+    assert!(engine.restarts >= 1, "the injected crash must have cost a restart");
+}
+
+/// Tokens served through the overload loop at rung 0 are bit-identical
+/// to sequential execution of the rung-0 quantized model — overload
+/// control must not perturb generation.
+#[test]
+fn overload_served_tokens_match_reference() {
+    let cluster = duo();
+    let spec = tiny_spec();
+    let db = CostDb::oracle(&KernelEnv::default());
+    let indicator = tiny_indicator(spec.n_layers);
+    let job = BatchJob { global_batch: 2, prompt_len: 4, n_generate: 3 };
+    let ladder =
+        degradation_ladder(&cluster, &spec, &job, &db, &indicator, &quick_cfg(), &DEFAULT_CAPS)
+            .expect("ladder");
+    let rung0 = ladder.rungs[0].plan.clone();
+
+    let checkpoint = RefModel::new(RefConfig::scaled_like(spec.n_layers, 23));
+    let reference = {
+        let bits = rung0.bit_assignment();
+        quantize_model(&checkpoint, &BitAssignment { bits: bits.bits }, Rounding::Deterministic, 0)
+    };
+
+    let mut engine = PipelineEngine::new(checkpoint, vec![rung0], fast_supervisor());
+    engine.max_batch = 2;
+    let requests = poisson_requests(4, 2.0, 4, 3, 5).expect("arrivals");
+    let cfg = ServeConfig {
+        admission: AdmissionConfig { max_queue: 8, ..AdmissionConfig::default() },
+        kv_guard: None,
+        degradation: None,
+        max_inflight: 1,
+        max_retries: 1,
+    };
+    let rep = serve(&mut engine, &requests, &cfg, None);
+    assert_eq!(rep.stats.served, 4);
+    for req in &requests {
+        let got = &engine.outputs[&req.id];
+        let want = reference.generate(&req.prompt, req.n_generate, 0.0, 0).tokens;
+        assert_eq!(got, &want, "request {} diverged from sequential reference", req.id);
+    }
+}
+
+/// Sanity: the PipelineEngine reports KV demand consistent with the
+/// cost model's per-layer KV bytes, so guard budgets computed from
+/// `crates/cost` line up with what the loop gates on.
+#[test]
+fn pipeline_engine_kv_demand_tracks_cost_model() {
+    let spec = tiny_spec();
+    let checkpoint = RefModel::new(RefConfig::scaled_like(spec.n_layers, 3));
+    let plan_bits = vec![llmpq_quant::Bitwidth::Fp16; spec.n_layers];
+    let plan = ExecutionPlan {
+        model: "tiny-4l".into(),
+        cluster: "duo".into(),
+        stages: vec![llm_pq::StagePlan {
+            device: 0,
+            layer_start: 0,
+            layer_end: spec.n_layers,
+            bits: plan_bits,
+        }],
+        microbatch: llmpq_workload::MicrobatchPlan {
+            prefill_size: 1,
+            prefill_count: 1,
+            decode_size: 1,
+            decode_count: 1,
+        },
+        scheme: "LLM-PQ".into(),
+        kv_bits: 16,
+    };
+    let mut engine = PipelineEngine::new(checkpoint, vec![plan], fast_supervisor());
+    engine.kv_per_token = spec.kv_bytes_per_layer(1, 1, 16.0) * spec.n_layers as f64;
+    let req = llmpq_runtime::Request {
+        id: 0,
+        arrival_s: 0.0,
+        prompt: vec![1; 6],
+        n_generate: 4,
+        deadline_s: None,
+        priority: 0,
+    };
+    let want = spec.kv_bytes_per_layer(1, 1, 16.0) * spec.n_layers as f64 * 10.0;
+    assert!((engine.kv_demand(&req) - want).abs() < 1e-6);
+}

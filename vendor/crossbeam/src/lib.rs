@@ -1,72 +1,272 @@
 //! Offline stand-in for `crossbeam`, vendored so the workspace builds
 //! with no network access. Only the `channel` module surface this
-//! workspace uses is provided: unbounded channels whose `Receiver` is
-//! cloneable (std's `mpsc::Receiver` wrapped in `Arc<Mutex<..>>`).
-//! Disconnect semantics match crossbeam: `recv` fails once every sender
-//! is gone, `send` fails once every receiver clone is gone.
+//! workspace uses is provided: unbounded and bounded MPMC channels with
+//! cloneable senders and receivers, built on `Mutex<VecDeque>` plus two
+//! condition variables. Disconnect semantics match crossbeam: `recv`
+//! fails once every sender is gone, `send` fails once every receiver
+//! clone is gone, and bounded `send` blocks while the queue is full.
 
 pub mod channel {
-    use std::sync::{mpsc, Arc, Mutex};
-    use std::time::Duration;
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+    use std::time::{Duration, Instant};
 
     pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
 
-    /// Sending half of an unbounded channel.
-    pub struct Sender<T>(mpsc::Sender<T>);
+    /// Error returned by [`Sender::try_send`], mirroring
+    /// `crossbeam_channel::TrySendError`.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The channel is bounded and at capacity.
+        Full(T),
+        /// All receivers are gone.
+        Disconnected(T),
+    }
 
-    /// Receiving half of an unbounded channel; cloneable (clones share
-    /// the same queue, crossbeam-style).
-    pub struct Receiver<T>(Arc<Mutex<mpsc::Receiver<T>>>);
+    /// Error returned by [`Sender::send_timeout`], mirroring
+    /// `crossbeam_channel::SendTimeoutError`.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum SendTimeoutError<T> {
+        /// The queue stayed full for the whole timeout.
+        Timeout(T),
+        /// All receivers are gone.
+        Disconnected(T),
+    }
+
+    struct Inner<T> {
+        queue: VecDeque<T>,
+        /// `None` = unbounded.
+        cap: Option<usize>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        inner: Mutex<Inner<T>>,
+        /// Signalled when a message is pushed or the last sender drops.
+        not_empty: Condvar,
+        /// Signalled when a message is popped or the last receiver drops.
+        not_full: Condvar,
+    }
+
+    impl<T> Shared<T> {
+        fn lock(&self) -> MutexGuard<'_, Inner<T>> {
+            self.inner.lock().unwrap_or_else(|e| e.into_inner())
+        }
+    }
+
+    /// Sending half of a channel; cloneable.
+    pub struct Sender<T>(Arc<Shared<T>>);
+
+    /// Receiving half of a channel; cloneable (clones share the same
+    /// queue, crossbeam-style).
+    pub struct Receiver<T>(Arc<Shared<T>>);
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
-            Sender(self.0.clone())
+            self.0.lock().senders += 1;
+            Sender(Arc::clone(&self.0))
         }
     }
 
     impl<T> Clone for Receiver<T> {
         fn clone(&self) -> Self {
+            self.0.lock().receivers += 1;
             Receiver(Arc::clone(&self.0))
         }
     }
 
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut g = self.0.lock();
+            g.senders -= 1;
+            if g.senders == 0 {
+                drop(g);
+                self.0.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut g = self.0.lock();
+            g.receivers -= 1;
+            if g.receivers == 0 {
+                drop(g);
+                self.0.not_full.notify_all();
+            }
+        }
+    }
+
+    fn make<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(Inner {
+                queue: VecDeque::new(),
+                cap,
+                senders: 1,
+                receivers: 1,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (Sender(Arc::clone(&shared)), Receiver(shared))
+    }
+
     /// Create an unbounded channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
-        let (tx, rx) = mpsc::channel();
-        (Sender(tx), Receiver(Arc::new(Mutex::new(rx))))
+        make(None)
+    }
+
+    /// Create a bounded channel holding at most `cap` messages
+    /// (`cap == 0` is treated as capacity 1; this stand-in has no
+    /// zero-capacity rendezvous mode).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        make(Some(cap.max(1)))
+    }
+
+    impl<T> Inner<T> {
+        fn full(&self) -> bool {
+            self.cap.is_some_and(|c| self.queue.len() >= c)
+        }
     }
 
     impl<T> Sender<T> {
-        /// Send a message; fails if all receivers are gone.
+        /// Send a message, blocking while a bounded queue is full;
+        /// fails if all receivers are gone.
         pub fn send(&self, t: T) -> Result<(), SendError<T>> {
-            self.0.send(t)
+            let mut g = self.0.lock();
+            loop {
+                if g.receivers == 0 {
+                    return Err(SendError(t));
+                }
+                if !g.full() {
+                    g.queue.push_back(t);
+                    drop(g);
+                    self.0.not_empty.notify_one();
+                    return Ok(());
+                }
+                g = self.0.not_full.wait(g).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+
+        /// Send without blocking; fails with `Full` if a bounded queue
+        /// is at capacity.
+        pub fn try_send(&self, t: T) -> Result<(), TrySendError<T>> {
+            let mut g = self.0.lock();
+            if g.receivers == 0 {
+                return Err(TrySendError::Disconnected(t));
+            }
+            if g.full() {
+                return Err(TrySendError::Full(t));
+            }
+            g.queue.push_back(t);
+            drop(g);
+            self.0.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Send with a timeout: blocks up to `timeout` for queue space.
+        pub fn send_timeout(&self, t: T, timeout: Duration) -> Result<(), SendTimeoutError<T>> {
+            let deadline = Instant::now() + timeout;
+            let mut g = self.0.lock();
+            loop {
+                if g.receivers == 0 {
+                    return Err(SendTimeoutError::Disconnected(t));
+                }
+                if !g.full() {
+                    g.queue.push_back(t);
+                    drop(g);
+                    self.0.not_empty.notify_one();
+                    return Ok(());
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(SendTimeoutError::Timeout(t));
+                }
+                let (guard, _res) = self
+                    .0
+                    .not_full
+                    .wait_timeout(g, deadline - now)
+                    .unwrap_or_else(|e| e.into_inner());
+                g = guard;
+            }
         }
     }
 
     impl<T> Receiver<T> {
-        fn guard(&self) -> std::sync::MutexGuard<'_, mpsc::Receiver<T>> {
-            self.0.lock().unwrap_or_else(|e| e.into_inner())
+        fn pop(&self, g: &mut MutexGuard<'_, Inner<T>>) -> Option<T> {
+            let t = g.queue.pop_front();
+            if t.is_some() {
+                self.0.not_full.notify_one();
+            }
+            t
         }
 
         /// Block until a message or disconnect.
         pub fn recv(&self) -> Result<T, RecvError> {
-            self.guard().recv()
+            let mut g = self.0.lock();
+            loop {
+                if let Some(t) = self.pop(&mut g) {
+                    return Ok(t);
+                }
+                if g.senders == 0 {
+                    return Err(RecvError);
+                }
+                g = self.0.not_empty.wait(g).unwrap_or_else(|e| e.into_inner());
+            }
         }
 
         /// Block with a timeout.
         pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
-            self.guard().recv_timeout(timeout)
+            let deadline = Instant::now() + timeout;
+            let mut g = self.0.lock();
+            loop {
+                if let Some(t) = self.pop(&mut g) {
+                    return Ok(t);
+                }
+                if g.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _res) = self
+                    .0
+                    .not_empty
+                    .wait_timeout(g, deadline - now)
+                    .unwrap_or_else(|e| e.into_inner());
+                g = guard;
+            }
         }
 
         /// Non-blocking receive.
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
-            self.guard().try_recv()
+            let mut g = self.0.lock();
+            if let Some(t) = self.pop(&mut g) {
+                return Ok(t);
+            }
+            if g.senders == 0 {
+                return Err(TryRecvError::Disconnected);
+            }
+            Err(TryRecvError::Empty)
+        }
+
+        /// Number of messages currently queued.
+        pub fn len(&self) -> usize {
+            self.0.lock().queue.len()
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
         }
     }
 
     #[cfg(test)]
     mod tests {
         use super::*;
+        use std::time::Duration;
 
         #[test]
         fn send_recv_and_disconnect() {
@@ -94,6 +294,61 @@ pub mod channel {
                 rx.recv_timeout(Duration::from_millis(10)),
                 Err(RecvTimeoutError::Timeout)
             );
+        }
+
+        #[test]
+        fn bounded_blocks_until_space() {
+            let (tx, rx) = bounded::<u32>(2);
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)));
+            assert_eq!(
+                tx.send_timeout(3, Duration::from_millis(10)),
+                Err(SendTimeoutError::Timeout(3))
+            );
+            // A blocked send completes once the consumer drains one slot.
+            let t = std::thread::spawn(move || tx.send(3).map_err(|_| ()));
+            assert_eq!(rx.recv(), Ok(1));
+            t.join().unwrap().unwrap();
+            assert_eq!(rx.recv(), Ok(2));
+            assert_eq!(rx.recv(), Ok(3));
+        }
+
+        #[test]
+        fn bounded_send_fails_on_disconnect_not_timeout() {
+            let (tx, rx) = bounded::<u32>(1);
+            tx.send(1).unwrap();
+            drop(rx);
+            assert_eq!(
+                tx.send_timeout(2, Duration::from_millis(5)),
+                Err(SendTimeoutError::Disconnected(2))
+            );
+        }
+
+        #[test]
+        fn fifo_order_with_cloned_receivers() {
+            let (tx, rx) = bounded::<u32>(8);
+            let rx2 = rx.clone();
+            for i in 0..6 {
+                tx.send(i).unwrap();
+            }
+            let mut got = Vec::new();
+            for _ in 0..3 {
+                got.push(rx.recv().unwrap());
+                got.push(rx2.recv().unwrap());
+            }
+            assert_eq!(got, vec![0, 1, 2, 3, 4, 5]);
+        }
+
+        #[test]
+        fn len_tracks_queue_depth() {
+            let (tx, rx) = unbounded::<u32>();
+            assert!(rx.is_empty());
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(rx.len(), 2);
+            rx.recv().unwrap();
+            assert_eq!(rx.len(), 1);
         }
     }
 }
