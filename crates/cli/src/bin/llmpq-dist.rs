@@ -33,18 +33,42 @@
 //! Poisson online workload (paper §7) after the run, and the end-of-run
 //! summary surfaces the online stats — including batches that failed and
 //! were `retried` (tune with `--online-failure`).
+//!
+//! ## Multi-process mode
+//!
+//! With `--listen`, the same binary becomes one node of a *real*
+//! multi-process pipeline over TCP (the paper's deployment shape: a
+//! master plus one worker process per stage):
+//!
+//! ```text
+//! # one process per stage (any order; they retry until the master is up)
+//! llmpq-dist --strat_file_name s.json --stage 0 --listen 127.0.0.1:0 --connect 127.0.0.1:7000
+//! llmpq-dist --strat_file_name s.json --stage 1 --listen 127.0.0.1:0 --connect 127.0.0.1:7000
+//! # the master (no --stage): drives generation, prints the tokens
+//! llmpq-dist --strat_file_name s.json --listen 127.0.0.1:7000
+//! ```
+//!
+//! All processes must be given the same strategy file, seed, batch and
+//! prompt length: the handshake carries a plan fingerprint and refuses
+//! mismatched peers. Tokens are bit-identical to the in-process run.
+//! `--wire-fault` injects transport faults (delayed / dropped /
+//! duplicated / corrupted frames, connection drops) from a JSON plan;
+//! the master's supervisor restarts the attempt on a lost connection.
 
 use llm_pq::evaluate::stage_loads;
 use llm_pq::{degradation_ladder, AssignerConfig, DegradationLadder, ExecutionPlan, DEFAULT_CAPS};
 use llmpq_cli::Args;
 use llmpq_cluster::paper_cluster;
-use llmpq_cost::{predicted_stage_seconds, stage_crosscheck, CostDb, StageCrosscheck};
+use llmpq_cost::{
+    link_crosscheck, predicted_stage_seconds, stage_crosscheck, CostDb, LinkObservation,
+    StageCrosscheck,
+};
 use llmpq_model::{zoo, RefConfig, RefModel};
 use llmpq_quant::{random_indicator, Rounding};
 use llmpq_runtime::{
-    poisson_requests, run_pipeline_observed, run_pipeline_supervised_observed, serve,
-    AdmissionConfig, AdmissionPolicy, FaultPlan, FoldReplanner, ServeConfig, SimEngine,
-    SupervisorConfig, Telemetry,
+    poisson_requests, run_master, run_pipeline_observed, run_pipeline_supervised_observed,
+    run_stage, serve, AdmissionConfig, AdmissionPolicy, DistMasterConfig, DistStageConfig,
+    FaultPlan, FoldReplanner, ServeConfig, SimEngine, SupervisorConfig, Telemetry, WireFaultPlan,
 };
 use llmpq_sim::{KernelEnv, PipelineWorkload};
 use llmpq_workload::{simulate_online, BatchJob, OnlineConfig, PromptLengthModel};
@@ -54,7 +78,15 @@ const USAGE: &str = "usage: llmpq-dist --strat_file_name <strategy.json>
     [--fault-plan faults.json] [--trace-out trace.json] [--metrics-out metrics.txt]
     [--online-rate req_per_s] [--online-requests 150] [--online-failure 0.0]
     [--max-queue N] [--admission reject|deadline|timeout] [--deadline-ms 2000]
-    [--degrade-ladder auto|ladder.json]";
+    [--degrade-ladder auto|ladder.json]
+
+multi-process mode (one OS process per stage + a master, TCP loopback or LAN):
+  master:  llmpq-dist --strat_file_name s.json --listen HOST:PORT
+           [--wire-fault wire.json] [--metrics-out metrics.txt] [--trace-out trace.json]
+  stage:   llmpq-dist --strat_file_name s.json --stage I --listen HOST:0 --connect MASTER
+           [--wire-fault wire.json]
+  (same strategy file / seed / batch / prompt-len everywhere; the master prints
+   'listening on HOST:PORT' on stdout once ready)";
 
 fn main() {
     let args = match Args::parse(std::env::args().skip(1)) {
@@ -116,6 +148,18 @@ fn run(args: &Args) -> Result<(), String> {
     let prompts: Vec<Vec<usize>> = (0..batch)
         .map(|i| (0..prompt_len).map(|j| (i * 41 + j * 17 + seed as usize) % checkpoint.cfg.vocab).collect())
         .collect();
+
+    // Multi-process mode: `--stage I` makes this process serve pipeline
+    // stage I; `--listen` without `--stage` makes it the master. Both
+    // derive the identical stand-in checkpoint and prompt set from the
+    // shared flags, which is what makes the distributed tokens
+    // bit-comparable to the in-process engine.
+    if args.get("stage").is_some() {
+        return run_stage_process(args, &plan, &checkpoint, batch);
+    }
+    if args.get("listen").is_some() {
+        return run_master_process(args, &plan, &checkpoint, &prompts, n_generate);
+    }
 
     let faults = match args.get("fault-plan") {
         Some(fp) => {
@@ -271,6 +315,163 @@ fn run(args: &Args) -> Result<(), String> {
             );
         }
     }
+    Ok(())
+}
+
+/// Load `--wire-fault` (transport-level fault plan) if given.
+fn load_wire_faults(args: &Args) -> Result<WireFaultPlan, String> {
+    match args.get("wire-fault") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            let plan = WireFaultPlan::from_json(&text)?;
+            eprintln!("wire-fault plan: {} scheduled events", plan.events.len());
+            Ok(plan)
+        }
+        None => Ok(WireFaultPlan::none()),
+    }
+}
+
+/// `--listen` without `--stage`: run the distributed master. Prints
+/// `listening on HOST:PORT` to stdout once bound (scripts and tests
+/// parse this to learn the ephemeral port), then blocks until all stage
+/// processes check in and generation completes.
+fn run_master_process(
+    args: &Args,
+    plan: &ExecutionPlan,
+    checkpoint: &RefModel,
+    prompts: &[Vec<usize>],
+    n_generate: usize,
+) -> Result<(), String> {
+    use std::io::Write as _;
+    let listen = args.required("listen").map_err(|e| e.to_string())?;
+    let wire_faults = load_wire_faults(args)?;
+    let listener =
+        std::net::TcpListener::bind(listen).map_err(|e| format!("bind {listen}: {e}"))?;
+    let addr = listener.local_addr().map_err(|e| e.to_string())?;
+    println!("listening on {addr}");
+    let _ = std::io::stdout().flush();
+    eprintln!("master: waiting for {} stage process(es) to check in", plan.stages.len());
+
+    let telemetry = Telemetry::new(plan.stages.len());
+    let cfg = DistMasterConfig {
+        supervisor: SupervisorConfig::default(),
+        wire_faults,
+        telemetry: Some(telemetry.clone()),
+    };
+    let out =
+        run_master(checkpoint, plan, prompts, n_generate, &listener, &cfg).map_err(|e| e.to_string())?;
+
+    if let Some(path) = args.get("trace-out") {
+        std::fs::write(path, telemetry.to_chrome_trace()).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("wrote Chrome trace to {path} (open in chrome://tracing or ui.perfetto.dev)");
+    }
+
+    // Interconnect-model cross-check: the α-β loopback link vs the
+    // transfer time the transport actually observed per link.
+    let obs: Vec<LinkObservation> = out
+        .link_stats
+        .iter()
+        .enumerate()
+        .map(|(i, l)| LinkObservation {
+            link: i,
+            bytes: l.bytes_tx.max(l.bytes_rx) as f64,
+            frames: l.frames_tx.max(l.frames_rx),
+            observed_s: l.comm_s(),
+        })
+        .collect();
+    let rows = link_crosscheck(&llmpq_cluster::interconnect::Link::loopback(), &obs);
+
+    if let Some(path) = args.get("metrics-out") {
+        let mut text = telemetry.metrics_text();
+        text.push_str(&render_link_crosscheck(&rows));
+        std::fs::write(path, text).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("wrote metrics snapshot to {path}");
+    }
+
+    println!(
+        "generated {} tokens x {} sequences in {:.3}s wall ({} restarts)",
+        n_generate,
+        prompts.len(),
+        out.wall_s,
+        out.restarts
+    );
+    println!(
+        "admission: offered {} served {} shed {} expired {} (conserved={})",
+        out.admission.offered,
+        out.admission.served,
+        out.admission.shed,
+        out.admission.expired,
+        out.admission.conserves(0)
+    );
+    for (i, toks) in out.tokens.iter().enumerate() {
+        println!("seq {i}: {toks:?}");
+    }
+    for (i, l) in out.link_stats.iter().enumerate() {
+        eprintln!(
+            "link {i}: {} B tx / {} B rx, {} frames, {:.4}s comm, {} corrupt",
+            l.bytes_tx,
+            l.bytes_rx,
+            l.frames_tx.max(l.frames_rx),
+            l.comm_s(),
+            l.corrupt_frames
+        );
+    }
+    for r in &rows {
+        eprintln!(
+            "link {}: α-β predicted {:.6}s / observed {:.6}s transfer (rel err {})",
+            r.link,
+            r.predicted_s,
+            r.observed_s,
+            if r.rel_err.is_finite() { format!("{:.1}%", r.rel_err * 100.0) } else { "n/a".into() }
+        );
+    }
+    Ok(())
+}
+
+/// Render the link cross-check as a metrics-snapshot section.
+fn render_link_crosscheck(rows: &[llmpq_cost::LinkCrosscheck]) -> String {
+    let mut out =
+        String::from("# interconnect cross-check (α-β loopback model vs observed transfer)\n");
+    for r in rows {
+        out.push_str(&format!(
+            "link {}: predicted_s={:.6} observed_s={:.6} rel_err={}\n",
+            r.link,
+            r.predicted_s,
+            r.observed_s,
+            if r.rel_err.is_finite() { format!("{:.1}%", r.rel_err * 100.0) } else { "n/a".into() }
+        ));
+    }
+    out
+}
+
+/// `--stage I --listen DATA --connect MASTER`: serve one pipeline stage
+/// until the master says goodbye.
+fn run_stage_process(
+    args: &Args,
+    plan: &ExecutionPlan,
+    checkpoint: &RefModel,
+    batch: usize,
+) -> Result<(), String> {
+    let stage = args.get_parse("stage", 0usize).map_err(|e| e.to_string())?;
+    let seed = args.get_parse("seed", 0u64).map_err(|e| e.to_string())?;
+    let cfg = DistStageConfig {
+        stage,
+        listen: args.get("listen").unwrap_or("127.0.0.1:0").to_string(),
+        master: args.required("connect").map_err(|e| e.to_string())?.to_string(),
+        rounding: Rounding::Deterministic,
+        seed,
+        wire_faults: load_wire_faults(args)?,
+        tick: std::time::Duration::from_millis(2),
+    };
+    eprintln!("stage {stage}: dialing master at {}", cfg.master);
+    let summary = run_stage(checkpoint, plan, batch, &cfg).map_err(|e| e.to_string())?;
+    println!(
+        "stage {stage}: served {} attempt(s), {} items, rx {} B, tx {} B",
+        summary.attempts_served,
+        summary.metrics.items,
+        summary.rx_link.bytes_rx,
+        summary.tx_link.bytes_tx
+    );
     Ok(())
 }
 

@@ -22,6 +22,15 @@ impl Link {
     pub fn transfer_time(&self, bytes: f64) -> f64 {
         self.latency_s + bytes / self.bandwidth_bps
     }
+
+    /// The α-β parameters of a loopback (`127.0.0.1`) TCP hop, for
+    /// cross-checking the model against the multi-process runtime on a
+    /// single machine: kernel-bounced frames move at memory-copy speeds
+    /// (≈5 GB/s sustained through the socket stack) with tens of
+    /// microseconds of per-message syscall/wakeup latency.
+    pub fn loopback() -> Link {
+        Link { bandwidth_bps: 5e9, latency_s: 30e-6 }
+    }
 }
 
 /// The interconnect classes in the paper's testbed.

@@ -173,6 +173,64 @@ pub fn stage_crosscheck(predicted_s: &[f64], observed_s: &[f64]) -> Vec<StageCro
         .collect()
 }
 
+/// One observed inter-stage link, as counted by the transport layer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkObservation {
+    /// Link index (link `i` carries traffic *into* stage `i`; the last
+    /// link returns activations to the master).
+    pub link: usize,
+    /// Total payload + framing bytes that crossed the link.
+    pub bytes: f64,
+    /// Number of frames (messages) that crossed the link.
+    pub frames: u64,
+    /// Observed wall-clock seconds spent in transfer (summed comm spans).
+    pub observed_s: f64,
+}
+
+/// Predicted vs observed transfer time of one link, the communication
+/// analog of [`StageCrosscheck`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkCrosscheck {
+    /// Link index.
+    pub link: usize,
+    /// α-β model prediction: `frames × latency + bytes / bandwidth`.
+    pub predicted_s: f64,
+    /// Observed transfer seconds.
+    pub observed_s: f64,
+    /// `|predicted − observed| / observed` (0 when both are 0).
+    pub rel_err: f64,
+}
+
+/// Cross-check the interconnect α-β model against transfer times
+/// observed by the wire transport (per-link byte/frame counters and
+/// comm spans from telemetry). Each frame pays the link's one-way
+/// latency once; bytes stream at the link's sustained bandwidth:
+/// `predicted = frames × α + bytes / β`.
+///
+/// On loopback runs pass [`llmpq_cluster::interconnect::Link::loopback`]
+/// as the model; in a real deployment, the link class from the cluster
+/// spec.
+pub fn link_crosscheck(
+    link_model: &llmpq_cluster::interconnect::Link,
+    observed: &[LinkObservation],
+) -> Vec<LinkCrosscheck> {
+    observed
+        .iter()
+        .map(|o| {
+            let predicted_s =
+                o.frames as f64 * link_model.latency_s + o.bytes / link_model.bandwidth_bps;
+            let rel_err = if o.observed_s > 0.0 {
+                (predicted_s - o.observed_s).abs() / o.observed_s
+            } else if predicted_s > 0.0 {
+                f64::INFINITY
+            } else {
+                0.0
+            };
+            LinkCrosscheck { link: o.link, predicted_s, observed_s: o.observed_s, rel_err }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -263,5 +321,39 @@ mod tests {
         assert!((rows[1].rel_err - 0.5).abs() < 1e-12);
         let inf = stage_crosscheck(&[1.0], &[0.0]);
         assert!(inf[0].rel_err.is_infinite());
+    }
+
+    #[test]
+    fn link_crosscheck_applies_alpha_beta_per_frame() {
+        let link = llmpq_cluster::interconnect::Link { bandwidth_bps: 1e9, latency_s: 1e-5 };
+        let obs = vec![LinkObservation { link: 0, bytes: 1e6, frames: 100, observed_s: 2e-3 }];
+        let rows = link_crosscheck(&link, &obs);
+        assert_eq!(rows.len(), 1);
+        // 100 frames × 10 µs + 1 MB / 1 GB/s = 1 ms + 1 ms = 2 ms.
+        assert!((rows[0].predicted_s - 2e-3).abs() < 1e-12);
+        assert!(rows[0].rel_err < 1e-9, "exact match: {:?}", rows[0]);
+    }
+
+    #[test]
+    fn link_crosscheck_handles_idle_links() {
+        let link = llmpq_cluster::interconnect::Link::loopback();
+        let rows = link_crosscheck(
+            &link,
+            &[
+                LinkObservation { link: 0, bytes: 0.0, frames: 0, observed_s: 0.0 },
+                LinkObservation { link: 1, bytes: 1e3, frames: 1, observed_s: 0.0 },
+            ],
+        );
+        assert_eq!(rows[0].rel_err, 0.0, "idle link is a perfect match");
+        assert!(rows[1].rel_err.is_infinite(), "traffic with no observed time");
+    }
+
+    #[test]
+    fn loopback_link_is_fast_but_not_free() {
+        let l = llmpq_cluster::interconnect::Link::loopback();
+        assert!(l.transfer_time(0.0) > 0.0);
+        // 1 MB on loopback lands in the hundreds-of-microseconds regime.
+        let t = l.transfer_time(1e6);
+        assert!(t > 1e-5 && t < 1e-2, "loopback 1MB: {t}");
     }
 }

@@ -18,11 +18,12 @@
 
 use crate::fault::{FaultInjector, FaultPlan, Heartbeats};
 use crate::loader::{load_stage_weights, LoaderStats};
+use crate::net::transport::{ChannelTransport, Transport, TransportRecvError, TransportSendError};
 use crate::telemetry::{Span, Telemetry};
 use crate::worker::{
     disconnect_board, run_worker_ctx, MetricsSink, StageMetrics, WorkItem, WorkerCtx, WorkerMsg,
 };
-use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, SendTimeoutError, Sender};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use llm_pq::{ExecutionPlan, StagePlan};
 use llmpq_model::{Matrix, Phase, RefModel};
 use llmpq_quant::Rounding;
@@ -121,18 +122,47 @@ impl AttemptSupervision {
     }
 }
 
-struct Master<'m> {
-    model: &'m RefModel,
-    to_first: Sender<WorkerMsg>,
-    from_last: Receiver<WorkerMsg>,
+/// The master endpoint, generic over what carries its messages: a
+/// [`ChannelTransport`] for the in-process engine, a TCP transport for
+/// the multi-process runner in [`crate::net::dist`]. The generation
+/// loop ([`drive_generation`]) is identical either way — which is what
+/// makes the loopback run bit-identical to the in-process one.
+pub(crate) struct Master<'m, T: Transport> {
+    pub(crate) model: &'m RefModel,
+    /// Outbound edge to stage 0 + inbound edge from the last stage.
+    pub(crate) link: T,
     /// Last work-item id received — duplicates are discarded here when
     /// the final stage is the one duplicating.
-    last_step: Cell<Option<u64>>,
+    pub(crate) last_step: Cell<Option<u64>>,
     /// Observability hub of this run, if tracing is on.
-    telemetry: Option<Arc<Telemetry>>,
+    pub(crate) telemetry: Option<Arc<Telemetry>>,
+    /// Whether the stage-0 queue gauge lives in this process (in-process
+    /// runs). A distributed master must not bump it: the dequeue side
+    /// runs in another process and the gauge would only ever grow.
+    pub(crate) local_gauges: bool,
 }
 
-impl<'m> Master<'m> {
+impl<'m> Master<'m, ChannelTransport> {
+    /// In-process master over a channel pair (with link accounting when
+    /// traced: outbound = link 0, inbound = link `n_stages`).
+    pub(crate) fn over_channels(
+        model: &'m RefModel,
+        to_first: Sender<WorkerMsg>,
+        from_last: Receiver<WorkerMsg>,
+        telemetry: Option<Arc<Telemetry>>,
+        n_stages: usize,
+    ) -> Self {
+        Master {
+            model,
+            link: ChannelTransport::observed(from_last, to_first, telemetry.clone(), n_stages, 0),
+            last_step: Cell::new(None),
+            telemetry,
+            local_gauges: true,
+        }
+    }
+}
+
+impl<'m, T: Transport> Master<'m, T> {
     /// Send toward stage 0, blocking in `tick`-sized slices while the
     /// (bounded) first queue is full. This is where backpressure reaches
     /// the master: admission slows to the pipeline's pace instead of
@@ -142,19 +172,21 @@ impl<'m> Master<'m> {
     fn send(&self, mut item: WorkItem, sup: &AttemptSupervision) -> Result<(), RuntimeError> {
         if let Some(t) = &self.telemetry {
             item.sent_us = t.now_us();
-            if let Some(s0) = t.stage(0) {
-                s0.on_enqueue();
+            if self.local_gauges {
+                if let Some(s0) = t.stage(0) {
+                    s0.on_enqueue();
+                }
             }
         }
         let deadline = sup.progress_timeout.map(|t| Instant::now() + t);
         let mut msg = WorkerMsg::Work(item);
         loop {
-            match self.to_first.send_timeout(msg, sup.tick()) {
+            match self.link.send_msg(msg, sup.tick()) {
                 Ok(()) => return Ok(()),
-                Err(SendTimeoutError::Disconnected(_)) => {
+                Err(TransportSendError::Disconnected) => {
                     return Err(RuntimeError::WorkerDied("first stage unreachable".into()))
                 }
-                Err(SendTimeoutError::Timeout(m)) => {
+                Err(TransportSendError::Timeout(m)) => {
                     msg = m;
                     if let (Some(hb), Some(t)) = (&sup.heartbeats, sup.heartbeat_timeout) {
                         if let Some(stage) = hb.stalest_over(t) {
@@ -175,7 +207,7 @@ impl<'m> Master<'m> {
     fn recv(&self, sup: &AttemptSupervision) -> Result<WorkItem, RuntimeError> {
         let deadline = sup.progress_timeout.map(|t| Instant::now() + t);
         loop {
-            match self.from_last.recv_timeout(sup.tick()) {
+            match self.link.recv_msg(sup.tick()) {
                 Ok(WorkerMsg::Work(item)) => {
                     if self.last_step.get() == Some(item.step) {
                         continue; // duplicated delivery
@@ -187,10 +219,10 @@ impl<'m> Master<'m> {
                     return Err(RuntimeError::WorkerDied("premature shutdown".into()))
                 }
                 Ok(WorkerMsg::Protocol(e)) => return Err(RuntimeError::Protocol(e)),
-                Err(RecvTimeoutError::Disconnected) => {
+                Err(TransportRecvError::Disconnected) => {
                     return Err(RuntimeError::WorkerDied("last stage disconnected".into()))
                 }
-                Err(RecvTimeoutError::Timeout) => {
+                Err(TransportRecvError::Timeout) => {
                     if let (Some(hb), Some(t)) = (&sup.heartbeats, sup.heartbeat_timeout) {
                         if let Some(stage) = hb.stalest_over(t) {
                             return Err(RuntimeError::StageHung(stage));
@@ -414,11 +446,99 @@ pub(crate) fn load_all_stages(
     (stage_weights, loader_stats)
 }
 
+/// The generation loop the master drives, transport-agnostic: prefill
+/// over `prompt ++ generated-prefix`, then lock-step decode with hybrid
+/// micro-batch sizing, finishing with a best-effort graceful `Shutdown`
+/// downstream. The same function serves the in-process engine (channel
+/// transport) and the multi-process runner (TCP transport), which is
+/// what makes a distributed loopback run bit-identical to a local one.
+/// `tokens` may hold a lock-step prefix (recovery resume).
+pub(crate) fn drive_generation<T: Transport>(
+    master: &Master<'_, T>,
+    plan: &ExecutionPlan,
+    prompts: &[Vec<usize>],
+    tokens: &mut [Vec<usize>],
+    n_generate: usize,
+    sup: &AttemptSupervision,
+) -> Result<(), RuntimeError> {
+    let n_seqs = prompts.len();
+    let done = tokens.iter().map(Vec::len).min().unwrap_or(0);
+    let mut next_step = 0u64;
+    let mut step = || {
+        let s = next_step;
+        next_step += 1;
+        s
+    };
+
+    // Positions after the (extended) prefill below.
+    let mut positions: Vec<usize> = prompts.iter().map(|p| p.len() + done).collect();
+
+    // --- Prefill over prompt ++ generated prefix ---
+    let pre_size = plan.microbatch.prefill_size.max(1);
+    let chunks: Vec<Vec<usize>> =
+        (0..n_seqs).collect::<Vec<_>>().chunks(pre_size).map(|c| c.to_vec()).collect();
+    for (mb, chunk) in chunks.iter().enumerate() {
+        let seqs = chunk
+            .iter()
+            .map(|&s| {
+                let mut full = prompts[s].clone();
+                full.extend_from_slice(&tokens[s][..done]);
+                (s, master.model.embed_tokens(&full, 0))
+            })
+            .collect();
+        master.send(
+            WorkItem { step: step(), microbatch: mb, phase: Phase::Prefill, sent_us: 0, seqs },
+            sup,
+        )?;
+    }
+    for _ in &chunks {
+        let item = master.recv(sup)?;
+        for (seq, tok) in master.sample_next(&item) {
+            tokens[seq].push(tok);
+        }
+    }
+
+    // --- Decode ---
+    let dec_size = plan.microbatch.decode_size.max(1);
+    let dec_chunks: Vec<Vec<usize>> =
+        (0..n_seqs).collect::<Vec<_>>().chunks(dec_size).map(|c| c.to_vec()).collect();
+    for _step in done + 1..n_generate {
+        for (mb, chunk) in dec_chunks.iter().enumerate() {
+            let seqs = chunk
+                .iter()
+                .map(|&s| {
+                    let last = *tokens[s].last().expect("prefill produced a token");
+                    let x = master.model.embed_tokens(&[last], positions[s]);
+                    (s, x)
+                })
+                .collect();
+            master.send(
+                WorkItem { step: step(), microbatch: mb, phase: Phase::Decode, sent_us: 0, seqs },
+                sup,
+            )?;
+        }
+        for chunk in &dec_chunks {
+            let item = master.recv(sup)?;
+            for (seq, tok) in master.sample_next(&item) {
+                tokens[seq].push(tok);
+            }
+            for &s in chunk {
+                positions[s] += 1;
+            }
+        }
+    }
+
+    // Graceful shutdown. A full (bounded) queue may time this out; the
+    // workers then exit via channel disconnect (or wire EOF) when the
+    // master's endpoints drop, which flushes metrics all the same.
+    let _ = master.link.send_msg(WorkerMsg::Shutdown, sup.tick());
+    Ok(())
+}
+
 /// One generation attempt. `tokens` may hold an already-generated
 /// lock-step prefix (recovery resume); on failure it retains whatever
 /// progress was made.
 #[allow(clippy::too_many_arguments)]
-#[allow(clippy::needless_range_loop)]
 pub(crate) fn run_attempt(
     checkpoint: &RefModel,
     plan: &ExecutionPlan,
@@ -479,86 +599,9 @@ pub(crate) fn run_attempt(
         drop(senders);
         drop(receivers);
 
-        let master = Master {
-            model: checkpoint,
-            to_first,
-            from_last,
-            last_step: Cell::new(None),
-            telemetry: sup.telemetry.clone(),
-        };
-        let mut next_step = 0u64;
-        let mut step = || {
-            let s = next_step;
-            next_step += 1;
-            s
-        };
-
-        let res = (|| -> Result<(), RuntimeError> {
-            // Positions after the (extended) prefill below.
-            let mut positions: Vec<usize> = prompts.iter().map(|p| p.len() + done).collect();
-
-            // --- Prefill over prompt ++ generated prefix ---
-            let pre_size = plan.microbatch.prefill_size.max(1);
-            let chunks: Vec<Vec<usize>> =
-                (0..n_seqs).collect::<Vec<_>>().chunks(pre_size).map(|c| c.to_vec()).collect();
-            for (mb, chunk) in chunks.iter().enumerate() {
-                let seqs = chunk
-                    .iter()
-                    .map(|&s| {
-                        let mut full = prompts[s].clone();
-                        full.extend_from_slice(&tokens[s][..done]);
-                        (s, master.model.embed_tokens(&full, 0))
-                    })
-                    .collect();
-                master.send(
-                    WorkItem { step: step(), microbatch: mb, phase: Phase::Prefill, sent_us: 0, seqs },
-                    sup,
-                )?;
-            }
-            for _ in &chunks {
-                let item = master.recv(sup)?;
-                for (seq, tok) in master.sample_next(&item) {
-                    tokens[seq].push(tok);
-                }
-            }
-
-            // --- Decode ---
-            let dec_size = plan.microbatch.decode_size.max(1);
-            let dec_chunks: Vec<Vec<usize>> =
-                (0..n_seqs).collect::<Vec<_>>().chunks(dec_size).map(|c| c.to_vec()).collect();
-            for _step in done + 1..n_generate {
-                for (mb, chunk) in dec_chunks.iter().enumerate() {
-                    let seqs = chunk
-                        .iter()
-                        .map(|&s| {
-                            let last = *tokens[s].last().expect("prefill produced a token");
-                            let x = master.model.embed_tokens(&[last], positions[s]);
-                            (s, x)
-                        })
-                        .collect();
-                    master.send(
-                        WorkItem { step: step(), microbatch: mb, phase: Phase::Decode, sent_us: 0, seqs },
-                        sup,
-                    )?;
-                }
-                for chunk in &dec_chunks {
-                    let item = master.recv(sup)?;
-                    for (seq, tok) in master.sample_next(&item) {
-                        tokens[seq].push(tok);
-                    }
-                    for &s in chunk {
-                        positions[s] += 1;
-                    }
-                }
-            }
-
-            // Graceful shutdown. A full (bounded) queue may time this
-            // out; the workers then exit via channel disconnect when the
-            // master's endpoints drop below, which flushes metrics all
-            // the same.
-            let _ = master.to_first.send_timeout(WorkerMsg::Shutdown, sup.tick());
-            Ok(())
-        })();
+        let master =
+            Master::over_channels(checkpoint, to_first, from_last, sup.telemetry.clone(), n_stages);
+        let res = drive_generation(&master, plan, prompts, tokens, n_generate, sup);
 
         // Un-wedge hung workers before the scope joins them. On the
         // success path the workers have already drained (or will see the

@@ -35,6 +35,7 @@
 pub mod engine;
 pub mod fault;
 pub mod loader;
+pub mod net;
 pub mod overload;
 pub mod supervisor;
 pub mod telemetry;
@@ -45,6 +46,12 @@ pub use engine::{
 };
 pub use fault::{FaultAction, FaultEvent, FaultInjector, FaultKind, FaultPlan, Heartbeats};
 pub use loader::{load_stage_weights, LoaderStats, OnTheFlyQuantizer};
+pub use net::dist::{
+    run_master, run_stage, DistMasterConfig, DistOutput, DistStageConfig, StageSummary,
+};
+pub use net::fault::{WireDir, WireFaultEvent, WireFaultKind, WireFaultPlan};
+pub use net::transport::{ChannelTransport, TcpTransport, Transport};
+pub use net::wire::plan_fingerprint;
 pub use overload::{
     poisson_requests, serve, AdmissionConfig, AdmissionController, AdmissionPolicy, AdmissionStats,
     BatchEngine, DegradationConfig, DegradationController, KvGuardConfig, PipelineEngine, Request,

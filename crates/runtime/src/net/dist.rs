@@ -1,0 +1,934 @@
+//! Multi-process pipeline: one OS process per stage plus a master,
+//! connected over TCP.
+//!
+//! Topology (n stages → n+2 processes, n+1 data links):
+//!
+//! ```text
+//!            control (persistent, per stage): hello/ack, topology,
+//!            heartbeats, dropped/device-lost notes, bye/report
+//!          ┌───────────────────────────────────────────────┐
+//!          ▼                                               │
+//!   master ── data link 0 ──▶ stage 0 ── link 1 ──▶ … ──▶ stage n−1
+//!      ▲                                                       │
+//!      └──────────────── return data (link n) ─────────────────┘
+//! ```
+//!
+//! The master owns one listener. At startup every stage dials it with a
+//! `Control` hello (carrying the address its own data listener bound —
+//! stages may bind port 0) and the master answers the ring topology.
+//! Data connections are *per attempt*: the master dials stage 0, each
+//! stage dials its successor on first use, and the last stage dials the
+//! master's listener back with a `ReturnData` hello. A failed attempt is
+//! torn down by dropping the master's endpoints — the EOF cascades down
+//! the ring, every worker loop exits, and the stages circle back to
+//! accepting the next attempt, which resumes from the lock-step token
+//! checkpoint exactly like the in-process recoverable engine.
+//!
+//! The generation loop itself is the engine's `drive_generation` — the
+//! same code the in-process engine runs, pointed at a TCP transport
+//! instead of a channel pair. That, plus the bit-exact activation
+//! codec, is why a loopback multi-process run emits byte-identical
+//! tokens.
+
+use super::fault::{WireFaultInjector, WireFaultPlan, MASTER_STAGE};
+use super::transport::{
+    connect_retry, read_wire_msg, write_wire_msg, TcpTransport, TcpTransportConfig,
+};
+use super::wire::{plan_fingerprint, Hello, HelloAck, Role, StageReport, WireMsg, WIRE_VERSION};
+use crate::engine::{
+    bits_label, checkpoint_lockstep, drive_generation, validate_inputs, AttemptSupervision, Master,
+    RuntimeError,
+};
+use crate::fault::Heartbeats;
+use crate::loader::load_stage_weights;
+use crate::overload::{AdmissionConfig, AdmissionController, AdmissionPolicy, AdmissionStats, Request};
+use crate::supervisor::SupervisorConfig;
+use crate::telemetry::{LinkStats, Telemetry};
+use crate::worker::{disconnect_board, run_worker_transport, MetricsSink, StageMetrics, WorkerCtx};
+use llm_pq::ExecutionPlan;
+use llmpq_model::RefModel;
+use llmpq_quant::Rounding;
+use parking_lot::Mutex;
+use std::cell::Cell;
+use std::io;
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How long handshakes (control collection, per-attempt data hellos) may
+/// take before the peer is declared unreachable.
+const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Interval between heartbeat frames a stage puts on its control
+/// connection (rate limit; the worker offers beats far more often).
+const HEARTBEAT_WIRE_INTERVAL: Duration = Duration::from_millis(50);
+
+/// How long the master waits for stage reports after `Bye`.
+const REPORT_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Master-side configuration for a distributed run.
+#[derive(Clone, Default)]
+pub struct DistMasterConfig {
+    /// Supervision knobs: heartbeat/progress timeouts, restart budget,
+    /// reconnect backoff.
+    pub supervisor: SupervisorConfig,
+    /// Wire faults this process should inject (events targeting
+    /// [`MASTER_STAGE`]).
+    pub wire_faults: WireFaultPlan,
+    /// Observability hub; also receives the stages' reported link
+    /// counters at the end of the run.
+    pub telemetry: Option<Arc<Telemetry>>,
+}
+
+/// Result of a distributed run, master side.
+#[derive(Debug, Clone)]
+pub struct DistOutput {
+    /// Generated tokens per input sequence.
+    pub tokens: Vec<Vec<usize>>,
+    /// Wall-clock seconds, handshake to last token.
+    pub wall_s: f64,
+    /// Attempt restarts taken (0 = clean run).
+    pub restarts: usize,
+    /// Per-stage execution counters, from the stage reports (default for
+    /// a stage whose report never arrived).
+    pub stage_metrics: Vec<StageMetrics>,
+    /// Per-link wire counters: the master's own two links merged with
+    /// every reported stage link; index i is the edge *into* stage i
+    /// (index `n_stages` = return link).
+    pub link_stats: Vec<LinkStats>,
+    /// Admission accounting of the batch — the conservation invariant
+    /// (`offered == served + shed + expired + pending`) is checked
+    /// before returning.
+    pub admission: AdmissionStats,
+}
+
+/// Stage-side configuration.
+#[derive(Clone)]
+pub struct DistStageConfig {
+    /// This process's pipeline stage.
+    pub stage: usize,
+    /// Address to bind the data listener on (port 0 is fine — the real
+    /// address is reported to the master in the control hello).
+    pub listen: String,
+    /// The master's listener address.
+    pub master: String,
+    /// Quantizer rounding (must match the master's run).
+    pub rounding: Rounding,
+    /// Quantizer seed (must match the master's run).
+    pub seed: u64,
+    /// Wire faults this process should inject.
+    pub wire_faults: WireFaultPlan,
+    /// Worker receive/retry granularity.
+    pub tick: Duration,
+}
+
+/// What a stage process did, for logs and tests.
+#[derive(Debug, Clone)]
+pub struct StageSummary {
+    /// Data connections served (1 = no restarts).
+    pub attempts_served: usize,
+    /// Final execution counters.
+    pub metrics: StageMetrics,
+    /// Upstream-link counters (link `stage`, rx side).
+    pub rx_link: LinkStats,
+    /// Downstream-link counters (link `stage + 1`, tx side).
+    pub tx_link: LinkStats,
+}
+
+/// Accept one connection, polling so the deadline (and nothing else)
+/// bounds the wait — std has no native accept timeout.
+fn accept_deadline(listener: &TcpListener, deadline: Instant) -> io::Result<TcpStream> {
+    listener.set_nonblocking(true)?;
+    let res = loop {
+        match listener.accept() {
+            Ok((s, _)) => break Ok(s),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                if Instant::now() > deadline {
+                    break Err(io::Error::new(io::ErrorKind::TimedOut, "accept deadline passed"));
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => break Err(e),
+        }
+    };
+    let _ = listener.set_nonblocking(false);
+    if let Ok(s) = &res {
+        s.set_nonblocking(false)?;
+    }
+    res
+}
+
+/// Accept until a connection arrives or `stop` is raised.
+fn accept_until_stopped(listener: &TcpListener, stop: &AtomicBool) -> Option<TcpStream> {
+    if listener.set_nonblocking(true).is_err() {
+        return None;
+    }
+    let res = loop {
+        if stop.load(Ordering::Acquire) {
+            break None;
+        }
+        match listener.accept() {
+            Ok((s, _)) => break Some(s),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => break None,
+        }
+    };
+    let _ = listener.set_nonblocking(false);
+    if let Some(s) = &res {
+        if s.set_nonblocking(false).is_err() {
+            return None;
+        }
+    }
+    res
+}
+
+fn wire_io(what: &str, e: impl std::fmt::Display) -> RuntimeError {
+    RuntimeError::WorkerDied(format!("{what}: {e}"))
+}
+
+/// Master-side shared state fed by the per-stage control readers.
+struct ControlShared {
+    hb: Arc<Heartbeats>,
+    dropped: Mutex<Vec<usize>>,
+    reports: Mutex<Vec<Option<StageReport>>>,
+    device_lost: Mutex<Option<usize>>,
+}
+
+fn control_reader(mut stream: TcpStream, shared: Arc<ControlShared>, n_stages: usize) {
+    loop {
+        match read_wire_msg(&mut stream) {
+            Ok(WireMsg::Heartbeat { stage }) if (stage as usize) < n_stages => {
+                shared.hb.beat(stage as usize);
+            }
+            Ok(WireMsg::Dropped { stage }) => shared.dropped.lock().push(stage as usize),
+            Ok(WireMsg::DeviceLost { device }) => {
+                *shared.device_lost.lock() = Some(device as usize);
+            }
+            Ok(WireMsg::Report(r)) if (r.stage as usize) < n_stages => {
+                let s = r.stage as usize;
+                shared.reports.lock()[s] = Some(r);
+            }
+            Ok(_) => {}
+            Err(_) => return, // EOF / poisoned control — supervision notices
+        }
+    }
+}
+
+/// Run the master of a distributed pipeline over an already-bound
+/// listener (bind `127.0.0.1:0` and print `local_addr` to let stages
+/// find you). Blocks until all `plan.stages.len()` stage processes have
+/// checked in, then drives generation with per-attempt data rings,
+/// restarting (with backoff, up to `supervisor.max_restarts`) on any
+/// failed attempt — including injected or real mid-run connection drops.
+pub fn run_master(
+    checkpoint: &RefModel,
+    plan: &ExecutionPlan,
+    prompts: &[Vec<usize>],
+    n_generate: usize,
+    listener: &TcpListener,
+    cfg: &DistMasterConfig,
+) -> Result<DistOutput, RuntimeError> {
+    validate_inputs(checkpoint, plan, prompts, n_generate, None)?;
+    let n_stages = plan.stages.len();
+    let fp = plan_fingerprint(plan);
+    let start = Instant::now();
+    let master_addr = listener
+        .local_addr()
+        .map_err(|e| wire_io("master listener has no local address", e))?
+        .to_string();
+
+    // Admission accounting: the whole batch is offered, dispatched, and
+    // served through the controller so the conservation invariant is
+    // checked on the distributed path too.
+    let mut admission = AdmissionController::new(AdmissionConfig {
+        policy: AdmissionPolicy::Reject,
+        max_queue: prompts.len().max(1),
+        ..AdmissionConfig::default()
+    });
+    for (i, p) in prompts.iter().enumerate() {
+        let req = Request {
+            id: i,
+            arrival_s: 0.0,
+            prompt: p.clone(),
+            n_generate,
+            deadline_s: None,
+            priority: 0,
+        };
+        if !admission.offer(req, 0.0) {
+            return Err(RuntimeError::BadPlan("admission rejected a batch prompt".into()));
+        }
+    }
+    while admission.take().is_some() {} // dispatch the whole batch
+
+    // --- Phase 1: collect one control connection per stage -------------
+    let mut controls: Vec<Option<(TcpStream, String)>> = (0..n_stages).map(|_| None).collect();
+    let deadline = Instant::now() + HANDSHAKE_TIMEOUT;
+    while controls.iter().any(Option::is_none) {
+        let mut c = accept_deadline(listener, deadline)
+            .map_err(|e| wire_io("waiting for stage control connections", e))?;
+        let _ = c.set_read_timeout(Some(Duration::from_secs(3)));
+        let hello = match read_wire_msg(&mut c) {
+            Ok(WireMsg::Hello(h)) if h.role == Role::Control => h,
+            _ => continue, // stray or damaged connection: drop it
+        };
+        let s = hello.stage as usize;
+        let want_bits: Vec<u8> =
+            plan.stages.get(s).map_or(Vec::new(), |sp| sp.bits.iter().map(|b| b.bits() as u8).collect());
+        let refusal = if hello.version != WIRE_VERSION {
+            Some(format!("wire version mismatch: master {WIRE_VERSION}, stage {}", hello.version))
+        } else if s >= n_stages {
+            Some(format!("stage {s} out of range (plan has {n_stages})"))
+        } else if hello.plan_hash != fp {
+            Some(format!("plan hash mismatch: master {fp:#018x}, stage {:#018x}", hello.plan_hash))
+        } else if hello.bits != want_bits {
+            Some(format!("bitwidth config mismatch at stage {s}: master expects {want_bits:?}, stage has {:?}", hello.bits))
+        } else if controls[s].is_some() {
+            Some(format!("stage {s} already connected"))
+        } else {
+            None
+        };
+        let ack = HelloAck {
+            version: WIRE_VERSION,
+            plan_hash: fp,
+            accepted: refusal.is_none(),
+            reason: refusal.clone().unwrap_or_default(),
+        };
+        let _ = write_wire_msg(&mut c, &WireMsg::HelloAck(ack));
+        match refusal {
+            // A misconfigured fleet is not going to heal: fail fast with
+            // the same typed reason the stage saw.
+            Some(r) => return Err(RuntimeError::BadPlan(r)),
+            None => controls[s] = Some((c, hello.listen_addr)),
+        }
+    }
+
+    // --- Phase 2: answer the ring topology ------------------------------
+    let stage_addrs: Vec<String> =
+        controls.iter().map(|c| c.as_ref().expect("collected above").1.clone()).collect();
+    for s in 0..n_stages {
+        let (next_addr, next_role) = if s + 1 < n_stages {
+            (stage_addrs[s + 1].clone(), Role::Data.to_u8())
+        } else {
+            (master_addr.clone(), Role::ReturnData.to_u8())
+        };
+        let (c, _) = controls[s].as_mut().expect("collected above");
+        write_wire_msg(c, &WireMsg::Topology { next_addr, next_role })
+            .map_err(|e| wire_io("sending topology", e))?;
+    }
+
+    // --- Phase 3: split controls into reader threads + shared writers ---
+    let shared = Arc::new(ControlShared {
+        hb: Heartbeats::new(n_stages),
+        dropped: Mutex::new(Vec::new()),
+        reports: Mutex::new(vec![None; n_stages]),
+        device_lost: Mutex::new(None),
+    });
+    let mut control_writers: Vec<Arc<Mutex<TcpStream>>> = Vec::new();
+    for slot in controls.iter_mut() {
+        let (c, _) = slot.take().expect("collected above");
+        let _ = c.set_read_timeout(None);
+        let reader = c.try_clone().map_err(|e| wire_io("cloning control stream", e))?;
+        control_writers.push(Arc::new(Mutex::new(c)));
+        let sh = shared.clone();
+        std::thread::spawn(move || control_reader(reader, sh, n_stages));
+    }
+
+    // --- Phase 4: attempts ----------------------------------------------
+    let sup_cfg = &cfg.supervisor;
+    let injector = WireFaultInjector::new(&cfg.wire_faults, MASTER_STAGE);
+    let mut tokens: Vec<Vec<usize>> = vec![Vec::with_capacity(n_generate); prompts.len()];
+    let mut attempt = 0usize;
+    let result = loop {
+        shared.dropped.lock().clear();
+        for s in 0..n_stages {
+            shared.hb.beat(s); // restart staleness clocks for the attempt
+        }
+        let res = master_attempt(
+            checkpoint, plan, prompts, &mut tokens, n_generate, listener, cfg, fp,
+            attempt, &stage_addrs[0], &shared, injector.clone(),
+        );
+        match res {
+            Ok(()) => break Ok(()),
+            Err(e) => {
+                if let Some(d) = *shared.device_lost.lock() {
+                    break Err(RuntimeError::DeviceLost(d));
+                }
+                // Root-cause attribution: a wire `Dropped` note names the
+                // stage whose downstream link died.
+                let e = match (&e, shared.dropped.lock().first().copied()) {
+                    (RuntimeError::WorkerDied(_) | RuntimeError::Stalled(_), Some(s)) => {
+                        RuntimeError::StageDisconnected(s)
+                    }
+                    _ => e,
+                };
+                if attempt >= sup_cfg.max_restarts {
+                    break Err(e);
+                }
+                checkpoint_lockstep(&mut tokens);
+                std::thread::sleep(sup_cfg.backoff(attempt));
+                attempt += 1;
+            }
+        }
+    };
+
+    // --- Phase 5: bye, reports, teardown --------------------------------
+    for w in &control_writers {
+        let _ = write_wire_msg(&mut *w.lock(), &WireMsg::Bye);
+    }
+    if result.is_ok() {
+        let deadline = Instant::now() + REPORT_TIMEOUT;
+        while shared.reports.lock().iter().any(Option::is_none) && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+    for w in &control_writers {
+        let _ = w.lock().shutdown(Shutdown::Both);
+    }
+    result?;
+
+    let reports = shared.reports.lock().clone();
+    if let Some(t) = &cfg.telemetry {
+        for r in reports.iter().flatten() {
+            if let Some(l) = t.link(r.stage as usize) {
+                l.merge(&r.rx_link);
+            }
+            if let Some(l) = t.link(r.stage as usize + 1) {
+                l.merge(&r.tx_link);
+            }
+        }
+    }
+    let link_stats: Vec<LinkStats> = match &cfg.telemetry {
+        Some(t) => t.link_stats(),
+        None => {
+            // No hub: assemble the picture from the reports alone.
+            let mut links = vec![LinkStats::default(); n_stages + 1];
+            for r in reports.iter().flatten() {
+                let (s, bump_rx, bump_tx) = (r.stage as usize, r.rx_link, r.tx_link);
+                merge_plain(&mut links[s], &bump_rx);
+                merge_plain(&mut links[s + 1], &bump_tx);
+            }
+            links
+        }
+    };
+    admission.note_served(prompts.len());
+    let stats = admission.stats();
+    debug_assert!(
+        stats.conserves(admission.pending()),
+        "admission conservation violated: {stats:?} pending={}",
+        admission.pending()
+    );
+    if !stats.conserves(admission.pending()) {
+        return Err(RuntimeError::Protocol(format!(
+            "admission conservation violated: {stats:?} pending={}",
+            admission.pending()
+        )));
+    }
+    Ok(DistOutput {
+        tokens,
+        wall_s: start.elapsed().as_secs_f64(),
+        restarts: attempt,
+        stage_metrics: (0..n_stages)
+            .map(|s| reports[s].as_ref().map(|r| r.metrics).unwrap_or_default())
+            .collect(),
+        link_stats,
+        admission: stats,
+    })
+}
+
+/// Plain-value counterpart of [`crate::telemetry::LinkRecorder::merge`].
+fn merge_plain(into: &mut LinkStats, add: &LinkStats) {
+    into.bytes_tx += add.bytes_tx;
+    into.bytes_rx += add.bytes_rx;
+    into.frames_tx += add.frames_tx;
+    into.frames_rx += add.frames_rx;
+    into.comm_us += add.comm_us;
+    into.corrupt_frames += add.corrupt_frames;
+}
+
+/// One distributed attempt: build the data ring (dial stage 0, accept
+/// the last stage's return connection), run the shared generation loop,
+/// tear the ring down by dropping the endpoints.
+#[allow(clippy::too_many_arguments)]
+fn master_attempt(
+    checkpoint: &RefModel,
+    plan: &ExecutionPlan,
+    prompts: &[Vec<usize>],
+    tokens: &mut [Vec<usize>],
+    n_generate: usize,
+    listener: &TcpListener,
+    cfg: &DistMasterConfig,
+    fp: u64,
+    attempt: usize,
+    s0_addr: &str,
+    shared: &Arc<ControlShared>,
+    injector: Arc<WireFaultInjector>,
+) -> Result<(), RuntimeError> {
+    let n_stages = plan.stages.len();
+    let done = tokens.iter().map(Vec::len).min().unwrap_or(0);
+    if done >= n_generate {
+        return Ok(());
+    }
+    let sup_cfg = &cfg.supervisor;
+
+    // Dial stage 0. The stage may still be tearing the previous attempt
+    // down, so retry along the supervisor's backoff curve.
+    let mut down = connect_retry(
+        s0_addr,
+        16,
+        Duration::from_millis(sup_cfg.backoff_base_ms.max(1)),
+        sup_cfg.backoff_factor.max(1.0),
+        Duration::from_millis(sup_cfg.backoff_cap_ms.max(1)),
+    )
+    .map_err(|e| wire_io(&format!("dialing stage 0 at {s0_addr}"), e))?;
+    let _ = down.set_read_timeout(Some(HANDSHAKE_TIMEOUT));
+    let hello = Hello {
+        version: WIRE_VERSION,
+        role: Role::Data,
+        stage: 0,
+        attempt: attempt as u32,
+        plan_hash: fp,
+        listen_addr: String::new(),
+        bits: Vec::new(),
+    };
+    write_wire_msg(&mut down, &WireMsg::Hello(hello))
+        .map_err(|e| wire_io("sending data hello to stage 0", e))?;
+    match read_wire_msg(&mut down) {
+        Ok(WireMsg::HelloAck(a)) if a.accepted => {}
+        Ok(WireMsg::HelloAck(a)) => return Err(RuntimeError::BadPlan(a.reason)),
+        Ok(m) => {
+            return Err(RuntimeError::Protocol(format!("expected hello-ack from stage 0, got {m:?}")))
+        }
+        Err(e) => return Err(wire_io("reading stage 0 hello-ack", e)),
+    }
+
+    // Accept the last stage's return connection. Stray or stale dials
+    // (e.g. a previous attempt's late return) are acked away and the
+    // accept continues until the deadline.
+    let ret = loop {
+        let mut c = accept_deadline(listener, Instant::now() + HANDSHAKE_TIMEOUT)
+            .map_err(|e| wire_io("waiting for the return data connection", e))?;
+        let _ = c.set_read_timeout(Some(Duration::from_secs(3)));
+        match read_wire_msg(&mut c) {
+            Ok(WireMsg::Hello(h))
+                if h.role == Role::ReturnData
+                    && h.attempt == attempt as u32
+                    && h.plan_hash == fp =>
+            {
+                let ack = HelloAck {
+                    version: WIRE_VERSION,
+                    plan_hash: fp,
+                    accepted: true,
+                    reason: String::new(),
+                };
+                write_wire_msg(&mut c, &WireMsg::HelloAck(ack))
+                    .map_err(|e| wire_io("acking the return connection", e))?;
+                break c;
+            }
+            Ok(WireMsg::Hello(_)) => {
+                let ack = HelloAck {
+                    version: WIRE_VERSION,
+                    plan_hash: fp,
+                    accepted: false,
+                    reason: "stale or mismatched return connection".into(),
+                };
+                let _ = write_wire_msg(&mut c, &WireMsg::HelloAck(ack));
+            }
+            _ => {} // damaged stray; drop and keep accepting
+        }
+    };
+
+    let transport = TcpTransport::spawn(
+        ret,
+        down,
+        TcpTransportConfig {
+            faults: Some(injector),
+            telemetry: cfg.telemetry.clone(),
+            rx_link: n_stages,
+            tx_link: 0,
+            tid: 0,
+        },
+    );
+    let master = Master {
+        model: checkpoint,
+        link: transport,
+        last_step: Cell::new(None),
+        telemetry: cfg.telemetry.clone(),
+        local_gauges: false,
+    };
+    let sup = AttemptSupervision {
+        injector: None,
+        heartbeats: Some(shared.hb.clone()),
+        heartbeat_timeout: Some(Duration::from_millis(sup_cfg.heartbeat_timeout_ms)),
+        progress_timeout: Some(Duration::from_millis(sup_cfg.progress_timeout_ms)),
+        tick: Some(Duration::from_millis(sup_cfg.tick_ms.max(1))),
+        telemetry: cfg.telemetry.clone(),
+        queue_cap: None,
+    };
+    drive_generation(&master, plan, prompts, tokens, n_generate, &sup)
+    // `master` (and its transport) drops here: both data endpoints
+    // close, the EOF cascades down the ring, and the stages circle back
+    // to accepting the next attempt.
+}
+
+/// Run one stage process: bind the data listener, check in with the
+/// master, then serve data connections — one per attempt — until the
+/// master says `Bye` (graceful: answer with a [`StageReport`]) or the
+/// control connection dies (orphaned: exit with an error so process
+/// supervisors notice). Blocks for the whole run.
+pub fn run_stage(
+    checkpoint: &RefModel,
+    plan: &ExecutionPlan,
+    n_seqs: usize,
+    cfg: &DistStageConfig,
+) -> Result<StageSummary, RuntimeError> {
+    let s = cfg.stage;
+    let n_stages = plan.stages.len();
+    plan.validate(checkpoint.cfg.n_layers).map_err(RuntimeError::BadPlan)?;
+    let sp = plan
+        .stages
+        .get(s)
+        .ok_or_else(|| RuntimeError::BadPlan(format!("stage {s} out of range ({n_stages} stages)")))?;
+    let fp = plan_fingerprint(plan);
+    let (weights, _loader_stats) =
+        load_stage_weights(checkpoint, sp.layer_start, &sp.bits, cfg.rounding, cfg.seed);
+
+    let listener =
+        TcpListener::bind(&cfg.listen).map_err(|e| wire_io(&format!("binding {}", cfg.listen), e))?;
+    let data_addr = listener
+        .local_addr()
+        .map_err(|e| wire_io("data listener has no local address", e))?
+        .to_string();
+
+    // Check in with the master over the persistent control connection.
+    let mut control = connect_retry(
+        &cfg.master,
+        40,
+        Duration::from_millis(25),
+        1.5,
+        Duration::from_millis(500),
+    )
+    .map_err(|e| wire_io(&format!("dialing master at {}", cfg.master), e))?;
+    let _ = control.set_read_timeout(Some(HANDSHAKE_TIMEOUT));
+    let hello = Hello {
+        version: WIRE_VERSION,
+        role: Role::Control,
+        stage: s as u32,
+        attempt: 0,
+        plan_hash: fp,
+        listen_addr: data_addr,
+        bits: sp.bits.iter().map(|b| b.bits() as u8).collect(),
+    };
+    write_wire_msg(&mut control, &WireMsg::Hello(hello))
+        .map_err(|e| wire_io("sending control hello", e))?;
+    match read_wire_msg(&mut control) {
+        Ok(WireMsg::HelloAck(a)) if a.accepted => {}
+        Ok(WireMsg::HelloAck(a)) => return Err(RuntimeError::BadPlan(a.reason)),
+        Ok(m) => return Err(RuntimeError::Protocol(format!("expected hello-ack, got {m:?}"))),
+        Err(e) => return Err(wire_io("reading hello-ack", e)),
+    }
+    let (next_addr, next_role) = match read_wire_msg(&mut control) {
+        Ok(WireMsg::Topology { next_addr, next_role }) => (
+            next_addr,
+            Role::from_u8(next_role).map_err(|e| RuntimeError::Protocol(e.to_string()))?,
+        ),
+        Ok(m) => return Err(RuntimeError::Protocol(format!("expected topology, got {m:?}"))),
+        Err(e) => return Err(wire_io("reading topology", e)),
+    };
+    let _ = control.set_read_timeout(None);
+
+    // Control reader: Bye → graceful stop; EOF → orphaned (the master
+    // process died — stop too, but say so).
+    let stop = Arc::new(AtomicBool::new(false));
+    let orphaned = Arc::new(AtomicBool::new(false));
+    let mut reader = control.try_clone().map_err(|e| wire_io("cloning control stream", e))?;
+    {
+        let (stop, orphaned) = (stop.clone(), orphaned.clone());
+        std::thread::spawn(move || loop {
+            match read_wire_msg(&mut reader) {
+                Ok(WireMsg::Bye) => {
+                    stop.store(true, Ordering::Release);
+                    return;
+                }
+                Ok(_) => {}
+                Err(_) => {
+                    orphaned.store(true, Ordering::Release);
+                    stop.store(true, Ordering::Release);
+                    return;
+                }
+            }
+        });
+    }
+    let control_w = Arc::new(Mutex::new(control));
+
+    // Local telemetry: this process owns link `s`'s rx side and link
+    // `s + 1`'s tx side; both are reported to the master at the end.
+    let telemetry = Telemetry::new(n_stages);
+    let sink: MetricsSink = Arc::new(Mutex::new(vec![StageMetrics::default(); n_stages]));
+    let board = disconnect_board();
+    let injector = WireFaultInjector::new(&cfg.wire_faults, s);
+    let ctx = WorkerCtx {
+        stage: s,
+        device: sp.device,
+        n_heads: checkpoint.cfg.n_heads,
+        hidden: checkpoint.cfg.hidden,
+        alibi: checkpoint.cfg.alibi,
+        n_seqs,
+        injector: None,
+        heartbeats: None,
+        sink: Some(sink.clone()),
+        telemetry: Some(telemetry.clone()),
+        bits: bits_label(sp),
+        tick: cfg.tick,
+        disconnects: Some(board.clone()),
+    };
+
+    let mut attempts_served = 0usize;
+    while !stop.load(Ordering::Acquire) {
+        // One data connection per attempt.
+        let Some(mut up) = accept_until_stopped(&listener, &stop) else { break };
+        let _ = up.set_read_timeout(Some(HANDSHAKE_TIMEOUT));
+        let hello = match read_wire_msg(&mut up) {
+            Ok(WireMsg::Hello(h)) => h,
+            _ => continue, // stray/dead dial; keep serving
+        };
+        let refusal = if hello.version != WIRE_VERSION {
+            Some("wire version mismatch".to_string())
+        } else if hello.role != Role::Data {
+            Some(format!("unexpected role {:?} on a data listener", hello.role))
+        } else if hello.stage as usize != s {
+            Some(format!("data connection for stage {} reached stage {s}", hello.stage))
+        } else if hello.plan_hash != fp {
+            Some("plan hash mismatch".to_string())
+        } else {
+            None
+        };
+        let ack = HelloAck {
+            version: WIRE_VERSION,
+            plan_hash: fp,
+            accepted: refusal.is_none(),
+            reason: refusal.clone().unwrap_or_default(),
+        };
+        if write_wire_msg(&mut up, &WireMsg::HelloAck(ack)).is_err() || refusal.is_some() {
+            continue;
+        }
+
+        // Dial the next hop; its stage may also still be tearing down.
+        let Ok(mut down) = connect_retry(
+            &next_addr,
+            40,
+            Duration::from_millis(10),
+            2.0,
+            Duration::from_millis(250),
+        ) else {
+            continue; // dropping `up` tells upstream this attempt is dead
+        };
+        let _ = down.set_read_timeout(Some(HANDSHAKE_TIMEOUT));
+        let fwd = Hello {
+            version: WIRE_VERSION,
+            role: next_role,
+            stage: (s + 1) as u32,
+            attempt: hello.attempt,
+            plan_hash: fp,
+            listen_addr: String::new(),
+            bits: Vec::new(),
+        };
+        if write_wire_msg(&mut down, &WireMsg::Hello(fwd)).is_err() {
+            continue;
+        }
+        match read_wire_msg(&mut down) {
+            Ok(WireMsg::HelloAck(a)) if a.accepted => {}
+            _ => continue,
+        }
+
+        let transport = TcpTransport::spawn(
+            up,
+            down,
+            TcpTransportConfig {
+                faults: Some(injector.clone()),
+                telemetry: Some(telemetry.clone()),
+                rx_link: s,
+                tx_link: s + 1,
+                tid: s + 1,
+            },
+        )
+        .with_control(control_w.clone(), s as u32, HEARTBEAT_WIRE_INTERVAL);
+        run_worker_transport(&weights, &ctx, &transport);
+        attempts_served += 1;
+
+        // Dropped-item attribution across the process boundary: the wire
+        // analog of the in-process disconnect board.
+        let drops: Vec<usize> = std::mem::take(&mut *board.lock());
+        if !drops.is_empty() {
+            let _ = write_wire_msg(&mut *control_w.lock(), &WireMsg::Dropped { stage: s as u32 });
+        }
+        // `transport` drops here: the downstream connection closes, so
+        // the EOF keeps cascading even if this stage saw it first.
+    }
+
+    let metrics = sink.lock()[s];
+    let rx_link = telemetry.link(s).map(|l| l.snapshot()).unwrap_or_default();
+    let tx_link = telemetry.link(s + 1).map(|l| l.snapshot()).unwrap_or_default();
+    if orphaned.load(Ordering::Acquire) {
+        return Err(RuntimeError::WorkerDied(format!(
+            "stage {s}: master control connection lost"
+        )));
+    }
+    let report =
+        StageReport { stage: s as u32, metrics, rx_link, tx_link };
+    let _ = write_wire_msg(&mut *control_w.lock(), &WireMsg::Report(report));
+    let _ = control_w.lock().shutdown(Shutdown::Both);
+    Ok(StageSummary { attempts_served, metrics, rx_link, tx_link })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::run_pipeline;
+    use llm_pq::StagePlan;
+    use llmpq_model::RefConfig;
+    use llmpq_quant::Bitwidth;
+    use llmpq_workload::MicrobatchPlan;
+
+    fn model() -> RefModel {
+        RefModel::new(RefConfig::tiny())
+    }
+
+    fn plan3() -> ExecutionPlan {
+        ExecutionPlan {
+            model: "tiny".into(),
+            cluster: "test".into(),
+            stages: vec![
+                StagePlan { device: 0, layer_start: 0, layer_end: 1, bits: vec![Bitwidth::Int8] },
+                StagePlan { device: 1, layer_start: 1, layer_end: 2, bits: vec![Bitwidth::Fp16] },
+            ],
+            microbatch: MicrobatchPlan {
+                prefill_size: 2,
+                prefill_count: 1,
+                decode_size: 2,
+                decode_count: 1,
+            },
+            scheme: "LLM-PQ".into(),
+            kv_bits: 16,
+        }
+    }
+
+    fn spawn_stages(
+        plan: &ExecutionPlan,
+        master_addr: &str,
+        n_seqs: usize,
+        wire_faults: &WireFaultPlan,
+    ) -> Vec<std::thread::JoinHandle<Result<StageSummary, RuntimeError>>> {
+        (0..plan.stages.len())
+            .map(|s| {
+                let plan = plan.clone();
+                let cfg = DistStageConfig {
+                    stage: s,
+                    listen: "127.0.0.1:0".into(),
+                    master: master_addr.to_string(),
+                    rounding: Rounding::Deterministic,
+                    seed: 0,
+                    wire_faults: wire_faults.clone(),
+                    tick: Duration::from_millis(2),
+                };
+                std::thread::spawn(move || run_stage(&model(), &plan, n_seqs, &cfg))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn distributed_loopback_matches_in_process_tokens() {
+        let plan = plan3();
+        let prompts = vec![vec![1, 2, 3], vec![9, 8]];
+        let n_generate = 5;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let stages = spawn_stages(&plan, &addr, prompts.len(), &WireFaultPlan::none());
+        let telemetry = Telemetry::new(plan.stages.len());
+        let cfg = DistMasterConfig { telemetry: Some(telemetry.clone()), ..Default::default() };
+        let out = run_master(&model(), &plan, &prompts, n_generate, &listener, &cfg)
+            .expect("distributed run");
+        let local = run_pipeline(
+            &model(), &plan, &prompts, n_generate, Rounding::Deterministic, 0, None,
+        )
+        .expect("in-process run");
+        assert_eq!(out.tokens, local.tokens, "must be bit-identical to the in-process engine");
+        assert_eq!(out.restarts, 0);
+        assert!(out.admission.conserves(0), "{:?}", out.admission);
+        // Both sides of every link were accounted: the master counted
+        // link 0 tx + link n rx itself, the stage reports filled the rest.
+        for (i, l) in out.link_stats.iter().enumerate() {
+            assert!(l.bytes_tx > 0, "link {i} tx never counted: {l:?}");
+            assert!(l.bytes_rx > 0, "link {i} rx never counted: {l:?}");
+        }
+        // Stage metrics made it across the wire.
+        for (i, m) in out.stage_metrics.iter().enumerate() {
+            assert!(m.items > 0, "stage {i} reported no items");
+        }
+        for h in stages {
+            let summary = h.join().unwrap().expect("stage exits cleanly");
+            assert_eq!(summary.attempts_served, 1);
+        }
+    }
+
+    #[test]
+    fn injected_disconnect_recovers_with_identical_tokens() {
+        let plan = plan3();
+        let prompts = vec![vec![4, 5, 6], vec![7, 8]];
+        let n_generate = 6;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        // Stage 0's downstream link dies after 4 data frames, mid-run.
+        let faults = WireFaultPlan::disconnect_tx(0, 4);
+        let stages = spawn_stages(&plan, &addr, prompts.len(), &faults);
+        let cfg = DistMasterConfig::default();
+        let out = run_master(&model(), &plan, &prompts, n_generate, &listener, &cfg)
+            .expect("recovers from the injected drop");
+        assert_eq!(out.restarts, 1, "exactly one restart");
+        let local = run_pipeline(
+            &model(), &plan, &prompts, n_generate, Rounding::Deterministic, 0, None,
+        )
+        .unwrap();
+        assert_eq!(out.tokens, local.tokens, "recovery must not perturb tokens");
+        assert!(out.admission.conserves(0), "{:?}", out.admission);
+        for h in stages {
+            let summary = h.join().unwrap().expect("stage exits cleanly");
+            assert!(summary.attempts_served >= 1);
+        }
+    }
+
+    #[test]
+    fn plan_mismatch_is_refused_at_handshake() {
+        let plan = plan3();
+        let mut other = plan.clone();
+        other.stages[0].bits = vec![Bitwidth::Int4]; // different quant config
+        let prompts = vec![vec![1, 2]];
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        // Stage 0 runs the *other* plan.
+        let handles: Vec<_> = vec![{
+            let cfg = DistStageConfig {
+                stage: 0,
+                listen: "127.0.0.1:0".into(),
+                master: addr.clone(),
+                rounding: Rounding::Deterministic,
+                seed: 0,
+                wire_faults: WireFaultPlan::none(),
+                tick: Duration::from_millis(2),
+            };
+            std::thread::spawn(move || run_stage(&model(), &other, 1, &cfg))
+        }];
+        let cfg = DistMasterConfig::default();
+        let res = run_master(&model(), &plan, &prompts, 3, &listener, &cfg);
+        assert!(matches!(res, Err(RuntimeError::BadPlan(_))), "{res:?}");
+        for h in handles {
+            let res = h.join().unwrap();
+            assert!(matches!(res, Err(RuntimeError::BadPlan(_))), "{res:?}");
+        }
+    }
+}
+

@@ -1,0 +1,245 @@
+//! Deterministic transport-level fault injection.
+//!
+//! The process-level [`FaultPlan`](crate::fault::FaultPlan) breaks
+//! *stages* (crash, hang, straggler); this module breaks the *wire*
+//! between them: frames can be delayed, dropped, duplicated, corrupted
+//! in flight (and then caught by the frame CRC), or the connection cut
+//! outright. Events fire on a per-process frame ordinal and are
+//! consumed exactly once, so an injected mid-run disconnect produces one
+//! failed attempt and the retry goes through clean — the recovery
+//! scenario the distributed integration test exercises.
+//!
+//! Plans serialize to JSON (`llmpq-dist --wire-fault wire.json`); every
+//! process of a distributed run can be handed the same file and picks
+//! out the events targeting its own stage.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Stage id wire-fault events use to target the master process.
+pub const MASTER_STAGE: usize = usize::MAX;
+
+/// Which side of the process's transport the fault applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WireDir {
+    /// Outbound (downstream data) frames.
+    Tx,
+    /// Inbound (upstream data) frames.
+    Rx,
+}
+
+/// What goes wrong on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum WireFaultKind {
+    /// The frame is held back for `ms` milliseconds before proceeding.
+    Delay {
+        /// Added latency in milliseconds.
+        ms: u64,
+    },
+    /// The frame vanishes in transit: the pipeline stalls until the
+    /// supervisor's progress timeout notices.
+    DropFrame,
+    /// The frame is delivered twice; receivers deduplicate by step id.
+    DuplicateFrame,
+    /// One payload byte is flipped after checksumming: the receiver's
+    /// CRC-32 rejects the frame and poisons the connection.
+    CorruptFrame,
+    /// The connection is shut down mid-stream — the EOF cascades through
+    /// the pipeline and surfaces as a disconnect at the master.
+    Disconnect,
+}
+
+/// One scheduled wire fault: fires in the process running `stage` when
+/// its `dir`-side data-frame counter reaches `after_frames`
+/// (handshake frames are not counted).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WireFaultEvent {
+    /// Target process: a pipeline stage index, or [`MASTER_STAGE`].
+    pub stage: usize,
+    /// Transport side the fault applies to.
+    pub dir: WireDir,
+    /// 0-based data-frame ordinal at which the fault fires.
+    pub after_frames: u64,
+    /// The failure mode.
+    pub kind: WireFaultKind,
+}
+
+/// A deterministic schedule of wire faults for one distributed run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct WireFaultPlan {
+    /// The scheduled faults, each consumed at most once.
+    pub events: Vec<WireFaultEvent>,
+}
+
+impl WireFaultPlan {
+    /// Plan with no wire faults.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Cut `stage`'s downstream connection after it has sent `frames`
+    /// data frames — the canonical mid-run connection-drop scenario.
+    pub fn disconnect_tx(stage: usize, frames: u64) -> Self {
+        Self {
+            events: vec![WireFaultEvent {
+                stage,
+                dir: WireDir::Tx,
+                after_frames: frames,
+                kind: WireFaultKind::Disconnect,
+            }],
+        }
+    }
+
+    /// Whether the plan schedules anything at all.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Serialize to the `--wire-fault` JSON format.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("wire-fault plans are serializable")
+    }
+
+    /// Parse a `--wire-fault` file.
+    pub fn from_json(s: &str) -> Result<WireFaultPlan, String> {
+        serde_json::from_str(s).map_err(|e| e.to_string())
+    }
+}
+
+/// What the transport must do with the frame at hand.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WireFaultAction {
+    /// Business as usual.
+    None,
+    /// Sleep this long first, then transfer normally.
+    Delay(Duration),
+    /// Discard the frame silently.
+    Drop,
+    /// Transfer the frame twice.
+    Duplicate,
+    /// Flip a payload byte (tx) / treat the frame as corrupt (rx).
+    Corrupt,
+    /// Shut the connection down.
+    Disconnect,
+}
+
+/// Per-process wire-fault state: holds the events targeting one stage
+/// and the tx/rx data-frame counters they key on. Counters persist
+/// across attempt restarts (they are per *process*, like a real flaky
+/// NIC), and each event is one-shot.
+#[derive(Debug)]
+pub struct WireFaultInjector {
+    events: Vec<WireFaultEvent>,
+    consumed: Vec<AtomicBool>,
+    tx_frames: AtomicU64,
+    rx_frames: AtomicU64,
+}
+
+impl WireFaultInjector {
+    /// Injector over the events of `plan` that target `stage`.
+    pub fn new(plan: &WireFaultPlan, stage: usize) -> Arc<Self> {
+        let events: Vec<WireFaultEvent> =
+            plan.events.iter().filter(|e| e.stage == stage).copied().collect();
+        Arc::new(Self {
+            consumed: events.iter().map(|_| AtomicBool::new(false)).collect(),
+            events,
+            tx_frames: AtomicU64::new(0),
+            rx_frames: AtomicU64::new(0),
+        })
+    }
+
+    fn on(&self, dir: WireDir, counter: &AtomicU64) -> WireFaultAction {
+        let ordinal = counter.fetch_add(1, Ordering::SeqCst);
+        for (i, e) in self.events.iter().enumerate() {
+            if e.dir != dir || e.after_frames != ordinal {
+                continue;
+            }
+            if self.consumed[i].swap(true, Ordering::SeqCst) {
+                continue;
+            }
+            return match e.kind {
+                WireFaultKind::Delay { ms } => WireFaultAction::Delay(Duration::from_millis(ms)),
+                WireFaultKind::DropFrame => WireFaultAction::Drop,
+                WireFaultKind::DuplicateFrame => WireFaultAction::Duplicate,
+                WireFaultKind::CorruptFrame => WireFaultAction::Corrupt,
+                WireFaultKind::Disconnect => WireFaultAction::Disconnect,
+            };
+        }
+        WireFaultAction::None
+    }
+
+    /// Decide the fate of the outbound data frame about to be written.
+    pub fn on_tx(&self) -> WireFaultAction {
+        self.on(WireDir::Tx, &self.tx_frames)
+    }
+
+    /// Decide the fate of the inbound data frame just read.
+    pub fn on_rx(&self) -> WireFaultAction {
+        self.on(WireDir::Rx, &self.rx_frames)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_fire_once_at_their_ordinal() {
+        let plan = WireFaultPlan::disconnect_tx(1, 2);
+        let inj = WireFaultInjector::new(&plan, 1);
+        assert_eq!(inj.on_tx(), WireFaultAction::None); // frame 0
+        assert_eq!(inj.on_rx(), WireFaultAction::None, "rx counter is separate");
+        assert_eq!(inj.on_tx(), WireFaultAction::None); // frame 1
+        assert_eq!(inj.on_tx(), WireFaultAction::Disconnect); // frame 2
+        assert_eq!(inj.on_tx(), WireFaultAction::None, "one-shot");
+    }
+
+    #[test]
+    fn events_for_other_stages_are_filtered_out() {
+        let plan = WireFaultPlan::disconnect_tx(1, 0);
+        let inj = WireFaultInjector::new(&plan, 0);
+        assert_eq!(inj.on_tx(), WireFaultAction::None);
+    }
+
+    #[test]
+    fn all_kinds_map_to_actions() {
+        let kinds = [
+            (WireFaultKind::Delay { ms: 7 }, WireFaultAction::Delay(Duration::from_millis(7))),
+            (WireFaultKind::DropFrame, WireFaultAction::Drop),
+            (WireFaultKind::DuplicateFrame, WireFaultAction::Duplicate),
+            (WireFaultKind::CorruptFrame, WireFaultAction::Corrupt),
+            (WireFaultKind::Disconnect, WireFaultAction::Disconnect),
+        ];
+        for (kind, want) in kinds {
+            let plan = WireFaultPlan {
+                events: vec![WireFaultEvent { stage: 3, dir: WireDir::Rx, after_frames: 0, kind }],
+            };
+            let inj = WireFaultInjector::new(&plan, 3);
+            assert_eq!(inj.on_rx(), want, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let plan = WireFaultPlan {
+            events: vec![
+                WireFaultEvent {
+                    stage: MASTER_STAGE,
+                    dir: WireDir::Tx,
+                    after_frames: 5,
+                    kind: WireFaultKind::Delay { ms: 20 },
+                },
+                WireFaultEvent {
+                    stage: 1,
+                    dir: WireDir::Rx,
+                    after_frames: 0,
+                    kind: WireFaultKind::CorruptFrame,
+                },
+            ],
+        };
+        let back = WireFaultPlan::from_json(&plan.to_json()).unwrap();
+        assert_eq!(back, plan);
+    }
+}

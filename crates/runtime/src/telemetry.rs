@@ -33,6 +33,7 @@
 
 use llmpq_model::Phase;
 use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -319,6 +320,97 @@ impl StageRecorder {
     }
 }
 
+/// Immutable copy of one link's transfer counters — what a remote stage
+/// ships home in its end-of-run report, and what the
+/// `cost::fidelity` link cross-check consumes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkStats {
+    /// Bytes written to the link (frame headers included).
+    pub bytes_tx: u64,
+    /// Bytes read from the link (frame headers included).
+    pub bytes_rx: u64,
+    /// Frames written.
+    pub frames_tx: u64,
+    /// Frames read.
+    pub frames_rx: u64,
+    /// Microseconds spent serializing + writing outbound frames — the
+    /// observed transfer time the α-β interconnect model predicts.
+    pub comm_us: u64,
+    /// Inbound frames rejected by checksum or framing validation.
+    pub corrupt_frames: u64,
+}
+
+impl LinkStats {
+    /// Observed outbound transfer time in seconds.
+    pub fn comm_s(&self) -> f64 {
+        self.comm_us as f64 / 1e6
+    }
+}
+
+/// Lock-free transfer counters for one inter-stage link.
+///
+/// Link `i` is the edge *into* stage `i`: link 0 is master → stage 0,
+/// link `n` (for an `n`-stage pipeline) is the last stage → master. The
+/// sender of a link bumps its `tx` side, the receiver the `rx` side; in
+/// a single-process run both live in the same [`Telemetry`], while in a
+/// multi-process run each side counts locally and the master merges the
+/// stage reports at shutdown ([`LinkRecorder::merge`]).
+#[derive(Debug, Default)]
+pub struct LinkRecorder {
+    bytes_tx: AtomicU64,
+    bytes_rx: AtomicU64,
+    frames_tx: AtomicU64,
+    frames_rx: AtomicU64,
+    comm_us: AtomicU64,
+    corrupt_frames: AtomicU64,
+}
+
+impl LinkRecorder {
+    /// One frame of `bytes` was written to the link.
+    pub fn on_tx(&self, bytes: u64) {
+        self.bytes_tx.fetch_add(bytes, Ordering::Relaxed);
+        self.frames_tx.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One frame of `bytes` was read off the link.
+    pub fn on_rx(&self, bytes: u64) {
+        self.bytes_rx.fetch_add(bytes, Ordering::Relaxed);
+        self.frames_rx.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Account `us` microseconds of outbound serialize+write time.
+    pub fn add_comm_us(&self, us: u64) {
+        self.comm_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// An inbound frame failed checksum or framing validation.
+    pub fn on_corrupt(&self) {
+        self.corrupt_frames.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Immutable copy of the counters.
+    pub fn snapshot(&self) -> LinkStats {
+        LinkStats {
+            bytes_tx: self.bytes_tx.load(Ordering::Relaxed),
+            bytes_rx: self.bytes_rx.load(Ordering::Relaxed),
+            frames_tx: self.frames_tx.load(Ordering::Relaxed),
+            frames_rx: self.frames_rx.load(Ordering::Relaxed),
+            comm_us: self.comm_us.load(Ordering::Relaxed),
+            corrupt_frames: self.corrupt_frames.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Fold a remote side's counters into this recorder (additive).
+    pub fn merge(&self, s: &LinkStats) {
+        self.bytes_tx.fetch_add(s.bytes_tx, Ordering::Relaxed);
+        self.bytes_rx.fetch_add(s.bytes_rx, Ordering::Relaxed);
+        self.frames_tx.fetch_add(s.frames_tx, Ordering::Relaxed);
+        self.frames_rx.fetch_add(s.frames_rx, Ordering::Relaxed);
+        self.comm_us.fetch_add(s.comm_us, Ordering::Relaxed);
+        self.corrupt_frames.fetch_add(s.corrupt_frames, Ordering::Relaxed);
+    }
+}
+
 /// One traced interval of a micro-batch's lifecycle on one pipeline
 /// actor (the master, or a stage worker).
 #[derive(Debug, Clone, PartialEq)]
@@ -326,7 +418,8 @@ pub struct Span {
     /// Trace thread id: 0 is the master, stage *s* is `s + 1`.
     pub tid: usize,
     /// Interval kind: `"wait"` (enqueue → dequeue), `"compute"`,
-    /// `"send"`, or `"sample"` (master-side logits + sampling).
+    /// `"send"`, `"sample"` (master-side logits + sampling), or
+    /// `"comm"` (wire transfer of one frame on a TCP link).
     pub name: &'static str,
     /// Generative phase of the work item.
     pub phase: Phase,
@@ -359,6 +452,9 @@ impl Span {
 pub struct Telemetry {
     epoch: Instant,
     stages: Vec<StageRecorder>,
+    /// Per-link transfer counters: `n_stages + 1` edges, link `i` being
+    /// the edge into stage `i` and the last the return to the master.
+    links: Vec<LinkRecorder>,
     spans: Mutex<Vec<Span>>,
     restarts: AtomicU64,
     replans: AtomicU64,
@@ -382,6 +478,7 @@ impl Telemetry {
         Arc::new(Self {
             epoch: Instant::now(),
             stages: (0..n_stages).map(|_| StageRecorder::default()).collect(),
+            links: (0..=n_stages).map(|_| LinkRecorder::default()).collect(),
             spans: Mutex::new(Vec::new()),
             restarts: AtomicU64::new(0),
             replans: AtomicU64::new(0),
@@ -410,6 +507,22 @@ impl Telemetry {
     /// The recorder of stage `i`, if in range.
     pub fn stage(&self, i: usize) -> Option<&StageRecorder> {
         self.stages.get(i)
+    }
+
+    /// Number of link recorders (`n_stages + 1`).
+    pub fn n_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// The transfer counters of link `i` (the edge *into* stage `i`;
+    /// the last link is the return edge to the master), if in range.
+    pub fn link(&self, i: usize) -> Option<&LinkRecorder> {
+        self.links.get(i)
+    }
+
+    /// Snapshot of every link's counters, in link order.
+    pub fn link_stats(&self) -> Vec<LinkStats> {
+        self.links.iter().map(LinkRecorder::snapshot).collect()
     }
 
     /// Append a span to the trace.
@@ -670,6 +783,13 @@ impl Telemetry {
             out.push_str(&fmt_hist("prefill", &s.prefill_latency.snapshot()));
             out.push_str(&fmt_hist("decode", &s.decode_latency.snapshot()));
         }
+        for (i, l) in self.links.iter().enumerate() {
+            let s = l.snapshot();
+            out.push_str(&format!(
+                "link {i}: bytes_tx={} bytes_rx={} frames_tx={} frames_rx={} comm_s={:.6} corrupt={}\n",
+                s.bytes_tx, s.bytes_rx, s.frames_tx, s.frames_rx, s.comm_s(), s.corrupt_frames,
+            ));
+        }
         out
     }
 }
@@ -900,6 +1020,31 @@ mod tests {
         tel.set_queue_pressure(-1.0);
         assert_eq!(tel.queue_pressure(), 0.0);
         assert_eq!(tel.queue_pressure_peak(), 1.0);
+    }
+
+    #[test]
+    fn link_recorders_count_and_merge() {
+        let tel = Telemetry::new(2);
+        assert_eq!(tel.n_links(), 3, "n_stages + 1 edges");
+        let l0 = tel.link(0).unwrap();
+        l0.on_tx(100);
+        l0.on_tx(50);
+        l0.on_rx(70);
+        l0.add_comm_us(1_500);
+        l0.on_corrupt();
+        let s = l0.snapshot();
+        assert_eq!((s.bytes_tx, s.frames_tx), (150, 2));
+        assert_eq!((s.bytes_rx, s.frames_rx), (70, 1));
+        assert_eq!(s.comm_us, 1_500);
+        assert_eq!(s.corrupt_frames, 1);
+        assert!((s.comm_s() - 0.0015).abs() < 1e-12);
+        // Merging a remote report is additive.
+        l0.merge(&s);
+        assert_eq!(l0.snapshot().bytes_tx, 300);
+        assert!(tel.link(3).is_none());
+        let text = tel.metrics_text();
+        assert!(text.contains("link 0: bytes_tx=300"), "{text}");
+        assert!(text.contains("link 2: bytes_tx=0"), "{text}");
     }
 
     #[test]

@@ -12,8 +12,11 @@
 //! master instead of panicking the thread.
 
 use crate::fault::{FaultAction, FaultInjector, Heartbeats};
+use crate::net::transport::{
+    ChannelTransport, Transport, TransportRecvError, TransportSendError,
+};
 use crate::telemetry::{Span, Telemetry};
-use crossbeam::channel::{Receiver, RecvTimeoutError, SendTimeoutError, Sender};
+use crossbeam::channel::{Receiver, Sender};
 use llmpq_model::{forward_layer_alibi, KvCache, LayerWeights, Matrix, Phase};
 use llmpq_quant::Bitwidth;
 use parking_lot::Mutex;
@@ -58,7 +61,7 @@ pub struct StageSpec {
 
 /// One unit of pipeline work: the hidden states of each sequence of a
 /// micro-batch (prefill sends `t×h`, decode `1×h` per sequence).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WorkItem {
     /// Globally unique, monotonically increasing id the master assigns
     /// per attempt; used to deduplicate duplicated channel messages.
@@ -76,7 +79,7 @@ pub struct WorkItem {
 }
 
 /// Messages between stages.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum WorkerMsg {
     /// Process and forward.
     Work(WorkItem),
@@ -152,12 +155,12 @@ impl WorkerCtx {
 /// recorded on the ctx's [`DisconnectBoard`] when `note_drop` is set
 /// (work items and protocol replies — real losses; shutdown forwards
 /// during teardown are not).
-fn send_downstream(ctx: &WorkerCtx, output: &Sender<WorkerMsg>, msg: WorkerMsg, note_drop: bool) -> bool {
+fn send_downstream<T: Transport>(ctx: &WorkerCtx, out: &T, msg: WorkerMsg, note_drop: bool) -> bool {
     let mut msg = msg;
     loop {
-        match output.send_timeout(msg, ctx.tick) {
+        match out.send_msg(msg, ctx.tick) {
             Ok(()) => return true,
-            Err(SendTimeoutError::Disconnected(_)) => {
+            Err(TransportSendError::Disconnected) => {
                 if note_drop {
                     if let Some(board) = &ctx.disconnects {
                         board.lock().push(ctx.stage);
@@ -165,11 +168,12 @@ fn send_downstream(ctx: &WorkerCtx, output: &Sender<WorkerMsg>, msg: WorkerMsg, 
                 }
                 return false;
             }
-            Err(SendTimeoutError::Timeout(m)) => {
+            Err(TransportSendError::Timeout(m)) => {
                 msg = m;
                 if let Some(hb) = &ctx.heartbeats {
                     hb.beat(ctx.stage);
                 }
+                out.beat();
                 if ctx.injector.as_ref().is_some_and(|i| i.aborted()) {
                     return false;
                 }
@@ -192,13 +196,30 @@ pub fn run_worker(
     run_worker_ctx(weights, &WorkerCtx::plain(0, n_heads, hidden, alibi, n_seqs), input, output)
 }
 
-/// The supervised stage-worker loop.
+/// The supervised stage-worker loop over an in-process channel pair.
+/// Wraps the channels in a [`ChannelTransport`] (with link accounting
+/// when the ctx is traced: inbound edge = link `stage`, outbound edge =
+/// link `stage + 1`) and runs [`run_worker_transport`].
 pub fn run_worker_ctx(
     weights: &[LayerWeights],
     ctx: &WorkerCtx,
     input: Receiver<WorkerMsg>,
     output: Sender<WorkerMsg>,
 ) {
+    let transport = ChannelTransport::observed(
+        input,
+        output,
+        ctx.telemetry.clone(),
+        ctx.stage,
+        ctx.stage + 1,
+    );
+    run_worker_transport(weights, ctx, &transport)
+}
+
+/// The supervised stage-worker loop, generic over the transport that
+/// carries its messages — the same loop drives an in-process thread and
+/// a stage process on the other end of a TCP link.
+pub fn run_worker_transport<T: Transport>(weights: &[LayerWeights], ctx: &WorkerCtx, link: &T) {
     let n_local = weights.len();
     // Pre-allocated per-sequence caches, local layer indexing.
     let mut caches: Vec<KvCache> = (0..ctx.n_seqs).map(|_| KvCache::new(n_local, ctx.hidden)).collect();
@@ -217,6 +238,7 @@ pub fn run_worker_ctx(
         if let Some(hb) = &ctx.heartbeats {
             hb.beat(ctx.stage);
         }
+        link.beat();
     };
     let aborted = || ctx.injector.as_ref().is_some_and(|i| i.aborted());
     beat();
@@ -225,13 +247,13 @@ pub fn run_worker_ctx(
             flush(&metrics);
             return;
         }
-        let msg = match input.recv_timeout(ctx.tick) {
+        let msg = match link.recv_msg(ctx.tick) {
             Ok(m) => m,
-            Err(RecvTimeoutError::Timeout) => {
+            Err(TransportRecvError::Timeout) => {
                 beat();
                 continue;
             }
-            Err(RecvTimeoutError::Disconnected) => {
+            Err(TransportRecvError::Disconnected) => {
                 flush(&metrics);
                 return;
             }
@@ -242,13 +264,13 @@ pub fn run_worker_ctx(
                 flush(&metrics);
                 // Teardown: a downstream that is already gone is not a
                 // lost work item, so no disconnect note.
-                send_downstream(ctx, &output, WorkerMsg::Shutdown, false);
+                send_downstream(ctx, link, WorkerMsg::Shutdown, false);
                 return;
             }
             WorkerMsg::Protocol(e) => {
                 // Propagate toward the master; losing the reply would
                 // hide the violation, so a disconnect is recorded.
-                if !send_downstream(ctx, &output, WorkerMsg::Protocol(e), true) {
+                if !send_downstream(ctx, link, WorkerMsg::Protocol(e), true) {
                     flush(&metrics);
                     return;
                 }
@@ -268,7 +290,7 @@ pub fn run_worker_ctx(
                         "stage {}: sequence id {seq} out of range (batch has {})",
                         ctx.stage, ctx.n_seqs
                     ));
-                    if !send_downstream(ctx, &output, report, true) {
+                    if !send_downstream(ctx, link, report, true) {
                         flush(&metrics);
                         return;
                     }
@@ -366,11 +388,11 @@ pub fn run_worker_ctx(
                     }
                 }
                 let (step, microbatch, phase) = (item.step, item.microbatch, item.phase);
-                if duplicate && !send_downstream(ctx, &output, WorkerMsg::Work(item.clone()), true) {
+                if duplicate && !send_downstream(ctx, link, WorkerMsg::Work(item.clone()), true) {
                     flush(&metrics);
                     return;
                 }
-                if !send_downstream(ctx, &output, WorkerMsg::Work(item), true) {
+                if !send_downstream(ctx, link, WorkerMsg::Work(item), true) {
                     flush(&metrics);
                     return; // downstream gone; drop recorded on the board
                 }

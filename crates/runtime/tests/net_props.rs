@@ -1,0 +1,205 @@
+//! Property tests for the wire layer: the frame codec and the message
+//! codec must round-trip arbitrary traffic byte-exactly, reject every
+//! corruption of the length prefix / magic / payload, and reassemble
+//! frames delivered one fragment at a time.
+
+use llmpq_model::{Matrix, Phase};
+use llmpq_runtime::net::frame::{
+    crc32, encode_frame, read_frame, FrameError, FRAME_HEADER_BYTES, MAX_FRAME_BYTES,
+};
+use llmpq_runtime::net::wire::{worker_msg_to_wire, worker_msg_wire_bytes, WireMsg};
+use llmpq_runtime::{WorkItem, WorkerMsg};
+use proptest::prelude::*;
+use proptest::strategy::TestRng;
+use std::io::Read;
+
+/// Arbitrary worker messages: work items with random shapes and
+/// bit-pattern-derived (finite) floats, shutdowns, protocol errors.
+struct ArbMsg;
+
+impl Strategy for ArbMsg {
+    type Value = WorkerMsg;
+
+    fn generate(&self, rng: &mut TestRng) -> WorkerMsg {
+        match rng.below(4) {
+            0 => WorkerMsg::Shutdown,
+            1 => {
+                let n = rng.below(48);
+                let s: String =
+                    (0..n).map(|_| (b' ' + rng.below(95) as u8) as char).collect();
+                WorkerMsg::Protocol(s)
+            }
+            _ => {
+                let n_seqs = rng.below(4);
+                let seqs = (0..n_seqs)
+                    .map(|_| {
+                        let rows = 1 + rng.below(3);
+                        let cols = 1 + rng.below(5);
+                        let data = (0..rows * cols)
+                            .map(|_| loop {
+                                // Drawing from raw bit patterns covers
+                                // negative zero, subnormals and extreme
+                                // exponents, not just round numbers.
+                                let v = f32::from_bits(rng.next_u64() as u32);
+                                if v.is_finite() {
+                                    break v;
+                                }
+                            })
+                            .collect();
+                        (rng.below(64), Matrix::from_vec(rows, cols, data))
+                    })
+                    .collect();
+                WorkerMsg::Work(WorkItem {
+                    step: rng.next_u64(),
+                    microbatch: rng.below(1024),
+                    phase: if rng.below(2) == 0 { Phase::Prefill } else { Phase::Decode },
+                    sent_us: rng.next_u64(),
+                    seqs,
+                })
+            }
+        }
+    }
+}
+
+/// A reader that yields at most `chunk` bytes per `read` call, forcing
+/// the frame decoder to reassemble from partial reads.
+struct Trickle<'a> {
+    data: &'a [u8],
+    pos: usize,
+    chunk: usize,
+}
+
+impl Read for Trickle<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.chunk.min(buf.len()).min(self.data.len() - self.pos);
+        buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn worker_messages_round_trip_bit_exactly(msg in ArbMsg) {
+        let wire = worker_msg_to_wire(msg.clone());
+        let payload = wire.encode();
+        prop_assert_eq!(payload.len(), wire.encoded_len(), "encoded_len must match encode");
+        if matches!(&wire, WireMsg::Work(_)) {
+            prop_assert_eq!(payload.len(), worker_msg_wire_bytes(&msg));
+        }
+        let framed = encode_frame(&payload);
+        let back = read_frame(&mut framed.as_slice()).expect("well-formed frame");
+        prop_assert_eq!(&back, &payload);
+        let decoded = WireMsg::decode(&back).expect("well-formed payload");
+        // Equality through the wire type: f32 payloads must be bit-exact.
+        prop_assert_eq!(decoded, wire);
+    }
+
+    #[test]
+    fn any_single_byte_payload_corruption_is_detected(
+        msg in ArbMsg,
+        at in 0usize..1 << 20,
+        flip in 1u8..=255,
+    ) {
+        let payload = worker_msg_to_wire(msg).encode();
+        let mut framed = encode_frame(&payload);
+        // Flip one payload byte (past the 12-byte header): the CRC-32
+        // must notice, whatever the byte and whatever the bit pattern.
+        let i = FRAME_HEADER_BYTES + at % payload.len();
+        framed[i] ^= flip;
+        match read_frame(&mut framed.as_slice()) {
+            Err(FrameError::ChecksumMismatch { .. }) => {}
+            other => prop_assert!(false, "corruption at byte {i} undetected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupt_length_prefixes_never_cause_huge_allocations(
+        msg in ArbMsg,
+        len in 0u32..=u32::MAX,
+    ) {
+        let payload = worker_msg_to_wire(msg).encode();
+        let mut framed = encode_frame(&payload);
+        framed[4..8].copy_from_slice(&len.to_le_bytes());
+        match read_frame(&mut framed.as_slice()) {
+            Ok(p) => {
+                // Only the true length can survive: the CRC covers the
+                // exact payload.
+                prop_assert_eq!(len as usize, payload.len());
+                prop_assert_eq!(p, payload);
+            }
+            Err(FrameError::OversizedFrame(l)) => {
+                prop_assert!(l > MAX_FRAME_BYTES, "rejected in-range length {l}");
+            }
+            Err(FrameError::Io(e)) => {
+                // Claimed more bytes than the stream holds: clean EOF,
+                // never an attempted quarter-gigabyte allocation.
+                prop_assert!(len as usize > payload.len());
+                prop_assert_eq!(e.kind(), std::io::ErrorKind::UnexpectedEof);
+            }
+            Err(FrameError::ChecksumMismatch { .. }) => {
+                // Claimed fewer bytes: the CRC over the truncation fails.
+                prop_assert!((len as usize) < payload.len());
+            }
+            Err(e) => prop_assert!(false, "unexpected rejection: {e:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupt_magic_is_rejected(msg in ArbMsg, wrong in 0u32..=u32::MAX) {
+        let payload = worker_msg_to_wire(msg).encode();
+        let mut framed = encode_frame(&payload);
+        if wrong.to_le_bytes() == [framed[0], framed[1], framed[2], framed[3]] {
+            return Ok(()); // drew the genuine magic; nothing to corrupt
+        }
+        framed[..4].copy_from_slice(&wrong.to_le_bytes());
+        match read_frame(&mut framed.as_slice()) {
+            Err(FrameError::BadMagic { .. }) => {}
+            other => prop_assert!(false, "bad magic accepted: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn partial_reads_reassemble_exactly(msg in ArbMsg, chunk in 1usize..7) {
+        let payload = worker_msg_to_wire(msg).encode();
+        let framed = encode_frame(&payload);
+        let mut r = Trickle { data: &framed, pos: 0, chunk };
+        let back = read_frame(&mut r).expect("reassembles from fragments");
+        prop_assert_eq!(back, payload);
+        prop_assert_eq!(r.pos, framed.len(), "consumed exactly one frame");
+    }
+
+    #[test]
+    fn truncated_streams_are_io_errors_not_panics(msg in ArbMsg, cut in 0usize..1 << 20) {
+        let payload = worker_msg_to_wire(msg).encode();
+        let framed = encode_frame(&payload);
+        let keep = cut % framed.len(); // 0..len-1: always truncated
+        match read_frame(&mut &framed[..keep]) {
+            Err(FrameError::Io(e)) => {
+                prop_assert_eq!(e.kind(), std::io::ErrorKind::UnexpectedEof);
+            }
+            other => prop_assert!(false, "truncation at {keep} gave {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wire_decode_rejects_trailing_garbage(msg in ArbMsg, extra in 1usize..8) {
+        let mut payload = worker_msg_to_wire(msg).encode();
+        payload.extend(std::iter::repeat_n(0xA5, extra));
+        prop_assert!(WireMsg::decode(&payload).is_err(), "trailing bytes accepted");
+    }
+
+    #[test]
+    fn crc32_detects_any_single_bit_flip(
+        data in prop::collection::vec(0u8..=255, 1..128),
+        bit in 0usize..1 << 20,
+    ) {
+        let before = crc32(&data);
+        let mut flipped = data.clone();
+        let b = bit % (data.len() * 8);
+        flipped[b / 8] ^= 1 << (b % 8);
+        prop_assert_ne!(before, crc32(&flipped));
+    }
+}
