@@ -1,0 +1,154 @@
+//! `llmpq-simnet`: exhaustive fault-schedule exploration of the
+//! distributed runtime under deterministic simulation.
+//!
+//! ```text
+//! # sweep 500 seeded random fault schedules over master + 2 stages
+//! llmpq-simnet --seeds 500
+//!
+//! # replay a minimized counterexample exactly
+//! llmpq-simnet --schedule counterexample.json --trace
+//! ```
+//!
+//! Every run executes the *real* master engine and stage-worker loops
+//! over a simulated network on a virtual clock: same seed ⇒
+//! byte-identical event trace. After each run the invariant checker
+//! verifies token output against the fault-free oracle, admission
+//! conservation, deadlock freedom and the restart bound. Any violation
+//! is shrunk to a minimal reproducing schedule and written as
+//! replayable JSON (`--out`), and the process exits nonzero.
+
+use llmpq_cli::Args;
+use llmpq_runtime::{run_sim, seed_sweep, shrink_fault_plan, SimConfig, SimFaultPlan};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: llmpq-simnet
+    [--seeds 500]            number of consecutive seeds to sweep
+    [--seed 0]               first seed of the sweep
+    [--stages 2]             pipeline stages in the simulated protocol
+    [--n-generate 4]         tokens generated per prompt
+    [--max-restarts 3]       recovery bound per run
+    [--schedule plan.json]   replay one fault schedule instead of sweeping
+    [--out minimized.json]   where to write a shrunk counterexample
+    [--inject-bug]           dev hook: break admission conservation on purpose
+    [--trace]                print the deterministic event trace(s)";
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    eprintln!("{USAGE}");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args = match Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => return fail(&e.to_string()),
+    };
+    if args.switch("help") {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let mut cfg = SimConfig::default();
+    cfg.n_stages = match args.get_parse("stages", cfg.n_stages) {
+        Ok(v) => v,
+        Err(e) => return fail(&e.to_string()),
+    };
+    cfg.n_generate = match args.get_parse("n-generate", cfg.n_generate) {
+        Ok(v) => v,
+        Err(e) => return fail(&e.to_string()),
+    };
+    cfg.max_restarts = match args.get_parse("max-restarts", cfg.max_restarts) {
+        Ok(v) => v,
+        Err(e) => return fail(&e.to_string()),
+    };
+    cfg.inject_conservation_bug = args.switch("inject-bug");
+    let out_path = args.get("out").unwrap_or("sim-counterexample.json").to_string();
+
+    if let Some(path) = args.get("schedule") {
+        return replay(&cfg, path, args.switch("trace"));
+    }
+
+    let n_seeds: u64 = match args.get_parse("seeds", 500) {
+        Ok(v) => v,
+        Err(e) => return fail(&e.to_string()),
+    };
+    let start_seed: u64 = match args.get_parse("seed", 0) {
+        Ok(v) => v,
+        Err(e) => return fail(&e.to_string()),
+    };
+
+    let report = seed_sweep(&cfg, start_seed, n_seeds);
+    println!(
+        "swept {} seeds ({}..{}) over master + {} stage(s): {} schedules carried faults, \
+         {} runs recovered via restart, {} failed over after exhausting restarts",
+        report.n_seeds,
+        report.start_seed,
+        report.start_seed + report.n_seeds,
+        cfg.n_stages,
+        report.runs_with_faults,
+        report.runs_with_restarts,
+        report.runs_failed_over,
+    );
+    if report.ok() {
+        println!("all invariants held on every schedule");
+        return ExitCode::SUCCESS;
+    }
+    for f in &report.failures {
+        eprintln!(
+            "seed {} violated: {} (shrunk to {} event(s))",
+            f.seed,
+            f.violations.join("; "),
+            f.minimized.event_count()
+        );
+        if args.switch("trace") {
+            let rerun = run_sim(&cfg, &f.minimized);
+            eprintln!("--- minimized trace (seed {}) ---\n{}", f.seed, rerun.trace_text());
+        }
+    }
+    let first = &report.failures[0];
+    match std::fs::write(&out_path, &first.minimized_json) {
+        Ok(()) => eprintln!(
+            "minimized counterexample for seed {} written to {out_path} — replay with: \
+             llmpq-simnet --schedule {out_path}",
+            first.seed
+        ),
+        Err(e) => eprintln!("could not write {out_path}: {e}"),
+    }
+    ExitCode::FAILURE
+}
+
+fn replay(cfg: &SimConfig, path: &str, show_trace: bool) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => return fail(&format!("cannot read {path}: {e}")),
+    };
+    let plan = match SimFaultPlan::from_json(&text) {
+        Ok(p) => p,
+        Err(e) => return fail(&e),
+    };
+    let report = run_sim(cfg, &plan);
+    if show_trace {
+        println!("{}", report.trace_text());
+    }
+    println!(
+        "replayed {} fault event(s): {} restart(s), {} stale frame(s) rejected, {} corrupt \
+         frame(s) detected, finished at {}µs virtual",
+        plan.event_count(),
+        report.restarts,
+        report.stale_drops,
+        report.corrupt_detected,
+        report.final_virtual_us
+    );
+    if report.ok() {
+        println!("all invariants held");
+        ExitCode::SUCCESS
+    } else {
+        for v in &report.violations {
+            eprintln!("violation: {v}");
+        }
+        let minimized = shrink_fault_plan(cfg, &plan);
+        if minimized.event_count() < plan.event_count() {
+            eprintln!("shrinks further to {} event(s):\n{}", minimized.event_count(), minimized.to_json());
+        }
+        ExitCode::FAILURE
+    }
+}

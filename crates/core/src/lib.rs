@@ -46,5 +46,8 @@ pub use config::{AssignerConfig, SolverChoice};
 pub use degrade::{degradation_ladder, DegradationLadder, LadderRung, DEFAULT_CAPS};
 pub use evaluate::{evaluate_plan, PlanReport};
 pub use plan::{ExecutionPlan, StagePlan};
+// Re-exported so downstream crates can construct `ExecutionPlan`s
+// without depending on `llmpq-workload` directly.
+pub use llmpq_workload::MicrobatchPlan;
 pub use replan::{replan_after_loss, ReplanOutcome};
 pub use tp::{candidate_tp_widths, plan_with_tp, tp_sweep, TpOutcome};

@@ -1,0 +1,110 @@
+//! The time abstraction that makes the runtime simulable.
+//!
+//! Every timeout, deadline, backoff and heartbeat age in the runtime is
+//! computed against a [`Clock`] instead of raw `Instant::now()` /
+//! `thread::sleep`. Production code runs on a [`RealClock`]; the
+//! deterministic simulation harness ([`crate::simnet`]) substitutes a
+//! virtual clock whose time only advances when every simulated actor is
+//! blocked, which is what makes a simulated run reproducible down to
+//! the event trace.
+//!
+//! Time is represented as a [`Duration`] since the clock's epoch (its
+//! creation for a [`RealClock`], virtual zero for a simulated one) —
+//! plain `Duration` arithmetic gives deadline math without `Instant`'s
+//! platform quirks, and a µs-since-epoch reading doubles as a trace
+//! timestamp.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A monotonic time source plus a way to wait on it.
+///
+/// The determinism contract for simulated code paths: *no wall clock,
+/// no unseeded randomness*. Code below the runtime's entry points must
+/// read time only through a `Clock` and sleep only through
+/// [`Clock::sleep`], so the simulation harness can substitute virtual
+/// time.
+pub trait Clock: Send + Sync {
+    /// Monotonic time elapsed since this clock's epoch.
+    fn now(&self) -> Duration;
+
+    /// Block the calling thread (or simulated actor) for `d`.
+    fn sleep(&self, d: Duration);
+
+    /// Deadline `timeout` from now, in this clock's timeline.
+    fn deadline(&self, timeout: Duration) -> Duration {
+        self.now().saturating_add(timeout)
+    }
+
+    /// Whether `deadline` (from [`Clock::deadline`]) has passed.
+    fn expired(&self, deadline: Duration) -> bool {
+        self.now() > deadline
+    }
+
+    /// Microseconds since the epoch — the trace-timestamp form.
+    fn now_us(&self) -> u64 {
+        self.now().as_micros() as u64
+    }
+}
+
+/// Wall-clock time: epoch = creation instant, sleep = `thread::sleep`.
+#[derive(Debug)]
+pub struct RealClock {
+    epoch: Instant,
+}
+
+impl RealClock {
+    /// Clock whose epoch is now.
+    pub fn new() -> Self {
+        Self { epoch: Instant::now() }
+    }
+}
+
+impl Default for RealClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for RealClock {
+    fn now(&self) -> Duration {
+        self.epoch.elapsed()
+    }
+
+    fn sleep(&self, d: Duration) {
+        if !d.is_zero() {
+            std::thread::sleep(d);
+        }
+    }
+}
+
+/// Fresh shared wall clock — the default for every entry point that is
+/// not running under the simulation harness.
+pub fn real_clock() -> Arc<dyn Clock> {
+    Arc::new(RealClock::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_clock_advances_and_sleeps() {
+        let c = RealClock::new();
+        let t0 = c.now();
+        c.sleep(Duration::from_millis(2));
+        assert!(c.now() >= t0 + Duration::from_millis(2));
+        assert!(c.now_us() >= 2_000);
+    }
+
+    #[test]
+    fn deadline_arithmetic() {
+        let c = RealClock::new();
+        let d = c.deadline(Duration::from_secs(60));
+        assert!(!c.expired(d));
+        assert!(c.expired(Duration::ZERO.saturating_sub(Duration::from_nanos(1))) || c.now() > Duration::ZERO || !c.expired(Duration::ZERO));
+        // A deadline in the past is expired as soon as time has moved.
+        c.sleep(Duration::from_millis(1));
+        assert!(c.expired(Duration::ZERO));
+    }
+}

@@ -16,6 +16,7 @@
 //! and progress timeouts so hung stages and dropped messages are caught
 //! too, plus replan-on-device-loss.
 
+use crate::clock::{real_clock, Clock};
 use crate::fault::{FaultInjector, FaultPlan, Heartbeats};
 use crate::loader::{load_stage_weights, LoaderStats};
 use crate::net::transport::{ChannelTransport, Transport, TransportRecvError, TransportSendError};
@@ -30,7 +31,7 @@ use llmpq_quant::Rounding;
 use serde::{Deserialize, Serialize};
 use std::cell::Cell;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Runtime failure.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -88,20 +89,21 @@ pub struct RuntimeOutput {
     pub stage_metrics: Vec<StageMetrics>,
 }
 
-/// Greedy argmax over a logits row.
+/// Greedy argmax over a logits row. `total_cmp` gives a total order
+/// over floats (NaN sorts last), so no comparison can panic; an empty
+/// row — impossible for a well-formed model — argmaxes to 0.
 fn argmax(logits: &[f32]) -> usize {
     logits
         .iter()
         .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-        .map(|(i, _)| i)
-        .unwrap()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map_or(0, |(i, _)| i)
 }
 
 /// Detection and injection settings for one attempt. The plain entry
 /// points leave every timeout off (failure = disconnect, as before);
 /// the supervisor turns them on.
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub(crate) struct AttemptSupervision {
     pub injector: Option<Arc<FaultInjector>>,
     pub heartbeats: Option<Arc<Heartbeats>>,
@@ -114,6 +116,24 @@ pub(crate) struct AttemptSupervision {
     /// its upstream (and ultimately the master's admission) instead of
     /// buffering unboundedly; `None` keeps the legacy unbounded queues.
     pub queue_cap: Option<usize>,
+    /// Time source for every deadline and sleep of the attempt: wall
+    /// clock in production, virtual under [`crate::simnet`].
+    pub clock: Arc<dyn Clock>,
+}
+
+impl Default for AttemptSupervision {
+    fn default() -> Self {
+        Self {
+            injector: None,
+            heartbeats: None,
+            heartbeat_timeout: None,
+            progress_timeout: None,
+            tick: None,
+            telemetry: None,
+            queue_cap: None,
+            clock: real_clock(),
+        }
+    }
 }
 
 impl AttemptSupervision {
@@ -178,7 +198,7 @@ impl<'m, T: Transport> Master<'m, T> {
                 }
             }
         }
-        let deadline = sup.progress_timeout.map(|t| Instant::now() + t);
+        let deadline = sup.progress_timeout.map(|t| sup.clock.deadline(t));
         let mut msg = WorkerMsg::Work(item);
         loop {
             match self.link.send_msg(msg, sup.tick()) {
@@ -193,7 +213,7 @@ impl<'m, T: Transport> Master<'m, T> {
                             return Err(RuntimeError::StageHung(stage));
                         }
                     }
-                    if deadline.is_some_and(|d| Instant::now() > d) {
+                    if deadline.is_some_and(|d| sup.clock.expired(d)) {
                         return Err(RuntimeError::Stalled(
                             "master blocked on stage-0 backpressure past the progress timeout"
                                 .into(),
@@ -205,7 +225,7 @@ impl<'m, T: Transport> Master<'m, T> {
     }
 
     fn recv(&self, sup: &AttemptSupervision) -> Result<WorkItem, RuntimeError> {
-        let deadline = sup.progress_timeout.map(|t| Instant::now() + t);
+        let deadline = sup.progress_timeout.map(|t| sup.clock.deadline(t));
         loop {
             match self.link.recv_msg(sup.tick()) {
                 Ok(WorkerMsg::Work(item)) => {
@@ -228,7 +248,7 @@ impl<'m, T: Transport> Master<'m, T> {
                             return Err(RuntimeError::StageHung(stage));
                         }
                     }
-                    if deadline.is_some_and(|d| Instant::now() > d) {
+                    if deadline.is_some_and(|d| sup.clock.expired(d)) {
                         return Err(RuntimeError::Stalled(
                             "no output from the last stage within the progress timeout".into(),
                         ));
@@ -304,7 +324,6 @@ pub fn run_pipeline_observed(
     telemetry: Option<Arc<Telemetry>>,
 ) -> Result<RuntimeOutput, RuntimeError> {
     validate_inputs(checkpoint, plan, prompts, n_generate, faults)?;
-    let start = Instant::now();
     let (stage_weights, loader_stats) = load_all_stages(checkpoint, plan, rounding, seed);
     let mut tokens: Vec<Vec<usize>> = vec![Vec::with_capacity(n_generate); prompts.len()];
     let sink: MetricsSink =
@@ -314,9 +333,11 @@ pub fn run_pipeline_observed(
         telemetry,
         ..AttemptSupervision::default()
     };
+    let start = sup.clock.now();
     run_attempt(checkpoint, plan, prompts, &mut tokens, n_generate, &stage_weights, &sup, &sink)?;
+    let wall_s = sup.clock.now().saturating_sub(start).as_secs_f64();
     let stage_metrics = sink.lock().clone();
-    Ok(RuntimeOutput { tokens, loader_stats, wall_s: start.elapsed().as_secs_f64(), stage_metrics })
+    Ok(RuntimeOutput { tokens, loader_stats, wall_s, stage_metrics })
 }
 
 /// Comma-joined bitwidth label of a stage's shard (e.g. `"int4,fp16"`),
@@ -350,7 +371,8 @@ pub fn run_pipeline_recoverable(
     faults: Option<&FaultPlan>,
 ) -> Result<(RuntimeOutput, usize), RuntimeError> {
     validate_inputs(checkpoint, plan, prompts, n_generate, faults)?;
-    let start = Instant::now();
+    let clock = real_clock();
+    let start = clock.now();
     let (stage_weights, loader_stats) = load_all_stages(checkpoint, plan, rounding, seed);
     let mut tokens: Vec<Vec<usize>> = vec![Vec::with_capacity(n_generate); prompts.len()];
     let sink: MetricsSink =
@@ -361,7 +383,11 @@ pub fn run_pipeline_recoverable(
         if let Some(inj) = &injector {
             inj.begin_attempt(attempt);
         }
-        let sup = AttemptSupervision { injector: injector.clone(), ..AttemptSupervision::default() };
+        let sup = AttemptSupervision {
+            injector: injector.clone(),
+            clock: clock.clone(),
+            ..AttemptSupervision::default()
+        };
         match run_attempt(checkpoint, plan, prompts, &mut tokens, n_generate, &stage_weights, &sup, &sink) {
             Ok(()) => {
                 let stage_metrics = sink.lock().clone();
@@ -369,7 +395,7 @@ pub fn run_pipeline_recoverable(
                     RuntimeOutput {
                         tokens,
                         loader_stats,
-                        wall_s: start.elapsed().as_secs_f64(),
+                        wall_s: clock.now().saturating_sub(start).as_secs_f64(),
                         stage_metrics,
                     },
                     attempt,
@@ -507,6 +533,8 @@ pub(crate) fn drive_generation<T: Transport>(
             let seqs = chunk
                 .iter()
                 .map(|&s| {
+                    // Infallible: the decode loop starts at done+1, so the
+                    // prefill above pushed ≥1 token into every sequence.
                     let last = *tokens[s].last().expect("prefill produced a token");
                     let x = master.model.embed_tokens(&[last], positions[s]);
                     (s, x)
@@ -593,6 +621,7 @@ pub(crate) fn run_attempt(
                 bits: bits_label(&plan.stages[i]),
                 tick: sup.tick(),
                 disconnects: Some(board.clone()),
+                clock: sup.clock.clone(),
             };
             scope.spawn(move || run_worker_ctx(weights, &ctx, rx, tx));
         }

@@ -15,11 +15,12 @@
 //! Plans serialize to JSON (`llmpq-dist --fault-plan faults.json`) and
 //! can be generated from a seed for property tests.
 
+use crate::clock::{real_clock, Clock};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// What goes wrong.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -287,30 +288,45 @@ impl FaultInjector {
 /// channel tick and after every processed item; the supervisor flags a
 /// stage whose stamp goes stale. This detects *hung* stages — a dead
 /// one already shows up as a channel disconnect.
-#[derive(Debug)]
+///
+/// Staleness is measured against a [`Clock`], so the same board works
+/// on wall-clock time (production) and on the virtual timeline of the
+/// deterministic simulation harness ([`crate::simnet`]).
 pub struct Heartbeats {
-    start: Instant,
+    clock: Arc<dyn Clock>,
     beats: Vec<AtomicU64>,
+}
+
+impl std::fmt::Debug for Heartbeats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Heartbeats").field("stages", &self.beats.len()).finish()
+    }
 }
 
 impl Heartbeats {
     /// Fresh heartbeat board for `n_stages` stages; every stage counts
-    /// as live at creation time.
+    /// as live at creation time. Ages are wall-clock.
     pub fn new(n_stages: usize) -> Arc<Self> {
-        Arc::new(Self { start: Instant::now(), beats: (0..n_stages).map(|_| AtomicU64::new(0)).collect() })
+        Self::with_clock(n_stages, real_clock())
+    }
+
+    /// Heartbeat board reading time from `clock` (the simulation
+    /// harness passes a virtual clock here).
+    pub fn with_clock(n_stages: usize, clock: Arc<dyn Clock>) -> Arc<Self> {
+        Arc::new(Self { clock, beats: (0..n_stages).map(|_| AtomicU64::new(0)).collect() })
     }
 
     /// Record that `stage` is alive now.
     pub fn beat(&self, stage: usize) {
         if let Some(b) = self.beats.get(stage) {
-            b.store(self.start.elapsed().as_micros() as u64, Ordering::Relaxed);
+            b.store(self.clock.now_us(), Ordering::Relaxed);
         }
     }
 
     /// Time since `stage` last beat.
     pub fn age(&self, stage: usize) -> Duration {
         let last = self.beats.get(stage).map_or(0, |b| b.load(Ordering::Relaxed));
-        self.start.elapsed().saturating_sub(Duration::from_micros(last))
+        self.clock.now().saturating_sub(Duration::from_micros(last))
     }
 
     /// Index of the stalest stage exceeding `timeout`, if any.

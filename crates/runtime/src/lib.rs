@@ -32,15 +32,18 @@
 //! bit-identical to single-threaded execution of the same quantized
 //! model, which the tests assert.
 
+pub mod clock;
 pub mod engine;
 pub mod fault;
 pub mod loader;
 pub mod net;
 pub mod overload;
+pub mod simnet;
 pub mod supervisor;
 pub mod telemetry;
 pub mod worker;
 
+pub use clock::{real_clock, Clock, RealClock};
 pub use engine::{
     run_pipeline, run_pipeline_observed, run_pipeline_recoverable, RuntimeError, RuntimeOutput,
 };
@@ -56,6 +59,11 @@ pub use overload::{
     poisson_requests, serve, AdmissionConfig, AdmissionController, AdmissionPolicy, AdmissionStats,
     BatchEngine, DegradationConfig, DegradationController, KvGuardConfig, PipelineEngine, Request,
     RungTransition, ServeConfig, ServeReport, SimEngine,
+};
+pub use simnet::{
+    run_sim, seed_sweep, shrink_fault_plan, wire_exchange, SimConfig, SimCrash, SimFaultKind,
+    SimFaultPlan, SimLinkEvent, SimPartition, SimReport, SweepFailure, SweepReport, VirtualClock,
+    WireExchange, WireExchangeConfig,
 };
 pub use supervisor::{
     run_pipeline_supervised, run_pipeline_supervised_observed, FoldReplanner, RecoveryAction,

@@ -35,6 +35,7 @@ use super::transport::{
     connect_retry, read_wire_msg, write_wire_msg, TcpTransport, TcpTransportConfig,
 };
 use super::wire::{plan_fingerprint, Hello, HelloAck, Role, StageReport, WireMsg, WIRE_VERSION};
+use crate::clock::{real_clock, Clock};
 use crate::engine::{
     bits_label, checkpoint_lockstep, drive_generation, validate_inputs, AttemptSupervision, Master,
     RuntimeError,
@@ -53,8 +54,8 @@ use std::cell::Cell;
 use std::io;
 use std::net::{Shutdown, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::sync::{Arc, Condvar, PoisonError};
+use std::time::Duration;
 
 /// How long handshakes (control collection, per-attempt data hellos) may
 /// take before the peer is declared unreachable.
@@ -137,17 +138,22 @@ pub struct StageSummary {
 }
 
 /// Accept one connection, polling so the deadline (and nothing else)
-/// bounds the wait — std has no native accept timeout.
-fn accept_deadline(listener: &TcpListener, deadline: Instant) -> io::Result<TcpStream> {
+/// bounds the wait — std has no native accept timeout. The deadline is
+/// in `clock`'s timeline (see [`Clock::deadline`]).
+fn accept_deadline(
+    listener: &TcpListener,
+    clock: &dyn Clock,
+    deadline: Duration,
+) -> io::Result<TcpStream> {
     listener.set_nonblocking(true)?;
     let res = loop {
         match listener.accept() {
             Ok((s, _)) => break Ok(s),
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                if Instant::now() > deadline {
+                if clock.expired(deadline) {
                     break Err(io::Error::new(io::ErrorKind::TimedOut, "accept deadline passed"));
                 }
-                std::thread::sleep(Duration::from_millis(2));
+                clock.sleep(Duration::from_millis(2));
             }
             Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
             Err(e) => break Err(e),
@@ -161,7 +167,11 @@ fn accept_deadline(listener: &TcpListener, deadline: Instant) -> io::Result<TcpS
 }
 
 /// Accept until a connection arrives or `stop` is raised.
-fn accept_until_stopped(listener: &TcpListener, stop: &AtomicBool) -> Option<TcpStream> {
+fn accept_until_stopped(
+    listener: &TcpListener,
+    clock: &dyn Clock,
+    stop: &AtomicBool,
+) -> Option<TcpStream> {
     if listener.set_nonblocking(true).is_err() {
         return None;
     }
@@ -172,7 +182,7 @@ fn accept_until_stopped(listener: &TcpListener, stop: &AtomicBool) -> Option<Tcp
         match listener.accept() {
             Ok((s, _)) => break Some(s),
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(5));
+                clock.sleep(Duration::from_millis(5));
             }
             Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
             Err(_) => break None,
@@ -192,10 +202,18 @@ fn wire_io(what: &str, e: impl std::fmt::Display) -> RuntimeError {
 }
 
 /// Master-side shared state fed by the per-stage control readers.
+///
+/// `reports` lives under a std mutex (not parking_lot) because the
+/// report wait in `run_master` parks on the paired [`Condvar`] — the
+/// vendored parking_lot has no condvar, and a poisoned lock just means
+/// a reader panicked mid-store, which the wait tolerates.
 struct ControlShared {
     hb: Arc<Heartbeats>,
     dropped: Mutex<Vec<usize>>,
-    reports: Mutex<Vec<Option<StageReport>>>,
+    reports: std::sync::Mutex<Vec<Option<StageReport>>>,
+    /// Notified on every report arrival and on control-reader exit, so
+    /// the master's report wait parks instead of polling.
+    reports_cv: Condvar,
     device_lost: Mutex<Option<usize>>,
 }
 
@@ -211,10 +229,17 @@ fn control_reader(mut stream: TcpStream, shared: Arc<ControlShared>, n_stages: u
             }
             Ok(WireMsg::Report(r)) if (r.stage as usize) < n_stages => {
                 let s = r.stage as usize;
-                shared.reports.lock()[s] = Some(r);
+                shared.reports.lock().unwrap_or_else(PoisonError::into_inner)[s] = Some(r);
+                shared.reports_cv.notify_all();
             }
             Ok(_) => {}
-            Err(_) => return, // EOF / poisoned control — supervision notices
+            Err(_) => {
+                // EOF / poisoned control — supervision notices; wake the
+                // report wait so it re-checks rather than sleeping out
+                // its full timeout.
+                shared.reports_cv.notify_all();
+                return;
+            }
         }
     }
 }
@@ -236,7 +261,8 @@ pub fn run_master(
     validate_inputs(checkpoint, plan, prompts, n_generate, None)?;
     let n_stages = plan.stages.len();
     let fp = plan_fingerprint(plan);
-    let start = Instant::now();
+    let clock = real_clock();
+    let start = clock.now();
     let master_addr = listener
         .local_addr()
         .map_err(|e| wire_io("master listener has no local address", e))?
@@ -267,9 +293,9 @@ pub fn run_master(
 
     // --- Phase 1: collect one control connection per stage -------------
     let mut controls: Vec<Option<(TcpStream, String)>> = (0..n_stages).map(|_| None).collect();
-    let deadline = Instant::now() + HANDSHAKE_TIMEOUT;
+    let deadline = clock.deadline(HANDSHAKE_TIMEOUT);
     while controls.iter().any(Option::is_none) {
-        let mut c = accept_deadline(listener, deadline)
+        let mut c = accept_deadline(listener, clock.as_ref(), deadline)
             .map_err(|e| wire_io("waiting for stage control connections", e))?;
         let _ = c.set_read_timeout(Some(Duration::from_secs(3)));
         let hello = match read_wire_msg(&mut c) {
@@ -307,30 +333,41 @@ pub fn run_master(
         }
     }
 
+    // The collection loop above only exits once every slot is filled;
+    // surface a logic regression as a typed error instead of a panic.
+    let mut controls: Vec<(TcpStream, String)> = controls
+        .into_iter()
+        .enumerate()
+        .map(|(s, c)| {
+            c.ok_or_else(|| {
+                RuntimeError::Protocol(format!("stage {s} control connection never collected"))
+            })
+        })
+        .collect::<Result<_, _>>()?;
+
     // --- Phase 2: answer the ring topology ------------------------------
-    let stage_addrs: Vec<String> =
-        controls.iter().map(|c| c.as_ref().expect("collected above").1.clone()).collect();
+    let stage_addrs: Vec<String> = controls.iter().map(|(_, a)| a.clone()).collect();
     for s in 0..n_stages {
         let (next_addr, next_role) = if s + 1 < n_stages {
             (stage_addrs[s + 1].clone(), Role::Data.to_u8())
         } else {
             (master_addr.clone(), Role::ReturnData.to_u8())
         };
-        let (c, _) = controls[s].as_mut().expect("collected above");
+        let (c, _) = &mut controls[s];
         write_wire_msg(c, &WireMsg::Topology { next_addr, next_role })
             .map_err(|e| wire_io("sending topology", e))?;
     }
 
     // --- Phase 3: split controls into reader threads + shared writers ---
     let shared = Arc::new(ControlShared {
-        hb: Heartbeats::new(n_stages),
+        hb: Heartbeats::with_clock(n_stages, clock.clone()),
         dropped: Mutex::new(Vec::new()),
-        reports: Mutex::new(vec![None; n_stages]),
+        reports: std::sync::Mutex::new(vec![None; n_stages]),
+        reports_cv: Condvar::new(),
         device_lost: Mutex::new(None),
     });
     let mut control_writers: Vec<Arc<Mutex<TcpStream>>> = Vec::new();
-    for slot in controls.iter_mut() {
-        let (c, _) = slot.take().expect("collected above");
+    for (c, _) in controls {
         let _ = c.set_read_timeout(None);
         let reader = c.try_clone().map_err(|e| wire_io("cloning control stream", e))?;
         control_writers.push(Arc::new(Mutex::new(c)));
@@ -350,7 +387,7 @@ pub fn run_master(
         }
         let res = master_attempt(
             checkpoint, plan, prompts, &mut tokens, n_generate, listener, cfg, fp,
-            attempt, &stage_addrs[0], &shared, injector.clone(),
+            attempt, &stage_addrs[0], &shared, injector.clone(), &clock,
         );
         match res {
             Ok(()) => break Ok(()),
@@ -370,7 +407,7 @@ pub fn run_master(
                     break Err(e);
                 }
                 checkpoint_lockstep(&mut tokens);
-                std::thread::sleep(sup_cfg.backoff(attempt));
+                clock.sleep(sup_cfg.backoff(attempt));
                 attempt += 1;
             }
         }
@@ -381,9 +418,21 @@ pub fn run_master(
         let _ = write_wire_msg(&mut *w.lock(), &WireMsg::Bye);
     }
     if result.is_ok() {
-        let deadline = Instant::now() + REPORT_TIMEOUT;
-        while shared.reports.lock().iter().any(Option::is_none) && Instant::now() < deadline {
-            std::thread::sleep(Duration::from_millis(10));
+        // Parked wait, not a poll: the control readers notify the
+        // condvar on every report arrival (and when a reader exits), so
+        // no core burns while the stages flush their reports.
+        let deadline = clock.deadline(REPORT_TIMEOUT);
+        let mut guard = shared.reports.lock().unwrap_or_else(PoisonError::into_inner);
+        while guard.iter().any(Option::is_none) {
+            let left = deadline.saturating_sub(clock.now());
+            if left.is_zero() {
+                break;
+            }
+            guard = shared
+                .reports_cv
+                .wait_timeout(guard, left)
+                .unwrap_or_else(PoisonError::into_inner)
+                .0;
         }
     }
     for w in &control_writers {
@@ -391,7 +440,7 @@ pub fn run_master(
     }
     result?;
 
-    let reports = shared.reports.lock().clone();
+    let reports = shared.reports.lock().unwrap_or_else(PoisonError::into_inner).clone();
     if let Some(t) = &cfg.telemetry {
         for r in reports.iter().flatten() {
             if let Some(l) = t.link(r.stage as usize) {
@@ -430,7 +479,7 @@ pub fn run_master(
     }
     Ok(DistOutput {
         tokens,
-        wall_s: start.elapsed().as_secs_f64(),
+        wall_s: clock.now().saturating_sub(start).as_secs_f64(),
         restarts: attempt,
         stage_metrics: (0..n_stages)
             .map(|s| reports[s].as_ref().map(|r| r.metrics).unwrap_or_default())
@@ -467,6 +516,7 @@ fn master_attempt(
     s0_addr: &str,
     shared: &Arc<ControlShared>,
     injector: Arc<WireFaultInjector>,
+    clock: &Arc<dyn Clock>,
 ) -> Result<(), RuntimeError> {
     let n_stages = plan.stages.len();
     let done = tokens.iter().map(Vec::len).min().unwrap_or(0);
@@ -476,13 +526,15 @@ fn master_attempt(
     let sup_cfg = &cfg.supervisor;
 
     // Dial stage 0. The stage may still be tearing the previous attempt
-    // down, so retry along the supervisor's backoff curve.
+    // down, so retry along the supervisor's backoff curve (jitter seeded
+    // by the attempt so redial timing stays deterministic per topology).
     let mut down = connect_retry(
         s0_addr,
         16,
         Duration::from_millis(sup_cfg.backoff_base_ms.max(1)),
         sup_cfg.backoff_factor.max(1.0),
         Duration::from_millis(sup_cfg.backoff_cap_ms.max(1)),
+        attempt as u64,
     )
     .map_err(|e| wire_io(&format!("dialing stage 0 at {s0_addr}"), e))?;
     let _ = down.set_read_timeout(Some(HANDSHAKE_TIMEOUT));
@@ -510,7 +562,7 @@ fn master_attempt(
     // (e.g. a previous attempt's late return) are acked away and the
     // accept continues until the deadline.
     let ret = loop {
-        let mut c = accept_deadline(listener, Instant::now() + HANDSHAKE_TIMEOUT)
+        let mut c = accept_deadline(listener, clock.as_ref(), clock.deadline(HANDSHAKE_TIMEOUT))
             .map_err(|e| wire_io("waiting for the return data connection", e))?;
         let _ = c.set_read_timeout(Some(Duration::from_secs(3)));
         match read_wire_msg(&mut c) {
@@ -551,6 +603,7 @@ fn master_attempt(
             rx_link: n_stages,
             tx_link: 0,
             tid: 0,
+            clock: clock.clone(),
         },
     );
     let master = Master {
@@ -568,6 +621,7 @@ fn master_attempt(
         tick: Some(Duration::from_millis(sup_cfg.tick_ms.max(1))),
         telemetry: cfg.telemetry.clone(),
         queue_cap: None,
+        clock: clock.clone(),
     };
     drive_generation(&master, plan, prompts, tokens, n_generate, &sup)
     // `master` (and its transport) drops here: both data endpoints
@@ -588,6 +642,7 @@ pub fn run_stage(
 ) -> Result<StageSummary, RuntimeError> {
     let s = cfg.stage;
     let n_stages = plan.stages.len();
+    let clock = real_clock();
     plan.validate(checkpoint.cfg.n_layers).map_err(RuntimeError::BadPlan)?;
     let sp = plan
         .stages
@@ -605,12 +660,15 @@ pub fn run_stage(
         .to_string();
 
     // Check in with the master over the persistent control connection.
+    // Jitter seeded by the stage id: a fleet restarting together fans
+    // its dials out instead of stampeding the master's listener.
     let mut control = connect_retry(
         &cfg.master,
         40,
         Duration::from_millis(25),
         1.5,
         Duration::from_millis(500),
+        s as u64,
     )
     .map_err(|e| wire_io(&format!("dialing master at {}", cfg.master), e))?;
     let _ = control.set_read_timeout(Some(HANDSHAKE_TIMEOUT));
@@ -685,12 +743,13 @@ pub fn run_stage(
         bits: bits_label(sp),
         tick: cfg.tick,
         disconnects: Some(board.clone()),
+        clock: clock.clone(),
     };
 
     let mut attempts_served = 0usize;
     while !stop.load(Ordering::Acquire) {
         // One data connection per attempt.
-        let Some(mut up) = accept_until_stopped(&listener, &stop) else { break };
+        let Some(mut up) = accept_until_stopped(&listener, clock.as_ref(), &stop) else { break };
         let _ = up.set_read_timeout(Some(HANDSHAKE_TIMEOUT));
         let hello = match read_wire_msg(&mut up) {
             Ok(WireMsg::Hello(h)) => h,
@@ -718,12 +777,15 @@ pub fn run_stage(
         }
 
         // Dial the next hop; its stage may also still be tearing down.
+        // Jitter seed mixes stage and attempt so concurrent redials
+        // decorrelate while staying reproducible.
         let Ok(mut down) = connect_retry(
             &next_addr,
             40,
             Duration::from_millis(10),
             2.0,
             Duration::from_millis(250),
+            ((s as u64) << 32) | hello.attempt as u64,
         ) else {
             continue; // dropping `up` tells upstream this attempt is dead
         };
@@ -754,6 +816,7 @@ pub fn run_stage(
                 rx_link: s,
                 tx_link: s + 1,
                 tid: s + 1,
+                clock: clock.clone(),
             },
         )
         .with_control(control_w.clone(), s as u32, HEARTBEAT_WIRE_INTERVAL);

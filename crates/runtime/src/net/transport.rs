@@ -21,6 +21,7 @@
 use super::fault::{WireFaultAction, WireFaultInjector};
 use super::frame::{encode_frame, read_frame, FrameError, FRAME_HEADER_BYTES};
 use super::wire::{worker_msg_to_wire, worker_msg_wire_bytes, WireMsg};
+use crate::clock::{real_clock, Clock};
 use crate::telemetry::{Span, Telemetry};
 use crate::worker::WorkerMsg;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, SendTimeoutError, Sender};
@@ -28,7 +29,7 @@ use parking_lot::Mutex;
 use std::io::{self, Write};
 use std::net::{Shutdown, TcpStream};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Why a receive produced no message.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -73,12 +74,13 @@ pub struct ChannelTransport {
     telemetry: Option<Arc<Telemetry>>,
     rx_link: usize,
     tx_link: usize,
+    clock: Arc<dyn Clock>,
 }
 
 impl ChannelTransport {
     /// Plain pair without link accounting.
     pub fn new(input: Receiver<WorkerMsg>, output: Sender<WorkerMsg>) -> Self {
-        Self { input, output, telemetry: None, rx_link: 0, tx_link: 0 }
+        Self { input, output, telemetry: None, rx_link: 0, tx_link: 0, clock: real_clock() }
     }
 
     /// Pair with link accounting: received messages count against link
@@ -90,7 +92,7 @@ impl ChannelTransport {
         rx_link: usize,
         tx_link: usize,
     ) -> Self {
-        Self { input, output, telemetry, rx_link, tx_link }
+        Self { input, output, telemetry, rx_link, tx_link, clock: real_clock() }
     }
 }
 
@@ -115,12 +117,12 @@ impl Transport for ChannelTransport {
 
     fn send_msg(&self, msg: WorkerMsg, timeout: Duration) -> Result<(), TransportSendError> {
         let bytes = framed_bytes(&msg);
-        let t0 = Instant::now();
+        let t0 = self.clock.now();
         match self.output.send_timeout(msg, timeout) {
             Ok(()) => {
                 if let Some(l) = self.telemetry.as_ref().and_then(|t| t.link(self.tx_link)) {
                     l.on_tx(bytes);
-                    l.add_comm_us(t0.elapsed().as_micros() as u64);
+                    l.add_comm_us(self.clock.now().saturating_sub(t0).as_micros() as u64);
                 }
                 Ok(())
             }
@@ -131,7 +133,6 @@ impl Transport for ChannelTransport {
 }
 
 /// Configuration for a [`TcpTransport`].
-#[derive(Default)]
 pub struct TcpTransportConfig {
     /// Wire-fault injection for this process, if under test.
     pub faults: Option<Arc<WireFaultInjector>>,
@@ -143,13 +144,29 @@ pub struct TcpTransportConfig {
     pub tx_link: usize,
     /// Trace thread id for `"comm"` spans (0 master, stage *s* is `s+1`).
     pub tid: usize,
+    /// Time source for injected delays, comm timing and the heartbeat
+    /// rate limit.
+    pub clock: Arc<dyn Clock>,
+}
+
+impl Default for TcpTransportConfig {
+    fn default() -> Self {
+        Self {
+            faults: None,
+            telemetry: None,
+            rx_link: 0,
+            tx_link: 0,
+            tid: 0,
+            clock: real_clock(),
+        }
+    }
 }
 
 struct ControlBeat {
     stream: Arc<Mutex<TcpStream>>,
     stage: u32,
     interval: Duration,
-    last: Mutex<Instant>,
+    last: Mutex<Duration>,
 }
 
 /// The wire transport: upstream frames are pumped off a socket by a
@@ -177,8 +194,9 @@ impl TcpTransport {
         let faults = cfg.faults.clone();
         let telemetry = cfg.telemetry.clone();
         let rx_link = cfg.rx_link;
+        let clock = cfg.clock.clone();
         std::thread::spawn(move || {
-            run_pump(upstream, pump_tx, faults, telemetry, rx_link);
+            run_pump(upstream, pump_tx, faults, telemetry, rx_link, clock);
         });
         Self { rx, tx: Mutex::new(downstream), cfg, control: None }
     }
@@ -193,8 +211,8 @@ impl TcpTransport {
         stage: u32,
         interval: Duration,
     ) -> Self {
-        self.control =
-            Some(ControlBeat { stream, stage, interval, last: Mutex::new(Instant::now()) });
+        let last = Mutex::new(self.cfg.clock.now());
+        self.control = Some(ControlBeat { stream, stage, interval, last });
         self
     }
 }
@@ -209,6 +227,7 @@ fn run_pump(
     faults: Option<Arc<WireFaultInjector>>,
     telemetry: Option<Arc<Telemetry>>,
     rx_link: usize,
+    clock: Arc<dyn Clock>,
 ) {
     loop {
         let payload = match read_frame(&mut stream) {
@@ -226,7 +245,7 @@ fn run_pump(
         let mut deliveries = 1;
         match faults.as_ref().map_or(WireFaultAction::None, |f| f.on_rx()) {
             WireFaultAction::None => {}
-            WireFaultAction::Delay(d) => std::thread::sleep(d),
+            WireFaultAction::Delay(d) => clock.sleep(d),
             WireFaultAction::Drop => continue,
             WireFaultAction::Duplicate => deliveries = 2,
             WireFaultAction::Corrupt => {
@@ -286,13 +305,13 @@ impl Transport for TcpTransport {
             WorkerMsg::Work(i) => Some((i.step, i.microbatch, i.phase)),
             _ => None,
         };
-        let t0 = Instant::now();
+        let t0 = self.cfg.clock.now();
         let start_us = self.cfg.telemetry.as_ref().map(|t| t.now_us());
         let mut frame = encode_frame(&worker_msg_to_wire(msg).encode());
         let mut writes = 1;
         match self.cfg.faults.as_ref().map_or(WireFaultAction::None, |f| f.on_tx()) {
             WireFaultAction::None => {}
-            WireFaultAction::Delay(d) => std::thread::sleep(d),
+            WireFaultAction::Delay(d) => self.cfg.clock.sleep(d),
             WireFaultAction::Drop => return Ok(()), // lost in transit
             WireFaultAction::Duplicate => writes = 2,
             WireFaultAction::Corrupt => {
@@ -315,7 +334,7 @@ impl Transport for TcpTransport {
             }
         }
         if let Some(t) = &self.cfg.telemetry {
-            let dur_us = t0.elapsed().as_micros() as u64;
+            let dur_us = self.cfg.clock.now().saturating_sub(t0).as_micros() as u64;
             if let Some(l) = t.link(self.cfg.tx_link) {
                 l.on_tx(frame.len() as u64 * writes as u64);
                 l.add_comm_us(dur_us);
@@ -339,11 +358,12 @@ impl Transport for TcpTransport {
     fn beat(&self) {
         let Some(c) = &self.control else { return };
         {
+            let now = self.cfg.clock.now();
             let mut last = c.last.lock();
-            if last.elapsed() < c.interval {
+            if now.saturating_sub(*last) < c.interval {
                 return;
             }
-            *last = Instant::now();
+            *last = now;
         }
         let frame = encode_frame(&WireMsg::Heartbeat { stage: c.stage }.encode());
         let mut stream = c.stream.lock();
@@ -366,16 +386,33 @@ pub fn read_wire_msg<R: io::Read>(r: &mut R) -> Result<WireMsg, super::wire::Wir
     WireMsg::decode(&read_frame(r)?)
 }
 
-/// Dial `addr` with retry and exponential backoff: up to `attempts`
-/// tries, sleeping `base` then `base × factor^k` (capped at `cap`)
-/// between them. Returns the last error if every try fails.
+/// Dial `addr` with retry and jittered exponential backoff: up to
+/// `attempts` tries; between them the nominal delay grows `base ×
+/// factor^k` (capped at `cap`) but the actual sleep is *equal-jitter* —
+/// `delay/2` plus a seeded pseudo-random slice of the other half — so
+/// many stages redialing a restarted master spread out instead of
+/// stampeding in lockstep. The jitter is a deterministic function of
+/// `jitter_seed` (callers derive it from stage/attempt identity), which
+/// keeps retry timing reproducible for a given topology — no unseeded
+/// randomness, per the simulation determinism contract. Returns the
+/// last error if every try fails.
 pub fn connect_retry(
     addr: &str,
     attempts: usize,
     base: Duration,
     factor: f64,
     cap: Duration,
+    jitter_seed: u64,
 ) -> io::Result<TcpStream> {
+    // SplitMix64: tiny, seedable, good enough to decorrelate dialers.
+    let mut state = jitter_seed ^ 0x9E37_79B9_7F4A_7C15;
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
     let mut delay = base;
     let mut last_err = io::Error::new(io::ErrorKind::InvalidInput, "zero connect attempts");
     for i in 0..attempts.max(1) {
@@ -387,7 +424,9 @@ pub fn connect_retry(
             Err(e) => last_err = e,
         }
         if i + 1 < attempts.max(1) {
-            std::thread::sleep(delay);
+            let half = delay / 2;
+            let span_us = half.as_micros() as u64 + 1;
+            std::thread::sleep(half + Duration::from_micros(next() % span_us));
             delay = delay.mul_f64(factor).min(cap);
         }
     }
@@ -562,6 +601,7 @@ mod tests {
             Duration::from_millis(5),
             2.0,
             Duration::from_millis(40),
+            7,
         );
         assert!(got.is_ok(), "{got:?}");
         handle.join().unwrap();
@@ -574,7 +614,8 @@ mod tests {
         let l = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = l.local_addr().unwrap().to_string();
         drop(l);
-        let got = connect_retry(&addr, 3, Duration::from_millis(1), 2.0, Duration::from_millis(4));
+        let got =
+            connect_retry(&addr, 3, Duration::from_millis(1), 2.0, Duration::from_millis(4), 7);
         assert!(got.is_err());
     }
 }

@@ -1,0 +1,161 @@
+//! Simulated connections and the [`Transport`] implementation.
+//!
+//! A [`SimConn`] is one directed endpoint: a `(link, epoch)` pair bound
+//! to the actor that drives it. A [`SimTransport`] wraps an inbound and
+//! an outbound `SimConn` (plus an optional control connection for
+//! heartbeats) and implements the same [`Transport`] trait the TCP and
+//! in-process transports do — so [`crate::engine::drive_generation`]
+//! and [`crate::worker::run_worker_transport`] run **unchanged** inside
+//! the simulation. Timeouts are virtual, frames are real encoded bytes,
+//! and dropping the transport closes its outbound epoch, which is what
+//! cascades EOF through the pipeline exactly like dropping a socket.
+
+use super::sched::{RecvEnd, SimNet};
+use crate::clock::Clock;
+use crate::net::transport::{Transport, TransportRecvError, TransportSendError};
+use crate::net::wire::WireMsg;
+use crate::worker::WorkerMsg;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn dur_us(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
+
+/// One directed simulated connection endpoint.
+#[derive(Debug, Clone)]
+pub(crate) struct SimConn {
+    pub(crate) net: Arc<SimNet>,
+    /// Actor that blocks on this endpoint's operations.
+    pub(crate) me: usize,
+    /// Stage whose crash kills this endpoint (`None` for the master and
+    /// pure-testbed endpoints).
+    pub(crate) owner_stage: Option<usize>,
+    pub(crate) link: usize,
+    pub(crate) epoch: u64,
+}
+
+impl SimConn {
+    pub(crate) fn send(&self, msg: &WireMsg) -> Result<(), ()> {
+        self.net.send_frame(self.owner_stage, self.link, self.epoch, msg)
+    }
+
+    pub(crate) fn recv(&self, timeout: Duration) -> Result<WireMsg, RecvEnd> {
+        self.net.recv_frame(self.me, self.owner_stage, self.link, self.epoch, dur_us(timeout))
+    }
+
+    pub(crate) fn close(&self) {
+        self.net.close_epoch(self.link, self.epoch);
+    }
+}
+
+/// The virtual time source of one simulated actor — or, with no actor
+/// bound, a read-only observer clock for shared components (heartbeat
+/// board, telemetry) that only ever *read* time.
+pub struct VirtualClock {
+    net: Arc<SimNet>,
+    me: Option<usize>,
+}
+
+impl VirtualClock {
+    pub(crate) fn actor(net: Arc<SimNet>, me: usize) -> Self {
+        Self { net, me: Some(me) }
+    }
+
+    pub(crate) fn observer(net: Arc<SimNet>) -> Self {
+        Self { net, me: None }
+    }
+}
+
+impl std::fmt::Debug for VirtualClock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VirtualClock").field("actor", &self.me).finish()
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now(&self) -> Duration {
+        Duration::from_micros(self.net.now_us())
+    }
+
+    fn sleep(&self, d: Duration) {
+        // Observer clocks never sleep: shared boards only read time.
+        if let Some(me) = self.me {
+            self.net.sleep(me, dur_us(d));
+        }
+    }
+}
+
+/// Virtual heartbeat pacing mirroring the TCP transport's control beat.
+const SIM_BEAT_INTERVAL_US: u64 = 20_000;
+
+/// A simulated [`Transport`]: inbound + outbound epoch-scoped
+/// connections and an optional control connection for heartbeats.
+#[derive(Debug)]
+pub(crate) struct SimTransport {
+    rx: SimConn,
+    tx: SimConn,
+    /// `(connection, stage id)` of the heartbeat path, if any.
+    control: Option<(SimConn, u32)>,
+    /// Virtual µs of the last control heartbeat (rate limiting).
+    last_beat_us: AtomicU64,
+}
+
+impl SimTransport {
+    pub(crate) fn new(rx: SimConn, tx: SimConn) -> Self {
+        Self { rx, tx, control: None, last_beat_us: AtomicU64::new(0) }
+    }
+
+    pub(crate) fn with_control(rx: SimConn, tx: SimConn, control: SimConn, stage: u32) -> Self {
+        let now = rx.net.now_us();
+        Self { rx, tx, control: Some((control, stage)), last_beat_us: AtomicU64::new(now) }
+    }
+}
+
+pub(crate) fn to_wire(msg: WorkerMsg) -> WireMsg {
+    match msg {
+        WorkerMsg::Work(item) => WireMsg::Work(item),
+        WorkerMsg::Shutdown => WireMsg::Shutdown,
+        WorkerMsg::Protocol(e) => WireMsg::Protocol(e),
+    }
+}
+
+impl Transport for SimTransport {
+    fn recv_msg(&self, timeout: Duration) -> Result<WorkerMsg, TransportRecvError> {
+        match self.rx.recv(timeout) {
+            Ok(WireMsg::Work(item)) => Ok(WorkerMsg::Work(item)),
+            Ok(WireMsg::Shutdown) => Ok(WorkerMsg::Shutdown),
+            Ok(WireMsg::Protocol(e)) => Ok(WorkerMsg::Protocol(e)),
+            // A non-data message on a data connection is a protocol
+            // breach; treat the stream as dead, like the TCP pump does.
+            Ok(_) => Err(TransportRecvError::Disconnected),
+            Err(RecvEnd::Timeout) => Err(TransportRecvError::Timeout),
+            Err(RecvEnd::Disconnected) => Err(TransportRecvError::Disconnected),
+        }
+    }
+
+    fn send_msg(&self, msg: WorkerMsg, _timeout: Duration) -> Result<(), TransportSendError> {
+        // Simulated sends never block (infinite wire buffer), matching
+        // the TCP transport's direct stream write.
+        self.tx.send(&to_wire(msg)).map_err(|()| TransportSendError::Disconnected)
+    }
+
+    fn beat(&self) {
+        let Some((conn, stage)) = &self.control else { return };
+        let now = self.rx.net.now_us();
+        let last = self.last_beat_us.load(Ordering::Relaxed);
+        if now.saturating_sub(last) < SIM_BEAT_INTERVAL_US {
+            return;
+        }
+        self.last_beat_us.store(now, Ordering::Relaxed);
+        let _ = conn.send(&WireMsg::Heartbeat { stage: *stage });
+    }
+}
+
+impl Drop for SimTransport {
+    fn drop(&mut self) {
+        // Dropping the transport = dropping the socket: outbound EOF.
+        self.tx.close();
+    }
+}

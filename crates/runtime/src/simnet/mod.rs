@@ -1,0 +1,573 @@
+//! Deterministic simulation harness for the distributed runtime —
+//! virtual clock + simulated network for exhaustive fault-schedule
+//! exploration.
+//!
+//! The real multi-process pipeline ([`crate::net::dist`]) can only be
+//! tested against the faults a wire-level injector happens to fire
+//! while wall-clock time races by. This module replays the **same
+//! protocol** — master engine, stage workers, heartbeat control plane,
+//! attempt epochs, admission accounting — inside a simulated world
+//! where:
+//!
+//! * **time is virtual**: every sleep, timeout and deadline runs on a
+//!   [`VirtualClock`] that only advances when *every* actor is blocked,
+//!   so a 60-second recovery scenario simulates in milliseconds and two
+//!   runs with the same seed produce byte-identical event traces;
+//! * **the network is simulated**: [`SimFaultPlan`] schedules delays,
+//!   drops, duplicates, corruptions (surfaced through the *real* frame
+//!   CRC), disconnects, partitions (with or without heal) and stage
+//!   crash-and-restarts, deterministically seeded;
+//! * **invariants are checked after every run**: token output must be
+//!   bit-identical to the fault-free sequential oracle, admission must
+//!   conserve (`offered == served + shed + expired + pending`), virtual
+//!   time must never run past the horizon with work pending (deadlock /
+//!   livelock), and restarts must respect the recovery bound;
+//! * **failures shrink**: [`seed_sweep`] drives hundreds of random
+//!   schedules and, on a violation, [`shrink_fault_plan`] greedily
+//!   removes events until a minimal reproducing counterexample remains,
+//!   serialized as replayable JSON.
+//!
+//! The determinism contract (also stated on [`crate::clock::Clock`]):
+//! simulated code paths read time only through a [`Clock`] and contain
+//! no unseeded randomness. `engine::drive_generation` and
+//! `worker::run_worker_transport` — the actual production loops — run
+//! unchanged inside the simulation; only the transport and the clock
+//! are swapped. (`crate::overload::serve` already honors the
+//! contract by construction: it runs entirely on an `f64` virtual
+//! clock and never reads the wall clock.)
+
+mod conn;
+mod plan;
+mod sched;
+mod shrink;
+mod testbed;
+
+pub use conn::VirtualClock;
+pub use plan::{SimCrash, SimFaultKind, SimFaultPlan, SimLinkEvent, SimPartition};
+pub use shrink::{seed_sweep, shrink_fault_plan, SweepFailure, SweepReport};
+pub use testbed::{wire_exchange, WireExchange, WireExchangeConfig};
+
+use crate::clock::Clock;
+use crate::engine::{
+    bits_label, checkpoint_lockstep, drive_generation, load_all_stages, AttemptSupervision, Master,
+    RuntimeError,
+};
+use crate::fault::Heartbeats;
+use crate::net::wire::WireMsg;
+use crate::overload::{AdmissionConfig, AdmissionController, AdmissionStats, Request};
+use crate::telemetry::Telemetry;
+use crate::worker::{run_worker_transport, WorkerCtx};
+use conn::{SimConn, SimTransport};
+use llm_pq::{ExecutionPlan, MicrobatchPlan, StagePlan};
+use llmpq_model::{RefConfig, RefModel};
+use llmpq_quant::{quantize_model, BitAssignment, Bitwidth, Rounding};
+use sched::{ActorGuard, AwaitEpoch, CrashEnd, RecvEnd, SimNet, NEVER_US};
+use serde::{Deserialize, Serialize};
+use std::cell::Cell;
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Duration;
+
+/// Parameters of one simulated pipeline run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Pipeline stages (clamped to the tiny model's layer count).
+    pub n_stages: usize,
+    /// Prompts offered to admission and generated over.
+    pub prompts: Vec<Vec<usize>>,
+    /// Tokens generated per prompt.
+    pub n_generate: usize,
+    /// Recovery bound: restarts allowed before the master gives up.
+    pub max_restarts: usize,
+    /// Supervision tick, virtual µs.
+    pub tick_us: u64,
+    /// Heartbeat staleness threshold, virtual µs.
+    pub heartbeat_timeout_us: u64,
+    /// Progress timeout, virtual µs.
+    pub progress_timeout_us: u64,
+    /// Restart backoff base, virtual µs (doubles per restart).
+    pub backoff_base_us: u64,
+    /// One-way link latency, virtual µs.
+    pub link_latency_us: u64,
+    /// Virtual-time budget: a run that would pass this with work still
+    /// pending is flagged as deadlocked/livelocked.
+    pub horizon_us: u64,
+    /// Dev-only checker-validation hook: double-count one served
+    /// request after a recovered run, breaking admission conservation
+    /// on purpose so tests can prove the invariant checker (and the
+    /// shrinker) catch real accounting bugs.
+    pub inject_conservation_bug: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            n_stages: 2,
+            prompts: vec![vec![1, 2, 3], vec![9, 8]],
+            n_generate: 4,
+            max_restarts: 3,
+            tick_us: 1_000,
+            heartbeat_timeout_us: 250_000,
+            progress_timeout_us: 500_000,
+            backoff_base_us: 5_000,
+            link_latency_us: 50,
+            horizon_us: 60_000_000,
+            inject_conservation_bug: false,
+        }
+    }
+}
+
+/// Everything one simulated run produced, invariant verdict included.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Seed the schedule was drawn from, if it came from a sweep.
+    pub seed: Option<u64>,
+    /// Generated tokens (present iff the run succeeded).
+    pub tokens: Option<Vec<Vec<usize>>>,
+    /// Terminal error of the run, if it failed after exhausting
+    /// restarts — an *allowed* outcome under unsurvivable schedules.
+    pub error: Option<String>,
+    /// Restarts the master took.
+    pub restarts: usize,
+    /// Admission counters at the end of the run.
+    pub admission: AdmissionStats,
+    /// Requests still queued at the end (conservation term).
+    pub pending: usize,
+    /// Frames rejected by stale-attempt protection.
+    pub stale_drops: u64,
+    /// Frames the receivers detected as corrupt via the frame CRC.
+    pub corrupt_detected: u64,
+    /// The deterministic event trace (same seed ⇒ byte-identical).
+    pub trace: Vec<String>,
+    /// Invariant violations; empty means the run upheld every invariant
+    /// (which includes runs that *failed over* legitimately).
+    pub violations: Vec<String>,
+    /// Virtual time at which the world wound down.
+    pub final_virtual_us: u64,
+}
+
+impl SimReport {
+    /// Whether every invariant held.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// The trace as one newline-joined string (byte-comparable).
+    pub fn trace_text(&self) -> String {
+        self.trace.join("\n")
+    }
+}
+
+/// Evenly split the tiny model's layers into `n_stages`, alternating
+/// Int8/Fp16 so the oracle exercises the quantized path.
+fn build_exec_plan(model: &RefModel, n_stages: usize, n_seqs: usize) -> ExecutionPlan {
+    let n_layers = model.cfg.n_layers;
+    let per = n_layers / n_stages;
+    let rem = n_layers % n_stages;
+    let mut stages = Vec::new();
+    let mut start = 0usize;
+    for s in 0..n_stages {
+        let len = per + usize::from(s < rem);
+        let bits = (start..start + len)
+            .map(|l| if l % 2 == 0 { Bitwidth::Int8 } else { Bitwidth::Fp16 })
+            .collect();
+        stages.push(StagePlan { device: s, layer_start: start, layer_end: start + len, bits });
+        start += len;
+    }
+    ExecutionPlan {
+        model: "tiny".into(),
+        cluster: "simnet".into(),
+        stages,
+        microbatch: MicrobatchPlan {
+            prefill_size: 2,
+            prefill_count: n_seqs.div_ceil(2).max(1),
+            decode_size: n_seqs.max(1),
+            decode_count: 1,
+        },
+        scheme: "LLM-PQ".into(),
+        kv_bits: 16,
+    }
+}
+
+/// The fault-free oracle: single-threaded greedy generation on the
+/// eagerly quantized model — what the pipeline must match bit-for-bit.
+fn oracle_tokens(
+    model: &RefModel,
+    exec: &ExecutionPlan,
+    prompts: &[Vec<usize>],
+    n_generate: usize,
+) -> Vec<Vec<usize>> {
+    let bits: Vec<Bitwidth> = exec.stages.iter().flat_map(|s| s.bits.clone()).collect();
+    let qm = quantize_model(model, &BitAssignment { bits }, Rounding::Deterministic, 0);
+    prompts.iter().map(|p| qm.generate(p, n_generate, 0.0, 0).tokens).collect()
+}
+
+struct MasterOutcome {
+    result: Result<Vec<Vec<usize>>, RuntimeError>,
+    restarts: usize,
+    stats: AdmissionStats,
+    pending: usize,
+}
+
+/// One timed chaos operation, pre-sorted for deterministic application.
+enum ChaosOp {
+    Partition { link: usize, until: u64 },
+    Crash { stage: usize, restart_at: u64 },
+}
+
+/// Run the master + `n`-stage distributed protocol once under `plan`,
+/// deterministically, and check every invariant. Same `(cfg, plan)` ⇒
+/// byte-identical [`SimReport::trace`] and verdict.
+pub fn run_sim(cfg: &SimConfig, plan: &SimFaultPlan) -> SimReport {
+    let model = RefModel::new(RefConfig::tiny());
+    let n = cfg.n_stages.clamp(1, model.cfg.n_layers);
+    let n_seqs = cfg.prompts.len();
+    let exec = build_exec_plan(&model, n, n_seqs);
+    let oracle = oracle_tokens(&model, &exec, &cfg.prompts, cfg.n_generate);
+    let (stage_weights, _) = load_all_stages(&model, &exec, Rounding::Deterministic, 0);
+
+    let net = Arc::new(SimNet::new(cfg.horizon_us, n));
+    // Links: data 0..=n (link i feeds stage i; link n returns to the
+    // master), then one control link per stage.
+    let events_for = |link: usize| {
+        plan.link_events
+            .iter()
+            .filter(|e| e.link == link)
+            .map(|e| (e.after_frames, e.kind.clone()))
+            .collect::<Vec<_>>()
+    };
+    for i in 0..=n {
+        let name = if i == n { format!("data {n}→master") } else { format!("data →stage {i}") };
+        net.add_link(name, cfg.link_latency_us, events_for(i));
+    }
+    for s in 0..n {
+        net.add_link(format!("ctl stage {s}"), cfg.link_latency_us, events_for(n + 1 + s));
+    }
+    // Actors: master, stages, control readers, chaos — ids fixed by
+    // registration order, which fixes the schedule.
+    let master_id = net.add_actor("master");
+    let stage_ids: Vec<usize> = (0..n).map(|s| net.add_actor(format!("stage {s}"))).collect();
+    let reader_ids: Vec<usize> = (0..n).map(|s| net.add_actor(format!("ctl reader {s}"))).collect();
+    let chaos_id = net.add_actor("chaos");
+    for (s, &actor) in stage_ids.iter().enumerate() {
+        net.set_receiver(s, actor);
+    }
+    net.set_receiver(n, master_id);
+    for (s, &actor) in reader_ids.iter().enumerate() {
+        net.set_receiver(n + 1 + s, actor);
+    }
+
+    let observer: Arc<dyn Clock> = Arc::new(VirtualClock::observer(net.clone()));
+    let hb = Heartbeats::with_clock(n, observer.clone());
+    let telemetry = Telemetry::with_clock(n, observer);
+
+    // Timed chaos operations, sorted by (time, declaration order).
+    let mut ops: Vec<(u64, usize, ChaosOp)> = Vec::new();
+    for p in &plan.partitions {
+        let until = p.heal_at_us.unwrap_or(NEVER_US);
+        ops.push((p.at_us, ops.len(), ChaosOp::Partition { link: p.link, until }));
+    }
+    for c in &plan.crashes {
+        let restart_at = c.restart_after_us.map_or(NEVER_US, |r| c.at_us.saturating_add(r));
+        ops.push((c.at_us, ops.len(), ChaosOp::Crash { stage: c.stage, restart_at }));
+    }
+    ops.sort_by_key(|(at, idx, _)| (*at, *idx));
+
+    let outcome: Mutex<Option<MasterOutcome>> = Mutex::new(None);
+
+    std::thread::scope(|scope| {
+        // --- master actor -------------------------------------------------
+        {
+            let net = net.clone();
+            let hb = hb.clone();
+            let telemetry = telemetry.clone();
+            let (model, exec, outcome) = (&model, &exec, &outcome);
+            scope.spawn(move || {
+                net.enter(master_id);
+                let _g = ActorGuard::new(&net, master_id);
+                let clock: Arc<dyn Clock> =
+                    Arc::new(VirtualClock::actor(net.clone(), master_id));
+                let mut admission = AdmissionController::new(AdmissionConfig {
+                    max_queue: cfg.prompts.len().max(1),
+                    ..AdmissionConfig::default()
+                });
+                let now_s = clock.now().as_secs_f64();
+                for (i, p) in cfg.prompts.iter().enumerate() {
+                    admission.offer(
+                        Request {
+                            id: i,
+                            arrival_s: now_s,
+                            prompt: p.clone(),
+                            n_generate: cfg.n_generate,
+                            deadline_s: None,
+                            priority: 0,
+                        },
+                        now_s,
+                    );
+                }
+                let mut prompts: Vec<Vec<usize>> = Vec::new();
+                while let Some(r) = admission.take() {
+                    prompts.push(r.prompt);
+                }
+                let mut tokens: Vec<Vec<usize>> =
+                    vec![Vec::with_capacity(cfg.n_generate); prompts.len()];
+                let mut restarts = 0usize;
+                let result = loop {
+                    let attempt = restarts as u64;
+                    net.trace(&format!("master: attempt {attempt} begins"));
+                    // A (re)connected stage counts as alive — reset the
+                    // staleness baseline like the dist handshake does.
+                    for s in 0..n {
+                        hb.beat(s);
+                    }
+                    let transport = SimTransport::new(
+                        SimConn {
+                            net: net.clone(),
+                            me: master_id,
+                            owner_stage: None,
+                            link: n,
+                            epoch: attempt,
+                        },
+                        SimConn {
+                            net: net.clone(),
+                            me: master_id,
+                            owner_stage: None,
+                            link: 0,
+                            epoch: attempt,
+                        },
+                    );
+                    let master = Master {
+                        model,
+                        link: transport,
+                        last_step: Cell::new(None),
+                        telemetry: Some(telemetry.clone()),
+                        local_gauges: false,
+                    };
+                    let sup = AttemptSupervision {
+                        injector: None,
+                        heartbeats: Some(hb.clone()),
+                        heartbeat_timeout: Some(Duration::from_micros(cfg.heartbeat_timeout_us)),
+                        progress_timeout: Some(Duration::from_micros(cfg.progress_timeout_us)),
+                        tick: Some(Duration::from_micros(cfg.tick_us)),
+                        telemetry: Some(telemetry.clone()),
+                        queue_cap: None,
+                        clock: clock.clone(),
+                    };
+                    let res = drive_generation(
+                        &master,
+                        exec,
+                        &prompts,
+                        &mut tokens,
+                        cfg.n_generate,
+                        &sup,
+                    );
+                    drop(master); // closes the outbound epoch (EOF cascade)
+                    match res {
+                        Ok(()) => {
+                            net.trace(&format!("master: attempt {attempt} succeeded"));
+                            break Ok(());
+                        }
+                        Err(e) => {
+                            net.trace(&format!("master: attempt {attempt} failed: {e}"));
+                            if restarts >= cfg.max_restarts {
+                                break Err(e);
+                            }
+                            checkpoint_lockstep(&mut tokens);
+                            clock.sleep(Duration::from_micros(
+                                cfg.backoff_base_us.saturating_mul(1 << restarts.min(6)),
+                            ));
+                            restarts += 1;
+                        }
+                    }
+                };
+                match &result {
+                    Ok(()) => admission.note_served(prompts.len()),
+                    Err(_) => admission.note_shed(prompts.len()),
+                }
+                if cfg.inject_conservation_bug && restarts > 0 {
+                    // Deliberate accounting bug (see SimConfig docs).
+                    admission.note_served(1);
+                }
+                let record = MasterOutcome {
+                    result: result.map(|()| tokens),
+                    restarts,
+                    stats: admission.stats(),
+                    pending: admission.pending(),
+                };
+                *outcome.lock().unwrap_or_else(PoisonError::into_inner) = Some(record);
+                net.set_run_over();
+            });
+        }
+
+        // --- stage actors -------------------------------------------------
+        for (s, &me) in stage_ids.iter().enumerate() {
+            let net = net.clone();
+            let (model, exec) = (&model, &exec);
+            let weights = &stage_weights[s];
+            scope.spawn(move || {
+                net.enter(me);
+                let _g = ActorGuard::new(&net, me);
+                let clock: Arc<dyn Clock> = Arc::new(VirtualClock::actor(net.clone(), me));
+                let ctx = WorkerCtx {
+                    stage: s,
+                    device: exec.stages[s].device,
+                    n_heads: model.cfg.n_heads,
+                    hidden: model.cfg.hidden,
+                    alibi: model.cfg.alibi,
+                    n_seqs,
+                    injector: None,
+                    heartbeats: None,
+                    sink: None,
+                    telemetry: None,
+                    bits: bits_label(&exec.stages[s]),
+                    tick: Duration::from_micros(cfg.tick_us),
+                    disconnects: None,
+                    clock,
+                };
+                let (data_in, data_out, ctl) = (s, s + 1, n + 1 + s);
+                let mut expected = 0u64;
+                loop {
+                    match net.await_epoch(me, s, data_in, expected, cfg.tick_us) {
+                        AwaitEpoch::Serve(e) => {
+                            net.trace(&format!("stage {s}: serving attempt {e}"));
+                            let conn = |link: usize, epoch: u64| SimConn {
+                                net: net.clone(),
+                                me,
+                                owner_stage: Some(s),
+                                link,
+                                epoch,
+                            };
+                            let transport = SimTransport::with_control(
+                                conn(data_in, e),
+                                conn(data_out, e),
+                                conn(ctl, 0),
+                                s as u32,
+                            );
+                            // The real production worker loop — fresh KV
+                            // caches per attempt, like a restarted process.
+                            run_worker_transport(weights, &ctx, &transport);
+                            drop(transport);
+                            expected = e + 1;
+                        }
+                        AwaitEpoch::Crashed => match net.crash_wait(me, s) {
+                            CrashEnd::Restarted => net.trace(&format!("stage {s}: restarted")),
+                            CrashEnd::Permanent => {
+                                net.trace(&format!("stage {s}: down for good"));
+                                return;
+                            }
+                            CrashEnd::Over => return,
+                        },
+                        AwaitEpoch::Over => return,
+                    }
+                }
+            });
+        }
+
+        // --- control readers ----------------------------------------------
+        for (s, &me) in reader_ids.iter().enumerate() {
+            let net = net.clone();
+            let hb = hb.clone();
+            let ctl = n + 1 + s;
+            scope.spawn(move || {
+                net.enter(me);
+                let _g = ActorGuard::new(&net, me);
+                loop {
+                    match net.recv_frame(me, None, ctl, 0, cfg.tick_us * 5) {
+                        Ok(WireMsg::Heartbeat { stage }) => hb.beat(stage as usize),
+                        Ok(_) => {}
+                        Err(RecvEnd::Disconnected) => return,
+                        Err(RecvEnd::Timeout) => {
+                            if net.run_over() {
+                                return;
+                            }
+                        }
+                    }
+                }
+            });
+        }
+
+        // --- chaos actor --------------------------------------------------
+        {
+            let net = net.clone();
+            let stage_ids = stage_ids.clone();
+            let ops = &ops;
+            scope.spawn(move || {
+                net.enter(chaos_id);
+                let _g = ActorGuard::new(&net, chaos_id);
+                for (at, _, op) in ops {
+                    // Loop: a run-over nudge may wake the sleep early.
+                    loop {
+                        let now = net.now_us();
+                        if now >= *at || net.poisoned() {
+                            break;
+                        }
+                        net.sleep(chaos_id, *at - now);
+                    }
+                    if net.poisoned() {
+                        return;
+                    }
+                    match op {
+                        ChaosOp::Partition { link, until } => net.apply_partition(*link, *until),
+                        ChaosOp::Crash { stage, restart_at } => {
+                            let actor = stage_ids.get(*stage).copied().unwrap_or(chaos_id);
+                            net.apply_crash(*stage, actor, *restart_at);
+                        }
+                    }
+                }
+            });
+        }
+
+        net.start();
+    });
+
+    let sim = net.finish();
+    let mut violations = sim.violations;
+    // Infallible: the master actor stores its outcome before `run_over`,
+    // and the thread scope joined it above.
+    let MasterOutcome { result, restarts, stats, pending } = outcome
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner)
+        .expect("master actor records an outcome before exiting");
+    if !stats.conserves(pending) {
+        violations.push(format!(
+            "admission conservation violated: offered {} != served {} + shed {} + expired {} + \
+             pending {pending}",
+            stats.offered, stats.served, stats.shed, stats.expired
+        ));
+    }
+    match &result {
+        Ok(tokens) => {
+            if *tokens != oracle {
+                violations.push(
+                    "token output diverges from the fault-free sequential oracle".to_string(),
+                );
+            }
+        }
+        Err(e) => {
+            if plan.is_empty() {
+                violations.push(format!("fault-free run failed: {e}"));
+            }
+        }
+    }
+    if plan.is_empty() && restarts != 0 {
+        violations.push(format!("fault-free run took {restarts} restart(s)"));
+    }
+    if restarts > cfg.max_restarts {
+        violations.push(format!(
+            "restart count {restarts} exceeds the recovery bound {}",
+            cfg.max_restarts
+        ));
+    }
+    SimReport {
+        seed: None,
+        tokens: result.as_ref().ok().cloned(),
+        error: result.err().map(|e| e.to_string()),
+        restarts,
+        admission: stats,
+        pending,
+        stale_drops: sim.stale_drops,
+        corrupt_detected: sim.corrupt_detected,
+        trace: sim.trace,
+        violations,
+        final_virtual_us: sim.final_now_us,
+    }
+}

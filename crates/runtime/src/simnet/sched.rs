@@ -1,0 +1,858 @@
+//! The deterministic cooperative scheduler underneath [`crate::simnet`].
+//!
+//! FoundationDB-style simulation on plain OS threads: every simulated
+//! actor runs on its own thread, but a single *baton* (one
+//! `Mutex<SimState>` + one `Condvar`) guarantees that **exactly one**
+//! actor executes at any moment. An actor runs until it blocks — on a
+//! virtual sleep, a frame receive, or a crash wait — at which point the
+//! scheduler hands the baton to the lowest-numbered runnable actor.
+//! Virtual time advances **only when no actor is runnable**, jumping to
+//! the earliest pending wake-up. With actor ids, link contents and
+//! wake-ups all ordered deterministically, the interleaving (and thus
+//! the event trace) is a pure function of the initial state and the
+//! fault plan: OS thread scheduling cannot influence it.
+//!
+//! Links model TCP streams: frames carry *real* wire bytes
+//! ([`crate::net::frame::encode_frame`] over
+//! [`crate::net::wire::WireMsg`]), delivery is FIFO per link (a delayed
+//! frame delays everything behind it — the stream clamp), and fault
+//! events fire on send ordinals. A `Reorder` fault exempts one frame
+//! from the FIFO clamp; real TCP cannot do that, so protocol-level
+//! schedules never draw it, but the wire-level testbed
+//! ([`crate::simnet::wire_exchange`]) uses it to stress the codec
+//! invariants. Connections are modeled as *epochs* (attempt numbers) on
+//! a link: a receiver at epoch `e` rejects frames from epochs `< e` —
+//! the stale-attempt redial protection of
+//! [`crate::net::dist`] — and sees `Disconnected` once the
+//! epoch is closed and drained, which is EOF.
+
+use super::plan::SimFaultKind;
+use crate::net::frame::{encode_frame, read_frame};
+use crate::net::wire::WireMsg;
+use std::collections::BTreeSet;
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Sentinel timestamp for "never" (permanent crash or partition).
+pub(crate) const NEVER_US: u64 = u64::MAX;
+
+/// Lifecycle of one simulated actor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ActorPhase {
+    /// Registered; becomes runnable when the simulation starts.
+    Ready,
+    /// Eligible for the baton.
+    Runnable,
+    /// Holds the baton.
+    Running,
+    /// Waiting for virtual time `wake_at` (senders may pull the wake-up
+    /// earlier when a frame arrives for this actor).
+    Blocked {
+        /// Virtual µs at which the actor becomes runnable again.
+        wake_at: u64,
+    },
+    /// Exited; never scheduled again.
+    Done,
+}
+
+#[derive(Debug)]
+struct ActorState {
+    name: String,
+    phase: ActorPhase,
+}
+
+/// A frame in flight on a link.
+#[derive(Debug, Clone)]
+struct QueuedFrame {
+    /// Virtual µs at which the receiver may take the frame.
+    deliver_at: u64,
+    /// Global enqueue ordinal — the deterministic tie-break.
+    seq: u64,
+    /// Connection epoch (attempt number) the frame belongs to.
+    epoch: u64,
+    /// Real encoded wire bytes (header + CRC + payload).
+    bytes: Vec<u8>,
+}
+
+#[derive(Debug)]
+struct LinkState {
+    name: String,
+    latency_us: u64,
+    queue: Vec<QueuedFrame>,
+    /// Epochs whose connection is closed (EOF once drained).
+    closed: BTreeSet<u64>,
+    /// Actor to nudge when a frame (or EOF) arrives.
+    receiver: Option<usize>,
+    /// Frames sent so far — fault events fire on this ordinal.
+    tx_ordinal: u64,
+    /// `(after_frames, kind, fired)` one-shot fault events.
+    events: Vec<(u64, SimFaultKind, bool)>,
+    /// Frames sent before this virtual time deliver no earlier than it
+    /// ([`NEVER_US`] = permanent partition).
+    partitioned_until: Option<u64>,
+    /// FIFO stream clamp: no frame delivers before its predecessor.
+    fifo_floor: u64,
+}
+
+/// Everything mutable in the simulated world, under the one lock.
+#[derive(Debug)]
+pub(crate) struct SimState {
+    now_us: u64,
+    horizon_us: u64,
+    /// The actor currently holding the baton.
+    current: Option<usize>,
+    actors: Vec<ActorState>,
+    links: Vec<LinkState>,
+    /// Per stage: virtual time its crash ends ([`NEVER_US`] = never).
+    crashed_until: Vec<Option<u64>>,
+    run_over: bool,
+    poisoned: bool,
+    trace: Vec<String>,
+    violations: Vec<String>,
+    stale_drops: u64,
+    corrupt_detected: u64,
+    seq: u64,
+}
+
+/// Receive outcomes below the transport layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum RecvEnd {
+    /// Nothing arrived within the timeout; the connection is still up.
+    Timeout,
+    /// EOF (epoch closed and drained), corrupt stream, or crashed owner.
+    Disconnected,
+}
+
+/// Why an epoch wait ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum AwaitEpoch {
+    /// A frame for this epoch is queued; serve it.
+    Serve(u64),
+    /// The owning stage crashed; wait out the crash.
+    Crashed,
+    /// The run is over (or the world is poisoned); exit.
+    Over,
+}
+
+/// Why a crash wait ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CrashEnd {
+    /// The crash window passed; the stage restarts.
+    Restarted,
+    /// The crash is permanent; the stage exits.
+    Permanent,
+    /// The run ended while the stage was down.
+    Over,
+}
+
+/// The simulated world: scheduler + links + trace. Shared by `Arc`.
+#[derive(Debug)]
+pub(crate) struct SimNet {
+    m: Mutex<SimState>,
+    cv: Condvar,
+}
+
+/// Pick the next actor, advancing virtual time if nobody is runnable.
+/// Virtual time moves **only** inside this function and only on the
+/// no-runnable-actor path — the no-deadlock invariant holds by
+/// construction and is re-checked by the `debug_assert` below.
+fn schedule(st: &mut SimState) {
+    if st.current.is_some() {
+        return;
+    }
+    loop {
+        if let Some(i) = st.actors.iter().position(|a| a.phase == ActorPhase::Runnable) {
+            st.current = Some(i);
+            return;
+        }
+        let min_wake = st
+            .actors
+            .iter()
+            .filter_map(|a| match a.phase {
+                ActorPhase::Blocked { wake_at } => Some(wake_at),
+                _ => None,
+            })
+            .min();
+        let Some(w) = min_wake else {
+            return; // every actor Done (or not yet started): nothing to run
+        };
+        debug_assert!(
+            st.actors.iter().all(|a| a.phase != ActorPhase::Runnable),
+            "virtual time must not advance with runnable work pending"
+        );
+        if w > st.horizon_us && !st.poisoned {
+            let blocked: Vec<&str> = st
+                .actors
+                .iter()
+                .filter(|a| matches!(a.phase, ActorPhase::Blocked { .. }))
+                .map(|a| a.name.as_str())
+                .collect();
+            st.violations.push(format!(
+                "deadlock/livelock: no actor runnable and the next wake-up ({w}µs) lies past \
+                 the {}µs horizon (blocked: {})",
+                st.horizon_us,
+                blocked.join(", ")
+            ));
+            st.poisoned = true;
+            // Wake everyone so the world can unwind: transports return
+            // Disconnected and sleeps return immediately once poisoned.
+            for a in st.actors.iter_mut() {
+                if matches!(a.phase, ActorPhase::Blocked { .. }) {
+                    a.phase = ActorPhase::Runnable;
+                }
+            }
+            continue;
+        }
+        if w > st.now_us {
+            st.now_us = w;
+        }
+        for a in st.actors.iter_mut() {
+            if let ActorPhase::Blocked { wake_at } = a.phase {
+                if wake_at <= st.now_us {
+                    a.phase = ActorPhase::Runnable;
+                }
+            }
+        }
+    }
+}
+
+fn push_trace(st: &mut SimState, msg: &str) {
+    let line = format!("[{:>9}µs] {msg}", st.now_us);
+    st.trace.push(line);
+}
+
+/// Pull a blocked receiver's wake-up forward to `at` (clamped to now) so
+/// it notices a newly deliverable frame, an EOF, or a crash.
+fn nudge(st: &mut SimState, actor: usize, at: u64) {
+    let t = at.max(st.now_us);
+    if let ActorPhase::Blocked { wake_at } = st.actors[actor].phase {
+        if t < wake_at {
+            st.actors[actor].phase = ActorPhase::Blocked { wake_at: t };
+        }
+    }
+}
+
+fn nudge_receiver(st: &mut SimState, link: usize, at: u64) {
+    if let Some(r) = st.links[link].receiver {
+        nudge(st, r, at);
+    }
+}
+
+fn is_crashed(st: &SimState, stage: usize) -> bool {
+    match st.crashed_until.get(stage).copied().flatten() {
+        Some(t) => t == NEVER_US || st.now_us < t,
+        None => false,
+    }
+}
+
+impl SimNet {
+    pub(crate) fn new(horizon_us: u64, n_stage_slots: usize) -> Self {
+        Self {
+            m: Mutex::new(SimState {
+                now_us: 0,
+                horizon_us,
+                current: None,
+                actors: Vec::new(),
+                links: Vec::new(),
+                crashed_until: vec![None; n_stage_slots],
+                run_over: false,
+                poisoned: false,
+                trace: Vec::new(),
+                violations: Vec::new(),
+                stale_drops: 0,
+                corrupt_detected: 0,
+                seq: 0,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn st(&self) -> MutexGuard<'_, SimState> {
+        // A panicking actor thread poisons the mutex; the state itself
+        // stays consistent (every mutation completes under the lock), so
+        // recover it rather than cascading the panic.
+        self.m.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Park `me` until virtual time `wake_at`, handing the baton over.
+    /// Returns with the baton re-acquired.
+    fn block<'a>(
+        &'a self,
+        mut st: MutexGuard<'a, SimState>,
+        me: usize,
+        wake_at: u64,
+    ) -> MutexGuard<'a, SimState> {
+        let wake_at = wake_at.max(st.now_us);
+        st.actors[me].phase = ActorPhase::Blocked { wake_at };
+        if st.current == Some(me) {
+            st.current = None;
+        }
+        schedule(&mut st);
+        self.cv.notify_all();
+        while st.current != Some(me) {
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+        st.actors[me].phase = ActorPhase::Running;
+        st
+    }
+
+    // --- registration (before `start`) ----------------------------------
+
+    pub(crate) fn add_actor(&self, name: impl Into<String>) -> usize {
+        let mut st = self.st();
+        st.actors.push(ActorState { name: name.into(), phase: ActorPhase::Ready });
+        st.actors.len() - 1
+    }
+
+    pub(crate) fn add_link(
+        &self,
+        name: impl Into<String>,
+        latency_us: u64,
+        events: Vec<(u64, SimFaultKind)>,
+    ) -> usize {
+        let mut st = self.st();
+        st.links.push(LinkState {
+            name: name.into(),
+            latency_us,
+            queue: Vec::new(),
+            closed: BTreeSet::new(),
+            receiver: None,
+            tx_ordinal: 0,
+            events: events.into_iter().map(|(a, k)| (a, k, false)).collect(),
+            partitioned_until: None,
+            fifo_floor: 0,
+        });
+        st.links.len() - 1
+    }
+
+    pub(crate) fn set_receiver(&self, link: usize, actor: usize) {
+        self.st().links[link].receiver = Some(actor);
+    }
+
+    /// Release every registered actor and hand out the first baton.
+    pub(crate) fn start(&self) {
+        let mut st = self.st();
+        for a in st.actors.iter_mut() {
+            if a.phase == ActorPhase::Ready {
+                a.phase = ActorPhase::Runnable;
+            }
+        }
+        schedule(&mut st);
+        self.cv.notify_all();
+    }
+
+    /// First call of every actor thread: wait for the baton.
+    pub(crate) fn enter(&self, me: usize) {
+        let mut st = self.st();
+        while st.current != Some(me) {
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+        st.actors[me].phase = ActorPhase::Running;
+    }
+
+    /// Final call of every actor thread (via [`ActorGuard`]): retire and
+    /// pass the baton on.
+    pub(crate) fn exit(&self, me: usize) {
+        let mut st = self.st();
+        st.actors[me].phase = ActorPhase::Done;
+        if st.current == Some(me) {
+            st.current = None;
+        }
+        schedule(&mut st);
+        self.cv.notify_all();
+    }
+
+    // --- time ------------------------------------------------------------
+
+    pub(crate) fn now_us(&self) -> u64 {
+        self.st().now_us
+    }
+
+    pub(crate) fn sleep(&self, me: usize, d_us: u64) {
+        let st = self.st();
+        if st.poisoned {
+            return; // unwinding: sleeps collapse so actors exit fast
+        }
+        let wake = st.now_us.saturating_add(d_us);
+        drop(self.block(st, me, wake));
+    }
+
+    // --- trace / flags ----------------------------------------------------
+
+    pub(crate) fn trace(&self, msg: &str) {
+        push_trace(&mut self.st(), msg);
+    }
+
+    pub(crate) fn set_run_over(&self) {
+        let mut st = self.st();
+        st.run_over = true;
+        // Wake everyone promptly; blocked actors observe the flag.
+        let now = st.now_us;
+        for i in 0..st.actors.len() {
+            nudge(&mut st, i, now);
+        }
+        self.cv.notify_all();
+    }
+
+    pub(crate) fn poisoned(&self) -> bool {
+        self.st().poisoned
+    }
+
+    pub(crate) fn run_over(&self) -> bool {
+        let st = self.st();
+        st.run_over || st.poisoned
+    }
+
+    // --- frames -----------------------------------------------------------
+
+    /// Send one message on `link` within `epoch`. Sends never block
+    /// (infinite wire buffer, like a TCP send buffer in the regime the
+    /// runtime uses); returns `Err(())` when the epoch is closed, the
+    /// owning stage is crashed, or the world is poisoned.
+    pub(crate) fn send_frame(
+        &self,
+        owner_stage: Option<usize>,
+        link: usize,
+        epoch: u64,
+        msg: &WireMsg,
+    ) -> Result<(), ()> {
+        let payload = encode_frame(&msg.encode());
+        let mut st = self.st();
+        if st.poisoned {
+            return Err(());
+        }
+        if let Some(s) = owner_stage {
+            if is_crashed(&st, s) {
+                return Err(());
+            }
+        }
+        if st.links[link].closed.contains(&epoch) {
+            return Err(());
+        }
+        let ord = st.links[link].tx_ordinal;
+        st.links[link].tx_ordinal += 1;
+        let fired = {
+            let l = &mut st.links[link];
+            l.events.iter_mut().find(|(after, _, done)| !*done && *after == ord).map(|e| {
+                e.2 = true;
+                e.1.clone()
+            })
+        };
+        let mut extra_us = 0u64;
+        let mut copies = 1usize;
+        let mut corrupt = false;
+        let mut fifo = true;
+        if let Some(kind) = fired {
+            let lname = st.links[link].name.clone();
+            match kind {
+                SimFaultKind::Delay { us } => {
+                    extra_us = us;
+                    push_trace(&mut st, &format!("fault: +{us}µs delay on {lname} (frame {ord})"));
+                }
+                SimFaultKind::Drop => {
+                    push_trace(&mut st, &format!("fault: frame {ord} dropped on {lname}"));
+                    return Ok(()); // silently lost, like a cut mid-stream
+                }
+                SimFaultKind::Duplicate => {
+                    copies = 2;
+                    push_trace(&mut st, &format!("fault: frame {ord} duplicated on {lname}"));
+                }
+                SimFaultKind::Corrupt => {
+                    corrupt = true;
+                    push_trace(&mut st, &format!("fault: frame {ord} corrupted on {lname}"));
+                }
+                SimFaultKind::Reorder { us } => {
+                    extra_us = us;
+                    fifo = false;
+                    push_trace(&mut st, &format!("fault: frame {ord} reordered on {lname}"));
+                }
+                SimFaultKind::Disconnect => {
+                    st.links[link].closed.insert(epoch);
+                    push_trace(&mut st, &format!("fault: {lname} cut (epoch {epoch})"));
+                    let now = st.now_us;
+                    nudge_receiver(&mut st, link, now);
+                    return Err(());
+                }
+            }
+        }
+        let mut bytes = payload;
+        if corrupt {
+            // Flip one payload bit; the real CRC in the frame header
+            // makes the receiver detect this, not the simulator.
+            let n = bytes.len();
+            bytes[n - 1] ^= 0x01;
+        }
+        let now = st.now_us;
+        let seq0 = st.seq;
+        st.seq += copies as u64;
+        let at = {
+            let l = &mut st.links[link];
+            let mut at = now.saturating_add(l.latency_us).saturating_add(extra_us);
+            if let Some(p) = l.partitioned_until {
+                if now < p {
+                    at = at.max(p.saturating_add(l.latency_us));
+                }
+            }
+            if fifo {
+                // TCP stream semantics: nothing overtakes its predecessor.
+                at = at.max(l.fifo_floor);
+                l.fifo_floor = at;
+            }
+            at
+        };
+        for c in 0..copies {
+            let frame =
+                QueuedFrame { deliver_at: at, seq: seq0 + c as u64, epoch, bytes: bytes.clone() };
+            st.links[link].queue.push(frame);
+        }
+        nudge_receiver(&mut st, link, at);
+        Ok(())
+    }
+
+    /// Receive the next frame of `epoch` on `link`, blocking up to
+    /// `timeout_us` of virtual time. Stale frames (older epochs) are
+    /// rejected on sight; corrupt frames surface through the *real*
+    /// frame CRC and poison the epoch.
+    pub(crate) fn recv_frame(
+        &self,
+        me: usize,
+        owner_stage: Option<usize>,
+        link: usize,
+        epoch: u64,
+        timeout_us: u64,
+    ) -> Result<WireMsg, RecvEnd> {
+        let mut st = self.st();
+        let deadline = st.now_us.saturating_add(timeout_us);
+        loop {
+            if st.poisoned {
+                return Err(RecvEnd::Disconnected);
+            }
+            if let Some(s) = owner_stage {
+                if is_crashed(&st, s) {
+                    return Err(RecvEnd::Disconnected);
+                }
+            }
+            // Stale-attempt protection: frames from older epochs are
+            // rejected, mirroring the attempt-number check in `dist`.
+            let stale = {
+                let l = &mut st.links[link];
+                let before = l.queue.len();
+                l.queue.retain(|f| f.epoch >= epoch);
+                (before - l.queue.len()) as u64
+            };
+            if stale > 0 {
+                st.stale_drops += stale;
+                let lname = st.links[link].name.clone();
+                push_trace(
+                    &mut st,
+                    &format!("stale: {stale} frame(s) from older attempts rejected on {lname}"),
+                );
+            }
+            let now = st.now_us;
+            let best = st.links[link]
+                .queue
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| f.epoch == epoch && f.deliver_at <= now)
+                .min_by_key(|(_, f)| (f.deliver_at, f.seq))
+                .map(|(i, _)| i);
+            if let Some(i) = best {
+                let frame = st.links[link].queue.remove(i);
+                let decoded = read_frame(&mut frame.bytes.as_slice())
+                    .map_err(|e| e.to_string())
+                    .and_then(|p| WireMsg::decode(&p).map_err(|e| e.to_string()));
+                match decoded {
+                    Ok(m) => return Ok(m),
+                    Err(e) => {
+                        st.corrupt_detected += 1;
+                        let lname = st.links[link].name.clone();
+                        push_trace(
+                            &mut st,
+                            &format!("corrupt frame on {lname} ({e}); connection poisoned"),
+                        );
+                        st.links[link].closed.insert(epoch);
+                        return Err(RecvEnd::Disconnected);
+                    }
+                }
+            }
+            // Nothing deliverable now. Frames stranded behind a permanent
+            // partition never deliver; they do not hold off EOF.
+            let pending_min = st.links[link]
+                .queue
+                .iter()
+                .filter(|f| f.epoch == epoch && f.deliver_at < NEVER_US)
+                .map(|f| f.deliver_at)
+                .min();
+            if pending_min.is_none() && st.links[link].closed.contains(&epoch) {
+                return Err(RecvEnd::Disconnected);
+            }
+            if now >= deadline {
+                return Err(RecvEnd::Timeout);
+            }
+            let wake = pending_min.map_or(deadline, |p| p.min(deadline));
+            st = self.block(st, me, wake);
+        }
+    }
+
+    /// Close `epoch` on `link` (graceful EOF once drained). Idempotent.
+    pub(crate) fn close_epoch(&self, link: usize, epoch: u64) {
+        let mut st = self.st();
+        if st.links[link].closed.insert(epoch) {
+            let now = st.now_us;
+            nudge_receiver(&mut st, link, now);
+            self.cv.notify_all();
+        }
+    }
+
+    /// Wait until a frame for an epoch `>= min_epoch` shows up on
+    /// `link` — a stage actor waiting for the master's next attempt.
+    /// Returns the *newest* waiting epoch, skipping attempts that died
+    /// before reaching this stage.
+    pub(crate) fn await_epoch(
+        &self,
+        me: usize,
+        stage: usize,
+        link: usize,
+        min_epoch: u64,
+        tick_us: u64,
+    ) -> AwaitEpoch {
+        let mut st = self.st();
+        loop {
+            if st.poisoned {
+                return AwaitEpoch::Over;
+            }
+            if is_crashed(&st, stage) {
+                return AwaitEpoch::Crashed;
+            }
+            let stale = {
+                let l = &mut st.links[link];
+                let before = l.queue.len();
+                l.queue.retain(|f| f.epoch >= min_epoch);
+                (before - l.queue.len()) as u64
+            };
+            if stale > 0 {
+                st.stale_drops += stale;
+                let lname = st.links[link].name.clone();
+                push_trace(
+                    &mut st,
+                    &format!("stale: {stale} frame(s) from older attempts rejected on {lname}"),
+                );
+            }
+            if let Some(e) =
+                st.links[link].queue.iter().filter(|f| f.epoch >= min_epoch).map(|f| f.epoch).max()
+            {
+                return AwaitEpoch::Serve(e);
+            }
+            if st.run_over {
+                return AwaitEpoch::Over;
+            }
+            let wake = st.now_us.saturating_add(tick_us);
+            st = self.block(st, me, wake);
+        }
+    }
+
+    /// Wait out a crash window for `stage` (actor `me`).
+    pub(crate) fn crash_wait(&self, me: usize, stage: usize) -> CrashEnd {
+        let mut st = self.st();
+        loop {
+            if st.poisoned || st.run_over {
+                return CrashEnd::Over;
+            }
+            match st.crashed_until[stage] {
+                None => return CrashEnd::Restarted,
+                Some(NEVER_US) => return CrashEnd::Permanent,
+                Some(t) if st.now_us >= t => {
+                    st.crashed_until[stage] = None;
+                    return CrashEnd::Restarted;
+                }
+                Some(t) => st = self.block(st, me, t),
+            }
+        }
+    }
+
+    // --- chaos ------------------------------------------------------------
+
+    /// Partition `link` until `until` ([`NEVER_US`] = never heals).
+    /// Frames sent while partitioned deliver no earlier than the heal.
+    pub(crate) fn apply_partition(&self, link: usize, until: u64) {
+        let mut st = self.st();
+        if link >= st.links.len() {
+            push_trace(&mut st, &format!("chaos: partition targets unknown link {link}; skipped"));
+            return;
+        }
+        st.links[link].partitioned_until = Some(until);
+        let lname = st.links[link].name.clone();
+        let tail = if until == NEVER_US {
+            "never heals".to_string()
+        } else {
+            format!("heals at {until}µs")
+        };
+        push_trace(&mut st, &format!("chaos: {lname} partitioned ({tail})"));
+    }
+
+    /// Crash `stage` (hosted by `actor`) until `restart_at`
+    /// ([`NEVER_US`] = forever). In-flight transport calls of the stage
+    /// observe `Disconnected`.
+    pub(crate) fn apply_crash(&self, stage: usize, actor: usize, restart_at: u64) {
+        let mut st = self.st();
+        if stage >= st.crashed_until.len() {
+            push_trace(&mut st, &format!("chaos: crash targets unknown stage {stage}; skipped"));
+            return;
+        }
+        st.crashed_until[stage] = Some(restart_at);
+        let tail = if restart_at == NEVER_US {
+            "permanently".to_string()
+        } else {
+            format!("until {restart_at}µs")
+        };
+        push_trace(&mut st, &format!("chaos: stage {stage} crashed {tail}"));
+        let now = st.now_us;
+        nudge(&mut st, actor, now);
+    }
+
+    // --- post-mortem ------------------------------------------------------
+
+    /// Snapshot trace/violations/counters after every actor exited.
+    pub(crate) fn finish(&self) -> SimOutcome {
+        let st = self.st();
+        SimOutcome {
+            trace: st.trace.clone(),
+            violations: st.violations.clone(),
+            stale_drops: st.stale_drops,
+            corrupt_detected: st.corrupt_detected,
+            final_now_us: st.now_us,
+        }
+    }
+}
+
+/// What the scheduler knows at the end of a run.
+#[derive(Debug, Clone)]
+pub(crate) struct SimOutcome {
+    pub trace: Vec<String>,
+    pub violations: Vec<String>,
+    pub stale_drops: u64,
+    pub corrupt_detected: u64,
+    pub final_now_us: u64,
+}
+
+/// RAII actor retirement: marks the actor `Done` and reschedules even if
+/// the actor body panics, so one failing actor cannot wedge the world.
+pub(crate) struct ActorGuard<'a> {
+    net: &'a SimNet,
+    me: usize,
+}
+
+impl<'a> ActorGuard<'a> {
+    /// Call [`SimNet::enter`] first; the guard only handles the exit.
+    pub(crate) fn new(net: &'a SimNet, me: usize) -> Self {
+        Self { net, me }
+    }
+}
+
+impl Drop for ActorGuard<'_> {
+    fn drop(&mut self) {
+        self.net.exit(self.me);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn virtual_time_advances_only_when_all_blocked() {
+        let net = Arc::new(SimNet::new(10_000_000, 0));
+        let a = net.add_actor("a");
+        let b = net.add_actor("b");
+        let order = Arc::new(Mutex::new(Vec::new()));
+        std::thread::scope(|s| {
+            let (net_a, ord_a) = (net.clone(), order.clone());
+            s.spawn(move || {
+                net_a.enter(a);
+                let _g = ActorGuard::new(&net_a, a);
+                ord_a.lock().unwrap().push(("a0", net_a.now_us()));
+                net_a.sleep(a, 500);
+                ord_a.lock().unwrap().push(("a1", net_a.now_us()));
+            });
+            let (net_b, ord_b) = (net.clone(), order.clone());
+            s.spawn(move || {
+                net_b.enter(b);
+                let _g = ActorGuard::new(&net_b, b);
+                ord_b.lock().unwrap().push(("b0", net_b.now_us()));
+                net_b.sleep(b, 200);
+                ord_b.lock().unwrap().push(("b1", net_b.now_us()));
+            });
+            net.start();
+        });
+        let got = order.lock().unwrap().clone();
+        // Lowest id first at t=0, then wake-ups in virtual-time order.
+        assert_eq!(got, vec![("a0", 0), ("b0", 0), ("b1", 200), ("a1", 500)]);
+    }
+
+    #[test]
+    fn frames_deliver_in_fifo_order_with_latency() {
+        let net = Arc::new(SimNet::new(10_000_000, 0));
+        let tx = net.add_actor("tx");
+        let rx = net.add_actor("rx");
+        let link = net.add_link("l", 50, vec![(0, SimFaultKind::Delay { us: 1_000 })]);
+        net.set_receiver(link, rx);
+        let got = Arc::new(Mutex::new(Vec::new()));
+        std::thread::scope(|s| {
+            let net_t = net.clone();
+            s.spawn(move || {
+                net_t.enter(tx);
+                let _g = ActorGuard::new(&net_t, tx);
+                // First frame delayed 1ms; second must NOT overtake it.
+                net_t.send_frame(None, link, 0, &WireMsg::Heartbeat { stage: 1 }).unwrap();
+                net_t.send_frame(None, link, 0, &WireMsg::Heartbeat { stage: 2 }).unwrap();
+                net_t.close_epoch(link, 0);
+            });
+            let (net_r, got_r) = (net.clone(), got.clone());
+            s.spawn(move || {
+                net_r.enter(rx);
+                let _g = ActorGuard::new(&net_r, rx);
+                while let Ok(m) = net_r.recv_frame(rx, None, link, 0, 5_000_000) {
+                    if let WireMsg::Heartbeat { stage } = m {
+                        got_r.lock().unwrap().push((stage, net_r.now_us()));
+                    }
+                }
+            });
+            net.start();
+        });
+        let got = got.lock().unwrap().clone();
+        assert_eq!(got.len(), 2);
+        assert_eq!((got[0].0, got[1].0), (1, 2), "stream order preserved");
+        assert!(got[0].1 >= 1_050, "delay applied: {got:?}");
+        assert_eq!(got[0].1, got[1].1, "second frame queued behind the first");
+    }
+
+    #[test]
+    fn stale_epoch_frames_are_rejected() {
+        let net = Arc::new(SimNet::new(10_000_000, 0));
+        let tx = net.add_actor("tx");
+        let rx = net.add_actor("rx");
+        let link = net.add_link("l", 10, Vec::new());
+        net.set_receiver(link, rx);
+        let end = Arc::new(Mutex::new(None));
+        std::thread::scope(|s| {
+            let net_t = net.clone();
+            s.spawn(move || {
+                net_t.enter(tx);
+                let _g = ActorGuard::new(&net_t, tx);
+                net_t.send_frame(None, link, 0, &WireMsg::Shutdown).unwrap();
+                net_t.close_epoch(link, 1);
+            });
+            let (net_r, end_r) = (net.clone(), end.clone());
+            s.spawn(move || {
+                net_r.enter(rx);
+                let _g = ActorGuard::new(&net_r, rx);
+                // Receiver is on epoch 1: the epoch-0 frame is stale.
+                let r = net_r.recv_frame(rx, None, link, 1, 1_000_000);
+                *end_r.lock().unwrap() = Some(r);
+            });
+            net.start();
+        });
+        assert_eq!(end.lock().unwrap().clone().unwrap(), Err(RecvEnd::Disconnected));
+        assert_eq!(net.finish().stale_drops, 1);
+    }
+}

@@ -1,0 +1,120 @@
+//! Seed sweeps and counterexample shrinking.
+//!
+//! [`seed_sweep`] runs the full pipeline simulation over a block of
+//! seeds, each seed drawing a random [`SimFaultPlan`]. Any invariant
+//! violation is *shrunk*: [`shrink_fault_plan`] greedily deletes fault
+//! events one at a time, keeping every deletion that still reproduces a
+//! violation, until no single event can be removed — a minimal
+//! counterexample, serialized as replayable JSON.
+
+use super::plan::SimFaultPlan;
+use super::{run_sim, SimConfig};
+use serde::{Deserialize, Serialize};
+
+/// Greedily minimize a violating `plan`: repeatedly try removing each
+/// event; keep removals under which `run_sim` still reports a
+/// violation; stop at a fixpoint. If `plan` does not actually violate,
+/// it is returned unchanged.
+pub fn shrink_fault_plan(cfg: &SimConfig, plan: &SimFaultPlan) -> SimFaultPlan {
+    let fails = |p: &SimFaultPlan| !run_sim(cfg, p).violations.is_empty();
+    if !fails(plan) {
+        return plan.clone();
+    }
+    let mut current = plan.clone();
+    loop {
+        let mut shrunk = false;
+        let mut idx = 0;
+        while idx < current.event_count() {
+            let candidate = current.without(idx);
+            if fails(&candidate) {
+                current = candidate;
+                shrunk = true;
+                // Indices shifted; restart the scan from the front so
+                // the walk stays deterministic.
+                idx = 0;
+            } else {
+                idx += 1;
+            }
+        }
+        if !shrunk {
+            return current;
+        }
+    }
+}
+
+/// One seed whose schedule violated an invariant, with the minimized
+/// reproducing schedule attached.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepFailure {
+    /// Seed that drew the original schedule.
+    pub seed: u64,
+    /// Violations reported by the original (unshrunk) run.
+    pub violations: Vec<String>,
+    /// Minimal schedule that still reproduces a violation.
+    pub minimized: SimFaultPlan,
+    /// `minimized` as replayable JSON (what CI uploads as an artifact).
+    pub minimized_json: String,
+}
+
+/// Outcome of a [`seed_sweep`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepReport {
+    /// First seed swept.
+    pub start_seed: u64,
+    /// Number of consecutive seeds swept.
+    pub n_seeds: u64,
+    /// Every violating seed, minimized.
+    pub failures: Vec<SweepFailure>,
+    /// How many schedules contained at least one fault event.
+    pub runs_with_faults: u64,
+    /// How many runs recovered through at least one restart.
+    pub runs_with_restarts: u64,
+    /// How many runs legitimately failed over (exhausted restarts under
+    /// an unsurvivable schedule) — allowed, not a violation.
+    pub runs_failed_over: u64,
+}
+
+impl SweepReport {
+    /// Whether the sweep found no invariant violations.
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Run `n_seeds` consecutive seeds starting at `start_seed`, one random
+/// fault schedule per seed, shrinking every failure. Deterministic:
+/// the same `(cfg, start_seed, n_seeds)` yields the same report.
+pub fn seed_sweep(cfg: &SimConfig, start_seed: u64, n_seeds: u64) -> SweepReport {
+    let mut report = SweepReport {
+        start_seed,
+        n_seeds,
+        failures: Vec::new(),
+        runs_with_faults: 0,
+        runs_with_restarts: 0,
+        runs_failed_over: 0,
+    };
+    for seed in start_seed..start_seed.saturating_add(n_seeds) {
+        let plan = SimFaultPlan::random(seed, cfg.n_stages);
+        if !plan.is_empty() {
+            report.runs_with_faults += 1;
+        }
+        let run = run_sim(cfg, &plan);
+        if run.restarts > 0 {
+            report.runs_with_restarts += 1;
+        }
+        if run.error.is_some() {
+            report.runs_failed_over += 1;
+        }
+        if !run.violations.is_empty() {
+            let minimized = shrink_fault_plan(cfg, &plan);
+            let minimized_json = minimized.to_json();
+            report.failures.push(SweepFailure {
+                seed,
+                violations: run.violations,
+                minimized,
+                minimized_json,
+            });
+        }
+    }
+    report
+}

@@ -1,0 +1,205 @@
+//! Wire-level testbed: one sender, one receiver, one chaotic link.
+//!
+//! Where [`super::run_sim`] exercises the whole distributed protocol,
+//! [`wire_exchange`] isolates the codec and connection invariants so
+//! property tests can drive *adversarial* schedules — including
+//! [`SimFaultKind::Reorder`], which the stream-faithful protocol
+//! schedules never draw — and assert exactly what a receiver may
+//! observe: no message is ever invented, corruption surfaces through
+//! the real frame CRC as a typed disconnect, and stale-epoch dials are
+//! rejected wholesale.
+
+use super::conn::{to_wire, SimConn, SimTransport};
+use super::plan::{SimLinkEvent, SimPartition};
+use super::sched::{ActorGuard, SimNet, NEVER_US};
+use crate::net::transport::{Transport, TransportRecvError};
+use crate::worker::WorkerMsg;
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Duration;
+
+/// One scripted sender→receiver exchange over a single faulty link.
+#[derive(Debug, Clone)]
+pub struct WireExchangeConfig {
+    /// Messages the sender pushes, in order.
+    pub msgs: Vec<WorkerMsg>,
+    /// Epoch the sender dials with.
+    pub sender_epoch: u64,
+    /// Epoch the receiver expects (≠ sender's models a stale dial).
+    pub receiver_epoch: u64,
+    /// Fault events for the forward link (its index is 0).
+    pub events: Vec<SimLinkEvent>,
+    /// Timed partitions of the forward link.
+    pub partitions: Vec<SimPartition>,
+    /// One-way link latency, virtual µs.
+    pub latency_us: u64,
+    /// Virtual µs the sender waits between messages.
+    pub send_gap_us: u64,
+    /// Whether the sender closes its epoch after the last message
+    /// (EOF). `false` models a sender that just goes quiet.
+    pub close_after_send: bool,
+    /// Receiver's total virtual-time budget before it gives up.
+    pub budget_us: u64,
+    /// Scheduler horizon (deadlock backstop).
+    pub horizon_us: u64,
+}
+
+impl Default for WireExchangeConfig {
+    fn default() -> Self {
+        Self {
+            msgs: vec![WorkerMsg::Shutdown],
+            sender_epoch: 0,
+            receiver_epoch: 0,
+            events: Vec::new(),
+            partitions: Vec::new(),
+            latency_us: 50,
+            send_gap_us: 100,
+            close_after_send: true,
+            budget_us: 2_000_000,
+            horizon_us: 60_000_000,
+        }
+    }
+}
+
+/// What the receiver observed.
+#[derive(Debug, Clone)]
+pub struct WireExchange {
+    /// Messages delivered, in delivery order.
+    pub delivered: Vec<WorkerMsg>,
+    /// Receiver ended on a clean EOF / disconnect.
+    pub clean_eof: bool,
+    /// Receiver exhausted its budget waiting.
+    pub timed_out: bool,
+    /// Frames the receiver rejected through the real frame CRC.
+    pub corrupt_detected: u64,
+    /// Frames rejected by stale-epoch protection.
+    pub stale_rejected: u64,
+    /// Deterministic event trace of the exchange.
+    pub trace: Vec<String>,
+}
+
+/// Run one deterministic sender→receiver exchange under `cfg`'s fault
+/// schedule. Same `cfg` ⇒ byte-identical trace and outcome.
+pub fn wire_exchange(cfg: &WireExchangeConfig) -> WireExchange {
+    let net = Arc::new(SimNet::new(cfg.horizon_us, 0));
+    let wire = net.add_link(
+        "wire",
+        cfg.latency_us,
+        cfg.events.iter().filter(|e| e.link == 0).map(|e| (e.after_frames, e.kind.clone())).collect(),
+    );
+    let back = net.add_link("return", cfg.latency_us, Vec::new());
+    let sender = net.add_actor("sender");
+    let receiver = net.add_actor("receiver");
+    let chaos = net.add_actor("chaos");
+    net.set_receiver(wire, receiver);
+
+    let got: Mutex<(Vec<WorkerMsg>, bool, bool)> = Mutex::new((Vec::new(), false, false));
+
+    std::thread::scope(|scope| {
+        {
+            let net = net.clone();
+            scope.spawn(move || {
+                net.enter(sender);
+                let _g = ActorGuard::new(&net, sender);
+                let conn = SimConn {
+                    net: net.clone(),
+                    me: sender,
+                    owner_stage: None,
+                    link: wire,
+                    epoch: cfg.sender_epoch,
+                };
+                for (i, m) in cfg.msgs.iter().enumerate() {
+                    if i > 0 {
+                        net.sleep(sender, cfg.send_gap_us);
+                    }
+                    if conn.send(&to_wire(m.clone())).is_err() {
+                        break;
+                    }
+                }
+                if cfg.close_after_send {
+                    conn.close();
+                }
+            });
+        }
+        {
+            let net = net.clone();
+            let got = &got;
+            scope.spawn(move || {
+                net.enter(receiver);
+                let _g = ActorGuard::new(&net, receiver);
+                let rx = SimConn {
+                    net: net.clone(),
+                    me: receiver,
+                    owner_stage: None,
+                    link: wire,
+                    epoch: cfg.receiver_epoch,
+                };
+                let tx = SimConn {
+                    net: net.clone(),
+                    me: receiver,
+                    owner_stage: None,
+                    link: back,
+                    epoch: 0,
+                };
+                let transport = SimTransport::new(rx, tx);
+                let deadline = net.now_us().saturating_add(cfg.budget_us);
+                loop {
+                    let now = net.now_us();
+                    if now >= deadline {
+                        got.lock().unwrap_or_else(PoisonError::into_inner).2 = true;
+                        break;
+                    }
+                    match transport.recv_msg(Duration::from_micros(deadline - now)) {
+                        Ok(m) => {
+                            got.lock().unwrap_or_else(PoisonError::into_inner).0.push(m);
+                        }
+                        Err(TransportRecvError::Disconnected) => {
+                            got.lock().unwrap_or_else(PoisonError::into_inner).1 = true;
+                            break;
+                        }
+                        Err(TransportRecvError::Timeout) => {
+                            got.lock().unwrap_or_else(PoisonError::into_inner).2 = true;
+                            break;
+                        }
+                    }
+                }
+                net.set_run_over();
+            });
+        }
+        {
+            let net = net.clone();
+            scope.spawn(move || {
+                net.enter(chaos);
+                let _g = ActorGuard::new(&net, chaos);
+                let mut parts: Vec<&SimPartition> =
+                    cfg.partitions.iter().filter(|p| p.link == 0).collect();
+                parts.sort_by_key(|p| p.at_us);
+                for p in parts {
+                    loop {
+                        let now = net.now_us();
+                        if now >= p.at_us || net.poisoned() || net.run_over() {
+                            break;
+                        }
+                        net.sleep(chaos, p.at_us - now);
+                    }
+                    if net.poisoned() || net.run_over() {
+                        return;
+                    }
+                    net.apply_partition(wire, p.heal_at_us.unwrap_or(NEVER_US));
+                }
+            });
+        }
+        net.start();
+    });
+
+    let (delivered, clean_eof, timed_out) =
+        got.into_inner().unwrap_or_else(PoisonError::into_inner);
+    let outcome = net.finish();
+    WireExchange {
+        delivered,
+        clean_eof,
+        timed_out,
+        corrupt_detected: outcome.corrupt_detected,
+        stale_rejected: outcome.stale_drops,
+        trace: outcome.trace,
+    }
+}

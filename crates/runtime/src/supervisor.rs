@@ -23,6 +23,7 @@
 //!   — and generation resumes bit-identically to sequential execution
 //!   of the *new* plan from the resume point.
 
+use crate::clock::real_clock;
 use crate::engine::{
     checkpoint_lockstep, load_all_stages, run_attempt, validate_inputs, AttemptSupervision,
     RuntimeError, RuntimeOutput,
@@ -236,7 +237,8 @@ pub fn run_pipeline_supervised_observed(
     telemetry: Option<Arc<Telemetry>>,
 ) -> Result<SupervisedOutput, RuntimeError> {
     validate_inputs(checkpoint, plan, prompts, n_generate, faults)?;
-    let start = std::time::Instant::now();
+    let clock = real_clock();
+    let start = clock.now();
     let injector = faults.map(FaultInjector::new);
     let mut current_plan = plan.clone();
     let (mut stage_weights, mut loader_stats) = load_all_stages(checkpoint, &current_plan, rounding, seed);
@@ -255,12 +257,13 @@ pub fn run_pipeline_supervised_observed(
         }
         let sup = AttemptSupervision {
             injector: injector.clone(),
-            heartbeats: Some(Heartbeats::new(current_plan.stages.len())),
+            heartbeats: Some(Heartbeats::with_clock(current_plan.stages.len(), clock.clone())),
             heartbeat_timeout: Some(Duration::from_millis(cfg.heartbeat_timeout_ms)),
             progress_timeout: Some(Duration::from_millis(cfg.progress_timeout_ms)),
             tick: Some(Duration::from_millis(cfg.tick_ms.max(1))),
             telemetry: telemetry.clone(),
             queue_cap: cfg.max_queue,
+            clock: clock.clone(),
         };
         match run_attempt(checkpoint, &current_plan, prompts, &mut tokens, n_generate, &stage_weights, &sup, &sink)
         {
@@ -270,7 +273,7 @@ pub fn run_pipeline_supervised_observed(
                     output: RuntimeOutput {
                         tokens,
                         loader_stats,
-                        wall_s: start.elapsed().as_secs_f64(),
+                        wall_s: clock.now().saturating_sub(start).as_secs_f64(),
                         stage_metrics,
                     },
                     restarts,
@@ -336,7 +339,7 @@ pub fn run_pipeline_supervised_observed(
                     }
                 } else {
                     let backoff = cfg.backoff(restarts);
-                    std::thread::sleep(backoff);
+                    clock.sleep(backoff);
                     RecoveryAction::Restart { backoff_ms: backoff.as_millis() as u64 }
                 };
                 if let Some(t) = &telemetry {

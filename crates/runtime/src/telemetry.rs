@@ -31,12 +31,12 @@
 //! together so every distributed run doubles as a cost-model fidelity
 //! experiment.
 
+use crate::clock::{real_clock, Clock};
 use llmpq_model::Phase;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
 
 /// Number of power-of-two latency buckets: bucket 0 holds `0 µs`,
 /// bucket `k ≥ 1` holds `[2^(k-1), 2^k)` µs. 40 buckets cover up to
@@ -448,9 +448,8 @@ impl Span {
 /// `run_pipeline_observed` / `run_pipeline_supervised_observed`, then
 /// export with [`Telemetry::to_chrome_trace`] and
 /// [`Telemetry::metrics_text`].
-#[derive(Debug)]
 pub struct Telemetry {
-    epoch: Instant,
+    clock: Arc<dyn Clock>,
     stages: Vec<StageRecorder>,
     /// Per-link transfer counters: `n_stages + 1` edges, link `i` being
     /// the edge into stage `i` and the last the return to the master.
@@ -470,13 +469,30 @@ pub struct Telemetry {
     queue_pressure_peak_milli: AtomicU64,
 }
 
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("stages", &self.stages.len())
+            .field("links", &self.links.len())
+            .finish_non_exhaustive()
+    }
+}
+
 impl Telemetry {
     /// Telemetry for a pipeline of `n_stages` stages. Replanning after
     /// device loss only ever *shrinks* the pipeline, so the initial
-    /// stage count is the high-water mark.
+    /// stage count is the high-water mark. Timestamps are wall-clock,
+    /// with epoch = creation.
     pub fn new(n_stages: usize) -> Arc<Self> {
+        Self::with_clock(n_stages, real_clock())
+    }
+
+    /// Telemetry stamping spans from `clock` — under [`crate::simnet`]
+    /// every span carries a *virtual* timestamp, so traces from a
+    /// simulated run are deterministic too.
+    pub fn with_clock(n_stages: usize, clock: Arc<dyn Clock>) -> Arc<Self> {
         Arc::new(Self {
-            epoch: Instant::now(),
+            clock,
             stages: (0..n_stages).map(|_| StageRecorder::default()).collect(),
             links: (0..=n_stages).map(|_| LinkRecorder::default()).collect(),
             spans: Mutex::new(Vec::new()),
@@ -494,9 +510,9 @@ impl Telemetry {
         })
     }
 
-    /// Microseconds elapsed since this telemetry was created.
+    /// Microseconds elapsed since this telemetry's clock epoch.
     pub fn now_us(&self) -> u64 {
-        self.epoch.elapsed().as_micros() as u64
+        self.clock.now_us()
     }
 
     /// Number of stage recorders.
@@ -735,7 +751,7 @@ impl Telemetry {
     /// restart/replan/retry counters, and per-stage p50/p95/p99 latency
     /// (overall and per phase), queue peaks and KV occupancy.
     pub fn metrics_text(&self) -> String {
-        let wall_s = self.epoch.elapsed().as_secs_f64();
+        let wall_s = self.clock.now().as_secs_f64();
         let tokens = self.tokens();
         let mut out = String::from("# llmpq runtime telemetry snapshot\n");
         out.push_str(&format!("wall_s: {wall_s:.4}\n"));

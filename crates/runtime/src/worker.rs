@@ -11,6 +11,7 @@
 //! [`WorkerMsg::Protocol`] reply that travels down the chain to the
 //! master instead of panicking the thread.
 
+use crate::clock::{real_clock, Clock};
 use crate::fault::{FaultAction, FaultInjector, Heartbeats};
 use crate::net::transport::{
     ChannelTransport, Transport, TransportRecvError, TransportSendError,
@@ -124,6 +125,9 @@ pub struct WorkerCtx {
     pub tick: Duration,
     /// Disconnect board, if the run wants dropped-item attribution.
     pub disconnects: Option<DisconnectBoard>,
+    /// Time source for compute timing and injected sleeps: wall clock in
+    /// production, virtual under [`crate::simnet`].
+    pub clock: Arc<dyn Clock>,
 }
 
 impl WorkerCtx {
@@ -143,6 +147,7 @@ impl WorkerCtx {
             bits: Arc::from(""),
             tick: Duration::from_millis(5),
             disconnects: None,
+            clock: real_clock(),
         }
     }
 }
@@ -312,7 +317,7 @@ pub fn run_worker_transport<T: Transport>(weights: &[LayerWeights], ctx: &Worker
                         // reading, but keep the channels open so the
                         // failure is invisible to disconnect detection.
                         while !aborted() {
-                            std::thread::sleep(Duration::from_micros(200));
+                            ctx.clock.sleep(Duration::from_micros(200));
                         }
                         flush(&metrics);
                         return;
@@ -338,7 +343,7 @@ pub fn run_worker_transport<T: Transport>(weights: &[LayerWeights], ctx: &Worker
                     });
                 }
                 let compute_start = tel.map(|t| t.now_us());
-                let t0 = std::time::Instant::now();
+                let t0 = ctx.clock.now();
                 for (seq, x) in item.seqs.iter_mut() {
                     let mut h = x.clone();
                     for (l, w) in weights.iter().enumerate() {
@@ -347,10 +352,10 @@ pub fn run_worker_transport<T: Transport>(weights: &[LayerWeights], ctx: &Worker
                     *x = h;
                     metrics.seq_forwards += 1;
                 }
-                let elapsed = t0.elapsed();
+                let elapsed = ctx.clock.now().saturating_sub(t0);
                 if slowdown > 1.0 {
                     // Straggler injection: pad compute to factor × real.
-                    std::thread::sleep(elapsed.mul_f64(slowdown - 1.0));
+                    ctx.clock.sleep(elapsed.mul_f64(slowdown - 1.0));
                 }
                 metrics.items += 1;
                 metrics.busy_s += elapsed.as_secs_f64() * slowdown;

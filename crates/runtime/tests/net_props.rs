@@ -2,13 +2,23 @@
 //! codec must round-trip arbitrary traffic byte-exactly, reject every
 //! corruption of the length prefix / magic / payload, and reassemble
 //! frames delivered one fragment at a time.
+//!
+//! The second half drives the same codec through the simulated network
+//! ([`llmpq_runtime::wire_exchange`]) under adversarial schedules —
+//! delay, drop, duplicate, reorder, corrupt, disconnect, partition —
+//! and asserts the connection-level invariants: no message is ever
+//! invented, corruption always surfaces as a typed disconnect via the
+//! real CRC, and stale-epoch dials are rejected wholesale.
 
 use llmpq_model::{Matrix, Phase};
 use llmpq_runtime::net::frame::{
     crc32, encode_frame, read_frame, FrameError, FRAME_HEADER_BYTES, MAX_FRAME_BYTES,
 };
 use llmpq_runtime::net::wire::{worker_msg_to_wire, worker_msg_wire_bytes, WireMsg};
-use llmpq_runtime::{WorkItem, WorkerMsg};
+use llmpq_runtime::{
+    wire_exchange, SimFaultKind, SimLinkEvent, SimPartition, WireExchangeConfig, WorkItem,
+    WorkerMsg,
+};
 use proptest::prelude::*;
 use proptest::strategy::TestRng;
 use std::io::Read;
@@ -58,6 +68,33 @@ impl Strategy for ArbMsg {
                 })
             }
         }
+    }
+}
+
+/// Arbitrary adversarial link schedules for the simulated wire:
+/// 0..=3 one-shot faults drawn from every kind, including `Reorder`,
+/// which the protocol-level random schedules exclude.
+#[derive(Clone, Copy)]
+struct ArbFaults;
+
+impl Strategy for ArbFaults {
+    type Value = Vec<SimLinkEvent>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<SimLinkEvent> {
+        let n = rng.below(4);
+        (0..n)
+            .map(|_| {
+                let kind = match rng.below(6) {
+                    0 => SimFaultKind::Delay { us: 1 + rng.below(50_000) as u64 },
+                    1 => SimFaultKind::Drop,
+                    2 => SimFaultKind::Duplicate,
+                    3 => SimFaultKind::Corrupt,
+                    4 => SimFaultKind::Reorder { us: rng.below(5_000) as u64 },
+                    _ => SimFaultKind::Disconnect,
+                };
+                SimLinkEvent { link: 0, after_frames: rng.below(6) as u64, kind }
+            })
+            .collect()
     }
 }
 
@@ -189,6 +226,132 @@ proptest! {
         let mut payload = worker_msg_to_wire(msg).encode();
         payload.extend(std::iter::repeat_n(0xA5, extra));
         prop_assert!(WireMsg::decode(&payload).is_err(), "trailing bytes accepted");
+    }
+
+    #[test]
+    fn sim_link_never_invents_messages(
+        msgs in prop::collection::vec(ArbMsg, 1..5),
+        faults in ArbFaults,
+    ) {
+        let cfg = WireExchangeConfig {
+            msgs: msgs.clone(),
+            events: faults.clone(),
+            ..WireExchangeConfig::default()
+        };
+        let out = wire_exchange(&cfg);
+        for (i, d) in out.delivered.iter().enumerate() {
+            prop_assert!(
+                msgs.contains(d),
+                "delivered[{i}] was never sent\ntrace:\n{}",
+                out.trace.join("\n")
+            );
+        }
+        let dups = faults
+            .iter()
+            .filter(|e| matches!(e.kind, SimFaultKind::Duplicate))
+            .count();
+        prop_assert!(
+            out.delivered.len() <= msgs.len() + dups,
+            "{} delivered from {} sent (+{dups} dup events)",
+            out.delivered.len(),
+            msgs.len()
+        );
+        // Without reordering the link is a faulty-but-FIFO stream: the
+        // delivered sequence (consecutive duplicates collapsed) must be
+        // a subsequence of what was sent.
+        if faults.iter().all(|e| !matches!(e.kind, SimFaultKind::Reorder { .. })) {
+            let mut collapsed: Vec<&WorkerMsg> = Vec::new();
+            for d in &out.delivered {
+                if collapsed.last().map(|l| *l == d) != Some(true) {
+                    collapsed.push(d);
+                }
+            }
+            let mut it = msgs.iter();
+            for d in collapsed {
+                prop_assert!(
+                    it.any(|m| m == d),
+                    "FIFO schedule delivered out of order\ntrace:\n{}",
+                    out.trace.join("\n")
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_frames_surface_as_typed_disconnects(
+        msgs in prop::collection::vec(ArbMsg, 1..5),
+        at in 0usize..8,
+    ) {
+        let k = at % msgs.len();
+        let cfg = WireExchangeConfig {
+            msgs: msgs.clone(),
+            events: vec![SimLinkEvent {
+                link: 0,
+                after_frames: k as u64,
+                kind: SimFaultKind::Corrupt,
+            }],
+            ..WireExchangeConfig::default()
+        };
+        let out = wire_exchange(&cfg);
+        prop_assert_eq!(out.corrupt_detected, 1, "CRC must catch the flipped byte");
+        prop_assert!(out.clean_eof, "corruption must end the stream as a typed disconnect");
+        prop_assert!(!out.timed_out);
+        // Everything before the corrupt frame arrives intact; nothing
+        // after it leaks through the poisoned connection.
+        prop_assert_eq!(&out.delivered[..], &msgs[..k]);
+    }
+
+    #[test]
+    fn stale_epoch_dials_are_rejected_wholesale(
+        msgs in prop::collection::vec(ArbMsg, 1..5),
+        behind in 1u64..4,
+    ) {
+        let cfg = WireExchangeConfig {
+            msgs: msgs.clone(),
+            sender_epoch: 0,
+            receiver_epoch: behind, // the receiver has moved on
+            ..WireExchangeConfig::default()
+        };
+        let out = wire_exchange(&cfg);
+        prop_assert!(out.delivered.is_empty(), "stale-attempt frames must never deliver");
+        prop_assert_eq!(out.stale_rejected, msgs.len() as u64);
+        prop_assert!(out.timed_out, "a stale dial looks like silence, not EOF");
+        prop_assert!(!out.clean_eof);
+    }
+
+    #[test]
+    fn permanent_partition_times_out_without_inventing(
+        msgs in prop::collection::vec(ArbMsg, 2..5),
+    ) {
+        // The partition lands after the first in-flight frame; the
+        // sender keeps writing into the void and never closes.
+        let cfg = WireExchangeConfig {
+            msgs: msgs.clone(),
+            partitions: vec![SimPartition { link: 0, at_us: 1, heal_at_us: None }],
+            close_after_send: false,
+            ..WireExchangeConfig::default()
+        };
+        let out = wire_exchange(&cfg);
+        prop_assert!(out.timed_out, "a dead link must look like a timeout, not EOF");
+        prop_assert!(!out.clean_eof);
+        prop_assert_eq!(out.corrupt_detected, 0);
+        prop_assert_eq!(&out.delivered[..], &msgs[..1]);
+    }
+
+    #[test]
+    fn healed_partition_delivers_everything_in_order(
+        msgs in prop::collection::vec(ArbMsg, 1..5),
+        heal in 10_000u64..100_000,
+    ) {
+        let cfg = WireExchangeConfig {
+            msgs: msgs.clone(),
+            partitions: vec![SimPartition { link: 0, at_us: 1, heal_at_us: Some(heal) }],
+            ..WireExchangeConfig::default()
+        };
+        let out = wire_exchange(&cfg);
+        prop_assert_eq!(&out.delivered[..], &msgs[..], "heal must release the full stream");
+        prop_assert!(out.clean_eof, "EOF after drain");
+        prop_assert!(!out.timed_out);
     }
 
     #[test]
