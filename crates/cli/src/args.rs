@@ -40,8 +40,17 @@ pub struct Args {
 
 /// Flags that take no value (everything else consumes the following
 /// non-flag tokens).
-const SWITCHES: &[&str] =
-    &["shaq-efficient", "fit", "use_profiler_prediction", "no_auto", "kv8", "help", "inject-bug", "trace"];
+const SWITCHES: &[&str] = &[
+    "shaq-efficient",
+    "fit",
+    "use_profiler_prediction",
+    "no_auto",
+    "kv8",
+    "help",
+    "inject-bug",
+    "trace",
+    "migrations",
+];
 
 impl Args {
     /// Parse a token stream (without the program name).

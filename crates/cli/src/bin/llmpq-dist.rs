@@ -67,8 +67,9 @@ use llmpq_model::{zoo, RefConfig, RefModel};
 use llmpq_quant::{random_indicator, Rounding};
 use llmpq_runtime::{
     poisson_requests, run_master, run_pipeline_observed, run_pipeline_supervised_observed,
-    run_stage, serve, AdmissionConfig, AdmissionPolicy, DistMasterConfig, DistStageConfig,
-    FaultPlan, FoldReplanner, ServeConfig, SimEngine, SupervisorConfig, Telemetry, WireFaultPlan,
+    run_pipeline_with_swap, run_stage, serve, AdmissionConfig, AdmissionPolicy, DistMasterConfig,
+    DistStageConfig, FaultPlan, FoldReplanner, ServeConfig, SimEngine, SupervisorConfig,
+    SwapRequest, Telemetry, WireFaultPlan,
 };
 use llmpq_sim::{KernelEnv, PipelineWorkload};
 use llmpq_workload::{simulate_online, BatchJob, OnlineConfig, PromptLengthModel};
@@ -79,6 +80,10 @@ const USAGE: &str = "usage: llmpq-dist --strat_file_name <strategy.json>
     [--online-rate req_per_s] [--online-requests 150] [--online-failure 0.0]
     [--max-queue N] [--admission reject|deadline|timeout] [--deadline-ms 2000]
     [--degrade-ladder auto|ladder.json]
+    [--swap-at N] [--swap-to target.json]
+        live plan migration: at generated-token boundary N, hot-swap to the
+        target plan (default: every layer at Int4, one layer moved to the next
+        stage) with KV handoff — requests stay in flight across the swap
 
 multi-process mode (one OS process per stage + a master, TCP loopback or LAN):
   master:  llmpq-dist --strat_file_name s.json --listen HOST:PORT
@@ -175,6 +180,10 @@ fn run(args: &Args) -> Result<(), String> {
     let metrics_out = args.get("metrics-out");
     let telemetry = (trace_out.is_some() || metrics_out.is_some())
         .then(|| Telemetry::new(plan.stages.len()));
+
+    if args.get("swap-at").is_some() {
+        return run_with_swap(args, &plan, &checkpoint, &prompts, n_generate, seed, faults.as_ref());
+    }
 
     // `--max-queue` bounds every inter-stage channel so a slow stage
     // backpressures the master instead of queueing without limit; it is
@@ -314,6 +323,119 @@ fn run(args: &Args) -> Result<(), String> {
                 r.share_err * 100.0
             );
         }
+    }
+    Ok(())
+}
+
+/// The default `--swap-at` target: every layer at Int4 and, when some
+/// stage has layers to spare, one layer moved across the first movable
+/// stage boundary so the commit exercises the KV handoff.
+fn default_swap_target(base: &ExecutionPlan) -> ExecutionPlan {
+    let mut cuts: Vec<(usize, usize)> =
+        base.stages.iter().map(|s| (s.layer_start, s.layer_end)).collect();
+    for i in 0..cuts.len().saturating_sub(1) {
+        if cuts[i + 1].1 - cuts[i + 1].0 >= 2 {
+            cuts[i].1 += 1;
+            cuts[i + 1].0 += 1;
+            break;
+        }
+        if cuts[i].1 - cuts[i].0 >= 2 {
+            cuts[i].1 -= 1;
+            cuts[i + 1].0 -= 1;
+            break;
+        }
+    }
+    let stages = cuts
+        .iter()
+        .zip(&base.stages)
+        .map(|(&(lo, hi), s)| llm_pq::StagePlan {
+            device: s.device,
+            layer_start: lo,
+            layer_end: hi,
+            bits: vec![llmpq_quant::Bitwidth::Int4; hi - lo],
+        })
+        .collect();
+    ExecutionPlan { stages, ..base.clone() }
+}
+
+/// `--swap-at N`: run the pipeline with a live plan migration scheduled
+/// at token boundary N — two-phase prepare/commit, KV handoff for
+/// re-partitioned layers, abort back to the old plan on any failure
+/// inside the prepare window.
+fn run_with_swap(
+    args: &Args,
+    plan: &ExecutionPlan,
+    checkpoint: &RefModel,
+    prompts: &[Vec<usize>],
+    n_generate: usize,
+    seed: u64,
+    faults: Option<&FaultPlan>,
+) -> Result<(), String> {
+    let at_token = args.get_parse("swap-at", 1usize).map_err(|e| e.to_string())?;
+    let target = match args.get("swap-to") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            ExecutionPlan::from_json(&text)?
+        }
+        None => default_swap_target(plan),
+    };
+    // Compact per-stage layout: a uniform stage collapses to one
+    // bitwidth name, a mixed stage lists its distinct bitwidths.
+    let describe = |s: &llm_pq::StagePlan| {
+        let mut kinds: Vec<String> = Vec::new();
+        for b in &s.bits {
+            let name = format!("{b:?}");
+            if !kinds.contains(&name) {
+                kinds.push(name);
+            }
+        }
+        format!("L{}..{} {}", s.layer_start, s.layer_end, kinds.join("/"))
+    };
+    let old_bits: Vec<String> = plan.stages.iter().map(describe).collect();
+    let new_bits: Vec<String> = target.stages.iter().map(describe).collect();
+    eprintln!("swap scheduled at token {at_token}:");
+    eprintln!("  from: {}", old_bits.join(" | "));
+    eprintln!("  to:   {}", new_bits.join(" | "));
+
+    let swaps = vec![SwapRequest { at_token, plan: target }];
+    let out = run_pipeline_with_swap(
+        checkpoint,
+        plan,
+        prompts,
+        n_generate,
+        Rounding::Deterministic,
+        seed,
+        &swaps,
+        &SupervisorConfig::default(),
+        faults,
+        None,
+    )
+    .map_err(|e| e.to_string())?;
+
+    for (i, r) in out.swaps.iter().enumerate() {
+        if r.committed {
+            println!(
+                "swap {i} (epoch {}) at token {}: committed in {} µs, {} KV bytes shipped",
+                r.epoch, r.at_token, r.latency_us, r.kv_bytes
+            );
+        } else {
+            println!(
+                "swap {i} (epoch {}) at token {}: aborted back to the old plan ({})",
+                r.epoch,
+                r.at_token,
+                r.reason.as_deref().unwrap_or("unknown")
+            );
+        }
+    }
+    println!(
+        "generated {} tokens x {} sequences in {:.3}s wall ({} restarts), zero dropped requests",
+        n_generate,
+        prompts.len(),
+        out.output.wall_s,
+        out.restarts
+    );
+    for (i, toks) in out.output.tokens.iter().enumerate() {
+        println!("seq {i}: {toks:?}");
     }
     Ok(())
 }

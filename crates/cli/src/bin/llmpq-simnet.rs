@@ -29,6 +29,9 @@ const USAGE: &str = "usage: llmpq-simnet
     [--max-restarts 3]       recovery bound per run
     [--schedule plan.json]   replay one fault schedule instead of sweeping
     [--out minimized.json]   where to write a shrunk counterexample
+    [--migrations]           live-migration mode: every run schedules a hot
+                             precision/partition swap and faults are drawn
+                             inside the prepare/commit window
     [--inject-bug]           dev hook: break admission conservation on purpose
     [--trace]                print the deterministic event trace(s)";
 
@@ -61,6 +64,19 @@ fn main() -> ExitCode {
         Err(e) => return fail(&e.to_string()),
     };
     cfg.inject_conservation_bug = args.switch("inject-bug");
+    if args.switch("migrations") {
+        let stages = cfg.n_stages;
+        let n_generate = cfg.n_generate.max(SimConfig::migration_default().n_generate);
+        let max_restarts = cfg.max_restarts;
+        let inject = cfg.inject_conservation_bug;
+        cfg = SimConfig {
+            n_stages: stages,
+            n_generate,
+            max_restarts,
+            inject_conservation_bug: inject,
+            ..SimConfig::migration_default()
+        };
+    }
     let out_path = args.get("out").unwrap_or("sim-counterexample.json").to_string();
 
     if let Some(path) = args.get("schedule") {
@@ -88,6 +104,12 @@ fn main() -> ExitCode {
         report.runs_with_restarts,
         report.runs_failed_over,
     );
+    if cfg.migration.is_some() {
+        println!(
+            "plan swaps: {} committed, {} aborted back to the old plan",
+            report.runs_committed, report.runs_aborted
+        );
+    }
     if report.ok() {
         println!("all invariants held on every schedule");
         return ExitCode::SUCCESS;

@@ -19,6 +19,7 @@
 use crate::clock::{real_clock, Clock};
 use crate::fault::{FaultInjector, FaultPlan, Heartbeats};
 use crate::loader::{load_stage_weights, LoaderStats};
+use crate::migrate::{MigrationCoordinator, MigrationHost};
 use crate::net::transport::{ChannelTransport, Transport, TransportRecvError, TransportSendError};
 use crate::telemetry::{Span, Telemetry};
 use crate::worker::{
@@ -119,6 +120,10 @@ pub(crate) struct AttemptSupervision {
     /// Time source for every deadline and sleep of the attempt: wall
     /// clock in production, virtual under [`crate::simnet`].
     pub clock: Arc<dyn Clock>,
+    /// Live-migration support handed to every worker of the attempt
+    /// (checkpoint + quantizer settings for preparing proposed plans).
+    /// `None` = workers refuse plan proposals with a typed abort.
+    pub migration_host: Option<Arc<MigrationHost>>,
 }
 
 impl Default for AttemptSupervision {
@@ -132,6 +137,7 @@ impl Default for AttemptSupervision {
             telemetry: None,
             queue_cap: None,
             clock: real_clock(),
+            migration_host: None,
         }
     }
 }
@@ -224,7 +230,92 @@ impl<'m, T: Transport> Master<'m, T> {
         }
     }
 
-    fn recv(&self, sup: &AttemptSupervision) -> Result<WorkItem, RuntimeError> {
+    /// Forward a control/migration message toward stage 0 (the master is
+    /// the ring's re-forwarder for KV chunks and abort broadcasts).
+    fn send_ctrl(&self, msg: WorkerMsg, sup: &AttemptSupervision) -> Result<(), RuntimeError> {
+        let deadline = sup.progress_timeout.map(|t| sup.clock.deadline(t));
+        let mut msg = msg;
+        loop {
+            match self.link.send_msg(msg, sup.tick()) {
+                Ok(()) => return Ok(()),
+                Err(TransportSendError::Disconnected) => {
+                    return Err(RuntimeError::WorkerDied("first stage unreachable".into()))
+                }
+                Err(TransportSendError::Timeout(m)) => {
+                    msg = m;
+                    if deadline.is_some_and(|d| sup.clock.expired(d)) {
+                        return Err(RuntimeError::Stalled(
+                            "master blocked forwarding migration traffic past the progress timeout"
+                                .into(),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Handle one non-`Work` ring message at the master: plan-swap
+    /// acknowledgements feed the coordinator; the master's own
+    /// `PlanPropose`/`PlanCommit` wrapping around the ring are sunk;
+    /// worker aborts are recorded and rebroadcast downstream exactly
+    /// once; in-transit KV chunks are re-forwarded to stage 0 (one extra
+    /// circle at most — consumers never re-forward consumed slices).
+    /// Returns an error only for failures that kill the attempt.
+    fn on_ring_msg(
+        &self,
+        msg: WorkerMsg,
+        sup: &AttemptSupervision,
+        migration: &mut Option<&mut MigrationCoordinator>,
+    ) -> Result<(), RuntimeError> {
+        match msg {
+            WorkerMsg::PlanReady { epoch, stage, swapped } => {
+                if let Some(c) = migration.as_deref_mut() {
+                    c.on_ready(epoch, stage, swapped);
+                }
+            }
+            WorkerMsg::PlanPropose { .. } | WorkerMsg::PlanCommit { .. } => {
+                // The master's own broadcast completed the circle: sink.
+            }
+            WorkerMsg::PlanAbort { epoch, reason } => {
+                if let Some(c) = migration.as_deref_mut() {
+                    if c.on_worker_abort(epoch, &reason) {
+                        // Post-commit abort: the target plan is already
+                        // authoritative — fail the attempt so the
+                        // supervisor restarts on it.
+                        return Err(RuntimeError::Stalled(format!(
+                            "plan swap epoch {epoch} failed after commit: {reason}"
+                        )));
+                    }
+                    if !c.abort_seen(epoch) {
+                        // Make sure every stage tears the proposal down.
+                        self.send_ctrl(WorkerMsg::PlanAbort { epoch, reason }, sup)?;
+                    }
+                }
+            }
+            WorkerMsg::KvChunk(c) => {
+                let active = migration
+                    .as_deref()
+                    .is_some_and(|m| m.pending.as_ref().is_some_and(|p| p.epoch == c.epoch));
+                if active {
+                    self.send_ctrl(WorkerMsg::KvChunk(c), sup)?;
+                }
+                // else: stale chunk from a dead epoch — sink it.
+            }
+            WorkerMsg::Work(_) | WorkerMsg::Shutdown | WorkerMsg::Protocol(_) => {
+                unreachable!("on_ring_msg only receives migration traffic")
+            }
+        }
+        Ok(())
+    }
+
+    /// Receive the next fresh work item, with live-migration handling:
+    /// plan-swap traffic arriving between work items is dispatched to
+    /// the coordinator instead of being treated as a protocol violation.
+    fn recv_m(
+        &self,
+        sup: &AttemptSupervision,
+        migration: &mut Option<&mut MigrationCoordinator>,
+    ) -> Result<WorkItem, RuntimeError> {
         let deadline = sup.progress_timeout.map(|t| sup.clock.deadline(t));
         loop {
             match self.link.recv_msg(sup.tick()) {
@@ -239,6 +330,7 @@ impl<'m, T: Transport> Master<'m, T> {
                     return Err(RuntimeError::WorkerDied("premature shutdown".into()))
                 }
                 Ok(WorkerMsg::Protocol(e)) => return Err(RuntimeError::Protocol(e)),
+                Ok(other) => self.on_ring_msg(other, sup, migration)?,
                 Err(TransportRecvError::Disconnected) => {
                     return Err(RuntimeError::WorkerDied("last stage disconnected".into()))
                 }
@@ -254,6 +346,48 @@ impl<'m, T: Transport> Master<'m, T> {
                         ));
                     }
                 }
+            }
+        }
+    }
+
+    /// One bounded-wait pump of the ring during a swap barrier or commit
+    /// window: processes a single message if one is available. Returns
+    /// whether a message was processed. A fresh (non-duplicate) work
+    /// item here is a protocol violation — the pipeline is quiescent at
+    /// a token boundary.
+    fn pump_migration(
+        &self,
+        sup: &AttemptSupervision,
+        migration: &mut Option<&mut MigrationCoordinator>,
+    ) -> Result<bool, RuntimeError> {
+        match self.link.recv_msg(sup.tick()) {
+            Ok(WorkerMsg::Work(item)) => {
+                if self.last_step.get() == Some(item.step) {
+                    return Ok(true); // fault-injected duplicate: drop
+                }
+                Err(RuntimeError::Protocol(format!(
+                    "work item step {} crossed a swap barrier",
+                    item.step
+                )))
+            }
+            Ok(WorkerMsg::Shutdown) => {
+                Err(RuntimeError::WorkerDied("premature shutdown".into()))
+            }
+            Ok(WorkerMsg::Protocol(e)) => Err(RuntimeError::Protocol(e)),
+            Ok(other) => {
+                self.on_ring_msg(other, sup, migration)?;
+                Ok(true)
+            }
+            Err(TransportRecvError::Disconnected) => {
+                Err(RuntimeError::WorkerDied("last stage disconnected".into()))
+            }
+            Err(TransportRecvError::Timeout) => {
+                if let (Some(hb), Some(t)) = (&sup.heartbeats, sup.heartbeat_timeout) {
+                    if let Some(stage) = hb.stalest_over(t) {
+                        return Err(RuntimeError::StageHung(stage));
+                    }
+                }
+                Ok(false)
             }
         }
     }
@@ -334,7 +468,7 @@ pub fn run_pipeline_observed(
         ..AttemptSupervision::default()
     };
     let start = sup.clock.now();
-    run_attempt(checkpoint, plan, prompts, &mut tokens, n_generate, &stage_weights, &sup, &sink)?;
+    run_attempt(checkpoint, plan, prompts, &mut tokens, n_generate, &stage_weights, &sup, &sink, None)?;
     let wall_s = sup.clock.now().saturating_sub(start).as_secs_f64();
     let stage_metrics = sink.lock().clone();
     Ok(RuntimeOutput { tokens, loader_stats, wall_s, stage_metrics })
@@ -388,7 +522,7 @@ pub fn run_pipeline_recoverable(
             clock: clock.clone(),
             ..AttemptSupervision::default()
         };
-        match run_attempt(checkpoint, plan, prompts, &mut tokens, n_generate, &stage_weights, &sup, &sink) {
+        match run_attempt(checkpoint, plan, prompts, &mut tokens, n_generate, &stage_weights, &sup, &sink, None) {
             Ok(()) => {
                 let stage_metrics = sink.lock().clone();
                 return Ok((
@@ -487,8 +621,54 @@ pub(crate) fn drive_generation<T: Transport>(
     n_generate: usize,
     sup: &AttemptSupervision,
 ) -> Result<(), RuntimeError> {
+    drive_generation_migrating(master, plan, prompts, tokens, n_generate, sup, None)
+}
+
+/// Sequence-chunking of the global batch for one phase.
+fn batch_chunks(n_seqs: usize, size: usize) -> Vec<Vec<usize>> {
+    (0..n_seqs).collect::<Vec<_>>().chunks(size.max(1)).map(|c| c.to_vec()).collect()
+}
+
+/// Exact KV payload bytes a swap from `old` to `new` must move: every
+/// `(sequence, layer)` slice whose owning stage changes ships its K and
+/// V rows (`rows × hidden` f32 each).
+fn swap_kv_payload_bytes(
+    old: &ExecutionPlan,
+    new: &ExecutionPlan,
+    positions: &[usize],
+    hidden: usize,
+) -> u64 {
+    let owner = |plan: &ExecutionPlan, layer: usize| {
+        plan.stages.iter().position(|s| (s.layer_start..s.layer_end).contains(&layer))
+    };
+    let n_layers = old.n_layers();
+    let moved_layers: u64 =
+        (0..n_layers).filter(|&l| owner(old, l) != owner(new, l)).count() as u64;
+    let total_rows: u64 = positions.iter().map(|&p| p as u64).sum();
+    moved_layers * total_rows * hidden as u64 * 4 * 2 // K and V
+}
+
+/// [`drive_generation`] with an optional live-swap coordinator: swap
+/// proposals are opened as early as possible (prepare overlaps
+/// serving), and at each scheduled token boundary the master runs the
+/// two-phase barrier — wait for every stage's prepared `PlanReady`,
+/// send `PlanCommit`, forward migrating KV chunks, wait for every
+/// swapped `PlanReady` — before decoding under the target plan. Any
+/// pre-commit failure aborts back to the old plan and decoding
+/// continues uninterrupted; post-commit failures fail the attempt (the
+/// coordinator keeps the target plan authoritative for the restart).
+pub(crate) fn drive_generation_migrating<T: Transport>(
+    master: &Master<'_, T>,
+    plan: &ExecutionPlan,
+    prompts: &[Vec<usize>],
+    tokens: &mut [Vec<usize>],
+    n_generate: usize,
+    sup: &AttemptSupervision,
+    mut migration: Option<&mut MigrationCoordinator>,
+) -> Result<(), RuntimeError> {
     let n_seqs = prompts.len();
     let done = tokens.iter().map(Vec::len).min().unwrap_or(0);
+    let mut epoch = migration.as_deref().map_or(0, |c| c.active_epoch);
     let mut next_step = 0u64;
     let mut step = || {
         let s = next_step;
@@ -496,13 +676,13 @@ pub(crate) fn drive_generation<T: Transport>(
         s
     };
 
-    // Positions after the (extended) prefill below.
+    // Positions after the (extended) prefill below. Invariant: every
+    // stage's KV cache holds exactly `positions[s]` rows for sequence
+    // `s`, which is what sizes the KV handoff at a swap.
     let mut positions: Vec<usize> = prompts.iter().map(|p| p.len() + done).collect();
 
     // --- Prefill over prompt ++ generated prefix ---
-    let pre_size = plan.microbatch.prefill_size.max(1);
-    let chunks: Vec<Vec<usize>> =
-        (0..n_seqs).collect::<Vec<_>>().chunks(pre_size).map(|c| c.to_vec()).collect();
+    let chunks = batch_chunks(n_seqs, plan.microbatch.prefill_size);
     for (mb, chunk) in chunks.iter().enumerate() {
         let seqs = chunk
             .iter()
@@ -513,22 +693,101 @@ pub(crate) fn drive_generation<T: Transport>(
             })
             .collect();
         master.send(
-            WorkItem { step: step(), microbatch: mb, phase: Phase::Prefill, sent_us: 0, seqs },
+            WorkItem { step: step(), epoch, microbatch: mb, phase: Phase::Prefill, sent_us: 0, seqs },
             sup,
         )?;
     }
     for _ in &chunks {
-        let item = master.recv(sup)?;
+        let item = master.recv_m(sup, &mut migration)?;
         for (seq, tok) in master.sample_next(&item) {
             tokens[seq].push(tok);
         }
     }
 
     // --- Decode ---
-    let dec_size = plan.microbatch.decode_size.max(1);
-    let dec_chunks: Vec<Vec<usize>> =
-        (0..n_seqs).collect::<Vec<_>>().chunks(dec_size).map(|c| c.to_vec()).collect();
+    let mut cur_plan: Option<ExecutionPlan> = None; // Some(_) after a committed swap
+    let mut dec_chunks = batch_chunks(n_seqs, plan.microbatch.decode_size);
     for _step in done + 1..n_generate {
+        // Open the next scheduled proposal as early as possible so the
+        // workers' prepare (requantize) overlaps serving.
+        if let Some((e, json)) = migration.as_deref_mut().and_then(|c| c.open_proposal()) {
+            master.send_ctrl(WorkerMsg::PlanPropose { epoch: e, plan_json: json }, sup)?;
+        }
+        // Swap boundary: the pipeline is quiescent between decode
+        // iterations, so tokens `0.._step` were produced by the old plan
+        // and everything from `_step` on belongs to the target.
+        let boundary_due = migration.as_deref().is_some_and(|c| {
+            c.pending
+                .as_ref()
+                .is_some_and(|p| !p.commit_sent && _step >= c.schedule[p.idx].at_token)
+        });
+        if boundary_due {
+            // Phase 1 barrier: every stage prepared, or abort.
+            let deadline =
+                sup.clock.deadline(migration.as_deref().expect("checked").prepare_timeout);
+            let mut abort_reason: Option<String> = None;
+            loop {
+                let c = migration.as_deref().expect("checked");
+                if c.all_prepared() {
+                    break;
+                }
+                if let Some(r) = c.pending_abort() {
+                    abort_reason = Some(r);
+                    break;
+                }
+                if sup.clock.expired(deadline) {
+                    abort_reason = Some("prepare barrier timed out".into());
+                    break;
+                }
+                master.pump_migration(sup, &mut migration)?;
+            }
+            let c = migration.as_deref_mut().expect("checked");
+            if let Some(reason) = abort_reason {
+                // Abort path: nothing was destroyed — the old plan keeps
+                // serving this very iteration.
+                if let Some(e) = c.abort_pending(&reason) {
+                    if !c.abort_seen(e) {
+                        master.send_ctrl(WorkerMsg::PlanAbort { epoch: e, reason }, sup)?;
+                    }
+                }
+                if let Some(t) = &sup.telemetry {
+                    t.note_migration_aborted();
+                }
+            } else {
+                // Phase 2: point of no return.
+                let e = c.pending.as_ref().expect("barrier passed").epoch;
+                let t0 = sup.clock.now();
+                c.mark_commit_sent(t0.as_micros() as u64);
+                let target = c.schedule[c.pending.as_ref().expect("pending").idx].plan.clone();
+                let old = cur_plan.as_ref().unwrap_or(plan);
+                let kv_bytes = swap_kv_payload_bytes(old, &target, &positions, master.model.cfg.hidden);
+                c.add_kv_bytes(kv_bytes);
+                master.send_ctrl(WorkerMsg::PlanCommit { epoch: e }, sup)?;
+                let commit_deadline = sup.clock.deadline(c.commit_timeout);
+                loop {
+                    let c = migration.as_deref().expect("checked");
+                    if c.all_swapped() {
+                        break;
+                    }
+                    if sup.clock.expired(commit_deadline) {
+                        return Err(RuntimeError::Stalled(format!(
+                            "plan swap epoch {e} commit window timed out"
+                        )));
+                    }
+                    master.pump_migration(sup, &mut migration)?;
+                }
+                let c = migration.as_deref_mut().expect("checked");
+                let now_us = sup.clock.now().as_micros() as u64;
+                let report = c.finish_commit(now_us).expect("pending resolved").clone();
+                if let Some(t) = &sup.telemetry {
+                    t.note_swap(report.latency_us, report.kv_bytes);
+                    t.set_epoch(report.epoch);
+                }
+                epoch = report.epoch;
+                dec_chunks = batch_chunks(n_seqs, target.microbatch.decode_size);
+                cur_plan = Some(target);
+            }
+        }
         for (mb, chunk) in dec_chunks.iter().enumerate() {
             let seqs = chunk
                 .iter()
@@ -541,12 +800,12 @@ pub(crate) fn drive_generation<T: Transport>(
                 })
                 .collect();
             master.send(
-                WorkItem { step: step(), microbatch: mb, phase: Phase::Decode, sent_us: 0, seqs },
+                WorkItem { step: step(), epoch, microbatch: mb, phase: Phase::Decode, sent_us: 0, seqs },
                 sup,
             )?;
         }
         for chunk in &dec_chunks {
-            let item = master.recv(sup)?;
+            let item = master.recv_m(sup, &mut migration)?;
             for (seq, tok) in master.sample_next(&item) {
                 tokens[seq].push(tok);
             }
@@ -565,7 +824,8 @@ pub(crate) fn drive_generation<T: Transport>(
 
 /// One generation attempt. `tokens` may hold an already-generated
 /// lock-step prefix (recovery resume); on failure it retains whatever
-/// progress was made.
+/// progress was made. `migration` attaches a live plan-swap coordinator
+/// to the attempt (see [`crate::migrate`]).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_attempt(
     checkpoint: &RefModel,
@@ -576,6 +836,7 @@ pub(crate) fn run_attempt(
     stage_weights: &StageWeights,
     sup: &AttemptSupervision,
     sink: &MetricsSink,
+    migration: Option<&mut MigrationCoordinator>,
 ) -> Result<(), RuntimeError> {
     let n_seqs = prompts.len();
     let n_stages = plan.stages.len();
@@ -622,6 +883,8 @@ pub(crate) fn run_attempt(
                 tick: sup.tick(),
                 disconnects: Some(board.clone()),
                 clock: sup.clock.clone(),
+                layer_start: plan.stages[i].layer_start,
+                migration: sup.migration_host.clone(),
             };
             scope.spawn(move || run_worker_ctx(weights, &ctx, rx, tx));
         }
@@ -630,7 +893,8 @@ pub(crate) fn run_attempt(
 
         let master =
             Master::over_channels(checkpoint, to_first, from_last, sup.telemetry.clone(), n_stages);
-        let res = drive_generation(&master, plan, prompts, tokens, n_generate, sup);
+        let res =
+            drive_generation_migrating(&master, plan, prompts, tokens, n_generate, sup, migration);
 
         // Un-wedge hung workers before the scope joins them. On the
         // success path the workers have already drained (or will see the

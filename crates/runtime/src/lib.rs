@@ -36,6 +36,7 @@ pub mod clock;
 pub mod engine;
 pub mod fault;
 pub mod loader;
+pub mod migrate;
 pub mod net;
 pub mod overload;
 pub mod simnet;
@@ -49,6 +50,11 @@ pub use engine::{
 };
 pub use fault::{FaultAction, FaultEvent, FaultInjector, FaultKind, FaultPlan, Heartbeats};
 pub use loader::{load_stage_weights, LoaderStats, OnTheFlyQuantizer};
+pub use migrate::{
+    hybrid_oracle_tokens, kv_to_chunks, run_pipeline_with_swap, swap_oracle_tokens,
+    CommitDecision, KvAssembler, KvChunkMsg, MigrationCoordinator, MigrationHost, MigrationOutput,
+    ProgressiveSchedule, ProgressiveStep, SwapReport, SwapRequest, WorkerSwap,
+};
 pub use net::dist::{
     run_master, run_stage, DistMasterConfig, DistOutput, DistStageConfig, StageSummary,
 };
@@ -61,9 +67,9 @@ pub use overload::{
     RungTransition, ServeConfig, ServeReport, SimEngine,
 };
 pub use simnet::{
-    run_sim, seed_sweep, shrink_fault_plan, wire_exchange, SimConfig, SimCrash, SimFaultKind,
-    SimFaultPlan, SimLinkEvent, SimPartition, SimReport, SweepFailure, SweepReport, VirtualClock,
-    WireExchange, WireExchangeConfig,
+    run_sim, seed_sweep, shrink_fault_plan, wire_exchange, SimConfig, SimCrash, SimDeviceJoin,
+    SimFaultKind, SimFaultPlan, SimLinkEvent, SimPartition, SimReport, SweepFailure, SweepReport,
+    VirtualClock, WireExchange, WireExchangeConfig,
 };
 pub use supervisor::{
     run_pipeline_supervised, run_pipeline_supervised_observed, FoldReplanner, RecoveryAction,

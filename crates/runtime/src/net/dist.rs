@@ -622,6 +622,7 @@ fn master_attempt(
         telemetry: cfg.telemetry.clone(),
         queue_cap: None,
         clock: clock.clone(),
+        migration_host: None,
     };
     drive_generation(&master, plan, prompts, tokens, n_generate, &sup)
     // `master` (and its transport) drops here: both data endpoints
@@ -744,6 +745,8 @@ pub fn run_stage(
         tick: cfg.tick,
         disconnects: Some(board.clone()),
         clock: clock.clone(),
+        layer_start: sp.layer_start,
+        migration: None,
     };
 
     let mut attempts_served = 0usize;

@@ -20,7 +20,7 @@
 
 use super::fault::{WireFaultAction, WireFaultInjector};
 use super::frame::{encode_frame, read_frame, FrameError, FRAME_HEADER_BYTES};
-use super::wire::{worker_msg_to_wire, worker_msg_wire_bytes, WireMsg};
+use super::wire::{wire_to_worker_msg, worker_msg_to_wire, worker_msg_wire_bytes, WireMsg};
 use crate::clock::{real_clock, Clock};
 use crate::telemetry::{Span, Telemetry};
 use crate::worker::WorkerMsg;
@@ -263,11 +263,9 @@ fn run_pump(
         if let Some(l) = telemetry.as_ref().and_then(|t| t.link(rx_link)) {
             l.on_rx((FRAME_HEADER_BYTES + payload.len()) as u64);
         }
-        let msg = match WireMsg::decode(&payload) {
-            Ok(WireMsg::Work(i)) => WorkerMsg::Work(i),
-            Ok(WireMsg::Shutdown) => WorkerMsg::Shutdown,
-            Ok(WireMsg::Protocol(s)) => WorkerMsg::Protocol(s),
-            Ok(_) | Err(_) => {
+        let msg = match WireMsg::decode(&payload).map(wire_to_worker_msg) {
+            Ok(Some(m)) => m,
+            Ok(None) | Err(_) => {
                 // Not a data-plane message: the stream is confused or
                 // damaged; poison it.
                 let _ = stream.shutdown(Shutdown::Both);
@@ -447,6 +445,7 @@ mod tests {
             microbatch: 0,
             phase: Phase::Decode,
             sent_us: 0,
+            epoch: 0,
             seqs: vec![(0, Matrix::from_vec(1, 4, vec![1.0, 2.0, 3.0, 4.0]))],
         })
     }

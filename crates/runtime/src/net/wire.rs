@@ -15,14 +15,17 @@
 //! reason instead of corrupting KV caches at step 40.
 
 use super::frame::FrameError;
+use crate::migrate::KvChunkMsg;
 use crate::telemetry::LinkStats;
 use crate::worker::{StageMetrics, WorkItem, WorkerMsg};
 use llm_pq::ExecutionPlan;
 use llmpq_model::{Matrix, Phase};
 
 /// Version of the wire format. Bumped on any layout change; both ends
-/// refuse to talk across versions.
-pub const WIRE_VERSION: u16 = 1;
+/// refuse to talk across versions. Version 2 added the epoch field to
+/// `Work` and the live plan-swap messages (`PlanPropose`/`PlanReady`/
+/// `PlanCommit`/`PlanAbort`/`KvChunk`).
+pub const WIRE_VERSION: u16 = 2;
 
 /// Why a message could not be decoded (framing errors are separate — see
 /// [`FrameError`]).
@@ -180,6 +183,46 @@ pub enum WireMsg {
         /// Stage that lost the item.
         stage: u32,
     },
+    /// Master → stages (rides the data ring): prepare this plan as
+    /// `epoch` while the old plan keeps serving. Workers forward it
+    /// downstream, requantize their target shard, and answer with
+    /// `PlanReady` (prepared) or `PlanAbort`.
+    PlanPropose {
+        /// Epoch of the proposal (`active + 1`).
+        epoch: u64,
+        /// JSON of the proposed `ExecutionPlan`.
+        plan_json: String,
+    },
+    /// Stage → master (rides the data ring): this stage finished the
+    /// prepare phase (`swapped == false`) or installed the committed
+    /// plan (`swapped == true`).
+    PlanReady {
+        /// Epoch being acknowledged.
+        epoch: u64,
+        /// Acknowledging stage.
+        stage: u32,
+        /// False = prepared, true = swapped.
+        swapped: bool,
+    },
+    /// Master → stages at a token boundary: the prepared `epoch` is now
+    /// authoritative — ship re-homed KV, install the prepared weights,
+    /// answer `PlanReady` (swapped).
+    PlanCommit {
+        /// Epoch being committed.
+        epoch: u64,
+    },
+    /// Any node → the ring: tear down the proposal for `epoch` and keep
+    /// serving the old plan. Carries a typed reason for diagnostics.
+    PlanAbort {
+        /// Epoch being aborted.
+        epoch: u64,
+        /// Why the proposal died.
+        reason: String,
+    },
+    /// One fragment of a `(sequence, layer)` KV slice migrating to the
+    /// stage that owns the layer under the committed plan. Floats travel
+    /// as raw IEEE-754 bits, so the handoff is bit-exact.
+    KvChunk(KvChunkMsg),
 }
 
 // --- encoding -----------------------------------------------------------
@@ -242,6 +285,7 @@ impl WireMsg {
             WireMsg::Work(item) => {
                 out.push(0x03);
                 out.extend_from_slice(&item.step.to_le_bytes());
+                out.extend_from_slice(&item.epoch.to_le_bytes());
                 out.extend_from_slice(&(item.microbatch as u64).to_le_bytes());
                 out.push(phase_to_u8(item.phase));
                 out.extend_from_slice(&item.sent_us.to_le_bytes());
@@ -286,6 +330,37 @@ impl WireMsg {
                 out.push(0x0B);
                 out.extend_from_slice(&stage.to_le_bytes());
             }
+            WireMsg::PlanPropose { epoch, plan_json } => {
+                out.push(0x0C);
+                out.extend_from_slice(&epoch.to_le_bytes());
+                put_str(&mut out, plan_json);
+            }
+            WireMsg::PlanReady { epoch, stage, swapped } => {
+                out.push(0x0D);
+                out.extend_from_slice(&epoch.to_le_bytes());
+                out.extend_from_slice(&stage.to_le_bytes());
+                out.push(*swapped as u8);
+            }
+            WireMsg::PlanCommit { epoch } => {
+                out.push(0x0E);
+                out.extend_from_slice(&epoch.to_le_bytes());
+            }
+            WireMsg::PlanAbort { epoch, reason } => {
+                out.push(0x0F);
+                out.extend_from_slice(&epoch.to_le_bytes());
+                put_str(&mut out, reason);
+            }
+            WireMsg::KvChunk(c) => {
+                out.push(0x10);
+                out.extend_from_slice(&c.epoch.to_le_bytes());
+                out.extend_from_slice(&c.seq.to_le_bytes());
+                out.extend_from_slice(&c.layer.to_le_bytes());
+                out.extend_from_slice(&c.chunk.to_le_bytes());
+                out.extend_from_slice(&c.n_chunks.to_le_bytes());
+                out.extend_from_slice(&c.rows_total.to_le_bytes());
+                put_matrix(&mut out, &c.k);
+                put_matrix(&mut out, &c.v);
+            }
         }
         out
     }
@@ -312,6 +387,7 @@ impl WireMsg {
             }),
             0x03 => {
                 let step = d.u64()?;
+                let epoch = d.u64()?;
                 let microbatch = d.u64()? as usize;
                 let phase = phase_from_u8(d.u8()?)?;
                 let sent_us = d.u64()?;
@@ -324,7 +400,7 @@ impl WireMsg {
                     let seq = d.u64()? as usize;
                     seqs.push((seq, d.matrix()?));
                 }
-                WireMsg::Work(WorkItem { step, microbatch, phase, sent_us, seqs })
+                WireMsg::Work(WorkItem { step, epoch, microbatch, phase, sent_us, seqs })
             }
             0x04 => WireMsg::Shutdown,
             0x05 => WireMsg::Protocol(d.string()?),
@@ -353,6 +429,25 @@ impl WireMsg {
             }
             0x0A => WireMsg::DeviceLost { device: d.u32()? },
             0x0B => WireMsg::Dropped { stage: d.u32()? },
+            0x0C => WireMsg::PlanPropose { epoch: d.u64()?, plan_json: d.string()? },
+            0x0D => WireMsg::PlanReady {
+                epoch: d.u64()?,
+                stage: d.u32()?,
+                swapped: d.u8()? != 0,
+            },
+            0x0E => WireMsg::PlanCommit { epoch: d.u64()? },
+            0x0F => WireMsg::PlanAbort { epoch: d.u64()?, reason: d.string()? },
+            0x10 => {
+                let epoch = d.u64()?;
+                let seq = d.u32()?;
+                let layer = d.u32()?;
+                let chunk = d.u32()?;
+                let n_chunks = d.u32()?;
+                let rows_total = d.u32()?;
+                let k = d.matrix()?;
+                let v = d.matrix()?;
+                WireMsg::KvChunk(KvChunkMsg { epoch, seq, layer, chunk, n_chunks, rows_total, k, v })
+            }
             _ => return Err(WireError::Decode(format!("unknown message tag {tag:#04x}"))),
         };
         if d.pos != buf.len() {
@@ -371,6 +466,7 @@ impl WireMsg {
     pub fn encoded_len(&self) -> usize {
         match self {
             WireMsg::Work(item) => work_item_wire_bytes(item),
+            WireMsg::KvChunk(c) => kv_chunk_wire_bytes(c),
             other => other.encode().len(),
         }
     }
@@ -378,11 +474,18 @@ impl WireMsg {
 
 /// Exact serialized payload size of a work item.
 pub fn work_item_wire_bytes(item: &WorkItem) -> usize {
-    let mut n = 1 + 8 + 8 + 1 + 8 + 4; // tag, step, microbatch, phase, sent_us, count
+    // tag, step, epoch, microbatch, phase, sent_us, count
+    let mut n = 1 + 8 + 8 + 8 + 1 + 8 + 4;
     for (_, m) in &item.seqs {
         n += 8 + 4 + 4 + 4 * m.rows * m.cols;
     }
     n
+}
+
+/// Exact serialized payload size of a KV migration chunk.
+pub fn kv_chunk_wire_bytes(c: &KvChunkMsg) -> usize {
+    // tag, epoch, seq, layer, chunk, n_chunks, rows_total, 2 matrices
+    1 + 8 + 4 * 5 + 2 * (4 + 4) + 4 * (c.k.rows * c.k.cols + c.v.rows * c.v.cols)
 }
 
 /// Exact serialized payload size of a data-plane [`WorkerMsg`] without
@@ -393,16 +496,50 @@ pub fn worker_msg_wire_bytes(msg: &WorkerMsg) -> usize {
         WorkerMsg::Work(i) => work_item_wire_bytes(i),
         WorkerMsg::Shutdown => 1,
         WorkerMsg::Protocol(s) => 1 + 4 + s.len(),
+        WorkerMsg::PlanPropose { plan_json, .. } => 1 + 8 + 4 + plan_json.len(),
+        WorkerMsg::PlanReady { .. } => 1 + 8 + 4 + 1,
+        WorkerMsg::PlanCommit { .. } => 1 + 8,
+        WorkerMsg::PlanAbort { reason, .. } => 1 + 8 + 4 + reason.len(),
+        WorkerMsg::KvChunk(c) => kv_chunk_wire_bytes(c),
     }
 }
 
-/// Map a pipeline [`WorkerMsg`] onto the wire (the three variants the
-/// data plane carries).
+/// Map a pipeline [`WorkerMsg`] onto the wire (the variants the data
+/// plane carries: activations, teardown, violations, and the plan-swap
+/// protocol).
 pub fn worker_msg_to_wire(msg: WorkerMsg) -> WireMsg {
     match msg {
         WorkerMsg::Work(i) => WireMsg::Work(i),
         WorkerMsg::Shutdown => WireMsg::Shutdown,
         WorkerMsg::Protocol(s) => WireMsg::Protocol(s),
+        WorkerMsg::PlanPropose { epoch, plan_json } => WireMsg::PlanPropose { epoch, plan_json },
+        WorkerMsg::PlanReady { epoch, stage, swapped } => {
+            WireMsg::PlanReady { epoch, stage, swapped }
+        }
+        WorkerMsg::PlanCommit { epoch } => WireMsg::PlanCommit { epoch },
+        WorkerMsg::PlanAbort { epoch, reason } => WireMsg::PlanAbort { epoch, reason },
+        WorkerMsg::KvChunk(c) => WireMsg::KvChunk(c),
+    }
+}
+
+/// Map a wire message back onto the data plane, if it belongs there —
+/// the single mapping both the TCP pump and the simulated transport use,
+/// so the set of data-plane messages cannot drift between transports.
+pub fn wire_to_worker_msg(msg: WireMsg) -> Option<WorkerMsg> {
+    match msg {
+        WireMsg::Work(i) => Some(WorkerMsg::Work(i)),
+        WireMsg::Shutdown => Some(WorkerMsg::Shutdown),
+        WireMsg::Protocol(s) => Some(WorkerMsg::Protocol(s)),
+        WireMsg::PlanPropose { epoch, plan_json } => {
+            Some(WorkerMsg::PlanPropose { epoch, plan_json })
+        }
+        WireMsg::PlanReady { epoch, stage, swapped } => {
+            Some(WorkerMsg::PlanReady { epoch, stage, swapped })
+        }
+        WireMsg::PlanCommit { epoch } => Some(WorkerMsg::PlanCommit { epoch }),
+        WireMsg::PlanAbort { epoch, reason } => Some(WorkerMsg::PlanAbort { epoch, reason }),
+        WireMsg::KvChunk(c) => Some(WorkerMsg::KvChunk(c)),
+        _ => None,
     }
 }
 
@@ -491,6 +628,7 @@ mod tests {
     fn item() -> WorkItem {
         WorkItem {
             step: 7,
+            epoch: 3,
             microbatch: 2,
             phase: Phase::Decode,
             sent_us: 123_456,
@@ -510,6 +648,7 @@ mod tests {
         let WireMsg::Work(got) = back else { panic!("work expected") };
         let want = item();
         assert_eq!(got.step, want.step);
+        assert_eq!(got.epoch, want.epoch);
         assert_eq!(got.phase, want.phase);
         for ((s0, m0), (s1, m1)) in want.seqs.iter().zip(&got.seqs) {
             assert_eq!(s0, s1);
@@ -552,6 +691,11 @@ mod tests {
             }),
             WireMsg::DeviceLost { device: 5 },
             WireMsg::Dropped { stage: 0 },
+            WireMsg::PlanPropose { epoch: 9, plan_json: "{\"stages\":[]}".into() },
+            WireMsg::PlanReady { epoch: 9, stage: 2, swapped: true },
+            WireMsg::PlanReady { epoch: 9, stage: 0, swapped: false },
+            WireMsg::PlanCommit { epoch: 9 },
+            WireMsg::PlanAbort { epoch: 9, reason: "stage 1: prepare timeout".into() },
         ];
         for m in msgs {
             let back = WireMsg::decode(&m.encode()).unwrap();
@@ -581,6 +725,33 @@ mod tests {
     fn unknown_tag_is_rejected() {
         assert!(matches!(WireMsg::decode(&[0xFF]), Err(WireError::Decode(_))));
         assert!(matches!(WireMsg::decode(&[]), Err(WireError::Decode(_))));
+    }
+
+    #[test]
+    fn kv_chunk_round_trips_bit_exactly() {
+        let c = KvChunkMsg {
+            epoch: 4,
+            seq: 1,
+            layer: 6,
+            chunk: 2,
+            n_chunks: 3,
+            rows_total: 37,
+            k: Matrix::from_vec(2, 2, vec![0.0, -0.0, f32::MIN_POSITIVE, -1.5]),
+            v: Matrix::from_vec(2, 2, vec![f32::MAX, 1e-30, -3.25, 42.0]),
+        };
+        let msg = WireMsg::KvChunk(c.clone());
+        let buf = msg.encode();
+        assert_eq!(buf.len(), msg.encoded_len(), "exact size accounting");
+        let WireMsg::KvChunk(got) = WireMsg::decode(&buf).unwrap() else {
+            panic!("kv chunk expected")
+        };
+        assert_eq!((got.epoch, got.seq, got.layer, got.chunk, got.n_chunks, got.rows_total),
+                   (c.epoch, c.seq, c.layer, c.chunk, c.n_chunks, c.rows_total));
+        for (a, b) in [(&got.k, &c.k), (&got.v, &c.v)] {
+            let x: Vec<u32> = a.data.iter().map(|v| v.to_bits()).collect();
+            let y: Vec<u32> = b.data.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(x, y, "bit-exact KV payload");
+        }
     }
 
     #[test]

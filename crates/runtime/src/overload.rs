@@ -33,6 +33,7 @@
 //! for end-to-end soak tests.
 
 use crate::fault::FaultPlan;
+use crate::migrate::{run_pipeline_with_swap, SwapReport, SwapRequest};
 use crate::supervisor::{run_pipeline_supervised, FoldReplanner, SupervisorConfig};
 use crate::telemetry::Telemetry;
 use llm_pq::ExecutionPlan;
@@ -445,6 +446,16 @@ pub struct PipelineEngine {
     pub outputs: HashMap<usize, Vec<usize>>,
     /// Restarts the supervisor took across all batches.
     pub restarts: usize,
+    /// Execute ladder transitions as *live* plan swaps: when the rung
+    /// changed since the previous batch, the batch starts on the old
+    /// rung's plan and hot-swaps to the new rung at the first token
+    /// boundary (two-phase protocol, KV handoff and all) instead of
+    /// cold-starting on the new plan. Falls back to a plain run when the
+    /// stage count differs (live swaps keep the pipeline shape).
+    pub live_swap: bool,
+    /// Two-phase swap reports from live rung transitions, in order.
+    pub swap_reports: Vec<SwapReport>,
+    last_rung: Option<usize>,
 }
 
 impl PipelineEngine {
@@ -463,6 +474,9 @@ impl PipelineEngine {
             batches_run: 0,
             outputs: HashMap::new(),
             restarts: 0,
+            live_swap: true,
+            swap_reports: Vec::new(),
+            last_rung: None,
         }
     }
 }
@@ -478,7 +492,7 @@ impl BatchEngine for PipelineEngine {
         (req.prompt.len() + req.n_generate) as f64 * self.kv_per_token
     }
     fn run_batch(&mut self, rung: usize, batch: &[Request]) -> Result<f64, String> {
-        let plan = self.plans.get(rung).unwrap_or(&self.plans[0]);
+        let plan = self.plans.get(rung).unwrap_or(&self.plans[0]).clone();
         let prompts: Vec<Vec<usize>> = batch.iter().map(|r| r.prompt.clone()).collect();
         let n_generate = batch.iter().map(|r| r.n_generate).max().unwrap_or(1);
         let faults = if self.fault_plans.is_empty() {
@@ -487,9 +501,42 @@ impl BatchEngine for PipelineEngine {
             Some(&self.fault_plans[self.batches_run % self.fault_plans.len()])
         };
         self.batches_run += 1;
+        let prev = self.last_rung.replace(rung);
+        let from_plan = prev
+            .filter(|&p| {
+                self.live_swap
+                    && p != rung
+                    && n_generate >= 2
+                    && self.plans.get(p).is_some_and(|fp| fp.stages.len() == plan.stages.len())
+            })
+            .map(|p| self.plans[p].clone());
+        if let Some(from) = from_plan {
+            // Ladder transition → live swap: the batch opens on the rung
+            // that was serving and commits the new rung's plan at the
+            // first token boundary via the two-phase protocol.
+            let out = run_pipeline_with_swap(
+                &self.checkpoint,
+                &from,
+                &prompts,
+                n_generate,
+                self.rounding,
+                self.seed,
+                &[SwapRequest { at_token: 1, plan }],
+                &self.supervisor,
+                faults,
+                None,
+            )
+            .map_err(|e| e.to_string())?;
+            self.restarts += out.restarts;
+            self.swap_reports.extend(out.swaps);
+            for (req, toks) in batch.iter().zip(&out.output.tokens) {
+                self.outputs.insert(req.id, toks.clone());
+            }
+            return Ok(out.output.wall_s);
+        }
         let out = run_pipeline_supervised(
             &self.checkpoint,
-            plan,
+            &plan,
             &prompts,
             n_generate,
             self.rounding,

@@ -13,7 +13,7 @@
 use super::sched::{RecvEnd, SimNet};
 use crate::clock::Clock;
 use crate::net::transport::{Transport, TransportRecvError, TransportSendError};
-use crate::net::wire::WireMsg;
+use crate::net::wire::{wire_to_worker_msg, worker_msg_to_wire, WireMsg};
 use crate::worker::WorkerMsg;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -114,22 +114,16 @@ impl SimTransport {
 }
 
 pub(crate) fn to_wire(msg: WorkerMsg) -> WireMsg {
-    match msg {
-        WorkerMsg::Work(item) => WireMsg::Work(item),
-        WorkerMsg::Shutdown => WireMsg::Shutdown,
-        WorkerMsg::Protocol(e) => WireMsg::Protocol(e),
-    }
+    worker_msg_to_wire(msg)
 }
 
 impl Transport for SimTransport {
     fn recv_msg(&self, timeout: Duration) -> Result<WorkerMsg, TransportRecvError> {
-        match self.rx.recv(timeout) {
-            Ok(WireMsg::Work(item)) => Ok(WorkerMsg::Work(item)),
-            Ok(WireMsg::Shutdown) => Ok(WorkerMsg::Shutdown),
-            Ok(WireMsg::Protocol(e)) => Ok(WorkerMsg::Protocol(e)),
+        match self.rx.recv(timeout).map(wire_to_worker_msg) {
+            Ok(Some(m)) => Ok(m),
             // A non-data message on a data connection is a protocol
             // breach; treat the stream as dead, like the TCP pump does.
-            Ok(_) => Err(TransportRecvError::Disconnected),
+            Ok(None) => Err(TransportRecvError::Disconnected),
             Err(RecvEnd::Timeout) => Err(TransportRecvError::Timeout),
             Err(RecvEnd::Disconnected) => Err(TransportRecvError::Disconnected),
         }

@@ -43,16 +43,20 @@ mod shrink;
 mod testbed;
 
 pub use conn::VirtualClock;
-pub use plan::{SimCrash, SimFaultKind, SimFaultPlan, SimLinkEvent, SimPartition};
+pub use plan::{SimCrash, SimDeviceJoin, SimFaultKind, SimFaultPlan, SimLinkEvent, SimPartition};
 pub use shrink::{seed_sweep, shrink_fault_plan, SweepFailure, SweepReport};
 pub use testbed::{wire_exchange, WireExchange, WireExchangeConfig};
 
 use crate::clock::Clock;
 use crate::engine::{
-    bits_label, checkpoint_lockstep, drive_generation, load_all_stages, AttemptSupervision, Master,
-    RuntimeError,
+    bits_label, checkpoint_lockstep, drive_generation_migrating, load_all_stages,
+    AttemptSupervision, Master, RuntimeError,
 };
 use crate::fault::Heartbeats;
+use crate::loader::load_stage_weights;
+use crate::migrate::{
+    hybrid_oracle_tokens, MigrationCoordinator, MigrationHost, SwapReport, SwapRequest,
+};
 use crate::net::wire::WireMsg;
 use crate::overload::{AdmissionConfig, AdmissionController, AdmissionStats, Request};
 use crate::telemetry::Telemetry;
@@ -96,6 +100,37 @@ pub struct SimConfig {
     /// on purpose so tests can prove the invariant checker (and the
     /// shrinker) catch real accounting bugs.
     pub inject_conservation_bug: bool,
+    /// Layer count of the simulated model (`None` = the 2-layer tiny
+    /// default). Migration scenarios use 4 so a repartition has a layer
+    /// to move.
+    #[serde(default)]
+    pub n_layers: Option<usize>,
+    /// Live plan-swap scenario driven through the two-phase protocol
+    /// while the fault schedule fires. `None` = plain serving.
+    #[serde(default)]
+    pub migration: Option<SimMigration>,
+}
+
+/// A live migration the simulated master schedules: one plan swap whose
+/// target drops every layer to Int4 and (optionally) moves one layer
+/// between stages, shipping its KV slices in the commit window. When
+/// the fault schedule contains a [`SimDeviceJoin`], the repartitioned
+/// stage is re-homed onto the joined device — the migrate-onto-new-
+/// device move.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimMigration {
+    /// Generated-token boundary of the swap (clamped to ≥ 1; token 0 is
+    /// produced by the prefill under the base plan).
+    pub at_token: usize,
+    /// Whether the target also moves a layer between stages (a KV
+    /// handoff) or only changes precision.
+    pub repartition: bool,
+}
+
+impl Default for SimMigration {
+    fn default() -> Self {
+        Self { at_token: 2, repartition: true }
+    }
 }
 
 impl Default for SimConfig {
@@ -112,6 +147,23 @@ impl Default for SimConfig {
             link_latency_us: 50,
             horizon_us: 60_000_000,
             inject_conservation_bug: false,
+            n_layers: None,
+            migration: None,
+        }
+    }
+}
+
+impl SimConfig {
+    /// The default live-migration scenario: 4 layers over the stages, a
+    /// precision-drop + repartition swap at token 2 of a 6-token run —
+    /// long enough that faults can land before, inside, and after the
+    /// prepare/commit window.
+    pub fn migration_default() -> Self {
+        Self {
+            n_layers: Some(4),
+            n_generate: 6,
+            migration: Some(SimMigration::default()),
+            ..Self::default()
         }
     }
 }
@@ -136,6 +188,9 @@ pub struct SimReport {
     pub stale_drops: u64,
     /// Frames the receivers detected as corrupt via the frame CRC.
     pub corrupt_detected: u64,
+    /// One report per resolved plan swap (live-migration runs only).
+    #[serde(default)]
+    pub swaps: Vec<SwapReport>,
     /// The deterministic event trace (same seed ⇒ byte-identical).
     pub trace: Vec<String>,
     /// Invariant violations; empty means the run upheld every invariant
@@ -201,11 +256,88 @@ fn oracle_tokens(
     prompts.iter().map(|p| qm.generate(p, n_generate, 0.0, 0).tokens).collect()
 }
 
+/// The migration target for a simulated run: every layer drops to Int4
+/// (so commit vs. abort is visible in token space against the mixed
+/// Int8/Fp16 base), optionally one layer moves across the first movable
+/// stage boundary (so commit ships KV), and — when the fault schedule
+/// has a device join — the last stage is re-homed onto the joined
+/// device.
+fn build_target_plan(
+    base: &ExecutionPlan,
+    migration: &SimMigration,
+    joins: &[plan::SimDeviceJoin],
+) -> ExecutionPlan {
+    let n_layers = base.n_layers();
+    let mut cuts: Vec<(usize, usize)> =
+        base.stages.iter().map(|s| (s.layer_start, s.layer_end)).collect();
+    if migration.repartition {
+        for i in 0..cuts.len().saturating_sub(1) {
+            if cuts[i + 1].1 - cuts[i + 1].0 >= 2 {
+                cuts[i].1 += 1;
+                cuts[i + 1].0 += 1;
+                break;
+            }
+            if cuts[i].1 - cuts[i].0 >= 2 {
+                cuts[i].1 -= 1;
+                cuts[i + 1].0 -= 1;
+                break;
+            }
+        }
+    }
+    let bits = vec![Bitwidth::Int4; n_layers];
+    let mut stages: Vec<StagePlan> = cuts
+        .iter()
+        .zip(&base.stages)
+        .map(|(&(lo, hi), s)| StagePlan {
+            device: s.device,
+            layer_start: lo,
+            layer_end: hi,
+            bits: bits[lo..hi].to_vec(),
+        })
+        .collect();
+    if let (Some(j), Some(last)) = (joins.first(), stages.last_mut()) {
+        last.device = j.device;
+    }
+    ExecutionPlan { stages, ..base.clone() }
+}
+
+/// Whether committed-migration output matches *some* legal recovery
+/// history: boundary `b` starts at the scheduled token and walks up one
+/// per pre-commit barrier death; at most one post-commit restart is
+/// visible (it re-prefills under the target model — later restarts
+/// regenerate the identical tail by greedy determinism). Every sequence
+/// must agree on the same `(b, resume)` history.
+fn migration_history_legal(
+    model: &RefModel,
+    base: &ExecutionPlan,
+    target: &ExecutionPlan,
+    at_token: usize,
+    prompts: &[Vec<usize>],
+    n_generate: usize,
+    got: &[Vec<usize>],
+) -> bool {
+    let qo = quantize_model(model, &base.bit_assignment(), Rounding::Deterministic, 0);
+    let qn = quantize_model(model, &target.bit_assignment(), Rounding::Deterministic, 0);
+    for b in at_token.max(1)..n_generate {
+        for resume in std::iter::once(None).chain((1..=n_generate).map(Some)) {
+            let legal: Vec<Vec<usize>> = prompts
+                .iter()
+                .map(|p| hybrid_oracle_tokens(&[(0, &qo), (b, &qn)], p, n_generate, resume))
+                .collect();
+            if legal == got {
+                return true;
+            }
+        }
+    }
+    false
+}
+
 struct MasterOutcome {
     result: Result<Vec<Vec<usize>>, RuntimeError>,
     restarts: usize,
     stats: AdmissionStats,
     pending: usize,
+    swaps: Vec<SwapReport>,
 }
 
 /// One timed chaos operation, pre-sorted for deterministic application.
@@ -218,12 +350,26 @@ enum ChaosOp {
 /// deterministically, and check every invariant. Same `(cfg, plan)` ⇒
 /// byte-identical [`SimReport::trace`] and verdict.
 pub fn run_sim(cfg: &SimConfig, plan: &SimFaultPlan) -> SimReport {
-    let model = RefModel::new(RefConfig::tiny());
+    let ref_cfg = cfg
+        .n_layers
+        .map_or_else(RefConfig::tiny, |l| RefConfig { n_layers: l.clamp(1, 8), ..RefConfig::tiny() });
+    let model = RefModel::new(ref_cfg);
     let n = cfg.n_stages.clamp(1, model.cfg.n_layers);
     let n_seqs = cfg.prompts.len();
     let exec = build_exec_plan(&model, n, n_seqs);
     let oracle = oracle_tokens(&model, &exec, &cfg.prompts, cfg.n_generate);
     let (stage_weights, _) = load_all_stages(&model, &exec, Rounding::Deterministic, 0);
+    // Live-migration state: the swap target, the plan currently in force
+    // (workers re-read it on every attempt — after a committed swap a
+    // restarted stage must boot on the *target* plan), and the shared
+    // host that lets workers requantize their shard on `PlanPropose`.
+    let target = cfg.migration.as_ref().map(|m| build_target_plan(&exec, m, &plan.joins));
+    let shared_plan = Arc::new(Mutex::new(exec.clone()));
+    let host = cfg.migration.as_ref().map(|_| {
+        let mut h = MigrationHost::new(model.clone(), Rounding::Deterministic, 0);
+        h.commit_timeout = Duration::from_micros(cfg.progress_timeout_us);
+        Arc::new(h)
+    });
 
     let net = Arc::new(SimNet::new(cfg.horizon_us, n));
     // Links: data 0..=n (link i feeds stage i; link n returns to the
@@ -280,7 +426,8 @@ pub fn run_sim(cfg: &SimConfig, plan: &SimFaultPlan) -> SimReport {
             let net = net.clone();
             let hb = hb.clone();
             let telemetry = telemetry.clone();
-            let (model, exec, outcome) = (&model, &exec, &outcome);
+            let (model, exec, outcome, target) = (&model, &exec, &outcome, &target);
+            let shared_plan = shared_plan.clone();
             scope.spawn(move || {
                 net.enter(master_id);
                 let _g = ActorGuard::new(&net, master_id);
@@ -310,10 +457,31 @@ pub fn run_sim(cfg: &SimConfig, plan: &SimFaultPlan) -> SimReport {
                 }
                 let mut tokens: Vec<Vec<usize>> =
                     vec![Vec::with_capacity(cfg.n_generate); prompts.len()];
+                let mut coord = target.as_ref().map(|t| {
+                    let m = cfg.migration.as_ref().expect("target implies migration config");
+                    let mut c = MigrationCoordinator::new(
+                        vec![SwapRequest { at_token: m.at_token.max(1), plan: t.clone() }],
+                        n,
+                    );
+                    c.prepare_timeout = Duration::from_micros(cfg.progress_timeout_us);
+                    c.commit_timeout = Duration::from_micros(cfg.progress_timeout_us);
+                    c
+                });
                 let mut restarts = 0usize;
                 let result = loop {
                     let attempt = restarts as u64;
                     net.trace(&format!("master: attempt {attempt} begins"));
+                    // Resolve a committed-but-unfinished swap from the
+                    // previous attempt and publish the plan now in force
+                    // so (re)started stages boot on it.
+                    if let Some(c) = coord.as_mut() {
+                        c.begin_attempt();
+                    }
+                    let cur_plan = coord
+                        .as_ref()
+                        .map_or_else(|| exec.clone(), |c| c.attempt_plan(exec).clone());
+                    *shared_plan.lock().unwrap_or_else(PoisonError::into_inner) =
+                        cur_plan.clone();
                     // A (re)connected stage counts as alive — reset the
                     // staleness baseline like the dist handshake does.
                     for s in 0..n {
@@ -351,14 +519,16 @@ pub fn run_sim(cfg: &SimConfig, plan: &SimFaultPlan) -> SimReport {
                         telemetry: Some(telemetry.clone()),
                         queue_cap: None,
                         clock: clock.clone(),
+                        migration_host: None,
                     };
-                    let res = drive_generation(
+                    let res = drive_generation_migrating(
                         &master,
-                        exec,
+                        &cur_plan,
                         &prompts,
                         &mut tokens,
                         cfg.n_generate,
                         &sup,
+                        coord.as_mut(),
                     );
                     drop(master); // closes the outbound epoch (EOF cascade)
                     match res {
@@ -387,11 +557,17 @@ pub fn run_sim(cfg: &SimConfig, plan: &SimFaultPlan) -> SimReport {
                     // Deliberate accounting bug (see SimConfig docs).
                     admission.note_served(1);
                 }
+                // Resolve a swap whose commit went out on the final
+                // attempt but whose report is still pending.
+                if let Some(c) = coord.as_mut() {
+                    c.begin_attempt();
+                }
                 let record = MasterOutcome {
                     result: result.map(|()| tokens),
                     restarts,
                     stats: admission.stats(),
                     pending: admission.pending(),
+                    swaps: coord.map(|c| c.reports).unwrap_or_default(),
                 };
                 *outcome.lock().unwrap_or_else(PoisonError::into_inner) = Some(record);
                 net.set_run_over();
@@ -401,34 +577,61 @@ pub fn run_sim(cfg: &SimConfig, plan: &SimFaultPlan) -> SimReport {
         // --- stage actors -------------------------------------------------
         for (s, &me) in stage_ids.iter().enumerate() {
             let net = net.clone();
-            let (model, exec) = (&model, &exec);
+            let model = &model;
             let weights = &stage_weights[s];
+            let shared_plan = shared_plan.clone();
+            let host = host.clone();
             scope.spawn(move || {
                 net.enter(me);
                 let _g = ActorGuard::new(&net, me);
                 let clock: Arc<dyn Clock> = Arc::new(VirtualClock::actor(net.clone(), me));
-                let ctx = WorkerCtx {
-                    stage: s,
-                    device: exec.stages[s].device,
-                    n_heads: model.cfg.n_heads,
-                    hidden: model.cfg.hidden,
-                    alibi: model.cfg.alibi,
-                    n_seqs,
-                    injector: None,
-                    heartbeats: None,
-                    sink: None,
-                    telemetry: None,
-                    bits: bits_label(&exec.stages[s]),
-                    tick: Duration::from_micros(cfg.tick_us),
-                    disconnects: None,
-                    clock,
-                };
                 let (data_in, data_out, ctl) = (s, s + 1, n + 1 + s);
                 let mut expected = 0u64;
                 loop {
                     match net.await_epoch(me, s, data_in, expected, cfg.tick_us) {
                         AwaitEpoch::Serve(e) => {
                             net.trace(&format!("stage {s}: serving attempt {e}"));
+                            // The plan in force for this attempt. Under
+                            // migration a committed swap changes it, so a
+                            // restarted stage must reload its shard; plain
+                            // runs reuse the boot-time weights unchanged.
+                            let sp = shared_plan
+                                .lock()
+                                .unwrap_or_else(PoisonError::into_inner)
+                                .stages[s]
+                                .clone();
+                            let reloaded;
+                            let serve_weights = if host.is_some() {
+                                reloaded = load_stage_weights(
+                                    model,
+                                    sp.layer_start,
+                                    &sp.bits,
+                                    Rounding::Deterministic,
+                                    0,
+                                )
+                                .0;
+                                &reloaded
+                            } else {
+                                weights
+                            };
+                            let ctx = WorkerCtx {
+                                stage: s,
+                                device: sp.device,
+                                n_heads: model.cfg.n_heads,
+                                hidden: model.cfg.hidden,
+                                alibi: model.cfg.alibi,
+                                n_seqs,
+                                injector: None,
+                                heartbeats: None,
+                                sink: None,
+                                telemetry: None,
+                                bits: bits_label(&sp),
+                                tick: Duration::from_micros(cfg.tick_us),
+                                disconnects: None,
+                                clock: clock.clone(),
+                                layer_start: sp.layer_start,
+                                migration: host.clone(),
+                            };
                             let conn = |link: usize, epoch: u64| SimConn {
                                 net: net.clone(),
                                 me,
@@ -444,7 +647,7 @@ pub fn run_sim(cfg: &SimConfig, plan: &SimFaultPlan) -> SimReport {
                             );
                             // The real production worker loop — fresh KV
                             // caches per attempt, like a restarted process.
-                            run_worker_transport(weights, &ctx, &transport);
+                            run_worker_transport(serve_weights, &ctx, &transport);
                             drop(transport);
                             expected = e + 1;
                         }
@@ -523,7 +726,7 @@ pub fn run_sim(cfg: &SimConfig, plan: &SimFaultPlan) -> SimReport {
     let mut violations = sim.violations;
     // Infallible: the master actor stores its outcome before `run_over`,
     // and the thread scope joined it above.
-    let MasterOutcome { result, restarts, stats, pending } = outcome
+    let MasterOutcome { result, restarts, stats, pending, swaps } = outcome
         .into_inner()
         .unwrap_or_else(PoisonError::into_inner)
         .expect("master actor records an outcome before exiting");
@@ -535,13 +738,46 @@ pub fn run_sim(cfg: &SimConfig, plan: &SimFaultPlan) -> SimReport {
         ));
     }
     match &result {
-        Ok(tokens) => {
-            if *tokens != oracle {
-                violations.push(
-                    "token output diverges from the fault-free sequential oracle".to_string(),
-                );
+        Ok(tokens) => match (&cfg.migration, &target) {
+            (Some(m), Some(t)) => {
+                let committed = swaps.iter().any(|r| r.committed);
+                if committed {
+                    // Every legal history is: old plan up to boundary
+                    // `b` (the scheduled token, plus one per pre-commit
+                    // barrier death), target plan after, with at most
+                    // one visible re-prefill resume point.
+                    if !migration_history_legal(
+                        &model,
+                        &exec,
+                        t,
+                        m.at_token.max(1),
+                        &cfg.prompts,
+                        cfg.n_generate,
+                        tokens,
+                    ) {
+                        violations.push(
+                            "committed migration produced tokens matching no legal swap history"
+                                .to_string(),
+                        );
+                    }
+                } else if *tokens != oracle {
+                    violations.push(
+                        "aborted migration diverges from the old-plan oracle".to_string(),
+                    );
+                }
+                if plan.is_empty() && !committed {
+                    violations
+                        .push("fault-free migration run failed to commit the swap".to_string());
+                }
             }
-        }
+            _ => {
+                if *tokens != oracle {
+                    violations.push(
+                        "token output diverges from the fault-free sequential oracle".to_string(),
+                    );
+                }
+            }
+        },
         Err(e) => {
             if plan.is_empty() {
                 violations.push(format!("fault-free run failed: {e}"));
@@ -566,6 +802,7 @@ pub fn run_sim(cfg: &SimConfig, plan: &SimFaultPlan) -> SimReport {
         pending,
         stale_drops: sim.stale_drops,
         corrupt_detected: sim.corrupt_detected,
+        swaps,
         trace: sim.trace,
         violations,
         final_virtual_us: sim.final_now_us,

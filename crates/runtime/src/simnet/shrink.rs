@@ -72,6 +72,13 @@ pub struct SweepReport {
     /// How many runs legitimately failed over (exhausted restarts under
     /// an unsurvivable schedule) — allowed, not a violation.
     pub runs_failed_over: u64,
+    /// Migration sweeps only: runs whose plan swap committed.
+    #[serde(default)]
+    pub runs_committed: u64,
+    /// Migration sweeps only: runs whose plan swap aborted back to the
+    /// old plan (a legal outcome under faults).
+    #[serde(default)]
+    pub runs_aborted: u64,
 }
 
 impl SweepReport {
@@ -83,7 +90,10 @@ impl SweepReport {
 
 /// Run `n_seeds` consecutive seeds starting at `start_seed`, one random
 /// fault schedule per seed, shrinking every failure. Deterministic:
-/// the same `(cfg, start_seed, n_seeds)` yields the same report.
+/// the same `(cfg, start_seed, n_seeds)` yields the same report. When
+/// `cfg.migration` is set, schedules are drawn with
+/// [`SimFaultPlan::random_migration`] so faults concentrate inside the
+/// prepare/commit window.
 pub fn seed_sweep(cfg: &SimConfig, start_seed: u64, n_seeds: u64) -> SweepReport {
     let mut report = SweepReport {
         start_seed,
@@ -92,9 +102,15 @@ pub fn seed_sweep(cfg: &SimConfig, start_seed: u64, n_seeds: u64) -> SweepReport
         runs_with_faults: 0,
         runs_with_restarts: 0,
         runs_failed_over: 0,
+        runs_committed: 0,
+        runs_aborted: 0,
     };
     for seed in start_seed..start_seed.saturating_add(n_seeds) {
-        let plan = SimFaultPlan::random(seed, cfg.n_stages);
+        let plan = if cfg.migration.is_some() {
+            SimFaultPlan::random_migration(seed, cfg.n_stages)
+        } else {
+            SimFaultPlan::random(seed, cfg.n_stages)
+        };
         if !plan.is_empty() {
             report.runs_with_faults += 1;
         }
@@ -104,6 +120,11 @@ pub fn seed_sweep(cfg: &SimConfig, start_seed: u64, n_seeds: u64) -> SweepReport
         }
         if run.error.is_some() {
             report.runs_failed_over += 1;
+        }
+        if run.swaps.iter().any(|s| s.committed) {
+            report.runs_committed += 1;
+        } else if !run.swaps.is_empty() {
+            report.runs_aborted += 1;
         }
         if !run.violations.is_empty() {
             let minimized = shrink_fault_plan(cfg, &plan);

@@ -264,8 +264,9 @@ pub fn run_pipeline_supervised_observed(
             telemetry: telemetry.clone(),
             queue_cap: cfg.max_queue,
             clock: clock.clone(),
+            migration_host: None,
         };
-        match run_attempt(checkpoint, &current_plan, prompts, &mut tokens, n_generate, &stage_weights, &sup, &sink)
+        match run_attempt(checkpoint, &current_plan, prompts, &mut tokens, n_generate, &stage_weights, &sup, &sink, None)
         {
             Ok(()) => {
                 let stage_metrics = sink.lock().clone();

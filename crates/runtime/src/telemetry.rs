@@ -467,6 +467,12 @@ pub struct Telemetry {
     rung_peak: AtomicU64,
     queue_pressure_milli: AtomicU64,
     queue_pressure_peak_milli: AtomicU64,
+    // Live plan-migration signals (see `crate::migrate`).
+    swap_latency: LatencyHistogram,
+    epoch: AtomicU64,
+    kv_migrated_bytes: AtomicU64,
+    swaps: AtomicU64,
+    migration_aborts: AtomicU64,
 }
 
 impl std::fmt::Debug for Telemetry {
@@ -507,6 +513,11 @@ impl Telemetry {
             rung_peak: AtomicU64::new(0),
             queue_pressure_milli: AtomicU64::new(0),
             queue_pressure_peak_milli: AtomicU64::new(0),
+            swap_latency: LatencyHistogram::new(),
+            epoch: AtomicU64::new(0),
+            kv_migrated_bytes: AtomicU64::new(0),
+            swaps: AtomicU64::new(0),
+            migration_aborts: AtomicU64::new(0),
         })
     }
 
@@ -674,6 +685,49 @@ impl Telemetry {
         self.queue_pressure_peak_milli.load(Ordering::Relaxed) as f64 / 1000.0
     }
 
+    /// Count one committed live plan swap: its commit-window latency and
+    /// the KV bytes that crossed the wire (or moved locally) for it.
+    pub fn note_swap(&self, latency_us: u64, kv_bytes: u64) {
+        self.swaps.fetch_add(1, Ordering::Relaxed);
+        self.swap_latency.record(latency_us);
+        self.kv_migrated_bytes.fetch_add(kv_bytes, Ordering::Relaxed);
+    }
+
+    /// Count one migration attempt that aborted back to the old plan.
+    pub fn note_migration_aborted(&self) {
+        self.migration_aborts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Set the active plan-epoch gauge (bumps on every committed swap).
+    pub fn set_epoch(&self, epoch: u64) {
+        self.epoch.store(epoch, Ordering::Relaxed);
+    }
+
+    /// Committed live swaps so far.
+    pub fn swaps(&self) -> u64 {
+        self.swaps.load(Ordering::Relaxed)
+    }
+
+    /// Aborted migration attempts so far.
+    pub fn migration_aborts(&self) -> u64 {
+        self.migration_aborts.load(Ordering::Relaxed)
+    }
+
+    /// Active plan epoch (0 = the plan the pipeline started on).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
+    }
+
+    /// KV bytes migrated across all committed swaps.
+    pub fn kv_migrated_bytes(&self) -> u64 {
+        self.kv_migrated_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the swap commit-window latency histogram.
+    pub fn swap_latency(&self) -> HistogramSnapshot {
+        self.swap_latency.snapshot()
+    }
+
     /// Spans grouped per trace thread, sorted by start time, with
     /// overlaps from µs rounding clamped away — the invariant the trace
     /// tests assert: per tid, spans are monotonically ordered and
@@ -772,6 +826,13 @@ impl Telemetry {
             self.queue_pressure(),
             self.queue_pressure_peak()
         ));
+        out.push_str(&format!("plan_epoch: {}\n", self.epoch()));
+        out.push_str(&format!(
+            "plan_swaps: {} (aborted {})\n",
+            self.swaps(),
+            self.migration_aborts()
+        ));
+        out.push_str(&format!("kv_migrated_bytes: {}\n", self.kv_migrated_bytes()));
         let fmt_hist = |label: &str, h: &HistogramSnapshot| -> String {
             match h.percentile(0.5) {
                 None => format!("  latency_us {label}: (no samples)\n"),
@@ -785,6 +846,7 @@ impl Telemetry {
                 ),
             }
         };
+        out.push_str(&fmt_hist("plan_swap", &self.swap_latency()));
         for (i, s) in self.stages.iter().enumerate() {
             out.push_str(&format!(
                 "stage {i}: items={} seq_forwards={} busy_s={:.4} queue_peak={} kv_entries={} restarts={}\n",

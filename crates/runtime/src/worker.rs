@@ -13,6 +13,7 @@
 
 use crate::clock::{real_clock, Clock};
 use crate::fault::{FaultAction, FaultInjector, Heartbeats};
+use crate::migrate::{kv_to_chunks, CommitDecision, KvAssembler, KvChunkMsg, MigrationHost, WorkerSwap};
 use crate::net::transport::{
     ChannelTransport, Transport, TransportRecvError, TransportSendError,
 };
@@ -67,6 +68,10 @@ pub struct WorkItem {
     /// Globally unique, monotonically increasing id the master assigns
     /// per attempt; used to deduplicate duplicated channel messages.
     pub step: u64,
+    /// Plan epoch this item belongs to. A worker that committed a live
+    /// plan swap drops items from an older epoch instead of appending
+    /// them to the wrong KV cache.
+    pub epoch: u64,
     /// Micro-batch id (for bookkeeping/tracing).
     pub microbatch: usize,
     /// Generative phase of this item (tags telemetry spans and routes
@@ -89,6 +94,42 @@ pub enum WorkerMsg {
     /// A protocol violation detected by a stage; forwarded unchanged to
     /// the master, where it surfaces as a `RuntimeError::Protocol`.
     Protocol(String),
+    /// Live-swap phase 1 (master → ring): prepare this plan as `epoch`
+    /// while the old plan keeps serving.
+    PlanPropose {
+        /// Epoch of the proposal.
+        epoch: u64,
+        /// JSON of the proposed `ExecutionPlan`.
+        plan_json: String,
+    },
+    /// Stage acknowledgement riding the ring back to the master:
+    /// prepared (`swapped == false`) or installed (`swapped == true`).
+    PlanReady {
+        /// Epoch being acknowledged.
+        epoch: u64,
+        /// Acknowledging stage.
+        stage: u32,
+        /// False = prepared, true = swapped.
+        swapped: bool,
+    },
+    /// Live-swap phase 2 (master → ring, at a token boundary): install
+    /// the prepared plan, shipping re-homed KV slices as [`KvChunk`]
+    /// frames.
+    ///
+    /// [`KvChunk`]: WorkerMsg::KvChunk
+    PlanCommit {
+        /// Epoch being committed.
+        epoch: u64,
+    },
+    /// Tear down the proposal for `epoch`; the old plan keeps serving.
+    PlanAbort {
+        /// Epoch being aborted.
+        epoch: u64,
+        /// Why the proposal died.
+        reason: String,
+    },
+    /// One migrating KV fragment (commit window only).
+    KvChunk(KvChunkMsg),
 }
 
 /// Everything a supervised stage worker needs besides its weights and
@@ -128,6 +169,13 @@ pub struct WorkerCtx {
     /// Time source for compute timing and injected sleeps: wall clock in
     /// production, virtual under [`crate::simnet`].
     pub clock: Arc<dyn Clock>,
+    /// First global layer of this stage's shard (global↔local layer
+    /// translation during KV handoff).
+    pub layer_start: usize,
+    /// Live-migration support: the checkpoint + quantizer settings this
+    /// worker prepares proposed plans from. `None` = plan-swap messages
+    /// are refused with a typed `PlanAbort`.
+    pub migration: Option<Arc<MigrationHost>>,
 }
 
 impl WorkerCtx {
@@ -148,6 +196,8 @@ impl WorkerCtx {
             tick: Duration::from_millis(5),
             disconnects: None,
             clock: real_clock(),
+            layer_start: 0,
+            migration: None,
         }
     }
 }
@@ -221,13 +271,148 @@ pub fn run_worker_ctx(
     run_worker_transport(weights, ctx, &transport)
 }
 
+/// What a committed live swap installed on a worker.
+struct SwapInstall {
+    weights: Vec<LayerWeights>,
+    layer_start: usize,
+    caches: Vec<KvCache>,
+}
+
+/// Execute the commit window on a worker: ship KV slices of layers
+/// leaving this stage downstream as bit-exact chunks, collect the
+/// slices of layers arriving here (reassembled across fragmentation,
+/// duplicates deduplicated), and hand back the target shard ready to
+/// install. `Err(())` means the attempt is lost (disconnect, abort,
+/// deadline) — the caller exits the worker and the supervisor recovers
+/// on the *target* plan, which is authoritative once commit was sent.
+fn execute_swap<T: Transport>(
+    ctx: &WorkerCtx,
+    link: &T,
+    prepared: crate::migrate::PreparedPlan,
+    cur_start: usize,
+    caches: &mut [KvCache],
+) -> Result<SwapInstall, ()> {
+    let epoch = prepared.epoch;
+    let cur_end = cur_start + caches.first().map_or(0, |c| c.k.len());
+    let (new_start, new_end) = (prepared.layer_start, prepared.layer_end);
+    let n_new = new_end - new_start;
+    let mut new_caches: Vec<KvCache> =
+        (0..ctx.n_seqs).map(|_| KvCache::new(n_new, ctx.hidden)).collect();
+    // Kept layers move locally; leaving layers ship downstream.
+    for (seq, cache) in caches.iter_mut().enumerate() {
+        for gl in cur_start..cur_end {
+            let li = gl - cur_start;
+            if (new_start..new_end).contains(&gl) {
+                let nli = gl - new_start;
+                new_caches[seq].k[nli] = std::mem::replace(&mut cache.k[li], Matrix::zeros(0, ctx.hidden));
+                new_caches[seq].v[nli] = std::mem::replace(&mut cache.v[li], Matrix::zeros(0, ctx.hidden));
+            } else {
+                for c in kv_to_chunks(epoch, seq as u32, gl as u32, &cache.k[li], &cache.v[li]) {
+                    if !send_downstream(ctx, link, WorkerMsg::KvChunk(c), true) {
+                        return Err(());
+                    }
+                }
+            }
+        }
+    }
+    // Await the slices of layers arriving at this stage.
+    let expected: Vec<(u32, u32)> = (0..ctx.n_seqs as u32)
+        .flat_map(|seq| {
+            (new_start..new_end)
+                .filter(|gl| !(cur_start..cur_end).contains(gl))
+                .map(move |gl| (seq, gl as u32))
+        })
+        .collect();
+    let mut asm = KvAssembler::new(epoch, &expected);
+    let host = ctx.migration.as_ref().expect("prepared implies a migration host");
+    let deadline = ctx.clock.now() + host.commit_timeout;
+    while !asm.done() {
+        if ctx.injector.as_ref().is_some_and(|i| i.aborted()) || ctx.clock.now() > deadline {
+            return Err(());
+        }
+        match link.recv_msg(ctx.tick) {
+            Ok(WorkerMsg::KvChunk(c)) => {
+                let mine = c.epoch == epoch
+                    && (new_start..new_end).contains(&(c.layer as usize))
+                    && !(cur_start..cur_end).contains(&(c.layer as usize));
+                if !mine {
+                    if c.epoch >= epoch {
+                        // In transit to another stage: keep it moving.
+                        if !send_downstream(ctx, link, WorkerMsg::KvChunk(c), true) {
+                            return Err(());
+                        }
+                    }
+                    continue; // stale epoch: drop
+                }
+                match asm.push(c) {
+                    Ok(Some((seq, layer, k, v))) => {
+                        let nli = layer as usize - new_start;
+                        new_caches[seq as usize].k[nli] = k;
+                        new_caches[seq as usize].v[nli] = v;
+                    }
+                    Ok(None) => {}
+                    Err(reason) => {
+                        // Corrupt handoff: typed abort toward the master,
+                        // then fail the attempt (commit already passed the
+                        // point of no return).
+                        let m = WorkerMsg::PlanAbort {
+                            epoch,
+                            reason: format!("stage {}: {reason}", ctx.stage),
+                        };
+                        send_downstream(ctx, link, m, true);
+                        return Err(());
+                    }
+                }
+            }
+            // Ring traffic keeps flowing through the commit window.
+            Ok(m @ (WorkerMsg::PlanReady { .. }
+            | WorkerMsg::PlanPropose { .. }
+            | WorkerMsg::PlanCommit { .. }
+            | WorkerMsg::Protocol(_))) => {
+                if !send_downstream(ctx, link, m, true) {
+                    return Err(());
+                }
+            }
+            Ok(m @ WorkerMsg::PlanAbort { .. }) => {
+                // Post-commit abort: propagate, then fail the attempt —
+                // KV already left this stage, rollback is impossible; the
+                // supervisor restarts on the committed plan.
+                send_downstream(ctx, link, m, true);
+                return Err(());
+            }
+            Ok(WorkerMsg::Work(_)) => {
+                // The pipeline is quiescent at the boundary; only
+                // fault-injected duplicates can appear here. Drop them —
+                // their step was already processed.
+            }
+            Ok(WorkerMsg::Shutdown) => {
+                send_downstream(ctx, link, WorkerMsg::Shutdown, false);
+                return Err(());
+            }
+            Err(TransportRecvError::Timeout) => {
+                if let Some(hb) = &ctx.heartbeats {
+                    hb.beat(ctx.stage);
+                }
+                link.beat();
+            }
+            Err(TransportRecvError::Disconnected) => return Err(()),
+        }
+    }
+    Ok(SwapInstall { weights: prepared.weights, layer_start: new_start, caches: new_caches })
+}
+
 /// The supervised stage-worker loop, generic over the transport that
 /// carries its messages — the same loop drives an in-process thread and
 /// a stage process on the other end of a TCP link.
 pub fn run_worker_transport<T: Transport>(weights: &[LayerWeights], ctx: &WorkerCtx, link: &T) {
-    let n_local = weights.len();
+    let mut n_local = weights.len();
     // Pre-allocated per-sequence caches, local layer indexing.
     let mut caches: Vec<KvCache> = (0..ctx.n_seqs).map(|_| KvCache::new(n_local, ctx.hidden)).collect();
+    // Live-swap state: `owned` overlays the borrowed startup weights
+    // once a swap installs a requantized shard.
+    let mut swap = WorkerSwap::new();
+    let mut owned: Option<Vec<LayerWeights>> = None;
+    let mut layer_start = ctx.layer_start;
     let mut metrics = StageMetrics::default();
     let mut slowdown = 1.0f64;
     let mut last_step: Option<u64> = None;
@@ -280,12 +465,125 @@ pub fn run_worker_transport<T: Transport>(weights: &[LayerWeights], ctx: &Worker
                     return;
                 }
             }
+            WorkerMsg::PlanPropose { epoch, plan_json } => {
+                // Ring rule: forward first so every stage prepares in
+                // parallel, then prepare locally.
+                let fwd = WorkerMsg::PlanPropose { epoch, plan_json: plan_json.clone() };
+                if !send_downstream(ctx, link, fwd, true) {
+                    flush(&metrics);
+                    return;
+                }
+                let reply = match &ctx.migration {
+                    Some(host) => match swap.on_propose(host, ctx.stage, epoch, &plan_json) {
+                        Ok(true) => {
+                            Some(WorkerMsg::PlanReady { epoch, stage: ctx.stage as u32, swapped: false })
+                        }
+                        Ok(false) => None, // duplicate / stale, already handled
+                        Err(reason) => Some(WorkerMsg::PlanAbort { epoch, reason }),
+                    },
+                    None => Some(WorkerMsg::PlanAbort {
+                        epoch,
+                        reason: format!("stage {}: no migration host", ctx.stage),
+                    }),
+                };
+                if let Some(m) = reply {
+                    if !send_downstream(ctx, link, m, true) {
+                        flush(&metrics);
+                        return;
+                    }
+                }
+            }
+            WorkerMsg::PlanReady { epoch, stage, swapped } => {
+                // Another stage's acknowledgement riding to the master.
+                if !send_downstream(ctx, link, WorkerMsg::PlanReady { epoch, stage, swapped }, true) {
+                    flush(&metrics);
+                    return;
+                }
+            }
+            WorkerMsg::PlanAbort { epoch, reason } => {
+                let fwd = WorkerMsg::PlanAbort { epoch, reason };
+                if !send_downstream(ctx, link, fwd, true) {
+                    flush(&metrics);
+                    return;
+                }
+                swap.on_abort(epoch); // old plan keeps serving untouched
+            }
+            WorkerMsg::PlanCommit { epoch } => {
+                // Forward first: downstream stages must enter their
+                // commit windows before this stage's KV chunks arrive.
+                if !send_downstream(ctx, link, WorkerMsg::PlanCommit { epoch }, true) {
+                    flush(&metrics);
+                    return;
+                }
+                match swap.decide_commit(epoch) {
+                    CommitDecision::Ignore => {}
+                    CommitDecision::Abort(reason) => {
+                        let m = WorkerMsg::PlanAbort {
+                            epoch,
+                            reason: format!("stage {}: {reason}", ctx.stage),
+                        };
+                        if !send_downstream(ctx, link, m, true) {
+                            flush(&metrics);
+                            return;
+                        }
+                    }
+                    CommitDecision::Swap => {
+                        let prepared = swap.prepared.take().expect("decide_commit checked");
+                        match execute_swap(ctx, link, prepared, layer_start, &mut caches) {
+                            Ok(install) => {
+                                layer_start = install.layer_start;
+                                n_local = install.weights.len();
+                                owned = Some(install.weights);
+                                caches = install.caches;
+                                swap.active_epoch = epoch;
+                                let m = WorkerMsg::PlanReady {
+                                    epoch,
+                                    stage: ctx.stage as u32,
+                                    swapped: true,
+                                };
+                                if !send_downstream(ctx, link, m, true) {
+                                    flush(&metrics);
+                                    return;
+                                }
+                            }
+                            Err(()) => {
+                                // Post-commit failure: the attempt is
+                                // lost; the supervisor restarts on the
+                                // committed plan.
+                                flush(&metrics);
+                                return;
+                            }
+                        }
+                    }
+                }
+            }
+            WorkerMsg::KvChunk(c) => {
+                // Not in a commit window here: the chunk is in transit to
+                // another stage (or a stale duplicate the master will
+                // sink) — keep it moving around the ring.
+                if !send_downstream(ctx, link, WorkerMsg::KvChunk(c), true) {
+                    flush(&metrics);
+                    return;
+                }
+            }
             WorkerMsg::Work(mut item) => {
                 let tel = ctx.telemetry.as_deref();
                 let rec = tel.and_then(|t| t.stage(ctx.stage));
                 if let Some(r) = rec {
                     r.on_dequeue();
                 }
+                if item.epoch < swap.active_epoch {
+                    // A straggler from before (or duplicate racing past) a
+                    // committed swap: its activations were computed against
+                    // the old plan — touching the new caches would corrupt
+                    // them.
+                    continue;
+                }
+                // A *higher* epoch means this worker was (re)started into a
+                // pipeline whose plan already committed swaps — the
+                // lock-step commit barrier guarantees no old-epoch work can
+                // follow it, so adopting is safe.
+                swap.active_epoch = item.epoch;
                 if last_step == Some(item.step) {
                     // Duplicated channel message: already processed.
                     continue;
@@ -344,9 +642,10 @@ pub fn run_worker_transport<T: Transport>(weights: &[LayerWeights], ctx: &Worker
                 }
                 let compute_start = tel.map(|t| t.now_us());
                 let t0 = ctx.clock.now();
+                let active: &[LayerWeights] = owned.as_deref().unwrap_or(weights);
                 for (seq, x) in item.seqs.iter_mut() {
                     let mut h = x.clone();
-                    for (l, w) in weights.iter().enumerate() {
+                    for (l, w) in active.iter().enumerate() {
                         h = forward_layer_alibi(w, ctx.n_heads, l, &h, &mut caches[*seq], ctx.alibi);
                     }
                     *x = h;
@@ -426,7 +725,7 @@ mod tests {
     use llmpq_model::{RefConfig, RefModel};
 
     fn item(step: u64, seqs: Vec<(usize, Matrix)>) -> WorkItem {
-        WorkItem { step, microbatch: 0, phase: Phase::Prefill, sent_us: 0, seqs }
+        WorkItem { step, epoch: 0, microbatch: 0, phase: Phase::Prefill, sent_us: 0, seqs }
     }
 
     /// Receive the next Work item or report the message that arrived
@@ -436,6 +735,7 @@ mod tests {
             Ok(WorkerMsg::Work(i)) => Ok(i),
             Ok(WorkerMsg::Protocol(e)) => Err(format!("protocol error: {e}")),
             Ok(WorkerMsg::Shutdown) => Err("premature shutdown".into()),
+            Ok(other) => Err(format!("unexpected message: {other:?}")),
             Err(_) => Err("disconnected".into()),
         }
     }
@@ -518,6 +818,7 @@ mod tests {
                 WorkerMsg::Work(_) => works += 1,
                 WorkerMsg::Shutdown => break,
                 WorkerMsg::Protocol(e) => panic!("unexpected protocol error: {e}"),
+                other => panic!("unexpected message: {other:?}"),
             }
         }
         assert_eq!(works, 2, "duplicate must be swallowed");
@@ -536,9 +837,7 @@ mod tests {
         run_worker(&weights, model.cfg.n_heads, model.cfg.hidden, false, 1, rx_in, tx_out);
         match rx_out.recv().unwrap() {
             WorkerMsg::Protocol(e) => assert!(e.contains("out of range"), "{e}"),
-            WorkerMsg::Work(_) | WorkerMsg::Shutdown => {
-                panic!("violation must surface as a protocol reply")
-            }
+            other => panic!("violation must surface as a protocol reply, got {other:?}"),
         }
     }
 

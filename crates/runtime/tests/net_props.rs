@@ -10,14 +10,17 @@
 //! invented, corruption always surfaces as a typed disconnect via the
 //! real CRC, and stale-epoch dials are rejected wholesale.
 
-use llmpq_model::{Matrix, Phase};
+use llm_pq::{ExecutionPlan, MicrobatchPlan, StagePlan};
+use llmpq_model::{Matrix, Phase, RefConfig, RefModel};
+use llmpq_quant::{Bitwidth, Rounding};
+use llmpq_runtime::migrate::KV_CHUNK_ROWS;
 use llmpq_runtime::net::frame::{
     crc32, encode_frame, read_frame, FrameError, FRAME_HEADER_BYTES, MAX_FRAME_BYTES,
 };
 use llmpq_runtime::net::wire::{worker_msg_to_wire, worker_msg_wire_bytes, WireMsg};
 use llmpq_runtime::{
-    wire_exchange, SimFaultKind, SimLinkEvent, SimPartition, WireExchangeConfig, WorkItem,
-    WorkerMsg,
+    kv_to_chunks, wire_exchange, CommitDecision, KvAssembler, MigrationHost, SimFaultKind,
+    SimLinkEvent, SimPartition, WireExchangeConfig, WorkItem, WorkerMsg, WorkerSwap,
 };
 use proptest::prelude::*;
 use proptest::strategy::TestRng;
@@ -61,6 +64,7 @@ impl Strategy for ArbMsg {
                     .collect();
                 WorkerMsg::Work(WorkItem {
                     step: rng.next_u64(),
+                    epoch: rng.next_u64(),
                     microbatch: rng.below(1024),
                     phase: if rng.below(2) == 0 { Phase::Prefill } else { Phase::Decode },
                     sent_us: rng.next_u64(),
@@ -364,5 +368,218 @@ proptest! {
         let b = bit % (data.len() * 8);
         flipped[b / 8] ^= 1 << (b % 8);
         prop_assert_ne!(before, crc32(&flipped));
+    }
+}
+
+// ---- live plan migration: KV handoff + epoch rules -------------------
+
+/// `splitmix64` output step, for deterministic in-test shuffles/fill.
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A finite f32 from raw bit patterns — covers negative zero,
+/// subnormals and extreme exponents, the cases where "close enough"
+/// float handling would hide a broken bit-exact handoff.
+fn finite_f32(seed: u64) -> f32 {
+    let mut s = seed;
+    loop {
+        s = mix(s.wrapping_add(0x9E37_79B9_7F4A_7C15));
+        let v = f32::from_bits(s as u32);
+        if v.is_finite() {
+            return v;
+        }
+    }
+}
+
+fn kv_matrix(rows: usize, cols: usize, salt: u64) -> Matrix {
+    Matrix::from_vec(
+        rows,
+        cols,
+        (0..rows * cols).map(|i| finite_f32(salt ^ ((i as u64) << 17))).collect(),
+    )
+}
+
+fn one_stage_plan() -> ExecutionPlan {
+    ExecutionPlan {
+        model: "tiny-2l".into(),
+        cluster: "solo".into(),
+        stages: vec![StagePlan {
+            device: 0,
+            layer_start: 0,
+            layer_end: 2,
+            bits: vec![Bitwidth::Fp16; 2],
+        }],
+        microbatch: MicrobatchPlan {
+            prefill_size: 1,
+            prefill_count: 1,
+            decode_size: 1,
+            decode_count: 1,
+        },
+        scheme: "LLM-PQ".into(),
+        kv_bits: 16,
+    }
+}
+
+fn bit_patterns(m: &Matrix) -> Vec<u32> {
+    m.data.iter().map(|f| f.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A `(seq, layer)` KV slice fragments into chunks, every fragment
+    /// crosses the real wire codec and frame CRC, the fragments arrive
+    /// shuffled with mid-stream duplicates, and the assembler rebuilds
+    /// K and V with identical IEEE-754 bit patterns.
+    #[test]
+    fn kv_slices_survive_fragmentation_shuffling_and_duplication(
+        rows in 0usize..40,
+        cols in 1usize..6,
+        epoch in 1u64..8,
+        seq in 0u32..4,
+        layer in 0u32..8,
+        order_seed in 0u64..u64::MAX,
+    ) {
+        let k = kv_matrix(rows, cols, order_seed ^ 1);
+        let v = kv_matrix(rows, cols, order_seed ^ 2);
+        let chunks = kv_to_chunks(epoch, seq, layer, &k, &v);
+        prop_assert_eq!(chunks.len(), rows.div_ceil(KV_CHUNK_ROWS).max(1));
+
+        let mut wired = Vec::with_capacity(chunks.len());
+        for c in &chunks {
+            let payload = worker_msg_to_wire(WorkerMsg::KvChunk(c.clone())).encode();
+            let framed = encode_frame(&payload);
+            let back = read_frame(&mut framed.as_slice()).expect("well-formed frame");
+            match WireMsg::decode(&back).expect("well-formed payload") {
+                WireMsg::KvChunk(got) => {
+                    prop_assert_eq!(&got, c, "codec must be bit-exact");
+                    wired.push(got);
+                }
+                other => prop_assert!(false, "decoded to {other:?}"),
+            }
+        }
+
+        // Deterministic shuffle, then duplicate fragments both *before*
+        // and *after* the last one lands: duplicates must be absorbed
+        // while the slice is incomplete AND once it has assembled (a
+        // late transport duplicate must never re-open a completed slice
+        // and hand the caller the same KV rows twice).
+        wired.sort_by_key(|c| mix(order_seed ^ u64::from(c.chunk)));
+        let last = wired.pop().expect("at least one fragment");
+        let dups = wired.clone();
+        let mut feed = wired;
+        feed.extend(dups);
+        feed.push(last.clone());
+        feed.push(last);
+
+        let mut asm = KvAssembler::new(epoch, &[(seq, layer)]);
+        let mut done = None;
+        for c in feed {
+            if let Some(slice) = asm.push(c)? {
+                prop_assert!(done.is_none(), "slice completed twice");
+                done = Some(slice);
+            }
+        }
+        prop_assert!(asm.done(), "assembler must report completion");
+        let (s, l, gk, gv) = done.expect("slice completes");
+        prop_assert_eq!((s, l), (seq, layer));
+        prop_assert_eq!((gk.rows, gk.cols), (k.rows, k.cols));
+        prop_assert_eq!(bit_patterns(&gk), bit_patterns(&k));
+        prop_assert_eq!(bit_patterns(&gv), bit_patterns(&v));
+    }
+
+    /// Any single-byte corruption of a framed KV chunk surfaces as the
+    /// typed CRC failure that aborts the migration — never as silently
+    /// wrong cache rows.
+    #[test]
+    fn kv_chunk_corruption_is_detected_by_the_frame_crc(
+        rows in 1usize..40,
+        cols in 1usize..6,
+        at in 0usize..1 << 20,
+        flip in 1u8..=255,
+        salt in 0u64..u64::MAX,
+    ) {
+        let k = kv_matrix(rows, cols, salt ^ 1);
+        let v = kv_matrix(rows, cols, salt ^ 2);
+        let chunks = kv_to_chunks(3, 0, 1, &k, &v);
+        let c = chunks[at % chunks.len()].clone();
+        let payload = worker_msg_to_wire(WorkerMsg::KvChunk(c)).encode();
+        let mut framed = encode_frame(&payload);
+        let i = FRAME_HEADER_BYTES + at % payload.len();
+        framed[i] ^= flip;
+        match read_frame(&mut framed.as_slice()) {
+            Err(FrameError::ChecksumMismatch { .. }) => {}
+            other => prop_assert!(false, "corrupt KV chunk passed the CRC: {other:?}"),
+        }
+    }
+
+    /// A chunk from a different epoch is a typed assembler error, not a
+    /// silently merged cache row.
+    #[test]
+    fn cross_epoch_kv_chunks_are_typed_errors(
+        epoch in 0u64..6,
+        other in 0u64..6,
+        rows in 0usize..20,
+        salt in 0u64..u64::MAX,
+    ) {
+        if epoch == other {
+            return Ok(()); // only cross-epoch deliveries are interesting
+        }
+        let k = kv_matrix(rows, 3, salt ^ 1);
+        let v = kv_matrix(rows, 3, salt ^ 2);
+        let mut asm = KvAssembler::new(epoch, &[(0, 0)]);
+        let err = asm.push(kv_to_chunks(other, 0, 0, &k, &v).remove(0)).unwrap_err();
+        prop_assert!(err.contains("epoch"), "untyped rejection: {err}");
+        prop_assert!(!asm.done());
+    }
+
+    /// Epoch rule with nothing prepared: a `PlanCommit` at or below the
+    /// active epoch is a droppable duplicate; above it, a typed abort.
+    /// It must never swap.
+    #[test]
+    fn stale_epoch_commits_never_swap(active in 0u64..6, commit in 0u64..10) {
+        let swap = WorkerSwap { active_epoch: active, prepared: None };
+        match swap.decide_commit(commit) {
+            CommitDecision::Ignore => prop_assert!(commit <= active),
+            CommitDecision::Abort(r) => {
+                prop_assert!(commit > active);
+                prop_assert!(r.contains("unprepared"), "reason must be typed: {r}");
+            }
+            CommitDecision::Swap => {
+                prop_assert!(false, "commit for epoch {commit} swapped with nothing prepared")
+            }
+        }
+    }
+
+    /// With a genuinely prepared proposal (through the real requantize
+    /// path), only the prepared epoch commits: stale commits are
+    /// ignored, mismatched future commits abort.
+    #[test]
+    fn commits_only_swap_the_prepared_epoch(prepared_epoch in 1u64..6, commit in 0u64..10) {
+        let host = MigrationHost::new(
+            RefModel::new(RefConfig::scaled_like(2, 7)),
+            Rounding::Deterministic,
+            0,
+        );
+        let mut swap = WorkerSwap::new();
+        let ready = swap
+            .on_propose(&host, 0, prepared_epoch, &one_stage_plan().to_json())
+            .expect("well-formed proposal prepares");
+        prop_assert!(ready, "first proposal must answer PlanReady");
+        match swap.decide_commit(commit) {
+            CommitDecision::Swap => prop_assert_eq!(commit, prepared_epoch),
+            CommitDecision::Ignore => prop_assert_eq!(commit, 0),
+            CommitDecision::Abort(r) => {
+                prop_assert!(commit > 0 && commit != prepared_epoch, "spurious abort: {r}");
+            }
+        }
+        // Re-delivery of the same proposal is idempotent, not a re-prepare.
+        let again = swap
+            .on_propose(&host, 0, prepared_epoch, &one_stage_plan().to_json())
+            .expect("duplicate proposal is benign");
+        prop_assert!(!again, "duplicate proposal must not re-answer PlanReady");
     }
 }

@@ -203,3 +203,73 @@ fn pipeline_engine_kv_demand_tracks_cost_model() {
     let want = spec.kv_bytes_per_layer(1, 1, 16.0) * spec.n_layers as f64 * 10.0;
     assert!((engine.kv_demand(&req) - want).abs() < 1e-6);
 }
+
+/// Satellite of the live-migration PR: ladder transitions execute as
+/// *live* plan swaps (two-phase protocol inside `run_batch`) and the
+/// admission conservation invariant still holds across the epoch
+/// boundary — no request is counted twice or lost because its batch
+/// changed plans mid-decode.
+#[test]
+fn rung_transitions_run_as_live_swaps_and_conserve() {
+    let spec = tiny_spec();
+    let checkpoint = RefModel::new(RefConfig::scaled_like(spec.n_layers, 17));
+    let mk_plan = |bits: llmpq_quant::Bitwidth| ExecutionPlan {
+        model: "tiny-4l".into(),
+        cluster: "duo".into(),
+        stages: vec![
+            llm_pq::StagePlan { device: 0, layer_start: 0, layer_end: 2, bits: vec![bits; 2] },
+            llm_pq::StagePlan { device: 1, layer_start: 2, layer_end: 4, bits: vec![bits; 2] },
+        ],
+        microbatch: llmpq_workload::MicrobatchPlan {
+            prefill_size: 1,
+            prefill_count: 2,
+            decode_size: 2,
+            decode_count: 1,
+        },
+        scheme: "LLM-PQ".into(),
+        kv_bits: 16,
+    };
+    let plans = vec![mk_plan(llmpq_quant::Bitwidth::Fp16), mk_plan(llmpq_quant::Bitwidth::Int4)];
+    let mut engine = PipelineEngine::new(checkpoint, plans, fast_supervisor());
+    engine.max_batch = 2;
+    assert!(engine.live_swap, "live swaps are the default transition path");
+
+    let n = 10usize;
+    let n_generate = 4usize;
+    // A burst: everything arrives inside ~10 ms against a tight queue,
+    // so pressure crosses `high` after the first batch.
+    let requests = poisson_requests(n, 1000.0, 4, n_generate, 31).expect("arrivals");
+    let cfg = ServeConfig {
+        admission: AdmissionConfig {
+            policy: AdmissionPolicy::Reject,
+            max_queue: 5,
+            default_deadline_s: None,
+            queue_timeout_s: 5.0,
+        },
+        kv_guard: None,
+        // dwell 1: one high-pressure sample climbs the ladder, so the
+        // next batch starts on rung 0's plan and live-swaps to rung 1's.
+        degradation: Some(DegradationConfig { high: 0.5, low: 0.05, dwell: 1 }),
+        max_inflight: 1,
+        max_retries: 1,
+    };
+    let rep = serve(&mut engine, &requests, &cfg, None);
+
+    assert!(rep.stats.conserves(0), "conservation across live swaps: {:?}", rep.stats);
+    assert_eq!(rep.stats.offered, n);
+    assert!(!rep.transitions.is_empty(), "the ladder must have moved");
+    assert!(
+        !engine.swap_reports.is_empty(),
+        "rung transitions must have gone through the live-swap path"
+    );
+    assert!(
+        engine.swap_reports.iter().all(|r| r.committed),
+        "fault-free swaps commit: {:?}",
+        engine.swap_reports
+    );
+    // Served requests are whole: every one has its full token budget.
+    assert_eq!(engine.outputs.len(), rep.stats.served);
+    for toks in engine.outputs.values() {
+        assert_eq!(toks.len(), n_generate);
+    }
+}
