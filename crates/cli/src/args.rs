@@ -50,6 +50,9 @@ const SWITCHES: &[&str] = &[
     "inject-bug",
     "trace",
     "migrations",
+    "compare-static",
+    "keep-outputs",
+    "degrade",
 ];
 
 impl Args {

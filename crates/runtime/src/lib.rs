@@ -35,10 +35,13 @@
 pub mod clock;
 pub mod engine;
 pub mod fault;
+pub mod http;
+pub mod kvpool;
 pub mod loader;
 pub mod migrate;
 pub mod net;
 pub mod overload;
+pub mod serve;
 pub mod simnet;
 pub mod supervisor;
 pub mod telemetry;
@@ -49,6 +52,11 @@ pub use engine::{
     run_pipeline, run_pipeline_observed, run_pipeline_recoverable, RuntimeError, RuntimeOutput,
 };
 pub use fault::{FaultAction, FaultEvent, FaultInjector, FaultKind, FaultPlan, Heartbeats};
+pub use http::{
+    parse_completion, read_request, run_http_server, CompletionRequest, HttpLimits, HttpParseError,
+    HttpRequest, HttpServer, HttpServerConfig, HttpServerStats, ServeHandle, SubmitOutcome,
+};
+pub use kvpool::{KvPool, KvPoolConfig, KvPoolError, KvPoolStats, PagedKvStore};
 pub use loader::{load_stage_weights, LoaderStats, OnTheFlyQuantizer};
 pub use migrate::{
     hybrid_oracle_tokens, kv_to_chunks, run_pipeline_with_swap, swap_oracle_tokens,
@@ -65,6 +73,11 @@ pub use overload::{
     poisson_requests, serve, AdmissionConfig, AdmissionController, AdmissionPolicy, AdmissionStats,
     BatchEngine, DegradationConfig, DegradationController, KvGuardConfig, PipelineEngine, Request,
     RungTransition, ServeConfig, ServeReport, SimEngine,
+};
+pub use serve::{
+    serve_continuous, serve_static, sim_oracle_tokens, ContinuousConfig, ContinuousReport,
+    ContinuousScheduler, FinishedRequest, IterCost, LatencySummary, ModelStepEngine, PhasePolicy,
+    SimStepEngine, StepEngine, StepError,
 };
 pub use simnet::{
     run_sim, seed_sweep, shrink_fault_plan, wire_exchange, SimConfig, SimCrash, SimDeviceJoin,

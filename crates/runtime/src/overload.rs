@@ -147,12 +147,13 @@ pub struct AdmissionController {
     cfg: AdmissionConfig,
     queue: VecDeque<Request>,
     stats: AdmissionStats,
+    expired_ids: Vec<usize>,
 }
 
 impl AdmissionController {
     /// New controller with an empty queue.
     pub fn new(cfg: AdmissionConfig) -> Self {
-        Self { cfg, queue: VecDeque::new(), stats: AdmissionStats::default() }
+        Self { cfg, queue: VecDeque::new(), stats: AdmissionStats::default(), expired_ids: Vec::new() }
     }
 
     /// Offer one arrival. Returns `true` if the request was admitted to
@@ -182,19 +183,47 @@ impl AdmissionController {
     /// (passed deadline / queue timeout). Returns how many expired.
     pub fn reap(&mut self, now: f64) -> usize {
         let before = self.queue.len();
+        let ids = &mut self.expired_ids;
         match self.cfg.policy {
             AdmissionPolicy::Reject => {}
             AdmissionPolicy::DeadlineShed => {
-                self.queue.retain(|r| !r.deadline_s.is_some_and(|d| now >= d));
+                self.queue.retain(|r| {
+                    let keep = !r.deadline_s.is_some_and(|d| now >= d);
+                    if !keep {
+                        ids.push(r.id);
+                    }
+                    keep
+                });
             }
             AdmissionPolicy::QueueTimeout => {
                 let t = self.cfg.queue_timeout_s;
-                self.queue.retain(|r| now - r.arrival_s <= t);
+                self.queue.retain(|r| {
+                    let keep = now - r.arrival_s <= t;
+                    if !keep {
+                        ids.push(r.id);
+                    }
+                    keep
+                });
             }
         }
         let expired = before - self.queue.len();
         self.stats.expired += expired;
         expired
+    }
+
+    /// Ids of requests dropped by [`Self::reap`] since the last drain —
+    /// the serving front door uses these to answer the waiting HTTP
+    /// handlers (504) instead of leaving them hanging.
+    pub fn drain_expired_ids(&mut self) -> Vec<usize> {
+        std::mem::take(&mut self.expired_ids)
+    }
+
+    /// Count a request that was refused *before* entering the queue
+    /// (infeasible: longer than the KV pool or the model context can
+    /// ever hold). Keeps the conservation books: offered + shed.
+    pub fn refuse(&mut self) {
+        self.stats.offered += 1;
+        self.stats.shed += 1;
     }
 
     /// Pop the head of the queue.

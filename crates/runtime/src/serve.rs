@@ -1,0 +1,1689 @@
+//! Iteration-level continuous batching (Orca/vLLM-style) — the serving
+//! engine behind `llmpq-serve`.
+//!
+//! The offline runtime executes one fixed batch per pipeline run; a
+//! server admits a *stream*. This module replaces run-at-a-time
+//! execution with an **iteration loop**: every iteration the scheduler
+//! re-forms the micro-batch from whatever is in flight, so requests
+//! join the moment KV blocks are free and leave the moment their last
+//! token is sampled — no waiting for stragglers, no padding to the
+//! longest sequence.
+//!
+//! Three pieces:
+//!
+//! * [`StepEngine`] — the per-iteration execution backend. Two
+//!   implementations: [`SimStepEngine`] (analytic cost, oracle tokens;
+//!   drives 10k-concurrent virtual-clock sweeps) and
+//!   [`ModelStepEngine`] (the real quantized reference transformer over
+//!   a [`PagedKvStore`], bit-identical to the offline engine).
+//! * [`ContinuousScheduler`] — join/leave rules, the **phase-aware
+//!   interleaver** ([`PhasePolicy`]) that packs prefill chunks and
+//!   decode steps into one token budget, KV-pressure preemption, and
+//!   the wiring into the existing admission ([`AdmissionController`])
+//!   and degradation ([`DegradationController`]) machinery.
+//! * Drivers: [`serve_continuous`] replays a request trace on the
+//!   virtual clock; [`serve_static`] runs the same trace, same engine,
+//!   same admission under *static* batching (accumulate, pad, run to
+//!   the longest) — the baseline `ablation_serving` compares against.
+//!   The live HTTP front door ([`crate::http`]) drives the scheduler
+//!   from a real clock instead.
+//!
+//! Phase-awareness is the paper's core asymmetry made a *scheduling*
+//! decision: prefill is throughput-bound and batches beautifully,
+//! decode is latency-bound and cheap per token. [`PhasePolicy`] decides
+//! which side of that trade each iteration's budget favors.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::kvpool::{KvPool, KvPoolConfig, PagedKvStore};
+use crate::overload::{
+    AdmissionConfig, AdmissionController, AdmissionStats, DegradationConfig,
+    DegradationController, Request,
+};
+use crate::telemetry::Telemetry;
+use llmpq_model::RefModel;
+use llmpq_quant::{quantize_model, BitAssignment, Rounding};
+use serde::{Deserialize, Serialize};
+
+/// Why an engine step failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StepError {
+    /// KV pool out of blocks. The scheduler pre-reserves, so reaching
+    /// this from [`ContinuousScheduler::step`] indicates a bookkeeping
+    /// bug — it is surfaced, never swallowed.
+    KvExhausted { needed: usize, free: usize },
+    /// Anything else (unknown sequence, model error).
+    Engine(String),
+}
+
+impl std::fmt::Display for StepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StepError::KvExhausted { needed, free } => {
+                write!(f, "kv exhausted mid-iteration: need {needed} blocks, {free} free")
+            }
+            StepError::Engine(e) => write!(f, "engine: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StepError {}
+
+/// Affine per-iteration cost at one degradation rung:
+/// `base + per_prefill_token·p + per_decode_token·d` virtual seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IterCost {
+    /// Fixed launch overhead per iteration.
+    pub base_s: f64,
+    /// Marginal cost of one prefill token.
+    pub per_prefill_token_s: f64,
+    /// Marginal cost of one decode token (attention over the cache
+    /// dominates, so decode tokens are the expensive ones).
+    pub per_decode_token_s: f64,
+}
+
+impl IterCost {
+    /// Cost of an iteration with `p` prefill and `d` decode tokens.
+    pub fn cost(&self, p: usize, d: usize) -> f64 {
+        self.base_s + self.per_prefill_token_s * p as f64 + self.per_decode_token_s * d as f64
+    }
+
+    /// A degradation ladder of `n` rungs: rung 0 is full precision,
+    /// each further rung ~20% cheaper (lower bits → faster GEMMs).
+    pub fn default_ladder(n: usize) -> Vec<IterCost> {
+        (0..n.max(1))
+            .map(|r| {
+                let f = 0.8f64.powi(r as i32);
+                IterCost {
+                    base_s: 2e-3,
+                    per_prefill_token_s: 2e-5 * f,
+                    per_decode_token_s: 1.2e-4 * f,
+                }
+            })
+            .collect()
+    }
+}
+
+/// The per-iteration execution backend the scheduler drives.
+///
+/// Object-safe: the CLI boxes one of the two implementations behind
+/// `Box<dyn StepEngine + Send>`.
+pub trait StepEngine {
+    /// The KV allocator — the scheduler reads it for join/preempt
+    /// decisions.
+    fn pool(&self) -> &KvPool;
+    /// Register a sequence (owns no KV yet).
+    fn register(&mut self, seq: u64) -> Result<(), StepError>;
+    /// Run a prefill chunk (`tokens` at absolute positions starting at
+    /// `pos0`). When `is_last`, sample and return the first generated
+    /// token.
+    fn prefill_chunk(
+        &mut self,
+        seq: u64,
+        tokens: &[usize],
+        pos0: usize,
+        is_last: bool,
+    ) -> Result<Option<usize>, StepError>;
+    /// One decode step: feed `last` (the previously sampled token, at
+    /// absolute position `pos`) and sample the next.
+    fn decode_one(&mut self, seq: u64, last: usize, pos: usize) -> Result<usize, StepError>;
+    /// Drop a sequence and free its KV (finish or preempt).
+    fn release(&mut self, seq: u64);
+    /// Virtual seconds one iteration costs at `rung`.
+    fn iteration_cost_s(&self, rung: usize, prefill_tokens: usize, decode_tokens: usize) -> f64;
+    /// Rungs available to the degradation controller.
+    fn n_rungs(&self) -> usize {
+        1
+    }
+    /// Hot precision swap (the live-migration analog on the serving
+    /// path); returns the stall in virtual seconds.
+    fn set_rung(&mut self, _rung: usize) -> f64 {
+        0.0
+    }
+    /// Current rung.
+    fn rung(&self) -> usize {
+        0
+    }
+    /// Longest prompt+generation the backend can hold (model context).
+    fn max_seq(&self) -> usize {
+        usize::MAX
+    }
+}
+
+impl<T: StepEngine + ?Sized> StepEngine for Box<T> {
+    fn pool(&self) -> &KvPool {
+        (**self).pool()
+    }
+    fn register(&mut self, seq: u64) -> Result<(), StepError> {
+        (**self).register(seq)
+    }
+    fn prefill_chunk(
+        &mut self,
+        seq: u64,
+        tokens: &[usize],
+        pos0: usize,
+        is_last: bool,
+    ) -> Result<Option<usize>, StepError> {
+        (**self).prefill_chunk(seq, tokens, pos0, is_last)
+    }
+    fn decode_one(&mut self, seq: u64, last: usize, pos: usize) -> Result<usize, StepError> {
+        (**self).decode_one(seq, last, pos)
+    }
+    fn release(&mut self, seq: u64) {
+        (**self).release(seq)
+    }
+    fn iteration_cost_s(&self, rung: usize, p: usize, d: usize) -> f64 {
+        (**self).iteration_cost_s(rung, p, d)
+    }
+    fn n_rungs(&self) -> usize {
+        (**self).n_rungs()
+    }
+    fn set_rung(&mut self, rung: usize) -> f64 {
+        (**self).set_rung(rung)
+    }
+    fn rung(&self) -> usize {
+        (**self).rung()
+    }
+    fn max_seq(&self) -> usize {
+        (**self).max_seq()
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+fn absorb(h: u64, tok: usize, pos: usize) -> u64 {
+    splitmix64(h ^ (tok as u64).wrapping_mul(0x9E3779B97F4A7C15) ^ (((pos as u64) << 1) | 1))
+}
+
+fn emit(h: u64, vocab: usize) -> usize {
+    ((h >> 17) % vocab.max(1) as u64) as usize
+}
+
+/// The closed-form token oracle [`SimStepEngine`] implements: what the
+/// simulated model generates for `prompt`, independent of batch
+/// composition, preemption, or chunking. Sweeps recompute this to check
+/// the scheduler never mixes sequences up.
+pub fn sim_oracle_tokens(seed: u64, vocab: usize, prompt: &[usize], n_generate: usize) -> Vec<usize> {
+    let mut h = seed;
+    for (i, &t) in prompt.iter().enumerate() {
+        h = absorb(h, t, i);
+    }
+    let mut out = Vec::with_capacity(n_generate);
+    if n_generate == 0 {
+        return out;
+    }
+    out.push(emit(h, vocab));
+    for k in 1..n_generate {
+        h = absorb(h, out[k - 1], prompt.len() + k - 1);
+        out.push(emit(h, vocab));
+    }
+    out
+}
+
+#[derive(Debug, Clone, Default)]
+struct SimSeq {
+    hash: u64,
+    len: usize,
+}
+
+/// Analytic-cost engine: KV accounting through a real [`KvPool`], token
+/// generation by the [`sim_oracle_tokens`] hash chain, per-rung affine
+/// iteration costs. Fast enough for 10k+ concurrent requests under the
+/// virtual clock.
+#[derive(Debug, Clone)]
+pub struct SimStepEngine {
+    pool: KvPool,
+    costs: Vec<IterCost>,
+    vocab: usize,
+    seed: u64,
+    rung: usize,
+    swap_stall_s: f64,
+    max_seq: usize,
+    seqs: HashMap<u64, SimSeq>,
+}
+
+impl SimStepEngine {
+    /// Engine over `pool_cfg` blocks with the given per-rung costs.
+    pub fn new(pool_cfg: KvPoolConfig, costs: Vec<IterCost>, vocab: usize, seed: u64) -> Self {
+        assert!(!costs.is_empty(), "need at least one rung");
+        Self {
+            pool: KvPool::new(pool_cfg),
+            costs,
+            vocab: vocab.max(1),
+            seed,
+            rung: 0,
+            swap_stall_s: 5e-3,
+            max_seq: usize::MAX,
+            seqs: HashMap::new(),
+        }
+    }
+
+    /// Cap sequence length (prompt + generation) like a model context.
+    pub fn with_max_seq(mut self, max_seq: usize) -> Self {
+        self.max_seq = max_seq;
+        self
+    }
+
+    /// Override the virtual stall charged per precision swap.
+    pub fn with_swap_stall(mut self, s: f64) -> Self {
+        self.swap_stall_s = s;
+        self
+    }
+}
+
+impl StepEngine for SimStepEngine {
+    fn pool(&self) -> &KvPool {
+        &self.pool
+    }
+
+    fn register(&mut self, seq: u64) -> Result<(), StepError> {
+        self.pool.alloc(seq, 0).map_err(|e| StepError::Engine(e.to_string()))?;
+        self.seqs.insert(seq, SimSeq { hash: self.seed, len: 0 });
+        Ok(())
+    }
+
+    fn prefill_chunk(
+        &mut self,
+        seq: u64,
+        tokens: &[usize],
+        pos0: usize,
+        is_last: bool,
+    ) -> Result<Option<usize>, StepError> {
+        match self.pool.extend(seq, tokens.len()) {
+            Err(crate::kvpool::KvPoolError::Exhausted { needed, free }) => {
+                return Err(StepError::KvExhausted { needed, free })
+            }
+            Err(e) => return Err(StepError::Engine(e.to_string())),
+            Ok(()) => {}
+        }
+        let s = self.seqs.get_mut(&seq).ok_or_else(|| StepError::Engine(format!("seq {seq}")))?;
+        debug_assert_eq!(s.len, pos0, "prefill chunks must be contiguous");
+        for (i, &t) in tokens.iter().enumerate() {
+            s.hash = absorb(s.hash, t, pos0 + i);
+        }
+        s.len += tokens.len();
+        Ok(if is_last { Some(emit(s.hash, self.vocab)) } else { None })
+    }
+
+    fn decode_one(&mut self, seq: u64, last: usize, pos: usize) -> Result<usize, StepError> {
+        match self.pool.extend(seq, 1) {
+            Err(crate::kvpool::KvPoolError::Exhausted { needed, free }) => {
+                return Err(StepError::KvExhausted { needed, free })
+            }
+            Err(e) => return Err(StepError::Engine(e.to_string())),
+            Ok(()) => {}
+        }
+        let s = self.seqs.get_mut(&seq).ok_or_else(|| StepError::Engine(format!("seq {seq}")))?;
+        s.hash = absorb(s.hash, last, pos);
+        s.len += 1;
+        Ok(emit(s.hash, self.vocab))
+    }
+
+    fn release(&mut self, seq: u64) {
+        self.pool.free(seq);
+        self.seqs.remove(&seq);
+    }
+
+    fn iteration_cost_s(&self, rung: usize, p: usize, d: usize) -> f64 {
+        self.costs[rung.min(self.costs.len() - 1)].cost(p, d)
+    }
+
+    fn n_rungs(&self) -> usize {
+        self.costs.len()
+    }
+
+    fn set_rung(&mut self, rung: usize) -> f64 {
+        self.rung = rung.min(self.costs.len() - 1);
+        self.swap_stall_s
+    }
+
+    fn rung(&self) -> usize {
+        self.rung
+    }
+
+    fn max_seq(&self) -> usize {
+        self.max_seq
+    }
+}
+
+/// The real thing: the quantized reference transformer executing over a
+/// [`PagedKvStore`]. Greedy decoding is per-sequence independent, so
+/// tokens are **bit-identical** to the offline
+/// `quantize_model(...).generate(prompt, n, 0.0, 0)` path no matter how
+/// the scheduler batches, chunks, or preempts — `tests/serving.rs`
+/// asserts exactly that.
+pub struct ModelStepEngine {
+    models: Vec<RefModel>,
+    store: PagedKvStore,
+    costs: Vec<IterCost>,
+    rung: usize,
+    swaps: u64,
+}
+
+impl ModelStepEngine {
+    /// Quantize `checkpoint` once per rung of `ladder` (rung 0 first,
+    /// served until a swap) over a paged store of `pool_cfg` blocks.
+    pub fn new(
+        checkpoint: &RefModel,
+        ladder: &[BitAssignment],
+        rounding: Rounding,
+        seed: u64,
+        pool_cfg: KvPoolConfig,
+    ) -> Result<Self, String> {
+        if ladder.is_empty() {
+            return Err("need at least one rung in the bit ladder".into());
+        }
+        let models: Vec<RefModel> =
+            ladder.iter().map(|a| quantize_model(checkpoint, a, rounding, seed)).collect();
+        let cfg = &models[0].cfg;
+        let store = PagedKvStore::new(pool_cfg, cfg.n_layers, cfg.hidden);
+        let costs = IterCost::default_ladder(ladder.len());
+        Ok(Self { models, store, costs, rung: 0, swaps: 0 })
+    }
+
+    /// The paged store (tests inspect block usage).
+    pub fn store(&self) -> &PagedKvStore {
+        &self.store
+    }
+
+    /// Precision swaps performed.
+    pub fn swaps(&self) -> u64 {
+        self.swaps
+    }
+
+    fn model(&self) -> &RefModel {
+        &self.models[self.rung]
+    }
+
+    fn argmax(logits: &[f32]) -> usize {
+        // Same expression as `sample_from_logits` at temperature 0, so
+        // tie-breaking (last max wins under `max_by`) matches `generate`
+        // bit-for-bit without a dependency on the rng machinery.
+        logits
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap()
+    }
+}
+
+impl StepEngine for ModelStepEngine {
+    fn pool(&self) -> &KvPool {
+        self.store.pool()
+    }
+
+    fn register(&mut self, seq: u64) -> Result<(), StepError> {
+        self.store.register(seq).map_err(|e| StepError::Engine(e.to_string()))
+    }
+
+    fn prefill_chunk(
+        &mut self,
+        seq: u64,
+        tokens: &[usize],
+        pos0: usize,
+        is_last: bool,
+    ) -> Result<Option<usize>, StepError> {
+        let mut cache = self.store.gather(seq).map_err(|e| StepError::Engine(e.to_string()))?;
+        debug_assert_eq!(cache.len(), pos0, "prefill chunks must be contiguous");
+        let model = &self.models[self.rung];
+        let mut x = model.embed_tokens(tokens, pos0);
+        for l in 0..model.cfg.n_layers {
+            x = model.forward_layer(l, &x, &mut cache);
+        }
+        match self.store.append(seq, &cache, pos0) {
+            Err(crate::kvpool::KvPoolError::Exhausted { needed, free }) => {
+                return Err(StepError::KvExhausted { needed, free })
+            }
+            Err(e) => return Err(StepError::Engine(e.to_string())),
+            Ok(()) => {}
+        }
+        if !is_last {
+            return Ok(None);
+        }
+        let logits = self.model().project_logits(&x);
+        Ok(Some(Self::argmax(logits.row(logits.rows - 1))))
+    }
+
+    fn decode_one(&mut self, seq: u64, last: usize, pos: usize) -> Result<usize, StepError> {
+        let mut cache = self.store.gather(seq).map_err(|e| StepError::Engine(e.to_string()))?;
+        debug_assert_eq!(cache.len(), pos, "decode position must follow the cache");
+        let model = &self.models[self.rung];
+        let mut x = model.embed_tokens(&[last], pos);
+        for l in 0..model.cfg.n_layers {
+            x = model.forward_layer(l, &x, &mut cache);
+        }
+        match self.store.append(seq, &cache, pos) {
+            Err(crate::kvpool::KvPoolError::Exhausted { needed, free }) => {
+                return Err(StepError::KvExhausted { needed, free })
+            }
+            Err(e) => return Err(StepError::Engine(e.to_string())),
+            Ok(()) => {}
+        }
+        let logits = self.model().project_logits(&x);
+        Ok(Self::argmax(logits.row(logits.rows - 1)))
+    }
+
+    fn release(&mut self, seq: u64) {
+        self.store.release(seq);
+    }
+
+    fn iteration_cost_s(&self, rung: usize, p: usize, d: usize) -> f64 {
+        self.costs[rung.min(self.costs.len() - 1)].cost(p, d)
+    }
+
+    fn n_rungs(&self) -> usize {
+        self.models.len()
+    }
+
+    fn set_rung(&mut self, rung: usize) -> f64 {
+        let r = rung.min(self.models.len() - 1);
+        if r != self.rung {
+            self.rung = r;
+            self.swaps += 1;
+        }
+        0.0
+    }
+
+    fn rung(&self) -> usize {
+        self.rung
+    }
+
+    fn max_seq(&self) -> usize {
+        self.model().cfg.max_seq
+    }
+}
+
+/// How the interleaver splits the per-iteration token budget between
+/// phases.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PhasePolicy {
+    /// Decode steps first (protects TPOT / inter-token latency), then
+    /// fill what remains with prefill chunks. The default.
+    DecodeFirst,
+    /// Prefill first (protects TTFT under bursts of new requests), then
+    /// decodes.
+    PrefillFirst,
+    /// Reserve at most `prefill_frac` of the budget for prefill; unused
+    /// reservations spill to the other phase.
+    Mixed {
+        /// Fraction of the budget reserved for prefill, in `[0, 1]`.
+        prefill_frac: f64,
+    },
+}
+
+impl std::str::FromStr for PhasePolicy {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "decode-first" => Ok(PhasePolicy::DecodeFirst),
+            "prefill-first" => Ok(PhasePolicy::PrefillFirst),
+            "mixed" => Ok(PhasePolicy::Mixed { prefill_frac: 0.5 }),
+            other => match other.strip_prefix("mixed:") {
+                Some(f) => {
+                    let frac: f64 =
+                        f.parse().map_err(|_| format!("bad mixed fraction {f:?}"))?;
+                    if !(0.0..=1.0).contains(&frac) {
+                        return Err(format!("mixed fraction {frac} outside [0, 1]"));
+                    }
+                    Ok(PhasePolicy::Mixed { prefill_frac: frac })
+                }
+                None => Err(format!(
+                    "unknown phase policy {other:?} (decode-first | prefill-first | mixed[:frac])"
+                )),
+            },
+        }
+    }
+}
+
+/// Continuous-batching scheduler parameters.
+#[derive(Debug, Clone)]
+pub struct ContinuousConfig {
+    /// Admission queue policy (shared with the batch serving loop).
+    pub admission: AdmissionConfig,
+    /// Per-iteration token budget (prefill tokens + decode steps).
+    pub token_budget: usize,
+    /// Max sequences in flight at once.
+    pub max_batch: usize,
+    /// Longest prefill chunk per sequence per iteration (chunked
+    /// prefill keeps one huge prompt from starving decodes).
+    pub prefill_chunk: usize,
+    /// Phase interleaving policy.
+    pub policy: PhasePolicy,
+    /// Optional graceful degradation (precision rungs swap hot).
+    pub degradation: Option<DegradationConfig>,
+}
+
+impl Default for ContinuousConfig {
+    fn default() -> Self {
+        Self {
+            admission: AdmissionConfig::default(),
+            token_budget: 256,
+            max_batch: 32,
+            prefill_chunk: 64,
+            policy: PhasePolicy::DecodeFirst,
+            degradation: None,
+        }
+    }
+}
+
+/// A completed request, with everything the front door and the bench
+/// need to answer/aggregate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FinishedRequest {
+    /// Request id.
+    pub id: usize,
+    /// Generated tokens (length = requested `n_generate`).
+    pub tokens: Vec<usize>,
+    /// Arrival → first token, seconds.
+    pub ttft_s: f64,
+    /// Completion timestamp.
+    pub finish_s: f64,
+    /// Arrival → completion.
+    pub sojourn_s: f64,
+    /// Finished before its SLO deadline (true when no deadline).
+    pub deadline_met: bool,
+    /// Times this request was preempted and recomputed.
+    pub preempted: u32,
+}
+
+/// What one scheduler step did.
+#[derive(Debug, Clone, Default)]
+pub struct StepOutcome {
+    /// Iteration cost in seconds (0 when idle).
+    pub cost_s: f64,
+    /// Nothing in flight and nothing joinable.
+    pub idle: bool,
+    /// Requests completed this iteration.
+    pub finished: Vec<FinishedRequest>,
+    /// Queued requests reaped past their deadline/timeout.
+    pub expired_ids: Vec<usize>,
+    /// Requests refused at join (infeasible for the pool/context).
+    pub shed_ids: Vec<usize>,
+    /// Degradation moved to this rung.
+    pub rung_changed: Option<usize>,
+}
+
+#[derive(Debug, Clone)]
+struct InFlight {
+    req: Request,
+    prefilled: usize,
+    generated: Vec<usize>,
+    first_token_s: Option<f64>,
+    preempted: u32,
+}
+
+impl InFlight {
+    fn decode_ready(&self) -> bool {
+        self.prefilled == self.req.prompt.len() && !self.generated.is_empty()
+    }
+}
+
+/// Latency percentiles over raw (virtual or real) seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Mean.
+    pub mean: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl LatencySummary {
+    /// Summarize `samples`; `None` when empty.
+    pub fn from_samples(mut samples: Vec<f64>) -> Option<Self> {
+        if samples.is_empty() {
+            return None;
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let pct = |p: f64| samples[((samples.len() - 1) as f64 * p) as usize];
+        Some(Self {
+            p50: pct(0.5),
+            p95: pct(0.95),
+            p99: pct(0.99),
+            mean: samples.iter().sum::<f64>() / samples.len() as f64,
+            max: *samples.last().unwrap(),
+        })
+    }
+}
+
+/// End-of-run summary for one serving run (continuous or static).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ContinuousReport {
+    /// `"continuous"` or `"static"`.
+    pub mode: String,
+    /// Admission counters; [`AdmissionStats::conserves`] must hold with
+    /// [`Self::pending_end`].
+    pub stats: AdmissionStats,
+    /// Requests still queued/in flight at the end (0 for trace runs).
+    pub pending_end: usize,
+    /// Requests completed.
+    pub completed: usize,
+    /// Tokens generated (decode side).
+    pub generated_tokens: u64,
+    /// Prefill tokens processed (inflated by padding under static
+    /// batching).
+    pub prefill_tokens: u64,
+    /// Scheduler iterations executed.
+    pub iterations: u64,
+    /// Virtual makespan.
+    pub makespan_s: f64,
+    /// Generated tokens per second over the makespan.
+    pub throughput_tok_s: f64,
+    /// On-time completions per second (the paper-facing serving
+    /// metric: work delivered *within SLO*).
+    pub goodput_rps: f64,
+    /// Fraction of completed requests that missed their deadline.
+    pub deadline_miss_rate: f64,
+    /// Time to first token.
+    pub ttft: Option<LatencySummary>,
+    /// Time per output token after the first.
+    pub tpot: Option<LatencySummary>,
+    /// Arrival → completion.
+    pub sojourn: Option<LatencySummary>,
+    /// Mean sequences in flight per iteration.
+    pub mean_batch_occupancy: f64,
+    /// Peak sequences in flight.
+    pub peak_batch: usize,
+    /// Peak KV pool occupancy in `[0, 1]`.
+    pub kv_peak_occupancy: f64,
+    /// Peak KV blocks in use.
+    pub kv_peak_blocks: usize,
+    /// Preempt-and-recompute events.
+    pub preemptions: u64,
+    /// Degradation rung changes.
+    pub rung_transitions: u64,
+    /// Every completed request, join order.
+    pub outputs: Vec<FinishedRequest>,
+}
+
+impl ContinuousReport {
+    /// The conservation invariant: every offered request accounted for.
+    pub fn conserves(&self) -> bool {
+        self.stats.conserves(self.pending_end)
+    }
+}
+
+/// The continuous-batching scheduler. Time-agnostic: every entry point
+/// takes `now`, so the same struct runs under the virtual clock (trace
+/// drivers, simnet) or a real one (the HTTP front door).
+pub struct ContinuousScheduler<E: StepEngine> {
+    engine: E,
+    cfg: ContinuousConfig,
+    adm: AdmissionController,
+    degrade: Option<DegradationController>,
+    running: Vec<InFlight>,
+    telemetry: Option<Arc<Telemetry>>,
+    // Accumulators for the report.
+    iterations: u64,
+    prefill_tokens: u64,
+    decode_tokens: u64,
+    preemptions: u64,
+    rung_transitions: u64,
+    occupancy_sum: f64,
+    peak_batch: usize,
+    kv_peak_occupancy: f64,
+    ttft_carry: HashMap<usize, f64>,
+    preempt_counts: HashMap<usize, u32>,
+    finished_all: Vec<FinishedRequest>,
+}
+
+impl<E: StepEngine> ContinuousScheduler<E> {
+    /// Build a scheduler; rejects a zero budget/batch/chunk.
+    pub fn new(engine: E, cfg: ContinuousConfig) -> Result<Self, String> {
+        if cfg.token_budget == 0 {
+            return Err("token_budget must be at least 1".into());
+        }
+        if cfg.max_batch == 0 {
+            return Err("max_batch must be at least 1".into());
+        }
+        if cfg.prefill_chunk == 0 {
+            return Err("prefill_chunk must be at least 1".into());
+        }
+        let degrade =
+            cfg.degradation.map(|d| DegradationController::new(d, engine.n_rungs()));
+        Ok(Self {
+            adm: AdmissionController::new(cfg.admission),
+            degrade,
+            running: Vec::new(),
+            telemetry: None,
+            iterations: 0,
+            prefill_tokens: 0,
+            decode_tokens: 0,
+            preemptions: 0,
+            rung_transitions: 0,
+            occupancy_sum: 0.0,
+            peak_batch: 0,
+            kv_peak_occupancy: 0.0,
+            ttft_carry: HashMap::new(),
+            preempt_counts: HashMap::new(),
+            finished_all: Vec::new(),
+            engine,
+            cfg,
+        })
+    }
+
+    /// Attach a telemetry hub (serving gauges + histograms).
+    pub fn with_telemetry(mut self, t: Arc<Telemetry>) -> Self {
+        self.telemetry = Some(t);
+        self
+    }
+
+    /// Offer one arrival; `false` means shed/expired immediately.
+    pub fn offer(&mut self, req: Request, now: f64) -> bool {
+        if !self.feasible(&req) {
+            self.adm.refuse();
+            self.sync_telemetry();
+            return false;
+        }
+        let ok = self.adm.offer(req, now);
+        self.sync_telemetry();
+        ok
+    }
+
+    fn feasible(&self, req: &Request) -> bool {
+        let total = req.prompt.len() + req.n_generate;
+        !req.prompt.is_empty()
+            && req.n_generate > 0
+            && self.engine.pool().feasible(total)
+            && total <= self.engine.max_seq()
+    }
+
+    /// Queued requests (not counting in-flight).
+    pub fn queued(&self) -> usize {
+        self.adm.pending()
+    }
+
+    /// Sequences in flight.
+    pub fn in_flight(&self) -> usize {
+        self.running.len()
+    }
+
+    /// Admission counters so far.
+    pub fn stats(&self) -> AdmissionStats {
+        self.adm.stats()
+    }
+
+    /// Current degradation rung.
+    pub fn rung(&self) -> usize {
+        self.engine.rung()
+    }
+
+    /// One iteration: reap, join, interleave, reserve KV (preempting
+    /// if needed), execute, retire. Returns what happened; `idle` when
+    /// there was nothing to do.
+    pub fn step(&mut self, now: f64) -> Result<StepOutcome, StepError> {
+        let mut out = StepOutcome::default();
+        self.adm.reap(now);
+        out.expired_ids = self.adm.drain_expired_ids();
+
+        // Join: pull from the queue while batch slots and KV blocks
+        // allow. Requiring room for prompt + 1 token means a feasible
+        // request always joins an empty pool (no admit/preempt livelock).
+        while self.running.len() < self.cfg.max_batch {
+            let Some(req) = self.adm.take() else { break };
+            if !self.feasible(&req) {
+                self.adm.note_shed(1);
+                out.shed_ids.push(req.id);
+                continue;
+            }
+            if !self.engine.pool().can_fit(req.prompt.len() + 1) {
+                self.adm.requeue_front(req);
+                break;
+            }
+            self.engine.register(req.id as u64)?;
+            let preempted = self.preempt_counts.get(&req.id).copied().unwrap_or(0);
+            self.running.push(InFlight {
+                req,
+                prefilled: 0,
+                generated: Vec::new(),
+                first_token_s: None,
+                preempted,
+            });
+        }
+
+        if self.running.is_empty() {
+            out.idle = true;
+            self.sync_telemetry();
+            return Ok(out);
+        }
+
+        // Phase-aware interleave: split the token budget between decode
+        // steps (1 token each) and prefill chunks.
+        let decode_ready: Vec<usize> =
+            (0..self.running.len()).filter(|&i| self.running[i].decode_ready()).collect();
+        let prefill_ready: Vec<usize> = (0..self.running.len())
+            .filter(|&i| self.running[i].prefilled < self.running[i].req.prompt.len())
+            .collect();
+        let budget = self.cfg.token_budget;
+        let (decode_budget, prefill_budget) = match self.cfg.policy {
+            PhasePolicy::DecodeFirst => {
+                let d = decode_ready.len().min(budget);
+                (d, budget - d)
+            }
+            PhasePolicy::PrefillFirst => {
+                let want: usize = prefill_ready
+                    .iter()
+                    .map(|&i| {
+                        (self.running[i].req.prompt.len() - self.running[i].prefilled)
+                            .min(self.cfg.prefill_chunk)
+                    })
+                    .sum();
+                let p = want.min(budget);
+                (budget - p, p)
+            }
+            PhasePolicy::Mixed { prefill_frac } => {
+                let p_reserved = ((budget as f64 * prefill_frac).ceil() as usize).min(budget);
+                let want: usize = prefill_ready
+                    .iter()
+                    .map(|&i| {
+                        (self.running[i].req.prompt.len() - self.running[i].prefilled)
+                            .min(self.cfg.prefill_chunk)
+                    })
+                    .sum();
+                let p = p_reserved.min(want);
+                let d = decode_ready.len().min(budget - p);
+                // Spill unused decode budget back to prefill.
+                (d, (budget - d).min(want))
+            }
+        };
+        // Rotate the decode start index so budget-starved decodes make
+        // progress in later iterations (no starvation).
+        let mut decodes: Vec<usize> = Vec::with_capacity(decode_budget.min(decode_ready.len()));
+        if !decode_ready.is_empty() && decode_budget > 0 {
+            let start = (self.iterations as usize) % decode_ready.len();
+            for k in 0..decode_ready.len() {
+                if decodes.len() == decode_budget {
+                    break;
+                }
+                decodes.push(decode_ready[(start + k) % decode_ready.len()]);
+            }
+        }
+        // Prefill chunks in join (≈ queue) order.
+        let mut prefills: Vec<(usize, usize)> = Vec::new(); // (slot, chunk_len)
+        let mut p_left = prefill_budget;
+        for &i in &prefill_ready {
+            if p_left == 0 {
+                break;
+            }
+            let remaining = self.running[i].req.prompt.len() - self.running[i].prefilled;
+            let chunk = remaining.min(self.cfg.prefill_chunk).min(p_left);
+            if chunk == 0 {
+                break;
+            }
+            prefills.push((i, chunk));
+            p_left -= chunk;
+        }
+
+        if decodes.is_empty() && prefills.is_empty() {
+            // Every in-flight sequence is blocked (budget exhausted by
+            // policy edge cases) — treat as one empty iteration to keep
+            // time moving rather than deadlocking.
+            out.idle = true;
+            self.sync_telemetry();
+            return Ok(out);
+        }
+
+        // Reserve KV for this iteration up front, preempting victims
+        // (lowest priority, then latest joined) until everything fits.
+        loop {
+            let pool = self.engine.pool();
+            let mut needed = 0usize;
+            for &(i, chunk) in &prefills {
+                needed += pool.blocks_needed(self.running[i].req.id as u64, chunk);
+            }
+            for &i in &decodes {
+                needed += pool.blocks_needed(self.running[i].req.id as u64, 1);
+            }
+            if needed <= pool.free_blocks() {
+                break;
+            }
+            let victim = self.pick_victim()?;
+            self.preempt(victim, &mut prefills, &mut decodes);
+        }
+
+        // Execute: prefills first (they feed TTFT), then decodes.
+        let rung = self.engine.rung();
+        let mut p_tokens = 0usize;
+        let mut d_tokens = 0usize;
+        let mut first_token_slots: Vec<usize> = Vec::new();
+        for &(i, chunk) in &prefills {
+            let s = &self.running[i];
+            let (id, lo) = (s.req.id as u64, s.prefilled);
+            let tokens: Vec<usize> = s.req.prompt[lo..lo + chunk].to_vec();
+            let is_last = lo + chunk == s.req.prompt.len();
+            let got = self.engine.prefill_chunk(id, &tokens, lo, is_last)?;
+            let s = &mut self.running[i];
+            s.prefilled += chunk;
+            p_tokens += chunk;
+            if let Some(tok) = got {
+                s.generated.push(tok);
+                first_token_slots.push(i);
+            }
+        }
+        for &i in &decodes {
+            let s = &self.running[i];
+            let last = *s.generated.last().expect("decode-ready has a token");
+            let pos = s.req.prompt.len() + s.generated.len() - 1;
+            let tok = self.engine.decode_one(s.req.id as u64, last, pos)?;
+            self.running[i].generated.push(tok);
+            d_tokens += 1;
+        }
+
+        let mut cost = self.engine.iteration_cost_s(rung, p_tokens, d_tokens);
+        let t_end = now + cost;
+        self.iterations += 1;
+        self.prefill_tokens += p_tokens as u64;
+        self.decode_tokens += d_tokens as u64;
+        self.occupancy_sum += self.running.len() as f64;
+        self.peak_batch = self.peak_batch.max(self.running.len());
+        self.kv_peak_occupancy = self.kv_peak_occupancy.max(self.engine.pool().occupancy());
+
+        // First tokens land at the end of the iteration; a preempted
+        // request keeps the TTFT of the token it already delivered.
+        for &i in &first_token_slots {
+            let s = &mut self.running[i];
+            let t = *self.ttft_carry.entry(s.req.id).or_insert(t_end - s.req.arrival_s);
+            s.first_token_s = Some(s.req.arrival_s + t);
+        }
+
+        // Retire sequences that reached their requested length.
+        let mut j = 0;
+        while j < self.running.len() {
+            if self.running[j].generated.len() >= self.running[j].req.n_generate {
+                let s = self.running.swap_remove(j);
+                self.engine.release(s.req.id as u64);
+                self.adm.note_served(1);
+                self.preempt_counts.remove(&s.req.id);
+                let ttft_s = self.ttft_carry.remove(&s.req.id).unwrap_or(0.0);
+                let sojourn_s = t_end - s.req.arrival_s;
+                let fin = FinishedRequest {
+                    id: s.req.id,
+                    tokens: s.generated,
+                    ttft_s,
+                    finish_s: t_end,
+                    sojourn_s,
+                    deadline_met: s.req.deadline_s.is_none_or(|d| t_end <= d),
+                    preempted: s.preempted,
+                };
+                if let Some(t) = &self.telemetry {
+                    t.record_ttft_us((fin.ttft_s * 1e6) as u64);
+                    let n = fin.tokens.len();
+                    if n > 1 {
+                        t.record_tpot_us(
+                            ((fin.sojourn_s - fin.ttft_s).max(0.0) * 1e6) as u64 / (n as u64 - 1),
+                        );
+                    }
+                    t.record_request_us((fin.sojourn_s * 1e6) as u64);
+                    t.add_tokens(n as u64);
+                }
+                self.finished_all.push(fin.clone());
+                out.finished.push(fin);
+            } else {
+                j += 1;
+            }
+        }
+
+        // Degradation rides queue pressure, swapping precision hot.
+        if let Some(d) = &mut self.degrade {
+            if let Some(rung) = d.observe(self.adm.pressure(), t_end) {
+                cost += self.engine.set_rung(rung);
+                self.rung_transitions += 1;
+                out.rung_changed = Some(rung);
+                if let Some(t) = &self.telemetry {
+                    t.set_rung(rung);
+                }
+            }
+        }
+
+        out.cost_s = cost;
+        self.sync_telemetry();
+        Ok(out)
+    }
+
+    /// Victim for KV preemption: lowest priority, then latest joined
+    /// (the back of `running`). Never the only sequence.
+    fn pick_victim(&self) -> Result<usize, StepError> {
+        if self.running.len() <= 1 {
+            // Feasibility at admission guarantees a lone sequence fits;
+            // getting here means the books are wrong.
+            return Err(StepError::KvExhausted {
+                needed: 1,
+                free: self.engine.pool().free_blocks(),
+            });
+        }
+        let mut best = 0usize;
+        for i in 1..self.running.len() {
+            let (a, b) = (&self.running[i].req, &self.running[best].req);
+            if a.priority < b.priority || (a.priority == b.priority && i > best) {
+                best = i;
+            }
+        }
+        Ok(best)
+    }
+
+    fn preempt(&mut self, victim: usize, prefills: &mut Vec<(usize, usize)>, decodes: &mut Vec<usize>) {
+        let s = self.running.swap_remove(victim);
+        self.engine.release(s.req.id as u64);
+        self.preemptions += 1;
+        if let Some(t) = &self.telemetry {
+            t.note_preempted();
+        }
+        // Recompute-style preemption: drop the KV, requeue the original
+        // request at the front; greedy decoding regenerates the same
+        // tokens when it rejoins.
+        *self.preempt_counts.entry(s.req.id).or_insert(0) += 1;
+        self.adm.requeue_front(s.req);
+        // swap_remove moved the last slot into `victim`: fix indices.
+        let moved = self.running.len(); // old index of the moved element
+        prefills.retain_mut(|(i, _)| {
+            if *i == victim {
+                return false;
+            }
+            if *i == moved {
+                *i = victim;
+            }
+            true
+        });
+        decodes.retain_mut(|i| {
+            if *i == victim {
+                return false;
+            }
+            if *i == moved {
+                *i = victim;
+            }
+            true
+        });
+        // Bump the preempt counter on the requeued request's future
+        // incarnation by remembering it in ttft_carry keyed bookkeeping:
+        // the count travels on the InFlight when it rejoins (see join —
+        // new InFlight starts at 0), so record globally instead.
+    }
+
+    fn sync_telemetry(&self) {
+        if let Some(t) = &self.telemetry {
+            let st = self.adm.stats();
+            t.sync_shed(st.shed as u64);
+            t.sync_expired(st.expired as u64);
+            t.set_queue_pressure(self.adm.pressure());
+            t.set_batch_occupancy(self.running.len() as u64);
+            t.set_kv_occupancy(self.engine.pool().occupancy());
+            t.set_inflight((self.adm.pending() + self.running.len()) as u64);
+        }
+    }
+
+    /// Consume the scheduler into its end-of-run report.
+    pub fn into_report(self, makespan_s: f64, mode: &str) -> ContinuousReport {
+        let stats = self.adm.stats();
+        let completed = self.finished_all.len();
+        let on_time = self.finished_all.iter().filter(|f| f.deadline_met).count();
+        let pending_end = self.adm.pending() + self.running.len();
+        let ttft = LatencySummary::from_samples(self.finished_all.iter().map(|f| f.ttft_s).collect());
+        let tpot = LatencySummary::from_samples(
+            self.finished_all
+                .iter()
+                .filter(|f| f.tokens.len() > 1)
+                .map(|f| (f.sojourn_s - f.ttft_s).max(0.0) / (f.tokens.len() - 1) as f64)
+                .collect(),
+        );
+        let sojourn =
+            LatencySummary::from_samples(self.finished_all.iter().map(|f| f.sojourn_s).collect());
+        ContinuousReport {
+            mode: mode.to_string(),
+            stats,
+            pending_end,
+            completed,
+            generated_tokens: self.finished_all.iter().map(|f| f.tokens.len() as u64).sum(),
+            prefill_tokens: self.prefill_tokens,
+            iterations: self.iterations,
+            makespan_s,
+            throughput_tok_s: if makespan_s > 0.0 {
+                self.finished_all.iter().map(|f| f.tokens.len() as f64).sum::<f64>() / makespan_s
+            } else {
+                0.0
+            },
+            goodput_rps: if makespan_s > 0.0 { on_time as f64 / makespan_s } else { 0.0 },
+            deadline_miss_rate: if completed > 0 {
+                (completed - on_time) as f64 / completed as f64
+            } else {
+                0.0
+            },
+            ttft,
+            tpot,
+            sojourn,
+            mean_batch_occupancy: if self.iterations > 0 {
+                self.occupancy_sum / self.iterations as f64
+            } else {
+                0.0
+            },
+            peak_batch: self.peak_batch,
+            kv_peak_occupancy: self.kv_peak_occupancy,
+            kv_peak_blocks: self.engine.pool().stats().peak_blocks,
+            preemptions: self.preemptions,
+            rung_transitions: self.rung_transitions,
+            outputs: self.finished_all,
+        }
+    }
+}
+
+/// Replay a request trace under the virtual clock with continuous
+/// batching. Requests must be pre-sorted by `arrival_s` (as
+/// [`crate::overload::poisson_requests`] and
+/// `workload::sample_arrivals` produce them).
+pub fn serve_continuous<E: StepEngine>(
+    engine: E,
+    requests: &[Request],
+    cfg: ContinuousConfig,
+    telemetry: Option<Arc<Telemetry>>,
+) -> Result<ContinuousReport, String> {
+    let mut sched = ContinuousScheduler::new(engine, cfg)?;
+    if let Some(t) = telemetry {
+        sched = sched.with_telemetry(t);
+    }
+    let mut now = 0.0f64;
+    let mut idx = 0usize;
+    let mut makespan = 0.0f64;
+    loop {
+        while idx < requests.len() && requests[idx].arrival_s <= now + 1e-12 {
+            sched.offer(requests[idx].clone(), now);
+            idx += 1;
+        }
+        let out = sched.step(now).map_err(|e| e.to_string())?;
+        if out.idle {
+            if idx < requests.len() {
+                now = requests[idx].arrival_s;
+                continue;
+            }
+            if sched.queued() == 0 && sched.in_flight() == 0 {
+                break;
+            }
+            return Err(format!(
+                "scheduler livelock: {} queued, {} in flight, nothing runnable",
+                sched.queued(),
+                sched.in_flight()
+            ));
+        }
+        now += out.cost_s;
+        makespan = now;
+    }
+    Ok(sched.into_report(makespan, "continuous"))
+}
+
+/// The static-batching baseline on the *same* engine, cost model, and
+/// admission controller: accumulate up to `batch_size` requests (or
+/// give up after `max_wait_s`), prefill them padded to the longest
+/// prompt, then decode lock-step to the longest requested length —
+/// exactly what the offline pipeline does per run. Finished sequences
+/// keep burning decode slots (padding waste), nobody joins mid-flight.
+pub fn serve_static<E: StepEngine>(
+    mut engine: E,
+    requests: &[Request],
+    cfg: ContinuousConfig,
+    batch_size: usize,
+    max_wait_s: f64,
+) -> Result<ContinuousReport, String> {
+    if batch_size == 0 {
+        return Err("batch_size must be at least 1".into());
+    }
+    let mut adm = AdmissionController::new(cfg.admission);
+    let mut now = 0.0f64;
+    let mut idx = 0usize;
+    let mut makespan = 0.0f64;
+    let mut finished_all: Vec<FinishedRequest> = Vec::new();
+    let mut prefill_tokens = 0u64;
+    let mut iterations = 0u64;
+    let mut occupancy_sum = 0.0f64;
+    let mut peak_batch = 0usize;
+    let mut kv_peak = 0.0f64;
+
+    loop {
+        while idx < requests.len() && requests[idx].arrival_s <= now + 1e-12 {
+            let req = &requests[idx];
+            let total = req.prompt.len() + req.n_generate;
+            if req.prompt.is_empty()
+                || req.n_generate == 0
+                || !engine.pool().feasible(total)
+                || total > engine.max_seq()
+            {
+                adm.refuse();
+            } else {
+                adm.offer(req.clone(), now);
+            }
+            idx += 1;
+        }
+        adm.reap(now);
+        adm.drain_expired_ids();
+
+        if adm.pending() == 0 {
+            if idx >= requests.len() {
+                break;
+            }
+            now = requests[idx].arrival_s;
+            continue;
+        }
+        // Static window: wait for a full batch up to max_wait_s past
+        // the moment the head request was ready.
+        if adm.pending() < batch_size && idx < requests.len() {
+            let next = requests[idx].arrival_s;
+            if next <= now + max_wait_s {
+                now = next;
+                continue;
+            }
+            now += max_wait_s;
+            adm.reap(now);
+            adm.drain_expired_ids();
+            if adm.pending() == 0 {
+                continue;
+            }
+        }
+        // Form the batch, bounded by size and by KV capacity (each
+        // sequence rounds up to whole blocks on its own).
+        let mut batch: Vec<Request> = Vec::new();
+        let mut kv_blocks = 0usize;
+        while batch.len() < batch_size {
+            let Some(req) = adm.take() else { break };
+            let need = engine.pool().blocks_for(req.prompt.len() + req.n_generate);
+            if kv_blocks + need > engine.pool().free_blocks() {
+                adm.requeue_front(req);
+                break;
+            }
+            kv_blocks += need;
+            batch.push(req);
+        }
+        if batch.is_empty() {
+            return Err("static batch formation stalled: head request never fits".into());
+        }
+        let b = batch.len();
+        let pad_prompt = batch.iter().map(|r| r.prompt.len()).max().unwrap();
+        let pad_gen = batch.iter().map(|r| r.n_generate).max().unwrap();
+        let rung = engine.rung();
+        let start = now;
+
+        // Prefill all, padded to the longest prompt (the padding is
+        // *cost*, the KV holds only real tokens).
+        let mut gens: Vec<Vec<usize>> = Vec::with_capacity(b);
+        for req in &batch {
+            engine.register(req.id as u64).map_err(|e| e.to_string())?;
+            let first = engine
+                .prefill_chunk(req.id as u64, &req.prompt, 0, true)
+                .map_err(|e| e.to_string())?
+                .expect("full prefill returns the first token");
+            gens.push(vec![first]);
+        }
+        let prefill_cost = engine.iteration_cost_s(rung, pad_prompt * b, 0);
+        prefill_tokens += (pad_prompt * b) as u64;
+        iterations += 1;
+        let t_first = start + prefill_cost;
+        kv_peak = kv_peak.max(engine.pool().occupancy());
+
+        // Lock-step decode to the longest request; finished sequences
+        // still occupy their slot.
+        let mut t_cursor = t_first;
+        for _step in 1..pad_gen {
+            for (req, gen) in batch.iter().zip(gens.iter_mut()) {
+                if gen.len() < req.n_generate {
+                    let last = *gen.last().unwrap();
+                    let pos = req.prompt.len() + gen.len() - 1;
+                    let tok = engine
+                        .decode_one(req.id as u64, last, pos)
+                        .map_err(|e| e.to_string())?;
+                    gen.push(tok);
+                }
+            }
+            t_cursor += engine.iteration_cost_s(rung, 0, b);
+            iterations += 1;
+            kv_peak = kv_peak.max(engine.pool().occupancy());
+        }
+        occupancy_sum += (b * pad_gen.max(1)) as f64;
+        peak_batch = peak_batch.max(b);
+
+        let end = t_cursor;
+        for (req, gen) in batch.iter().zip(gens) {
+            engine.release(req.id as u64);
+            adm.note_served(1);
+            finished_all.push(FinishedRequest {
+                id: req.id,
+                tokens: gen,
+                ttft_s: t_first - req.arrival_s,
+                finish_s: end,
+                sojourn_s: end - req.arrival_s,
+                deadline_met: req.deadline_s.is_none_or(|d| end <= d),
+                preempted: 0,
+            });
+        }
+        now = end;
+        makespan = end;
+    }
+
+    let stats = adm.stats();
+    let completed = finished_all.len();
+    let on_time = finished_all.iter().filter(|f| f.deadline_met).count();
+    let ttft = LatencySummary::from_samples(finished_all.iter().map(|f| f.ttft_s).collect());
+    let tpot = LatencySummary::from_samples(
+        finished_all
+            .iter()
+            .filter(|f| f.tokens.len() > 1)
+            .map(|f| (f.sojourn_s - f.ttft_s).max(0.0) / (f.tokens.len() - 1) as f64)
+            .collect(),
+    );
+    let sojourn = LatencySummary::from_samples(finished_all.iter().map(|f| f.sojourn_s).collect());
+    Ok(ContinuousReport {
+        mode: "static".to_string(),
+        stats,
+        pending_end: adm.pending(),
+        completed,
+        generated_tokens: finished_all.iter().map(|f| f.tokens.len() as u64).sum(),
+        prefill_tokens,
+        iterations,
+        makespan_s: makespan,
+        throughput_tok_s: if makespan > 0.0 {
+            finished_all.iter().map(|f| f.tokens.len() as f64).sum::<f64>() / makespan
+        } else {
+            0.0
+        },
+        goodput_rps: if makespan > 0.0 { on_time as f64 / makespan } else { 0.0 },
+        deadline_miss_rate: if completed > 0 {
+            (completed - on_time) as f64 / completed as f64
+        } else {
+            0.0
+        },
+        ttft,
+        tpot,
+        sojourn,
+        mean_batch_occupancy: if iterations > 0 {
+            occupancy_sum / iterations as f64
+        } else {
+            0.0
+        },
+        peak_batch,
+        kv_peak_occupancy: kv_peak,
+        kv_peak_blocks: engine.pool().stats().peak_blocks,
+        preemptions: 0,
+        rung_transitions: 0,
+        outputs: finished_all,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::overload::poisson_requests;
+
+    fn sim_engine(n_blocks: usize) -> SimStepEngine {
+        SimStepEngine::new(
+            KvPoolConfig { n_blocks, block_tokens: 16 },
+            IterCost::default_ladder(3),
+            97,
+            42,
+        )
+    }
+
+    fn trace(n: usize, rate: f64, seed: u64) -> Vec<Request> {
+        poisson_requests(n, rate, 24, 8, seed).unwrap()
+    }
+
+    #[test]
+    fn completes_everything_and_conserves() {
+        let report =
+            serve_continuous(sim_engine(512), &trace(200, 50.0, 1), ContinuousConfig::default(), None)
+                .unwrap();
+        assert!(report.conserves(), "conservation: {:?}", report.stats);
+        assert_eq!(report.pending_end, 0);
+        assert_eq!(
+            report.completed + report.stats.shed + report.stats.expired,
+            report.stats.offered
+        );
+        assert!(report.completed > 0);
+    }
+
+    #[test]
+    fn tokens_match_the_oracle_exactly() {
+        let reqs = trace(100, 80.0, 7);
+        let report =
+            serve_continuous(sim_engine(256), &reqs, ContinuousConfig::default(), None).unwrap();
+        let by_id: HashMap<usize, &Request> = reqs.iter().map(|r| (r.id, r)).collect();
+        assert!(!report.outputs.is_empty());
+        for fin in &report.outputs {
+            let req = by_id[&fin.id];
+            assert_eq!(
+                fin.tokens,
+                sim_oracle_tokens(42, 97, &req.prompt, req.n_generate),
+                "request {}",
+                fin.id
+            );
+            assert_eq!(fin.tokens.len(), req.n_generate);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let reqs = trace(150, 60.0, 3);
+        let a = serve_continuous(sim_engine(256), &reqs, ContinuousConfig::default(), None).unwrap();
+        let b = serve_continuous(sim_engine(256), &reqs, ContinuousConfig::default(), None).unwrap();
+        assert_eq!(a.iterations, b.iterations);
+        assert_eq!(a.makespan_s, b.makespan_s);
+        assert_eq!(a.outputs, b.outputs);
+    }
+
+    #[test]
+    fn kv_pressure_preempts_and_still_finishes_everything() {
+        // A pool far too small for the offered concurrency: preemption
+        // must kick in, and every request must still finish with
+        // oracle-exact tokens.
+        let cfg = ContinuousConfig { max_batch: 16, ..ContinuousConfig::default() };
+        let reqs = trace(60, 500.0, 9);
+        let report = serve_continuous(sim_engine(8), &reqs, cfg, None).unwrap();
+        assert!(report.conserves());
+        assert_eq!(report.pending_end, 0);
+        assert!(report.preemptions > 0, "tiny pool must force preemption");
+        let by_id: HashMap<usize, &Request> = reqs.iter().map(|r| (r.id, r)).collect();
+        for fin in &report.outputs {
+            let req = by_id[&fin.id];
+            assert_eq!(fin.tokens, sim_oracle_tokens(42, 97, &req.prompt, req.n_generate));
+        }
+    }
+
+    #[test]
+    fn infeasible_requests_are_shed_not_livelocked() {
+        let mut reqs = trace(10, 10.0, 5);
+        // One request that can never fit the pool.
+        reqs[3].prompt = vec![1; 16 * 600];
+        let report =
+            serve_continuous(sim_engine(512), &reqs, ContinuousConfig::default(), None).unwrap();
+        assert!(report.conserves());
+        assert!(report.stats.shed >= 1);
+        assert_eq!(report.completed, 9);
+    }
+
+    #[test]
+    fn continuous_beats_static_on_sojourn_under_dispersion() {
+        // Mixed lengths + bursty arrivals: static padding and
+        // run-to-longest must cost sojourn vs continuous.
+        let reqs = trace(300, 120.0, 11);
+        let cont = serve_continuous(sim_engine(1024), &reqs, ContinuousConfig::default(), None)
+            .unwrap();
+        let stat =
+            serve_static(sim_engine(1024), &reqs, ContinuousConfig::default(), 8, 0.5).unwrap();
+        assert!(cont.conserves() && stat.conserves());
+        let (cs, ss) = (cont.sojourn.unwrap(), stat.sojourn.unwrap());
+        assert!(
+            cs.mean < ss.mean,
+            "continuous mean sojourn {} must beat static {}",
+            cs.mean,
+            ss.mean
+        );
+    }
+
+    #[test]
+    fn static_and_continuous_generate_identical_tokens() {
+        let reqs = trace(40, 30.0, 13);
+        let cont =
+            serve_continuous(sim_engine(512), &reqs, ContinuousConfig::default(), None).unwrap();
+        let stat = serve_static(sim_engine(512), &reqs, ContinuousConfig::default(), 4, 0.5).unwrap();
+        let mut a: Vec<_> = cont.outputs.iter().map(|f| (f.id, f.tokens.clone())).collect();
+        let mut b: Vec<_> = stat.outputs.iter().map(|f| (f.id, f.tokens.clone())).collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "batching policy must not change tokens");
+    }
+
+    #[test]
+    fn phase_policies_all_complete_and_prefill_first_helps_ttft() {
+        let reqs = trace(200, 100.0, 17);
+        let mk = |policy| ContinuousConfig { policy, ..ContinuousConfig::default() };
+        let df = serve_continuous(sim_engine(1024), &reqs, mk(PhasePolicy::DecodeFirst), None)
+            .unwrap();
+        let pf = serve_continuous(sim_engine(1024), &reqs, mk(PhasePolicy::PrefillFirst), None)
+            .unwrap();
+        let mx = serve_continuous(
+            sim_engine(1024),
+            &reqs,
+            mk(PhasePolicy::Mixed { prefill_frac: 0.5 }),
+            None,
+        )
+        .unwrap();
+        for r in [&df, &pf, &mx] {
+            assert!(r.conserves());
+            assert_eq!(r.pending_end, 0);
+        }
+        // Prefill-first must not be worse on TTFT than decode-first.
+        assert!(pf.ttft.unwrap().mean <= df.ttft.unwrap().mean * 1.25 + 1e-9);
+    }
+
+    #[test]
+    fn degradation_rungs_engage_under_overload() {
+        let cfg = ContinuousConfig {
+            admission: AdmissionConfig { max_queue: 32, ..AdmissionConfig::default() },
+            degradation: Some(DegradationConfig { high: 0.5, low: 0.1, dwell: 2 }),
+            token_budget: 64,
+            max_batch: 8,
+            ..ContinuousConfig::default()
+        };
+        let reqs = trace(400, 2000.0, 19);
+        let report = serve_continuous(sim_engine(2048), &reqs, cfg, None).unwrap();
+        assert!(report.conserves());
+        assert!(report.rung_transitions > 0, "sustained overload must climb the ladder");
+    }
+
+    #[test]
+    fn deadline_shed_conserves_and_misses_show_up() {
+        let cfg = ContinuousConfig {
+            admission: AdmissionConfig {
+                policy: crate::overload::AdmissionPolicy::DeadlineShed,
+                default_deadline_s: Some(0.15),
+                max_queue: 4096,
+                ..AdmissionConfig::default()
+            },
+            ..ContinuousConfig::default()
+        };
+        let reqs = trace(500, 800.0, 23);
+        let report = serve_continuous(sim_engine(1024), &reqs, cfg, None).unwrap();
+        assert!(report.conserves());
+        assert!(report.stats.expired > 0, "overload at 800 rps must expire something");
+    }
+
+    #[test]
+    fn ten_k_concurrent_virtual_clock_run_holds_invariants() {
+        // The acceptance-scale run: 10k requests at far-over-capacity
+        // arrival rate, all in flight or queued concurrently.
+        let cfg = ContinuousConfig {
+            admission: AdmissionConfig { max_queue: 20_000, ..AdmissionConfig::default() },
+            token_budget: 512,
+            max_batch: 256,
+            ..ContinuousConfig::default()
+        };
+        let reqs = poisson_requests(10_000, 5_000.0, 16, 4, 29).unwrap();
+        let report = serve_continuous(sim_engine(8192), &reqs, cfg, None).unwrap();
+        assert!(report.conserves(), "conservation at 10k: {:?}", report.stats);
+        assert_eq!(report.pending_end, 0);
+        assert_eq!(report.completed, 10_000, "no starvation: everything finishes");
+        assert!(report.peak_batch > 64, "the batch must actually fill");
+        // Spot-check oracle consistency on a sample.
+        let by_id: HashMap<usize, &Request> = reqs.iter().map(|r| (r.id, r)).collect();
+        for fin in report.outputs.iter().step_by(997) {
+            let req = by_id[&fin.id];
+            assert_eq!(fin.tokens, sim_oracle_tokens(42, 97, &req.prompt, req.n_generate));
+        }
+    }
+
+    #[test]
+    fn scheduler_step_api_reports_expired_ids() {
+        let cfg = ContinuousConfig {
+            admission: AdmissionConfig {
+                policy: crate::overload::AdmissionPolicy::QueueTimeout,
+                queue_timeout_s: 0.01,
+                ..AdmissionConfig::default()
+            },
+            max_batch: 1,
+            ..ContinuousConfig::default()
+        };
+        let mut sched = ContinuousScheduler::new(sim_engine(64), cfg).unwrap();
+        for id in 0..3 {
+            sched.offer(
+                Request {
+                    id,
+                    arrival_s: 0.0,
+                    prompt: vec![1, 2, 3],
+                    n_generate: 2,
+                    deadline_s: None,
+                    priority: 1,
+                },
+                0.0,
+            );
+        }
+        // Only one joins (max_batch = 1); jumping far past the queue
+        // timeout must reap the two still queued, by id.
+        let out = sched.step(0.0).unwrap();
+        assert!(out.expired_ids.is_empty());
+        let out = sched.step(10.0).unwrap();
+        assert_eq!(out.expired_ids, vec![1, 2]);
+        assert!(sched.stats().expired == 2);
+    }
+
+    #[test]
+    fn oracle_is_chunking_invariant() {
+        // Prefilling in chunks of 1 vs all-at-once gives identical
+        // tokens (the e2e analog is chunked vs full prefill).
+        let prompt: Vec<usize> = (0..37).map(|i| (i * 13) % 90).collect();
+        let small_chunks = {
+            let mut e = sim_engine(64);
+            e.register(5).unwrap();
+            let mut first = None;
+            for (i, &t) in prompt.iter().enumerate() {
+                first = e.prefill_chunk(5, &[t], i, i + 1 == prompt.len()).unwrap();
+            }
+            first.unwrap()
+        };
+        let bulk = {
+            let mut e = sim_engine(64);
+            e.register(5).unwrap();
+            e.prefill_chunk(5, &prompt, 0, true).unwrap().unwrap()
+        };
+        assert_eq!(small_chunks, bulk);
+        assert_eq!(bulk, sim_oracle_tokens(42, 97, &prompt, 1)[0]);
+    }
+
+    #[test]
+    fn phase_policy_parses() {
+        assert_eq!("decode-first".parse::<PhasePolicy>().unwrap(), PhasePolicy::DecodeFirst);
+        assert_eq!("prefill-first".parse::<PhasePolicy>().unwrap(), PhasePolicy::PrefillFirst);
+        assert_eq!(
+            "mixed:0.25".parse::<PhasePolicy>().unwrap(),
+            PhasePolicy::Mixed { prefill_frac: 0.25 }
+        );
+        assert!("mixed:1.5".parse::<PhasePolicy>().is_err());
+        assert!("bogus".parse::<PhasePolicy>().is_err());
+    }
+}

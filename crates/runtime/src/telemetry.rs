@@ -473,6 +473,15 @@ pub struct Telemetry {
     kv_migrated_bytes: AtomicU64,
     swaps: AtomicU64,
     migration_aborts: AtomicU64,
+    // Continuous-batching serving signals (see `crate::serve`).
+    ttft: LatencyHistogram,
+    tpot: LatencyHistogram,
+    request_latency: LatencyHistogram,
+    batch_occupancy: AtomicU64,
+    batch_occupancy_peak: AtomicU64,
+    kv_occupancy_milli: AtomicU64,
+    kv_occupancy_peak_milli: AtomicU64,
+    inflight: AtomicU64,
 }
 
 impl std::fmt::Debug for Telemetry {
@@ -518,6 +527,14 @@ impl Telemetry {
             kv_migrated_bytes: AtomicU64::new(0),
             swaps: AtomicU64::new(0),
             migration_aborts: AtomicU64::new(0),
+            ttft: LatencyHistogram::new(),
+            tpot: LatencyHistogram::new(),
+            request_latency: LatencyHistogram::new(),
+            batch_occupancy: AtomicU64::new(0),
+            batch_occupancy_peak: AtomicU64::new(0),
+            kv_occupancy_milli: AtomicU64::new(0),
+            kv_occupancy_peak_milli: AtomicU64::new(0),
+            inflight: AtomicU64::new(0),
         })
     }
 
@@ -728,6 +745,81 @@ impl Telemetry {
         self.swap_latency.snapshot()
     }
 
+    /// Record one request's time-to-first-token (µs).
+    pub fn record_ttft_us(&self, us: u64) {
+        self.ttft.record(us);
+    }
+
+    /// Record one request's mean time-per-output-token (µs).
+    pub fn record_tpot_us(&self, us: u64) {
+        self.tpot.record(us);
+    }
+
+    /// Record one request's arrival→completion latency (µs).
+    pub fn record_request_us(&self, us: u64) {
+        self.request_latency.record(us);
+    }
+
+    /// Snapshot of the time-to-first-token histogram.
+    pub fn ttft(&self) -> HistogramSnapshot {
+        self.ttft.snapshot()
+    }
+
+    /// Snapshot of the time-per-output-token histogram.
+    pub fn tpot(&self) -> HistogramSnapshot {
+        self.tpot.snapshot()
+    }
+
+    /// Snapshot of the per-request sojourn histogram.
+    pub fn request_latency(&self) -> HistogramSnapshot {
+        self.request_latency.snapshot()
+    }
+
+    /// Set the continuous-batching occupancy gauge: sequences in the
+    /// in-flight batch right now.
+    pub fn set_batch_occupancy(&self, n: u64) {
+        self.batch_occupancy.store(n, Ordering::Relaxed);
+        self.batch_occupancy_peak.fetch_max(n, Ordering::Relaxed);
+    }
+
+    /// Sequences in the in-flight batch.
+    pub fn batch_occupancy(&self) -> u64 {
+        self.batch_occupancy.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of the batch-occupancy gauge.
+    pub fn batch_occupancy_peak(&self) -> u64 {
+        self.batch_occupancy_peak.load(Ordering::Relaxed)
+    }
+
+    /// Set the paged-KV pool occupancy gauge (fraction of blocks in
+    /// use, clamped to `[0, 1]`; stored in milli-units).
+    pub fn set_kv_occupancy(&self, frac: f64) {
+        let milli = (frac.clamp(0.0, 1.0) * 1000.0).round() as u64;
+        self.kv_occupancy_milli.store(milli, Ordering::Relaxed);
+        self.kv_occupancy_peak_milli.fetch_max(milli, Ordering::Relaxed);
+    }
+
+    /// KV pool occupancy in `[0, 1]`.
+    pub fn kv_occupancy(&self) -> f64 {
+        self.kv_occupancy_milli.load(Ordering::Relaxed) as f64 / 1000.0
+    }
+
+    /// High-water mark of the KV-occupancy gauge.
+    pub fn kv_occupancy_peak(&self) -> f64 {
+        self.kv_occupancy_peak_milli.load(Ordering::Relaxed) as f64 / 1000.0
+    }
+
+    /// Set the requests-in-system gauge (queued + in flight).
+    pub fn set_inflight(&self, n: u64) {
+        self.inflight.store(n, Ordering::Relaxed);
+    }
+
+    /// Requests in the system (queued + in flight).
+    pub fn inflight(&self) -> u64 {
+        self.inflight.load(Ordering::Relaxed)
+    }
+
     /// Spans grouped per trace thread, sorted by start time, with
     /// overlaps from µs rounding clamped away — the invariant the trace
     /// tests assert: per tid, spans are monotonically ordered and
@@ -847,6 +939,21 @@ impl Telemetry {
             }
         };
         out.push_str(&fmt_hist("plan_swap", &self.swap_latency()));
+        out.push_str("serving:\n");
+        out.push_str(&format!("  inflight: {}\n", self.inflight()));
+        out.push_str(&format!(
+            "  batch_occupancy: {} (peak {})\n",
+            self.batch_occupancy(),
+            self.batch_occupancy_peak()
+        ));
+        out.push_str(&format!(
+            "  kv_occupancy: {:.3} (peak {:.3})\n",
+            self.kv_occupancy(),
+            self.kv_occupancy_peak()
+        ));
+        out.push_str(&fmt_hist("ttft", &self.ttft()));
+        out.push_str(&fmt_hist("tpot", &self.tpot()));
+        out.push_str(&fmt_hist("request", &self.request_latency()));
         for (i, s) in self.stages.iter().enumerate() {
             out.push_str(&format!(
                 "stage {i}: items={} seq_forwards={} busy_s={:.4} queue_peak={} kv_entries={} restarts={}\n",

@@ -12,5 +12,5 @@ pub mod online;
 pub mod prompts;
 
 pub use batch::{microbatch_counts, BatchJob, MicrobatchPlan};
-pub use online::{simulate_online, OnlineConfig, OnlineError, OnlineStats};
+pub use online::{sample_arrivals, simulate_online, ArrivalSpec, OnlineConfig, OnlineError, OnlineStats};
 pub use prompts::{PromptLengthModel, PromptSample};

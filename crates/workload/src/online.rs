@@ -118,12 +118,56 @@ pub struct OnlineStats {
     pub expired: usize,
 }
 
-/// One simulated request.
-#[derive(Debug, Clone, Copy)]
-struct Request {
-    arrival: f64,
-    prompt_len: usize,
-    n_generate: usize,
+/// One sampled arrival: everything a serving front end needs to build
+/// a concrete request (the tokens themselves are up to the caller —
+/// deterministic fills and oracle-hash prompts both work).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ArrivalSpec {
+    /// Arrival time, seconds from trace start.
+    pub arrival_s: f64,
+    /// Prompt length in tokens (ShareGPT-like mixture draw).
+    pub prompt_len: usize,
+    /// Tokens to generate.
+    pub n_generate: usize,
+    /// Scheduling priority, `0..4` (higher = more important). Drawn
+    /// from its own RNG stream so enabling priorities never perturbs
+    /// the arrival process.
+    pub priority: u32,
+}
+
+/// Sample the arrival trace [`simulate_online`] serves — same config,
+/// same seed, same draws — as a reusable spec list, so online serving
+/// loops (`runtime::serve`, the `llmpq-serve` drive/soak modes) replay
+/// *identical* traffic to what the batch simulation measured.
+///
+/// Validates the same config fields the simulation does (arrival rate,
+/// request count).
+pub fn sample_arrivals(
+    cfg: &OnlineConfig,
+    prompt_model: &PromptLengthModel,
+) -> Result<Vec<ArrivalSpec>, OnlineError> {
+    if !(cfg.arrival_rate.is_finite() && cfg.arrival_rate > 0.0) {
+        return Err(OnlineError::BadArrivalRate(cfg.arrival_rate));
+    }
+    if cfg.n_requests == 0 {
+        return Err(OnlineError::NoRequests);
+    }
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut prio_rng = SmallRng::seed_from_u64(cfg.seed ^ 0x50);
+    let lens = prompt_model.sample(cfg.n_requests, cfg.seed ^ 0x9A);
+    let mut t = 0.0f64;
+    Ok(lens
+        .iter()
+        .map(|p| {
+            t += -rng.gen::<f64>().max(1e-12).ln() / cfg.arrival_rate;
+            ArrivalSpec {
+                arrival_s: t,
+                prompt_len: p.len.max(1),
+                n_generate: rng.gen_range(cfg.n_generate.0..=cfg.n_generate.1),
+                priority: prio_rng.gen_range(0..4),
+            }
+        })
+        .collect())
 }
 
 /// Run the simulation. `batch_cost(s, n, b)` returns the engine's
@@ -138,35 +182,16 @@ pub fn simulate_online(
     prompt_model: &PromptLengthModel,
     batch_cost: &dyn Fn(usize, usize, usize) -> f64,
 ) -> Result<OnlineStats, OnlineError> {
-    if !(cfg.arrival_rate.is_finite() && cfg.arrival_rate > 0.0) {
-        return Err(OnlineError::BadArrivalRate(cfg.arrival_rate));
-    }
-    if cfg.n_requests == 0 {
-        return Err(OnlineError::NoRequests);
-    }
     if cfg.batch_size == 0 {
         return Err(OnlineError::BadBatchSize);
     }
     if !(0.0..=1.0).contains(&cfg.failure_rate) {
         return Err(OnlineError::BadFailureRate(cfg.failure_rate));
     }
-    let mut rng = SmallRng::seed_from_u64(cfg.seed);
     // Failure draws come from their own stream so turning failures on or
     // off never perturbs arrivals or generation lengths.
     let mut fail_rng = SmallRng::seed_from_u64(cfg.seed ^ 0xFA11);
-    let lens = prompt_model.sample(cfg.n_requests, cfg.seed ^ 0x9A);
-    let mut t = 0.0f64;
-    let requests: Vec<Request> = lens
-        .iter()
-        .map(|p| {
-            t += -rng.gen::<f64>().max(1e-12).ln() / cfg.arrival_rate;
-            Request {
-                arrival: t,
-                prompt_len: p.len,
-                n_generate: rng.gen_range(cfg.n_generate.0..=cfg.n_generate.1),
-            }
-        })
-        .collect();
+    let requests: Vec<ArrivalSpec> = sample_arrivals(cfg, prompt_model)?;
 
     let mut server_free = 0.0f64;
     let mut sojourn = Vec::with_capacity(cfg.n_requests);
@@ -181,20 +206,20 @@ pub fn simulate_online(
     while i < requests.len() {
         // The batch window opens when the server is free and the first
         // request is present.
-        let first_ready = requests[i].arrival.max(server_free);
+        let first_ready = requests[i].arrival_s.max(server_free);
         // Accumulate up to batch_size requests that arrive within the
         // window.
         let mut j = i + 1;
         while j < requests.len()
             && j - i < cfg.batch_size
-            && requests[j].arrival <= first_ready + cfg.max_wait_s
+            && requests[j].arrival_s <= first_ready + cfg.max_wait_s
         {
             j += 1;
         }
         let batch = &requests[i..j];
         // The batch starts when its last member arrived (or the window
         // closed waiting for stragglers) and the server is free.
-        let last_arrival = batch.last().unwrap().arrival;
+        let last_arrival = batch.last().unwrap().arrival_s;
         let start = if batch.len() == cfg.batch_size {
             last_arrival.max(server_free)
         } else {
@@ -214,8 +239,8 @@ pub fn simulate_online(
             start + latency
         };
         for r in batch {
-            sojourn.push(end - r.arrival);
-            queue_wait.push(start - r.arrival);
+            sojourn.push(end - r.arrival_s);
+            queue_wait.push(start - r.arrival_s);
             real_tokens += r.prompt_len;
             padded_tokens += s;
             generated += r.n_generate;
