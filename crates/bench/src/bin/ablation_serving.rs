@@ -16,14 +16,26 @@
 //! per second) with the p99 deadline-miss picture alongside: padding
 //! and lock-step decode make static batching burn budget on work that
 //! was already late. Emits `BENCH_serving.json` and prints the table.
+//!
+//! A second section prices the distributed ring itself: the same
+//! continuous scheduler over the real reference model, once on the
+//! in-process [`ModelStepEngine`] and once on the two-stage
+//! [`DistStepEngine`] channel ring (no faults). The rings must agree
+//! token for token; the row pair shows what the pipeline hop costs in
+//! throughput and tail latency.
 
 use llmpq_bench::TextTable;
+use llm_pq::{ExecutionPlan, MicrobatchPlan, StagePlan};
+use llmpq_model::{RefConfig, RefModel};
+use llmpq_quant::{BitAssignment, Bitwidth, Rounding};
 use llmpq_runtime::{
-    serve_continuous, serve_static, ContinuousConfig, ContinuousReport, IterCost, KvPoolConfig,
-    LatencySummary, Request, SimStepEngine,
+    poisson_requests, serve_continuous, serve_static, ContinuousConfig, ContinuousReport,
+    DistServeConfig, DistStepEngine, IterCost, KvPoolConfig, LatencySummary, ModelStepEngine,
+    Request, SimStepEngine,
 };
 use llmpq_workload::{sample_arrivals, OnlineConfig, PromptLengthModel};
 use serde::Serialize;
+use std::time::Duration;
 
 const N_REQUESTS: usize = 1500;
 const DEADLINE_S: f64 = 2.0;
@@ -149,6 +161,100 @@ struct BenchReport {
     /// Continuous must win (or tie) goodput at every rate while its
     /// p99 deadline-miss picture is no worse — the claim CI checks.
     continuous_wins_goodput: bool,
+    /// Requests in the distributed-vs-local section.
+    dist_requests: usize,
+    /// The `distributed` / `local-model` row pair must produce
+    /// identical tokens for every request — the other claim CI checks.
+    distributed_matches_local: bool,
+}
+
+/// Distributed-vs-local: the real tiny reference model served by the
+/// continuous scheduler on the in-process engine and on the two-stage
+/// channel ring, same trace, same quantization seed, no faults. Rows
+/// land as modes `local-model` and `distributed`; returns whether the
+/// two produced bit-identical outputs.
+const DIST_REQUESTS: usize = 120;
+const DIST_RATE_RPS: f64 = 50.0;
+
+fn dist_stage_plan(bits: Bitwidth) -> ExecutionPlan {
+    let n = RefConfig::tiny().n_layers;
+    let split = n / 2;
+    ExecutionPlan {
+        model: "tiny".into(),
+        cluster: "bench".into(),
+        stages: vec![
+            StagePlan { device: 0, layer_start: 0, layer_end: split, bits: vec![bits; split] },
+            StagePlan { device: 1, layer_start: split, layer_end: n, bits: vec![bits; n - split] },
+        ],
+        microbatch: MicrobatchPlan {
+            prefill_size: 1,
+            prefill_count: 1,
+            decode_size: 1,
+            decode_count: 1,
+        },
+        scheme: "LLM-PQ".into(),
+        kv_bits: 16,
+    }
+}
+
+fn dist_vs_local(rows: &mut Vec<Row>, table: &mut TextTable) -> bool {
+    let model = RefModel::new(RefConfig::tiny());
+    let n = model.cfg.n_layers;
+    let bit_ladder = vec![
+        BitAssignment::uniform(n, Bitwidth::Fp16),
+        BitAssignment::uniform(n, Bitwidth::Int8),
+    ];
+    let reqs = poisson_requests(DIST_REQUESTS, DIST_RATE_RPS, 6, 8, SEED).expect("valid trace");
+    let cfg = || ContinuousConfig {
+        token_budget: 16,
+        max_batch: 8,
+        ..ContinuousConfig::default()
+    };
+    let local_engine = ModelStepEngine::new(
+        &model,
+        &bit_ladder,
+        Rounding::Deterministic,
+        SEED,
+        KvPoolConfig::default(),
+    )
+    .expect("local engine");
+    let local = serve_continuous(local_engine, &reqs, cfg(), None).expect("local run");
+    let dist_engine = DistStepEngine::over_channels(
+        &model,
+        vec![dist_stage_plan(Bitwidth::Fp16), dist_stage_plan(Bitwidth::Int8)],
+        Rounding::Deterministic,
+        SEED,
+        DistServeConfig { n_slots: 16, tick: Duration::from_millis(1), ..Default::default() },
+        None,
+    )
+    .expect("channel ring");
+    let dist = serve_continuous(dist_engine, &reqs, cfg(), None).expect("distributed run");
+    assert!(local.conserves(), "local-model run must conserve");
+    assert!(dist.conserves(), "distributed run must conserve");
+    let tokens = |r: &ContinuousReport| {
+        let mut m: Vec<(usize, Vec<usize>)> =
+            r.outputs.iter().map(|f| (f.id, f.tokens.clone())).collect();
+        m.sort();
+        m
+    };
+    let matches = tokens(&local) == tokens(&dist);
+    for (mode, r) in [("local-model", &local), ("distributed", &dist)] {
+        let mut w = row(DIST_RATE_RPS, r);
+        w.mode = mode.into();
+        table.row(vec![
+            format!("{DIST_RATE_RPS}"),
+            w.mode.clone(),
+            format!("{}", w.completed),
+            format!("{:.1}", w.goodput_rps),
+            format!("{:.1}", w.deadline_miss_rate * 100.0),
+            format!("{:.2}", w.ttft.p99_ms),
+            format!("{:.3}", w.tpot.p99_ms),
+            format!("{:.1}", w.mean_batch_occupancy),
+            format!("{}", w.prefill_tokens),
+        ]);
+        rows.push(w);
+    }
+    matches
 }
 
 fn main() {
@@ -183,10 +289,15 @@ fn main() {
             rows.push(w);
         }
     }
+    let matches = dist_vs_local(&mut rows, &mut table);
     println!("{}", table.render());
     println!(
         "continuous {} static batching on goodput at matched-or-better deadline-miss rate",
         if wins { "beats-or-ties" } else { "DOES NOT beat" }
+    );
+    println!(
+        "distributed ring {} the local engine token-for-token on {DIST_REQUESTS} requests",
+        if matches { "matches" } else { "DOES NOT match" }
     );
     let report = BenchReport {
         bench: "ablation_serving",
@@ -196,6 +307,8 @@ fn main() {
         static_wait_s: STATIC_WAIT_S,
         rows,
         continuous_wins_goodput: wins,
+        dist_requests: DIST_REQUESTS,
+        distributed_matches_local: matches,
     };
     let path = "BENCH_serving.json";
     match std::fs::write(path, serde_json::to_string_pretty(&report).expect("serializable") + "\n")
@@ -204,4 +317,5 @@ fn main() {
         Err(e) => eprintln!("could not write {path}: {e}"),
     }
     assert!(wins, "continuous batching must not lose to the static baseline");
+    assert!(matches, "distributed ring must match the local engine token-for-token");
 }

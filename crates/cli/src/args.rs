@@ -50,6 +50,8 @@ const SWITCHES: &[&str] = &[
     "inject-bug",
     "trace",
     "migrations",
+    "serving",
+    "no-swaps",
     "compare-static",
     "keep-outputs",
     "degrade",

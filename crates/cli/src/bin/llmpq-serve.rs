@@ -25,15 +25,19 @@
 //! every connection got an answer and every request is accounted for
 //! (`offered == served + shed + expired`).
 
+use llm_pq::{ExecutionPlan, StagePlan};
 use llmpq_cli::Args;
 use llmpq_model::{RefConfig, RefModel};
 use llmpq_quant::{BitAssignment, Bitwidth, Rounding};
 use llmpq_runtime::{
     poisson_requests, real_clock, serve_continuous, serve_static, AdmissionConfig,
-    AdmissionPolicy, ContinuousConfig, ContinuousReport, HttpServerConfig, IterCost, KvPoolConfig,
-    ModelStepEngine, PhasePolicy, Request, SimStepEngine, StepEngine, Telemetry,
+    AdmissionPolicy, ContinuousConfig, ContinuousReport, DistServeConfig, DistStepEngine,
+    HttpServerConfig, IterCost, KvPoolConfig, ModelStepEngine, PhasePolicy, Request, RungSwap,
+    SimStepEngine, StepEngine, Telemetry,
 };
-use llmpq_workload::{sample_arrivals, OnlineConfig, PromptLengthModel};
+use llmpq_workload::{
+    sample_arrivals, sample_arrivals_for_duration, MicrobatchPlan, OnlineConfig, PromptLengthModel,
+};
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::process::ExitCode;
@@ -43,8 +47,9 @@ use std::time::Duration;
 
 const USAGE: &str = "usage: llmpq-serve --mode serve|drive|soak
   engine (all modes):
-    [--engine sim|model]     analytic cost model vs real quantized transformer (default sim)
-    [--rungs 3]              degradation ladder depth (model: Fp16>Int8>Int4>Int3)
+    [--engine sim|model|dist] analytic cost model, real quantized transformer, or the
+                             distributed ring engine (in-process stages; default sim)
+    [--rungs 3]              degradation ladder depth (model/dist: Fp16>Int8>Int4>Int3)
     [--blocks 4096]          KV pool blocks
     [--block-tokens 16]      tokens per KV block
     [--vocab 97]             sim-engine vocabulary
@@ -59,6 +64,8 @@ const USAGE: &str = "usage: llmpq-serve --mode serve|drive|soak
     [--queue-timeout-s 1.0]  bound for queue-timeout admission
     [--deadline-ms 0]        per-request SLO (0 = none)
     [--degrade]              enable graceful degradation over the rung ladder
+    [--swap-at 0]            live plan swap after this iteration (0 = never)
+    [--swap-rung 1]          target rung for --swap-at
   serve:
     [--addr 127.0.0.1:8080]  listen address
     [--max-tokens-cap 256]   largest max_tokens a request may ask
@@ -66,6 +73,8 @@ const USAGE: &str = "usage: llmpq-serve --mode serve|drive|soak
     [--requests 2000]        trace length
     [--rate 200]             Poisson arrival rate (req/s, virtual)
     [--workload poisson]     poisson (short prompts) | sharegpt (length mixture)
+    [--duration 0]           keep only sharegpt arrivals within this window, seconds
+                             (an empty window is a hard error, not an empty run)
     [--prompt-len 24]        max prompt length for the poisson trace
     [--gen 8]                tokens generated per request (poisson trace)
     [--compare-static]       also run the static-batching baseline
@@ -75,6 +84,7 @@ const USAGE: &str = "usage: llmpq-serve --mode serve|drive|soak
   soak:
     [--clients 16]           concurrent client connections
     [--per-client 25]        requests per client (keep-alive)
+    (every 429/503 must carry a parseable Retry-After or the soak fails)
     [--help]";
 
 fn fail(msg: &str) -> ExitCode {
@@ -95,6 +105,7 @@ macro_rules! get {
 enum Engine {
     Sim(Box<SimStepEngine>),
     Model(Box<ModelStepEngine>),
+    Dist(Box<DistStepEngine>),
 }
 
 struct EngineParams {
@@ -103,6 +114,9 @@ struct EngineParams {
     pool: KvPoolConfig,
     vocab: usize,
     seed: u64,
+    /// Worker-side sequence slots for the dist engine (covers the
+    /// scheduler's max batch).
+    slots: usize,
 }
 
 fn build_engine(p: &EngineParams) -> Result<(Engine, usize), String> {
@@ -129,7 +143,58 @@ fn build_engine(p: &EngineParams) -> Result<(Engine, usize), String> {
             let e = ModelStepEngine::new(&checkpoint, &ladder, Rounding::Deterministic, p.seed, p.pool)?;
             Ok((Engine::Model(Box::new(e)), vocab))
         }
-        other => Err(format!("unknown engine '{other}' (sim|model)")),
+        "dist" => {
+            // The same checkpoint/ladder as `model`, but executed
+            // through the two-stage in-process serving ring — the CLI
+            // face of the distributed continuous-serving path (with
+            // live `--swap-at` migration and supervisor restarts).
+            let cfg = RefConfig::scaled_like(4, p.seed);
+            let vocab = cfg.vocab;
+            let checkpoint = RefModel::new(cfg);
+            let n_layers = checkpoint.cfg.n_layers;
+            let cut = n_layers / 2;
+            let all = [Bitwidth::Fp16, Bitwidth::Int8, Bitwidth::Int4, Bitwidth::Int3];
+            let plans: Vec<ExecutionPlan> = all
+                .iter()
+                .take(p.rungs.clamp(1, all.len()))
+                .map(|b| ExecutionPlan {
+                    model: "llmpq-serve".into(),
+                    cluster: "in-process".into(),
+                    stages: vec![
+                        StagePlan {
+                            device: 0,
+                            layer_start: 0,
+                            layer_end: cut,
+                            bits: vec![*b; cut],
+                        },
+                        StagePlan {
+                            device: 1,
+                            layer_start: cut,
+                            layer_end: n_layers,
+                            bits: vec![*b; n_layers - cut],
+                        },
+                    ],
+                    microbatch: MicrobatchPlan {
+                        prefill_size: 1,
+                        prefill_count: 1,
+                        decode_size: 1,
+                        decode_count: 1,
+                    },
+                    scheme: "LLM-PQ".into(),
+                    kv_bits: 16,
+                })
+                .collect();
+            let e = DistStepEngine::over_channels(
+                &checkpoint,
+                plans,
+                Rounding::Deterministic,
+                p.seed,
+                DistServeConfig { n_slots: p.slots, pool: p.pool, ..DistServeConfig::default() },
+                None,
+            )?;
+            Ok((Engine::Dist(Box::new(e)), vocab))
+        }
+        other => Err(format!("unknown engine '{other}' (sim|model|dist)")),
     }
 }
 
@@ -157,6 +222,11 @@ fn scheduler_cfg(args: &Args) -> Result<ContinuousConfig, String> {
         prefill_chunk: args.get_parse("prefill-chunk", 64usize).map_err(|e| e.to_string())?,
         policy,
         degradation: args.switch("degrade").then(Default::default),
+        swaps: {
+            let at = args.get_parse("swap-at", 0u64).map_err(|e| e.to_string())?;
+            let rung = args.get_parse("swap-rung", 1usize).map_err(|e| e.to_string())?;
+            (at > 0).then_some(RungSwap { at_iteration: at, rung }).into_iter().collect()
+        },
     })
 }
 
@@ -181,6 +251,7 @@ fn sharegpt_trace(
     vocab: usize,
     max_seq: usize,
     deadline_ms: u64,
+    duration_s: Option<f64>,
 ) -> Result<Vec<Request>, String> {
     let cfg = OnlineConfig {
         arrival_rate: rate,
@@ -189,7 +260,14 @@ fn sharegpt_trace(
         seed,
         ..OnlineConfig::default()
     };
-    let arrivals = sample_arrivals(&cfg, &PromptLengthModel::default()).map_err(|e| e.to_string())?;
+    let model = PromptLengthModel::default();
+    // A window that holds zero arrivals is a typed OnlineError — the
+    // drive mode surfaces it instead of serving an empty trace.
+    let arrivals = match duration_s {
+        Some(d) => sample_arrivals_for_duration(&cfg, &model, d),
+        None => sample_arrivals(&cfg, &model),
+    }
+    .map_err(|e| e.to_string())?;
     Ok(arrivals
         .iter()
         .enumerate()
@@ -223,14 +301,20 @@ fn run_drive(args: &Args, cfg: ContinuousConfig, params: &EngineParams) -> Resul
     let prompt_len = args.get_parse("prompt-len", 24usize).map_err(|e| e.to_string())?;
     let gen = args.get_parse("gen", 8usize).map_err(|e| e.to_string())?;
     let deadline_ms = args.get_parse("deadline-ms", 0u64).map_err(|e| e.to_string())?;
+    let duration = args.get_parse("duration", 0.0f64).map_err(|e| e.to_string())?;
+    let duration_s = (duration != 0.0).then_some(duration);
     let trace_kind = args.get("workload").unwrap_or("poisson");
     let (engine, vocab) = build_engine(params)?;
     let max_seq = match &engine {
         Engine::Sim(e) => e.max_seq(),
         Engine::Model(e) => e.max_seq(),
+        Engine::Dist(e) => e.max_seq(),
     };
     let mut requests = match trace_kind {
         "poisson" => {
+            if duration_s.is_some() {
+                return Err("--duration requires --workload sharegpt".into());
+            }
             let mut reqs = poisson_requests(n, rate, prompt_len, gen, params.seed)?;
             if deadline_ms > 0 {
                 for r in &mut reqs {
@@ -239,7 +323,9 @@ fn run_drive(args: &Args, cfg: ContinuousConfig, params: &EngineParams) -> Resul
             }
             reqs
         }
-        "sharegpt" => sharegpt_trace(n, rate, params.seed, vocab, max_seq, deadline_ms)?,
+        "sharegpt" => {
+            sharegpt_trace(n, rate, params.seed, vocab, max_seq, deadline_ms, duration_s)?
+        }
         other => return Err(format!("unknown workload '{other}' (poisson|sharegpt)")),
     };
     for r in &mut requests {
@@ -251,6 +337,7 @@ fn run_drive(args: &Args, cfg: ContinuousConfig, params: &EngineParams) -> Resul
     let report = match engine {
         Engine::Sim(e) => serve_continuous(e, &requests, cfg.clone(), None)?,
         Engine::Model(e) => serve_continuous(e, &requests, cfg.clone(), None)?,
+        Engine::Dist(e) => serve_continuous(e, &requests, cfg.clone(), None)?,
     };
     let conserves = report.conserves();
     if !args.switch("compare-static") {
@@ -263,6 +350,7 @@ fn run_drive(args: &Args, cfg: ContinuousConfig, params: &EngineParams) -> Resul
     let baseline = match engine2 {
         Engine::Sim(e) => serve_static(e, &requests, cfg, batch_size, max_wait)?,
         Engine::Model(e) => serve_static(e, &requests, cfg, batch_size, max_wait)?,
+        Engine::Dist(e) => serve_static(e, &requests, cfg, batch_size, max_wait)?,
     };
     let both_ok = conserves && baseline.conserves();
     println!(
@@ -292,8 +380,21 @@ fn run_serve(args: &Args, cfg: ContinuousConfig, params: &EngineParams) -> Resul
         Engine::Model(e) => {
             llmpq_runtime::run_http_server(listener, e, cfg, http_cfg, telemetry, real_clock())?
         }
+        Engine::Dist(e) => {
+            llmpq_runtime::run_http_server(listener, e, cfg, http_cfg, telemetry, real_clock())?
+        }
     }
     Ok(ExitCode::SUCCESS)
+}
+
+/// A 429/503 answer must tell the client when to come back; a missing
+/// or unparseable `Retry-After` counts against the soak.
+fn retry_after_ok(resp: &str) -> bool {
+    resp.lines()
+        .find(|l| l.to_ascii_lowercase().starts_with("retry-after:"))
+        .and_then(|l| l.split(':').nth(1))
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .is_some()
 }
 
 fn soak_client(
@@ -303,6 +404,7 @@ fn soak_client(
     vocab: usize,
     answered: Arc<AtomicU64>,
     dropped: Arc<AtomicU64>,
+    bad_retry: Arc<AtomicU64>,
 ) -> Vec<u16> {
     let mut codes = Vec::with_capacity(per_client);
     let mut stream = match TcpStream::connect(addr) {
@@ -346,6 +448,9 @@ fn soak_client(
         match code {
             Some(c) => {
                 answered.fetch_add(1, Ordering::Relaxed);
+                if (c == 429 || c == 503) && !retry_after_ok(&resp) {
+                    bad_retry.fetch_add(1, Ordering::Relaxed);
+                }
                 codes.push(c);
             }
             None => {
@@ -384,14 +489,18 @@ fn run_soak(args: &Args, cfg: ContinuousConfig, params: &EngineParams) -> Result
         Engine::Model(e) => llmpq_runtime::HttpServer::start(
             listener, e, cfg, http_cfg, telemetry, real_clock(),
         )?,
+        Engine::Dist(e) => llmpq_runtime::HttpServer::start(
+            listener, e, cfg, http_cfg, telemetry, real_clock(),
+        )?,
     };
     let addr = server.addr;
     let answered = Arc::new(AtomicU64::new(0));
     let client_dropped = Arc::new(AtomicU64::new(0));
+    let bad_retry = Arc::new(AtomicU64::new(0));
     let threads: Vec<_> = (0..clients)
         .map(|c| {
-            let (a, d) = (answered.clone(), client_dropped.clone());
-            std::thread::spawn(move || soak_client(addr, c, per_client, vocab, a, d))
+            let (a, d, b) = (answered.clone(), client_dropped.clone(), bad_retry.clone());
+            std::thread::spawn(move || soak_client(addr, c, per_client, vocab, a, d, b))
         })
         .collect();
     let mut codes: Vec<u16> = Vec::new();
@@ -404,9 +513,14 @@ fn run_soak(args: &Args, cfg: ContinuousConfig, params: &EngineParams) -> Result
     let got = answered.load(Ordering::Relaxed);
     let lost = client_dropped.load(Ordering::Relaxed);
     let count = |code: u16| codes.iter().filter(|c| **c == code).count();
-    let ok = report.conserves() && server_dropped == 0 && lost == 0 && got == total;
+    let no_retry = bad_retry.load(Ordering::Relaxed);
+    let ok = report.conserves()
+        && server_dropped == 0
+        && lost == 0
+        && got == total
+        && no_retry == 0;
     println!(
-        "{{\"offered\":{},\"answered\":{got},\"expected\":{total},\"dropped_server\":{server_dropped},\"dropped_client\":{lost},\"status_200\":{},\"status_429\":{},\"status_504\":{},\"completed\":{},\"shed\":{},\"expired\":{},\"preemptions\":{},\"conserves\":{},\"ok\":{ok}}}",
+        "{{\"offered\":{},\"answered\":{got},\"expected\":{total},\"dropped_server\":{server_dropped},\"dropped_client\":{lost},\"retry_after_missing\":{no_retry},\"status_200\":{},\"status_429\":{},\"status_504\":{},\"completed\":{},\"shed\":{},\"expired\":{},\"preemptions\":{},\"conserves\":{},\"ok\":{ok}}}",
         report.stats.offered,
         count(200),
         count(429),
@@ -438,6 +552,7 @@ fn main() -> ExitCode {
         },
         vocab: get!(args, "vocab", 97usize),
         seed: get!(args, "seed", 42u64),
+        slots: get!(args, "max-batch", 32usize),
     };
     let cfg = match scheduler_cfg(&args) {
         Ok(c) => c,

@@ -18,7 +18,10 @@
 //! replayable JSON (`--out`), and the process exits nonzero.
 
 use llmpq_cli::Args;
-use llmpq_runtime::{run_sim, seed_sweep, shrink_fault_plan, SimConfig, SimFaultPlan};
+use llmpq_runtime::{
+    run_serving_chaos, run_sim, seed_sweep, serving_seed_sweep, shrink_fault_plan,
+    shrink_serving_plan, FaultPlan, ServingChaosConfig, SimConfig, SimFaultPlan,
+};
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: llmpq-simnet
@@ -32,6 +35,14 @@ const USAGE: &str = "usage: llmpq-simnet
     [--migrations]           live-migration mode: every run schedules a hot
                              precision/partition swap and faults are drawn
                              inside the prepare/commit window
+    [--serving]              serving-chaos mode: run the continuous-batching
+                             scheduler on the distributed step engine under a
+                             seeded arrival trace, seeded live swap and a
+                             migration-biased fault schedule, checked against
+                             the local-engine oracle (crash/hang/drop faults;
+                             --schedule replays a FaultPlan JSON instead)
+    [--requests 6]           serving mode: requests per arrival trace
+    [--no-swaps]             serving mode: disable the seeded live swaps
     [--inject-bug]           dev hook: break admission conservation on purpose
     [--trace]                print the deterministic event trace(s)";
 
@@ -79,10 +90,6 @@ fn main() -> ExitCode {
     }
     let out_path = args.get("out").unwrap_or("sim-counterexample.json").to_string();
 
-    if let Some(path) = args.get("schedule") {
-        return replay(&cfg, path, args.switch("trace"));
-    }
-
     let n_seeds: u64 = match args.get_parse("seeds", 500) {
         Ok(v) => v,
         Err(e) => return fail(&e.to_string()),
@@ -91,6 +98,27 @@ fn main() -> ExitCode {
         Ok(v) => v,
         Err(e) => return fail(&e.to_string()),
     };
+
+    if args.switch("serving") {
+        let mut scfg = ServingChaosConfig::default();
+        scfg.n_requests = match args.get_parse("requests", scfg.n_requests) {
+            Ok(v) => v,
+            Err(e) => return fail(&e.to_string()),
+        };
+        scfg.max_restarts = match args.get_parse("max-restarts", scfg.max_restarts) {
+            Ok(v) => v,
+            Err(e) => return fail(&e.to_string()),
+        };
+        scfg.migration = !args.switch("no-swaps");
+        if let Some(path) = args.get("schedule") {
+            return serving_replay(&scfg, path, start_seed);
+        }
+        return serving_sweep(&scfg, start_seed, n_seeds, &out_path);
+    }
+
+    if let Some(path) = args.get("schedule") {
+        return replay(&cfg, path, args.switch("trace"));
+    }
 
     let report = seed_sweep(&cfg, start_seed, n_seeds);
     println!(
@@ -136,6 +164,91 @@ fn main() -> ExitCode {
         Err(e) => eprintln!("could not write {out_path}: {e}"),
     }
     ExitCode::FAILURE
+}
+
+/// Serving-chaos sweep: the continuous-batching scheduler on the
+/// distributed engine, one seeded trace + swap + fault schedule per
+/// seed, token-checked against the local-engine oracle.
+fn serving_sweep(
+    cfg: &ServingChaosConfig,
+    start_seed: u64,
+    n_seeds: u64,
+    out_path: &str,
+) -> ExitCode {
+    let report = serving_seed_sweep(cfg, start_seed, n_seeds);
+    println!(
+        "served {} seeds ({}..{}) through the distributed ring: {} schedules carried faults, \
+         {} runs recovered via restart ({} in-flight sequences requeued), {} live swaps committed",
+        report.n_seeds,
+        report.start_seed,
+        report.start_seed + report.n_seeds,
+        report.runs_with_faults,
+        report.runs_with_restarts,
+        report.sequences_recovered,
+        report.runs_committed,
+    );
+    if report.ok() {
+        println!("all serving invariants held on every schedule (token equality vs local \
+                  oracle, admission conservation incl. recovered leg, restart bound)");
+        return ExitCode::SUCCESS;
+    }
+    for f in &report.failures {
+        eprintln!(
+            "seed {} violated: {} (shrunk to {} event(s))",
+            f.seed,
+            f.violations.join("; "),
+            f.minimized.events.len()
+        );
+    }
+    let first = &report.failures[0];
+    match std::fs::write(out_path, &first.minimized_json) {
+        Ok(()) => eprintln!(
+            "minimized counterexample for seed {} written to {out_path} — replay with: \
+             llmpq-simnet --serving --seed {} --schedule {out_path}",
+            first.seed, first.seed
+        ),
+        Err(e) => eprintln!("could not write {out_path}: {e}"),
+    }
+    ExitCode::FAILURE
+}
+
+/// Replay one serving fault schedule (a [`FaultPlan`] JSON) at `seed`.
+fn serving_replay(cfg: &ServingChaosConfig, path: &str, seed: u64) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => return fail(&format!("cannot read {path}: {e}")),
+    };
+    let plan = match FaultPlan::from_json(&text) {
+        Ok(p) => p,
+        Err(e) => return fail(&e),
+    };
+    let run = run_serving_chaos(cfg, seed, &plan);
+    println!(
+        "replayed {} fault event(s) at seed {seed}: {} restart(s), {} sequence(s) requeued, \
+         final epoch {}{}",
+        run.fault_events,
+        run.restarts,
+        run.recovered,
+        run.epoch,
+        run.swap_at.map_or(String::new(), |i| format!(", swap scheduled at iteration {i}")),
+    );
+    if run.violations.is_empty() {
+        println!("all serving invariants held");
+        ExitCode::SUCCESS
+    } else {
+        for v in &run.violations {
+            eprintln!("violation: {v}");
+        }
+        let minimized = shrink_serving_plan(cfg, seed, &plan);
+        if minimized.events.len() < plan.events.len() {
+            eprintln!(
+                "shrinks further to {} event(s):\n{}",
+                minimized.events.len(),
+                minimized.to_json()
+            );
+        }
+        ExitCode::FAILURE
+    }
 }
 
 fn replay(cfg: &SimConfig, path: &str, show_trace: bool) -> ExitCode {

@@ -301,6 +301,10 @@ impl<'m, T: Transport> Master<'m, T> {
                 }
                 // else: stale chunk from a dead epoch — sink it.
             }
+            WorkerMsg::KvReset { .. } => {
+                // The serving engine's own slot-recycle broadcast wrapped
+                // around the ring: every stage has cleared the slot — sink.
+            }
             WorkerMsg::Work(_) | WorkerMsg::Shutdown | WorkerMsg::Protocol(_) => {
                 unreachable!("on_ring_msg only receives migration traffic")
             }

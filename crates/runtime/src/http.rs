@@ -7,20 +7,27 @@
 //! routes:
 //!
 //! * `POST /v1/completions` — OpenAI-ish JSON: `{"prompt": [1,2,3] |
-//!   "text", "max_tokens": 16, "priority": 2, "deadline_ms": 2000}`.
-//!   Strict parsing: bad JSON, wrong types, and *unknown fields* are
-//!   all 400s with the offending field named; an oversized body is 413
-//!   before the JSON is even looked at.
+//!   "text", "max_tokens": 16, "priority": 2, "deadline_ms": 2000,
+//!   "stream": false}`. Strict parsing: bad JSON, wrong types, and
+//!   *unknown fields* are all 400s with the offending field named; an
+//!   oversized body is 413 before the JSON is even looked at. With
+//!   `"stream": true` the response is `Transfer-Encoding: chunked`,
+//!   one JSON line per token as it lands, ending with a `done` chunk
+//!   (drain-on-shutdown terminates live streams the same way).
 //! * `GET /metrics` — the plain-text [`Telemetry::metrics_text`]
 //!   snapshot (including the `serving:` block: in-flight gauge, batch
-//!   and KV occupancy, TTFT/TPOT histograms).
-//! * `GET /healthz` — liveness, `{"status":"ok"}`.
+//!   and KV occupancy, TTFT/TPOT histograms) plus a `serving_dist:`
+//!   line with the engine's live-swap epoch and restart counters.
+//! * `GET /healthz` — liveness: `{"status":"ok"|"draining",
+//!   "uptime_s":…, "epoch":…, "restarts":…, "queued":…}`.
 //!
 //! The connection thread hands the parsed request to the scheduler
 //! thread through a channel ([`ServeHandle::submit`]) and blocks until
 //! the request finishes, is shed (429), or expires (504) — so HTTP
 //! backpressure is the admission controller's backpressure, not a
-//! second queue with its own policy.
+//! second queue with its own policy. Overload answers (429 shed, 503
+//! draining) carry a `Retry-After` header derived from the queue depth
+//! and the observed time-per-output-token.
 
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
@@ -215,6 +222,8 @@ pub struct CompletionRequest {
     pub deadline_ms: Option<u64>,
     /// Model name, echoed back (the server has exactly one).
     pub model: Option<String>,
+    /// Stream tokens as they land (chunked transfer-encoding).
+    pub stream: bool,
 }
 
 fn as_count(v: &serde::Value, field: &str) -> Result<usize, String> {
@@ -243,6 +252,7 @@ pub fn parse_completion(
         priority: 1,
         deadline_ms: None,
         model: None,
+        stream: false,
     };
     let mut saw_prompt = false;
     for (k, v) in pairs {
@@ -287,6 +297,10 @@ pub fn parse_completion(
             }
             "priority" => out.priority = as_count(v, "priority")? as u32,
             "deadline_ms" => out.deadline_ms = Some(as_count(v, "deadline_ms")? as u64),
+            "stream" => match v {
+                serde::Value::Bool(b) => out.stream = *b,
+                _ => return Err("field \"stream\" must be a boolean".to_string()),
+            },
             other => return Err(format!("unknown field {other:?}")),
         }
     }
@@ -307,13 +321,38 @@ fn write_response(
     body: &[u8],
     close: bool,
 ) -> std::io::Result<()> {
+    write_response_hdrs(w, status, reason, content_type, &[], body, close)
+}
+
+fn write_response_hdrs(
+    w: &mut impl Write,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    extra: &[(&str, String)],
+    body: &[u8],
+    close: bool,
+) -> std::io::Result<()> {
     write!(
         w,
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {}\r\n",
         body.len(),
         if close { "close" } else { "keep-alive" },
     )?;
+    for (k, v) in extra {
+        write!(w, "{k}: {v}\r\n")?;
+    }
+    w.write_all(b"\r\n")?;
     w.write_all(body)?;
+    w.flush()
+}
+
+/// Write one chunk of a `Transfer-Encoding: chunked` body and flush, so
+/// a streaming client sees each token the moment it lands.
+fn write_chunk(w: &mut impl Write, data: &[u8]) -> std::io::Result<()> {
+    write!(w, "{:x}\r\n", data.len())?;
+    w.write_all(data)?;
+    w.write_all(b"\r\n")?;
     w.flush()
 }
 
@@ -335,15 +374,80 @@ pub enum SubmitOutcome {
     Closed,
 }
 
-enum Reply {
+/// One event on a (streaming) completion. Non-streaming submissions
+/// only ever see the last three.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamEvent {
+    /// A token landed; `index` is its position in the output. After a
+    /// ring restart the recompute re-lands earlier indices, so a
+    /// consumer that already emitted an index must dedup on it.
+    Token {
+        /// Position in the generated output, starting at 0.
+        index: usize,
+        /// The token id.
+        token: usize,
+    },
+    /// Completion finished; the full record inside.
     Done(FinishedRequest),
+    /// Refused by admission (queue full / infeasible) → 429.
     Shed,
+    /// Admitted but reaped past its deadline/timeout → 504.
     Expired,
 }
 
 struct Submission {
     req: Request,
-    resp: mpsc::Sender<Reply>,
+    resp: mpsc::Sender<StreamEvent>,
+    stream: bool,
+}
+
+/// Live serving gauges shared between the scheduler loop and the
+/// connection threads: `/healthz` and `/metrics` report them, and
+/// overload responses derive their `Retry-After` hint from them.
+#[derive(Debug, Default)]
+pub struct ServeStatus {
+    /// Committed live-swap epoch of the engine's ring (0 = boot plan,
+    /// local engines stay at 0).
+    pub epoch: AtomicU64,
+    /// Supervisor restarts the engine has absorbed.
+    pub restarts: AtomicU64,
+    /// Requests queued (not counting in-flight).
+    pub queued: AtomicU64,
+    /// EWMA of observed time-per-output-token, microseconds.
+    pub tpot_us: AtomicU64,
+    /// EWMA of tokens per finished request, scaled ×1000.
+    tokens_per_req_milli: AtomicU64,
+    /// Shutdown started; `/healthz` answers `"draining"`.
+    pub draining: AtomicBool,
+}
+
+/// 1/8-weight EWMA on an atomic gauge (one writer — the serve loop —
+/// many readers).
+fn ewma_update(cell: &AtomicU64, sample: u64) {
+    let prev = cell.load(Ordering::Relaxed);
+    let next =
+        if prev == 0 { sample } else { (prev as f64 * 0.875 + sample as f64 * 0.125) as u64 };
+    cell.store(next.max(1), Ordering::Relaxed);
+}
+
+impl ServeStatus {
+    /// Seconds a shed or drained client should wait before retrying:
+    /// the work queued ahead of it — queue depth × tokens/request ×
+    /// observed tpot, spread across the batch — rounded up and clamped
+    /// to `[1, 60]`.
+    pub fn retry_after_s(&self, max_batch: usize) -> u64 {
+        let queued = self.queued.load(Ordering::Relaxed).max(1);
+        let tpot_s = self.tpot_us.load(Ordering::Relaxed).max(1) as f64 / 1e6;
+        let toks = self.tokens_per_req_milli.load(Ordering::Relaxed).max(1000) as f64 / 1e3;
+        let wait = queued as f64 * toks * tpot_s / max_batch.max(1) as f64;
+        (wait.ceil() as u64).clamp(1, 60)
+    }
+
+    fn observe_finished(&self, fin: &FinishedRequest) {
+        let n = fin.tokens.len().max(1);
+        ewma_update(&self.tpot_us, (fin.sojourn_s.max(0.0) / n as f64 * 1e6) as u64);
+        ewma_update(&self.tokens_per_req_milli, n as u64 * 1000);
+    }
 }
 
 /// Cloneable front door to the scheduler thread: stamps arrivals from
@@ -354,6 +458,8 @@ pub struct ServeHandle {
     next_id: Arc<AtomicU64>,
     clock: Arc<dyn Clock>,
     epoch: Duration,
+    status: Arc<ServeStatus>,
+    max_batch: usize,
 }
 
 impl ServeHandle {
@@ -362,14 +468,24 @@ impl ServeHandle {
         self.clock.now().saturating_sub(self.epoch).as_secs_f64()
     }
 
-    /// Submit one request and wait for its outcome.
-    pub fn submit(
+    /// The live serving gauges (epoch, restarts, queue depth, tpot).
+    pub fn status(&self) -> &ServeStatus {
+        &self.status
+    }
+
+    /// Current `Retry-After` hint in whole seconds.
+    pub fn retry_after_s(&self) -> u64 {
+        self.status.retry_after_s(self.max_batch)
+    }
+
+    fn enqueue(
         &self,
         prompt: Vec<usize>,
         max_tokens: usize,
         priority: u32,
         deadline_ms: Option<u64>,
-    ) -> SubmitOutcome {
+        stream: bool,
+    ) -> Option<mpsc::Receiver<StreamEvent>> {
         let arrival_s = self.now_s();
         let id = self.next_id.fetch_add(1, Ordering::Relaxed) as usize;
         let (resp_tx, resp_rx) = mpsc::channel();
@@ -381,18 +497,50 @@ impl ServeHandle {
             deadline_s: deadline_ms.map(|ms| arrival_s + ms as f64 / 1000.0),
             priority,
         };
-        if self.tx.send(Submission { req, resp: resp_tx }).is_err() {
+        if self.tx.send(Submission { req, resp: resp_tx, stream }).is_err() {
+            return None;
+        }
+        Some(resp_rx)
+    }
+
+    /// Submit one request and wait for its outcome.
+    pub fn submit(
+        &self,
+        prompt: Vec<usize>,
+        max_tokens: usize,
+        priority: u32,
+        deadline_ms: Option<u64>,
+    ) -> SubmitOutcome {
+        let Some(rx) = self.enqueue(prompt, max_tokens, priority, deadline_ms, false) else {
             return SubmitOutcome::Closed;
+        };
+        loop {
+            match rx.recv() {
+                Ok(StreamEvent::Token { .. }) => continue, // not streaming
+                Ok(StreamEvent::Done(fin)) => return SubmitOutcome::Done(fin),
+                Ok(StreamEvent::Shed) => return SubmitOutcome::Shed,
+                Ok(StreamEvent::Expired) => return SubmitOutcome::Expired,
+                Err(_) => return SubmitOutcome::Closed,
+            }
         }
-        match resp_rx.recv() {
-            Ok(Reply::Done(fin)) => SubmitOutcome::Done(fin),
-            Ok(Reply::Shed) => SubmitOutcome::Shed,
-            Ok(Reply::Expired) => SubmitOutcome::Expired,
-            Err(_) => SubmitOutcome::Closed,
-        }
+    }
+
+    /// Submit with per-token streaming: the receiver yields one
+    /// [`StreamEvent::Token`] per landed token, ending with `Done`,
+    /// `Shed`, or `Expired` (channel close = scheduler gone). `None`
+    /// means the scheduler is already shut down.
+    pub fn submit_stream(
+        &self,
+        prompt: Vec<usize>,
+        max_tokens: usize,
+        priority: u32,
+        deadline_ms: Option<u64>,
+    ) -> Option<mpsc::Receiver<StreamEvent>> {
+        self.enqueue(prompt, max_tokens, priority, deadline_ms, true)
     }
 }
 
+#[allow(clippy::too_many_arguments)] // one call site; the args are the loop's whole world
 fn run_serve_loop<E: StepEngine>(
     engine: E,
     cfg: ContinuousConfig,
@@ -401,9 +549,10 @@ fn run_serve_loop<E: StepEngine>(
     epoch: Duration,
     rx: mpsc::Receiver<Submission>,
     stop: Arc<AtomicBool>,
+    status: Arc<ServeStatus>,
 ) -> Result<ContinuousReport, String> {
     let mut sched = ContinuousScheduler::new(engine, cfg)?.with_telemetry(telemetry);
-    let mut responders: HashMap<usize, mpsc::Sender<Reply>> = HashMap::new();
+    let mut responders: HashMap<usize, (mpsc::Sender<StreamEvent>, bool)> = HashMap::new();
     let mut disconnected = false;
     let mut makespan = 0.0f64;
     loop {
@@ -413,9 +562,9 @@ fn run_serve_loop<E: StepEngine>(
                 Ok(sub) => {
                     let id = sub.req.id;
                     if sched.offer(sub.req, now) {
-                        responders.insert(id, sub.resp);
+                        responders.insert(id, (sub.resp, sub.stream));
                     } else {
-                        let _ = sub.resp.send(Reply::Shed);
+                        let _ = sub.resp.send(StreamEvent::Shed);
                     }
                 }
                 Err(mpsc::TryRecvError::Empty) => break,
@@ -426,21 +575,32 @@ fn run_serve_loop<E: StepEngine>(
             }
         }
         let out = sched.step(now).map_err(|e| e.to_string())?;
+        // Streamed tokens go out before the Done verdicts below, so a
+        // streaming client sees every token and then the final record.
+        for &(id, index, token) in &out.landed {
+            if let Some((tx, true)) = responders.get(&id) {
+                let _ = tx.send(StreamEvent::Token { index, token });
+            }
+        }
         for id in &out.expired_ids {
-            if let Some(tx) = responders.remove(id) {
-                let _ = tx.send(Reply::Expired);
+            if let Some((tx, _)) = responders.remove(id) {
+                let _ = tx.send(StreamEvent::Expired);
             }
         }
         for id in &out.shed_ids {
-            if let Some(tx) = responders.remove(id) {
-                let _ = tx.send(Reply::Shed);
+            if let Some((tx, _)) = responders.remove(id) {
+                let _ = tx.send(StreamEvent::Shed);
             }
         }
         for fin in out.finished {
-            if let Some(tx) = responders.remove(&fin.id) {
-                let _ = tx.send(Reply::Done(fin));
+            status.observe_finished(&fin);
+            if let Some((tx, _)) = responders.remove(&fin.id) {
+                let _ = tx.send(StreamEvent::Done(fin));
             }
         }
+        status.epoch.store(sched.engine().epoch(), Ordering::Relaxed);
+        status.restarts.store(sched.engine().restarts(), Ordering::Relaxed);
+        status.queued.store(sched.queued() as u64, Ordering::Relaxed);
         if !out.idle {
             makespan = now + out.cost_s;
             continue;
@@ -457,9 +617,9 @@ fn run_serve_loop<E: StepEngine>(
                 let now = clock.now().saturating_sub(epoch).as_secs_f64();
                 let id = sub.req.id;
                 if sched.offer(sub.req, now) {
-                    responders.insert(id, sub.resp);
+                    responders.insert(id, (sub.resp, sub.stream));
                 } else {
-                    let _ = sub.resp.send(Reply::Shed);
+                    let _ = sub.resp.send(StreamEvent::Shed);
                 }
             }
             Err(mpsc::RecvTimeoutError::Timeout) => {}
@@ -546,17 +706,34 @@ impl HttpServer {
         listener.set_nonblocking(true).map_err(|e| e.to_string())?;
         let stop = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(HttpServerStats::default());
+        let status = Arc::new(ServeStatus::default());
         let (tx, rx) = mpsc::channel();
         let epoch = clock.now();
-        let handle =
-            ServeHandle { tx, next_id: Arc::new(AtomicU64::new(0)), clock: clock.clone(), epoch };
+        let handle = ServeHandle {
+            tx,
+            next_id: Arc::new(AtomicU64::new(0)),
+            clock: clock.clone(),
+            epoch,
+            status: status.clone(),
+            max_batch: cfg.max_batch,
+        };
         let loop_telemetry = telemetry.clone();
         let loop_clock = clock.clone();
         let loop_stop = stop.clone();
+        let loop_status = status;
         let loop_thread = std::thread::Builder::new()
             .name("llmpq-serve-sched".into())
             .spawn(move || {
-                run_serve_loop(engine, cfg, loop_telemetry, loop_clock, epoch, rx, loop_stop)
+                run_serve_loop(
+                    engine,
+                    cfg,
+                    loop_telemetry,
+                    loop_clock,
+                    epoch,
+                    rx,
+                    loop_stop,
+                    loop_status,
+                )
             })
             .map_err(|e| e.to_string())?;
         let accept_stop = stop.clone();
@@ -608,6 +785,7 @@ impl HttpServer {
     /// Stop accepting, drain in-flight work, and return the scheduler's
     /// end-of-run report.
     pub fn shutdown(self) -> Result<ContinuousReport, String> {
+        self.handle.status.draining.store(true, Ordering::Relaxed);
         self.stop.store(true, Ordering::Relaxed);
         self.accept_thread.join().map_err(|_| "accept thread panicked".to_string())?;
         // Dropping our ServeHandle closes the channel once connection
@@ -676,20 +854,28 @@ fn route(
 ) -> std::io::Result<()> {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => {
-            let body = format!("{{\"status\":\"ok\",\"uptime_s\":{:.3}}}", handle.now_s());
+            let st = handle.status();
+            let body = format!(
+                "{{\"status\":\"{}\",\"uptime_s\":{:.3},\"epoch\":{},\"restarts\":{},\"queued\":{}}}",
+                if st.draining.load(Ordering::Relaxed) { "draining" } else { "ok" },
+                handle.now_s(),
+                st.epoch.load(Ordering::Relaxed),
+                st.restarts.load(Ordering::Relaxed),
+                st.queued.load(Ordering::Relaxed),
+            );
             stats.ok_2xx.fetch_add(1, Ordering::Relaxed);
             write_response(w, 200, "OK", "application/json", body.as_bytes(), close)
         }
         ("GET", "/metrics") => {
             stats.ok_2xx.fetch_add(1, Ordering::Relaxed);
-            write_response(
-                w,
-                200,
-                "OK",
-                "text/plain; charset=utf-8",
-                telemetry.metrics_text().as_bytes(),
-                close,
-            )
+            let st = handle.status();
+            let mut text = telemetry.metrics_text();
+            text.push_str(&format!(
+                "serving_dist: epoch={} restarts={}\n",
+                st.epoch.load(Ordering::Relaxed),
+                st.restarts.load(Ordering::Relaxed),
+            ));
+            write_response(w, 200, "OK", "text/plain; charset=utf-8", text.as_bytes(), close)
         }
         ("POST", "/v1/completions") => {
             match parse_completion(&req.body, cfg.vocab, cfg.max_tokens_cap) {
@@ -697,6 +883,7 @@ fn route(
                     stats.client_err_4xx.fetch_add(1, Ordering::Relaxed);
                     write_response(w, 400, "Bad Request", "application/json", &json_error(&msg), close)
                 }
+                Ok(c) if c.stream => stream_completion(w, handle, c, cfg, stats, close),
                 Ok(c) => {
                     let deadline = c.deadline_ms.or(cfg.default_deadline_ms);
                     match handle.submit(c.prompt, c.max_tokens, c.priority, deadline) {
@@ -721,11 +908,12 @@ fn route(
                         }
                         SubmitOutcome::Shed => {
                             stats.client_err_4xx.fetch_add(1, Ordering::Relaxed);
-                            write_response(
+                            write_response_hdrs(
                                 w,
                                 429,
                                 "Too Many Requests",
                                 "application/json",
+                                &[("Retry-After", handle.retry_after_s().to_string())],
                                 &json_error("shed by admission control"),
                                 close,
                             )
@@ -743,11 +931,12 @@ fn route(
                         }
                         SubmitOutcome::Closed => {
                             stats.server_err_5xx.fetch_add(1, Ordering::Relaxed);
-                            write_response(
+                            write_response_hdrs(
                                 w,
                                 503,
                                 "Service Unavailable",
                                 "application/json",
+                                &[("Retry-After", handle.retry_after_s().to_string())],
                                 &json_error("scheduler is shutting down"),
                                 close,
                             )
@@ -770,6 +959,142 @@ fn route(
                 &json_error("method not allowed"),
                 close,
             )
+        }
+    }
+}
+
+/// Answer a `"stream": true` completion: chunked transfer-encoding,
+/// one JSON line per token as it lands, then a final `done` chunk. The
+/// status line is only committed once the first event arrives, so shed
+/// and expired requests still get their proper 429/504.
+fn stream_completion(
+    w: &mut impl Write,
+    handle: &ServeHandle,
+    c: CompletionRequest,
+    cfg: &HttpServerConfig,
+    stats: &HttpServerStats,
+    close: bool,
+) -> std::io::Result<()> {
+    let retry = || vec![("Retry-After", handle.retry_after_s().to_string())];
+    let deadline = c.deadline_ms.or(cfg.default_deadline_ms);
+    let Some(rx) = handle.submit_stream(c.prompt, c.max_tokens, c.priority, deadline) else {
+        stats.server_err_5xx.fetch_add(1, Ordering::Relaxed);
+        return write_response_hdrs(
+            w,
+            503,
+            "Service Unavailable",
+            "application/json",
+            &retry(),
+            &json_error("scheduler is shutting down"),
+            close,
+        );
+    };
+    let first = match rx.recv() {
+        Ok(ev) => ev,
+        Err(_) => {
+            stats.server_err_5xx.fetch_add(1, Ordering::Relaxed);
+            return write_response_hdrs(
+                w,
+                503,
+                "Service Unavailable",
+                "application/json",
+                &retry(),
+                &json_error("scheduler is shutting down"),
+                close,
+            );
+        }
+    };
+    match first {
+        StreamEvent::Shed => {
+            stats.client_err_4xx.fetch_add(1, Ordering::Relaxed);
+            write_response_hdrs(
+                w,
+                429,
+                "Too Many Requests",
+                "application/json",
+                &retry(),
+                &json_error("shed by admission control"),
+                close,
+            )
+        }
+        StreamEvent::Expired => {
+            stats.server_err_5xx.fetch_add(1, Ordering::Relaxed);
+            write_response(
+                w,
+                504,
+                "Gateway Timeout",
+                "application/json",
+                &json_error("deadline expired before service"),
+                close,
+            )
+        }
+        ev @ (StreamEvent::Token { .. } | StreamEvent::Done(_)) => {
+            stats.ok_2xx.fetch_add(1, Ordering::Relaxed);
+            write!(
+                w,
+                "HTTP/1.1 200 OK\r\nContent-Type: application/jsonl\r\nTransfer-Encoding: chunked\r\nConnection: {}\r\n\r\n",
+                if close { "close" } else { "keep-alive" },
+            )?;
+            w.flush()?;
+            let mut pending = Some(ev);
+            // High-water dedup: after a ring restart the recompute
+            // re-lands earlier indices, which must not be re-emitted.
+            let mut next_index = 0usize;
+            loop {
+                let event = match pending.take() {
+                    Some(e) => e,
+                    None => match rx.recv() {
+                        Ok(e) => e,
+                        Err(_) => {
+                            // Scheduler gone mid-stream (shutdown):
+                            // terminate cleanly with a done chunk.
+                            write_chunk(
+                                w,
+                                format!(
+                                    "{{\"done\":true,\"reason\":\"shutdown\",\"tokens\":{next_index}}}\n"
+                                )
+                                .as_bytes(),
+                            )?;
+                            break;
+                        }
+                    },
+                };
+                match event {
+                    StreamEvent::Token { index, token } => {
+                        if index >= next_index {
+                            write_chunk(
+                                w,
+                                format!("{{\"index\":{index},\"token\":{token}}}\n").as_bytes(),
+                            )?;
+                            next_index = index + 1;
+                        }
+                    }
+                    StreamEvent::Done(fin) => {
+                        write_chunk(
+                            w,
+                            format!(
+                                "{{\"done\":true,\"id\":\"cmpl-{}\",\"usage\":{{\"completion_tokens\":{}}},\"ttft_ms\":{:.3},\"latency_ms\":{:.3}}}\n",
+                                fin.id,
+                                fin.tokens.len(),
+                                fin.ttft_s * 1e3,
+                                fin.sojourn_s * 1e3,
+                            )
+                            .as_bytes(),
+                        )?;
+                        break;
+                    }
+                    StreamEvent::Expired => {
+                        write_chunk(w, b"{\"done\":true,\"reason\":\"expired\"}\n")?;
+                        break;
+                    }
+                    StreamEvent::Shed => {
+                        write_chunk(w, b"{\"done\":true,\"reason\":\"shed\"}\n")?;
+                        break;
+                    }
+                }
+            }
+            w.write_all(b"0\r\n\r\n")?;
+            w.flush()
         }
     }
 }
@@ -1107,5 +1432,156 @@ mod tests {
 
     fn server_drops(_r: &ContinuousReport) -> u64 {
         0 // placeholder: drops are asserted via stats in the soak CLI
+    }
+
+    /// Split a chunked response into (headers, decoded body). Panics on
+    /// malformed framing — that *is* the assertion.
+    fn decode_chunked(raw: &str) -> (String, String) {
+        let head_end = raw.find("\r\n\r\n").expect("headers");
+        let head = raw[..head_end].to_string();
+        let mut rest = &raw[head_end + 4..];
+        let mut body = String::new();
+        loop {
+            let line_end = rest.find("\r\n").expect("chunk size line");
+            let size = usize::from_str_radix(rest[..line_end].trim(), 16).expect("hex size");
+            rest = &rest[line_end + 2..];
+            if size == 0 {
+                break;
+            }
+            body.push_str(&rest[..size]);
+            assert_eq!(&rest[size..size + 2], "\r\n", "chunk terminator");
+            rest = &rest[size + 2..];
+        }
+        (head, body)
+    }
+
+    #[test]
+    fn streaming_completion_delivers_tokens_as_chunks() {
+        let server = start_sim_server();
+        let body = r#"{"prompt":[5,6,7],"max_tokens":4,"stream":true}"#;
+        let raw = format!(
+            "POST /v1/completions HTTP/1.1\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        );
+        let resp = roundtrip(server.addr, &raw);
+        assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+        let (head, body) = decode_chunked(&resp);
+        assert!(
+            head.to_ascii_lowercase().contains("transfer-encoding: chunked"),
+            "{head}"
+        );
+        let lines: Vec<&str> = body.lines().collect();
+        let expect = sim_oracle_tokens(42, 97, &[5, 6, 7], 4);
+        assert_eq!(lines.len(), expect.len() + 1, "4 token lines + done: {body}");
+        for (i, tok) in expect.iter().enumerate() {
+            assert_eq!(lines[i], format!("{{\"index\":{i},\"token\":{tok}}}"), "{body}");
+        }
+        assert!(lines.last().unwrap().contains("\"done\":true"), "{body}");
+        assert!(lines.last().unwrap().contains("\"completion_tokens\":4"), "{body}");
+        let report = server.shutdown().unwrap();
+        assert_eq!(report.completed, 1);
+        assert!(report.conserves());
+    }
+
+    #[test]
+    fn streamed_and_unstreamed_tokens_agree() {
+        let server = start_sim_server();
+        let plain = r#"{"prompt":[9,1],"max_tokens":3}"#;
+        let streamed = r#"{"prompt":[9,1],"max_tokens":3,"stream":true}"#;
+        let get = |body: &str| {
+            roundtrip(
+                server.addr,
+                &format!(
+                    "POST /v1/completions HTTP/1.1\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+                    body.len()
+                ),
+            )
+        };
+        let plain_resp = get(plain);
+        let stream_resp = get(streamed);
+        let expect = sim_oracle_tokens(42, 97, &[9, 1], 3);
+        let joined = expect.iter().map(|t| t.to_string()).collect::<Vec<_>>().join(",");
+        assert!(plain_resp.contains(&format!("\"tokens\":[{joined}]")), "{plain_resp}");
+        let (_, body) = decode_chunked(&stream_resp);
+        for (i, tok) in expect.iter().enumerate() {
+            assert!(
+                body.contains(&format!("{{\"index\":{i},\"token\":{tok}}}")),
+                "missing token {i} in {body}"
+            );
+        }
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn shed_responses_carry_a_parseable_retry_after() {
+        use crate::overload::AdmissionConfig;
+        let engine = SimStepEngine::new(
+            KvPoolConfig { n_blocks: 64, block_tokens: 16 },
+            vec![IterCost { base_s: 0.05, per_prefill_token_s: 0.0, per_decode_token_s: 0.0 }],
+            97,
+            42,
+        );
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let server = HttpServer::start(
+            listener,
+            engine,
+            ContinuousConfig {
+                admission: AdmissionConfig { max_queue: 1, ..AdmissionConfig::default() },
+                max_batch: 1,
+                ..ContinuousConfig::default()
+            },
+            HttpServerConfig { vocab: 97, ..HttpServerConfig::default() },
+            Telemetry::new(0),
+            real_clock(),
+        )
+        .unwrap();
+        let mut threads = Vec::new();
+        for i in 0..8 {
+            let addr = server.addr;
+            threads.push(std::thread::spawn(move || {
+                let body = format!(r#"{{"prompt":[{i}],"max_tokens":2}}"#);
+                let raw = format!(
+                    "POST /v1/completions HTTP/1.1\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+                    body.len()
+                );
+                roundtrip(addr, &raw)
+            }));
+        }
+        let mut sheds = 0;
+        for t in threads {
+            let resp = t.join().unwrap();
+            if resp.starts_with("HTTP/1.1 429") {
+                sheds += 1;
+                let retry = resp
+                    .lines()
+                    .find(|l| l.to_ascii_lowercase().starts_with("retry-after:"))
+                    .unwrap_or_else(|| panic!("429 without Retry-After:\n{resp}"));
+                let secs: u64 = retry.split(':').nth(1).unwrap().trim().parse().unwrap();
+                assert!((1..=60).contains(&secs), "retry-after {secs} out of range");
+            }
+        }
+        assert!(sheds > 0, "flood produced no 429s");
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn healthz_reports_epoch_restarts_and_queue() {
+        let server = start_sim_server();
+        let health = roundtrip(server.addr, "GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n");
+        assert!(health.starts_with("HTTP/1.1 200"), "{health}");
+        for needle in ["\"status\":\"ok\"", "\"epoch\":0", "\"restarts\":0", "\"queued\":"] {
+            assert!(health.contains(needle), "missing {needle} in {health}");
+        }
+        let metrics = roundtrip(server.addr, "GET /metrics HTTP/1.1\r\nConnection: close\r\n\r\n");
+        assert!(metrics.contains("serving_dist: epoch=0 restarts=0"), "{metrics}");
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn stream_field_must_be_a_boolean() {
+        let err = parse_completion(br#"{"prompt":[1],"stream":1}"#, 100, 64).unwrap_err();
+        assert!(err.contains("stream") && err.contains("boolean"), "{err}");
+        let c = parse_completion(br#"{"prompt":[1],"stream":true}"#, 100, 64).unwrap();
+        assert!(c.stream);
     }
 }

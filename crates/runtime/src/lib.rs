@@ -42,6 +42,7 @@ pub mod migrate;
 pub mod net;
 pub mod overload;
 pub mod serve;
+pub mod serve_dist;
 pub mod simnet;
 pub mod supervisor;
 pub mod telemetry;
@@ -54,7 +55,8 @@ pub use engine::{
 pub use fault::{FaultAction, FaultEvent, FaultInjector, FaultKind, FaultPlan, Heartbeats};
 pub use http::{
     parse_completion, read_request, run_http_server, CompletionRequest, HttpLimits, HttpParseError,
-    HttpRequest, HttpServer, HttpServerConfig, HttpServerStats, ServeHandle, SubmitOutcome,
+    HttpRequest, HttpServer, HttpServerConfig, HttpServerStats, ServeHandle, ServeStatus,
+    StreamEvent, SubmitOutcome,
 };
 pub use kvpool::{KvPool, KvPoolConfig, KvPoolError, KvPoolStats, PagedKvStore};
 pub use loader::{load_stage_weights, LoaderStats, OnTheFlyQuantizer};
@@ -65,6 +67,7 @@ pub use migrate::{
 };
 pub use net::dist::{
     run_master, run_stage, DistMasterConfig, DistOutput, DistStageConfig, StageSummary,
+    TcpServingRing,
 };
 pub use net::fault::{WireDir, WireFaultEvent, WireFaultKind, WireFaultPlan};
 pub use net::transport::{ChannelTransport, TcpTransport, Transport};
@@ -79,10 +82,14 @@ pub use serve::{
     ContinuousScheduler, FinishedRequest, IterCost, LatencySummary, ModelStepEngine, PhasePolicy,
     SimStepEngine, StepEngine, StepError,
 };
+pub use serve::{RungSwap, StepOutcome};
+pub use serve_dist::{ChannelRing, DistServeConfig, DistStepEngine, ServingRing};
 pub use simnet::{
-    run_sim, seed_sweep, shrink_fault_plan, wire_exchange, SimConfig, SimCrash, SimDeviceJoin,
-    SimFaultKind, SimFaultPlan, SimLinkEvent, SimPartition, SimReport, SweepFailure, SweepReport,
-    VirtualClock, WireExchange, WireExchangeConfig,
+    run_serving_chaos, run_sim, seed_sweep, serving_fault_plan, serving_seed_sweep, serving_swap,
+    shrink_fault_plan, shrink_serving_plan, wire_exchange, ServingChaosConfig, ServingChaosRun,
+    ServingSweepFailure, ServingSweepReport, SimConfig, SimCrash, SimDeviceJoin, SimFaultKind,
+    SimFaultPlan, SimLinkEvent, SimPartition, SimReport, SweepFailure, SweepReport, VirtualClock,
+    WireExchange, WireExchangeConfig,
 };
 pub use supervisor::{
     run_pipeline_supervised, run_pipeline_supervised_observed, FoldReplanner, RecoveryAction,

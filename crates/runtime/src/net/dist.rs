@@ -32,7 +32,7 @@
 
 use super::fault::{WireFaultInjector, WireFaultPlan, MASTER_STAGE};
 use super::transport::{
-    connect_retry, read_wire_msg, write_wire_msg, TcpTransport, TcpTransportConfig,
+    connect_retry, read_wire_msg, write_wire_msg, TcpTransport, TcpTransportConfig, Transport,
 };
 use super::wire::{plan_fingerprint, Hello, HelloAck, Role, StageReport, WireMsg, WIRE_VERSION};
 use crate::clock::{real_clock, Clock};
@@ -42,6 +42,7 @@ use crate::engine::{
 };
 use crate::fault::Heartbeats;
 use crate::loader::load_stage_weights;
+use crate::migrate::MigrationHost;
 use crate::overload::{AdmissionConfig, AdmissionController, AdmissionPolicy, AdmissionStats, Request};
 use crate::supervisor::SupervisorConfig;
 use crate::telemetry::{LinkStats, Telemetry};
@@ -291,6 +292,131 @@ pub fn run_master(
     }
     while admission.take().is_some() {} // dispatch the whole batch
 
+    let ControlPlane { stage_addrs, shared, writers: control_writers } =
+        establish_control_plane(plan, listener, fp, &master_addr, &clock)?;
+
+    // --- Phase 4: attempts ----------------------------------------------
+    let sup_cfg = &cfg.supervisor;
+    let injector = WireFaultInjector::new(&cfg.wire_faults, MASTER_STAGE);
+    let mut tokens: Vec<Vec<usize>> = vec![Vec::with_capacity(n_generate); prompts.len()];
+    let mut attempt = 0usize;
+    let result = loop {
+        shared.dropped.lock().clear();
+        for s in 0..n_stages {
+            shared.hb.beat(s); // restart staleness clocks for the attempt
+        }
+        let res = master_attempt(
+            checkpoint, plan, prompts, &mut tokens, n_generate, listener, cfg, fp,
+            attempt, &stage_addrs[0], &shared, injector.clone(), &clock,
+        );
+        match res {
+            Ok(()) => break Ok(()),
+            Err(e) => {
+                if let Some(d) = *shared.device_lost.lock() {
+                    break Err(RuntimeError::DeviceLost(d));
+                }
+                // Root-cause attribution: a wire `Dropped` note names the
+                // stage whose downstream link died.
+                let e = match (&e, shared.dropped.lock().first().copied()) {
+                    (RuntimeError::WorkerDied(_) | RuntimeError::Stalled(_), Some(s)) => {
+                        RuntimeError::StageDisconnected(s)
+                    }
+                    _ => e,
+                };
+                if attempt >= sup_cfg.max_restarts {
+                    break Err(e);
+                }
+                checkpoint_lockstep(&mut tokens);
+                clock.sleep(sup_cfg.backoff(attempt));
+                attempt += 1;
+            }
+        }
+    };
+    // --- Phase 5: bye, reports, teardown --------------------------------
+    for w in &control_writers {
+        let _ = write_wire_msg(&mut *w.lock(), &WireMsg::Bye);
+    }
+    if result.is_ok() {
+        wait_for_reports(&shared, clock.as_ref(), REPORT_TIMEOUT);
+    }
+    for w in &control_writers {
+        let _ = w.lock().shutdown(Shutdown::Both);
+    }
+    result?;
+
+    let reports = shared.reports.lock().unwrap_or_else(PoisonError::into_inner).clone();
+    if let Some(t) = &cfg.telemetry {
+        for r in reports.iter().flatten() {
+            if let Some(l) = t.link(r.stage as usize) {
+                l.merge(&r.rx_link);
+            }
+            if let Some(l) = t.link(r.stage as usize + 1) {
+                l.merge(&r.tx_link);
+            }
+        }
+    }
+    let link_stats: Vec<LinkStats> = match &cfg.telemetry {
+        Some(t) => t.link_stats(),
+        None => {
+            // No hub: assemble the picture from the reports alone.
+            let mut links = vec![LinkStats::default(); n_stages + 1];
+            for r in reports.iter().flatten() {
+                let (s, bump_rx, bump_tx) = (r.stage as usize, r.rx_link, r.tx_link);
+                merge_plain(&mut links[s], &bump_rx);
+                merge_plain(&mut links[s + 1], &bump_tx);
+            }
+            links
+        }
+    };
+    admission.note_served(prompts.len());
+    let stats = admission.stats();
+    debug_assert!(
+        stats.conserves(admission.pending()),
+        "admission conservation violated: {stats:?} pending={}",
+        admission.pending()
+    );
+    if !stats.conserves(admission.pending()) {
+        return Err(RuntimeError::Protocol(format!(
+            "admission conservation violated: {stats:?} pending={}",
+            admission.pending()
+        )));
+    }
+    Ok(DistOutput {
+        tokens,
+        wall_s: clock.now().saturating_sub(start).as_secs_f64(),
+        restarts: attempt,
+        stage_metrics: (0..n_stages)
+            .map(|s| reports[s].as_ref().map(|r| r.metrics).unwrap_or_default())
+            .collect(),
+        link_stats,
+        admission: stats,
+    })
+}
+
+/// Master-side control plane: the persistent per-stage connections plus
+/// the shared state their reader threads feed. Built once per run by
+/// [`establish_control_plane`]; shared by [`run_master`] and the
+/// serving-path [`TcpServingRing`].
+struct ControlPlane {
+    /// Data-listener address each stage reported in its control hello.
+    stage_addrs: Vec<String>,
+    shared: Arc<ControlShared>,
+    writers: Vec<Arc<Mutex<TcpStream>>>,
+}
+
+/// Phases 1–3 of the master bring-up: collect one control connection
+/// per stage (validating version, plan hash, and bit config), answer
+/// the ring topology, then split each connection into a reader thread
+/// and a shared writer.
+fn establish_control_plane(
+    plan: &ExecutionPlan,
+    listener: &TcpListener,
+    fp: u64,
+    master_addr: &str,
+    clock: &Arc<dyn Clock>,
+) -> Result<ControlPlane, RuntimeError> {
+    let n_stages = plan.stages.len();
+
     // --- Phase 1: collect one control connection per stage -------------
     let mut controls: Vec<Option<(TcpStream, String)>> = (0..n_stages).map(|_| None).collect();
     let deadline = clock.deadline(HANDSHAKE_TIMEOUT);
@@ -351,7 +477,7 @@ pub fn run_master(
         let (next_addr, next_role) = if s + 1 < n_stages {
             (stage_addrs[s + 1].clone(), Role::Data.to_u8())
         } else {
-            (master_addr.clone(), Role::ReturnData.to_u8())
+            (master_addr.to_string(), Role::ReturnData.to_u8())
         };
         let (c, _) = &mut controls[s];
         write_wire_msg(c, &WireMsg::Topology { next_addr, next_role })
@@ -375,118 +501,26 @@ pub fn run_master(
         std::thread::spawn(move || control_reader(reader, sh, n_stages));
     }
 
-    // --- Phase 4: attempts ----------------------------------------------
-    let sup_cfg = &cfg.supervisor;
-    let injector = WireFaultInjector::new(&cfg.wire_faults, MASTER_STAGE);
-    let mut tokens: Vec<Vec<usize>> = vec![Vec::with_capacity(n_generate); prompts.len()];
-    let mut attempt = 0usize;
-    let result = loop {
-        shared.dropped.lock().clear();
-        for s in 0..n_stages {
-            shared.hb.beat(s); // restart staleness clocks for the attempt
-        }
-        let res = master_attempt(
-            checkpoint, plan, prompts, &mut tokens, n_generate, listener, cfg, fp,
-            attempt, &stage_addrs[0], &shared, injector.clone(), &clock,
-        );
-        match res {
-            Ok(()) => break Ok(()),
-            Err(e) => {
-                if let Some(d) = *shared.device_lost.lock() {
-                    break Err(RuntimeError::DeviceLost(d));
-                }
-                // Root-cause attribution: a wire `Dropped` note names the
-                // stage whose downstream link died.
-                let e = match (&e, shared.dropped.lock().first().copied()) {
-                    (RuntimeError::WorkerDied(_) | RuntimeError::Stalled(_), Some(s)) => {
-                        RuntimeError::StageDisconnected(s)
-                    }
-                    _ => e,
-                };
-                if attempt >= sup_cfg.max_restarts {
-                    break Err(e);
-                }
-                checkpoint_lockstep(&mut tokens);
-                clock.sleep(sup_cfg.backoff(attempt));
-                attempt += 1;
-            }
-        }
-    };
+    Ok(ControlPlane { stage_addrs, shared, writers: control_writers })
+}
 
-    // --- Phase 5: bye, reports, teardown --------------------------------
-    for w in &control_writers {
-        let _ = write_wire_msg(&mut *w.lock(), &WireMsg::Bye);
-    }
-    if result.is_ok() {
-        // Parked wait, not a poll: the control readers notify the
-        // condvar on every report arrival (and when a reader exits), so
-        // no core burns while the stages flush their reports.
-        let deadline = clock.deadline(REPORT_TIMEOUT);
-        let mut guard = shared.reports.lock().unwrap_or_else(PoisonError::into_inner);
-        while guard.iter().any(Option::is_none) {
-            let left = deadline.saturating_sub(clock.now());
-            if left.is_zero() {
-                break;
-            }
-            guard = shared
-                .reports_cv
-                .wait_timeout(guard, left)
-                .unwrap_or_else(PoisonError::into_inner)
-                .0;
+/// Park on the report condvar until every stage report arrived or the
+/// timeout lapsed. The control readers notify on every report arrival
+/// (and when a reader exits), so no core burns in the wait.
+fn wait_for_reports(shared: &ControlShared, clock: &dyn Clock, timeout: Duration) {
+    let deadline = clock.deadline(timeout);
+    let mut guard = shared.reports.lock().unwrap_or_else(PoisonError::into_inner);
+    while guard.iter().any(Option::is_none) {
+        let left = deadline.saturating_sub(clock.now());
+        if left.is_zero() {
+            break;
         }
+        guard = shared
+            .reports_cv
+            .wait_timeout(guard, left)
+            .unwrap_or_else(PoisonError::into_inner)
+            .0;
     }
-    for w in &control_writers {
-        let _ = w.lock().shutdown(Shutdown::Both);
-    }
-    result?;
-
-    let reports = shared.reports.lock().unwrap_or_else(PoisonError::into_inner).clone();
-    if let Some(t) = &cfg.telemetry {
-        for r in reports.iter().flatten() {
-            if let Some(l) = t.link(r.stage as usize) {
-                l.merge(&r.rx_link);
-            }
-            if let Some(l) = t.link(r.stage as usize + 1) {
-                l.merge(&r.tx_link);
-            }
-        }
-    }
-    let link_stats: Vec<LinkStats> = match &cfg.telemetry {
-        Some(t) => t.link_stats(),
-        None => {
-            // No hub: assemble the picture from the reports alone.
-            let mut links = vec![LinkStats::default(); n_stages + 1];
-            for r in reports.iter().flatten() {
-                let (s, bump_rx, bump_tx) = (r.stage as usize, r.rx_link, r.tx_link);
-                merge_plain(&mut links[s], &bump_rx);
-                merge_plain(&mut links[s + 1], &bump_tx);
-            }
-            links
-        }
-    };
-    admission.note_served(prompts.len());
-    let stats = admission.stats();
-    debug_assert!(
-        stats.conserves(admission.pending()),
-        "admission conservation violated: {stats:?} pending={}",
-        admission.pending()
-    );
-    if !stats.conserves(admission.pending()) {
-        return Err(RuntimeError::Protocol(format!(
-            "admission conservation violated: {stats:?} pending={}",
-            admission.pending()
-        )));
-    }
-    Ok(DistOutput {
-        tokens,
-        wall_s: clock.now().saturating_sub(start).as_secs_f64(),
-        restarts: attempt,
-        stage_metrics: (0..n_stages)
-            .map(|s| reports[s].as_ref().map(|r| r.metrics).unwrap_or_default())
-            .collect(),
-        link_stats,
-        admission: stats,
-    })
 }
 
 /// Plain-value counterpart of [`crate::telemetry::LinkRecorder::merge`].
@@ -524,10 +558,59 @@ fn master_attempt(
         return Ok(());
     }
     let sup_cfg = &cfg.supervisor;
+    let (ret, down) = dial_data_ring(listener, s0_addr, fp, attempt, sup_cfg, clock)?;
 
-    // Dial stage 0. The stage may still be tearing the previous attempt
-    // down, so retry along the supervisor's backoff curve (jitter seeded
-    // by the attempt so redial timing stays deterministic per topology).
+    let transport = TcpTransport::spawn(
+        ret,
+        down,
+        TcpTransportConfig {
+            faults: Some(injector),
+            telemetry: cfg.telemetry.clone(),
+            rx_link: n_stages,
+            tx_link: 0,
+            tid: 0,
+            clock: clock.clone(),
+        },
+    );
+    let master = Master {
+        model: checkpoint,
+        link: transport,
+        last_step: Cell::new(None),
+        telemetry: cfg.telemetry.clone(),
+        local_gauges: false,
+    };
+    let sup = AttemptSupervision {
+        injector: None,
+        heartbeats: Some(shared.hb.clone()),
+        heartbeat_timeout: Some(Duration::from_millis(sup_cfg.heartbeat_timeout_ms)),
+        progress_timeout: Some(Duration::from_millis(sup_cfg.progress_timeout_ms)),
+        tick: Some(Duration::from_millis(sup_cfg.tick_ms.max(1))),
+        telemetry: cfg.telemetry.clone(),
+        queue_cap: None,
+        clock: clock.clone(),
+        migration_host: None,
+    };
+    drive_generation(&master, plan, prompts, tokens, n_generate, &sup)
+    // `master` (and its transport) drops here: both data endpoints
+    // close, the EOF cascades down the ring, and the stages circle back
+    // to accepting the next attempt.
+}
+
+/// Build one attempt's data ring: dial stage 0 (retrying along the
+/// supervisor's backoff curve — the stage may still be tearing the
+/// previous attempt down), then accept the last stage's return
+/// connection, refusing stray or stale dials. Returns the
+/// `(return, downstream)` endpoint pair for [`TcpTransport::spawn`].
+fn dial_data_ring(
+    listener: &TcpListener,
+    s0_addr: &str,
+    fp: u64,
+    attempt: usize,
+    sup_cfg: &SupervisorConfig,
+    clock: &Arc<dyn Clock>,
+) -> Result<(TcpStream, TcpStream), RuntimeError> {
+    // Jitter seeded by the attempt so redial timing stays deterministic
+    // per topology.
     let mut down = connect_retry(
         s0_addr,
         16,
@@ -593,41 +676,118 @@ fn master_attempt(
             _ => {} // damaged stray; drop and keep accepting
         }
     };
+    Ok((ret, down))
+}
 
-    let transport = TcpTransport::spawn(
-        ret,
-        down,
-        TcpTransportConfig {
-            faults: Some(injector),
-            telemetry: cfg.telemetry.clone(),
-            rx_link: n_stages,
-            tx_link: 0,
-            tid: 0,
-            clock: clock.clone(),
-        },
-    );
-    let master = Master {
-        model: checkpoint,
-        link: transport,
-        last_step: Cell::new(None),
-        telemetry: cfg.telemetry.clone(),
-        local_gauges: false,
-    };
-    let sup = AttemptSupervision {
-        injector: None,
-        heartbeats: Some(shared.hb.clone()),
-        heartbeat_timeout: Some(Duration::from_millis(sup_cfg.heartbeat_timeout_ms)),
-        progress_timeout: Some(Duration::from_millis(sup_cfg.progress_timeout_ms)),
-        tick: Some(Duration::from_millis(sup_cfg.tick_ms.max(1))),
-        telemetry: cfg.telemetry.clone(),
-        queue_cap: None,
-        clock: clock.clone(),
-        migration_host: None,
-    };
-    drive_generation(&master, plan, prompts, tokens, n_generate, &sup)
-    // `master` (and its transport) drops here: both data endpoints
-    // close, the EOF cascades down the ring, and the stages circle back
-    // to accepting the next attempt.
+/// Multi-process serving ring: the TCP counterpart of
+/// [`ChannelRing`](crate::serve_dist::ChannelRing), backing a
+/// [`DistStepEngine`](crate::serve_dist::DistStepEngine) with one
+/// [`run_stage`] process per pipeline stage.
+///
+/// The control plane (stage check-in, topology, heartbeats, reports) is
+/// established once; each `dial` builds a fresh per-attempt data ring
+/// exactly like [`run_master`]'s attempt loop. Teardown is the EOF
+/// cascade: the engine drops the master link, every stage's worker loop
+/// exits, and the stages circle back to accepting the next attempt —
+/// so `teardown` itself has nothing to do. Stages always serve the
+/// *boot* plan on a fresh attempt; the engine replays any committed
+/// live-swap on top before resuming traffic.
+pub struct TcpServingRing {
+    listener: TcpListener,
+    fp: u64,
+    n_stages: usize,
+    s0_addr: String,
+    supervisor: SupervisorConfig,
+    injector: Arc<WireFaultInjector>,
+    clock: Arc<dyn Clock>,
+    shared: Arc<ControlShared>,
+    writers: Vec<Arc<Mutex<TcpStream>>>,
+}
+
+impl TcpServingRing {
+    /// Collect the stage fleet on an already-bound listener (bind
+    /// `127.0.0.1:0` and publish `local_addr` to let stages find you)
+    /// and answer the ring topology. Blocks until every stage of
+    /// `boot` has checked in or the handshake deadline lapses.
+    pub fn establish(
+        boot: &ExecutionPlan,
+        listener: TcpListener,
+        cfg: &DistMasterConfig,
+    ) -> Result<Self, RuntimeError> {
+        let fp = plan_fingerprint(boot);
+        let clock = real_clock();
+        let master_addr = listener
+            .local_addr()
+            .map_err(|e| wire_io("master listener has no local address", e))?
+            .to_string();
+        let cp = establish_control_plane(boot, &listener, fp, &master_addr, &clock)?;
+        Ok(Self {
+            listener,
+            fp,
+            n_stages: boot.stages.len(),
+            s0_addr: cp.stage_addrs[0].clone(),
+            supervisor: cfg.supervisor,
+            injector: WireFaultInjector::new(&cfg.wire_faults, MASTER_STAGE),
+            clock,
+            shared: cp.shared,
+            writers: cp.writers,
+        })
+    }
+
+    /// Per-stage reports collected after the ring said `Bye` (drop the
+    /// ring to trigger that); `None` for a stage whose report never
+    /// arrived.
+    pub fn reports(&self) -> Vec<Option<StageReport>> {
+        self.shared.reports.lock().unwrap_or_else(PoisonError::into_inner).clone()
+    }
+}
+
+impl crate::serve_dist::ServingRing for TcpServingRing {
+    fn dial(&mut self, attempt: usize) -> Result<Box<dyn Transport + Send>, String> {
+        let (ret, down) = dial_data_ring(
+            &self.listener,
+            &self.s0_addr,
+            self.fp,
+            attempt,
+            &self.supervisor,
+            &self.clock,
+        )
+        .map_err(|e| e.to_string())?;
+        Ok(Box::new(TcpTransport::spawn(
+            ret,
+            down,
+            TcpTransportConfig {
+                faults: Some(self.injector.clone()),
+                telemetry: None,
+                rx_link: self.n_stages,
+                tx_link: 0,
+                tid: 0,
+                clock: self.clock.clone(),
+            },
+        )))
+    }
+
+    fn teardown(&mut self) {
+        // Nothing to join: the engine dropping the master link closes
+        // both data endpoints, the EOF cascades down the ring, and each
+        // stage circles back to accepting the next attempt.
+    }
+
+    fn n_stages(&self) -> usize {
+        self.n_stages
+    }
+}
+
+impl Drop for TcpServingRing {
+    fn drop(&mut self) {
+        for w in &self.writers {
+            let _ = write_wire_msg(&mut *w.lock(), &WireMsg::Bye);
+        }
+        wait_for_reports(&self.shared, self.clock.as_ref(), REPORT_TIMEOUT);
+        for w in &self.writers {
+            let _ = w.lock().shutdown(Shutdown::Both);
+        }
+    }
 }
 
 /// Run one stage process: bind the data listener, check in with the
@@ -746,7 +906,14 @@ pub fn run_stage(
         disconnects: Some(board.clone()),
         clock: clock.clone(),
         layer_start: sp.layer_start,
-        migration: None,
+        // Live-swap support: each stage can requantize its own shard from
+        // the checkpoint when a PlanPropose arrives (no-op for plain
+        // batch runs, which never send one).
+        migration: Some(Arc::new(MigrationHost::new(
+            checkpoint.clone(),
+            cfg.rounding,
+            cfg.seed,
+        ))),
     };
 
     let mut attempts_served = 0usize;

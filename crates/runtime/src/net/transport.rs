@@ -65,6 +65,24 @@ pub trait Transport {
     fn beat(&self) {}
 }
 
+// All trait methods take `&self`, so a borrowed transport is itself a
+// transport — lets callers thread one link through helpers (e.g. a
+// temporary `Master` built for a single swap barrier) without giving up
+// ownership.
+impl<T: Transport + ?Sized> Transport for &T {
+    fn recv_msg(&self, timeout: Duration) -> Result<WorkerMsg, TransportRecvError> {
+        (**self).recv_msg(timeout)
+    }
+
+    fn send_msg(&self, msg: WorkerMsg, timeout: Duration) -> Result<(), TransportSendError> {
+        (**self).send_msg(msg, timeout)
+    }
+
+    fn beat(&self) {
+        (**self).beat()
+    }
+}
+
 /// The in-process transport: a crossbeam receiver/sender pair, plus
 /// optional per-link accounting against a [`Telemetry`] hub so channel
 /// runs and TCP runs report comparable link counters.

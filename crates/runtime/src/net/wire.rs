@@ -24,8 +24,10 @@ use llmpq_model::{Matrix, Phase};
 /// Version of the wire format. Bumped on any layout change; both ends
 /// refuse to talk across versions. Version 2 added the epoch field to
 /// `Work` and the live plan-swap messages (`PlanPropose`/`PlanReady`/
-/// `PlanCommit`/`PlanAbort`/`KvChunk`).
-pub const WIRE_VERSION: u16 = 2;
+/// `PlanCommit`/`PlanAbort`/`KvChunk`). Version 3 added `KvReset`,
+/// which the continuous-serving master uses to recycle a worker KV
+/// slot when a sequence leaves the batch.
+pub const WIRE_VERSION: u16 = 3;
 
 /// Why a message could not be decoded (framing errors are separate — see
 /// [`FrameError`]).
@@ -223,6 +225,14 @@ pub enum WireMsg {
     /// stage that owns the layer under the committed plan. Floats travel
     /// as raw IEEE-754 bits, so the handoff is bit-exact.
     KvChunk(KvChunkMsg),
+    /// Master → stages (rides the data ring): sequence slot `seq` is
+    /// retired — clear its KV cache so the slot can be reused by a new
+    /// request. Workers forward it around the ring; the master sinks
+    /// the echo.
+    KvReset {
+        /// Worker-side sequence slot to clear.
+        seq: u64,
+    },
 }
 
 // --- encoding -----------------------------------------------------------
@@ -361,6 +371,10 @@ impl WireMsg {
                 put_matrix(&mut out, &c.k);
                 put_matrix(&mut out, &c.v);
             }
+            WireMsg::KvReset { seq } => {
+                out.push(0x11);
+                out.extend_from_slice(&seq.to_le_bytes());
+            }
         }
         out
     }
@@ -448,6 +462,7 @@ impl WireMsg {
                 let v = d.matrix()?;
                 WireMsg::KvChunk(KvChunkMsg { epoch, seq, layer, chunk, n_chunks, rows_total, k, v })
             }
+            0x11 => WireMsg::KvReset { seq: d.u64()? },
             _ => return Err(WireError::Decode(format!("unknown message tag {tag:#04x}"))),
         };
         if d.pos != buf.len() {
@@ -501,6 +516,7 @@ pub fn worker_msg_wire_bytes(msg: &WorkerMsg) -> usize {
         WorkerMsg::PlanCommit { .. } => 1 + 8,
         WorkerMsg::PlanAbort { reason, .. } => 1 + 8 + 4 + reason.len(),
         WorkerMsg::KvChunk(c) => kv_chunk_wire_bytes(c),
+        WorkerMsg::KvReset { .. } => 1 + 8,
     }
 }
 
@@ -519,6 +535,7 @@ pub fn worker_msg_to_wire(msg: WorkerMsg) -> WireMsg {
         WorkerMsg::PlanCommit { epoch } => WireMsg::PlanCommit { epoch },
         WorkerMsg::PlanAbort { epoch, reason } => WireMsg::PlanAbort { epoch, reason },
         WorkerMsg::KvChunk(c) => WireMsg::KvChunk(c),
+        WorkerMsg::KvReset { seq } => WireMsg::KvReset { seq: seq as u64 },
     }
 }
 
@@ -539,6 +556,7 @@ pub fn wire_to_worker_msg(msg: WireMsg) -> Option<WorkerMsg> {
         WireMsg::PlanCommit { epoch } => Some(WorkerMsg::PlanCommit { epoch }),
         WireMsg::PlanAbort { epoch, reason } => Some(WorkerMsg::PlanAbort { epoch, reason }),
         WireMsg::KvChunk(c) => Some(WorkerMsg::KvChunk(c)),
+        WireMsg::KvReset { seq } => Some(WorkerMsg::KvReset { seq: seq as usize }),
         _ => None,
     }
 }
@@ -696,6 +714,8 @@ mod tests {
             WireMsg::PlanReady { epoch: 9, stage: 0, swapped: false },
             WireMsg::PlanCommit { epoch: 9 },
             WireMsg::PlanAbort { epoch: 9, reason: "stage 1: prepare timeout".into() },
+            WireMsg::KvReset { seq: 0 },
+            WireMsg::KvReset { seq: u64::MAX },
         ];
         for m in msgs {
             let back = WireMsg::decode(&m.encode()).unwrap();

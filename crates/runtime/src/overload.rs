@@ -131,11 +131,18 @@ pub struct AdmissionStats {
     pub shed: usize,
     /// Requests dropped because their deadline or queue timeout passed.
     pub expired: usize,
+    /// In-flight requests requeued for recompute after a pipeline-ring
+    /// restart. Informational: a recovered request is back in the queue
+    /// (so it still counts as pending/served/expired in the conservation
+    /// sum) — this leg proves restarts requeued rather than lost them.
+    #[serde(default)]
+    pub recovered: usize,
 }
 
 impl AdmissionStats {
     /// `offered == served + shed + expired + pending` — nothing is lost,
-    /// nothing is double-counted.
+    /// nothing is double-counted. Recovered requests are back in the
+    /// queue, so they are already counted by one of those legs.
     pub fn conserves(&self, pending: usize) -> bool {
         self.offered == self.served + self.shed + self.expired + pending
     }
@@ -246,6 +253,13 @@ impl AdmissionController {
     /// retries exhausted).
     pub fn note_shed(&mut self, n: usize) {
         self.stats.shed += n;
+    }
+
+    /// Record `n` in-flight requests requeued after a ring restart
+    /// (they re-enter via [`Self::requeue_front`], this only bumps the
+    /// informational counter).
+    pub fn note_recovered(&mut self, n: usize) {
+        self.stats.recovered += n;
     }
 
     /// Requests currently waiting.

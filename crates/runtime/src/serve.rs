@@ -53,6 +53,11 @@ pub enum StepError {
     /// this from [`ContinuousScheduler::step`] indicates a bookkeeping
     /// bug — it is surfaced, never swallowed.
     KvExhausted { needed: usize, free: usize },
+    /// A distributed engine lost its ring (stage crash, wire fault) and
+    /// will rebuild it on the next call. All engine-side sequence state
+    /// is gone; the scheduler requeues every in-flight sequence for
+    /// recompute — recoverable, never fatal.
+    RingRestarted,
     /// Anything else (unknown sequence, model error).
     Engine(String),
 }
@@ -62,6 +67,9 @@ impl std::fmt::Display for StepError {
         match self {
             StepError::KvExhausted { needed, free } => {
                 write!(f, "kv exhausted mid-iteration: need {needed} blocks, {free} free")
+            }
+            StepError::RingRestarted => {
+                write!(f, "pipeline ring lost; in-flight sequences requeued for recompute")
             }
             StepError::Engine(e) => write!(f, "engine: {e}"),
         }
@@ -149,6 +157,15 @@ pub trait StepEngine {
     fn max_seq(&self) -> usize {
         usize::MAX
     }
+    /// Committed live-swap epoch (ring generation). Local engines have
+    /// no ring and stay at 0; the front door reports this in `/healthz`.
+    fn epoch(&self) -> u64 {
+        0
+    }
+    /// Supervisor restarts absorbed so far (0 for local engines).
+    fn restarts(&self) -> u64 {
+        0
+    }
 }
 
 impl<T: StepEngine + ?Sized> StepEngine for Box<T> {
@@ -187,6 +204,12 @@ impl<T: StepEngine + ?Sized> StepEngine for Box<T> {
     }
     fn max_seq(&self) -> usize {
         (**self).max_seq()
+    }
+    fn epoch(&self) -> u64 {
+        (**self).epoch()
+    }
+    fn restarts(&self) -> u64 {
+        (**self).restarts()
     }
 }
 
@@ -543,6 +566,21 @@ impl std::str::FromStr for PhasePolicy {
     }
 }
 
+/// A scheduled precision swap: after the scheduler completes iteration
+/// `at_iteration`, move the engine to `rung`. On a distributed engine
+/// this drives a live plan migration at the iteration boundary; on a
+/// local engine it swaps the quantized weights in place — both paths
+/// take effect at the same deterministic point, which is what makes
+/// swap-under-load runs comparable token-for-token across engines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RungSwap {
+    /// Iteration count after which the swap fires (the swap happens at
+    /// the end of the first non-idle iteration with `iterations >= at`).
+    pub at_iteration: u64,
+    /// Target degradation rung.
+    pub rung: usize,
+}
+
 /// Continuous-batching scheduler parameters.
 #[derive(Debug, Clone)]
 pub struct ContinuousConfig {
@@ -559,6 +597,9 @@ pub struct ContinuousConfig {
     pub policy: PhasePolicy,
     /// Optional graceful degradation (precision rungs swap hot).
     pub degradation: Option<DegradationConfig>,
+    /// Scheduled precision swaps (sorted by `at_iteration`; applied in
+    /// order at iteration boundaries). Empty = never.
+    pub swaps: Vec<RungSwap>,
 }
 
 impl Default for ContinuousConfig {
@@ -570,6 +611,7 @@ impl Default for ContinuousConfig {
             prefill_chunk: 64,
             policy: PhasePolicy::DecodeFirst,
             degradation: None,
+            swaps: Vec::new(),
         }
     }
 }
@@ -609,6 +651,16 @@ pub struct StepOutcome {
     pub shed_ids: Vec<usize>,
     /// Degradation moved to this rung.
     pub rung_changed: Option<usize>,
+    /// Tokens that landed this iteration as `(request id, token index,
+    /// token)` — the streaming front door forwards these as they land.
+    /// A ring restart never re-lands (preserved tokens resume as a
+    /// forced prefix), but a KV preemption recomputes on the same rung
+    /// and re-lands the identical earlier indices; consumers that
+    /// already emitted an index must dedup on it.
+    pub landed: Vec<(usize, usize, usize)>,
+    /// In-flight sequences requeued for recompute because the engine
+    /// lost its ring this iteration (0 on the happy path).
+    pub recovered: usize,
 }
 
 #[derive(Debug, Clone)]
@@ -616,13 +668,36 @@ struct InFlight {
     req: Request,
     prefilled: usize,
     generated: Vec<usize>,
+    // Tokens restored from a pre-restart incarnation (0 for a fresh
+    // sequence): they seed `generated` at join and stretch the prefill
+    // phase so their KV is rebuilt before decoding resumes.
+    resume_prefix: usize,
     first_token_s: Option<f64>,
     preempted: u32,
 }
 
 impl InFlight {
     fn decode_ready(&self) -> bool {
-        self.prefilled == self.req.prompt.len() && !self.generated.is_empty()
+        self.prefilled == self.prefill_target() && !self.generated.is_empty()
+    }
+
+    /// Positions that must be in KV before decoding can (re)start: the
+    /// prompt, plus — for a sequence restored after a ring restart —
+    /// all but the last preserved token. That token is the next decode
+    /// input, mirroring the normal prefill → decode handoff.
+    fn prefill_target(&self) -> usize {
+        self.req.prompt.len() + self.resume_prefix.saturating_sub(1)
+    }
+
+    /// Token at absolute position `pos` of the prompt ⊕ preserved-token
+    /// prefix (callers stay below [`Self::prefill_target`]).
+    fn prefix_token(&self, pos: usize) -> usize {
+        let p = self.req.prompt.len();
+        if pos < p {
+            self.req.prompt[pos]
+        } else {
+            self.generated[pos - p]
+        }
     }
 }
 
@@ -732,11 +807,19 @@ pub struct ContinuousScheduler<E: StepEngine> {
     decode_tokens: u64,
     preemptions: u64,
     rung_transitions: u64,
+    swaps_done: usize,
     occupancy_sum: f64,
     peak_batch: usize,
     kv_peak_occupancy: f64,
     ttft_carry: HashMap<usize, f64>,
     preempt_counts: HashMap<usize, u32>,
+    // Tokens preserved across a ring restart, keyed by request id: the
+    // requeued sequence resumes them as a forced prefix instead of
+    // re-sampling, so recovery can never contradict tokens a streaming
+    // consumer already emitted (re-sampling is only bit-stable while
+    // the rung never changes — a live swap between generation and
+    // recompute would rewrite history).
+    resume_tokens: HashMap<usize, Vec<usize>>,
     finished_all: Vec<FinishedRequest>,
 }
 
@@ -752,6 +835,16 @@ impl<E: StepEngine> ContinuousScheduler<E> {
         if cfg.prefill_chunk == 0 {
             return Err("prefill_chunk must be at least 1".into());
         }
+        let mut cfg = cfg;
+        cfg.swaps.sort_by_key(|s| s.at_iteration);
+        if let Some(s) = cfg.swaps.iter().find(|s| s.rung >= engine.n_rungs()) {
+            return Err(format!(
+                "swap at iteration {} targets rung {} but the engine has {} rungs",
+                s.at_iteration,
+                s.rung,
+                engine.n_rungs()
+            ));
+        }
         let degrade =
             cfg.degradation.map(|d| DegradationController::new(d, engine.n_rungs()));
         Ok(Self {
@@ -764,11 +857,13 @@ impl<E: StepEngine> ContinuousScheduler<E> {
             decode_tokens: 0,
             preemptions: 0,
             rung_transitions: 0,
+            swaps_done: 0,
             occupancy_sum: 0.0,
             peak_batch: 0,
             kv_peak_occupancy: 0.0,
             ttft_carry: HashMap::new(),
             preempt_counts: HashMap::new(),
+            resume_tokens: HashMap::new(),
             finished_all: Vec::new(),
             engine,
             cfg,
@@ -806,6 +901,11 @@ impl<E: StepEngine> ContinuousScheduler<E> {
         self.adm.pending()
     }
 
+    /// The step engine (the front door reads epoch/restart counters).
+    pub fn engine(&self) -> &E {
+        &self.engine
+    }
+
     /// Sequences in flight.
     pub fn in_flight(&self) -> usize {
         self.running.len()
@@ -824,10 +924,54 @@ impl<E: StepEngine> ContinuousScheduler<E> {
     /// One iteration: reap, join, interleave, reserve KV (preempting
     /// if needed), execute, retire. Returns what happened; `idle` when
     /// there was nothing to do.
+    ///
+    /// A distributed engine losing its ring mid-iteration surfaces as
+    /// [`StepError::RingRestarted`]; the scheduler absorbs it here by
+    /// requeueing every in-flight sequence for recompute (the engine
+    /// rebuilds the ring lazily on the next call), so callers only ever
+    /// see fatal errors.
     pub fn step(&mut self, now: f64) -> Result<StepOutcome, StepError> {
+        match self.step_impl(now) {
+            Err(StepError::RingRestarted) => Ok(self.recover_from_restart()),
+            r => r,
+        }
+    }
+
+    /// Requeue everything in flight after the engine lost its ring:
+    /// drop the (now gone) KV, put the original requests back at the
+    /// front of the queue, and charge one base iteration for the
+    /// stall. Tokens already generated are preserved and resumed as a
+    /// forced prefix when the sequence rejoins — re-sampling would
+    /// only be bit-stable while the rung never changed, and a streaming
+    /// consumer has already emitted them.
+    fn recover_from_restart(&mut self) -> StepOutcome {
+        let mut out = StepOutcome { recovered: self.running.len(), ..Default::default() };
+        // Reverse order keeps the original join order once everything
+        // is pushed back onto the front of the queue.
+        for s in std::mem::take(&mut self.running).into_iter().rev() {
+            // With the ring down this is local bookkeeping only; the
+            // worker-side slots were lost with the attempt.
+            self.engine.release(s.req.id as u64);
+            *self.preempt_counts.entry(s.req.id).or_insert(0) += 1;
+            if !s.generated.is_empty() {
+                self.resume_tokens.insert(s.req.id, s.generated);
+            }
+            self.adm.requeue_front(s.req);
+        }
+        self.adm.note_recovered(out.recovered);
+        self.iterations += 1;
+        out.cost_s = self.engine.iteration_cost_s(self.engine.rung(), 0, 0);
+        self.sync_telemetry();
+        out
+    }
+
+    fn step_impl(&mut self, now: f64) -> Result<StepOutcome, StepError> {
         let mut out = StepOutcome::default();
         self.adm.reap(now);
         out.expired_ids = self.adm.drain_expired_ids();
+        for id in &out.expired_ids {
+            self.resume_tokens.remove(id);
+        }
 
         // Join: pull from the queue while batch slots and KV blocks
         // allow. Requiring room for prompt + 1 token means a feasible
@@ -835,20 +979,32 @@ impl<E: StepEngine> ContinuousScheduler<E> {
         while self.running.len() < self.cfg.max_batch {
             let Some(req) = self.adm.take() else { break };
             if !self.feasible(&req) {
+                self.resume_tokens.remove(&req.id);
                 self.adm.note_shed(1);
                 out.shed_ids.push(req.id);
                 continue;
             }
-            if !self.engine.pool().can_fit(req.prompt.len() + 1) {
+            let preserved = self.resume_tokens.get(&req.id).map_or(0, Vec::len);
+            if !self.engine.pool().can_fit(req.prompt.len() + preserved + 1) {
                 self.adm.requeue_front(req);
                 break;
             }
-            self.engine.register(req.id as u64)?;
+            if let Err(e) = self.engine.register(req.id as u64) {
+                // The request is already out of the queue: put it back
+                // before surfacing, or it would leak from conservation.
+                self.adm.requeue_front(req);
+                return Err(e);
+            }
             let preempted = self.preempt_counts.get(&req.id).copied().unwrap_or(0);
+            // A sequence restored after a ring restart resumes its
+            // preserved tokens as a forced prefix (re-prefilled, never
+            // re-sampled).
+            let generated = self.resume_tokens.remove(&req.id).unwrap_or_default();
             self.running.push(InFlight {
                 req,
                 prefilled: 0,
-                generated: Vec::new(),
+                resume_prefix: generated.len(),
+                generated,
                 first_token_s: None,
                 preempted,
             });
@@ -865,7 +1021,7 @@ impl<E: StepEngine> ContinuousScheduler<E> {
         let decode_ready: Vec<usize> =
             (0..self.running.len()).filter(|&i| self.running[i].decode_ready()).collect();
         let prefill_ready: Vec<usize> = (0..self.running.len())
-            .filter(|&i| self.running[i].prefilled < self.running[i].req.prompt.len())
+            .filter(|&i| self.running[i].prefilled < self.running[i].prefill_target())
             .collect();
         let budget = self.cfg.token_budget;
         let (decode_budget, prefill_budget) = match self.cfg.policy {
@@ -877,7 +1033,7 @@ impl<E: StepEngine> ContinuousScheduler<E> {
                 let want: usize = prefill_ready
                     .iter()
                     .map(|&i| {
-                        (self.running[i].req.prompt.len() - self.running[i].prefilled)
+                        (self.running[i].prefill_target() - self.running[i].prefilled)
                             .min(self.cfg.prefill_chunk)
                     })
                     .sum();
@@ -889,7 +1045,7 @@ impl<E: StepEngine> ContinuousScheduler<E> {
                 let want: usize = prefill_ready
                     .iter()
                     .map(|&i| {
-                        (self.running[i].req.prompt.len() - self.running[i].prefilled)
+                        (self.running[i].prefill_target() - self.running[i].prefilled)
                             .min(self.cfg.prefill_chunk)
                     })
                     .sum();
@@ -918,7 +1074,7 @@ impl<E: StepEngine> ContinuousScheduler<E> {
             if p_left == 0 {
                 break;
             }
-            let remaining = self.running[i].req.prompt.len() - self.running[i].prefilled;
+            let remaining = self.running[i].prefill_target() - self.running[i].prefilled;
             let chunk = remaining.min(self.cfg.prefill_chunk).min(p_left);
             if chunk == 0 {
                 break;
@@ -962,14 +1118,18 @@ impl<E: StepEngine> ContinuousScheduler<E> {
         for &(i, chunk) in &prefills {
             let s = &self.running[i];
             let (id, lo) = (s.req.id as u64, s.prefilled);
-            let tokens: Vec<usize> = s.req.prompt[lo..lo + chunk].to_vec();
-            let is_last = lo + chunk == s.req.prompt.len();
+            let tokens: Vec<usize> = (lo..lo + chunk).map(|p| s.prefix_token(p)).collect();
+            // A restored sequence never samples at the end of its
+            // prefix re-prefill: its next token input is the last
+            // preserved token, fed through the decode path below.
+            let is_last = s.resume_prefix == 0 && lo + chunk == s.req.prompt.len();
             let got = self.engine.prefill_chunk(id, &tokens, lo, is_last)?;
             let s = &mut self.running[i];
             s.prefilled += chunk;
             p_tokens += chunk;
             if let Some(tok) = got {
                 s.generated.push(tok);
+                out.landed.push((s.req.id, 0, tok));
                 first_token_slots.push(i);
             }
         }
@@ -978,7 +1138,9 @@ impl<E: StepEngine> ContinuousScheduler<E> {
             let last = *s.generated.last().expect("decode-ready has a token");
             let pos = s.req.prompt.len() + s.generated.len() - 1;
             let tok = self.engine.decode_one(s.req.id as u64, last, pos)?;
-            self.running[i].generated.push(tok);
+            let s = &mut self.running[i];
+            s.generated.push(tok);
+            out.landed.push((s.req.id, s.generated.len() - 1, tok));
             d_tokens += 1;
         }
 
@@ -1044,6 +1206,28 @@ impl<E: StepEngine> ContinuousScheduler<E> {
                 out.rung_changed = Some(rung);
                 if let Some(t) = &self.telemetry {
                     t.set_rung(rung);
+                }
+            }
+        }
+
+        // Scheduled swaps fire at the same deterministic point as
+        // degradation: the end of a non-idle iteration. On a
+        // distributed engine this is a live plan migration at a
+        // quiescent ring; requests keep flowing either side of it.
+        while self
+            .cfg
+            .swaps
+            .get(self.swaps_done)
+            .is_some_and(|s| self.iterations >= s.at_iteration)
+        {
+            let target = self.cfg.swaps[self.swaps_done].rung;
+            self.swaps_done += 1;
+            if target != self.engine.rung() {
+                cost += self.engine.set_rung(target);
+                self.rung_transitions += 1;
+                out.rung_changed = Some(target);
+                if let Some(t) = &self.telemetry {
+                    t.set_rung(target);
                 }
             }
         }

@@ -39,11 +39,16 @@
 mod conn;
 mod plan;
 mod sched;
+mod serving;
 mod shrink;
 mod testbed;
 
 pub use conn::VirtualClock;
 pub use plan::{SimCrash, SimDeviceJoin, SimFaultKind, SimFaultPlan, SimLinkEvent, SimPartition};
+pub use serving::{
+    run_serving_chaos, serving_fault_plan, serving_seed_sweep, serving_swap, shrink_serving_plan,
+    ServingChaosConfig, ServingChaosRun, ServingSweepFailure, ServingSweepReport,
+};
 pub use shrink::{seed_sweep, shrink_fault_plan, SweepFailure, SweepReport};
 pub use testbed::{wire_exchange, WireExchange, WireExchangeConfig};
 

@@ -1,0 +1,539 @@
+//! Serving-chaos harness: the distributed continuous-serving engine
+//! ([`DistStepEngine`] over the in-process channel ring) driven through
+//! seeded arrival traces and seeded, migration-biased fault schedules,
+//! with every run checked against the **hybrid oracle** — the local
+//! [`ModelStepEngine`] serving the identical trace, config and swap
+//! schedule. Restart-free runs must match the oracle token for token;
+//! restarted runs must conserve admissions, stay inside the restart
+//! budget, serve exact lengths and never contradict an
+//! already-streamed token (see [`run_serving_chaos`] for the tier
+//! rationale). Any violation shrinks to a minimal replayable
+//! counterexample exactly like the wire-level sweep in
+//! [`super::shrink`].
+//!
+//! Entry points: [`run_serving_chaos`] (one seed, one schedule) and
+//! [`serving_seed_sweep`] (consecutive seeds, one random schedule each,
+//! shrinking failures). `llmpq-simnet --serving` is a thin CLI wrapper.
+
+use super::plan::splitmix64;
+use crate::fault::{FaultEvent, FaultKind, FaultPlan};
+use crate::kvpool::KvPoolConfig;
+use crate::overload::{poisson_requests, Request};
+use crate::serve::{
+    ContinuousConfig, ContinuousReport, ContinuousScheduler, ModelStepEngine, RungSwap, StepEngine,
+};
+use crate::serve_dist::{DistServeConfig, DistStepEngine};
+use llm_pq::{ExecutionPlan, MicrobatchPlan, StagePlan};
+use llmpq_model::{RefConfig, RefModel};
+use llmpq_quant::{BitAssignment, Bitwidth, Rounding};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// Parameters of one serving-chaos run (the model is always the tiny
+/// reference transformer split across two stages, rung ladder
+/// fp16 → int8 — the same shape the `serve_dist` unit tests pin).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServingChaosConfig {
+    /// Requests in the Poisson arrival trace (prompt lengths and
+    /// generation counts are drawn per seed).
+    pub n_requests: usize,
+    /// Scheduler token budget per iteration.
+    pub token_budget: usize,
+    /// Scheduler batch cap.
+    pub max_batch: usize,
+    /// Ring rebuilds the engine may absorb; schedules are drawn with at
+    /// most this many ring-loss events so every run is survivable and
+    /// an exhausted budget is a violation, not an allowed fail-over.
+    pub max_restarts: usize,
+    /// Draw a live precision swap per seed and bias fault steps into
+    /// its window (the hardest interleaving: fault meets barrier).
+    pub migration: bool,
+}
+
+impl Default for ServingChaosConfig {
+    fn default() -> Self {
+        Self { n_requests: 6, token_budget: 16, max_batch: 4, max_restarts: 4, migration: true }
+    }
+}
+
+/// Outcome of one serving-chaos run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServingChaosRun {
+    /// Seed that drew the trace (and, in sweeps, the schedule).
+    pub seed: u64,
+    /// Invariant violations (empty = run passed).
+    pub violations: Vec<String>,
+    /// Ring restarts the engine absorbed.
+    pub restarts: u64,
+    /// Committed swap epoch at the end (0 = never swapped).
+    pub epoch: u64,
+    /// In-flight sequences requeued for recompute across restarts.
+    pub recovered: usize,
+    /// Events in the injected schedule.
+    pub fault_events: usize,
+    /// Iteration of the seeded live swap, if one was scheduled.
+    pub swap_at: Option<u64>,
+}
+
+/// One seed whose serving run violated an invariant, with the minimal
+/// reproducing schedule attached (replayable via
+/// `llmpq-simnet --serving --replay`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServingSweepFailure {
+    /// Seed that drew the original schedule.
+    pub seed: u64,
+    /// Violations reported by the original (unshrunk) run.
+    pub violations: Vec<String>,
+    /// Minimal schedule that still reproduces a violation.
+    pub minimized: FaultPlan,
+    /// `minimized` as replayable JSON (what CI uploads as an artifact).
+    pub minimized_json: String,
+}
+
+/// Outcome of a [`serving_seed_sweep`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServingSweepReport {
+    /// First seed swept.
+    pub start_seed: u64,
+    /// Number of consecutive seeds swept.
+    pub n_seeds: u64,
+    /// Every violating seed, minimized.
+    pub failures: Vec<ServingSweepFailure>,
+    /// Schedules containing at least one fault event.
+    pub runs_with_faults: u64,
+    /// Runs that recovered through at least one ring restart.
+    pub runs_with_restarts: u64,
+    /// Runs whose seeded live swap committed (epoch > 0 at the end).
+    pub runs_committed: u64,
+    /// Total in-flight sequences requeued for recompute across the
+    /// sweep — the conservation leg the restarts exercised.
+    pub sequences_recovered: u64,
+}
+
+impl ServingSweepReport {
+    /// Whether the sweep found no invariant violations.
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Random fault schedule for one serving run, seeded and
+/// migration-biased: at most `cfg.max_restarts` ring-loss events
+/// (crash / hang / dropped item — each costs one restart, so the
+/// budget always survives the schedule), plus up to two straggler
+/// slowdowns that must *not* restart anything. Step ordinals
+/// concentrate in the first ~20 work items — with a seeded swap at
+/// iteration 1..=6 that lands faults before, inside and just after the
+/// two-phase barrier window.
+pub fn serving_fault_plan(cfg: &ServingChaosConfig, seed: u64) -> FaultPlan {
+    let mut state = seed ^ 0x5345_5256_4531_4135; // "SERVE1A5"
+    let mut next = move |bound: u64| splitmix64(&mut state) % bound.max(1);
+    let mut events = Vec::new();
+    let n_loss = next(cfg.max_restarts as u64 + 1);
+    for attempt in 0..n_loss {
+        let kind = match next(4) {
+            // Crashes dominate: they are cheap to detect (disconnect)
+            // and exercise the restart-replay path hardest.
+            0 | 1 => FaultKind::Crash,
+            2 => FaultKind::Hang,
+            _ => FaultKind::DropMessage,
+        };
+        events.push(FaultEvent {
+            stage: next(2) as usize,
+            step: next(20) as usize,
+            // Pin each loss to its own attempt: the k-th loss fires on
+            // the ring's k-th incarnation (if the run lasts that long),
+            // so restarts never exceed the loss count.
+            attempt: Some(attempt as usize),
+            kind,
+        });
+    }
+    for _ in 0..next(3) {
+        events.push(FaultEvent {
+            stage: next(2) as usize,
+            step: next(20) as usize,
+            attempt: None,
+            kind: FaultKind::Slowdown { factor: 1.5 + next(4) as f64 * 0.5 },
+        });
+    }
+    FaultPlan { events }
+}
+
+/// The seeded live swap for this seed (`None` when migration is off):
+/// fp16 → int8 at iteration 1..=6, early enough that requests are
+/// still in flight when the barrier runs.
+pub fn serving_swap(cfg: &ServingChaosConfig, seed: u64) -> Option<RungSwap> {
+    if !cfg.migration {
+        return None;
+    }
+    let mut state = seed ^ 0x5357_4150_5F41_5431; // "SWAP_AT1"
+    Some(RungSwap { at_iteration: 1 + splitmix64(&mut state) % 6, rung: 1 })
+}
+
+fn checkpoint() -> RefModel {
+    RefModel::new(RefConfig::tiny())
+}
+
+/// Two-stage plan over the tiny model at uniform `bits`.
+fn stage_plan(bits: Bitwidth) -> ExecutionPlan {
+    let n = RefConfig::tiny().n_layers;
+    let split = n / 2;
+    ExecutionPlan {
+        model: "tiny".into(),
+        cluster: "chaos".into(),
+        stages: vec![
+            StagePlan { device: 0, layer_start: 0, layer_end: split, bits: vec![bits; split] },
+            StagePlan { device: 1, layer_start: split, layer_end: n, bits: vec![bits; n - split] },
+        ],
+        microbatch: MicrobatchPlan {
+            prefill_size: 1,
+            prefill_count: 1,
+            decode_size: 1,
+            decode_count: 1,
+        },
+        scheme: "LLM-PQ".into(),
+        kv_bits: 16,
+    }
+}
+
+/// Seeded Poisson trace with per-seed prompt/generation geometry.
+fn chaos_trace(cfg: &ServingChaosConfig, seed: u64) -> Result<Vec<Request>, String> {
+    let mut state = seed ^ 0x5452_4143_4531_4135; // "TRACE1A5"
+    let mut next = move |bound: u64| splitmix64(&mut state) % bound.max(1);
+    let prompt_len = 3 + next(5) as usize; // 3..=7
+    let n_generate = 2 + next(4) as usize; // 2..=5
+    poisson_requests(cfg.n_requests, 50.0, prompt_len, n_generate, seed)
+}
+
+fn serve_cfg(cfg: &ServingChaosConfig, swap: Option<RungSwap>) -> ContinuousConfig {
+    ContinuousConfig {
+        token_budget: cfg.token_budget,
+        max_batch: cfg.max_batch,
+        swaps: swap.into_iter().collect(),
+        ..ContinuousConfig::default()
+    }
+}
+
+/// [`crate::serve::serve_continuous`] with two chaos-only extras: the
+/// engine's epoch/restart counters read out before the scheduler is
+/// consumed, and a landed-token audit — the same `(request, index)`
+/// must never land two different tokens, or a streaming consumer that
+/// already emitted the first landing now holds a token the final
+/// answer disagrees with.
+fn drive<E: StepEngine>(
+    engine: E,
+    requests: &[Request],
+    cfg: ContinuousConfig,
+    stream_violations: &mut Vec<String>,
+) -> Result<(ContinuousReport, u64, u64), String> {
+    let mut sched = ContinuousScheduler::new(engine, cfg)?;
+    let mut now = 0.0f64;
+    let mut idx = 0usize;
+    let mut makespan = 0.0f64;
+    let mut emitted: BTreeMap<(usize, usize), usize> = BTreeMap::new();
+    loop {
+        while idx < requests.len() && requests[idx].arrival_s <= now + 1e-12 {
+            sched.offer(requests[idx].clone(), now);
+            idx += 1;
+        }
+        let out = sched.step(now).map_err(|e| e.to_string())?;
+        for &(id, index, token) in &out.landed {
+            if let Some(&prev) = emitted.get(&(id, index)) {
+                if prev != token {
+                    stream_violations.push(format!(
+                        "stream contradiction: request {id} token {index} landed as {prev}, \
+                         re-landed as {token}"
+                    ));
+                }
+            } else {
+                emitted.insert((id, index), token);
+            }
+        }
+        if out.idle {
+            if idx < requests.len() {
+                now = requests[idx].arrival_s;
+                continue;
+            }
+            if sched.queued() == 0 && sched.in_flight() == 0 {
+                break;
+            }
+            return Err(format!(
+                "scheduler livelock: {} queued, {} in flight, nothing runnable",
+                sched.queued(),
+                sched.in_flight()
+            ));
+        }
+        now += out.cost_s;
+        makespan = now;
+    }
+    let restarts = sched.engine().restarts();
+    let epoch = sched.engine().epoch();
+    Ok((sched.into_report(makespan, "continuous"), restarts, epoch))
+}
+
+fn finished_tokens(report: &ContinuousReport) -> BTreeMap<usize, Vec<usize>> {
+    report.outputs.iter().map(|f| (f.id, f.tokens.clone())).collect()
+}
+
+/// Run one seed's serving-chaos scenario under `faults` and return the
+/// invariant verdict. The oracle is the local [`ModelStepEngine`] on
+/// the identical trace, quantization seed, admission config and swap
+/// schedule.
+///
+/// Invariant tiers: a run that absorbed **no** restart must match the
+/// oracle token for token — faults the engine rode out (stragglers,
+/// unconsumed events) are invisible. A run that restarted legitimately
+/// reshapes its timeline (the recovery iteration shifts when an
+/// iteration-keyed swap lands relative to request progress, and prefix
+/// KV is rebuilt at the committed rung), so exact oracle equality is
+/// not demanded; instead every run must conserve admissions (including
+/// the recovered leg), respect the restart budget, serve every
+/// finished request to its exact requested length, and never
+/// contradict a token it already landed (stream consistency — restored
+/// sequences resume preserved tokens rather than re-sampling).
+pub fn run_serving_chaos(
+    cfg: &ServingChaosConfig,
+    seed: u64,
+    faults: &FaultPlan,
+) -> ServingChaosRun {
+    let swap = serving_swap(cfg, seed);
+    let mut run = ServingChaosRun {
+        seed,
+        violations: Vec::new(),
+        restarts: 0,
+        epoch: 0,
+        recovered: 0,
+        fault_events: faults.events.len(),
+        swap_at: swap.as_ref().map(|s| s.at_iteration),
+    };
+    let trace = match chaos_trace(cfg, seed) {
+        Ok(t) => t,
+        Err(e) => {
+            run.violations.push(format!("trace generation failed: {e}"));
+            return run;
+        }
+    };
+    let model = checkpoint();
+    let n = model.cfg.n_layers;
+    let bit_ladder = vec![
+        BitAssignment::uniform(n, Bitwidth::Fp16),
+        BitAssignment::uniform(n, Bitwidth::Int8),
+    ];
+    let mut oracle_stream = Vec::new();
+    let local = ModelStepEngine::new(
+        &model,
+        &bit_ladder,
+        Rounding::Deterministic,
+        seed,
+        KvPoolConfig::default(),
+    )
+    .and_then(|eng| drive(eng, &trace, serve_cfg(cfg, swap), &mut oracle_stream));
+    let (oracle, _, _) = match local {
+        Ok(r) => r,
+        Err(e) => {
+            run.violations.push(format!("local oracle failed: {e}"));
+            return run;
+        }
+    };
+    if !oracle_stream.is_empty() {
+        run.violations.push(format!("local oracle broke stream consistency: {oracle_stream:?}"));
+    }
+    let dist_cfg = DistServeConfig {
+        n_slots: (cfg.max_batch * 2).max(8),
+        max_restarts: cfg.max_restarts,
+        // Hung stages and dropped items are detected by this real-time
+        // deadline; keep it short so hang-heavy sweeps stay fast.
+        op_timeout: Duration::from_millis(150),
+        tick: Duration::from_millis(1),
+        ..DistServeConfig::default()
+    };
+    let mut dist_stream = Vec::new();
+    let dist = DistStepEngine::over_channels(
+        &model,
+        vec![stage_plan(Bitwidth::Fp16), stage_plan(Bitwidth::Int8)],
+        Rounding::Deterministic,
+        seed,
+        dist_cfg,
+        Some(faults.clone()),
+    )
+    .and_then(|eng| drive(eng, &trace, serve_cfg(cfg, swap), &mut dist_stream));
+    let (report, restarts, epoch) = match dist {
+        Ok(r) => r,
+        Err(e) => {
+            // Schedules are drawn survivable (ring losses ≤ budget), so
+            // even an exhausted restart budget is a violation here.
+            run.violations.push(format!("distributed run failed: {e}"));
+            return run;
+        }
+    };
+    run.restarts = restarts;
+    run.epoch = epoch;
+    run.recovered = report.stats.recovered;
+    run.violations.extend(dist_stream);
+    let want = finished_tokens(&oracle);
+    let got = finished_tokens(&report);
+    if restarts == 0 && want != got {
+        let diverged: Vec<usize> =
+            want.iter().filter(|(id, toks)| got.get(id) != Some(toks)).map(|(id, _)| *id).collect();
+        run.violations.push(format!(
+            "token divergence vs local oracle without any restart: {} of {} requests differ \
+             (ids {:?})",
+            diverged.len().max(want.len().abs_diff(got.len())),
+            want.len(),
+            diverged
+        ));
+    }
+    // Completion integrity: a served request is exactly its requested
+    // length — restarts must not truncate or overshoot a sequence.
+    for fin in &report.outputs {
+        if let Some(req) = trace.iter().find(|r| r.id == fin.id) {
+            if fin.tokens.len() != req.n_generate {
+                run.violations.push(format!(
+                    "request {} served {} tokens, asked for {}",
+                    fin.id,
+                    fin.tokens.len(),
+                    req.n_generate
+                ));
+            }
+        }
+    }
+    if !report.conserves() {
+        run.violations.push(format!(
+            "admission conservation broken: offered {} != served {} + shed {} + expired {} + \
+             pending {} (recovered leg {})",
+            report.stats.offered,
+            report.stats.served,
+            report.stats.shed,
+            report.stats.expired,
+            report.pending_end,
+            report.stats.recovered,
+        ));
+    }
+    if restarts > cfg.max_restarts as u64 {
+        run.violations
+            .push(format!("restart bound broken: {restarts} > budget {}", cfg.max_restarts));
+    }
+    run
+}
+
+/// Greedily remove schedule events while the violation reproduces at
+/// `seed` — same walk as [`super::shrink_fault_plan`], over the
+/// serving scenario.
+pub fn shrink_serving_plan(cfg: &ServingChaosConfig, seed: u64, plan: &FaultPlan) -> FaultPlan {
+    let fails = |p: &FaultPlan| !run_serving_chaos(cfg, seed, p).violations.is_empty();
+    if !fails(plan) {
+        return plan.clone();
+    }
+    let mut current = plan.clone();
+    loop {
+        let mut shrunk = false;
+        let mut idx = 0;
+        while idx < current.events.len() {
+            let mut candidate = current.clone();
+            candidate.events.remove(idx);
+            if fails(&candidate) {
+                current = candidate;
+                shrunk = true;
+                idx = 0;
+            } else {
+                idx += 1;
+            }
+        }
+        if !shrunk {
+            return current;
+        }
+    }
+}
+
+/// Sweep `n_seeds` consecutive seeds from `start_seed`, one random
+/// migration-biased schedule per seed, shrinking every failure.
+/// Deterministic: the same `(cfg, start_seed, n_seeds)` yields the
+/// same report.
+pub fn serving_seed_sweep(
+    cfg: &ServingChaosConfig,
+    start_seed: u64,
+    n_seeds: u64,
+) -> ServingSweepReport {
+    let mut report = ServingSweepReport {
+        start_seed,
+        n_seeds,
+        failures: Vec::new(),
+        runs_with_faults: 0,
+        runs_with_restarts: 0,
+        runs_committed: 0,
+        sequences_recovered: 0,
+    };
+    for seed in start_seed..start_seed.saturating_add(n_seeds) {
+        let plan = serving_fault_plan(cfg, seed);
+        if !plan.events.is_empty() {
+            report.runs_with_faults += 1;
+        }
+        let run = run_serving_chaos(cfg, seed, &plan);
+        if run.restarts > 0 {
+            report.runs_with_restarts += 1;
+        }
+        if run.epoch > 0 {
+            report.runs_committed += 1;
+        }
+        report.sequences_recovered += run.recovered as u64;
+        if !run.violations.is_empty() {
+            let minimized = shrink_serving_plan(cfg, seed, &plan);
+            let minimized_json = minimized.to_json();
+            report.failures.push(ServingSweepFailure {
+                seed,
+                violations: run.violations,
+                minimized,
+                minimized_json,
+            });
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_plans_are_deterministic_and_survivable() {
+        let cfg = ServingChaosConfig::default();
+        for seed in 0..100 {
+            let a = serving_fault_plan(&cfg, seed);
+            assert_eq!(a, serving_fault_plan(&cfg, seed), "seed {seed}");
+            let losses = a
+                .events
+                .iter()
+                .filter(|e| !matches!(e.kind, FaultKind::Slowdown { .. }))
+                .count();
+            assert!(losses <= cfg.max_restarts, "seed {seed}: {losses} ring losses");
+        }
+    }
+
+    #[test]
+    fn fault_free_run_matches_oracle() {
+        let cfg = ServingChaosConfig::default();
+        let run = run_serving_chaos(&cfg, 3, &FaultPlan::none());
+        assert!(run.violations.is_empty(), "{:?}", run.violations);
+        assert_eq!(run.restarts, 0);
+    }
+
+    #[test]
+    fn crash_schedule_recovers_without_violations() {
+        let cfg = ServingChaosConfig::default();
+        let faults = FaultPlan::crash(1, 5);
+        let run = run_serving_chaos(&cfg, 3, &faults);
+        assert!(run.violations.is_empty(), "{:?}", run.violations);
+        assert!(run.restarts > 0, "crash must surface as a restart");
+    }
+
+    #[test]
+    fn small_sweep_is_clean_and_exercises_restarts() {
+        let cfg = ServingChaosConfig::default();
+        let report = serving_seed_sweep(&cfg, 0, 12);
+        assert!(report.ok(), "failures: {:#?}", report.failures);
+        assert!(report.runs_with_faults > 0, "sweep never drew a fault");
+        assert!(report.runs_with_restarts > 0, "sweep never restarted");
+        assert!(report.runs_committed > 0, "sweep never committed a swap");
+    }
+}

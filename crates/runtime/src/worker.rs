@@ -130,6 +130,13 @@ pub enum WorkerMsg {
     },
     /// One migrating KV fragment (commit window only).
     KvChunk(KvChunkMsg),
+    /// Master → ring: clear the KV cache of sequence slot `seq` so the
+    /// continuous-serving engine can reuse the slot for a new request.
+    /// Forwarded around the ring; the master sinks the echo.
+    KvReset {
+        /// Worker-side sequence slot to clear.
+        seq: usize,
+    },
 }
 
 /// Everything a supervised stage worker needs besides its weights and
@@ -368,6 +375,7 @@ fn execute_swap<T: Transport>(
             Ok(m @ (WorkerMsg::PlanReady { .. }
             | WorkerMsg::PlanPropose { .. }
             | WorkerMsg::PlanCommit { .. }
+            | WorkerMsg::KvReset { .. }
             | WorkerMsg::Protocol(_))) => {
                 if !send_downstream(ctx, link, m, true) {
                     return Err(());
@@ -562,6 +570,17 @@ pub fn run_worker_transport<T: Transport>(weights: &[LayerWeights], ctx: &Worker
                 // another stage (or a stale duplicate the master will
                 // sink) — keep it moving around the ring.
                 if !send_downstream(ctx, link, WorkerMsg::KvChunk(c), true) {
+                    flush(&metrics);
+                    return;
+                }
+            }
+            WorkerMsg::KvReset { seq } => {
+                // Sequence retired by the serving engine: clear its slot
+                // so the next request reusing it starts from empty KV.
+                if seq < caches.len() {
+                    caches[seq] = KvCache::new(n_local, ctx.hidden);
+                }
+                if !send_downstream(ctx, link, WorkerMsg::KvReset { seq }, true) {
                     flush(&metrics);
                     return;
                 }

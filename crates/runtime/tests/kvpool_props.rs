@@ -1,0 +1,193 @@
+//! Property tests for the paged KV allocator: arbitrary interleavings
+//! of alloc / extend / free against a naive token-count model. The
+//! scheduler trusts this bookkeeping for admission and preemption, so
+//! the invariants here are the ones a corrupted free-list would break
+//! first: every block is owned by exactly one chain or the free-list
+//! (no double-grant, no leak, no double-free), accounting matches the
+//! live sequences exactly, and fragmentation stays under one partial
+//! block per live sequence.
+
+use llmpq_runtime::{KvPool, KvPoolConfig, KvPoolError};
+use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One allocator call, decoded from a raw `(kind, seq, tokens)` draw.
+/// Sequence ids are kept small so ops collide on live and dead
+/// sequences (double-alloc, unknown-extend, double-free paths).
+#[derive(Debug, Clone)]
+enum Op {
+    Alloc { seq: u64, tokens: usize },
+    Extend { seq: u64, tokens: usize },
+    Free { seq: u64 },
+}
+
+fn decode(kind: usize, seq: u64, tokens: usize) -> Op {
+    match kind {
+        0 | 1 => Op::Alloc { seq, tokens },
+        2 | 3 => Op::Extend { seq, tokens: tokens % 12 },
+        _ => Op::Free { seq },
+    }
+}
+
+/// Every invariant the scheduler relies on, checked after every op.
+fn check_invariants(p: &KvPool, model: &BTreeMap<u64, usize>) {
+    let cfg = p.config();
+    let bt = cfg.block_tokens;
+
+    // Accounting: the pool sees exactly the model's live sequences.
+    assert_eq!(p.live_seqs(), model.len(), "live sequence count");
+    let mut expect_used = 0usize;
+    for (&seq, &tokens) in model {
+        assert_eq!(p.tokens_of(seq), Some(tokens), "seq {seq} token count");
+        let blocks = p.blocks_of(seq).expect("live seq has a chain");
+        // Fragmentation bound: the chain is exactly ceil(tokens/bt)
+        // blocks — at most one partially filled block per sequence,
+        // never a fully empty trailing block.
+        assert_eq!(blocks.len(), tokens.div_ceil(bt), "seq {seq} chain length");
+        expect_used += blocks.len();
+    }
+    assert_eq!(p.used_blocks(), expect_used, "used == sum of live chains");
+    assert_eq!(p.free_blocks() + p.used_blocks(), cfg.n_blocks, "free + used == total");
+
+    // Ownership: every block id appears exactly once across all chains
+    // (the free-list holds the rest) — a double-grant would show up as
+    // a duplicate, a leak as a missing id.
+    let mut seen = BTreeSet::new();
+    for &seq in model.keys() {
+        for &b in p.blocks_of(seq).unwrap() {
+            assert!((b as usize) < cfg.n_blocks, "block {b} out of range");
+            assert!(seen.insert(b), "block {b} granted to two chains");
+        }
+    }
+    assert_eq!(seen.len(), expect_used);
+
+    // Lifetime counters never drift from the live state.
+    let stats = p.stats();
+    assert_eq!(
+        stats.block_allocs - stats.block_frees,
+        expect_used as u64,
+        "allocs - frees == blocks in use"
+    );
+    assert!(stats.peak_blocks >= expect_used, "peak below current usage");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary op interleavings keep the pool consistent with the
+    /// naive model, error for error.
+    #[test]
+    fn interleavings_match_model(
+        n_blocks in 1usize..24,
+        block_tokens in 1usize..8,
+        raw_ops in prop::collection::vec((0usize..6, 0u64..8, 0usize..40), 1..120),
+    ) {
+        let cfg = KvPoolConfig { n_blocks, block_tokens };
+        let mut p = KvPool::new(cfg);
+        let mut model: BTreeMap<u64, usize> = BTreeMap::new();
+        let mut free_model = n_blocks;
+
+        for (kind, seq, tokens) in raw_ops {
+            match decode(kind, seq, tokens) {
+                Op::Alloc { seq, tokens } => {
+                    let needed = tokens.div_ceil(block_tokens);
+                    let r = p.alloc(seq, tokens);
+                    if model.contains_key(&seq) {
+                        prop_assert_eq!(r, Err(KvPoolError::DoubleAlloc(seq)));
+                    } else if needed > free_model {
+                        prop_assert_eq!(
+                            r,
+                            Err(KvPoolError::Exhausted { needed, free: free_model })
+                        );
+                    } else {
+                        prop_assert_eq!(r, Ok(()));
+                        model.insert(seq, tokens);
+                        free_model -= needed;
+                    }
+                }
+                Op::Extend { seq, tokens } => {
+                    let r = p.extend(seq, tokens);
+                    match model.get_mut(&seq) {
+                        None => prop_assert_eq!(r, Err(KvPoolError::UnknownSeq(seq))),
+                        Some(have) => {
+                            let old_blocks = have.div_ceil(block_tokens);
+                            let new_blocks = (*have + tokens).div_ceil(block_tokens);
+                            let grow = new_blocks - old_blocks;
+                            if grow > free_model {
+                                prop_assert_eq!(
+                                    r,
+                                    Err(KvPoolError::Exhausted { needed: grow, free: free_model })
+                                );
+                                // Failed extend must leave the sequence
+                                // exactly as it was.
+                                prop_assert_eq!(p.tokens_of(seq), Some(*have));
+                            } else {
+                                prop_assert_eq!(r, Ok(()));
+                                *have += tokens;
+                                free_model -= grow;
+                            }
+                        }
+                    }
+                }
+                Op::Free { seq } => {
+                    let freed = p.free(seq);
+                    match model.remove(&seq) {
+                        None => prop_assert_eq!(freed, 0, "double free must be a no-op"),
+                        Some(tokens) => {
+                            let chain = tokens.div_ceil(block_tokens);
+                            prop_assert_eq!(freed, chain, "free returns the whole chain");
+                            free_model += chain;
+                        }
+                    }
+                    // Freeing again immediately is always a no-op.
+                    prop_assert_eq!(p.free(seq), 0);
+                }
+            }
+            prop_assert_eq!(p.free_blocks(), free_model);
+            check_invariants(&p, &model);
+        }
+
+        // Drain everything: the pool must come back whole.
+        for seq in model.keys().copied().collect::<Vec<_>>() {
+            p.free(seq);
+        }
+        prop_assert_eq!(p.free_blocks(), n_blocks);
+        prop_assert_eq!(p.live_seqs(), 0);
+        let stats = p.stats();
+        prop_assert_eq!(stats.block_allocs, stats.block_frees);
+    }
+
+    /// `blocks_needed` / `can_fit` / `feasible` are consistent oracles
+    /// for what `alloc` / `extend` will actually do.
+    #[test]
+    fn planning_oracles_predict_grants(
+        n_blocks in 1usize..16,
+        block_tokens in 1usize..8,
+        first in 0usize..40,
+        grow in 0usize..24,
+    ) {
+        let cfg = KvPoolConfig { n_blocks, block_tokens };
+        let mut p = KvPool::new(cfg);
+
+        let fits = p.can_fit(first);
+        prop_assert_eq!(fits, p.blocks_for(first) <= n_blocks);
+        prop_assert_eq!(p.blocks_needed(1, first), p.blocks_for(first));
+        let r = p.alloc(1, first);
+        prop_assert_eq!(r.is_ok(), fits, "can_fit must predict alloc on an empty pool");
+        if !fits {
+            prop_assert!(!p.feasible(first), "infeasible requests can never fit");
+            return Ok(());
+        }
+
+        let need = p.blocks_needed(1, grow);
+        let would_fit = need <= p.free_blocks();
+        let before = p.tokens_of(1);
+        let r = p.extend(1, grow);
+        prop_assert_eq!(r.is_ok(), would_fit, "blocks_needed must predict extend");
+        if would_fit {
+            prop_assert_eq!(p.tokens_of(1), Some(first + grow));
+        } else {
+            prop_assert_eq!(p.tokens_of(1), before, "failed extend leaves state intact");
+        }
+    }
+}

@@ -12,5 +12,8 @@ pub mod online;
 pub mod prompts;
 
 pub use batch::{microbatch_counts, BatchJob, MicrobatchPlan};
-pub use online::{sample_arrivals, simulate_online, ArrivalSpec, OnlineConfig, OnlineError, OnlineStats};
+pub use online::{
+    sample_arrivals, sample_arrivals_for_duration, simulate_online, ArrivalSpec, OnlineConfig,
+    OnlineError, OnlineStats,
+};
 pub use prompts::{PromptLengthModel, PromptSample};

@@ -68,6 +68,16 @@ pub enum OnlineError {
     BadBatchSize,
     /// `failure_rate` must be a probability in `[0, 1]`.
     BadFailureRate(f64),
+    /// The trace window must be finite and strictly positive.
+    BadDuration(f64),
+    /// The requested rate × duration produced zero arrivals — reported
+    /// as an error instead of silently serving an empty trace.
+    EmptyTrace {
+        /// Requested arrival rate, requests/second.
+        rate: f64,
+        /// Requested trace window, seconds.
+        duration_s: f64,
+    },
 }
 
 impl std::fmt::Display for OnlineError {
@@ -81,6 +91,14 @@ impl std::fmt::Display for OnlineError {
             OnlineError::BadFailureRate(p) => {
                 write!(f, "failure_rate must be a probability in [0, 1] (got {p})")
             }
+            OnlineError::BadDuration(d) => {
+                write!(f, "duration must be finite and > 0 seconds (got {d})")
+            }
+            OnlineError::EmptyTrace { rate, duration_s } => write!(
+                f,
+                "rate {rate} req/s over {duration_s} s produces zero arrivals — \
+                 raise the rate or lengthen the window"
+            ),
         }
     }
 }
@@ -168,6 +186,27 @@ pub fn sample_arrivals(
             }
         })
         .collect())
+}
+
+/// Like [`sample_arrivals`], but keep only the arrivals that land
+/// within the first `duration_s` seconds. A window too short for even
+/// one arrival at the requested rate is a typed [`OnlineError::
+/// EmptyTrace`] — never a silently empty (or clamped) trace, so a
+/// mistyped `--rate`/`--duration` fails loudly at the front door.
+pub fn sample_arrivals_for_duration(
+    cfg: &OnlineConfig,
+    prompt_model: &PromptLengthModel,
+    duration_s: f64,
+) -> Result<Vec<ArrivalSpec>, OnlineError> {
+    if !(duration_s.is_finite() && duration_s > 0.0) {
+        return Err(OnlineError::BadDuration(duration_s));
+    }
+    let mut arrivals = sample_arrivals(cfg, prompt_model)?;
+    arrivals.retain(|a| a.arrival_s <= duration_s);
+    if arrivals.is_empty() {
+        return Err(OnlineError::EmptyTrace { rate: cfg.arrival_rate, duration_s });
+    }
+    Ok(arrivals)
 }
 
 /// Run the simulation. `batch_cost(s, n, b)` returns the engine's
@@ -406,6 +445,35 @@ mod tests {
         assert_eq!(simulate_online(&none, &m, &toy_cost).unwrap_err(), OnlineError::NoRequests);
         let zero = OnlineConfig { batch_size: 0, ..cfg(1.0) };
         assert_eq!(simulate_online(&zero, &m, &toy_cost).unwrap_err(), OnlineError::BadBatchSize);
+    }
+
+    #[test]
+    fn duration_window_truncates_and_stays_deterministic() {
+        let m = PromptLengthModel::default();
+        let full = sample_arrivals(&cfg(10.0), &m).unwrap();
+        let cut = sample_arrivals_for_duration(&cfg(10.0), &m, 5.0).unwrap();
+        assert!(!cut.is_empty() && cut.len() < full.len());
+        assert_eq!(&full[..cut.len()], &cut[..], "a prefix of the same trace");
+        assert!(cut.iter().all(|a| a.arrival_s <= 5.0));
+    }
+
+    #[test]
+    fn zero_arrival_window_is_a_typed_error() {
+        let m = PromptLengthModel::default();
+        // ~1 arrival every 1000 s; a 1 ms window holds none.
+        let err = sample_arrivals_for_duration(&cfg(0.001), &m, 0.001).unwrap_err();
+        assert!(
+            matches!(err, OnlineError::EmptyTrace { .. }),
+            "expected EmptyTrace, got {err:?}"
+        );
+        assert!(err.to_string().contains("zero arrivals"), "{err}");
+        for bad in [0.0, -3.0, f64::NAN, f64::INFINITY] {
+            let err = sample_arrivals_for_duration(&cfg(1.0), &m, bad).unwrap_err();
+            assert!(matches!(err, OnlineError::BadDuration(_)), "{bad}: {err:?}");
+        }
+        // Rate validation still fires first.
+        let err = sample_arrivals_for_duration(&cfg(0.0), &m, 1.0).unwrap_err();
+        assert!(matches!(err, OnlineError::BadArrivalRate(_)));
     }
 
     #[test]
