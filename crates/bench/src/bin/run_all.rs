@@ -33,6 +33,7 @@ const EXPERIMENTS: &[&str] = &[
     "ablation_kv_cache",
     "ablation_online",
     "ablation_cost_per_token",
+    "bench_kernels",
 ];
 
 fn main() {

@@ -52,6 +52,8 @@ const USAGE: &str = "usage: llmpq-serve --mode serve|drive|soak
     [--rungs 3]              degradation ladder depth (model/dist: Fp16>Int8>Int4>Int3)
     [--blocks 4096]          KV pool blocks
     [--block-tokens 16]      tokens per KV block
+    [--mem-budget-mb 0]      model engine: unified memory budget; packed weights are
+                             subtracted, the rest becomes KV blocks (0 = use --blocks)
     [--vocab 97]             sim-engine vocabulary
     [--seed 42]              engine + trace seed
   scheduler (all modes):
@@ -117,6 +119,10 @@ struct EngineParams {
     /// Worker-side sequence slots for the dist engine (covers the
     /// scheduler's max batch).
     slots: usize,
+    /// Unified device memory budget in MiB for the model engine
+    /// (0 = size the pool from `--blocks` instead). Packed weights are
+    /// subtracted first; the remainder becomes KV blocks.
+    mem_budget_mb: usize,
 }
 
 fn build_engine(p: &EngineParams) -> Result<(Engine, usize), String> {
@@ -140,7 +146,18 @@ fn build_engine(p: &EngineParams) -> Result<(Engine, usize), String> {
                 .take(p.rungs.clamp(1, all.len()))
                 .map(|b| BitAssignment::uniform(checkpoint.cfg.n_layers, *b))
                 .collect();
-            let e = ModelStepEngine::new(&checkpoint, &ladder, Rounding::Deterministic, p.seed, p.pool)?;
+            let e = if p.mem_budget_mb > 0 {
+                ModelStepEngine::new_with_budget(
+                    &checkpoint,
+                    &ladder,
+                    Rounding::Deterministic,
+                    p.seed,
+                    p.pool.block_tokens,
+                    p.mem_budget_mb * 1024 * 1024,
+                )?
+            } else {
+                ModelStepEngine::new(&checkpoint, &ladder, Rounding::Deterministic, p.seed, p.pool)?
+            };
             Ok((Engine::Model(Box::new(e)), vocab))
         }
         "dist" => {
@@ -553,6 +570,7 @@ fn main() -> ExitCode {
         vocab: get!(args, "vocab", 97usize),
         seed: get!(args, "seed", 42u64),
         slots: get!(args, "max-batch", 32usize),
+        mem_budget_mb: get!(args, "mem-budget-mb", 0usize),
     };
     let cfg = match scheduler_cfg(&args) {
         Ok(c) => c,

@@ -156,7 +156,7 @@ pub fn build_problem(
                 pre[k] = gsz as f64 * lp;
                 dec[k] = if phase_aware { gsz as f64 * ld } else { 0.0 };
                 let scale_overhead = if bits.is_quantized() {
-                    (4.0 * spec.hidden as f64 + 2.0 * spec.ffn_hidden as f64) * 2.0
+                    spec.quant_scale_bytes(llmpq_model::QUANT_GROUP)
                 } else {
                     0.0
                 };

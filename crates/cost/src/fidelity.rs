@@ -231,6 +231,76 @@ pub fn link_crosscheck(
         .collect()
 }
 
+/// One measured kernel data point: sustained throughput of the serving
+/// GEMM at a given weight precision. Units are free (tokens/s, effective
+/// GB/s…) as long as they are consistent across the set — the cross-check
+/// only consumes *ratios*.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KernelObservation {
+    /// Weight bitwidth of the measured kernel.
+    pub bits: Bitwidth,
+    /// Measured sustained throughput (any consistent unit).
+    pub throughput: f64,
+}
+
+/// Predicted vs observed speedup of a quantized kernel over FP16 — the
+/// kernel-level analog of [`StageCrosscheck`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KernelCrosscheck {
+    /// Weight bitwidth.
+    pub bits: Bitwidth,
+    /// Roofline-model speedup over FP16: `latency(fp16) / latency(bits)`
+    /// under the device's [`KernelEnv`] efficiency tables.
+    pub predicted_speedup: f64,
+    /// Measured speedup over FP16: `throughput(bits) / throughput(fp16)`.
+    pub observed_speedup: f64,
+    /// `|predicted − observed| / observed` (∞ when observed is 0 but
+    /// predicted is not).
+    pub rel_err: f64,
+}
+
+/// Cross-check measured per-bitwidth kernel throughput against the
+/// simulator's roofline tables. Absolute scales never match (the bench
+/// host is not the modeled GPU), so both sides are normalized to their
+/// own FP16 baseline and only the *speedup ratios* are compared — the
+/// quantity the planner actually consumes when trading precision for
+/// latency.
+///
+/// `observed` must contain an [`Bitwidth::Fp16`] entry with nonzero
+/// throughput to serve as the baseline; rows are returned for every
+/// non-FP16 observation, in input order.
+pub fn kernel_crosscheck(
+    dev: &llmpq_cluster::DeviceSpec,
+    env: &KernelEnv,
+    spec: &ModelSpec,
+    w: &PhaseWorkload,
+    kv_bits: f64,
+    observed: &[KernelObservation],
+) -> Vec<KernelCrosscheck> {
+    let base = observed
+        .iter()
+        .find(|o| o.bits == Bitwidth::Fp16 && o.throughput > 0.0)
+        .expect("kernel_crosscheck needs an fp16 baseline observation");
+    let fp16_latency = layer_latency(dev, env, spec, w, Bitwidth::Fp16, kv_bits);
+    observed
+        .iter()
+        .filter(|o| o.bits != Bitwidth::Fp16)
+        .map(|o| {
+            let predicted_speedup =
+                fp16_latency / layer_latency(dev, env, spec, w, o.bits, kv_bits);
+            let observed_speedup = o.throughput / base.throughput;
+            let rel_err = if observed_speedup > 0.0 {
+                (predicted_speedup - observed_speedup).abs() / observed_speedup
+            } else if predicted_speedup > 0.0 {
+                f64::INFINITY
+            } else {
+                0.0
+            };
+            KernelCrosscheck { bits: o.bits, predicted_speedup, observed_speedup, rel_err }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -346,6 +416,64 @@ mod tests {
         );
         assert_eq!(rows[0].rel_err, 0.0, "idle link is a perfect match");
         assert!(rows[1].rel_err.is_infinite(), "traffic with no observed time");
+    }
+
+    #[test]
+    fn kernel_crosscheck_zero_error_on_exact_ratios() {
+        // Feed back the model's own speedups as "measurements": every
+        // rel_err must collapse to zero regardless of absolute scale.
+        let dev = GpuModel::A100_40G.spec();
+        let env = KernelEnv::default();
+        let spec = zoo::opt_13b();
+        let w = PhaseWorkload::decode(8, 512, 512);
+        let fp16 = layer_latency(&dev, &env, &spec, &w, Bitwidth::Fp16, 16.0);
+        let scale = 1234.5; // arbitrary measurement unit
+        let obs: Vec<KernelObservation> = [Bitwidth::Fp16, Bitwidth::Int8, Bitwidth::Int4]
+            .iter()
+            .map(|&bits| KernelObservation {
+                bits,
+                throughput: scale * fp16 / layer_latency(&dev, &env, &spec, &w, bits, 16.0),
+            })
+            .collect();
+        let rows = kernel_crosscheck(&dev, &env, &spec, &w, 16.0, &obs);
+        assert_eq!(rows.len(), 2, "one row per non-fp16 observation");
+        for r in &rows {
+            assert!(r.rel_err < 1e-12, "{:?}", r);
+            assert!(r.predicted_speedup > 1.0, "decode should favor low bits: {:?}", r);
+        }
+    }
+
+    #[test]
+    fn kernel_crosscheck_flags_mismatched_ratios() {
+        let dev = GpuModel::V100_32G.spec();
+        let env = KernelEnv::default();
+        let spec = zoo::opt_13b();
+        let w = PhaseWorkload::decode(8, 512, 512);
+        let obs = [
+            KernelObservation { bits: Bitwidth::Fp16, throughput: 100.0 },
+            // Claim int4 is *slower* than fp16 in decode — the roofline
+            // predicts a clear speedup, so the error must be large.
+            KernelObservation { bits: Bitwidth::Int4, throughput: 50.0 },
+        ];
+        let rows = kernel_crosscheck(&dev, &env, &spec, &w, 16.0, &obs);
+        assert_eq!(rows.len(), 1);
+        assert!(rows[0].rel_err > 0.5, "{:?}", rows[0]);
+        assert!(rows[0].rel_err.is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "fp16 baseline")]
+    fn kernel_crosscheck_requires_fp16_baseline() {
+        let dev = GpuModel::T4_16G.spec();
+        let obs = [KernelObservation { bits: Bitwidth::Int8, throughput: 10.0 }];
+        kernel_crosscheck(
+            &dev,
+            &KernelEnv::default(),
+            &zoo::opt_13b(),
+            &PhaseWorkload::decode(4, 256, 256),
+            16.0,
+            &obs,
+        );
     }
 
     #[test]

@@ -28,8 +28,9 @@ pub mod profiler;
 pub mod store;
 
 pub use fidelity::{
-    latency_fidelity, link_crosscheck, memory_fidelity, predicted_stage_seconds, stage_crosscheck,
-    FidelityReport, LinkCrosscheck, LinkObservation, StageCrosscheck,
+    kernel_crosscheck, latency_fidelity, link_crosscheck, memory_fidelity,
+    predicted_stage_seconds, stage_crosscheck, FidelityReport, KernelCrosscheck,
+    KernelObservation, LinkCrosscheck, LinkObservation, StageCrosscheck,
 };
 pub use latency::{CostDb, LatencyModel};
 pub use memory::{stage_memory, stage_memory_bytes, MemoryBreakdown, FRAMEWORK_BYTES};

@@ -47,10 +47,11 @@ impl MemoryBreakdown {
     }
 }
 
-/// Per-channel quantization scale storage of one decoder layer.
+/// Group-wise quantization scale/zero storage of one decoder layer,
+/// matching the packed layout the serving kernels hold resident.
 fn scale_overhead(spec: &ModelSpec, bits: Bitwidth) -> f64 {
     if bits.is_quantized() {
-        (4.0 * spec.hidden as f64 + 2.0 * spec.ffn_hidden as f64) * 2.0
+        spec.quant_scale_bytes(llmpq_model::QUANT_GROUP)
     } else {
         0.0
     }

@@ -1,0 +1,305 @@
+//! Fused dequant-GEMM over [`PackedMatrix`] weights.
+//!
+//! [`qgemm_t`] computes `out = x · wᵀ` for an activation block `x`
+//! (`m × k`, row-major) against a packed weight (`n × k`, i.e. the
+//! `(out_features, in_features)` orientation of the repo's `matmul_t`),
+//! dequantizing weight tiles in registers on the way into the multiply —
+//! the weight is never materialized as `f32` in memory.
+//!
+//! ## Loop structure
+//!
+//! ```text
+//! par over output tiles (m == 1: j-tiles of the one row; m > 1: rows of out)
+//!   for each lane-tile of LANES = 8 output features   ← f32x8-style unroll
+//!     acc[LANES] = 0
+//!     for each quant group g along k:                 ← scale/zero hoisted here
+//!       dequantize the group's LANES × glen tile into registers/stack
+//!       for kk in group:                              ← sequential k
+//!         for lane: acc[lane] += x[kk] * wt[kk][lane]
+//!     store acc
+//! ```
+//!
+//! The eight accumulator chains are *independent outputs*, which is what
+//! lets the CPU overlap f32 add latency — parallelism is never introduced
+//! within a single output's reduction.
+//!
+//! ## Bit-exactness
+//!
+//! For every output `(i, j)` the accumulation is `acc += x[i][k] * w[j][k]`
+//! for `k = 0, 1, …` where `w[j][k] = ((q − z) as f32) * s` — exactly the
+//! roundings of dequantizing the whole matrix first and running the scalar
+//! `matmul_t` reference. Group boundaries, lane tiling, and the LUT change
+//! only *where* the dequantized value comes from, not its bit pattern or
+//! the order it enters the sum, so the fused result is bit-identical.
+//!
+//! Nibble precisions unpack two elements per payload byte with branch-free
+//! shifts/masks (`wt = ((u − 8 − z) as f32) * s`), keeping the dequant loop
+//! vectorizable — so int4/int3 cost no more per element than int8's
+//! convert-and-multiply while moving half the payload bytes, and the fused
+//! kernel's effective weight throughput ordering (int4 ≥ int8 ≥ dense-f32)
+//! holds even when the CPU, not DRAM, is the bottleneck.
+
+use crate::pack::{PackBits, PackedMatrix};
+use rayon::prelude::*;
+
+/// Output features processed per register tile: eight independent f32
+/// accumulator chains, the stable-Rust stand-in for one `f32x8` vector.
+const LANES: usize = 8;
+
+/// Longest dequantized tile kept on the stack: one quant group across
+/// [`LANES`] outputs. Groups longer than this are processed in
+/// `MAX_GROUP_TILE / LANES`-sized k-chunks (still ascending k).
+const MAX_GROUP_TILE: usize = 128 * LANES;
+
+const NIBBLE_BIAS: i32 = 8;
+
+/// `out = x · wᵀ`, freshly allocated (`m × w.rows`, row-major).
+///
+/// `x` is `m × k` row-major with `k == w.cols`.
+pub fn qgemm_t(x: &[f32], m: usize, w: &PackedMatrix) -> Vec<f32> {
+    let mut out = vec![0.0f32; m * w.rows];
+    qgemm_t_into(x, m, w, &mut out);
+    out
+}
+
+/// [`qgemm_t`] into a caller-provided buffer of length `m * w.rows`.
+pub fn qgemm_t_into(x: &[f32], m: usize, w: &PackedMatrix, out: &mut [f32]) {
+    let k = w.cols;
+    let n = w.rows;
+    assert_eq!(x.len(), m * k, "activation shape mismatch");
+    assert_eq!(out.len(), m * n, "output shape mismatch");
+    if m == 0 || n == 0 {
+        return;
+    }
+    if m == 1 {
+        // Decode shape: one activation row, parallelize over j-tiles of
+        // the single contiguous output row. Tile size is a multiple of
+        // LANES so every parallel chunk starts lane-aligned.
+        const J_TILE: usize = 32 * LANES;
+        out.par_chunks_mut(J_TILE).enumerate().for_each(|(t, chunk)| {
+            row_block(x, w, t * J_TILE, chunk);
+        });
+    } else {
+        // Prefill shape: parallelize over activation rows.
+        out.par_chunks_mut(n).enumerate().for_each(|(i, orow)| {
+            row_block(&x[i * k..(i + 1) * k], w, 0, orow);
+        });
+    }
+}
+
+/// Compute outputs `[j0, j0 + orow.len())` for one activation row.
+fn row_block(xrow: &[f32], w: &PackedMatrix, j0: usize, orow: &mut [f32]) {
+    let mut j = 0;
+    while j + LANES <= orow.len() {
+        let mut acc = [0.0f32; LANES];
+        lane_tile::<LANES>(xrow, w, j0 + j, &mut acc);
+        orow[j..j + LANES].copy_from_slice(&acc);
+        j += LANES;
+    }
+    // Tail outputs (n % LANES): single-lane tiles — same ascending-k
+    // accumulation per output, so still bit-identical.
+    while j < orow.len() {
+        let mut acc = [0.0f32; 1];
+        lane_tile::<1>(xrow, w, j0 + j, &mut acc);
+        orow[j] = acc[0];
+        j += 1;
+    }
+}
+
+/// Accumulate `NL` consecutive output features starting at row `j` of
+/// `w`, walking k in ascending order one quant group at a time.
+fn lane_tile<const NL: usize>(xrow: &[f32], w: &PackedMatrix, j: usize, acc: &mut [f32; NL]) {
+    let k = w.cols;
+    let group = w.group;
+    let gpr = w.groups_per_row();
+    let stride = w.row_stride();
+    let mut wt = [0.0f32; MAX_GROUP_TILE];
+    let chunk_k = MAX_GROUP_TILE / NL;
+    for g in 0..gpr {
+        let g_lo = g * group;
+        let g_hi = (g_lo + group).min(k);
+        // Hoisted per-(lane, group) dequant state.
+        let mut scale = [0.0f32; NL];
+        let mut zero = [0i32; NL];
+        for lane in 0..NL {
+            scale[lane] = w.scales[(j + lane) * gpr + g];
+            zero[lane] = w.zeros[(j + lane) * gpr + g] as i32;
+        }
+        let mut k_lo = g_lo;
+        while k_lo < g_hi {
+            let k_hi = (k_lo + chunk_k).min(g_hi);
+            let klen = k_hi - k_lo;
+            match w.bits {
+                PackBits::Int8 => {
+                    // Dequantize the NL × klen tile, k-major:
+                    // wt[kk * NL + lane].
+                    for lane in 0..NL {
+                        let row = &w.payload[(j + lane) * stride..];
+                        for kk in 0..klen {
+                            let q = row[k_lo + kk] as i8 as i32;
+                            wt[kk * NL + lane] = ((q - zero[lane]) as f32) * scale[lane];
+                        }
+                    }
+                    mac_tile::<NL>(xrow, &wt, k_lo, klen, acc);
+                }
+                PackBits::Int3 | PackBits::Int4 => {
+                    // `wt = ((u − bias − z) as f32) * s` — the identical
+                    // rounding chain to int8's convert-and-multiply.
+                    if k_lo.is_multiple_of(2) && klen.is_multiple_of(2) {
+                        // Byte-aligned fast path: de-interleave each
+                        // payload byte's two nibbles into a lo half
+                        // (even k) and a hi half (odd k) of the tile.
+                        // Each pass has int8's exact load/store shape
+                        // (contiguous byte loads, stride-NL stores), so
+                        // it vectorizes the same way; stride-16 stores
+                        // from an interleaved unpack would not.
+                        let pairs = klen / 2;
+                        for lane in 0..NL {
+                            let row = &w.payload[(j + lane) * stride..];
+                            let s = scale[lane];
+                            let zb = NIBBLE_BIAS + zero[lane];
+                            let bytes = &row[k_lo / 2..k_lo / 2 + pairs];
+                            for (p, &byte) in bytes.iter().enumerate() {
+                                let lo = (byte & 0x0F) as i32;
+                                wt[p * NL + lane] = ((lo - zb) as f32) * s;
+                            }
+                            for (p, &byte) in bytes.iter().enumerate() {
+                                let hi = (byte >> 4) as i32;
+                                wt[(pairs + p) * NL + lane] = ((hi - zb) as f32) * s;
+                            }
+                        }
+                        // Paired MAC: pair p contributes k = k_lo + 2p
+                        // then k_lo + 2p + 1 — per-lane accumulation
+                        // order is still strictly ascending in k.
+                        for p in 0..pairs {
+                            let xv0 = xrow[k_lo + 2 * p];
+                            for lane in 0..NL {
+                                acc[lane] += xv0 * wt[p * NL + lane];
+                            }
+                            let xv1 = xrow[k_lo + 2 * p + 1];
+                            for lane in 0..NL {
+                                acc[lane] += xv1 * wt[(pairs + p) * NL + lane];
+                            }
+                        }
+                    } else {
+                        // Unaligned head/odd tail: scalar unpack.
+                        for lane in 0..NL {
+                            let row = &w.payload[(j + lane) * stride..];
+                            let s = scale[lane];
+                            let zb = NIBBLE_BIAS + zero[lane];
+                            for kk in 0..klen {
+                                let c = k_lo + kk;
+                                let byte = row[c / 2];
+                                let u = if c.is_multiple_of(2) { byte & 0x0F } else { byte >> 4 } as i32;
+                                wt[kk * NL + lane] = ((u - zb) as f32) * s;
+                            }
+                        }
+                        mac_tile::<NL>(xrow, &wt, k_lo, klen, acc);
+                    }
+                }
+            }
+            k_lo = k_hi;
+        }
+    }
+}
+
+/// MAC over a k-major tile: ascending k, one independent chain per lane.
+#[inline]
+fn mac_tile<const NL: usize>(xrow: &[f32], wt: &[f32], k_lo: usize, klen: usize, acc: &mut [f32; NL]) {
+    for kk in 0..klen {
+        let xv = xrow[k_lo + kk];
+        for lane in 0..NL {
+            acc[lane] += xv * wt[kk * NL + lane];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pack::quantize_packed;
+
+    fn pseudo(n: usize, seed: u64) -> Vec<f32> {
+        let mut s = seed;
+        (0..n)
+            .map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((s >> 40) as f32 / (1u64 << 24) as f32) * 2.0 - 1.0
+            })
+            .collect()
+    }
+
+    /// Scalar dequantize-then-matmul_t reference: the exact accumulation
+    /// order the repo's `Matrix::matmul_t` uses on a dequantized weight.
+    fn reference(x: &[f32], m: usize, w: &PackedMatrix) -> Vec<f32> {
+        let dq = w.unpack();
+        let (k, n) = (w.cols, w.rows);
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for kk in 0..k {
+                    acc += x[i * k + kk] * dq[j * k + kk];
+                }
+                out[i * n + j] = acc;
+            }
+        }
+        out
+    }
+
+    fn assert_bit_identical(a: &[f32], b: &[f32]) {
+        assert_eq!(a.len(), b.len());
+        for (i, (l, r)) in a.iter().zip(b).enumerate() {
+            assert_eq!(l.to_bits(), r.to_bits(), "index {i}: {l} vs {r}");
+        }
+    }
+
+    #[test]
+    fn matches_reference_across_shapes_and_bits() {
+        for &(m, n, k, group) in
+            &[(1, 8, 16, 16), (1, 19, 33, 8), (3, 24, 40, 16), (2, 7, 5, 3), (4, 300, 65, 64)]
+        {
+            for bits in [PackBits::Int3, PackBits::Int4, PackBits::Int8] {
+                let data = pseudo(n * k, 7 + m as u64);
+                let w = quantize_packed(&data, n, k, bits, group);
+                let x = pseudo(m * k, 11 + n as u64);
+                assert_bit_identical(&qgemm_t(&x, m, &w), &reference(&x, m, &w));
+            }
+        }
+    }
+
+    #[test]
+    fn decode_path_crosses_parallel_tile_boundary() {
+        // n > J_TILE (256) so the m == 1 path spans multiple par chunks.
+        let (n, k) = (600, 96);
+        let w = quantize_packed(&pseudo(n * k, 21), n, k, PackBits::Int4, 32);
+        let x = pseudo(k, 22);
+        assert_bit_identical(&qgemm_t(&x, 1, &w), &reference(&x, 1, &w));
+    }
+
+    #[test]
+    fn into_variant_matches_alloc_variant() {
+        let (m, n, k) = (2, 30, 48);
+        let w = quantize_packed(&pseudo(n * k, 31), n, k, PackBits::Int8, 16);
+        let x = pseudo(m * k, 32);
+        let mut out = vec![f32::NAN; m * n];
+        qgemm_t_into(&x, m, &w, &mut out);
+        assert_bit_identical(&out, &qgemm_t(&x, m, &w));
+    }
+
+    #[test]
+    fn long_groups_are_chunked_in_order() {
+        // group (512) > MAX_GROUP_TILE / LANES (128): exercises the
+        // in-group k-chunking path.
+        let (n, k) = (16, 512);
+        let w = quantize_packed(&pseudo(n * k, 41), n, k, PackBits::Int8, 512);
+        let x = pseudo(k, 42);
+        assert_bit_identical(&qgemm_t(&x, 1, &w), &reference(&x, 1, &w));
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        let w = quantize_packed(&pseudo(8 * 4, 51), 8, 4, PackBits::Int4, 4);
+        assert!(qgemm_t(&[], 0, &w).is_empty());
+    }
+}

@@ -23,6 +23,7 @@
 
 pub mod checkpoint;
 pub mod flops;
+pub mod linear;
 pub mod phase;
 pub mod reference;
 pub mod spec;
@@ -31,6 +32,7 @@ pub mod zoo;
 
 pub use checkpoint::{load_checkpoint, save_checkpoint};
 pub use flops::{LayerCost, PhaseWorkload};
+pub use linear::LinearOp;
 pub use phase::Phase;
 pub use reference::{
     alibi_slope, forward_layer_alibi, forward_layer_taps, forward_layer_with, log_softmax_at,
@@ -39,3 +41,8 @@ pub use reference::{
 };
 pub use spec::{ModelFamily, ModelSpec};
 pub use tensor::Matrix;
+
+/// Group length of the packed quantized layout the serving path uses;
+/// re-exported so planners can account scale/zero metadata without
+/// depending on `llmpq-kernels` directly.
+pub use llmpq_kernels::DEFAULT_GROUP as QUANT_GROUP;

@@ -13,6 +13,7 @@
 //! distribution and quantization degrades PPL monotonically — matching
 //! the paper's experimental shape without needing trained checkpoints.
 
+use crate::linear::LinearOp;
 use crate::tensor::{add_assign, add_bias, gelu, layer_norm, softmax_rows, Matrix};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -60,22 +61,25 @@ impl RefConfig {
     }
 }
 
-/// Weights of one decoder layer. Projection matrices are stored as
-/// `(out_features, in_features)`, matching `Matrix::matmul_t`.
+/// Weights of one decoder layer. Projection operators are stored as
+/// `(out_features, in_features)`, matching `Matrix::matmul_t`; each is a
+/// [`LinearOp`] — dense `f32` on the FP path, packed low-bit after
+/// quantization (served by the fused dequant-GEMM, bit-identical to the
+/// dense forward over dequantized weights).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LayerWeights {
     /// Query projection, `hidden × hidden`.
-    pub wq: Matrix,
+    pub wq: LinearOp,
     /// Key projection.
-    pub wk: Matrix,
+    pub wk: LinearOp,
     /// Value projection.
-    pub wv: Matrix,
+    pub wv: LinearOp,
     /// Attention output projection.
-    pub wo: Matrix,
+    pub wo: LinearOp,
     /// MLP up-projection, `ffn × hidden`.
-    pub w1: Matrix,
+    pub w1: LinearOp,
     /// MLP down-projection, `hidden × ffn`.
-    pub w2: Matrix,
+    pub w2: LinearOp,
     /// Biases for q/k/v/o (hidden each).
     pub bq: Vec<f32>,
     /// Key bias.
@@ -116,12 +120,12 @@ impl LayerWeights {
         let b1 = bias(f, 0.02);
         let b2 = bias(h, 0.02);
         Self {
-            wq: Matrix::random(h, h, sh, seed ^ 0x11),
-            wk: Matrix::random(h, h, sh, seed ^ 0x22),
-            wv: Matrix::random(h, h, sh, seed ^ 0x33),
-            wo: Matrix::random(h, h, sh, seed ^ 0x44),
-            w1: Matrix::random(f, h, sh, seed ^ 0x55),
-            w2: Matrix::random(h, f, sf, seed ^ 0x66),
+            wq: LinearOp::Dense(Matrix::random(h, h, sh, seed ^ 0x11)),
+            wk: LinearOp::Dense(Matrix::random(h, h, sh, seed ^ 0x22)),
+            wv: LinearOp::Dense(Matrix::random(h, h, sh, seed ^ 0x33)),
+            wo: LinearOp::Dense(Matrix::random(h, h, sh, seed ^ 0x44)),
+            w1: LinearOp::Dense(Matrix::random(f, h, sh, seed ^ 0x55)),
+            w2: LinearOp::Dense(Matrix::random(h, f, sf, seed ^ 0x66)),
             bq,
             bk,
             bv,
@@ -135,9 +139,9 @@ impl LayerWeights {
         }
     }
 
-    /// The six linear matrices, with stable operator names — the unit the
-    /// paper's variance indicator sums over (`O_i` in Proposition 2).
-    pub fn linear_operators(&self) -> [(&'static str, &Matrix); 6] {
+    /// The six linear operators, with stable operator names — the unit
+    /// the paper's variance indicator sums over (`O_i` in Proposition 2).
+    pub fn linear_operators(&self) -> [(&'static str, &LinearOp); 6] {
         [
             ("wq", &self.wq),
             ("wk", &self.wk),
@@ -149,7 +153,7 @@ impl LayerWeights {
     }
 
     /// Mutable access to a named linear operator.
-    pub fn linear_operator_mut(&mut self, name: &str) -> Option<&mut Matrix> {
+    pub fn linear_operator_mut(&mut self, name: &str) -> Option<&mut LinearOp> {
         match name {
             "wq" => Some(&mut self.wq),
             "wk" => Some(&mut self.wk),
@@ -159,6 +163,14 @@ impl LayerWeights {
             "w2" => Some(&mut self.w2),
             _ => None,
         }
+    }
+
+    /// Bytes the layer's projection weights keep resident — packed
+    /// payloads count their true (bits-scaled) footprint, dense weights
+    /// their full `f32` size. Biases and norm parameters are negligible
+    /// and excluded.
+    pub fn resident_weight_bytes(&self) -> usize {
+        self.linear_operators().iter().map(|(_, op)| op.resident_bytes()).sum()
     }
 }
 
@@ -423,11 +435,11 @@ fn forward_layer_inner(
     // --- Attention block (pre-LN) ---
     let mut xn = x.clone();
     layer_norm(&mut xn, &w.ln1_g, &w.ln1_b);
-    let mut q = xn.matmul_t(&w.wq);
+    let mut q = w.wq.forward_t(&xn);
     add_bias(&mut q, &w.bq);
-    let mut k = xn.matmul_t(&w.wk);
+    let mut k = w.wk.forward_t(&xn);
     add_bias(&mut k, &w.bk);
-    let mut v = xn.matmul_t(&w.wv);
+    let mut v = w.wv.forward_t(&xn);
     add_bias(&mut v, &w.bv);
     cache.append(layer_idx, &k, &v);
     let k_all = &cache.k[layer_idx];
@@ -474,7 +486,7 @@ fn forward_layer_inner(
             }
         }
     }
-    let mut attn_proj = attn_out.matmul_t(&w.wo);
+    let mut attn_proj = w.wo.forward_t(&attn_out);
     add_bias(&mut attn_proj, &w.bo);
     let mut x1 = x.clone();
     add_assign(&mut x1, &attn_proj);
@@ -482,10 +494,10 @@ fn forward_layer_inner(
     // --- MLP block (pre-LN) ---
     let mut xn2 = x1.clone();
     layer_norm(&mut xn2, &w.ln2_g, &w.ln2_b);
-    let mut hmid = xn2.matmul_t(&w.w1);
+    let mut hmid = w.w1.forward_t(&xn2);
     add_bias(&mut hmid, &w.b1);
     gelu(&mut hmid);
-    let mut out = hmid.matmul_t(&w.w2);
+    let mut out = w.w2.forward_t(&hmid);
     add_bias(&mut out, &w.b2);
     add_assign(&mut out, &x1);
 
@@ -615,7 +627,8 @@ mod tests {
         let mut noisy = model.clone();
         let mut rng = SmallRng::seed_from_u64(3);
         for l in &mut noisy.layers {
-            for v in l.wq.data.iter_mut().chain(l.w2.data.iter_mut()) {
+            let (wq, w2) = (l.wq.dense_mut(), l.w2.dense_mut());
+            for v in wq.data.iter_mut().chain(w2.data.iter_mut()) {
                 *v += rng.gen_range(-0.15..0.15);
             }
         }

@@ -136,6 +136,18 @@ impl ModelSpec {
         self.embedding_params() as f64 * 2.0
     }
 
+    /// Bytes of group-wise quantization metadata for one decoder layer's
+    /// linear weights: one FP32 scale plus one INT8 zero-point per
+    /// `group` input elements of every output row, mirroring the packed
+    /// layout `llmpq-kernels` serves. Four attention projections are
+    /// `hidden × hidden`, W1 is `ffn × hidden`, W2 is `hidden × ffn`.
+    pub fn quant_scale_bytes(&self, group: usize) -> f64 {
+        let h = self.hidden as f64;
+        let f = self.ffn_hidden as f64;
+        let gpr = |cols: f64| (cols / group as f64).ceil();
+        5.0 * (4.0 * h * gpr(h) + f * gpr(h) + h * gpr(f))
+    }
+
     /// KV-cache bytes for **one decoder layer**, for `batch` sequences of
     /// reserved length `seq_len` (prompt + generated tokens, as LLM-PQ
     /// pre-allocates the maximum sentence length), with each cache element

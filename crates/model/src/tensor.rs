@@ -66,10 +66,9 @@ impl Matrix {
             .enumerate()
             .for_each(|(i, out_row)| {
                 let a_row = self.row(i);
+                // No value-dependent skip here: a branch per k-step makes
+                // GEMM timing input-dependent, which skews calibration.
                 for (k, &a) in a_row.iter().enumerate() {
-                    if a == 0.0 {
-                        continue;
-                    }
                     let b_row = other.row(k);
                     for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
                         *o += a * b;

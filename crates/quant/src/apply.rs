@@ -1,17 +1,19 @@
-//! Apply a bit assignment to a reference model ("fake quantization").
+//! Apply a bit assignment to a reference model.
 //!
-//! Serving with weight-only kernels is numerically equivalent to running
-//! FP16 GEMMs over dequantized weights, so quality experiments quantize→
-//! dequantize each linear operator in place and run the normal forward.
+//! Quantized operators stay *packed* (`LinearOp::Packed`): the fused
+//! dequant-GEMM serves them with bit-identical numerics to an FP16 GEMM
+//! over dequantized weights, so quality experiments see exactly the
+//! fake-quantization values while resident weight bytes shrink by
+//! `bits/32`.
 
 use crate::bitwidth::{BitAssignment, Bitwidth};
-use crate::quantizer::{fake_quantize, Rounding};
+use crate::quantizer::{pack_operator, Rounding};
 use llmpq_model::RefModel;
 use rayon::prelude::*;
 
 /// Return a copy of `model` whose decoder layers are quantized per
-/// `assignment` (layer `i` at `assignment.bits[i]`). Embeddings, norms
-/// and biases stay FP16/FP32, as in the paper.
+/// `assignment` (layer `i` at `assignment.bits[i]`), stored packed.
+/// Embeddings, norms and biases stay FP16/FP32, as in the paper.
 pub fn quantize_model(model: &RefModel, assignment: &BitAssignment, rounding: Rounding, seed: u64) -> RefModel {
     assert_eq!(
         assignment.len(),
@@ -30,7 +32,8 @@ pub fn quantize_model(model: &RefModel, assignment: &BitAssignment, rounding: Ro
             let layer_seed = seed ^ ((l as u64) << 32);
             for name in ["wq", "wk", "wv", "wo", "w1", "w2"] {
                 let w = layer.linear_operator_mut(name).unwrap();
-                *w = fake_quantize(w, bits, rounding, layer_seed ^ name.len() as u64);
+                let packed = pack_operator(w.dense(), bits, rounding, layer_seed ^ name.len() as u64);
+                *w = packed;
             }
         });
     out
@@ -66,6 +69,56 @@ mod tests {
         let model = RefModel::new(RefConfig::tiny());
         let q = quantize_model_uniform(&model, Bitwidth::Fp16, Rounding::Deterministic, 0);
         assert_eq!(q.layers[0].wq, model.layers[0].wq);
+    }
+
+    #[test]
+    fn quantized_layers_stay_packed_and_shrink() {
+        let model = RefModel::new(RefConfig::tiny());
+        let q = quantize_model_uniform(&model, Bitwidth::Int4, Rounding::Deterministic, 0);
+        for layer in &q.layers {
+            for (name, op) in layer.linear_operators() {
+                assert!(op.is_packed(), "{name} should be packed at int4");
+            }
+        }
+        let dense: usize = model.layers.iter().map(|l| l.resident_weight_bytes()).sum();
+        let packed: usize = q.layers.iter().map(|l| l.resident_weight_bytes()).sum();
+        assert!(
+            packed * 5 < dense,
+            "int4 resident bytes {packed} should be well under a fifth of dense {dense}"
+        );
+    }
+
+    #[test]
+    fn packed_forward_matches_fake_quantize_forward() {
+        // The bit-exactness contract end-to-end: serving from packed
+        // weights generates the same tokens as the dequantize-everything
+        // model the quality experiments used to build.
+        use crate::quantizer::fake_quantize;
+        let model = RefModel::new(RefConfig::tiny());
+        let packed = quantize_model_uniform(&model, Bitwidth::Int4, Rounding::Deterministic, 0);
+        let mut dense = model.clone();
+        for (l, layer) in dense.layers.iter_mut().enumerate() {
+            // Mirrors quantize_model_uniform's per-layer seed with seed = 0.
+            let layer_seed = (l as u64) << 32;
+            for name in ["wq", "wk", "wv", "wo", "w1", "w2"] {
+                let w = layer.linear_operator_mut(name).unwrap();
+                let dq = fake_quantize(
+                    w.dense(),
+                    Bitwidth::Int4,
+                    Rounding::Deterministic,
+                    layer_seed ^ name.len() as u64,
+                );
+                *w = dq.into();
+            }
+        }
+        let a = packed.generate(&[1, 2, 3], 12, 0.0, 0);
+        let b = dense.generate(&[1, 2, 3], 12, 0.0, 0);
+        assert_eq!(a, b, "packed and dequantized serving must emit identical tokens");
+        let (la, _) = packed.prefill(&[4, 5, 6]);
+        let (lb, _) = dense.prefill(&[4, 5, 6]);
+        for (x, y) in la.data.iter().zip(&lb.data) {
+            assert_eq!(x.to_bits(), y.to_bits(), "logits must be bit-identical");
+        }
     }
 
     #[test]

@@ -153,6 +153,7 @@ pub fn variance_indicator(
                 }
                 let mut total = 0.0;
                 for (name, w) in layer.linear_operators() {
+                    let w = w.dense(); // indicators run on the FP model
                     let stats = report.get(l, name);
                     let d = w.cols as f64; // fan-in: errors from D weights sum per output
                     let s2 = mean_sq_scale(w, bits);
@@ -184,7 +185,7 @@ pub fn hessian_indicator(model: &RefModel, sequences: &[Vec<usize>], rounding: R
                 }
                 let ops = model.layers[l].linear_operators();
                 for op in OPERATORS {
-                    let w = ops.iter().find(|(n, _)| *n == op).map(|(_, w)| *w).unwrap();
+                    let w = ops.iter().find(|(n, _)| *n == op).map(|(_, w)| w.dense()).unwrap();
                     let dq = quantize_matrix(w, bits, rounding, 0xC0FFEE ^ l as u64).dequantize();
                     // ΔW = W − W̃; error energy = ‖X·ΔWᵀ‖²_F.
                     let mut dw = w.clone();

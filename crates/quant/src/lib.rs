@@ -30,6 +30,8 @@ pub use indicator::{
     build_indicator, hessian_indicator, random_indicator, variance_indicator, IndicatorKind,
     IndicatorTable,
 };
-pub use quantizer::{fake_quantize, quantization_mse, quantize_matrix, QuantizedMatrix, Rounding};
+pub use quantizer::{
+    fake_quantize, pack_operator, quantization_mse, quantize_matrix, QuantizedMatrix, Rounding,
+};
 pub use schemes::{fake_quantize_scheme, scheme_mse, QuantScheme};
 pub use smoothquant::{apply_smoothing, smoothed_w8a8_error, smoothing_factors, w8a8_error, SmoothingFactors};

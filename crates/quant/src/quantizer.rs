@@ -9,7 +9,8 @@
 //! a different output-variance bound for each.
 
 use crate::bitwidth::Bitwidth;
-use llmpq_model::Matrix;
+use llmpq_kernels::{PackBits, PackedMatrix, DEFAULT_GROUP};
+use llmpq_model::{LinearOp, Matrix};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
@@ -62,6 +63,34 @@ impl QuantizedMatrix {
     pub fn storage_bytes(&self) -> f64 {
         self.bits.payload_bytes((self.rows * self.cols) as u64) + self.rows as f64 * 2.0
     }
+
+    /// Convert to the kernel crate's packed layout for fused serving.
+    ///
+    /// The per-row scale is replicated into every `group`-length group
+    /// (zero points 0), so `PackedMatrix::unpack()` — and therefore the
+    /// fused `qgemm_t` — reproduces [`QuantizedMatrix::dequantize`]
+    /// bit-for-bit.
+    pub fn to_packed(&self, group: usize) -> PackedMatrix {
+        let bits = match self.bits {
+            Bitwidth::Int3 => PackBits::Int3,
+            Bitwidth::Int4 => PackBits::Int4,
+            Bitwidth::Int8 => PackBits::Int8,
+            Bitwidth::Fp16 => panic!("fp16 weights stay dense, not packed"),
+        };
+        PackedMatrix::from_rowwise(self.rows, self.cols, bits, group, &self.q, &self.scales)
+    }
+}
+
+/// Quantize a dense operator and keep it packed: the serving-side
+/// counterpart of [`fake_quantize`]. The returned [`LinearOp::Packed`]
+/// forwards bit-identically to a dense forward over
+/// `fake_quantize(m, …)` while keeping only `bits`-scaled payload bytes
+/// resident.
+pub fn pack_operator(m: &Matrix, bits: Bitwidth, rounding: Rounding, seed: u64) -> LinearOp {
+    if bits == Bitwidth::Fp16 {
+        return LinearOp::Dense(m.clone());
+    }
+    LinearOp::Packed(quantize_matrix(m, bits, rounding, seed).to_packed(DEFAULT_GROUP))
 }
 
 /// Quantize `m` row-wise to `bits` with the given `rounding`. The `seed`

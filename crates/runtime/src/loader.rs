@@ -12,8 +12,8 @@
 //! tracks the peak staging footprint, which must stay bounded by one
 //! module — not one model.
 
-use llmpq_model::{LayerWeights, Matrix, RefModel};
-use llmpq_quant::{fake_quantize, Bitwidth, Rounding};
+use llmpq_model::{LayerWeights, LinearOp, Matrix, RefModel};
+use llmpq_quant::{pack_operator, Bitwidth, Rounding};
 use serde::{Deserialize, Serialize};
 
 /// Statistics of a loading pass.
@@ -53,19 +53,19 @@ impl OnTheFlyQuantizer {
         (m.data.len() * std::mem::size_of::<f32>()) as u64
     }
 
-    /// Stream one module: stage it, quantize (or pass through), release
-    /// the staging buffer.
-    fn process_module(&mut self, src: &Matrix, bits: Bitwidth, module_seed: u64) -> Matrix {
+    /// Stream one module: stage it, quantize to the packed layout (or
+    /// pass through dense), release the staging buffer.
+    fn process_module(&mut self, src: &Matrix, bits: Bitwidth, module_seed: u64) -> LinearOp {
         let bytes = Self::stage_bytes(src);
         self.staged += bytes;
         self.stats.peak_staging_bytes = self.stats.peak_staging_bytes.max(self.staged);
         self.stats.bytes_streamed += bytes;
         self.stats.modules += 1;
         let out = if bits == Bitwidth::Fp16 {
-            src.clone()
+            LinearOp::Dense(src.clone())
         } else {
             self.stats.quantized_modules += 1;
-            fake_quantize(src, bits, self.rounding, module_seed)
+            pack_operator(src, bits, self.rounding, module_seed)
         };
         // Staging buffer released once the module is on the "GPU".
         self.staged -= bytes;
@@ -81,14 +81,14 @@ impl OnTheFlyQuantizer {
         let mut out = src.clone();
         if bits != Bitwidth::Fp16 {
             let layer_seed = self.seed ^ ((layer as u64) << 32);
-            for name in ["wq", "wk", "wv", "wo", "w1", "w2"] {
-                let m = out.linear_operator_mut(name).unwrap();
-                *m = self.process_module(m, bits, layer_seed ^ name.len() as u64);
+            for (name, srcw) in src.linear_operators() {
+                let packed = self.process_module(srcw.dense(), bits, layer_seed ^ name.len() as u64);
+                *out.linear_operator_mut(name).unwrap() = packed;
             }
         } else {
             for (_, m) in src.linear_operators() {
                 // FP16 modules still stream through staging.
-                let _ = self.process_module(m, Bitwidth::Fp16, 0);
+                let _ = self.process_module(m.dense(), Bitwidth::Fp16, 0);
             }
         }
         out
@@ -131,7 +131,7 @@ mod tests {
         let largest_module = m.layers[0]
             .linear_operators()
             .iter()
-            .map(|(_, w)| (w.data.len() * 4) as u64)
+            .map(|(_, w)| (w.dense().data.len() * 4) as u64)
             .max()
             .unwrap();
         assert_eq!(

@@ -411,6 +411,65 @@ impl ModelStepEngine {
         Ok(Self { models, store, costs, rung: 0, swaps: 0 })
     }
 
+    /// Like [`ModelStepEngine::new`], but size the KV pool from a
+    /// unified device memory budget instead of a fixed block count:
+    /// whatever `mem_budget_bytes` leaves after the *packed* resident
+    /// weights is carved into KV blocks of `block_tokens` positions.
+    /// Lower-bit ladders keep fewer weight bytes resident, so
+    /// quantization directly buys KV headroom — the serve-path guard
+    /// (`pool().feasible`/`can_fit`) then admits more concurrent
+    /// sequences.
+    pub fn new_with_budget(
+        checkpoint: &RefModel,
+        ladder: &[BitAssignment],
+        rounding: Rounding,
+        seed: u64,
+        block_tokens: usize,
+        mem_budget_bytes: usize,
+    ) -> Result<Self, String> {
+        if block_tokens == 0 {
+            return Err("block_tokens must be at least 1".into());
+        }
+        // Quantize first; the real packed footprint decides the split.
+        let probe = Self::new(
+            checkpoint,
+            ladder,
+            rounding,
+            seed,
+            KvPoolConfig { n_blocks: 1, block_tokens },
+        )?;
+        let weights = probe.weight_resident_bytes();
+        let block_bytes = Self::kv_block_bytes(&checkpoint.cfg, block_tokens);
+        let left = mem_budget_bytes.saturating_sub(weights);
+        let n_blocks = left / block_bytes;
+        if n_blocks == 0 {
+            return Err(format!(
+                "memory budget {mem_budget_bytes} B cannot hold {weights} B of resident \
+                 weights plus one {block_bytes} B KV block"
+            ));
+        }
+        let cfg = &probe.models[0].cfg;
+        let store =
+            PagedKvStore::new(KvPoolConfig { n_blocks, block_tokens }, cfg.n_layers, cfg.hidden);
+        Ok(Self { store, ..probe })
+    }
+
+    /// Bytes of one KV block: `block_tokens` positions × hidden × (K+V)
+    /// × 4 bytes, across every layer.
+    pub fn kv_block_bytes(cfg: &llmpq_model::RefConfig, block_tokens: usize) -> usize {
+        block_tokens * cfg.hidden * 2 * 4 * cfg.n_layers
+    }
+
+    /// Bytes the engine keeps resident for weights, summed over every
+    /// rung of the ladder (all rungs stay loaded for hot swapping).
+    /// Packed rungs count their true bits-scaled footprint.
+    pub fn weight_resident_bytes(&self) -> usize {
+        self.models
+            .iter()
+            .map(|m| m.layers.iter().map(|l| l.resident_weight_bytes()).sum::<usize>())
+            .sum()
+    }
+
     /// The paged store (tests inspect block usage).
     pub fn store(&self) -> &PagedKvStore {
         &self.store
@@ -1857,6 +1916,59 @@ mod tests {
         };
         assert_eq!(small_chunks, bulk);
         assert_eq!(bulk, sim_oracle_tokens(42, 97, &prompt, 1)[0]);
+    }
+
+    #[test]
+    fn quantization_buys_kv_headroom_under_a_memory_budget() {
+        // The packed-weights payoff online: under the same device
+        // budget, an int4 ladder leaves more bytes for KV blocks than
+        // an fp16 ladder — so the serve-path guard admits longer/more
+        // sequences.
+        use llmpq_model::{RefConfig, RefModel};
+        use llmpq_quant::Bitwidth;
+        let checkpoint = RefModel::new(RefConfig::tiny());
+        let fp16 = vec![BitAssignment::uniform(checkpoint.cfg.n_layers, Bitwidth::Fp16)];
+        let int4 = vec![BitAssignment::uniform(checkpoint.cfg.n_layers, Bitwidth::Int4)];
+        let budget = 2 * 1024 * 1024;
+        let e16 = ModelStepEngine::new_with_budget(
+            &checkpoint, &fp16, Rounding::Deterministic, 0, 16, budget,
+        )
+        .unwrap();
+        let e4 = ModelStepEngine::new_with_budget(
+            &checkpoint, &int4, Rounding::Deterministic, 0, 16, budget,
+        )
+        .unwrap();
+        assert!(
+            e4.weight_resident_bytes() * 5 < e16.weight_resident_bytes(),
+            "int4 weights {} should be well under a fifth of fp16 {}",
+            e4.weight_resident_bytes(),
+            e16.weight_resident_bytes()
+        );
+        assert!(
+            e4.pool().free_blocks() > e16.pool().free_blocks(),
+            "int4 pool {} blocks should exceed fp16 pool {}",
+            e4.pool().free_blocks(),
+            e16.pool().free_blocks()
+        );
+        // The carve-up actually respects the budget.
+        let block = ModelStepEngine::kv_block_bytes(&checkpoint.cfg, 16);
+        for e in [&e16, &e4] {
+            assert!(e.weight_resident_bytes() + e.pool().free_blocks() * block <= budget);
+        }
+    }
+
+    #[test]
+    fn budget_too_small_for_weights_is_an_error() {
+        use llmpq_model::{RefConfig, RefModel};
+        use llmpq_quant::Bitwidth;
+        let checkpoint = RefModel::new(RefConfig::tiny());
+        let ladder = vec![BitAssignment::uniform(checkpoint.cfg.n_layers, Bitwidth::Fp16)];
+        let err = ModelStepEngine::new_with_budget(
+            &checkpoint, &ladder, Rounding::Deterministic, 0, 16, 1024,
+        )
+        .map(|_| ())
+        .unwrap_err();
+        assert!(err.contains("memory budget"), "{err}");
     }
 
     #[test]
