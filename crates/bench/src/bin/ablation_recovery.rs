@@ -111,7 +111,9 @@ fn main() {
                     "inf".into(),
                 ]);
             }
-            Err(e) => t.row(vec![lost.to_string(), e, "-".into(), "-".into(), "-".into()]),
+            Err(e) => {
+                t.row(vec![lost.to_string(), e.to_string(), "-".into(), "-".into(), "-".into()])
+            }
         }
     }
     println!("{}", t.render());

@@ -51,6 +51,7 @@ const SWITCHES: &[&str] = &[
     "trace",
     "migrations",
     "serving",
+    "elastic",
     "no-swaps",
     "compare-static",
     "keep-outputs",

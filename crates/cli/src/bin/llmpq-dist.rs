@@ -56,7 +56,10 @@
 //! the master's supervisor restarts the attempt on a lost connection.
 
 use llm_pq::evaluate::stage_loads;
-use llm_pq::{degradation_ladder, AssignerConfig, DegradationLadder, ExecutionPlan, DEFAULT_CAPS};
+use llm_pq::{
+    degradation_ladder, replan_after_loss, AssignerConfig, DegradationLadder, ExecutionPlan,
+    SolverChoice, DEFAULT_CAPS,
+};
 use llmpq_cli::Args;
 use llmpq_cluster::paper_cluster;
 use llmpq_cost::{
@@ -68,8 +71,8 @@ use llmpq_quant::{random_indicator, Rounding};
 use llmpq_runtime::{
     poisson_requests, run_master, run_pipeline_observed, run_pipeline_supervised_observed,
     run_pipeline_with_swap, run_stage, serve, AdmissionConfig, AdmissionPolicy, DistMasterConfig,
-    DistStageConfig, FaultPlan, FoldReplanner, ServeConfig, SimEngine, SupervisorConfig,
-    SwapRequest, Telemetry, WireFaultPlan,
+    DistStageConfig, FaultPlan, FoldReplanner, Replanner, ServeConfig, SimEngine,
+    SupervisorConfig, SwapRequest, Telemetry, WireFaultPlan,
 };
 use llmpq_sim::{KernelEnv, PipelineWorkload};
 use llmpq_workload::{simulate_online, BatchJob, OnlineConfig, PromptLengthModel};
@@ -194,6 +197,11 @@ fn run(args: &Args) -> Result<(), String> {
     };
     let sup_cfg = SupervisorConfig { max_queue, ..SupervisorConfig::default() };
 
+    let replanner = DistReplanner::new(
+        &plan,
+        BatchJob { global_batch: batch, prompt_len, n_generate },
+        telemetry.clone(),
+    );
     let (out, restarts, replans) = if faults.is_some() || max_queue.is_some() {
         // Bounded queues ride on the supervised path, which owns the
         // backpressure-aware master send loop.
@@ -206,7 +214,7 @@ fn run(args: &Args) -> Result<(), String> {
             seed,
             &sup_cfg,
             faults.as_ref(),
-            Some(&FoldReplanner),
+            Some(&replanner),
             telemetry.clone(),
         )
         .map_err(|e| e.to_string())?;
@@ -298,6 +306,13 @@ fn run(args: &Args) -> Result<(), String> {
         "generated {} tokens x {} sequences in {:.3}s wall ({} restarts, {} replans)",
         n_generate, batch, out.wall_s, restarts, replans
     );
+    let origins = replanner.origins();
+    if !origins.is_empty() {
+        // Provenance of every replan: exact solver ("ilp"), Algorithm-2
+        // fallback ("heuristic"), structural fold, or a typed-infeasible
+        // refusal that kept the old plan.
+        println!("replan origins: {}", origins.join(", "));
+    }
     if let Some(stats) = &online {
         println!(
             "online: {} batches served, {} retried after failures, p50 {:.2}s p95 {:.2}s, {:.1} tok/s",
@@ -325,6 +340,99 @@ fn run(args: &Args) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// Context for re-running Algorithm 1 on the surviving sub-cluster,
+/// resolvable only for paper-cluster ("cluster-N") plans over zoo
+/// models.
+struct ResolvedPlanner {
+    cluster: llmpq_cluster::Cluster,
+    spec: llmpq_model::ModelSpec,
+    job: BatchJob,
+    db: CostDb,
+    indicator: llmpq_quant::IndicatorTable,
+    cfg: AssignerConfig,
+}
+
+/// Production-shaped replanner with provenance. When the plan's
+/// cluster and model resolve, permanent device loss re-runs Algorithm 1
+/// on the survivors (`llm_pq::replan_after_loss`) and records where
+/// each installed plan came from — the exact solver, or the Algorithm-2
+/// heuristic after a solver failure — instead of falling back
+/// silently. Unresolvable plans use the structural [`FoldReplanner`]
+/// (recorded as such). Origins feed telemetry (`plan_origin` in the
+/// metrics snapshot) and the end-of-run summary.
+struct DistReplanner {
+    resolved: Option<ResolvedPlanner>,
+    origins: std::sync::Mutex<Vec<String>>,
+    telemetry: Option<std::sync::Arc<Telemetry>>,
+}
+
+impl DistReplanner {
+    fn new(plan: &ExecutionPlan, job: BatchJob, telemetry: Option<std::sync::Arc<Telemetry>>) -> Self {
+        let resolved = plan
+            .cluster
+            .strip_prefix("cluster-")
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|n| (1..=11).contains(n))
+            .and_then(|n| zoo::by_name(&plan.model).map(|spec| (n, spec)))
+            .map(|(n, spec)| ResolvedPlanner {
+                cluster: paper_cluster(n),
+                indicator: random_indicator(spec.n_layers, 0xA11CE, 1.0),
+                spec,
+                job,
+                db: CostDb::oracle(&KernelEnv::default()),
+                // Recovery-path sizing: a lighter search than offline
+                // planning, so the pipeline is back before the
+                // heartbeat budget runs out.
+                cfg: AssignerConfig {
+                    theta: 0.1,
+                    solver: SolverChoice::Dp { group: 8 },
+                    xi: 2,
+                    max_orderings: 4,
+                    dp_grid: Some(12),
+                    ..AssignerConfig::default()
+                },
+            });
+        Self { resolved, origins: std::sync::Mutex::new(Vec::new()), telemetry }
+    }
+
+    fn origins(&self) -> Vec<String> {
+        self.origins.lock().unwrap().clone()
+    }
+}
+
+impl Replanner for DistReplanner {
+    fn replan(&self, old: &ExecutionPlan, lost: &[usize]) -> Result<ExecutionPlan, String> {
+        let Some(r) = &self.resolved else {
+            let plan = FoldReplanner.replan(old, lost)?;
+            if let Some(t) = &self.telemetry {
+                t.note_plan_origin("heuristic");
+            }
+            self.origins.lock().unwrap().push("fold".into());
+            return Ok(plan);
+        };
+        match replan_after_loss(&r.cluster, lost, &r.spec, &r.job, &r.db, &r.indicator, &r.cfg) {
+            Ok(out) => {
+                let origin = out.origin.to_string();
+                if let Some(t) = &self.telemetry {
+                    t.note_plan_origin(&origin);
+                }
+                self.origins.lock().unwrap().push(origin);
+                Ok(out.plan)
+            }
+            Err(e) => {
+                // Typed infeasibility: the survivors cannot hold the
+                // model at any rung. The supervisor keeps the old plan;
+                // surface the alarm rather than panicking.
+                if let Some(t) = &self.telemetry {
+                    t.note_fleet_infeasible();
+                }
+                self.origins.lock().unwrap().push(format!("infeasible ({e})"));
+                Err(e.to_string())
+            }
+        }
+    }
 }
 
 /// The default `--swap-at` target: every layer at Int4 and, when some

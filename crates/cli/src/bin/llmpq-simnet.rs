@@ -19,8 +19,9 @@
 
 use llmpq_cli::Args;
 use llmpq_runtime::{
-    run_serving_chaos, run_sim, seed_sweep, serving_seed_sweep, shrink_fault_plan,
-    shrink_serving_plan, FaultPlan, ServingChaosConfig, SimConfig, SimFaultPlan,
+    elastic_seed_sweep, run_elastic, run_serving_chaos, run_sim, seed_sweep, serving_seed_sweep,
+    shrink_elastic_plan, shrink_fault_plan, shrink_serving_plan, ElasticChurnPlan,
+    ElasticSimConfig, FaultPlan, ServingChaosConfig, SimConfig, SimFaultPlan,
 };
 use std::process::ExitCode;
 
@@ -43,7 +44,18 @@ const USAGE: &str = "usage: llmpq-simnet
                              --schedule replays a FaultPlan JSON instead)
     [--requests 6]           serving mode: requests per arrival trace
     [--no-swaps]             serving mode: disable the seeded live swaps
+    [--elastic]              elastic-fleet mode: drive the autoscaling
+                             controller through seeded membership churn
+                             (joins/leaves/degrades/flap bursts, leaves biased
+                             into migration windows) against diurnal + bursty
+                             arrivals; checks the elasticity invariants
+                             (committed plans reference only live devices, no
+                             request lost or double-served across scale
+                             events; --schedule replays a churn-plan JSON)
+    [--devices 3]            elastic mode: devices live at t=0
+    [--pool 6]               elastic mode: total device ids churn draws from
     [--inject-bug]           dev hook: break admission conservation on purpose
+                             (elastic mode: double-serve the first request)
     [--trace]                print the deterministic event trace(s)";
 
 fn fail(msg: &str) -> ExitCode {
@@ -98,6 +110,30 @@ fn main() -> ExitCode {
         Ok(v) => v,
         Err(e) => return fail(&e.to_string()),
     };
+
+    if args.switch("elastic") {
+        let mut ecfg = ElasticSimConfig::default();
+        ecfg.n_requests = match args.get_parse("requests", ecfg.n_requests) {
+            Ok(v) => v,
+            Err(e) => return fail(&e.to_string()),
+        };
+        ecfg.n_devices = match args.get_parse("devices", ecfg.n_devices) {
+            Ok(v) => v,
+            Err(e) => return fail(&e.to_string()),
+        };
+        ecfg.device_pool = match args.get_parse("pool", ecfg.device_pool) {
+            Ok(v) => v,
+            Err(e) => return fail(&e.to_string()),
+        };
+        if ecfg.device_pool < ecfg.n_devices {
+            return fail("--pool must be at least --devices");
+        }
+        ecfg.inject_double_serve = args.switch("inject-bug");
+        if let Some(path) = args.get("schedule") {
+            return elastic_replay(&ecfg, path, start_seed);
+        }
+        return elastic_sweep(&ecfg, start_seed, n_seeds, &out_path);
+    }
 
     if args.switch("serving") {
         let mut scfg = ServingChaosConfig::default();
@@ -210,6 +246,99 @@ fn serving_sweep(
         Err(e) => eprintln!("could not write {out_path}: {e}"),
     }
     ExitCode::FAILURE
+}
+
+/// Elastic-fleet sweep: the autoscaling controller under seeded churn
+/// and seeded diurnal/bursty arrivals, one schedule per seed.
+fn elastic_sweep(
+    cfg: &ElasticSimConfig,
+    start_seed: u64,
+    n_seeds: u64,
+    out_path: &str,
+) -> ExitCode {
+    let report = elastic_seed_sweep(cfg, start_seed, n_seeds);
+    println!(
+        "churned {} seeds ({}..{}) through the fleet controller: {} runs committed replans, \
+         {} aborted a migration mid-barrier, {} quarantined a flapping device, {} hit the \
+         typed-infeasible path, {} in-flight request(s) recovered off dying devices",
+        report.n_seeds,
+        report.start_seed,
+        report.start_seed + report.n_seeds,
+        report.runs_with_commits,
+        report.runs_with_aborts,
+        report.runs_with_suppressions,
+        report.runs_infeasible,
+        report.requests_recovered,
+    );
+    if report.ok() {
+        println!(
+            "all elasticity invariants held on every schedule (committed plans reference only \
+             live devices; no request lost or double-served across scale events)"
+        );
+        return ExitCode::SUCCESS;
+    }
+    for f in &report.failures {
+        eprintln!(
+            "seed {} violated: {} (shrunk to {} event(s))",
+            f.seed,
+            f.violations.join("; "),
+            f.minimized.events.len()
+        );
+    }
+    let first = &report.failures[0];
+    match std::fs::write(out_path, &first.minimized_json) {
+        Ok(()) => eprintln!(
+            "minimized counterexample for seed {} written to {out_path} — replay with: \
+             llmpq-simnet --elastic --seed {} --schedule {out_path}",
+            first.seed, first.seed
+        ),
+        Err(e) => eprintln!("could not write {out_path}: {e}"),
+    }
+    ExitCode::FAILURE
+}
+
+/// Replay one churn schedule (an [`ElasticChurnPlan`] JSON) at `seed`.
+fn elastic_replay(cfg: &ElasticSimConfig, path: &str, seed: u64) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => return fail(&format!("cannot read {path}: {e}")),
+    };
+    let plan = match ElasticChurnPlan::from_json(&text) {
+        Ok(p) => p,
+        Err(e) => return fail(&e),
+    };
+    let run = run_elastic(cfg, seed, &plan);
+    println!(
+        "replayed {} churn event(s) at seed {seed}: {} replan(s) committed, {} migration(s) \
+         aborted, {} event(s) flap-suppressed, {} infeasible alarm(s); {}/{} requests served \
+         ({} shed, {} recovered)",
+        run.churn_events,
+        run.commits,
+        run.aborts,
+        run.suppressed,
+        run.infeasible,
+        run.served,
+        run.offered,
+        run.shed,
+        run.recovered,
+    );
+    if run.violations.is_empty() {
+        println!("all elasticity invariants held");
+        ExitCode::SUCCESS
+    } else {
+        for v in &run.violations {
+            eprintln!("violation: {v}");
+        }
+        let minimized = shrink_elastic_plan(cfg, seed, &plan);
+        if minimized.events.len() < plan.events.len() {
+            eprintln!(
+                "shrinks further to {} event(s):\n{}",
+                minimized.events.len(),
+                minimized.to_json()
+            );
+        }
+        ExitCode::FAILURE
+    }
 }
 
 /// Replay one serving fault schedule (a [`FaultPlan`] JSON) at `seed`.

@@ -129,6 +129,32 @@ pub fn build_problem(
     dp_grid: Option<usize>,
     kv_bits: f64,
 ) -> (PartitionProblem, Vec<f64>, Vec<usize>) {
+    build_problem_with_cache(
+        cluster, ordering, spec, job, db, indicator, theta, mb, group, bits_set, phase_aware,
+        dp_grid, kv_bits, None,
+    )
+}
+
+/// [`build_problem`] routed through the incremental planner's memoized
+/// cost cache when one is supplied (`None` hits the cost DB directly and
+/// is bit-identical to the cold path).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn build_problem_with_cache(
+    cluster: &Cluster,
+    ordering: &[usize],
+    spec: &ModelSpec,
+    job: &BatchJob,
+    db: &CostDb,
+    indicator: Option<&IndicatorTable>,
+    theta: f64,
+    mb: &MicrobatchPlan,
+    group: usize,
+    bits_set: &[Bitwidth],
+    phase_aware: bool,
+    dp_grid: Option<usize>,
+    kv_bits: f64,
+    mut cache: Option<&mut crate::incremental::CostCache>,
+) -> (PartitionProblem, Vec<f64>, Vec<usize>) {
     let sizes = group_sizes(spec.n_layers, group);
     let l = sizes.len();
     let n = ordering.len();
@@ -145,28 +171,76 @@ pub fn build_problem(
 
     let kv_per_layer =
         round_block(spec.kv_bytes_per_layer(job.global_batch, job.max_seq(), kv_bits));
+
+    // Per-layer latency depends only on the device *class* (plus phase
+    // and bits), per-layer bytes only on bits, and the ω group sum only
+    // on (group, bits) — so hoist all three out of the l × n × nb fill
+    // loop. At fleet scale this turns ~700k cost-model lookups per
+    // build into O(classes × bits), which is what keeps the elastic
+    // warm-replan path fast on 100+ device clusters.
+    let mut class_lat: Vec<(llmpq_cluster::GpuModel, Vec<(f64, f64)>)> = Vec::new();
+    for &dev_idx in ordering {
+        let gpu = cluster.devices[dev_idx].gpu;
+        if class_lat.iter().any(|(g, _)| *g == gpu) {
+            continue;
+        }
+        let mut rows = Vec::with_capacity(nb);
+        for &bits in bits_set {
+            let row = match cache.as_deref_mut() {
+                Some(c) => (
+                    c.layer_latency(db, gpu, spec, &pre_w, bits, kv_bits),
+                    c.layer_latency(db, gpu, spec, &dec_w, bits, kv_bits),
+                ),
+                None => (
+                    db.layer_latency_kv(gpu, spec, &pre_w, bits, kv_bits),
+                    db.layer_latency_kv(gpu, spec, &dec_w, bits, kv_bits),
+                ),
+            };
+            rows.push(row);
+        }
+        class_lat.push((gpu, rows));
+    }
+    let dev_class: Vec<usize> = ordering
+        .iter()
+        .map(|&dev_idx| {
+            let gpu = cluster.devices[dev_idx].gpu;
+            class_lat.iter().position(|(g, _)| *g == gpu).expect("class collected above")
+        })
+        .collect();
+    let bytes_per_layer: Vec<f64> = bits_set
+        .iter()
+        .map(|&bits| {
+            let scale_overhead = if bits.is_quantized() {
+                spec.quant_scale_bytes(llmpq_model::QUANT_GROUP)
+            } else {
+                0.0
+            };
+            round_block(spec.layer_weight_bytes(bits.bits_f64()) + scale_overhead) + kv_per_layer
+        })
+        .collect();
+
     let mut layer0 = 0usize;
     for (g, &gsz) in sizes.iter().enumerate() {
-        for (j, &dev_idx) in ordering.iter().enumerate() {
-            let gpu = cluster.devices[dev_idx].gpu;
-            for (bi, &bits) in bits_set.iter().enumerate() {
+        let mut omegas = Vec::with_capacity(nb);
+        for &bits in bits_set {
+            let omega: f64 = match (indicator, cache.as_deref_mut()) {
+                (None, _) => 0.0,
+                (Some(ind), Some(c)) => c.omega_sum(ind, layer0, gsz, bits),
+                (Some(ind), None) => {
+                    (layer0..layer0 + gsz).map(|layer| ind.get(layer, bits)).sum()
+                }
+            };
+            omegas.push(omega);
+        }
+        for (j, &cls) in dev_class.iter().enumerate() {
+            let rows = &class_lat[cls].1;
+            for bi in 0..nb {
                 let k = (g * n + j) * nb + bi;
-                let lp = db.layer_latency_kv(gpu, spec, &pre_w, bits, kv_bits);
-                let ld = db.layer_latency_kv(gpu, spec, &dec_w, bits, kv_bits);
+                let (lp, ld) = rows[bi];
                 pre[k] = gsz as f64 * lp;
                 dec[k] = if phase_aware { gsz as f64 * ld } else { 0.0 };
-                let scale_overhead = if bits.is_quantized() {
-                    spec.quant_scale_bytes(llmpq_model::QUANT_GROUP)
-                } else {
-                    0.0
-                };
-                mem[k] = gsz as f64
-                    * (round_block(spec.layer_weight_bytes(bits.bits_f64()) + scale_overhead)
-                        + kv_per_layer);
-                let omega: f64 = indicator.map_or(0.0, |ind| {
-                    (layer0..layer0 + gsz).map(|layer| ind.get(layer, bits)).sum()
-                });
-                quality[k] = theta * omega;
+                mem[k] = gsz as f64 * bytes_per_layer[bi];
+                quality[k] = theta * omegas[bi];
                 lin[k] = pre[k] + dec[k] + quality[k];
             }
         }
@@ -265,6 +339,18 @@ pub fn solution_to_plan(
     }
 }
 
+/// The bitwidth menu the solver may draw from under `cfg.max_bits`.
+pub(crate) fn bit_menu(cfg: &AssignerConfig) -> Result<Vec<Bitwidth>, String> {
+    let menu: Vec<Bitwidth> = Bitwidth::ALL
+        .into_iter()
+        .filter(|b| cfg.max_bits.is_none_or(|cap| b.bits() <= cap.bits()))
+        .collect();
+    if menu.is_empty() {
+        return Err(format!("max_bits cap {:?} leaves no bitwidth candidates", cfg.max_bits));
+    }
+    Ok(menu)
+}
+
 /// Run Algorithm 1 and return the best plan.
 pub fn assign(
     cluster: &Cluster,
@@ -283,13 +369,7 @@ pub fn assign(
     // Bitwidth menu the solver may draw from, optionally capped from
     // above (degradation ladders shrink the menu to force lower-bit,
     // lighter plans).
-    let menu: Vec<Bitwidth> = Bitwidth::ALL
-        .into_iter()
-        .filter(|b| cfg.max_bits.is_none_or(|cap| b.bits() <= cap.bits()))
-        .collect();
-    if menu.is_empty() {
-        return Err(format!("max_bits cap {:?} leaves no bitwidth candidates", cfg.max_bits));
-    }
+    let menu = bit_menu(cfg)?;
     let orderings = device_orderings(cluster, cfg.max_orderings);
     let mut best: Option<(ExecutionPlan, PlanReport, f64, f64)> = None;
     let mut combos = 0usize;

@@ -1,0 +1,1220 @@
+//! Incremental (warm-started) planning for an elastic fleet.
+//!
+//! A fleet that scales while serving replans often — every device join,
+//! leave, or degrade re-runs Algorithm 1. A cold `assign` re-derives the
+//! full cost tensors, re-solves every (ordering, micro-batch) partition
+//! problem from scratch, and re-simulates every uniform seed plan; at
+//! the 50–200 device scale of ROADMAP item 5 that puts the solver on
+//! the serving critical path. This module makes replanning cheap after
+//! *small* cluster deltas:
+//!
+//! * [`CostCache`] memoizes the per-layer latency model and the ω
+//!   indicator sums keyed by (device class, workload shape, bitwidth) —
+//!   values that survive any membership change that keeps a device
+//!   class around.
+//! * [`EvalCache`] memoizes full plan evaluations by a structural
+//!   fingerprint (per-stage device class + layer count + precision,
+//!   boundary interconnect class, micro-batch shape), so re-evaluating
+//!   the same candidate shape on the churned cluster is a lookup.
+//! * [`IncrementalPlanner`] repairs the previous winning assignment
+//!   onto each new device ordering and feeds it to the partition
+//!   solver's incumbent-pruned warm path
+//!   ([`llmpq_solver::solve_partition_warm`]); uniform seed plans are
+//!   skipped through a *sound* pipeline-makespan lower bound, so the
+//!   warm pass provably returns the same objective the cold pass would.
+//!
+//! Large deltas (more than [`WarmStartConfig`] allows) fall back to the
+//! cold path — the caches still help, the hint does not.
+//!
+//! All of this is deterministic: warm-vs-cold objective equivalence is
+//! asserted in unit tests here and in `tests/warm_props.rs` proptests.
+
+use crate::assigner::{
+    bit_menu, build_problem_with_cache, device_orderings, solution_to_plan, AssignOutcome,
+};
+use crate::config::{AssignerConfig, SolverChoice};
+use crate::evaluate::{evaluate_plan, representative_past, PlanError, PlanReport};
+use crate::ilp::solve_ilp;
+use crate::plan::{ExecutionPlan, StagePlan};
+use crate::transfer::heuristic_solve;
+use llmpq_cluster::{Cluster, GpuModel};
+use llmpq_cost::CostDb;
+use llmpq_model::{flops, ModelSpec, Phase, PhaseWorkload};
+use llmpq_quant::{Bitwidth, IndicatorTable};
+use llmpq_solver::{solve_partition_warm_stats, MilpConfig};
+use llmpq_workload::{microbatch_counts, BatchJob, MicrobatchPlan};
+use serde::{Deserialize, Serialize};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+/// Where a committed plan came from. Operators watch this: a fleet that
+/// keeps serving `Heuristic` plans is running on degraded planning
+/// quality and should be looked at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PlanOrigin {
+    /// The configured exact solver (DP or MILP ladder), cold.
+    Ilp,
+    /// The Algorithm-2 heuristic — either configured, or the fallback
+    /// after the exact solver failed.
+    Heuristic,
+    /// The incremental planner's warm-started path (previous assignment
+    /// repaired and reused as the solver incumbent).
+    WarmStart,
+}
+
+impl std::fmt::Display for PlanOrigin {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanOrigin::Ilp => write!(f, "ilp"),
+            PlanOrigin::Heuristic => write!(f, "heuristic"),
+            PlanOrigin::WarmStart => write!(f, "warm-start"),
+        }
+    }
+}
+
+/// Typed replan failure. The fleet controller holds the old plan and
+/// raises an alarm on `Infeasible` instead of crashing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ReplanError {
+    /// Every device is gone; there is nothing to plan onto.
+    AllDevicesLost {
+        /// Devices the cluster had before the loss.
+        total: usize,
+    },
+    /// The survivors cannot hold the model even at the lowest ladder
+    /// rung (memory-infeasible fleet).
+    Infeasible {
+        /// Number of surviving devices.
+        devices: usize,
+        /// Solver-level detail.
+        reason: String,
+    },
+    /// Bad planner configuration (e.g. an empty bitwidth menu).
+    Config(String),
+}
+
+impl std::fmt::Display for ReplanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplanError::AllDevicesLost { total } => {
+                write!(f, "cannot replan: all {total} devices lost")
+            }
+            ReplanError::Infeasible { devices, reason } => {
+                write!(f, "replan infeasible on {devices} survivors: {reason}")
+            }
+            ReplanError::Config(s) => write!(f, "replan config error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for ReplanError {}
+
+/// Hit/miss counters for one memoization layer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheCounters {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to compute.
+    pub misses: u64,
+}
+
+impl CacheCounters {
+    /// Fraction of lookups answered from the cache.
+    pub fn hit_rate(&self) -> f64 {
+        let n = self.hits + self.misses;
+        if n == 0 {
+            0.0
+        } else {
+            self.hits as f64 / n as f64
+        }
+    }
+}
+
+type LayerKey = (GpuModel, Phase, usize, usize, usize, Bitwidth, u64);
+type MasterKey = (GpuModel, Phase, usize, usize, usize);
+
+/// Memoized cost-model and ω-indicator evaluations.
+///
+/// Keys are (device class, workload shape, bitwidth) — device *identity*
+/// never enters, so every value survives joins/leaves that keep the
+/// class present, and a device-class change simply misses into fresh
+/// keys. The cache is pinned to one (model spec, cost DB) pair; a cost
+/// DB swap is detected by fingerprint probe and clears it.
+#[derive(Debug, Default)]
+pub struct CostCache {
+    layer: HashMap<LayerKey, f64>,
+    master: HashMap<MasterKey, f64>,
+    omega: HashMap<(usize, usize, Bitwidth), f64>,
+    /// Per-layer latency lookup counters.
+    pub layer_counters: CacheCounters,
+    /// ω group-sum lookup counters.
+    pub omega_counters: CacheCounters,
+    db_stamp: Option<u64>,
+}
+
+impl CostCache {
+    /// Memoized [`CostDb::layer_latency_kv`].
+    pub fn layer_latency(
+        &mut self,
+        db: &CostDb,
+        gpu: GpuModel,
+        spec: &ModelSpec,
+        w: &PhaseWorkload,
+        bits: Bitwidth,
+        kv_bits: f64,
+    ) -> f64 {
+        let key = (gpu, w.phase, w.batch, w.prompt_len, w.past_len, bits, kv_bits.to_bits());
+        if let Some(&v) = self.layer.get(&key) {
+            self.layer_counters.hits += 1;
+            return v;
+        }
+        self.layer_counters.misses += 1;
+        let v = db.layer_latency_kv(gpu, spec, w, bits, kv_bits);
+        self.layer.insert(key, v);
+        v
+    }
+
+    /// Memoized [`CostDb::master_latency`].
+    pub fn master_latency(
+        &mut self,
+        db: &CostDb,
+        gpu: GpuModel,
+        spec: &ModelSpec,
+        w: &PhaseWorkload,
+    ) -> f64 {
+        let key = (gpu, w.phase, w.batch, w.prompt_len, w.past_len);
+        if let Some(&v) = self.master.get(&key) {
+            self.layer_counters.hits += 1;
+            return v;
+        }
+        self.layer_counters.misses += 1;
+        let v = db.master_latency(gpu, spec, w);
+        self.master.insert(key, v);
+        v
+    }
+
+    /// Memoized ω sum over the contiguous layer range
+    /// `[layer0, layer0 + len)` at one bitwidth.
+    pub fn omega_sum(
+        &mut self,
+        indicator: &IndicatorTable,
+        layer0: usize,
+        len: usize,
+        bits: Bitwidth,
+    ) -> f64 {
+        let key = (layer0, len, bits);
+        if let Some(&v) = self.omega.get(&key) {
+            self.omega_counters.hits += 1;
+            return v;
+        }
+        self.omega_counters.misses += 1;
+        let v: f64 = (layer0..layer0 + len).map(|l| indicator.get(l, bits)).sum();
+        self.omega.insert(key, v);
+        v
+    }
+
+    /// Detect a cost-DB swap by probing a handful of latencies the
+    /// planner is about to ask for anyway; clear everything if the
+    /// answers changed.
+    pub fn sync_db(&mut self, db: &CostDb, spec: &ModelSpec, cluster: &Cluster, menu: &[Bitwidth]) {
+        let mut h = DefaultHasher::new();
+        spec.name.hash(&mut h);
+        let w = PhaseWorkload::prefill(1, 16);
+        for (gpu, _) in cluster.model_counts() {
+            for &bits in menu {
+                db.layer_latency_kv(gpu, spec, &w, bits, 16.0).to_bits().hash(&mut h);
+            }
+        }
+        let stamp = h.finish();
+        if self.db_stamp != Some(stamp) {
+            self.layer.clear();
+            self.master.clear();
+            self.omega.clear();
+            self.db_stamp = Some(stamp);
+        }
+    }
+
+    /// Drop every memoized value (counters survive).
+    pub fn clear(&mut self) {
+        self.layer.clear();
+        self.master.clear();
+        self.omega.clear();
+        self.db_stamp = None;
+    }
+
+    /// Number of live memoized entries across all layers.
+    pub fn len(&self) -> usize {
+        self.layer.len() + self.master.len() + self.omega.len()
+    }
+
+    /// Whether nothing is memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Memoized full-plan evaluations keyed by a structural fingerprint.
+///
+/// Two plans with the same fingerprint produce the same
+/// [`PlanReport`]: the fingerprint covers everything
+/// [`evaluate_plan`] reads — spec, job, per-stage device class +
+/// layer count + per-layer precision, boundary interconnect class,
+/// micro-batch shape, KV precision, and scheme label. Device ids and
+/// cluster names are deliberately absent, so an evaluation computed
+/// before a churn event answers for the structurally identical plan
+/// after it.
+#[derive(Debug, Default)]
+pub struct EvalCache {
+    map: HashMap<u64, Result<PlanReport, PlanError>>,
+    /// Lookup counters.
+    pub counters: CacheCounters,
+}
+
+impl EvalCache {
+    fn fingerprint(plan: &ExecutionPlan, cluster: &Cluster, spec: &ModelSpec, job: &BatchJob) -> u64 {
+        let mut h = DefaultHasher::new();
+        spec.name.hash(&mut h);
+        job.global_batch.hash(&mut h);
+        job.prompt_len.hash(&mut h);
+        job.n_generate.hash(&mut h);
+        plan.kv_bits.hash(&mut h);
+        plan.scheme.hash(&mut h);
+        plan.microbatch.prefill_size.hash(&mut h);
+        plan.microbatch.prefill_count.hash(&mut h);
+        plan.microbatch.decode_size.hash(&mut h);
+        plan.microbatch.decode_count.hash(&mut h);
+        plan.stages.len().hash(&mut h);
+        for (i, s) in plan.stages.iter().enumerate() {
+            cluster.devices[s.device].gpu.hash(&mut h);
+            (s.layer_end - s.layer_start).hash(&mut h);
+            for &b in &s.bits {
+                b.hash(&mut h);
+            }
+            if i + 1 < plan.stages.len() {
+                cluster.link_between(s.device, plan.stages[i + 1].device).hash(&mut h);
+            }
+        }
+        h.finish()
+    }
+
+    /// [`evaluate_plan`] through the cache. Structural validation runs
+    /// fresh every time (it is cheap and device-id-dependent); only the
+    /// expensive memory + simulation verdict is memoized.
+    pub fn evaluate(
+        &mut self,
+        plan: &ExecutionPlan,
+        cluster: &Cluster,
+        spec: &ModelSpec,
+        db: &CostDb,
+        job: &BatchJob,
+    ) -> Result<PlanReport, PlanError> {
+        if let Err(e) = plan.validate(spec.n_layers) {
+            return Err(PlanError::Invalid(e));
+        }
+        if plan.stages.iter().any(|s| s.device >= cluster.len()) {
+            return evaluate_plan(plan, cluster, spec, db, job);
+        }
+        let fp = Self::fingerprint(plan, cluster, spec, job);
+        if let Some(r) = self.map.get(&fp) {
+            self.counters.hits += 1;
+            return r.clone();
+        }
+        self.counters.misses += 1;
+        let r = evaluate_plan(plan, cluster, spec, db, job);
+        self.map.insert(fp, r.clone());
+        r
+    }
+
+    /// Drop every memoized evaluation (counters survive).
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+
+    /// Number of memoized evaluations.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether nothing is memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// Multiset difference between two clusters, by (device class, node).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterDelta {
+    /// Devices present in the new cluster but not the old.
+    pub added: usize,
+    /// Devices present in the old cluster but not the new.
+    pub removed: usize,
+}
+
+impl ClusterDelta {
+    /// Total churn magnitude.
+    pub fn magnitude(&self) -> usize {
+        self.added + self.removed
+    }
+}
+
+/// Compute the (class, node)-multiset delta between two clusters.
+pub fn cluster_delta(old: &Cluster, new: &Cluster) -> ClusterDelta {
+    let mut counts: HashMap<(GpuModel, usize), i64> = HashMap::new();
+    for d in &old.devices {
+        *counts.entry((d.gpu, d.node)).or_insert(0) -= 1;
+    }
+    for d in &new.devices {
+        *counts.entry((d.gpu, d.node)).or_insert(0) += 1;
+    }
+    let added = counts.values().filter(|&&v| v > 0).sum::<i64>() as usize;
+    let removed = -counts.values().filter(|&&v| v < 0).sum::<i64>() as usize;
+    ClusterDelta { added, removed }
+}
+
+/// When the incremental planner may warm-start instead of solving cold.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WarmStartConfig {
+    /// Absolute churn (added + removed devices) always allowed to warm.
+    pub max_abs_delta: usize,
+    /// Fraction of the previous fleet the churn may reach and still warm.
+    pub max_frac_delta: f64,
+}
+
+impl Default for WarmStartConfig {
+    fn default() -> Self {
+        // ±1–2 devices always warm; on big fleets up to a quarter may
+        // churn before the repaired hint stops resembling the optimum.
+        Self { max_abs_delta: 2, max_frac_delta: 0.25 }
+    }
+}
+
+impl WarmStartConfig {
+    /// Whether a delta against a previous fleet of `prev_len` devices is
+    /// small enough to warm-start from.
+    pub fn allows(&self, delta: ClusterDelta, prev_len: usize) -> bool {
+        let cap = self
+            .max_abs_delta
+            .max((prev_len as f64 * self.max_frac_delta).floor() as usize);
+        delta.magnitude() <= cap
+    }
+}
+
+/// Work counters for one `plan` call (and cumulatively, if summed).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct PlannerStats {
+    /// Cost-model cache counters over this call.
+    pub cost: CacheCounters,
+    /// ω cache counters over this call.
+    pub omega: CacheCounters,
+    /// Plan-evaluation cache counters over this call.
+    pub eval: CacheCounters,
+    /// Uniform seed plans skipped via the makespan lower bound.
+    pub seeds_pruned: u64,
+    /// Uniform seed plans fully evaluated.
+    pub seeds_evaluated: u64,
+    /// Combos where a repaired hint seeded the solver incumbent.
+    pub hints_applied: u64,
+    /// Inner DP feasibility probes actually run.
+    pub dp_calls: u64,
+    /// Candidate (T_pre, T_dec) pairs pruned by the incumbent bound.
+    pub pairs_pruned: u64,
+}
+
+/// One successful planning round.
+#[derive(Debug, Clone)]
+pub struct PlannedOutcome {
+    /// The winning plan and its evaluation.
+    pub outcome: AssignOutcome,
+    /// Provenance of the plan.
+    pub origin: PlanOrigin,
+    /// Work counters for this round.
+    pub stats: PlannerStats,
+    /// Delta against the previously planned cluster, if any.
+    pub delta: Option<ClusterDelta>,
+}
+
+impl PlannedOutcome {
+    /// Objective value `latency + θ·Σω` given the θ it was planned with.
+    pub fn objective(&self, theta: f64) -> f64 {
+        self.outcome.report.total_latency + theta * self.outcome.omega_total
+    }
+}
+
+/// A stateful planner that carries caches and the previous winning plan
+/// across replans, warm-starting after small cluster deltas.
+#[derive(Debug)]
+pub struct IncrementalPlanner {
+    spec: ModelSpec,
+    job: BatchJob,
+    cfg: AssignerConfig,
+    warm_cfg: WarmStartConfig,
+    cost: CostCache,
+    eval: EvalCache,
+    last: Option<(Cluster, ExecutionPlan)>,
+}
+
+impl IncrementalPlanner {
+    /// A planner for one (model, job) pair under `cfg`.
+    pub fn new(spec: ModelSpec, job: BatchJob, cfg: AssignerConfig) -> Self {
+        Self::with_warm_config(spec, job, cfg, WarmStartConfig::default())
+    }
+
+    /// [`IncrementalPlanner::new`] with an explicit warm-start policy.
+    pub fn with_warm_config(
+        spec: ModelSpec,
+        job: BatchJob,
+        cfg: AssignerConfig,
+        warm_cfg: WarmStartConfig,
+    ) -> Self {
+        Self {
+            spec,
+            job,
+            cfg,
+            warm_cfg,
+            cost: CostCache::default(),
+            eval: EvalCache::default(),
+            last: None,
+        }
+    }
+
+    /// The assigner configuration this planner runs.
+    pub fn config(&self) -> &AssignerConfig {
+        &self.cfg
+    }
+
+    /// The previous committed plan, if any.
+    pub fn last_plan(&self) -> Option<&ExecutionPlan> {
+        self.last.as_ref().map(|(_, p)| p)
+    }
+
+    /// Lifetime cost-cache counters.
+    pub fn cost_counters(&self) -> CacheCounters {
+        self.cost.layer_counters
+    }
+
+    /// Lifetime evaluation-cache counters.
+    pub fn eval_counters(&self) -> CacheCounters {
+        self.eval.counters
+    }
+
+    /// Number of memoized cost entries (for invalidation tests).
+    pub fn cached_cost_entries(&self) -> usize {
+        self.cost.len()
+    }
+
+    /// Forget caches and the previous plan.
+    pub fn reset(&mut self) {
+        self.cost.clear();
+        self.eval.clear();
+        self.last = None;
+    }
+
+    /// Plan for `cluster`, warm-starting from the previous round when
+    /// the membership delta is small. On failure the previous plan is
+    /// kept (the caller holds the old plan; [`IncrementalPlanner::last_plan`]
+    /// still answers).
+    pub fn plan(
+        &mut self,
+        cluster: &Cluster,
+        db: &CostDb,
+        indicator: &IndicatorTable,
+    ) -> Result<PlannedOutcome, ReplanError> {
+        if cluster.is_empty() {
+            let total = self.last.as_ref().map_or(0, |(c, _)| c.len());
+            return Err(ReplanError::AllDevicesLost { total });
+        }
+        let menu = bit_menu(&self.cfg).map_err(ReplanError::Config)?;
+        self.cost.sync_db(db, &self.spec, cluster, &menu);
+
+        let delta = self.last.as_ref().map(|(c, _)| cluster_delta(c, cluster));
+        let warm_ok = matches!(self.cfg.solver, SolverChoice::Dp { .. })
+            && delta.is_some_and(|d| {
+                self.warm_cfg.allows(d, self.last.as_ref().map_or(0, |(c, _)| c.len()))
+            });
+        let prev = if warm_ok {
+            self.last.as_ref().map(|(c, p)| (c.clone(), p.clone()))
+        } else {
+            None
+        };
+
+        let cost0 = self.cost.layer_counters;
+        let omega0 = self.cost.omega_counters;
+        let eval0 = self.eval.counters;
+        let mut stats = PlannerStats::default();
+        let primary = assign_warm(
+            cluster,
+            &self.spec,
+            &self.job,
+            db,
+            indicator,
+            &self.cfg,
+            &menu,
+            &mut self.cost,
+            &mut self.eval,
+            prev.as_ref().map(|(c, p)| (c, p)),
+            &mut stats,
+        );
+        let (outcome, origin) = match primary {
+            Ok(outcome) => {
+                let origin = if stats.hints_applied > 0 {
+                    PlanOrigin::WarmStart
+                } else if matches!(self.cfg.solver, SolverChoice::Heuristic) {
+                    PlanOrigin::Heuristic
+                } else {
+                    PlanOrigin::Ilp
+                };
+                (outcome, origin)
+            }
+            Err(primary) if !matches!(self.cfg.solver, SolverChoice::Heuristic) => {
+                // Same ladder as `replan_after_loss`: retry once with the
+                // always-feasible Algorithm-2 heuristic before declaring
+                // the fleet infeasible.
+                let fallback = AssignerConfig { solver: SolverChoice::Heuristic, ..self.cfg };
+                let out = assign_warm(
+                    cluster,
+                    &self.spec,
+                    &self.job,
+                    db,
+                    indicator,
+                    &fallback,
+                    &menu,
+                    &mut self.cost,
+                    &mut self.eval,
+                    None,
+                    &mut stats,
+                )
+                .map_err(|h| ReplanError::Infeasible {
+                    devices: cluster.len(),
+                    reason: format!("solver: {primary}; heuristic fallback: {h}"),
+                })?;
+                (out, PlanOrigin::Heuristic)
+            }
+            Err(e) => {
+                return Err(ReplanError::Infeasible { devices: cluster.len(), reason: e });
+            }
+        };
+        stats.cost = CacheCounters {
+            hits: self.cost.layer_counters.hits - cost0.hits,
+            misses: self.cost.layer_counters.misses - cost0.misses,
+        };
+        stats.omega = CacheCounters {
+            hits: self.cost.omega_counters.hits - omega0.hits,
+            misses: self.cost.omega_counters.misses - omega0.misses,
+        };
+        stats.eval = CacheCounters {
+            hits: self.eval.counters.hits - eval0.hits,
+            misses: self.eval.counters.misses - eval0.misses,
+        };
+        self.last = Some((cluster.clone(), outcome.plan.clone()));
+        Ok(PlannedOutcome { outcome, origin, stats, delta })
+    }
+}
+
+/// Repair the previous winning plan onto one (ordering, group-sizes)
+/// combination of the new cluster, producing a group-level assignment
+/// `(position-in-ordering, bit-index)` the solver can use as incumbent.
+///
+/// The previous stages are read off as runs of (device class, bitwidth)
+/// and matched monotonically onto positions of the same class in the
+/// new ordering; a run whose class has no position left folds into the
+/// previously placed stage. The result is only a *hint* — the solver
+/// validates it against the new problem's memory and feasibility
+/// constraints and ignores it if it does not hold.
+fn repair_hint(
+    prev_cluster: &Cluster,
+    prev_plan: &ExecutionPlan,
+    cluster: &Cluster,
+    ordering: &[usize],
+    sizes: &[usize],
+    menu: &[Bitwidth],
+) -> Option<Vec<(usize, usize)>> {
+    let new_types: Vec<GpuModel> = ordering.iter().map(|&i| cluster.devices[i].gpu).collect();
+    // Desired (previous stage, class, bit) per layer group, read off the
+    // previous winner. The stage index keeps two same-class devices that
+    // held different shards from collapsing into one overloaded stage.
+    let mut wanted: Vec<(usize, GpuModel, usize)> = Vec::with_capacity(sizes.len());
+    let mut l0 = 0usize;
+    for &gsz in sizes {
+        let (si, s) = prev_plan
+            .stages
+            .iter()
+            .enumerate()
+            .find(|(_, s)| s.layer_start <= l0 && l0 < s.layer_end)?;
+        let gpu = prev_cluster.devices.get(s.device)?.gpu;
+        let bits = *s.bits.get(l0 - s.layer_start)?;
+        let bit = menu.iter().position(|&b| b == bits)?;
+        wanted.push((si, gpu, bit));
+        l0 += gsz;
+    }
+    // Monotone walk of previous-stage runs onto the new ordering.
+    let mut out: Vec<(usize, usize)> = Vec::with_capacity(sizes.len());
+    let mut next = 0usize;
+    let mut placed: Option<(usize, usize)> = None;
+    let mut g = 0usize;
+    while g < wanted.len() {
+        let (si, ty, bit) = wanted[g];
+        let mut run = 1usize;
+        while g + run < wanted.len() && wanted[g + run] == (si, ty, bit) {
+            run += 1;
+        }
+        let slot = (next..new_types.len()).find(|&j| new_types[j] == ty);
+        let cur = match (slot, placed) {
+            (Some(j), _) => {
+                next = j + 1;
+                (j, bit)
+            }
+            (None, Some(prev)) => prev,
+            (None, None) => {
+                next = 1;
+                (0, bit)
+            }
+        };
+        placed = Some(cur);
+        out.extend(std::iter::repeat_n(cur, run));
+        g += run;
+    }
+    Some(out)
+}
+
+/// Sound lower bound on the simulated end-to-end latency of a plan with
+/// per-stage times `pre`/`dec`, boundary comm times, and master-engine
+/// times. Derived from the discrete-event semantics of
+/// [`llmpq_sim::simulate_pipeline`]:
+///
+/// * the master is a serial resource doing 2 half-cost ops per
+///   micro-batch per phase step;
+/// * every stage is a serial FIFO resource;
+/// * the last prefill micro-batch embeds after all others and must then
+///   traverse the full chain;
+/// * decode steps of one micro-batch are serialized by the
+///   autoregressive dependency.
+///
+/// Every term is a valid lower bound on its own, so the max is too.
+#[allow(clippy::too_many_arguments)]
+fn makespan_lower_bound(
+    pre: &[f64],
+    dec: &[f64],
+    comm_pre: &[f64],
+    comm_dec: &[f64],
+    master_pre: f64,
+    master_dec: f64,
+    mb: &MicrobatchPlan,
+    n_generate: usize,
+) -> f64 {
+    let hm = master_pre / 2.0;
+    let mup = mb.prefill_count as f64;
+    let sum_pre: f64 = pre.iter().sum::<f64>() + comm_pre.iter().sum::<f64>();
+    let max_pre = pre.iter().copied().fold(0.0f64, f64::max);
+    let lb_last_mb = (mup + 1.0) * hm + sum_pre;
+    let lb_straggler = 2.0 * hm + mup * max_pre;
+    let lb_master = mup * master_pre;
+    let prefill_lb = lb_last_mb.max(lb_straggler).max(lb_master);
+    let decode_lb = if n_generate > 1 {
+        let steps = ((n_generate - 1) * mb.decode_count) as f64;
+        let per_mb = (n_generate - 1) as f64;
+        let max_dec = dec.iter().copied().fold(0.0f64, f64::max);
+        let sum_dec: f64 = dec.iter().sum::<f64>() + comm_dec.iter().sum::<f64>();
+        (steps * max_dec)
+            .max(steps * master_dec)
+            .max(per_mb * (master_dec + sum_dec))
+    } else {
+        0.0
+    };
+    prefill_lb + decode_lb
+}
+
+/// The uniform seed plans `assign` evaluates after the combo loop: even
+/// layer partition over all devices at one uniform bitwidth, per
+/// micro-batch plan (FP16 KV). Returns `None` for shapes that produce
+/// no stages.
+fn seed_plan(
+    cluster: &Cluster,
+    spec: &ModelSpec,
+    mb: MicrobatchPlan,
+    bits: Bitwidth,
+) -> Option<ExecutionPlan> {
+    let n = cluster.len();
+    let l = spec.n_layers;
+    let base = l / n;
+    let extra = l % n;
+    let mut stages = Vec::with_capacity(n);
+    let mut startl = 0usize;
+    for j in 0..n {
+        let take = base + usize::from(j < extra);
+        if take == 0 {
+            continue;
+        }
+        stages.push(StagePlan {
+            device: j,
+            layer_start: startl,
+            layer_end: startl + take,
+            bits: vec![bits; take],
+        });
+        startl += take;
+    }
+    if stages.is_empty() {
+        return None;
+    }
+    Some(ExecutionPlan {
+        model: spec.name.clone(),
+        cluster: cluster.name.clone(),
+        stages,
+        microbatch: mb,
+        scheme: "LLM-PQ".into(),
+        kv_bits: 16,
+    })
+}
+
+/// Algorithm 1 through the incremental machinery: identical enumeration
+/// order and tie-breaking to [`crate::assign`], with memoized costs, an
+/// optional repaired incumbent per combo, and lower-bound pruning of
+/// the uniform seed pass. Returns the same best objective the cold path
+/// would (the seed bound is sound; the incumbent only prunes candidates
+/// that cannot beat it).
+#[allow(clippy::too_many_arguments)]
+fn assign_warm(
+    cluster: &Cluster,
+    spec: &ModelSpec,
+    job: &BatchJob,
+    db: &CostDb,
+    indicator: &IndicatorTable,
+    cfg: &AssignerConfig,
+    menu: &[Bitwidth],
+    cost: &mut CostCache,
+    eval: &mut EvalCache,
+    prev: Option<(&Cluster, &ExecutionPlan)>,
+    stats: &mut PlannerStats,
+) -> Result<AssignOutcome, String> {
+    assert_eq!(
+        indicator.n_layers(),
+        spec.n_layers,
+        "indicator must cover every decoder layer"
+    );
+    let start = std::time::Instant::now();
+    let orderings = device_orderings(cluster, cfg.max_orderings);
+    let mut best: Option<(ExecutionPlan, PlanReport, f64, f64)> = None;
+    let mut combos = 0usize;
+
+    let kv_options: Vec<u32> = if cfg.search_kv8 { vec![16, 8] } else { vec![16] };
+    for ordering in &orderings {
+        let mb_plans = microbatch_counts(job, ordering.len(), cfg.xi);
+        for mb in &mb_plans {
+            for &kv in &kv_options {
+                combos += 1;
+                let (group, sol) = match cfg.solver {
+                    SolverChoice::Dp { group } => {
+                        let (problem, _q, sizes) = build_problem_with_cache(
+                            cluster, ordering, spec, job, db, Some(indicator), cfg.theta, mb,
+                            group, menu, true, cfg.dp_grid, kv as f64, Some(cost),
+                        );
+                        let hint = prev.and_then(|(pc, pp)| {
+                            repair_hint(pc, pp, cluster, ordering, &sizes, menu)
+                        });
+                        let (sol, sstats) =
+                            solve_partition_warm_stats(&problem, hint.as_deref());
+                        if sstats.incumbent_used {
+                            stats.hints_applied += 1;
+                        }
+                        stats.dp_calls += sstats.dp_calls as u64;
+                        stats.pairs_pruned += sstats.pruned as u64;
+                        (sizes, sol)
+                    }
+                    SolverChoice::Heuristic => {
+                        let (problem, q, sizes) = build_problem_with_cache(
+                            cluster, ordering, spec, job, db, Some(indicator), cfg.theta, mb, 1,
+                            menu, true, cfg.dp_grid, kv as f64, Some(cost),
+                        );
+                        (sizes, heuristic_solve(&problem, &q, 400))
+                    }
+                    SolverChoice::Ilp { group, time_limit_s } => {
+                        let (problem, _q, sizes) = build_problem_with_cache(
+                            cluster, ordering, spec, job, db, Some(indicator), cfg.theta, mb,
+                            group, menu, true, cfg.dp_grid, kv as f64, Some(cost),
+                        );
+                        let milp_cfg = MilpConfig { time_limit_s, ..Default::default() };
+                        (sizes, solve_ilp(&problem, &milp_cfg))
+                    }
+                };
+                let Some(sol) = sol else { continue };
+                let plan = solution_to_plan(
+                    cluster, ordering, spec, &group, &sol, mb, "LLM-PQ", menu, kv,
+                );
+                let Ok(report) = eval.evaluate(&plan, cluster, spec, db, job) else {
+                    continue;
+                };
+                let omega = indicator.total(&plan.bit_assignment().bits);
+                let objective = report.total_latency + cfg.theta * omega;
+                if best.as_ref().is_none_or(|(_, _, _, o)| objective < *o) {
+                    best = Some((plan, report, omega, objective));
+                }
+            }
+        }
+    }
+
+    // Uniform seed pass, with sound lower-bound pruning: a seed whose
+    // provable makespan floor (plus its exactly computable ω term)
+    // cannot beat the best objective found so far cannot change the
+    // winner under the assigner's strict-improvement rule, so its full
+    // evaluation is skipped.
+    let pre_w = |mb: &MicrobatchPlan| PhaseWorkload::prefill(mb.prefill_size, job.prompt_len);
+    let dec_w = |mb: &MicrobatchPlan| {
+        PhaseWorkload::decode(mb.decode_size, job.prompt_len, representative_past(job))
+    };
+    for mb in microbatch_counts(job, cluster.len(), cfg.xi) {
+        for bits in menu.iter().copied() {
+            let Some(plan) = seed_plan(cluster, spec, mb, bits) else { continue };
+            let omega = indicator.total(&plan.bit_assignment().bits);
+            if let Some((_, _, _, best_obj)) = best.as_ref() {
+                let pw = pre_w(&mb);
+                let dw = dec_w(&mb);
+                let n_stages = plan.stages.len();
+                let mut pre = Vec::with_capacity(n_stages);
+                let mut dec = Vec::with_capacity(n_stages);
+                let mut comm_pre = Vec::new();
+                let mut comm_dec = Vec::new();
+                for (i, s) in plan.stages.iter().enumerate() {
+                    let gpu = cluster.devices[s.device].gpu;
+                    let take = (s.layer_end - s.layer_start) as f64;
+                    pre.push(take * cost.layer_latency(db, gpu, spec, &pw, bits, 16.0));
+                    dec.push(take * cost.layer_latency(db, gpu, spec, &dw, bits, 16.0));
+                    if i + 1 < n_stages {
+                        let link = cluster.link_between(s.device, plan.stages[i + 1].device);
+                        comm_pre
+                            .push(link.transfer_time(flops::boundary_activation_bytes(spec, &pw)));
+                        comm_dec
+                            .push(link.transfer_time(flops::boundary_activation_bytes(spec, &dw)));
+                    }
+                }
+                let first_gpu = cluster.devices[plan.stages[0].device].gpu;
+                let master_pre = cost.master_latency(db, first_gpu, spec, &pw);
+                let master_dec = cost.master_latency(db, first_gpu, spec, &dw);
+                let lb = makespan_lower_bound(
+                    &pre, &dec, &comm_pre, &comm_dec, master_pre, master_dec, &mb,
+                    job.n_generate,
+                );
+                if lb + cfg.theta * omega >= *best_obj {
+                    stats.seeds_pruned += 1;
+                    continue;
+                }
+            }
+            stats.seeds_evaluated += 1;
+            let Ok(report) = eval.evaluate(&plan, cluster, spec, db, job) else {
+                continue;
+            };
+            let objective = report.total_latency + cfg.theta * omega;
+            if best.as_ref().is_none_or(|(_, _, _, o)| objective < *o) {
+                best = Some((plan, report, omega, objective));
+            }
+        }
+    }
+
+    let (plan, report, omega, _) =
+        best.ok_or_else(|| "no feasible plan: model cannot fit this cluster".to_string())?;
+    Ok(AssignOutcome {
+        plan,
+        report,
+        omega_total: omega,
+        overhead_s: start.elapsed().as_secs_f64(),
+        combinations: combos,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assigner::assign;
+    use llmpq_cluster::{Interconnect, paper_cluster};
+    use llmpq_model::zoo;
+    use llmpq_sim::KernelEnv;
+
+    fn synthetic_indicator(n_layers: usize) -> IndicatorTable {
+        IndicatorTable {
+            omega: (0..n_layers)
+                .map(|l| {
+                    let base = 1.0 / (1.0 + l as f64 * 0.15);
+                    [base, base * 0.22, base * 0.01, 0.0]
+                })
+                .collect(),
+        }
+    }
+
+    fn quick_cfg() -> AssignerConfig {
+        AssignerConfig {
+            theta: 0.1,
+            solver: SolverChoice::Dp { group: 8 },
+            xi: 2,
+            max_orderings: 2,
+            dp_grid: Some(8),
+            search_kv8: false,
+            max_bits: None,
+        }
+    }
+
+    fn objective(out: &AssignOutcome, theta: f64) -> f64 {
+        out.report.total_latency + theta * out.omega_total
+    }
+
+    #[test]
+    fn warm_assign_matches_cold_assign_exactly() {
+        let cluster = paper_cluster(3);
+        let spec = zoo::opt_30b();
+        let db = CostDb::oracle(&KernelEnv::default());
+        let job = BatchJob::paper_default();
+        let ind = synthetic_indicator(spec.n_layers);
+        let cfg = quick_cfg();
+        let cold = assign(&cluster, &spec, &job, &db, &ind, &cfg).expect("cold");
+        let mut planner = IncrementalPlanner::new(spec.clone(), job, cfg.clone());
+        let first = planner.plan(&cluster, &db, &ind).expect("first plan");
+        assert_eq!(first.origin, PlanOrigin::Ilp, "no previous plan to warm from");
+        assert!(
+            (objective(&first.outcome, cfg.theta) - objective(&cold, cfg.theta)).abs() < 1e-9,
+            "first incremental plan must equal cold assign"
+        );
+        // Replanning the *same* cluster warm-starts and still matches.
+        let second = planner.plan(&cluster, &db, &ind).expect("second plan");
+        assert_eq!(second.origin, PlanOrigin::WarmStart);
+        assert!(
+            objective(&second.outcome, cfg.theta) <= objective(&cold, cfg.theta) + 1e-9,
+            "warm replan must not regress the cold objective"
+        );
+        assert!(second.stats.eval.hits > 0, "second round should reuse evaluations");
+    }
+
+    #[test]
+    fn warm_replan_after_loss_matches_cold_solve_on_survivors() {
+        let cluster = paper_cluster(5); // 4×T4 + 2×V100
+        let spec = zoo::opt_30b();
+        let db = CostDb::oracle(&KernelEnv::default());
+        let job = BatchJob::paper_default();
+        let ind = synthetic_indicator(spec.n_layers);
+        let cfg = quick_cfg();
+        let mut planner = IncrementalPlanner::new(spec.clone(), job, cfg.clone());
+        planner.plan(&cluster, &db, &ind).expect("initial plan");
+        let (survivors, _) = cluster.without_devices(&[1]);
+        let warm = planner.plan(&survivors, &db, &ind).expect("warm replan");
+        assert_eq!(warm.origin, PlanOrigin::WarmStart);
+        assert_eq!(warm.delta, Some(ClusterDelta { added: 0, removed: 1 }));
+        let cold = assign(&survivors, &spec, &job, &db, &ind, &cfg).expect("cold");
+        let wo = objective(&warm.outcome, cfg.theta);
+        let co = objective(&cold, cfg.theta);
+        assert!(
+            wo <= co + 1e-9,
+            "warm {wo} must not regress cold {co} on the surviving cluster"
+        );
+        assert!(warm.stats.cost.hits > 0, "cost cache must be reused across the delta");
+    }
+
+    #[test]
+    fn large_delta_falls_back_to_cold_origin() {
+        let spec = zoo::opt_30b();
+        let db = CostDb::oracle(&KernelEnv::default());
+        let job = BatchJob::paper_default();
+        let ind = synthetic_indicator(spec.n_layers);
+        let cfg = quick_cfg();
+        let mut planner = IncrementalPlanner::new(spec, job, cfg);
+        let big = paper_cluster(5); // 6 devices
+        planner.plan(&big, &db, &ind).expect("initial plan");
+        // Lose 4 of 6 devices: far beyond the warm-start policy.
+        let (survivors, _) = big.without_devices(&[0, 1, 2, 3]);
+        let replanned = planner.plan(&survivors, &db, &ind).expect("cold replan");
+        assert_eq!(replanned.origin, PlanOrigin::Ilp);
+        assert_eq!(replanned.stats.hints_applied, 0);
+    }
+
+    #[test]
+    fn empty_cluster_is_a_typed_error() {
+        let spec = zoo::opt_30b();
+        let db = CostDb::oracle(&KernelEnv::default());
+        let job = BatchJob::paper_default();
+        let ind = synthetic_indicator(spec.n_layers);
+        let mut planner = IncrementalPlanner::new(spec, job, quick_cfg());
+        let cluster = paper_cluster(3);
+        planner.plan(&cluster, &db, &ind).expect("plan");
+        let (empty, _) = cluster.without_devices(&[0, 1, 2, 3]);
+        match planner.plan(&empty, &db, &ind) {
+            Err(ReplanError::AllDevicesLost { total: 4 }) => {}
+            other => panic!("expected AllDevicesLost, got {other:?}"),
+        }
+        // The previous plan is held.
+        assert!(planner.last_plan().is_some());
+    }
+
+    #[test]
+    fn memory_infeasible_fleet_is_a_typed_error_and_old_plan_held() {
+        let spec = zoo::opt_175b();
+        let db = CostDb::oracle(&KernelEnv::default());
+        let job = BatchJob::paper_default();
+        let ind = synthetic_indicator(spec.n_layers);
+        let mut planner = IncrementalPlanner::new(spec, job, quick_cfg());
+        // 175b fits nowhere on a single T4, even at 3 bits.
+        let tiny = Cluster::from_groups(
+            "tiny",
+            &[(GpuModel::T4_16G, 1)],
+            Interconnect::Ethernet100G,
+            None,
+        );
+        match planner.plan(&tiny, &db, &ind) {
+            Err(ReplanError::Infeasible { devices: 1, .. }) => {}
+            other => panic!("expected Infeasible, got {other:?}"),
+        }
+        assert!(planner.last_plan().is_none());
+    }
+
+    #[test]
+    fn seed_lower_bound_never_exceeds_simulated_latency() {
+        // The pruning bound must be sound: LB ≤ DES latency for every
+        // seed shape on a real cluster.
+        let cluster = paper_cluster(5);
+        let spec = zoo::opt_30b();
+        let db = CostDb::oracle(&KernelEnv::default());
+        let job = BatchJob::paper_default();
+        let mut cost = CostCache::default();
+        for mb in microbatch_counts(&job, cluster.len(), 4) {
+            for bits in Bitwidth::ALL {
+                let Some(plan) = seed_plan(&cluster, &spec, mb, bits) else { continue };
+                let Ok(report) = evaluate_plan(&plan, &cluster, &spec, &db, &job) else {
+                    continue;
+                };
+                let pw = PhaseWorkload::prefill(mb.prefill_size, job.prompt_len);
+                let dw = PhaseWorkload::decode(
+                    mb.decode_size,
+                    job.prompt_len,
+                    representative_past(&job),
+                );
+                let mut pre = Vec::new();
+                let mut dec = Vec::new();
+                let mut comm_pre = Vec::new();
+                let mut comm_dec = Vec::new();
+                for (i, s) in plan.stages.iter().enumerate() {
+                    let gpu = cluster.devices[s.device].gpu;
+                    let take = (s.layer_end - s.layer_start) as f64;
+                    pre.push(take * cost.layer_latency(&db, gpu, &spec, &pw, bits, 16.0));
+                    dec.push(take * cost.layer_latency(&db, gpu, &spec, &dw, bits, 16.0));
+                    if i + 1 < plan.stages.len() {
+                        let link = cluster.link_between(s.device, plan.stages[i + 1].device);
+                        comm_pre.push(
+                            link.transfer_time(flops::boundary_activation_bytes(&spec, &pw)),
+                        );
+                        comm_dec.push(
+                            link.transfer_time(flops::boundary_activation_bytes(&spec, &dw)),
+                        );
+                    }
+                }
+                let g0 = cluster.devices[plan.stages[0].device].gpu;
+                let master_pre = cost.master_latency(&db, g0, &spec, &pw);
+                let master_dec = cost.master_latency(&db, g0, &spec, &dw);
+                let lb = makespan_lower_bound(
+                    &pre, &dec, &comm_pre, &comm_dec, master_pre, master_dec, &mb,
+                    job.n_generate,
+                );
+                assert!(
+                    lb <= report.total_latency + 1e-9,
+                    "LB {lb} exceeds simulated {} for mb {mb:?} bits {bits:?}",
+                    report.total_latency
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cluster_delta_counts_multiset_changes() {
+        let a = paper_cluster(3); // 3×T4 @node0 + 1×V100 @node1
+        let (b, _) = a.without_devices(&[0]);
+        assert_eq!(cluster_delta(&a, &b), ClusterDelta { added: 0, removed: 1 });
+        assert_eq!(cluster_delta(&b, &a), ClusterDelta { added: 1, removed: 0 });
+        assert_eq!(cluster_delta(&a, &a), ClusterDelta::default());
+        let c = Cluster::from_groups(
+            "other",
+            &[(GpuModel::A100_40G, 2)],
+            Interconnect::Ethernet800G,
+            None,
+        );
+        let d = cluster_delta(&a, &c);
+        assert_eq!(d, ClusterDelta { added: 2, removed: 4 });
+        assert_eq!(d.magnitude(), 6);
+    }
+
+    #[test]
+    fn eval_cache_fingerprint_is_structural() {
+        let cluster = paper_cluster(3);
+        let spec = zoo::opt_30b();
+        let db = CostDb::oracle(&KernelEnv::default());
+        let job = BatchJob::paper_default();
+        let mb = MicrobatchPlan {
+            prefill_size: 2,
+            prefill_count: 16,
+            decode_size: 8,
+            decode_count: 4,
+        };
+        let plan = seed_plan(&cluster, &spec, mb, Bitwidth::Int4).unwrap();
+        let mut cache = EvalCache::default();
+        let r1 = cache.evaluate(&plan, &cluster, &spec, &db, &job).expect("ok");
+        assert_eq!(cache.counters, CacheCounters { hits: 0, misses: 1 });
+        let r2 = cache.evaluate(&plan, &cluster, &spec, &db, &job).expect("ok");
+        assert_eq!(cache.counters, CacheCounters { hits: 1, misses: 1 });
+        assert_eq!(r1, r2);
+        // A different precision is a different structure → miss.
+        let other = seed_plan(&cluster, &spec, mb, Bitwidth::Int8).unwrap();
+        let _ = cache.evaluate(&other, &cluster, &spec, &db, &job);
+        assert_eq!(cache.counters.misses, 2);
+    }
+
+    #[test]
+    fn cost_cache_invalidates_on_db_swap() {
+        let cluster = paper_cluster(3);
+        let spec = zoo::opt_30b();
+        let menu = Bitwidth::ALL.to_vec();
+        let db1 = CostDb::oracle(&KernelEnv::default());
+        let mut cache = CostCache::default();
+        cache.sync_db(&db1, &spec, &cluster, &menu);
+        let w = PhaseWorkload::prefill(2, 128);
+        cache.layer_latency(&db1, GpuModel::T4_16G, &spec, &w, Bitwidth::Int4, 16.0);
+        assert_eq!(cache.len(), 1);
+        // Same DB: cache survives.
+        cache.sync_db(&db1, &spec, &cluster, &menu);
+        assert_eq!(cache.len(), 1);
+        // A different kernel environment changes the answers: cleared.
+        let env2 = KernelEnv { max_mfu: 0.1, ..KernelEnv::default() };
+        let db2 = CostDb::oracle(&env2);
+        cache.sync_db(&db2, &spec, &cluster, &menu);
+        assert_eq!(cache.len(), 0, "db swap must invalidate the cache");
+    }
+
+    #[test]
+    fn repair_hint_survives_device_loss() {
+        let cluster = paper_cluster(3);
+        let spec = zoo::opt_30b();
+        let db = CostDb::oracle(&KernelEnv::default());
+        let job = BatchJob::paper_default();
+        let ind = synthetic_indicator(spec.n_layers);
+        let cfg = quick_cfg();
+        let cold = assign(&cluster, &spec, &job, &db, &ind, &cfg).expect("cold");
+        let (survivors, _) = cluster.without_devices(&[0]);
+        let menu = Bitwidth::ALL.to_vec();
+        let orderings = device_orderings(&survivors, 2);
+        let sizes: Vec<usize> = {
+            // group 8 over the 30b layer count
+            let mut v = Vec::new();
+            let mut left = spec.n_layers;
+            while left > 0 {
+                let t = 8.min(left);
+                v.push(t);
+                left -= t;
+            }
+            v
+        };
+        let hint = repair_hint(&cluster, &cold.plan, &survivors, &orderings[0], &sizes, &menu)
+            .expect("repairable");
+        assert_eq!(hint.len(), sizes.len());
+        // Positions are non-decreasing and in range.
+        for w in hint.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+        }
+        for &(p, b) in &hint {
+            assert!(p < survivors.len());
+            assert!(b < menu.len());
+        }
+    }
+}
+

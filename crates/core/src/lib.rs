@@ -35,16 +35,21 @@ pub mod config;
 pub mod degrade;
 pub mod evaluate;
 pub mod ilp;
+pub mod incremental;
 pub mod plan;
 pub mod replan;
 pub mod tp;
 pub mod transfer;
 
-pub use assigner::{assign, AssignOutcome};
+pub use assigner::{assign, build_problem, device_orderings, solution_to_plan, AssignOutcome};
 pub use baselines::{adabits_plan, baseline_report, flexgen_report, pipeedge_plan, uniform_plan, BaselineKind};
 pub use config::{AssignerConfig, SolverChoice};
 pub use degrade::{degradation_ladder, DegradationLadder, LadderRung, DEFAULT_CAPS};
 pub use evaluate::{evaluate_plan, PlanReport};
+pub use incremental::{
+    cluster_delta, CacheCounters, ClusterDelta, CostCache, EvalCache, IncrementalPlanner,
+    PlanOrigin, PlannedOutcome, PlannerStats, ReplanError, WarmStartConfig,
+};
 pub use plan::{ExecutionPlan, StagePlan};
 // Re-exported so downstream crates can construct `ExecutionPlan`s
 // without depending on `llmpq-workload` directly.

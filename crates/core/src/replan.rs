@@ -16,6 +16,7 @@
 
 use crate::assigner::assign;
 use crate::config::{AssignerConfig, SolverChoice};
+use crate::incremental::{PlanOrigin, ReplanError};
 use crate::plan::ExecutionPlan;
 use llmpq_cluster::Cluster;
 use llmpq_cost::CostDb;
@@ -30,18 +31,30 @@ pub struct ReplanOutcome {
     pub plan: ExecutionPlan,
     /// The surviving sub-cluster the plan was computed on.
     pub surviving: Cluster,
-    /// Whether the configured solver failed and the Algorithm-2
-    /// heuristic produced the plan instead.
-    pub fell_back_to_heuristic: bool,
+    /// Where the plan came from: the configured exact solver, or the
+    /// Algorithm-2 heuristic after the solver failed. Telemetry and the
+    /// `llmpq-dist` end-of-run summary surface this so operators can
+    /// see degraded planning quality.
+    pub origin: PlanOrigin,
     /// Assigner wall-clock, seconds (the recovery-path "Overhead").
     pub overhead_s: f64,
+}
+
+impl ReplanOutcome {
+    /// Whether the configured solver failed and the Algorithm-2
+    /// heuristic produced the plan instead.
+    pub fn fell_back_to_heuristic(&self) -> bool {
+        self.origin == PlanOrigin::Heuristic
+    }
 }
 
 /// Re-run Algorithm 1 on `cluster` minus `lost_devices` and remap the
 /// winning plan's device ids back to `cluster`'s numbering.
 ///
-/// Errors if every device is lost or if neither the configured solver
-/// nor the heuristic fallback can produce a feasible plan.
+/// Errors (typed, never panics) if every device is lost
+/// ([`ReplanError::AllDevicesLost`]) or if neither the configured
+/// solver nor the heuristic fallback can fit the model on the
+/// survivors ([`ReplanError::Infeasible`]).
 pub fn replan_after_loss(
     cluster: &Cluster,
     lost_devices: &[usize],
@@ -50,25 +63,31 @@ pub fn replan_after_loss(
     db: &CostDb,
     indicator: &IndicatorTable,
     cfg: &AssignerConfig,
-) -> Result<ReplanOutcome, String> {
+) -> Result<ReplanOutcome, ReplanError> {
     let (surviving, new_to_old) = cluster.without_devices(lost_devices);
     if surviving.is_empty() {
-        return Err(format!(
-            "cannot replan: all {} devices lost",
-            cluster.len()
-        ));
+        return Err(ReplanError::AllDevicesLost { total: cluster.len() });
     }
-    let mut fell_back = false;
+    let mut origin = match cfg.solver {
+        SolverChoice::Heuristic => PlanOrigin::Heuristic,
+        _ => PlanOrigin::Ilp,
+    };
     let outcome = match assign(&surviving, spec, job, db, indicator, cfg) {
         Ok(o) => o,
         Err(primary) => {
             if matches!(cfg.solver, SolverChoice::Heuristic) {
-                return Err(primary);
+                return Err(ReplanError::Infeasible {
+                    devices: surviving.len(),
+                    reason: primary,
+                });
             }
-            fell_back = true;
+            origin = PlanOrigin::Heuristic;
             let fallback = AssignerConfig { solver: SolverChoice::Heuristic, ..*cfg };
             assign(&surviving, spec, job, db, indicator, &fallback).map_err(|h| {
-                format!("replan failed: solver: {primary}; heuristic fallback: {h}")
+                ReplanError::Infeasible {
+                    devices: surviving.len(),
+                    reason: format!("solver: {primary}; heuristic fallback: {h}"),
+                }
             })?
         }
     };
@@ -80,7 +99,7 @@ pub fn replan_after_loss(
     Ok(ReplanOutcome {
         plan,
         surviving,
-        fell_back_to_heuristic: fell_back,
+        origin,
         overhead_s: outcome.overhead_s,
     })
 }
@@ -172,6 +191,7 @@ mod tests {
         let ind = tiny_indicator(spec.n_layers);
         let err = replan_after_loss(&cluster, &[0, 1, 2], &spec, &job, &db, &ind, &quick_cfg())
             .unwrap_err();
-        assert!(err.contains("all 3 devices lost"), "{err}");
+        assert_eq!(err, ReplanError::AllDevicesLost { total: 3 });
+        assert!(err.to_string().contains("all 3 devices lost"), "{err}");
     }
 }

@@ -1,0 +1,270 @@
+//! Property tests for the warm-started incremental planner: random
+//! small cluster deltas (±1–2 devices) must leave the warm objective
+//! exactly equal to a cold solve of the same fleet, caches must be
+//! reused across deltas and correctly invalidated when the cost
+//! database or device classes change.
+//!
+//! Case counts are kept small (each case runs several full assigner
+//! passes); the properties are about *equivalence*, not coverage
+//! volume — any divergence at all is a bug.
+
+use llm_pq::{
+    AssignerConfig, IncrementalPlanner, PlanOrigin, SolverChoice,
+};
+use llmpq_cluster::{Cluster, GpuModel, Interconnect};
+use llmpq_cost::CostDb;
+use llmpq_model::{ModelFamily, ModelSpec};
+use llmpq_quant::IndicatorTable;
+use llmpq_sim::KernelEnv;
+use llmpq_workload::BatchJob;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn tiny_spec() -> ModelSpec {
+    ModelSpec::new(ModelFamily::Opt, "tiny-4l", 4, 64, 4, 256, 128)
+}
+
+fn tiny_indicator(n_layers: usize) -> IndicatorTable {
+    IndicatorTable {
+        omega: (0..n_layers)
+            .map(|l| {
+                let base = 1.0 / (1.0 + l as f64);
+                [base, base * 0.2, base * 0.01, 0.0]
+            })
+            .collect(),
+    }
+}
+
+fn quick_cfg() -> AssignerConfig {
+    AssignerConfig {
+        theta: 0.05,
+        solver: SolverChoice::Dp { group: 1 },
+        xi: 2,
+        max_orderings: 2,
+        // Exhaustive (T_pre, T_dec) candidates: warm == cold holds
+        // exactly. Under grid subsampling the warm incumbent's realized
+        // maxima are injected into the candidate lists, so warm may
+        // legitimately *beat* a coarse cold solve — a different (and
+        // weaker) property than the equivalence these tests pin down.
+        dp_grid: None,
+        search_kv8: false,
+        max_bits: None,
+    }
+}
+
+fn job() -> BatchJob {
+    BatchJob { global_batch: 4, prompt_len: 8, n_generate: 5 }
+}
+
+fn cluster_of(name: &str, devices: &[GpuModel]) -> Cluster {
+    let mut groups: BTreeMap<GpuModel, usize> = BTreeMap::new();
+    for &g in devices {
+        *groups.entry(g).or_insert(0) += 1;
+    }
+    let groups: Vec<(GpuModel, usize)> = groups.into_iter().collect();
+    Cluster::from_groups(name, &groups, Interconnect::Ethernet800G, None)
+}
+
+fn gpu_strategy() -> impl Strategy<Value = GpuModel> {
+    prop_oneof![
+        Just(GpuModel::T4_16G),
+        Just(GpuModel::V100_32G),
+        Just(GpuModel::A100_40G),
+    ]
+}
+
+/// Clamp a raw draw into a ±1–2 device delta that always keeps at
+/// least two survivors (so the new fleet shares device classes with
+/// the old one and warm-starting is on the table) and is never a
+/// no-op.
+fn clamp_delta(
+    base: &[GpuModel],
+    remove: usize,
+    mut added: Vec<GpuModel>,
+) -> (usize, Vec<GpuModel>) {
+    let remove = remove.min(base.len().saturating_sub(2));
+    if remove == 0 && added.is_empty() {
+        added.push(GpuModel::T4_16G);
+    }
+    (remove, added)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 10, ..ProptestConfig::default() })]
+
+    /// After a small delta (±1–2 devices), the warm-started planner
+    /// finds exactly the cold objective on the new fleet — the warm
+    /// path only prunes work, never the optimum — and actually reuses
+    /// its cost cache across the delta.
+    #[test]
+    fn warm_objective_equals_cold_after_small_delta(
+        (base, raw_remove, raw_added) in (
+            prop::collection::vec(gpu_strategy(), 3..=6),
+            0usize..=2,
+            prop::collection::vec(gpu_strategy(), 0..=2),
+        )
+    ) {
+        let (remove, added) = clamp_delta(&base, raw_remove, raw_added);
+        let spec = tiny_spec();
+        let indicator = tiny_indicator(spec.n_layers);
+        let db = CostDb::oracle(&KernelEnv::default());
+        let cfg = quick_cfg();
+        let theta = cfg.theta;
+
+        let old = cluster_of("old", &base);
+        let mut devices: Vec<GpuModel> = base[remove..].to_vec();
+        devices.extend_from_slice(&added);
+        let new = cluster_of("new", &devices);
+
+        let mut warm = IncrementalPlanner::new(spec.clone(), job(), cfg.clone());
+        warm.plan(&old, &db, &indicator).expect("base fleet plans");
+
+        let mut cold = IncrementalPlanner::new(spec, job(), cfg);
+        match (warm.plan(&new, &db, &indicator), cold.plan(&new, &db, &indicator)) {
+            (Ok(w), Ok(c)) => {
+                let wo = w.objective(theta);
+                let co = c.objective(theta);
+                prop_assert!(
+                    (wo - co).abs() <= 1e-9 * co.abs().max(1.0),
+                    "warm objective {wo} != cold {co} after delta -{remove}+{} on {} devices",
+                    added.len(),
+                    base.len(),
+                );
+                // When the delta preserves the set of device classes
+                // the cost cache survives it (the DB fingerprint probe
+                // hashes per-class latencies, so a class-set change
+                // conservatively clears the cache) and the surviving
+                // classes must hit the memoized entries from the base
+                // round.
+                let classes = |d: &[GpuModel]| {
+                    d.iter().copied().collect::<std::collections::BTreeSet<_>>()
+                };
+                if classes(&devices) == classes(&base) {
+                    prop_assert!(
+                        w.stats.cost.hits > 0,
+                        "no cost-cache reuse across the delta: {:?}",
+                        w.stats
+                    );
+                }
+                if w.origin == PlanOrigin::WarmStart {
+                    prop_assert!(w.stats.hints_applied > 0);
+                }
+            }
+            // If the new fleet is infeasible for one planner it must be
+            // infeasible for both — warm-starting must not change
+            // feasibility in either direction.
+            (Err(_), Err(_)) => {}
+            (w, c) => prop_assert!(
+                false,
+                "feasibility diverged: warm {:?} vs cold {:?}",
+                w.map(|o| o.origin),
+                c.map(|o| o.origin)
+            ),
+        }
+    }
+
+    /// Replanning the *same* fleet twice must reuse both caches (the
+    /// second round is mostly hits) and land on the identical
+    /// objective.
+    #[test]
+    fn identical_replan_is_served_from_cache(
+        base in prop::collection::vec(gpu_strategy(), 3..=5)
+    ) {
+        let spec = tiny_spec();
+        let indicator = tiny_indicator(spec.n_layers);
+        let db = CostDb::oracle(&KernelEnv::default());
+        let cfg = quick_cfg();
+        let theta = cfg.theta;
+        let cluster = cluster_of("same", &base);
+
+        let mut planner = IncrementalPlanner::new(spec, job(), cfg);
+        let first = planner.plan(&cluster, &db, &indicator).expect("first plan");
+        let second = planner.plan(&cluster, &db, &indicator).expect("second plan");
+
+        prop_assert!(
+            (first.objective(theta) - second.objective(theta)).abs() <= 1e-12,
+            "identical fleet, different objective"
+        );
+        prop_assert!(second.stats.eval.hits > 0, "evaluation cache unused: {:?}", second.stats);
+        prop_assert!(
+            second.stats.cost.hit_rate() > 0.5,
+            "cost cache mostly missed on an identical replan: {:?}",
+            second.stats.cost
+        );
+        prop_assert!(second.stats.omega.hits > 0, "omega cache unused: {:?}", second.stats);
+    }
+
+    /// Changing the cost database between rounds must invalidate the
+    /// memoized cost entries: the warm planner's answer on the new
+    /// database equals a cold solve on that database (stale entries
+    /// would skew the objective).
+    #[test]
+    fn cost_db_change_invalidates_the_cache(
+        base in prop::collection::vec(gpu_strategy(), 3..=5)
+    ) {
+        let spec = tiny_spec();
+        let indicator = tiny_indicator(spec.n_layers);
+        let cfg = quick_cfg();
+        let theta = cfg.theta;
+        let cluster = cluster_of("dbflip", &base);
+        let db1 = CostDb::oracle(&KernelEnv::default());
+        let db2 = CostDb::oracle(&KernelEnv { max_mfu: 0.1, ..KernelEnv::default() });
+
+        let mut warm = IncrementalPlanner::new(spec.clone(), job(), cfg.clone());
+        warm.plan(&cluster, &db1, &indicator).expect("plan on db1");
+        let switched = warm.plan(&cluster, &db2, &indicator).expect("plan on db2");
+
+        let mut cold = IncrementalPlanner::new(spec, job(), cfg);
+        let fresh = cold.plan(&cluster, &db2, &indicator).expect("cold plan on db2");
+
+        prop_assert!(
+            (switched.objective(theta) - fresh.objective(theta)).abs()
+                <= 1e-9 * fresh.objective(theta).abs().max(1.0),
+            "stale cost entries leaked across the database change: warm {} vs cold {}",
+            switched.objective(theta),
+            fresh.objective(theta)
+        );
+    }
+
+    /// Swapping every device class between rounds must not let the old
+    /// classes' cost entries answer for the new ones: the fingerprint
+    /// probe (which hashes per-class latencies of the *current* fleet)
+    /// detects the swap and clears stale entries, so the warm planner's
+    /// answer and its rebuilt cache both match a cold solve exactly.
+    #[test]
+    fn device_class_change_misses_into_fresh_entries(
+        n in 3usize..=5
+    ) {
+        let spec = tiny_spec();
+        let indicator = tiny_indicator(spec.n_layers);
+        let db = CostDb::oracle(&KernelEnv::default());
+        let cfg = quick_cfg();
+        let theta = cfg.theta;
+        let old = cluster_of("cls-a", &vec![GpuModel::T4_16G; n]);
+        let new = cluster_of("cls-b", &vec![GpuModel::A100_40G; n]);
+
+        let mut warm = IncrementalPlanner::new(spec.clone(), job(), cfg.clone());
+        warm.plan(&old, &db, &indicator).expect("plan on the T4 fleet");
+        let switched = warm.plan(&new, &db, &indicator).expect("plan on the A100 fleet");
+
+        let mut cold = IncrementalPlanner::new(spec, job(), cfg);
+        let fresh = cold.plan(&new, &db, &indicator).expect("cold plan on the A100 fleet");
+
+        prop_assert!(
+            (switched.objective(theta) - fresh.objective(theta)).abs()
+                <= 1e-9 * fresh.objective(theta).abs().max(1.0),
+            "old device class answered for the new one: warm {} vs cold {}",
+            switched.objective(theta),
+            fresh.objective(theta)
+        );
+        // The stale T4 entries were cleared; everything left was
+        // rebuilt for the A100 fleet, so the caches of the two planners
+        // are structurally identical.
+        prop_assert!(switched.stats.cost.misses > 0, "class swap served without misses");
+        prop_assert_eq!(
+            warm.cached_cost_entries(),
+            cold.cached_cost_entries(),
+            "cache after the class swap must hold exactly the fresh fleet's entries"
+        );
+    }
+}

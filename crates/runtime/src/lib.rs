@@ -33,6 +33,7 @@
 //! model, which the tests assert.
 
 pub mod clock;
+pub mod elastic;
 pub mod engine;
 pub mod fault;
 pub mod http;
@@ -49,6 +50,11 @@ pub mod telemetry;
 pub mod worker;
 
 pub use clock::{real_clock, Clock, RealClock};
+pub use elastic::{
+    ControllerCommand, ControllerState, DebouncedPolicy, ElasticPlanner, EvenSplitPlanner,
+    FleetAlarms, FleetController, FleetEvent, FleetEventKind, FleetView, PlanFailure,
+    PolicyVerdict, ReplanPolicy,
+};
 pub use engine::{
     run_pipeline, run_pipeline_observed, run_pipeline_recoverable, RuntimeError, RuntimeOutput,
 };
@@ -85,11 +91,13 @@ pub use serve::{
 pub use serve::{RungSwap, StepOutcome};
 pub use serve_dist::{ChannelRing, DistServeConfig, DistStepEngine, ServingRing};
 pub use simnet::{
-    run_serving_chaos, run_sim, seed_sweep, serving_fault_plan, serving_seed_sweep, serving_swap,
-    shrink_fault_plan, shrink_serving_plan, wire_exchange, ServingChaosConfig, ServingChaosRun,
-    ServingSweepFailure, ServingSweepReport, SimConfig, SimCrash, SimDeviceJoin, SimFaultKind,
-    SimFaultPlan, SimLinkEvent, SimPartition, SimReport, SweepFailure, SweepReport, VirtualClock,
-    WireExchange, WireExchangeConfig,
+    elastic_arrivals, elastic_churn_plan, elastic_seed_sweep, run_elastic, run_serving_chaos,
+    run_sim, seed_sweep, serving_fault_plan, serving_seed_sweep, serving_swap, shrink_elastic_plan,
+    shrink_fault_plan, shrink_serving_plan, wire_exchange, ChurnEvent, ElasticChurnPlan,
+    ElasticRun, ElasticSimConfig, ElasticSweepFailure, ElasticSweepReport, ServingChaosConfig,
+    ServingChaosRun, ServingSweepFailure, ServingSweepReport, SimConfig, SimCrash, SimDeviceJoin,
+    SimFaultKind, SimFaultPlan, SimLinkEvent, SimPartition, SimReport, SweepFailure, SweepReport,
+    VirtualClock, WireExchange, WireExchangeConfig,
 };
 pub use supervisor::{
     run_pipeline_supervised, run_pipeline_supervised_observed, FoldReplanner, RecoveryAction,

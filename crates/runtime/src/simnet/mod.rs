@@ -37,6 +37,7 @@
 //! clock and never reads the wall clock.)
 
 mod conn;
+mod elastic;
 mod plan;
 mod sched;
 mod serving;
@@ -44,6 +45,11 @@ mod shrink;
 mod testbed;
 
 pub use conn::VirtualClock;
+pub use elastic::{
+    elastic_arrivals, elastic_churn_plan, elastic_seed_sweep, run_elastic, shrink_elastic_plan,
+    ChurnEvent, ElasticChurnPlan, ElasticRun, ElasticSimConfig, ElasticSweepFailure,
+    ElasticSweepReport,
+};
 pub use plan::{SimCrash, SimDeviceJoin, SimFaultKind, SimFaultPlan, SimLinkEvent, SimPartition};
 pub use serving::{
     run_serving_chaos, serving_fault_plan, serving_seed_sweep, serving_swap, shrink_serving_plan,

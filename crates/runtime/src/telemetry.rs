@@ -457,6 +457,16 @@ pub struct Telemetry {
     spans: Mutex<Vec<Span>>,
     restarts: AtomicU64,
     replans: AtomicU64,
+    // Plan provenance (see `llm_pq::PlanOrigin`): how many installed
+    // plans came from the exact solver, the Algorithm-2 heuristic
+    // fallback, and the warm-started incremental path.
+    plans_ilp: AtomicU64,
+    plans_heuristic: AtomicU64,
+    plans_warm: AtomicU64,
+    // Fleet-health alarm: replans refused because the surviving fleet
+    // cannot hold the model even at the lowest rung (the old plan was
+    // held instead).
+    fleet_infeasible: AtomicU64,
     retried_batches: AtomicU64,
     tokens: AtomicU64,
     // Overload-control signals (see `crate::overload`).
@@ -513,6 +523,10 @@ impl Telemetry {
             spans: Mutex::new(Vec::new()),
             restarts: AtomicU64::new(0),
             replans: AtomicU64::new(0),
+            plans_ilp: AtomicU64::new(0),
+            plans_heuristic: AtomicU64::new(0),
+            plans_warm: AtomicU64::new(0),
+            fleet_infeasible: AtomicU64::new(0),
             retried_batches: AtomicU64::new(0),
             tokens: AtomicU64::new(0),
             shed: AtomicU64::new(0),
@@ -591,6 +605,45 @@ impl Telemetry {
     /// Count one replan-on-device-loss.
     pub fn note_replan(&self) {
         self.replans.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record the provenance of an installed plan. `origin` is the
+    /// `Display` form of `llm_pq::PlanOrigin` (`"ilp"`, `"heuristic"`,
+    /// `"warm-start"`) — stringly typed so the runtime crate stays
+    /// decoupled from the solver crate's types; unknown strings count
+    /// as heuristic (the conservative bucket).
+    pub fn note_plan_origin(&self, origin: &str) {
+        match origin {
+            "ilp" => self.plans_ilp.fetch_add(1, Ordering::Relaxed),
+            "warm-start" => self.plans_warm.fetch_add(1, Ordering::Relaxed),
+            _ => self.plans_heuristic.fetch_add(1, Ordering::Relaxed),
+        };
+    }
+
+    /// Raise the fleet-health alarm: a replan was refused because the
+    /// survivors cannot hold the model; the old plan stays in force.
+    pub fn note_fleet_infeasible(&self) {
+        self.fleet_infeasible.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Plans whose provenance was the exact solver.
+    pub fn plans_ilp(&self) -> u64 {
+        self.plans_ilp.load(Ordering::Relaxed)
+    }
+
+    /// Plans whose provenance was the Algorithm-2 heuristic fallback.
+    pub fn plans_heuristic(&self) -> u64 {
+        self.plans_heuristic.load(Ordering::Relaxed)
+    }
+
+    /// Plans whose provenance was the warm-started incremental solver.
+    pub fn plans_warm(&self) -> u64 {
+        self.plans_warm.load(Ordering::Relaxed)
+    }
+
+    /// Fleet-infeasible alarms raised so far.
+    pub fn fleet_infeasible(&self) -> u64 {
+        self.fleet_infeasible.load(Ordering::Relaxed)
     }
 
     /// Count one retried batch (online serving; see
@@ -908,6 +961,13 @@ impl Telemetry {
         ));
         out.push_str(&format!("restarts: {}\n", self.restarts()));
         out.push_str(&format!("replans: {}\n", self.replans()));
+        out.push_str(&format!(
+            "plan_origin: ilp={} heuristic={} warm-start={}\n",
+            self.plans_ilp(),
+            self.plans_heuristic(),
+            self.plans_warm()
+        ));
+        out.push_str(&format!("fleet_infeasible_alarms: {}\n", self.fleet_infeasible()));
         out.push_str(&format!("retried_batches: {}\n", self.retried_batches()));
         out.push_str(&format!("shed: {}\n", self.shed()));
         out.push_str(&format!("expired: {}\n", self.expired()));

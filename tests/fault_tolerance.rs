@@ -66,6 +66,7 @@ impl Replanner for AssignerReplanner<'_> {
     fn replan(&self, _old: &ExecutionPlan, lost: &[usize]) -> Result<ExecutionPlan, String> {
         replan_after_loss(self.cluster, lost, self.spec, self.job, self.db, self.indicator, self.cfg)
             .map(|o| o.plan)
+            .map_err(|e| e.to_string())
     }
 }
 
